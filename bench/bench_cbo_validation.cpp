@@ -1,0 +1,62 @@
+// Anchor validation: the quantitative claims §4 cites.
+//
+//  * CBO primer: 72 satellites (12 per plane, 6 planes, 80 deg inclination)
+//    provide about 95% global coverage.
+//  * Iridium: 66 satellites at 780 km give (near-)global coverage, with a
+//    Walker Star layout that keeps intra-/inter-plane ISLs simple.
+#include <cstdio>
+
+#include <openspace/coverage/coverage.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/orbit/walker.hpp>
+#include <openspace/topology/builder.hpp>
+
+namespace {
+
+void report(const char* label, const openspace::WalkerConfig& cfg,
+            double maskDeg) {
+  using namespace openspace;
+  const auto sats = makeWalkerStar(cfg);
+  Rng rng(99);
+  // Time-averaged over one orbital period: instantaneous coverage of polar
+  // constellations oscillates as planes converge at the poles.
+  const double period = sats.front().periodS();
+  const double avg = timeAveragedCoverage(sats, 0.0, period, 12,
+                                          deg2rad(maskDeg), 8'000, rng);
+  Rng rng2(123);
+  const auto instant =
+      monteCarloCoverage(sats, 0.0, deg2rad(maskDeg), 20'000, rng2);
+  std::printf("%-22s T=%-4d P=%-3d incl=%-6.1f mask=%.0fdeg  "
+              "instant=%.1f%%  time-avg=%.1f%%\n",
+              label, cfg.totalSatellites, cfg.planes,
+              rad2deg(cfg.inclinationRad), maskDeg,
+              100.0 * instant.coverageFraction, 100.0 * avg);
+}
+
+}  // namespace
+
+int main() {
+  using namespace openspace;
+  std::printf("# Anchor validation (paper section 4 citations)\n");
+  std::printf("# CBO: 72 sats / 6 planes / 80 deg => ~95%% coverage\n");
+  std::printf("# Iridium: 66 sats / 6 planes / 86.4 deg / 780 km => global\n\n");
+
+  report("CBO-72 (5deg mask)", cboConfig(), 5.0);
+  report("CBO-72 (10deg mask)", cboConfig(), 10.0);
+  report("Iridium-66 (5deg)", iridiumConfig(), 5.0);
+  report("Iridium-66 (10deg)", iridiumConfig(), 10.0);
+
+  // Walker Star ISL simplicity: +grid link feasibility at t=0.
+  EphemerisService eph;
+  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(1, el);
+  TopologyBuilder topo(eph);
+  SnapshotOptions opt;
+  opt.wiring = IslWiring::PlusGrid;
+  opt.planes = 6;
+  const NetworkGraph g = topo.snapshot(0.0, opt);
+  // A full +grid over 66 sats without the seam: 66 intra-plane + 55 inter-
+  // plane candidates; count how many actually close.
+  std::printf("\n# Iridium +grid ISLs closing at t=0: %zu (of 121 candidates)\n",
+              g.linkCount());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Cost-model reproduction (§3): per-path traffic accounting, cross-
+// verification, settlement, and peering detection.
+//
+// Scenario: three providers with interleaved fleets; users of each provider
+// roam across the others' satellites (the OpenSpace norm). Every carried
+// byte lands in every involved party's ledger; the engine cross-verifies
+// the books, prices transit bilaterally, and flags symmetric pairs as
+// peering candidates.
+#include <cstdio>
+
+#include <openspace/econ/ledger.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/sim/scenario.hpp>
+
+int main() {
+  using namespace openspace;
+
+  ScenarioConfig cfg;
+  cfg.providers = {{"aurora", 22, 0.0, 0.08},
+                   {"borealis", 22, 0.5, 0.05},
+                   {"cygnus", 22, 0.0, 0.12}};
+  cfg.coordinatedWalker = true;
+  cfg.stations = {{"svalbard-gw", Geodetic::fromDegrees(78.23, 15.41), 0},
+                  {"punta-arenas-gw", Geodetic::fromDegrees(-53.16, -70.91), 1},
+                  {"nairobi-gw", Geodetic::fromDegrees(-1.29, 36.82), 2}};
+  cfg.users = {{"alice", Geodetic::fromDegrees(64.14, -21.94), 0},
+               {"bob", Geodetic::fromDegrees(-33.87, 151.21), 1},
+               {"carol", Geodetic::fromDegrees(19.43, -99.13), 2},
+               {"dave", Geodetic::fromDegrees(35.68, 139.69), 0},
+               {"erin", Geodetic::fromDegrees(52.52, 13.40), 1},
+               {"frank", Geodetic::fromDegrees(-12.05, -77.04), 2}};
+  cfg.seed = 77;
+
+  Scenario scenario(cfg);
+  const TrafficReport rep =
+      scenario.runTrafficEpoch(/*t=*/0.0, /*duration=*/5.0, /*rate=*/2e6);
+
+  std::printf("# Cost model study: 3 providers, 66 interleaved satellites, "
+              "6 roaming users\n\n");
+  std::printf("packets offered=%zu delivered=%zu dropped=%zu loss=%.4f\n",
+              rep.packetsOffered, rep.packetsDelivered, rep.packetsDropped,
+              rep.lossRate);
+  if (rep.packetsDelivered > 0) {
+    std::printf("latency mean=%.2f ms p95=%.2f ms\n",
+                toMilliseconds(rep.meanLatencyS),
+                toMilliseconds(rep.p95LatencyS));
+  }
+  std::printf("ledgers cross-verified: %s\n\n",
+              rep.ledgersCrossVerified ? "YES" : "NO");
+
+  std::printf("%-8s %-8s %-14s %-12s\n", "payer", "payee", "transit_MB",
+              "amount_usd");
+  for (const auto& item : rep.settlement) {
+    std::printf("%-8u %-8u %-14.3f %-12.6f\n", item.payer, item.payee,
+                item.bytes / 1e6, item.amountUsd);
+  }
+  std::printf("\ntotal settlement: $%.6f\n", rep.totalSettlementUsd);
+
+  const auto peers = scenario.settlement().recommendPeering(0.3, 1e3);
+  std::printf("\npeering candidates (symmetry >= 0.3, >= 1 kB both ways): %zu\n",
+              peers.size());
+  for (const auto& p : peers) {
+    std::printf("  providers %u <-> %u  (%.2f MB / %.2f MB, symmetry %.2f)\n",
+                p.a, p.b, p.aCarriedForB / 1e6, p.bCarriedForA / 1e6,
+                p.symmetry);
+  }
+
+  std::printf("\n# Expected shape: every provider both carries and consumes\n"
+              "# transit (meshed roles, unlike BGP's strict customer/provider\n"
+              "# split); books agree across all parties; heavily symmetric\n"
+              "# pairs surface as peering candidates.\n");
+  return 0;
+}

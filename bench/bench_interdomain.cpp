@@ -1,0 +1,112 @@
+// §3 BGP-comparison study, executable: how do BGP-style valley-free
+// policies fare on a physically meshed LEO topology, versus the OpenSpace
+// open-mesh policy? Plus the link-state dissemination floor (how stale
+// congestion state inherently is) across fleet sizes.
+//
+// Provider adjacency is derived from the physical constellation: providers
+// are adjacent when at least one cross-provider ISL exists in the t=0
+// snapshot — the real contact structure the control plane must live on.
+#include <cstdio>
+#include <set>
+
+#include <openspace/geo/units.hpp>
+#include <openspace/orbit/walker.hpp>
+#include <openspace/routing/linkstate.hpp>
+#include <openspace/routing/pathvector.hpp>
+#include <openspace/topology/builder.hpp>
+
+int main() {
+  using namespace openspace;
+
+  std::printf("# Inter-domain policy study on physical LEO adjacency\n\n");
+  std::printf("%-10s %-10s %-12s %-14s %-12s %-12s\n", "providers", "policy",
+              "reachability", "mean_path", "rounds", "messages");
+
+  for (const int k : {3, 6, 11}) {
+    // 66 satellites interleaved across k providers.
+    EphemerisService eph;
+    const auto elements = makeWalkerStar(iridiumConfig());
+    for (std::size_t i = 0; i < elements.size(); ++i) {
+      eph.publish(static_cast<ProviderId>(1 + (i % static_cast<std::size_t>(k))),
+                  elements[i]);
+    }
+    TopologyBuilder topo(eph);
+    SnapshotOptions opt;
+    opt.wiring = IslWiring::PlusGrid;
+    opt.planes = 6;
+    const NetworkGraph g = topo.snapshot(0.0, opt);
+
+    // Provider adjacency from cross-provider ISLs.
+    std::set<std::pair<ProviderId, ProviderId>> adjacency;
+    for (const LinkId lid : g.links()) {
+      const Link& l = g.link(lid);
+      const ProviderId pa = g.node(l.a).provider;
+      const ProviderId pb = g.node(l.b).provider;
+      if (pa != pb) adjacency.insert({std::min(pa, pb), std::max(pa, pb)});
+    }
+    std::vector<ProviderId> providers;
+    for (int p = 1; p <= k; ++p) providers.push_back(static_cast<ProviderId>(p));
+
+    // Mesh policy (OpenSpace).
+    std::vector<ProviderLink> meshLinks;
+    for (const auto& [a, b] : adjacency) {
+      meshLinks.push_back({a, b, Relationship::Mesh, Relationship::Mesh});
+    }
+    const auto meshRep = runPathVector(providers, meshLinks);
+    std::printf("%-10d %-10s %-12.3f %-14.2f %-12d %-12d\n", k, "mesh",
+                meshRep.reachability, meshRep.meanPathLength, meshRep.rounds,
+                meshRep.messages);
+
+    // Gao-Rexford: impose a hierarchy the physical mesh does not have —
+    // provider 1 is "tier 1"; everyone else is its customer; all other
+    // adjacencies become peering (a typical forced mapping).
+    std::vector<ProviderLink> grLinks;
+    for (const auto& [a, b] : adjacency) {
+      ProviderLink l{a, b, Relationship::Peer, Relationship::Peer};
+      if (a == 1) {
+        l.aToB = Relationship::Customer;  // 1 sees b as customer
+        l.bToA = Relationship::Provider;
+      } else if (b == 1) {
+        l.bToA = Relationship::Customer;
+        l.aToB = Relationship::Provider;
+      }
+      grLinks.push_back(l);
+    }
+    const auto grRep = runPathVector(providers, grLinks);
+    std::printf("%-10d %-10s %-12.3f %-14.2f %-12d %-12d\n", k, "gao-rex",
+                grRep.reachability, grRep.meanPathLength, grRep.rounds,
+                grRep.messages);
+  }
+
+  // Link-state dissemination floor vs fleet size.
+  std::printf("\n# LSA flood convergence (state staleness floor):\n");
+  std::printf("%-8s %-10s %-14s %-14s %-10s\n", "sats", "reached",
+              "converge_ms", "mean_ms", "messages");
+  for (const int n : {24, 66, 120, 240}) {
+    EphemerisService eph;
+    WalkerConfig wc = iridiumConfig();
+    wc.totalSatellites = n;
+    wc.planes = 6;
+    wc.totalSatellites -= wc.totalSatellites % wc.planes;
+    for (const auto& el : makeWalkerStar(wc)) eph.publish(1, el);
+    TopologyBuilder topo(eph);
+    SnapshotOptions opt;
+    opt.wiring = IslWiring::PlusGrid;
+    opt.planes = 6;
+    const NetworkGraph g = topo.snapshot(0.0, opt);
+    const NodeId origin = g.nodesOfKind(NodeKind::Satellite).front();
+    const FloodReport rep = simulateLsaFlood(g, origin);
+    std::printf("%-8d %-10d %-14.1f %-14.1f %-10d\n", wc.totalSatellites,
+                rep.nodesReached, toMilliseconds(rep.convergenceTimeS),
+                toMilliseconds(rep.meanArrivalS), rep.messagesSent);
+  }
+
+  std::printf("\n# Reading: on the physically meshed adjacency the open-mesh\n"
+              "# policy is fully reachable; forcing a BGP-style hierarchy\n"
+              "# onto it loses reachability (valley-free filtering discards\n"
+              "# real paths) — the executable form of section 3's 'customer/\n"
+              "# provider is not translatable to a meshed system'. The LSA\n"
+              "# floor (tens of ms) is the staleness any congestion-aware\n"
+              "# routing must tolerate.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Microbenchmarks of the hot kernels: orbit propagation, topology snapshot,
+// Dijkstra, Monte-Carlo coverage, ISL fleet discovery.
+#include <benchmark/benchmark.h>
+
+#include <openspace/coverage/coverage.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/isl/fleet.hpp>
+#include <openspace/orbit/walker.hpp>
+#include <openspace/routing/dijkstra.hpp>
+#include <openspace/topology/builder.hpp>
+
+namespace {
+
+using namespace openspace;
+
+void BM_Propagate(benchmark::State& state) {
+  const auto el = OrbitalElements::circular(km(780.0), deg2rad(86.4), 0.3, 0.7);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(positionEci(el, t));
+    t += 1.0;
+  }
+}
+BENCHMARK(BM_Propagate);
+
+void BM_KeplerEccentric(benchmark::State& state) {
+  double m = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solveKepler(m, 0.7));
+    m += 0.01;
+  }
+}
+BENCHMARK(BM_KeplerEccentric);
+
+void BM_Snapshot(benchmark::State& state) {
+  EphemerisService eph;
+  WalkerConfig wc = iridiumConfig();
+  wc.totalSatellites = static_cast<int>(state.range(0));
+  wc.planes = 6;
+  wc.totalSatellites -= wc.totalSatellites % 6;
+  for (const auto& el : makeWalkerStar(wc)) eph.publish(1, el);
+  TopologyBuilder topo(eph);
+  SnapshotOptions opt;
+  opt.wiring = IslWiring::NearestNeighbors;
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.snapshot(t, opt));
+    t += 10.0;
+  }
+}
+BENCHMARK(BM_Snapshot)->Arg(24)->Arg(66)->Arg(120);
+
+void BM_Dijkstra(benchmark::State& state) {
+  EphemerisService eph;
+  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(1, el);
+  TopologyBuilder topo(eph);
+  SnapshotOptions opt;
+  opt.wiring = IslWiring::PlusGrid;
+  opt.planes = 6;
+  const NetworkGraph g = topo.snapshot(0.0, opt);
+  const auto cost = latencyCost();
+  const auto nodes = g.nodesOfKind(NodeKind::Satellite);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        shortestPath(g, nodes[i % nodes.size()],
+                     nodes[(i * 7 + 13) % nodes.size()], cost));
+    ++i;
+  }
+}
+BENCHMARK(BM_Dijkstra);
+
+void BM_MonteCarloCoverage(benchmark::State& state) {
+  const auto sats = makeWalkerStar(iridiumConfig());
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        monteCarloCoverage(sats, 0.0, deg2rad(10.0),
+                           static_cast<int>(state.range(0)), rng));
+  }
+}
+BENCHMARK(BM_MonteCarloCoverage)->Arg(500)->Arg(5000);
+
+void BM_FleetDiscovery(benchmark::State& state) {
+  EphemerisService eph;
+  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(1, el);
+  for (auto _ : state) {
+    state.PauseTiming();
+    IslFleet fleet(eph, FleetConfig{});
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(fleet.runDiscoveryRound(0.0));
+  }
+}
+BENCHMARK(BM_FleetDiscovery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Ablation R: proactive vs. congestion-aware on-demand routing (§2.2, §5(2)).
+//
+// Scenario: an Iridium-like constellation, a user in Nairobi, and two
+// gateways — a *near* one (Mombasa) experiencing heavy load (deep queues +
+// surge tariff on visitor traffic) and a *far* idle one (Johannesburg).
+// Proactive routing, computed from ephemeris alone, cannot see the queueing
+// and keeps sending traffic to the hot gateway; the on-demand router reads
+// live congestion and detours. The table sweeps the hot gateway's queueing
+// delay and reports each policy's end-to-end latency and path choice.
+#include <cstdio>
+
+#include <openspace/geo/units.hpp>
+#include <openspace/orbit/walker.hpp>
+#include <openspace/routing/ondemand.hpp>
+#include <openspace/topology/builder.hpp>
+
+int main() {
+  using namespace openspace;
+
+  EphemerisService eph;
+  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(1, el);
+  TopologyBuilder topo(eph);
+  const NodeId user = topo.addUser(
+      {"nairobi-user", Geodetic::fromDegrees(-1.2921, 36.8219), 10});
+  const NodeId nearGs = topo.addGroundStation(
+      {"mombasa-gw", Geodetic::fromDegrees(-4.0435, 39.6682), 20});
+  const NodeId farGs = topo.addGroundStation(
+      {"johannesburg-gw", Geodetic::fromDegrees(-26.2041, 28.0473), 30});
+
+  SnapshotOptions opt;
+  opt.wiring = IslWiring::PlusGrid;
+  opt.planes = 6;
+  opt.minElevationRad = deg2rad(10.0);
+
+  std::printf("# Routing ablation: hot near gateway vs idle far gateway\n");
+  std::printf("# user=Nairobi  near=Mombasa (congested)  far=Johannesburg (idle)\n\n");
+  std::printf("%-14s %-22s %-22s %-12s\n", "hot_queue_ms",
+              "proactive_latency_ms", "ondemand_latency_ms", "detoured");
+
+  for (const double hotQueueMs : {0.0, 5.0, 20.0, 50.0, 100.0, 250.0}) {
+    NetworkGraph g = topo.snapshot(0.0, opt);
+    // Load the near gateway: every GSL touching it queues.
+    for (const LinkId lid : g.links()) {
+      Link& l = g.link(lid);
+      if (l.type == LinkType::Gsl && (l.a == nearGs || l.b == nearGs)) {
+        l.queueingDelayS = milliseconds(hotQueueMs);
+        l.tariffUsdPerGb = 0.50;  // surge pricing on visitor traffic (§2.2)
+      }
+    }
+
+    // Proactive: the precomputed choice ignores live queue state — model it
+    // by routing on propagation delay only, then charging the path the
+    // queueing it actually encounters.
+    const LinkCostFn propOnly = [](const NetworkGraph&, const Link& l,
+                                   ProviderId) { return l.propagationDelayS; };
+    Route proactiveNear = shortestPath(g, user, nearGs, propOnly);
+    Route proactiveFar = shortestPath(g, user, farGs, propOnly);
+    const Route& proactive =
+        (proactiveNear.valid() &&
+         (!proactiveFar.valid() ||
+          proactiveNear.propagationDelayS <= proactiveFar.propagationDelayS))
+            ? proactiveNear
+            : proactiveFar;
+
+    // On-demand: full congestion-aware gateway selection.
+    const OnDemandRouter router(g, latencyCost());
+    const Route onDemand = router.selectGroundStation(user);
+
+    if (!proactive.valid() || !onDemand.valid()) {
+      std::printf("%-14.0f %-22s %-22s %-12s\n", hotQueueMs, "unreachable",
+                  "unreachable", "-");
+      continue;
+    }
+    const bool detoured = onDemand.nodes.back() != proactive.nodes.back();
+    std::printf("%-14.0f %-22.2f %-22.2f %-12s\n", hotQueueMs,
+                toMilliseconds(proactive.totalDelayS()),
+                toMilliseconds(onDemand.totalDelayS()),
+                detoured ? "yes" : "no");
+  }
+
+  std::printf("\n# Expected shape: identical at 0 queueing; once the hot\n"
+              "# gateway's queues exceed the ~detour cost, on-demand switches\n"
+              "# to the far gateway and its latency flattens while proactive\n"
+              "# keeps absorbing the queue (the section 5(2) trade-off).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// §5(6) study: detecting and cutting off bad actors.
+//
+// A malicious provider inflates its transit books by a sweep of fraud
+// factors. The table reports: whether cross-verification catches it, what
+// the witness-arbitrated audit attributes, the provider's reputation after
+// the audit, and the routing availability before/after quarantine (the
+// cost of cutting off an actor that also carries honest traffic).
+#include <cstdio>
+
+#include <openspace/geo/units.hpp>
+#include <openspace/orbit/walker.hpp>
+#include <openspace/routing/dijkstra.hpp>
+#include <openspace/security/reputation.hpp>
+#include <openspace/sim/scenario.hpp>
+
+int main() {
+  using namespace openspace;
+
+  std::printf("# Security study: ledger fraud detection and quarantine\n\n");
+  std::printf("%-12s %-10s %-12s %-12s %-12s %-14s\n", "fraud_x", "caught",
+              "suspected", "reputation", "quarantined", "reach_after");
+
+  for (const double fraudFactor : {1.0, 1.05, 1.25, 1.5, 2.0, 5.0}) {
+    // Three providers, shared constellation, real traffic epoch.
+    ScenarioConfig cfg;
+    cfg.providers = {{"honest-a", 22, 0.0, 0.08},
+                     {"mallory", 22, 0.0, 0.08},
+                     {"honest-b", 22, 0.0, 0.08}};
+    cfg.coordinatedWalker = true;
+    cfg.stations = {{"gw-a", Geodetic::fromDegrees(47.0, -122.0), 0},
+                    {"gw-m", Geodetic::fromDegrees(1.35, 103.82), 1},
+                    {"gw-b", Geodetic::fromDegrees(-1.29, 36.82), 2}};
+    cfg.users = {{"u-a", Geodetic::fromDegrees(40.44, -79.99), 0},
+                 {"u-b", Geodetic::fromDegrees(-33.87, 151.21), 2}};
+    cfg.seed = 13;
+    Scenario scenario(cfg);
+    scenario.runTrafficEpoch(0.0, 3.0, 2e6);
+    SettlementEngine& engine = scenario.settlement();
+
+    // Mallory (provider 2) inflates every carried-for-others entry.
+    const ProviderId mallory = scenario.providerId(1);
+    if (fraudFactor > 1.0) {
+      auto& book = const_cast<TrafficLedger&>(engine.ledger(mallory));
+      const auto entries = book.entries();  // copy: we mutate below
+      for (const auto& [key, bytes] : entries) {
+        if (key.first == mallory && key.second != mallory) {
+          book.record(key.first, key.second, bytes * (fraudFactor - 1.0));
+        }
+      }
+    }
+
+    const bool caught = !engine.crossVerify();
+    const auto findings = auditLedgers(engine);
+    ReputationTracker rep(0.7);
+    applyAuditFindings(findings, rep);
+    int suspectedMallory = 0;
+    for (const auto& f : findings) {
+      if (f.suspected == mallory) ++suspectedMallory;
+    }
+
+    // Routing availability for user A after quarantine enforcement.
+    const NetworkGraph g = scenario.snapshot(0.0);
+    const LinkCostFn cost = quarantineAwareCost(latencyCost(), rep);
+    const Route r =
+        shortestPath(g, scenario.userNode(0), scenario.homeGatewayOf(0), cost);
+
+    std::printf("%-12.2f %-10s %-12d %-12.3f %-12s %-14s\n", fraudFactor,
+                caught ? "yes" : "no", suspectedMallory, rep.score(mallory),
+                rep.quarantined(mallory) ? "yes" : "no",
+                r.valid() ? "routable" : "cut-off");
+  }
+
+  std::printf("\n# Reading: any inflation beyond tolerance is caught by\n"
+              "# cross-verification and witness arbitration pins it on the\n"
+              "# inflating carrier; large fraud crosses the quarantine\n"
+              "# threshold. Note the enforcement trade-off the last column\n"
+              "# exposes: cutting off a provider that owns a third of an\n"
+              "# interleaved fleet can partition service for users whose\n"
+              "# paths depended on it — quarantine has a coverage price.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Constellation planning: the decision tool a prospective OpenSpace
+// provider runs before committing capital.
+//
+// Given a candidate fleet size and design, it reports: demand-weighted
+// coverage (what customers experience), delta-v / propellant budgets for
+// slot acquisition (the §3 "maneuvering satellites into the desired orbit"
+// cost), total capex including licensing across example jurisdictions, and
+// how the numbers change if the provider joins an OpenSpace coalition
+// instead of going it alone.
+//
+//   $ ./constellation_planning
+#include <cstdio>
+
+#include <openspace/econ/capex.hpp>
+#include <openspace/econ/incentives.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/orbit/maneuver.hpp>
+#include <openspace/orbit/walker.hpp>
+#include <openspace/regulation/regime.hpp>
+#include <openspace/sim/population.hpp>
+
+int main() {
+  using namespace openspace;
+
+  // --- the candidate fleet ------------------------------------------------
+  WalkerConfig wc;
+  wc.totalSatellites = 18;
+  wc.planes = 3;
+  wc.phasing = 1;
+  wc.altitudeM = km(780.0);
+  wc.inclinationRad = deg2rad(53.0);
+  const auto fleet = makeWalkerDelta(wc);
+  std::printf("candidate fleet: %d satellites, %d planes, %.0f km, %.1f deg\n\n",
+              wc.totalSatellites, wc.planes, wc.altitudeM / 1e3,
+              rad2deg(wc.inclinationRad));
+
+  // --- what customers would experience -------------------------------------
+  const PopulationModel world = defaultWorldPopulation();
+  Rng rng(7);
+  const double demandCov =
+      world.demandWeightedCoverage(fleet, 0.0, deg2rad(10.0), 4000, rng);
+  std::printf("demand-weighted coverage (10 deg mask): %.1f%%\n",
+              100.0 * demandCov);
+
+  // --- maneuvering budget ---------------------------------------------------
+  // Rideshare drops the spacecraft at 500 km; each must raise to 780 km and
+  // phase into its slot (worst case: half a slot spacing of error).
+  const double worstPhaseError =
+      std::numbers::pi / (wc.totalSatellites / wc.planes);
+  const SlotAcquisition acq =
+      planSlotAcquisition(500e3, fleet.front(), worstPhaseError,
+                          /*dryMassKg=*/rfOnlySatellite().totalMassKg());
+  std::printf("\nslot acquisition per satellite:\n");
+  std::printf("  delta-v:     %.1f m/s\n", acq.totalDeltaVMps);
+  std::printf("  duration:    %.1f days\n", acq.totalDurationS / 86'400.0);
+  std::printf("  propellant:  %.1f kg (Isp 220 s)\n", acq.propellantKg);
+
+  // --- capex incl. regulation ------------------------------------------------
+  const SatelliteCostModel satModel = rfOnlySatellite();
+  const GroundStationCostModel gsModel;
+  const RegulatoryRegime regime = exampleGlobalRegime();
+  const double fleetCost = wc.totalSatellites * satModel.unitCostUsd();
+  const double stations = 2 * gsModel.unitCostUsd();
+  const double landing = regime.totalLandingFeesUsd(wc.totalSatellites);
+  const double propellantLaunch = wc.totalSatellites * acq.propellantKg *
+                                  satModel.launchUsdPerKg;
+  std::printf("\ncapex going it alone:\n");
+  std::printf("  fleet:              $%.1fM\n", fleetCost / 1e6);
+  std::printf("  2 ground stations:  $%.1fM\n", stations / 1e6);
+  std::printf("  landing rights:     $%.2fM (3 jurisdictions)\n", landing / 1e6);
+  std::printf("  maneuver propellant:$%.2fM (launch mass)\n",
+              propellantLaunch / 1e6);
+  std::printf("  total:              $%.1fM\n",
+              (fleetCost + stations + landing + propellantLaunch) / 1e6);
+
+  // --- joining a coalition -----------------------------------------------------
+  Rng crng(11);
+  std::vector<CoalitionMember> members;
+  members.push_back({"us", fleet});
+  Rng peers(13);
+  for (int i = 0; i < 3; ++i) {
+    members.push_back({"peer-" + std::to_string(i),
+                       makeRandomConstellation(18, km(780.0), peers)});
+  }
+  const auto analysis =
+      analyzeCoalition(members, 200e6, 0.0, deg2rad(10.0), 3000, 50, crng);
+  std::printf("\njoining a 4-provider OpenSpace coalition:\n");
+  std::printf("  coalition coverage:   %.1f%% (ours alone: %.1f%%)\n",
+              100.0 * analysis.coalitionCoverage,
+              100.0 * analysis.members[0].standaloneCoverage);
+  std::printf("  our revenue alone:    $%.1fM\n",
+              analysis.members[0].standaloneRevenueUsd / 1e6);
+  std::printf("  our coalition share:  $%.1fM (Shapley %.1f%%)\n",
+              analysis.members[0].coalitionRevenueUsd / 1e6,
+              100.0 * analysis.members[0].shapleyShare);
+  std::printf("  joining rational:     %s\n",
+              analysis.members[0].requiredTransferUsd <= 1e-6
+                  ? "yes"
+                  : "needs a side transfer");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: assemble a small multi-provider OpenSpace deployment with the
+// facade API, snapshot the topology, route a packet, and print the path.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include <openspace/core/network.hpp>
+#include <openspace/geo/units.hpp>
+
+int main() {
+  using namespace openspace;
+
+  OpenSpaceNetwork net;
+
+  // Two small providers pool their fleets.
+  const ProviderId northStar = net.registerProvider("NorthStar Orbital");
+  const ProviderId equatorLink = net.registerProvider("EquatorLink");
+
+  WalkerConfig wc;
+  wc.totalSatellites = 24;
+  wc.planes = 4;
+  wc.phasing = 1;
+  wc.altitudeM = km(780.0);
+  wc.inclinationRad = deg2rad(86.4);
+  const auto polarFleet = net.launchWalkerStar(northStar, wc);
+
+  // EquatorLink flies twenty-four satellites on uncoordinated orbits.
+  const auto equatorFleet = net.launchRandom(equatorLink, 24, km(780.0), 7);
+
+  // A couple of laser upgrades on the coordinated fleet.
+  net.equipLaserTerminal(polarFleet[0]);
+  net.equipLaserTerminal(polarFleet[1]);
+
+  // Ground segment: EquatorLink runs the gateway, NorthStar the user.
+  const NodeId gateway = net.addGroundStation(
+      equatorLink, "nairobi-gw", Geodetic::fromDegrees(-1.2921, 36.8219));
+  const NodeId user = net.addUser(northStar, "reykjavik-user",
+                                  Geodetic::fromDegrees(64.1466, -21.9426));
+
+  std::printf("OpenSpace quickstart: %zu satellites from %zu providers\n",
+              net.satelliteCount(), net.providers().size());
+
+  // Route at a few instants — the topology changes as satellites move.
+  SnapshotOptions opt;
+  opt.minElevationRad = deg2rad(5.0);
+  for (const double t : {0.0, 300.0, 600.0, 900.0, 1200.0, 1500.0}) {
+    const Route r = net.route(user, gateway, t, QosClass::Standard, opt);
+    if (!r.valid()) {
+      std::printf("t=%5.0fs: no path (user or gateway out of coverage)\n", t);
+      continue;
+    }
+    std::printf("t=%5.0fs: %d hops, %.2f ms propagation, bottleneck %.1f Mbps\n",
+                t, r.hops(), toMilliseconds(r.propagationDelayS),
+                r.bottleneckBps / 1e6);
+    const NetworkGraph g = net.topologyAt(t, opt);
+    std::printf("          path:");
+    for (const NodeId n : r.nodes) {
+      std::printf(" %s", g.node(n).name.c_str());
+    }
+    std::printf("\n");
+  }
+
+  // Coverage of the pooled fleet vs either provider alone — the OpenSpace
+  // pitch in one number.
+  const double pooled = net.coverageAt(0.0, deg2rad(10.0), 4000, 99);
+  std::printf("\npooled instantaneous coverage (10 deg mask): %.1f%%\n",
+              100.0 * pooled);
+  return 0;
+}

@@ -1,0 +1,124 @@
+#include <openspace/auth/association.hpp>
+
+#include <limits>
+
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/orbit/visibility.hpp>
+
+namespace openspace {
+
+std::string_view associationStateName(AssociationState s) noexcept {
+  switch (s) {
+    case AssociationState::Scanning: return "scanning";
+    case AssociationState::Authenticating: return "authenticating";
+    case AssociationState::Associated: return "associated";
+    case AssociationState::Disassociated: return "disassociated";
+  }
+  return "?";
+}
+
+AssociationAgent::AssociationAgent(UserId user, ProviderId home,
+                                   std::uint64_t userSecret, Geodetic location)
+    : user_(user), home_(home), secret_(userSecret), location_(location) {}
+
+std::optional<SatelliteId> AssociationAgent::selectSatellite(
+    const std::vector<BeaconMessage>& beacons, double tSeconds,
+    double minElevationRad) const {
+  // "The user can evaluate received beacons to identify which satellite is
+  // in closest range": positions come from the orbital elements each beacon
+  // advertises, not from a central service.
+  const Vec3 userEcef = geodeticToEcef(location_);
+  double bestRange = std::numeric_limits<double>::infinity();
+  std::optional<SatelliteId> best;
+  for (const BeaconMessage& b : beacons) {
+    const Vec3 satEcef = eciToEcef(positionEci(b.elements, tSeconds), tSeconds);
+    if (elevationAngleRad(userEcef, satEcef) < minElevationRad) continue;
+    const double range = userEcef.distanceTo(satEcef);
+    if (range < bestRange) {
+      bestRange = range;
+      best = b.satellite;
+    }
+  }
+  return best;
+}
+
+AssociationResult AssociationAgent::associate(
+    const std::vector<BeaconMessage>& beacons, const NetworkGraph& graph,
+    const TopologyBuilder& topo, const RadiusServer& homeServer,
+    NodeId homeGateway, double tSeconds, double minElevationRad,
+    const BeaconSchedule& schedule) {
+  AssociationResult out;
+  state_ = AssociationState::Scanning;
+  cert_.reset();
+  serving_.reset();
+
+  const auto chosen = selectSatellite(beacons, tSeconds, minElevationRad);
+  if (!chosen) {
+    out.failureReason = "no OpenSpace satellite above elevation mask";
+    return out;
+  }
+
+  // Link-layer association can only start at the satellite's next beacon.
+  const double beaconAt = schedule.nextBeaconTime(*chosen, tSeconds);
+  out.beaconScanLatencyS = beaconAt - tSeconds;
+
+  state_ = AssociationState::Authenticating;
+  const NodeId satNode = topo.nodeOf(*chosen);
+  out.servingSatellite = *chosen;
+  out.servingProvider = graph.node(satNode).provider;
+
+  // RADIUS round trip rides the ISL path serving-satellite -> home gateway.
+  const Route toHome = shortestPath(graph, satNode, homeGateway, latencyCost());
+  if (!toHome.valid()) {
+    out.failureReason = "home provider unreachable over ISLs";
+    state_ = AssociationState::Scanning;
+    return out;
+  }
+  // User->sat uplink leg + request + response (2x path) + processing.
+  const Vec3 userEcef = geodeticToEcef(location_);
+  const Vec3 satEcef =
+      eciToEcef(topo.ephemeris().positionEci(*chosen, beaconAt), beaconAt);
+  const double uplinkS = userEcef.distanceTo(satEcef) / kSpeedOfLightMps;
+  constexpr double kAaaProcessingS = 5e-3;
+  out.authLatencyS = 2.0 * (uplinkS + toHome.totalDelayS()) + kAaaProcessingS;
+
+  AccessRequest req;
+  req.user = user_;
+  req.homeProvider = home_;
+  req.nonce = std::to_string(user_) + '@' + std::to_string(beaconAt);
+  req.credentialProof = RadiusServer::proveCredential(secret_, req.nonce);
+  const double authDoneS = beaconAt + out.authLatencyS;
+  const AccessResponse resp = homeServer.authenticate(req, authDoneS);
+  if (!resp.accepted) {
+    out.failureReason = "RADIUS reject: " + resp.reason;
+    state_ = AssociationState::Scanning;
+    return out;
+  }
+
+  cert_ = resp.certificate;
+  serving_ = *chosen;
+  state_ = AssociationState::Associated;
+  out.success = true;
+  out.certificate = resp.certificate;
+  out.totalLatencyS = out.beaconScanLatencyS + out.authLatencyS;
+  return out;
+}
+
+void AssociationAgent::moveTo(Geodetic newLocation) {
+  // Leaving the region invalidates the association (paper: the user must
+  // run association + authentication again; rare vs. satellite handoffs).
+  location_ = newLocation;
+  state_ = AssociationState::Disassociated;
+  serving_.reset();
+  cert_.reset();
+}
+
+void AssociationAgent::adoptSuccessor(SatelliteId successor) {
+  if (state_ != AssociationState::Associated) {
+    throw StateError("adoptSuccessor: user is not associated");
+  }
+  serving_ = successor;
+}
+
+}  // namespace openspace

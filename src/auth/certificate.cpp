@@ -1,0 +1,53 @@
+#include <openspace/auth/certificate.hpp>
+
+#include <openspace/geo/error.hpp>
+
+namespace openspace {
+
+std::uint64_t keyedTag(std::uint64_t key, const std::string& data) {
+  // FNV-1a seeded with the key, then finalized with a splitmix round.
+  std::uint64_t h = 1469598103934665603ull ^ key;
+  for (const char ch : data) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return h;
+}
+
+CertificateAuthority::CertificateAuthority(ProviderId provider,
+                                           std::uint64_t secret, double lifetimeS)
+    : provider_(provider), secret_(secret), lifetimeS_(lifetimeS) {
+  if (lifetimeS <= 0.0) {
+    throw InvalidArgumentError("CertificateAuthority: lifetime must be > 0");
+  }
+}
+
+std::uint64_t CertificateAuthority::expectedTag(const Certificate& cert) const {
+  return keyedTag(secret_, std::to_string(cert.user) + '|' +
+                               std::to_string(cert.homeProvider) + '|' +
+                               std::to_string(cert.issuedAtS) + '|' +
+                               std::to_string(cert.expiresAtS));
+}
+
+Certificate CertificateAuthority::issue(UserId user, double nowS) const {
+  Certificate cert;
+  cert.user = user;
+  cert.homeProvider = provider_;
+  cert.issuedAtS = nowS;
+  cert.expiresAtS = nowS + lifetimeS_;
+  cert.tag = expectedTag(cert);
+  return cert;
+}
+
+bool CertificateAuthority::verify(const Certificate& cert, double nowS) const {
+  if (cert.homeProvider != provider_) return false;
+  if (cert.expired(nowS)) return false;
+  return cert.tag == expectedTag(cert);
+}
+
+}  // namespace openspace

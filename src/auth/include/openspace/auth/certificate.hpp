@@ -1,0 +1,60 @@
+// Roaming certificates.
+//
+// §2.2: "The user's home provider should assign the user a digital
+// certificate to inform other satellite providers that the user has been
+// authenticated by their home network." Certificates here carry an HMAC-
+// style tag keyed by the issuing provider's secret.
+//
+// NOTE: the tag is a simulation-grade keyed hash (64-bit FNV-based), NOT
+// cryptographic material — the library models the protocol economics and
+// latency, not real key management.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include <openspace/orbit/ephemeris.hpp>
+
+namespace openspace {
+
+using UserId = std::uint64_t;
+
+/// A roaming credential issued by a user's home ISP after authentication.
+struct Certificate {
+  UserId user = 0;
+  ProviderId homeProvider = 0;
+  double issuedAtS = 0.0;
+  double expiresAtS = 0.0;
+  std::uint64_t tag = 0;  ///< Keyed integrity tag.
+
+  bool expired(double nowS) const noexcept { return nowS >= expiresAtS; }
+};
+
+/// Simulation-grade keyed hash over arbitrary bytes.
+std::uint64_t keyedTag(std::uint64_t key, const std::string& data);
+
+/// Per-provider certificate authority.
+class CertificateAuthority {
+ public:
+  /// `secret` is the provider's signing key; `lifetimeS` the validity span.
+  CertificateAuthority(ProviderId provider, std::uint64_t secret,
+                       double lifetimeS = 86'400.0);
+
+  /// Issue a certificate for an authenticated user at time `nowS`.
+  Certificate issue(UserId user, double nowS) const;
+
+  /// Verify a certificate claimed to be issued by this authority: checks
+  /// provider, expiry and tag. (A visited ISP holds a verification key per
+  /// federation member; modeled as shared knowledge of the secret.)
+  bool verify(const Certificate& cert, double nowS) const;
+
+  ProviderId provider() const noexcept { return provider_; }
+
+ private:
+  std::uint64_t expectedTag(const Certificate& cert) const;
+  ProviderId provider_;
+  std::uint64_t secret_;
+  double lifetimeS_;
+};
+
+}  // namespace openspace

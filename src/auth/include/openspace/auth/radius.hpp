@@ -1,0 +1,58 @@
+// RADIUS-style home-ISP authentication.
+//
+// §2.2: "Upon initial association, the user device identifies its home ISP
+// and proceeds to authenticate with it through a standardized protocol such
+// as RADIUS. ... an association request from a user has to be authenticated
+// by their home satellite provider, and this can be done through ISLs."
+#pragma once
+
+#include <unordered_map>
+
+#include <openspace/auth/certificate.hpp>
+
+namespace openspace {
+
+/// Access-Request as carried over the ISL path to the home provider.
+struct AccessRequest {
+  UserId user = 0;
+  ProviderId homeProvider = 0;
+  std::uint64_t credentialProof = 0;  ///< keyedTag(userSecret, nonce).
+  std::string nonce;
+};
+
+/// Access-Accept / Access-Reject.
+struct AccessResponse {
+  bool accepted = false;
+  std::string reason;
+  Certificate certificate;  ///< Valid only when accepted.
+};
+
+/// The home provider's AAA server.
+class RadiusServer {
+ public:
+  RadiusServer(ProviderId provider, std::uint64_t caSecret,
+               double certLifetimeS = 86'400.0);
+
+  /// Provision a subscriber with a shared secret.
+  void enroll(UserId user, std::uint64_t userSecret);
+
+  /// Remove a subscriber. Throws NotFoundError if unknown.
+  void revoke(UserId user);
+
+  /// Process an Access-Request at time `nowS`.
+  AccessResponse authenticate(const AccessRequest& req, double nowS) const;
+
+  /// Client-side helper: build the proof a genuine subscriber would send.
+  static std::uint64_t proveCredential(std::uint64_t userSecret,
+                                       const std::string& nonce);
+
+  const CertificateAuthority& authority() const noexcept { return ca_; }
+  ProviderId provider() const noexcept { return ca_.provider(); }
+  std::size_t subscriberCount() const noexcept { return secrets_.size(); }
+
+ private:
+  CertificateAuthority ca_;
+  std::unordered_map<UserId, std::uint64_t> secrets_;
+};
+
+}  // namespace openspace

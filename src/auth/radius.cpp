@@ -1,0 +1,47 @@
+#include <openspace/auth/radius.hpp>
+
+#include <openspace/geo/error.hpp>
+
+namespace openspace {
+
+RadiusServer::RadiusServer(ProviderId provider, std::uint64_t caSecret,
+                           double certLifetimeS)
+    : ca_(provider, caSecret, certLifetimeS) {}
+
+void RadiusServer::enroll(UserId user, std::uint64_t userSecret) {
+  secrets_[user] = userSecret;
+}
+
+void RadiusServer::revoke(UserId user) {
+  if (secrets_.erase(user) == 0) {
+    throw NotFoundError("RadiusServer::revoke: unknown user");
+  }
+}
+
+std::uint64_t RadiusServer::proveCredential(std::uint64_t userSecret,
+                                            const std::string& nonce) {
+  return keyedTag(userSecret, nonce);
+}
+
+AccessResponse RadiusServer::authenticate(const AccessRequest& req,
+                                          double nowS) const {
+  AccessResponse resp;
+  if (req.homeProvider != ca_.provider()) {
+    resp.reason = "request routed to wrong home provider";
+    return resp;
+  }
+  const auto it = secrets_.find(req.user);
+  if (it == secrets_.end()) {
+    resp.reason = "unknown subscriber";
+    return resp;
+  }
+  if (req.credentialProof != proveCredential(it->second, req.nonce)) {
+    resp.reason = "credential proof mismatch";
+    return resp;
+  }
+  resp.accepted = true;
+  resp.certificate = ca_.issue(req.user, nowS);
+  return resp;
+}
+
+}  // namespace openspace

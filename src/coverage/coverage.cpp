@@ -1,0 +1,136 @@
+#include <openspace/coverage/coverage.hpp>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/wgs84.hpp>
+#include <openspace/orbit/visibility.hpp>
+
+namespace openspace {
+
+double capAreaFraction(double halfAngleRad) {
+  if (halfAngleRad < 0.0) {
+    throw InvalidArgumentError("capAreaFraction: negative half-angle");
+  }
+  return (1.0 - std::cos(std::min(halfAngleRad, std::numbers::pi))) / 2.0;
+}
+
+CoverageEstimate worstCaseOverlapCoverage(const std::vector<OrbitalElements>& sats,
+                                          double tSeconds,
+                                          double minElevationRad) {
+  CoverageEstimate est;
+  if (sats.empty()) return est;
+
+  // Per-satellite footprint half-angles (altitude varies per orbit) and
+  // sub-satellite unit vectors.
+  std::vector<double> halfAngle(sats.size());
+  std::vector<Vec3> dir(sats.size());
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    const Vec3 pos = positionEci(sats[i], tSeconds);
+    const double alt = pos.norm() - wgs84::kMeanRadiusM;
+    halfAngle[i] = footprintHalfAngleRad(std::max(alt, 1.0), minElevationRad);
+    dir[i] = pos.normalized();
+  }
+
+  // Worst-case pairwise collapse: caps overlap when the central angle
+  // between sub-points is below the sum of their half-angles; each
+  // overlapping *pair* contributes the coverage of a single satellite
+  // (greedy maximal matching over the overlap graph — a satellite is
+  // absorbed into at most one pair, matching the paper's phrasing "two
+  // satellites have completely overlapping ground coverage").
+  std::vector<bool> absorbed(sats.size(), false);
+  int effective = static_cast<int>(sats.size());
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    if (absorbed[i]) continue;
+    for (std::size_t j = i + 1; j < sats.size(); ++j) {
+      if (absorbed[j]) continue;
+      if (angleBetween(dir[i], dir[j]) < halfAngle[i] + halfAngle[j]) {
+        absorbed[i] = absorbed[j] = true;  // the pair counts as one cap
+        --effective;
+        break;
+      }
+    }
+  }
+  est.effectiveSatellites = effective;
+
+  // Worst case: each component contributes a single cap (use the mean cap
+  // fraction so heterogeneous altitudes average out).
+  double meanCap = 0.0;
+  for (const double h : halfAngle) meanCap += capAreaFraction(h);
+  meanCap /= static_cast<double>(sats.size());
+  est.coverageFraction = std::min(1.0, est.effectiveSatellites * meanCap);
+  return est;
+}
+
+CoverageEstimate monteCarloCoverage(const std::vector<OrbitalElements>& sats,
+                                    double tSeconds, double minElevationRad,
+                                    int samples, Rng& rng) {
+  if (samples <= 0) {
+    throw InvalidArgumentError("monteCarloCoverage: samples must be > 0");
+  }
+  CoverageEstimate est;
+  est.effectiveSatellites = static_cast<int>(sats.size());
+  if (sats.empty()) return est;
+
+  std::vector<Vec3> eci(sats.size());
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    eci[i] = positionEci(sats[i], tSeconds);
+  }
+  int covered = 0;
+  for (int s = 0; s < samples; ++s) {
+    // Sample in ECI directly: coverage of the sphere is rotation-invariant.
+    const Vec3 point = rng.unitSphere() * wgs84::kMeanRadiusM;
+    for (const Vec3& sat : eci) {
+      if (elevationAngleRad(point, sat) >= minElevationRad) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  est.coverageFraction = static_cast<double>(covered) / samples;
+  return est;
+}
+
+double timeAveragedCoverage(const std::vector<OrbitalElements>& sats, double t0,
+                            double t1, int steps, double minElevationRad,
+                            int samplesPerStep, Rng& rng) {
+  if (steps <= 0) {
+    throw InvalidArgumentError("timeAveragedCoverage: steps must be > 0");
+  }
+  if (t1 < t0) throw InvalidArgumentError("timeAveragedCoverage: t1 < t0");
+  double acc = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double t =
+        (steps == 1) ? t0 : t0 + (t1 - t0) * static_cast<double>(i) / (steps - 1);
+    acc += monteCarloCoverage(sats, t, minElevationRad, samplesPerStep, rng)
+               .coverageFraction;
+  }
+  return acc / steps;
+}
+
+double kFoldCoverage(const std::vector<OrbitalElements>& sats, double tSeconds,
+                     double minElevationRad, int k, int samples, Rng& rng) {
+  if (k <= 0) throw InvalidArgumentError("kFoldCoverage: k must be > 0");
+  if (samples <= 0) {
+    throw InvalidArgumentError("kFoldCoverage: samples must be > 0");
+  }
+  if (sats.empty()) return 0.0;
+  std::vector<Vec3> eci(sats.size());
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    eci[i] = positionEci(sats[i], tSeconds);
+  }
+  int covered = 0;
+  for (int s = 0; s < samples; ++s) {
+    const Vec3 point = rng.unitSphere() * wgs84::kMeanRadiusM;
+    int seen = 0;
+    for (const Vec3& sat : eci) {
+      if (elevationAngleRad(point, sat) >= minElevationRad && ++seen >= k) break;
+    }
+    if (seen >= k) ++covered;
+  }
+  return static_cast<double>(covered) / samples;
+}
+
+}  // namespace openspace

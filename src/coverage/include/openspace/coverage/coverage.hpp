@@ -1,0 +1,59 @@
+// Earth-coverage estimation (paper §4, Figure 2(c)).
+//
+// Two estimators:
+//  * worstCaseOverlapCoverage — the paper's conservative model: "if there
+//    is any overlap between a pair of satellite ranges, their effective
+//    coverage will be reduced to that of a single satellite — that is, we
+//    take the worst case where two satellites have completely overlapping
+//    ground coverage." Each overlapping pair of footprints counts as a
+//    single footprint (greedy maximal matching over the overlap graph).
+//  * monteCarloCoverage — area-uniform surface sampling against the true
+//    union of footprints (the optimistic/exact counterpart, provided for
+//    the ablation DESIGN.md §5(1) calls out).
+#pragma once
+
+#include <vector>
+
+#include <openspace/geo/rng.hpp>
+#include <openspace/orbit/elements.hpp>
+
+namespace openspace {
+
+/// Fraction of the sphere covered by one spherical cap of half-angle
+/// `halfAngleRad`: (1 - cos(halfAngle)) / 2.
+double capAreaFraction(double halfAngleRad);
+
+/// Coverage summary at one instant.
+struct CoverageEstimate {
+  double coverageFraction = 0.0;  ///< [0, 1].
+  int effectiveSatellites = 0;    ///< After worst-case overlap collapse
+                                  ///< (== satellite count for Monte Carlo).
+};
+
+/// The paper's worst-case overlap model at time `tSeconds`: satellites
+/// whose footprints overlap merge into one effective footprint; coverage =
+/// min(1, effectiveCount * capFraction). Throws InvalidArgumentError on a
+/// bad elevation mask.
+CoverageEstimate worstCaseOverlapCoverage(
+    const std::vector<OrbitalElements>& sats, double tSeconds,
+    double minElevationRad);
+
+/// Monte-Carlo union coverage at time `tSeconds` using `samples`
+/// area-uniform surface points. Deterministic given the Rng.
+CoverageEstimate monteCarloCoverage(const std::vector<OrbitalElements>& sats,
+                                    double tSeconds, double minElevationRad,
+                                    int samples, Rng& rng);
+
+/// Time-averaged Monte-Carlo coverage over [t0, t1] sampled at `steps`
+/// instants (useful for constellations whose instantaneous coverage
+/// oscillates as planes rotate).
+double timeAveragedCoverage(const std::vector<OrbitalElements>& sats, double t0,
+                            double t1, int steps, double minElevationRad,
+                            int samplesPerStep, Rng& rng);
+
+/// Fraction of `samples` surface points that see at least `k` satellites
+/// (k-fold coverage: the redundancy §4 says extra satellites buy).
+double kFoldCoverage(const std::vector<OrbitalElements>& sats, double tSeconds,
+                     double minElevationRad, int k, int samples, Rng& rng);
+
+}  // namespace openspace

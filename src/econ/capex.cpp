@@ -1,0 +1,71 @@
+#include <openspace/econ/capex.hpp>
+
+#include <openspace/geo/error.hpp>
+
+namespace openspace {
+
+double SatelliteCostModel::totalMassKg() const {
+  double mass = busMassKg;
+  for (const TerminalSpec& t : terminals) mass += t.massKg;
+  return mass;
+}
+
+double SatelliteCostModel::unitCostUsd() const {
+  double cost = busCostUsd + integrationCostUsd + fccLicensingUsd;
+  for (const TerminalSpec& t : terminals) cost += t.unitCostUsd;
+  cost += totalMassKg() * launchUsdPerKg;
+  return cost;
+}
+
+double DeploymentPlan::capexUsd() const {
+  return satellites * satelliteModel.unitCostUsd() +
+         groundStations * stationModel.unitCostUsd();
+}
+
+CollaborationCosts collaborationCosts(int providers, int totalSatellites,
+                                      int totalStations,
+                                      const SatelliteCostModel& satModel,
+                                      const GroundStationCostModel& gsModel) {
+  if (providers <= 0 || totalSatellites <= 0 || totalStations < 0) {
+    throw InvalidArgumentError("collaborationCosts: non-positive inputs");
+  }
+  CollaborationCosts out;
+  out.monolithicCapexUsd = totalSatellites * satModel.unitCostUsd() +
+                           totalStations * gsModel.unitCostUsd();
+
+  // Even split with remainders assigned to the first providers; the
+  // per-provider figure reported is the largest share (worst case to join).
+  const int satBase = totalSatellites / providers;
+  const int satExtra = totalSatellites % providers;
+  const int gsBase = totalStations / providers;
+  const int gsExtra = totalStations % providers;
+
+  double total = 0.0;
+  double maxShare = 0.0;
+  for (int p = 0; p < providers; ++p) {
+    const int sats = satBase + (p < satExtra ? 1 : 0);
+    const int stations = gsBase + (p < gsExtra ? 1 : 0);
+    const double share =
+        sats * satModel.unitCostUsd() + stations * gsModel.unitCostUsd();
+    total += share;
+    maxShare = std::max(maxShare, share);
+  }
+  out.perProviderCapexUsd = maxShare;
+  out.totalCollaborativeUsd = total;
+  return out;
+}
+
+SatelliteCostModel rfOnlySatellite() {
+  SatelliteCostModel m;
+  m.terminals = {terminals::sBandIsl(), terminals::uhfIsl(), terminals::kuGround()};
+  return m;
+}
+
+SatelliteCostModel laserEquippedSatellite() {
+  SatelliteCostModel m;
+  m.terminals = {terminals::sBandIsl(), terminals::uhfIsl(), terminals::kuGround(),
+                 terminals::laserIsl(), terminals::laserIsl()};
+  return m;
+}
+
+}  // namespace openspace

@@ -1,0 +1,74 @@
+// Capital-expenditure model (paper §3).
+//
+// "Manufacturing and launching satellites poses a significant cost, due to
+// cost of materials, the expertise required ..., paying for licensing
+// requirements, and launching and maneuvering satellites into the desired
+// orbit." Anchors from the paper: the FCC's proposed small-satellite
+// regulatory fee of ~$12,145, and the ~$500k laser terminal premium. The
+// model exists to quantify §4's thesis: collaboration lets small providers
+// reach service viability at a fraction of the go-it-alone cost.
+#pragma once
+
+#include <vector>
+
+#include <openspace/phy/terminal.hpp>
+
+namespace openspace {
+
+/// Cost parameters (USD) for building + flying one satellite class.
+struct SatelliteCostModel {
+  double busCostUsd = 1.2e6;         ///< Structure, power, ADCS, OBC.
+  double integrationCostUsd = 0.3e6; ///< Assembly, test, campaign.
+  double launchUsdPerKg = 5'500.0;   ///< Rideshare-class pricing.
+  double busMassKg = 95.0;           ///< Mass before comm terminals.
+  double fccLicensingUsd = 12'145.0; ///< Paper's FCC small-sat fee.
+  std::vector<TerminalSpec> terminals;  ///< Comm payload (adds cost + mass).
+
+  /// Total unit cost: bus + integration + terminals + launch(mass) + fee.
+  double unitCostUsd() const;
+  /// Total launch mass including terminals.
+  double totalMassKg() const;
+};
+
+/// Ground segment cost parameters.
+struct GroundStationCostModel {
+  double siteCostUsd = 1.5e6;      ///< Land, civil works, backhaul.
+  double antennaCostUsd = 650'000; ///< The OS-KU-GS class dish.
+  double annualOpexUsd = 200'000;
+
+  double unitCostUsd() const { return siteCostUsd + antennaCostUsd; }
+};
+
+/// A provider's deployment plan.
+struct DeploymentPlan {
+  int satellites = 0;
+  int groundStations = 0;
+  SatelliteCostModel satelliteModel;
+  GroundStationCostModel stationModel;
+
+  double capexUsd() const;
+};
+
+/// Cost of a collaboration of `providers` splitting `totalSatellites` and
+/// `totalStations` evenly (remainders to the first providers); per-provider
+/// outlay is what a small firm must raise up-front to join OpenSpace,
+/// versus the full-constellation cost a monolith must raise.
+struct CollaborationCosts {
+  double monolithicCapexUsd = 0.0;    ///< One firm builds everything.
+  double perProviderCapexUsd = 0.0;   ///< Max single share under the split.
+  double totalCollaborativeUsd = 0.0; ///< Sum over providers (== monolithic
+                                      ///< up to integer split effects).
+};
+
+/// Throws InvalidArgumentError for non-positive providers/satellites.
+CollaborationCosts collaborationCosts(int providers, int totalSatellites,
+                                      int totalStations,
+                                      const SatelliteCostModel& satModel,
+                                      const GroundStationCostModel& gsModel);
+
+/// Standard cost models: an RF-only smallsat and a laser-equipped one
+/// (carries 2 laser terminals + S-band, per typical +grid fits).
+SatelliteCostModel rfOnlySatellite();
+SatelliteCostModel laserEquippedSatellite();
+
+}  // namespace openspace

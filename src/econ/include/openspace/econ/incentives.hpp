@@ -1,0 +1,71 @@
+// Collaboration incentives (paper §5(4)).
+//
+// "How can larger satellite provider companies be incentivized to join
+// OpenSpace and collaborate with smaller providers? ... it is worth
+// expanding the cost model presented in Section 3 to include an incentive
+// for this collaboration."
+//
+// Model: a provider's revenue is marketUsd * coverage^q with q > 1 (the
+// continuity premium: the paper notes patchwork coverage "for a patchwork
+// of regions around the globe rather than continuous global coverage" is
+// commercially weak, so revenue grows superlinearly in coverage). Inside a
+// coalition the pooled fleet's coverage is sold once and split among
+// members by their (sampled-Shapley) marginal contribution.
+// analyzeCoalition() asks, per provider: is my coalition share at least my
+// standalone revenue — and if not, what side transfer makes joining
+// rational (the §5(4) incentive)?
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <openspace/coverage/coverage.hpp>
+
+namespace openspace {
+
+/// One provider's fleet for the incentive analysis.
+struct CoalitionMember {
+  std::string name;
+  std::vector<OrbitalElements> fleet;
+};
+
+/// Per-member outcome.
+struct MemberIncentive {
+  std::string name;
+  double standaloneCoverage = 0.0;
+  double standaloneRevenueUsd = 0.0;
+  double shapleyShare = 0.0;         ///< Fraction of coalition revenue.
+  double coalitionRevenueUsd = 0.0;  ///< shapleyShare * total revenue.
+  /// Transfer (> 0) needed on top of the Shapley share to match the
+  /// standalone revenue. Zero when joining is already rational.
+  double requiredTransferUsd = 0.0;
+};
+
+/// Full analysis result.
+struct CoalitionAnalysis {
+  double coalitionCoverage = 0.0;
+  double coalitionRevenueUsd = 0.0;
+  double sumStandaloneRevenueUsd = 0.0;
+  /// Coverage synergy: union coverage minus the best single member's.
+  double coverageSynergy = 0.0;
+  std::vector<MemberIncentive> members;
+
+  /// True if every member's Shapley share >= its standalone revenue (the
+  /// coalition is stable without side payments).
+  bool selfEnforcing() const;
+};
+
+/// Run the analysis: coverage via Monte-Carlo sampling at time `tSeconds`
+/// with mask `minElevationRad`; Shapley values estimated with
+/// `shapleySamples` random permutations (deterministic given rng).
+/// Throws InvalidArgumentError for an empty coalition, non-positive market
+/// size or samples.
+/// `qualityExponent` (> 1 for a continuity premium, default 2) controls how
+/// strongly revenue rewards contiguous coverage.
+CoalitionAnalysis analyzeCoalition(const std::vector<CoalitionMember>& members,
+                                   double marketUsd, double tSeconds,
+                                   double minElevationRad, int coverageSamples,
+                                   int shapleySamples, Rng& rng,
+                                   double qualityExponent = 2.0);
+
+}  // namespace openspace

@@ -1,0 +1,111 @@
+// Traffic accounting and settlement (paper §3).
+//
+// The OpenSpace cost model: the home ISP controls the full route of its
+// users' traffic, so "the volume of traffic along this path is tracked by
+// all parties involved to create an easily cross-verifiable account of the
+// extent to which any given ISP's traffic was carried by the rest of the
+// network." Monetary rates are bilateral, like BGP transit agreements.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <openspace/routing/route.hpp>
+
+namespace openspace {
+
+/// One provider's view of carried traffic: (carrier, trafficOwner) -> bytes.
+class TrafficLedger {
+ public:
+  explicit TrafficLedger(ProviderId observer) : observer_(observer) {}
+
+  /// Record that `carrier` carried `bytes` of traffic owned by `owner`.
+  /// Throws InvalidArgumentError for negative byte counts.
+  void record(ProviderId carrier, ProviderId owner, double bytes);
+
+  /// Bytes `carrier` carried for `owner` according to this observer.
+  double carriedBytes(ProviderId carrier, ProviderId owner) const noexcept;
+
+  /// Total bytes carried by `carrier` for anyone but itself.
+  double totalTransitBytes(ProviderId carrier) const noexcept;
+
+  ProviderId observer() const noexcept { return observer_; }
+  const std::map<std::pair<ProviderId, ProviderId>, double>& entries()
+      const noexcept {
+    return entries_;
+  }
+
+ private:
+  ProviderId observer_;
+  std::map<std::pair<ProviderId, ProviderId>, double> entries_;
+};
+
+/// A bilateral tariff: what `carrier` charges `owner` per GB of transit.
+struct Tariff {
+  ProviderId carrier = 0;
+  ProviderId owner = 0;  ///< 0 = default rate for any owner.
+  double usdPerGb = 0.0;
+};
+
+/// A settlement line item.
+struct SettlementItem {
+  ProviderId payer = 0;    ///< Traffic owner.
+  ProviderId payee = 0;    ///< Carrier.
+  double bytes = 0.0;
+  double amountUsd = 0.0;
+};
+
+/// A detected peering opportunity (§3: providers routing similar volumes
+/// through each other "may decide to peer").
+struct PeeringSuggestion {
+  ProviderId a = 0;
+  ProviderId b = 0;
+  double aCarriedForB = 0.0;  ///< bytes
+  double bCarriedForA = 0.0;  ///< bytes
+  double symmetry = 0.0;      ///< min/max of the two volumes, in [0, 1].
+};
+
+/// Network-wide accounting engine: maintains every provider's ledger,
+/// attributes route traffic to carriers, cross-verifies, and settles.
+class SettlementEngine {
+ public:
+  /// Register a provider (creates its ledger). Idempotent.
+  void addProvider(ProviderId p);
+
+  /// Set a bilateral (or default, owner == 0) transit tariff.
+  /// Throws InvalidArgumentError for negative rates.
+  void setTariff(const Tariff& t);
+
+  /// Tariff `carrier` charges `owner` (bilateral if set, else carrier's
+  /// default, else 0).
+  double tariffUsdPerGb(ProviderId carrier, ProviderId owner) const noexcept;
+
+  /// Attribute `bytes` of `owner` traffic along `route` in `graph`: for
+  /// each hop, the carrier is the provider of the transmitting (upstream)
+  /// node; hops carried by `owner` itself are free. Every involved party's
+  /// ledger records every hop (full-path visibility, §3).
+  void recordRouteTraffic(const NetworkGraph& graph, const Route& route,
+                          ProviderId owner, double bytes);
+
+  /// True if all providers' ledgers agree on every (carrier, owner) pair
+  /// within `toleranceBytes`.
+  bool crossVerify(double toleranceBytes = 0.5) const;
+
+  /// Compute who owes whom: sum of carried bytes x tariff.
+  std::vector<SettlementItem> settle() const;
+
+  /// Pairs of providers whose mutual carriage symmetry exceeds
+  /// `minSymmetry` and whose volumes exceed `minBytes` in both directions.
+  std::vector<PeeringSuggestion> recommendPeering(double minSymmetry = 0.7,
+                                                  double minBytes = 1.0) const;
+
+  const TrafficLedger& ledger(ProviderId p) const;
+  std::vector<ProviderId> providers() const;
+
+ private:
+  std::map<ProviderId, TrafficLedger> ledgers_;
+  std::map<std::pair<ProviderId, ProviderId>, double> tariffs_;
+};
+
+}  // namespace openspace

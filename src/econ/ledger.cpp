@@ -1,0 +1,164 @@
+#include <openspace/econ/ledger.hpp>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <openspace/geo/error.hpp>
+
+namespace openspace {
+
+void TrafficLedger::record(ProviderId carrier, ProviderId owner, double bytes) {
+  if (bytes < 0.0) {
+    throw InvalidArgumentError("TrafficLedger::record: negative bytes");
+  }
+  entries_[{carrier, owner}] += bytes;
+}
+
+double TrafficLedger::carriedBytes(ProviderId carrier,
+                                   ProviderId owner) const noexcept {
+  const auto it = entries_.find({carrier, owner});
+  return it == entries_.end() ? 0.0 : it->second;
+}
+
+double TrafficLedger::totalTransitBytes(ProviderId carrier) const noexcept {
+  double total = 0.0;
+  for (const auto& [key, bytes] : entries_) {
+    if (key.first == carrier && key.second != carrier) total += bytes;
+  }
+  return total;
+}
+
+void SettlementEngine::addProvider(ProviderId p) {
+  ledgers_.try_emplace(p, TrafficLedger(p));
+}
+
+void SettlementEngine::setTariff(const Tariff& t) {
+  if (t.usdPerGb < 0.0) {
+    throw InvalidArgumentError("SettlementEngine::setTariff: negative rate");
+  }
+  tariffs_[{t.carrier, t.owner}] = t.usdPerGb;
+}
+
+double SettlementEngine::tariffUsdPerGb(ProviderId carrier,
+                                        ProviderId owner) const noexcept {
+  const auto bilateral = tariffs_.find({carrier, owner});
+  if (bilateral != tariffs_.end()) return bilateral->second;
+  const auto fallback = tariffs_.find({carrier, ProviderId{0}});
+  return fallback == tariffs_.end() ? 0.0 : fallback->second;
+}
+
+void SettlementEngine::recordRouteTraffic(const NetworkGraph& graph,
+                                          const Route& route, ProviderId owner,
+                                          double bytes) {
+  if (!route.valid()) {
+    throw InvalidArgumentError("recordRouteTraffic: invalid route");
+  }
+  if (bytes < 0.0) {
+    throw InvalidArgumentError("recordRouteTraffic: negative bytes");
+  }
+  addProvider(owner);
+
+  // Parties involved in the path: every provider owning a node on it.
+  std::set<ProviderId> involved{owner};
+  for (const NodeId n : route.nodes) involved.insert(graph.node(n).provider);
+  for (const ProviderId p : involved) addProvider(p);
+
+  // Hop i is transmitted by nodes[i]; its provider is the carrier.
+  for (std::size_t i = 0; i < route.links.size(); ++i) {
+    const ProviderId carrier = graph.node(route.nodes[i]).provider;
+    if (carrier == owner) continue;  // own infrastructure is free
+    for (const ProviderId p : involved) {
+      ledgers_.at(p).record(carrier, owner, bytes);
+    }
+  }
+}
+
+bool SettlementEngine::crossVerify(double toleranceBytes) const {
+  // Union of all (carrier, owner) keys seen by anyone.
+  std::set<std::pair<ProviderId, ProviderId>> keys;
+  for (const auto& [p, ledger] : ledgers_) {
+    for (const auto& [key, bytes] : ledger.entries()) keys.insert(key);
+  }
+  // The two transacting parties (carrier and owner) each observe *every*
+  // path carrying that owner's traffic over that carrier's assets, so their
+  // books must agree exactly. A third party only participates in some of
+  // those paths: its book is a witnessed subset, bounded above by the
+  // transacting parties' totals.
+  for (const auto& [carrier, owner] : keys) {
+    const auto lc = ledgers_.find(carrier);
+    const auto lo = ledgers_.find(owner);
+    if (lc == ledgers_.end() || lo == ledgers_.end()) return false;
+    const double byCarrier = lc->second.carriedBytes(carrier, owner);
+    const double byOwner = lo->second.carriedBytes(carrier, owner);
+    if (std::abs(byCarrier - byOwner) > toleranceBytes) return false;
+    for (const auto& [p, ledger] : ledgers_) {
+      if (p == carrier || p == owner) continue;
+      if (ledger.carriedBytes(carrier, owner) >
+          byCarrier + toleranceBytes) {
+        return false;  // a witness claims more than the principals saw
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<SettlementItem> SettlementEngine::settle() const {
+  // Use each carrier's own ledger as the billing record (cross-verification
+  // is the fraud check).
+  std::vector<SettlementItem> items;
+  for (const auto& [p, ledger] : ledgers_) {
+    for (const auto& [key, bytes] : ledger.entries()) {
+      const auto& [carrier, owner] = key;
+      if (carrier != p || owner == carrier || bytes <= 0.0) continue;
+      SettlementItem item;
+      item.payer = owner;
+      item.payee = carrier;
+      item.bytes = bytes;
+      item.amountUsd = bytes / 1e9 * tariffUsdPerGb(carrier, owner);
+      items.push_back(item);
+    }
+  }
+  return items;
+}
+
+std::vector<PeeringSuggestion> SettlementEngine::recommendPeering(
+    double minSymmetry, double minBytes) const {
+  std::vector<PeeringSuggestion> out;
+  std::vector<ProviderId> ps = providers();
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    for (std::size_t j = i + 1; j < ps.size(); ++j) {
+      const ProviderId a = ps[i];
+      const ProviderId b = ps[j];
+      // Volumes per each carrier's own books.
+      const auto la = ledgers_.find(a);
+      const auto lb = ledgers_.find(b);
+      if (la == ledgers_.end() || lb == ledgers_.end()) continue;
+      const double aForB = la->second.carriedBytes(a, b);
+      const double bForA = lb->second.carriedBytes(b, a);
+      if (aForB < minBytes || bForA < minBytes) continue;
+      const double sym = std::min(aForB, bForA) / std::max(aForB, bForA);
+      if (sym >= minSymmetry) {
+        out.push_back({a, b, aForB, bForA, sym});
+      }
+    }
+  }
+  return out;
+}
+
+const TrafficLedger& SettlementEngine::ledger(ProviderId p) const {
+  const auto it = ledgers_.find(p);
+  if (it == ledgers_.end()) {
+    throw NotFoundError("SettlementEngine::ledger: unknown provider");
+  }
+  return it->second;
+}
+
+std::vector<ProviderId> SettlementEngine::providers() const {
+  std::vector<ProviderId> out;
+  out.reserve(ledgers_.size());
+  for (const auto& [p, l] : ledgers_) out.push_back(p);
+  return out;
+}
+
+}  // namespace openspace

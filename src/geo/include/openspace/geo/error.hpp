@@ -1,0 +1,52 @@
+// Error hierarchy shared by all OpenSpace modules.
+//
+// All recoverable failures in the library are reported via exceptions
+// derived from openspace::Error (itself a std::runtime_error), so that a
+// single catch clause can intercept any library failure while the type
+// tells the caller which subsystem rejected the operation.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace openspace {
+
+/// Base class for every exception thrown by the OpenSpace library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller-supplied argument violated a documented precondition.
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// An entity (node, link, route, account, ...) was looked up but does not exist.
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& what) : Error(what) {}
+};
+
+/// The operation is valid in principle but not in the object's current state
+/// (e.g. transmitting on a link that has not completed pairing).
+class StateError : public Error {
+ public:
+  explicit StateError(const std::string& what) : Error(what) {}
+};
+
+/// A protocol-level failure: malformed message, failed authentication,
+/// incompatible capabilities, pairing rejection, ...
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+/// A resource budget (power, bandwidth, terminal count, funds) was exceeded.
+class CapacityError : public Error {
+ public:
+  explicit CapacityError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace openspace

@@ -1,0 +1,65 @@
+// Geodetic coordinates and frame conversions.
+//
+// Frames used by the library:
+//  * Geodetic (latitude, longitude, altitude) on the WGS-84 ellipsoid.
+//  * ECEF  - Earth-centered, Earth-fixed Cartesian (meters). Ground assets
+//            are static in ECEF.
+//  * ECI   - Earth-centered inertial Cartesian (meters). Orbits are
+//            propagated in ECI; the two frames coincide at t = 0 and differ
+//            by Earth's rotation about +Z afterwards.
+#pragma once
+
+#include <openspace/geo/vec3.hpp>
+
+namespace openspace {
+
+/// A geodetic position. Latitude/longitude in radians, altitude in meters
+/// above the WGS-84 ellipsoid.
+struct Geodetic {
+  double latitudeRad = 0.0;   ///< [-pi/2, pi/2]
+  double longitudeRad = 0.0;  ///< (-pi, pi]
+  double altitudeM = 0.0;
+
+  /// Convenience factory taking degrees.
+  static Geodetic fromDegrees(double latDeg, double lonDeg, double altM = 0.0);
+
+  constexpr bool operator==(const Geodetic&) const noexcept = default;
+};
+
+/// Geodetic -> ECEF (WGS-84 ellipsoid). Throws InvalidArgumentError if the
+/// latitude is outside [-pi/2, pi/2].
+Vec3 geodeticToEcef(const Geodetic& g);
+
+/// ECEF -> geodetic using Bowring's closed-form approximation followed by
+/// two Newton refinement steps (sub-millimeter for LEO-relevant altitudes).
+Geodetic ecefToGeodetic(const Vec3& ecef);
+
+/// Rotate an ECI position into ECEF at time t (seconds since epoch; the
+/// frames coincide at t = 0).
+Vec3 eciToEcef(const Vec3& eci, double tSeconds);
+
+/// Rotate an ECEF position into ECI at time t.
+Vec3 ecefToEci(const Vec3& ecef, double tSeconds);
+
+/// Great-circle (haversine) surface distance between two geodetic points on
+/// the spherical mean-radius Earth, meters. Altitudes are ignored.
+double greatCircleDistanceM(const Geodetic& a, const Geodetic& b);
+
+/// Central angle in radians subtended at the Earth's center by two geodetic
+/// points (spherical model).
+double centralAngleRad(const Geodetic& a, const Geodetic& b);
+
+/// Elevation angle (radians) of a target at ECEF position `target` as seen
+/// from an observer at ECEF `observer` standing on (or near) the Earth's
+/// surface. Positive means above the local horizon plane.
+double elevationAngleRad(const Vec3& observer, const Vec3& target);
+
+/// Straight-line (slant) range between two ECEF/ECI points, meters.
+double slantRangeM(const Vec3& a, const Vec3& b);
+
+/// True if the straight segment between two points (ECI or ECEF, meters)
+/// clears the spherical Earth by at least `clearanceM`. Used for ISL
+/// line-of-sight checks (satellites cannot talk through the planet).
+bool lineOfSightClear(const Vec3& a, const Vec3& b, double clearanceM = 0.0);
+
+}  // namespace openspace

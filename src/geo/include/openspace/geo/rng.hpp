@@ -1,0 +1,50 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library draws from an explicitly seeded
+// Rng so that simulations are exactly reproducible; no component touches
+// global random state.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include <openspace/geo/geodetic.hpp>
+
+namespace openspace {
+
+/// Seeded pseudo-random source (mt19937_64 under the hood) with the handful
+/// of distributions the simulator needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Exponentially distributed value with the given rate (1/mean).
+  double exponential(double rate);
+
+  /// Normally distributed value.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial.
+  bool chance(double probability);
+
+  /// A point uniformly distributed on the unit sphere.
+  Vec3 unitSphere();
+
+  /// A geodetic surface point uniformly distributed by area (not by
+  /// lat/lon grid), altitude 0.
+  Geodetic surfacePoint();
+
+  /// Underlying engine, for std distributions not wrapped here.
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace openspace

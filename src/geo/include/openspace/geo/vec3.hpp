@@ -1,0 +1,69 @@
+// Minimal 3-vector used for positions (meters, ECEF/ECI) and velocities.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace openspace {
+
+/// Cartesian 3-vector. Component semantics (frame, units) are given by the
+/// API that produces it; positions in this library are meters.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3 operator+(const Vec3& o) const noexcept {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const noexcept {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const noexcept { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const noexcept { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const noexcept { return {-x, -y, -z}; }
+
+  constexpr Vec3& operator+=(const Vec3& o) noexcept {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) noexcept {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3&) const noexcept = default;
+
+  constexpr double dot(const Vec3& o) const noexcept {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 cross(const Vec3& o) const noexcept {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  constexpr double normSquared() const noexcept { return dot(*this); }
+  double norm() const noexcept { return std::sqrt(normSquared()); }
+
+  /// Unit vector in the same direction. Undefined for the zero vector
+  /// (returns a vector of NaNs, matching IEEE division semantics).
+  Vec3 normalized() const noexcept {
+    const double n = norm();
+    return {x / n, y / n, z / n};
+  }
+
+  double distanceTo(const Vec3& o) const noexcept { return (*this - o).norm(); }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) noexcept { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+/// Angle in radians between two non-zero vectors, in [0, pi].
+double angleBetween(const Vec3& a, const Vec3& b);
+
+}  // namespace openspace

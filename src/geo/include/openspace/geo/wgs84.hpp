@@ -1,0 +1,23 @@
+// WGS-84 reference constants. The simulator uses the spherical mean-radius
+// Earth for coverage/footprint geometry (as the paper's simplified
+// simulation does) and the full ellipsoid for geodetic<->ECEF conversion.
+#pragma once
+
+namespace openspace::wgs84 {
+
+/// Semi-major axis (equatorial radius), meters.
+inline constexpr double kSemiMajorAxisM = 6'378'137.0;
+/// Flattening.
+inline constexpr double kFlattening = 1.0 / 298.257'223'563;
+/// Semi-minor axis (polar radius), meters.
+inline constexpr double kSemiMinorAxisM = kSemiMajorAxisM * (1.0 - kFlattening);
+/// First eccentricity squared.
+inline constexpr double kEccentricitySquared = kFlattening * (2.0 - kFlattening);
+/// Mean Earth radius (IUGG), meters. Used for spherical geometry.
+inline constexpr double kMeanRadiusM = 6'371'008.771'4;
+/// Standard gravitational parameter GM, m^3/s^2.
+inline constexpr double kMuM3PerS2 = 3.986'004'418e14;
+/// Earth rotation rate, rad/s (sidereal).
+inline constexpr double kEarthRotationRadPerS = 7.292'115'146'7e-5;
+
+}  // namespace openspace::wgs84

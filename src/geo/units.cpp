@@ -1,0 +1,27 @@
+#include <openspace/geo/units.hpp>
+
+#include <cmath>
+
+#include <openspace/geo/error.hpp>
+
+namespace openspace {
+
+double wattsToDbw(double w) {
+  if (w <= 0.0) throw InvalidArgumentError("wattsToDbw: power must be > 0");
+  return 10.0 * std::log10(w);
+}
+
+double dbwToWatts(double dbw) { return std::pow(10.0, dbw / 10.0); }
+
+double wattsToDbm(double w) { return wattsToDbw(w) + 30.0; }
+
+double dbmToWatts(double dbm) { return dbwToWatts(dbm - 30.0); }
+
+double ratioToDb(double ratio) {
+  if (ratio <= 0.0) throw InvalidArgumentError("ratioToDb: ratio must be > 0");
+  return 10.0 * std::log10(ratio);
+}
+
+double dbToRatio(double db) { return std::pow(10.0, db / 10.0); }
+
+}  // namespace openspace

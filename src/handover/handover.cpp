@@ -1,0 +1,179 @@
+#include <openspace/handover/handover.hpp>
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/orbit/visibility.hpp>
+
+namespace openspace {
+
+HandoverPlanner::HandoverPlanner(const EphemerisService& ephemeris,
+                                 double minElevationRad)
+    : ephemeris_(ephemeris), minElevationRad_(minElevationRad) {
+  if (minElevationRad < 0.0 || minElevationRad >= std::numbers::pi / 2.0) {
+    throw InvalidArgumentError("HandoverPlanner: elevation mask out of range");
+  }
+}
+
+double HandoverPlanner::visibilityEndS(SatelliteId sat, const Geodetic& user,
+                                       double fromS, double horizonS) const {
+  const auto& el = ephemeris_.record(sat).elements;
+  const auto visible = [&](double t) {
+    return elevationFrom(positionEci(el, t), user, t) >= minElevationRad_;
+  };
+  if (!visible(fromS)) return fromS;
+  // Coarse forward scan (10 s) then bisect the set edge to ~1 ms.
+  const double step = 10.0;
+  double lo = fromS;
+  double hi = fromS;
+  for (double t = fromS + step;; t += step) {
+    if (t >= fromS + horizonS) return fromS + horizonS;
+    if (!visible(t)) {
+      lo = t - step;
+      hi = t;
+      break;
+    }
+  }
+  for (int i = 0; i < 40 && hi - lo > 1e-3; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (visible(mid) ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::optional<SatelliteId> HandoverPlanner::bestSatelliteAt(
+    const Geodetic& user, double tSeconds, SatelliteId exclude) const {
+  std::optional<SatelliteId> best;
+  double bestUntil = -1.0;
+  for (const SatelliteId sid : ephemeris_.satellites()) {
+    if (sid == exclude) continue;
+    const Vec3 pos = ephemeris_.positionEci(sid, tSeconds);
+    if (elevationFrom(pos, user, tSeconds) < minElevationRad_) continue;
+    const double until = visibilityEndS(sid, user, tSeconds);
+    if (until > bestUntil) {
+      bestUntil = until;
+      best = sid;
+    }
+  }
+  return best;
+}
+
+std::optional<SatelliteId> HandoverPlanner::closestSatelliteAt(
+    const Geodetic& user, double tSeconds) const {
+  const Vec3 userEcef = geodeticToEcef(user);
+  std::optional<SatelliteId> best;
+  double bestRange = std::numeric_limits<double>::infinity();
+  for (const SatelliteId sid : ephemeris_.satellites()) {
+    const Vec3 pos = ephemeris_.positionEci(sid, tSeconds);
+    if (elevationFrom(pos, user, tSeconds) < minElevationRad_) continue;
+    const double range = userEcef.distanceTo(eciToEcef(pos, tSeconds));
+    if (range < bestRange) {
+      bestRange = range;
+      best = sid;
+    }
+  }
+  return best;
+}
+
+HandoverPlan HandoverPlanner::plan(SatelliteId current, const Geodetic& user,
+                                   double nowS, double horizonS) const {
+  HandoverPlan p;
+  p.serviceEndsAtS = visibilityEndS(current, user, nowS, horizonS);
+  // Pick the successor as the best satellite at the moment service ends
+  // (slightly before, so the successor is already up when we switch).
+  const double switchAt = std::max(nowS, p.serviceEndsAtS - 1e-3);
+  const auto succ = bestSatelliteAt(user, switchAt, current);
+  if (!succ) return p;  // found == false: service gap ahead
+  p.found = true;
+  p.successor = *succ;
+  p.successorUntilS = visibilityEndS(*succ, user, switchAt, horizonS);
+  return p;
+}
+
+namespace {
+
+/// Signaling latency of a predictive handover: the serving satellite tells
+/// the user its successor (one downlink), the user opens a session with the
+/// successor (one round trip). No authentication.
+double predictiveLatencyS(const EphemerisService& eph, const Geodetic& user,
+                          SatelliteId from, SatelliteId to, double tSeconds) {
+  const Vec3 u = geodeticToEcef(user);
+  const double downS =
+      u.distanceTo(eciToEcef(eph.positionEci(from, tSeconds), tSeconds)) /
+      kSpeedOfLightMps;
+  const double upS =
+      u.distanceTo(eciToEcef(eph.positionEci(to, tSeconds), tSeconds)) /
+      kSpeedOfLightMps;
+  return downS + 2.0 * upS;
+}
+
+}  // namespace
+
+HandoverTimeline simulateHandovers(const HandoverPlanner& planner,
+                                   const Geodetic& user, double t0, double t1,
+                                   HandoverMode mode,
+                                   const ReAssociationCost& reassocCost) {
+  if (t1 <= t0) throw InvalidArgumentError("simulateHandovers: t1 <= t0");
+
+  HandoverTimeline tl;
+  double t = t0;
+  std::optional<SatelliteId> serving = planner.bestSatelliteAt(user, t);
+  while (!serving && t < t1) {
+    // No coverage: scan forward for first acquisition.
+    tl.outageS += std::min(10.0, t1 - t);
+    t += 10.0;
+    if (t < t1) serving = planner.bestSatelliteAt(user, t);
+  }
+
+  while (t < t1 && serving) {
+    const double until =
+        std::min(planner.visibilityEndS(*serving, user, t), t1);
+    tl.coveredS += until - t;
+    if (until >= t1) break;
+
+    const auto next = planner.bestSatelliteAt(user, until - 1e-3, *serving);
+    if (!next) {
+      // Coverage hole: wait for any satellite.
+      double scan = until;
+      std::optional<SatelliteId> reacq;
+      while (scan < t1 && !(reacq = planner.bestSatelliteAt(user, scan))) {
+        scan += 10.0;
+      }
+      tl.outageS += std::min(scan, t1) - until;
+      serving = reacq;
+      t = scan;
+      continue;
+    }
+
+    HandoverEvent ev;
+    ev.atS = until;
+    ev.from = *serving;
+    ev.to = *next;
+    if (mode == HandoverMode::Predictive) {
+      // Make-before-break using the published successor; the only service
+      // interruption is the session-switch signaling.
+      ev.latencyS = predictiveLatencyS(planner.ephemeris(), user, *serving,
+                                       *next, until);
+      tl.outageS += ev.latencyS;
+    } else {
+      ev.latencyS = reassocCost.beaconPeriodS / 2.0 + reassocCost.authRttS;
+      tl.outageS += ev.latencyS;
+    }
+    tl.events.push_back(ev);
+    serving = *next;
+    t = until + ev.latencyS;
+  }
+
+  if (tl.events.size() >= 2) {
+    tl.meanIntervalS = (tl.events.back().atS - tl.events.front().atS) /
+                       static_cast<double>(tl.events.size() - 1);
+  } else if (tl.events.size() == 1) {
+    tl.meanIntervalS = t1 - t0;
+  }
+  return tl;
+}
+
+}  // namespace openspace

@@ -1,0 +1,128 @@
+#include <openspace/io/ephemeris_io.hpp>
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include <openspace/geo/error.hpp>
+
+namespace openspace {
+
+namespace {
+
+void setFullPrecision(std::ostream& os) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+}
+
+[[noreturn]] void malformed(int lineNo, const std::string& line,
+                            const std::string& why) {
+  throw ProtocolError("ephemeris_io: line " + std::to_string(lineNo) + " " +
+                      why + ": '" + line + "'");
+}
+
+}  // namespace
+
+void saveEphemeris(const EphemerisService& eph, std::ostream& os) {
+  setFullPrecision(os);
+  os << "# openspace ephemeris v1: sat <id> <owner> <a_m> <e> <incl> <raan>"
+        " <argp> <M0>\n";
+  for (const SatelliteId sid : eph.satellites()) {
+    const EphemerisRecord& rec = eph.record(sid);
+    const OrbitalElements& el = rec.elements;
+    os << "sat " << sid << ' ' << rec.owner << ' ' << el.semiMajorAxisM << ' '
+       << el.eccentricity << ' ' << el.inclinationRad << ' ' << el.raanRad
+       << ' ' << el.argPerigeeRad << ' ' << el.meanAnomalyAtEpochRad << '\n';
+  }
+}
+
+EphemerisService loadEphemeris(std::istream& is) {
+  EphemerisService eph;
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string kind;
+    ss >> kind;
+    if (kind != "sat") continue;  // site lines and unknown records: skip
+    SatelliteId id = 0;
+    ProviderId owner = 0;
+    OrbitalElements el;
+    ss >> id >> owner >> el.semiMajorAxisM >> el.eccentricity >>
+        el.inclinationRad >> el.raanRad >> el.argPerigeeRad >>
+        el.meanAnomalyAtEpochRad;
+    if (ss.fail()) malformed(lineNo, line, "has a malformed sat record");
+    if (el.semiMajorAxisM <= 0.0 || el.eccentricity < 0.0 ||
+        el.eccentricity >= 1.0) {
+      malformed(lineNo, line, "has non-physical elements");
+    }
+    try {
+      eph.publishWithId(id, owner, el);
+    } catch (const InvalidArgumentError&) {
+      malformed(lineNo, line, "duplicates satellite id");
+    }
+  }
+  return eph;
+}
+
+void saveSites(const std::vector<SiteRecord>& sites, std::ostream& os) {
+  setFullPrecision(os);
+  os << "# openspace sites v1: site <kind> <provider> <lat> <lon> <alt>"
+        " <name...>\n";
+  for (const SiteRecord& s : sites) {
+    os << "site " << (s.isStation ? "station" : "user") << ' '
+       << s.site.provider << ' ' << s.site.location.latitudeRad << ' '
+       << s.site.location.longitudeRad << ' ' << s.site.location.altitudeM
+       << ' ' << s.site.name << '\n';
+  }
+}
+
+std::vector<SiteRecord> loadSites(std::istream& is) {
+  std::vector<SiteRecord> out;
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string kind;
+    ss >> kind;
+    if (kind != "site") continue;
+    SiteRecord rec;
+    std::string siteKind;
+    ss >> siteKind >> rec.site.provider >> rec.site.location.latitudeRad >>
+        rec.site.location.longitudeRad >> rec.site.location.altitudeM;
+    if (ss.fail()) malformed(lineNo, line, "has a malformed site record");
+    if (siteKind == "station") {
+      rec.isStation = true;
+    } else if (siteKind == "user") {
+      rec.isStation = false;
+    } else {
+      malformed(lineNo, line, "has unknown site kind '" + siteKind + "'");
+    }
+    std::getline(ss, rec.site.name);
+    // Trim the single separating space.
+    if (!rec.site.name.empty() && rec.site.name.front() == ' ') {
+      rec.site.name.erase(0, 1);
+    }
+    if (rec.site.name.empty()) malformed(lineNo, line, "is missing a name");
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::string ephemerisToString(const EphemerisService& eph) {
+  std::ostringstream os;
+  saveEphemeris(eph, os);
+  return os.str();
+}
+
+EphemerisService ephemerisFromString(const std::string& text) {
+  std::istringstream is(text);
+  return loadEphemeris(is);
+}
+
+}  // namespace openspace

@@ -1,0 +1,51 @@
+// Ephemeris and ground-site serialization.
+//
+// The paper's routing premise is a *public* topology: "the radar-tracked
+// orbital paths of satellites are well-known and readily available on
+// public websites". This module is that interchange surface: a simple
+// line-oriented text format (one record per line, '#' comments) for
+// publishing and consuming constellation ephemerides and ground assets, so
+// independent OpenSpace participants — and independent tools — can share
+// one topology file the way operators share TLE sets.
+//
+// Format (whitespace-separated):
+//   sat   <id> <owner> <a_m> <e> <incl_rad> <raan_rad> <argp_rad> <M0_rad>
+//   site  <kind> <provider> <lat_rad> <lon_rad> <alt_m> <name...>
+// Doubles are written round-trip exact (max_digits10).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include <openspace/orbit/ephemeris.hpp>
+#include <openspace/topology/builder.hpp>
+
+namespace openspace {
+
+/// Write every record of `eph` to `os` in publication order.
+void saveEphemeris(const EphemerisService& eph, std::ostream& os);
+
+/// Parse an ephemeris written by saveEphemeris (ignores `site` lines,
+/// blank lines and comments). Satellite ids are preserved. Throws
+/// ProtocolError on malformed records or duplicate ids.
+EphemerisService loadEphemeris(std::istream& is);
+
+/// A ground-site record as serialized.
+struct SiteRecord {
+  bool isStation = false;  ///< kind: "station" or "user".
+  GroundSite site;
+};
+
+/// Write ground sites (appendable after saveEphemeris in the same file).
+void saveSites(const std::vector<SiteRecord>& sites, std::ostream& os);
+
+/// Parse all `site` lines (ignores satellite lines). Throws ProtocolError
+/// on malformed records.
+std::vector<SiteRecord> loadSites(std::istream& is);
+
+/// Convenience: serialize to / parse from strings.
+std::string ephemerisToString(const EphemerisService& eph);
+EphemerisService ephemerisFromString(const std::string& text);
+
+}  // namespace openspace

@@ -1,0 +1,122 @@
+#include <openspace/isl/fleet.hpp>
+
+#include <algorithm>
+
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/geodetic.hpp>
+
+namespace openspace {
+
+namespace {
+
+LinkCapabilities rfOnlyDefault() {
+  LinkCapabilities caps;
+  caps.islBands = {Band::S, Band::Uhf};
+  caps.hasLaserTerminal = false;
+  caps.maxIslCount = 4;
+  return caps;
+}
+
+}  // namespace
+
+IslFleet::IslFleet(const EphemerisService& ephemeris, const FleetConfig& cfg)
+    : ephemeris_(ephemeris), cfg_(cfg) {
+  for (const SatelliteId sid : ephemeris_.satellites()) {
+    const auto& rec = ephemeris_.record(sid);
+    endpoints_.emplace(
+        sid, IslEndpoint(sid, rec.owner, rfOnlyDefault(),
+                         PowerBudget(cfg.generationW, cfg.batteryWh, cfg.busLoadW)));
+  }
+}
+
+void IslFleet::setCapabilities(SatelliteId id, const LinkCapabilities& caps) {
+  const auto it = endpoints_.find(id);
+  if (it == endpoints_.end()) {
+    throw NotFoundError("IslFleet::setCapabilities: unknown satellite");
+  }
+  const auto& rec = ephemeris_.record(id);
+  it->second = IslEndpoint(
+      id, rec.owner, caps,
+      PowerBudget(cfg_.generationW, cfg_.batteryWh, cfg_.busLoadW));
+}
+
+const IslEndpoint& IslFleet::endpoint(SatelliteId id) const {
+  const auto it = endpoints_.find(id);
+  if (it == endpoints_.end()) throw NotFoundError("IslFleet: unknown satellite");
+  return it->second;
+}
+
+IslEndpoint& IslFleet::endpoint(SatelliteId id) {
+  const auto it = endpoints_.find(id);
+  if (it == endpoints_.end()) throw NotFoundError("IslFleet: unknown satellite");
+  return it->second;
+}
+
+std::vector<FleetLink> IslFleet::runDiscoveryRound(double tSeconds) {
+  const auto& sats = ephemeris_.satellites();
+  std::vector<Vec3> pos(sats.size());
+  std::map<SatelliteId, std::size_t> index;
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    pos[i] = ephemeris_.positionEci(sats[i], tSeconds);
+    index[sats[i]] = i;
+  }
+
+  const auto inContact = [&](SatelliteId a, SatelliteId b) {
+    const Vec3& pa = pos[index.at(a)];
+    const Vec3& pb = pos[index.at(b)];
+    return pa.distanceTo(pb) <= cfg_.rfDiscoveryRangeM &&
+           lineOfSightClear(pa, pb, cfg_.losClearanceM);
+  };
+
+  // Tear down links whose geometry no longer supports them.
+  std::vector<FleetLink> kept;
+  kept.reserve(live_.size());
+  for (const FleetLink& l : live_) {
+    if (inContact(l.a, l.b)) {
+      FleetLink updated = l;
+      updated.distanceM = pos[index.at(l.a)].distanceTo(pos[index.at(l.b)]);
+      kept.push_back(updated);
+    } else {
+      endpoints_.at(l.a).teardown(l.b);
+      endpoints_.at(l.b).teardown(l.a);
+    }
+  }
+  live_ = std::move(kept);
+
+  // Discovery: for each satellite, candidate peers sorted by distance
+  // (beacon SNR ordering), pairing attempted nearest-first.
+  std::vector<FleetLink> established;
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    std::vector<std::pair<double, std::size_t>> candidates;
+    for (std::size_t j = 0; j < sats.size(); ++j) {
+      if (j == i || !inContact(sats[i], sats[j])) continue;
+      candidates.emplace_back(pos[i].distanceTo(pos[j]), j);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    IslEndpoint& me = endpoints_.at(sats[i]);
+    for (const auto& [dist, j] : candidates) {
+      if (me.atCapacity()) break;
+      IslEndpoint& them = endpoints_.at(sats[j]);
+      if (me.stateWith(sats[j]) != IslState::Idle &&
+          me.stateWith(sats[j]) != IslState::Torn) {
+        continue;
+      }
+      const IslEstablishment est =
+          establishIsl(me, them, pos[i], pos[j], tSeconds);
+      if (est.rfEstablished) {
+        FleetLink l;
+        l.a = sats[i];
+        l.b = sats[j];
+        l.optical = est.opticalEstablished;
+        l.establishedAtS =
+            est.opticalEstablished ? est.opticalReadyAtS : est.rfReadyAtS;
+        l.distanceM = dist;
+        live_.push_back(l);
+        established.push_back(l);
+      }
+    }
+  }
+  return established;
+}
+
+}  // namespace openspace

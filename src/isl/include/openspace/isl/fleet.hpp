@@ -1,0 +1,65 @@
+// Fleet-level ISL coordination.
+//
+// IslFleet owns one IslEndpoint per satellite and runs discovery rounds:
+// every satellite beacons, in-range line-of-sight neighbors receive, and
+// the §2.1 pairing protocol runs between willing pairs (nearest candidates
+// first — beacon strength orders candidates in range). The result is the
+// set of live ISLs, which the topology layer turns into graph links.
+#pragma once
+
+#include <map>
+
+#include <openspace/isl/pairing.hpp>
+#include <openspace/orbit/ephemeris.hpp>
+
+namespace openspace {
+
+/// A live inter-satellite link at fleet level.
+struct FleetLink {
+  SatelliteId a = 0;
+  SatelliteId b = 0;
+  bool optical = false;
+  double establishedAtS = 0.0;
+  double distanceM = 0.0;
+};
+
+/// Configuration for a discovery round.
+struct FleetConfig {
+  double rfDiscoveryRangeM = 4'000'000.0;  ///< Beacon decode range.
+  double losClearanceM = 80'000.0;         ///< Atmosphere grazing margin.
+  /// Default power budget for satellites not configured explicitly. Sized
+  /// so a satellite can hold a few RF ISLs plus one active laser terminal
+  /// (S-band 28 W each, laser 80 W).
+  double generationW = 230.0;
+  double batteryWh = 300.0;
+  double busLoadW = 35.0;
+};
+
+class IslFleet {
+ public:
+  /// Creates an endpoint per published satellite with the given
+  /// capabilities map (missing entries get the RF-only default).
+  IslFleet(const EphemerisService& ephemeris, const FleetConfig& cfg);
+
+  /// Override a satellite's capabilities (before any discovery round).
+  void setCapabilities(SatelliteId id, const LinkCapabilities& caps);
+
+  /// Run one discovery + pairing round at time t. New links are appended
+  /// to the live set; links whose endpoints moved out of range or lost
+  /// line of sight are torn down first. Returns links established this round.
+  std::vector<FleetLink> runDiscoveryRound(double tSeconds);
+
+  /// Currently live links.
+  const std::vector<FleetLink>& liveLinks() const noexcept { return live_; }
+
+  const IslEndpoint& endpoint(SatelliteId id) const;
+  IslEndpoint& endpoint(SatelliteId id);
+
+ private:
+  const EphemerisService& ephemeris_;
+  FleetConfig cfg_;
+  std::map<SatelliteId, IslEndpoint> endpoints_;
+  std::vector<FleetLink> live_;
+};
+
+}  // namespace openspace

@@ -1,0 +1,158 @@
+// The OpenSpace ISL establishment protocol (paper §2.1).
+//
+// Sequence between heterogeneous satellites owned by different providers:
+//
+//   1. Every satellite periodically broadcasts an RF beacon (presence,
+//      identity, orbit, capabilities). RF is the discovery plane because
+//      all OpenSpace satellites must carry it and RF antennas broadcast.
+//   2. On receiving a beacon, a satellite may initiate pairing by sending a
+//      pair request carrying its technical specifications ("for example
+//      whether optical links are supported, and the exact position of its
+//      laser diodes").
+//   3. The receiver accepts or rejects (power, terminal count, policy).
+//      On acceptance an RF ISL is active after one more propagation delay.
+//   4. If both ends have laser terminals, spare power, and available
+//      optical bandwidth, they re-orient (slew) so the terminals point at
+//      each other, run pointing/acquisition/tracking, and upgrade the link
+//      to optical.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include <openspace/mac/beacon.hpp>
+#include <openspace/phy/power.hpp>
+#include <openspace/phy/terminal.hpp>
+
+namespace openspace {
+
+/// Lifecycle of one ISL as seen by one endpoint.
+enum class IslState {
+  Idle,           ///< No relationship with the peer.
+  PairRequested,  ///< We sent a pair request, awaiting response.
+  RfActive,       ///< RF ISL carrying traffic.
+  Acquiring,      ///< Slewing / optical pointing-acquisition in progress.
+  OpticalActive,  ///< Laser ISL carrying traffic (RF kept as control channel).
+  Torn,           ///< Link torn down.
+};
+
+std::string_view islStateName(IslState s) noexcept;
+
+/// Pair request message (step 2).
+struct PairRequest {
+  SatelliteId from = 0;
+  SatelliteId to = 0;
+  ProviderId fromProvider = 0;
+  double txTimeS = 0.0;
+  LinkCapabilities capabilities;  ///< Includes laser boresight if present.
+};
+
+/// Pair response message (step 3).
+struct PairResponse {
+  SatelliteId from = 0;
+  SatelliteId to = 0;
+  bool accepted = false;
+  bool offerOptical = false;  ///< Receiver also wants the laser upgrade.
+  std::string reason;         ///< Reject reason, for diagnostics.
+};
+
+/// Per-satellite protocol agent: owns the satellite's capabilities, its
+/// power budget, and the state of each peer relationship.
+class IslEndpoint {
+ public:
+  /// Throws InvalidArgumentError if capabilities advertise no RF band
+  /// (violates the OpenSpace minimum), or laser capability without laser
+  /// hardware parameters.
+  IslEndpoint(SatelliteId id, ProviderId provider, LinkCapabilities caps,
+              PowerBudget power);
+
+  /// Build this satellite's beacon for time t.
+  BeaconMessage makeBeacon(double tSeconds, const OrbitalElements& elements) const;
+
+  /// Decide whether to initiate pairing with the beacon's sender. Returns
+  /// the request to transmit, or nullopt (already paired / at capacity /
+  /// self-beacon).
+  std::optional<PairRequest> considerPairing(const BeaconMessage& beacon,
+                                             double tSeconds);
+
+  /// Handle an incoming pair request (we are the receiver).
+  PairResponse onPairRequest(const PairRequest& req, double tSeconds);
+
+  /// Handle the response to our earlier request. Returns true if the RF
+  /// link is now active on this side. Throws StateError if no request to
+  /// this peer is outstanding.
+  bool onPairResponse(const PairResponse& resp, double tSeconds);
+
+  /// Tear down the link with `peer` (range loss, handover, policy),
+  /// releasing its power commitments. Throws NotFoundError if unknown.
+  void teardown(SatelliteId peer);
+
+  /// Begin the optical upgrade with an RF-active peer. Returns the time at
+  /// which the optical link will be ready (slew + acquisition), or nullopt
+  /// if the upgrade is not possible (capability/power). `slewAngleRad` is
+  /// the re-orientation this endpoint must execute.
+  std::optional<double> beginOpticalUpgrade(SatelliteId peer, double slewAngleRad,
+                                            double tSeconds);
+
+  /// Mark the optical link active (both sides completed acquisition).
+  void completeOpticalUpgrade(SatelliteId peer);
+
+  /// Abandon an in-progress optical upgrade and fall back to the RF link
+  /// (peer could not follow through). Throws StateError if not acquiring.
+  void abortOpticalUpgrade(SatelliteId peer);
+
+  IslState stateWith(SatelliteId peer) const noexcept;
+  std::size_t activeLinkCount() const noexcept;
+  bool atCapacity() const noexcept;
+
+  SatelliteId id() const noexcept { return id_; }
+  ProviderId provider() const noexcept { return provider_; }
+  const LinkCapabilities& capabilities() const noexcept { return caps_; }
+  const PowerBudget& power() const noexcept { return power_; }
+  PowerBudget& power() noexcept { return power_; }
+
+  /// Laser acquisition time after slew completes (PAT settle; constant in
+  /// this model, following beaconless-pointing budgets from prior work).
+  static constexpr double kOpticalAcquisitionS = 8.0;
+  /// Energy cost of a slew maneuver per radian (reaction wheels), Wh/rad.
+  static constexpr double kSlewEnergyWhPerRad = 1.2;
+
+ private:
+  struct PeerState {
+    IslState state = IslState::Idle;
+    int rfPowerCommit = 0;      ///< PowerBudget commitment id (0 = none).
+    int opticalPowerCommit = 0;
+  };
+
+  PeerState& peer(SatelliteId id);
+  bool tryCommitRf(PeerState& ps, SatelliteId peerId);
+
+  SatelliteId id_;
+  ProviderId provider_;
+  LinkCapabilities caps_;
+  PowerBudget power_;
+  TerminalSpec rfSpec_;
+  TerminalSpec laserSpec_;
+  std::unordered_map<SatelliteId, PeerState> peers_;
+};
+
+/// Outcome of a full two-party establishment attempt.
+struct IslEstablishment {
+  bool rfEstablished = false;
+  bool opticalEstablished = false;
+  double rfReadyAtS = 0.0;       ///< When the RF link starts carrying data.
+  double opticalReadyAtS = 0.0;  ///< When the laser link is usable (if any).
+  std::string failureReason;
+};
+
+/// Drive the full handshake between two endpoints at time t, given their
+/// current ECI positions (for propagation delays and slew geometry).
+/// This is the reference implementation of the §2.1 protocol; the event-
+/// driven simulator reuses the same endpoint methods with real message
+/// scheduling.
+IslEstablishment establishIsl(IslEndpoint& a, IslEndpoint& b, const Vec3& posA,
+                              const Vec3& posB, double tSeconds);
+
+}  // namespace openspace

@@ -1,0 +1,274 @@
+#include <openspace/isl/pairing.hpp>
+
+#include <algorithm>
+#include <cmath>
+
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/units.hpp>
+
+namespace openspace {
+
+std::string_view islStateName(IslState s) noexcept {
+  switch (s) {
+    case IslState::Idle: return "idle";
+    case IslState::PairRequested: return "pair-requested";
+    case IslState::RfActive: return "rf-active";
+    case IslState::Acquiring: return "acquiring";
+    case IslState::OpticalActive: return "optical-active";
+    case IslState::Torn: return "torn";
+  }
+  return "?";
+}
+
+IslEndpoint::IslEndpoint(SatelliteId id, ProviderId provider, LinkCapabilities caps,
+                         PowerBudget power)
+    : id_(id),
+      provider_(provider),
+      caps_(std::move(caps)),
+      power_(std::move(power)),
+      rfSpec_(terminals::sBandIsl()),
+      laserSpec_(terminals::laserIsl()) {
+  const bool hasRf = std::any_of(caps_.islBands.begin(), caps_.islBands.end(),
+                                 [](Band b) { return b != Band::Optical; });
+  if (!hasRf) {
+    throw InvalidArgumentError(
+        "IslEndpoint: satellite must support at least one RF ISL band");
+  }
+  if (caps_.maxIslCount < 1) {
+    throw InvalidArgumentError("IslEndpoint: maxIslCount must be >= 1");
+  }
+}
+
+BeaconMessage IslEndpoint::makeBeacon(double tSeconds,
+                                      const OrbitalElements& elements) const {
+  BeaconMessage b;
+  b.satellite = id_;
+  b.provider = provider_;
+  b.txTimeS = tSeconds;
+  b.elements = elements;
+  b.capabilities = caps_;
+  return b;
+}
+
+IslEndpoint::PeerState& IslEndpoint::peer(SatelliteId peerId) {
+  return peers_[peerId];
+}
+
+IslState IslEndpoint::stateWith(SatelliteId peerId) const noexcept {
+  const auto it = peers_.find(peerId);
+  return (it == peers_.end()) ? IslState::Idle : it->second.state;
+}
+
+std::size_t IslEndpoint::activeLinkCount() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [peerId, ps] : peers_) {
+    if (ps.state == IslState::RfActive || ps.state == IslState::Acquiring ||
+        ps.state == IslState::OpticalActive || ps.state == IslState::PairRequested) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool IslEndpoint::atCapacity() const noexcept {
+  return activeLinkCount() >= static_cast<std::size_t>(caps_.maxIslCount);
+}
+
+std::optional<PairRequest> IslEndpoint::considerPairing(const BeaconMessage& beacon,
+                                                        double tSeconds) {
+  if (beacon.satellite == id_) return std::nullopt;  // our own beacon
+  if (stateWith(beacon.satellite) != IslState::Idle &&
+      stateWith(beacon.satellite) != IslState::Torn) {
+    return std::nullopt;  // already engaged with this peer
+  }
+  if (atCapacity()) return std::nullopt;
+  if (!power_.canCommit(rfSpec_.powerDrawW)) return std::nullopt;
+
+  PairRequest req;
+  req.from = id_;
+  req.to = beacon.satellite;
+  req.fromProvider = provider_;
+  req.txTimeS = tSeconds;
+  req.capabilities = caps_;
+  peer(beacon.satellite).state = IslState::PairRequested;
+  return req;
+}
+
+bool IslEndpoint::tryCommitRf(PeerState& ps, SatelliteId peerId) {
+  if (!power_.canCommit(rfSpec_.powerDrawW)) return false;
+  ps.rfPowerCommit =
+      power_.commit(rfSpec_.powerDrawW, "isl-rf:" + std::to_string(peerId));
+  return true;
+}
+
+PairResponse IslEndpoint::onPairRequest(const PairRequest& req, double /*tSeconds*/) {
+  PairResponse resp;
+  resp.from = id_;
+  resp.to = req.from;
+
+  PeerState& ps = peer(req.from);
+  if (ps.state == IslState::RfActive || ps.state == IslState::OpticalActive ||
+      ps.state == IslState::Acquiring) {
+    resp.accepted = false;
+    resp.reason = "already linked";
+    return resp;
+  }
+  // Simultaneous requests: the lower id yields (accepts) so exactly one
+  // side's request carries the handshake.
+  if (atCapacity() && ps.state != IslState::PairRequested) {
+    resp.accepted = false;
+    resp.reason = "terminal capacity exhausted";
+    return resp;
+  }
+  // Shared RF band required (the standardized minimum guarantees overlap,
+  // but a misconfigured fleet must be rejected cleanly).
+  const bool shareRf = std::any_of(
+      caps_.islBands.begin(), caps_.islBands.end(), [&](Band mine) {
+        return mine != Band::Optical &&
+               std::find(req.capabilities.islBands.begin(),
+                         req.capabilities.islBands.end(),
+                         mine) != req.capabilities.islBands.end();
+      });
+  if (!shareRf) {
+    resp.accepted = false;
+    resp.reason = "no common RF ISL band";
+    return resp;
+  }
+  if (!tryCommitRf(ps, req.from)) {
+    resp.accepted = false;
+    resp.reason = "insufficient power";
+    return resp;
+  }
+  ps.state = IslState::RfActive;
+  resp.accepted = true;
+  resp.offerOptical = caps_.hasLaserTerminal && req.capabilities.hasLaserTerminal &&
+                      power_.canCommit(laserSpec_.powerDrawW);
+  return resp;
+}
+
+bool IslEndpoint::onPairResponse(const PairResponse& resp, double /*tSeconds*/) {
+  PeerState& ps = peer(resp.from);
+  if (ps.state != IslState::PairRequested) {
+    throw StateError("IslEndpoint: pair response without outstanding request");
+  }
+  if (!resp.accepted) {
+    ps.state = IslState::Idle;
+    return false;
+  }
+  if (!tryCommitRf(ps, resp.from)) {
+    // Power evaporated between request and response; abort cleanly.
+    ps.state = IslState::Idle;
+    return false;
+  }
+  ps.state = IslState::RfActive;
+  return true;
+}
+
+void IslEndpoint::teardown(SatelliteId peerId) {
+  const auto it = peers_.find(peerId);
+  if (it == peers_.end() || it->second.state == IslState::Idle ||
+      it->second.state == IslState::Torn) {
+    throw NotFoundError("IslEndpoint::teardown: no link with peer");
+  }
+  if (it->second.rfPowerCommit != 0) power_.release(it->second.rfPowerCommit);
+  if (it->second.opticalPowerCommit != 0) {
+    power_.release(it->second.opticalPowerCommit);
+  }
+  it->second = PeerState{};
+  it->second.state = IslState::Torn;
+}
+
+std::optional<double> IslEndpoint::beginOpticalUpgrade(SatelliteId peerId,
+                                                       double slewAngleRad,
+                                                       double tSeconds) {
+  PeerState& ps = peer(peerId);
+  if (ps.state != IslState::RfActive) {
+    throw StateError("beginOpticalUpgrade: RF link must be active first");
+  }
+  if (!caps_.hasLaserTerminal) return std::nullopt;
+  if (!power_.canCommit(laserSpec_.powerDrawW)) return std::nullopt;
+  const double slewEnergyWh = kSlewEnergyWhPerRad * std::abs(slewAngleRad);
+  if (slewEnergyWh > power_.batteryChargeWh()) return std::nullopt;
+
+  power_.drawEnergy(slewEnergyWh);
+  ps.opticalPowerCommit =
+      power_.commit(laserSpec_.powerDrawW, "isl-laser:" + std::to_string(peerId));
+  ps.state = IslState::Acquiring;
+  const double slewTimeS =
+      (laserSpec_.slewRateRadPerS > 0.0)
+          ? std::abs(slewAngleRad) / laserSpec_.slewRateRadPerS
+          : 0.0;
+  return tSeconds + slewTimeS + kOpticalAcquisitionS;
+}
+
+void IslEndpoint::completeOpticalUpgrade(SatelliteId peerId) {
+  PeerState& ps = peer(peerId);
+  if (ps.state != IslState::Acquiring) {
+    throw StateError("completeOpticalUpgrade: not in acquisition");
+  }
+  ps.state = IslState::OpticalActive;
+}
+
+void IslEndpoint::abortOpticalUpgrade(SatelliteId peerId) {
+  PeerState& ps = peer(peerId);
+  if (ps.state != IslState::Acquiring) {
+    throw StateError("abortOpticalUpgrade: not in acquisition");
+  }
+  if (ps.opticalPowerCommit != 0) {
+    power_.release(ps.opticalPowerCommit);
+    ps.opticalPowerCommit = 0;
+  }
+  ps.state = IslState::RfActive;
+}
+
+IslEstablishment establishIsl(IslEndpoint& a, IslEndpoint& b, const Vec3& posA,
+                              const Vec3& posB, double tSeconds) {
+  IslEstablishment out;
+  const double propS = posA.distanceTo(posB) / kSpeedOfLightMps;
+
+  // Step 1: b's beacon reaches a.
+  const BeaconMessage beacon = b.makeBeacon(tSeconds, OrbitalElements{});
+  auto req = a.considerPairing(beacon, tSeconds + propS);
+  if (!req) {
+    out.failureReason = "initiator declined to pair (capacity/power/state)";
+    return out;
+  }
+  // Step 2-3: request flies to b, response flies back.
+  const PairResponse resp = b.onPairRequest(*req, tSeconds + 2.0 * propS);
+  const bool rfUp = a.onPairResponse(resp, tSeconds + 3.0 * propS);
+  if (!rfUp) {
+    if (resp.accepted) b.teardown(a.id());  // roll back b's half-open link
+    out.failureReason = resp.accepted ? "initiator lost power" : resp.reason;
+    return out;
+  }
+  out.rfEstablished = true;
+  out.rfReadyAtS = tSeconds + 3.0 * propS;
+
+  // Step 4: optional optical upgrade. Slew angle: rotate each boresight
+  // onto the line of sight. Capabilities carry body-frame boresights; with
+  // no attitude model we take the angle between the advertised boresight
+  // and the LoS direction as the required re-orientation.
+  if (resp.offerOptical && a.capabilities().hasLaserTerminal) {
+    const Vec3 losAB = (posB - posA).normalized();
+    const Vec3 losBA = (posA - posB).normalized();
+    const double angA = angleBetween(a.capabilities().laserBoresightBody, losAB);
+    const double angB = angleBetween(b.capabilities().laserBoresightBody, losBA);
+    const auto readyA = a.beginOpticalUpgrade(b.id(), angA, out.rfReadyAtS);
+    if (readyA) {
+      const auto readyB = b.beginOpticalUpgrade(a.id(), angB, out.rfReadyAtS);
+      if (readyB) {
+        a.completeOpticalUpgrade(b.id());
+        b.completeOpticalUpgrade(a.id());
+        out.opticalEstablished = true;
+        out.opticalReadyAtS = std::max(*readyA, *readyB);
+      } else {
+        // b could not follow through; both sides stay on the RF link.
+        a.abortOpticalUpgrade(b.id());
+        out.failureReason = "optical upgrade aborted on responder; RF retained";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace openspace

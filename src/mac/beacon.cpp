@@ -1,0 +1,39 @@
+#include <openspace/mac/beacon.hpp>
+
+#include <cmath>
+
+#include <openspace/geo/error.hpp>
+
+namespace openspace {
+
+BeaconSchedule::BeaconSchedule(double periodS) : periodS_(periodS) {
+  if (periodS <= 0.0) {
+    throw InvalidArgumentError("BeaconSchedule: period must be > 0");
+  }
+}
+
+double BeaconSchedule::phaseOf(SatelliteId id) const {
+  // Cheap integer hash -> [0, period) stagger; avoids synchronized beacons
+  // from satellites registered consecutively.
+  std::uint64_t h = static_cast<std::uint64_t>(id) * 0x9E3779B97F4A7C15ull;
+  h ^= h >> 31;
+  return periodS_ * static_cast<double>(h % 10'000) / 10'000.0;
+}
+
+double BeaconSchedule::nextBeaconTime(SatelliteId id, double tSeconds) const {
+  const double phase = phaseOf(id);
+  const double k = std::ceil((tSeconds - phase) / periodS_);
+  return phase + std::max(0.0, k) * periodS_;
+}
+
+int BeaconSchedule::beaconCount(SatelliteId id, double t0, double t1) const {
+  if (t1 <= t0) return 0;
+  int count = 0;
+  for (double t = nextBeaconTime(id, t0); t < t1;
+       t = nextBeaconTime(id, t + periodS_ / 2.0)) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace openspace

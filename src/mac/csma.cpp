@@ -1,0 +1,143 @@
+#include <openspace/mac/csma.hpp>
+
+#include <algorithm>
+#include <vector>
+
+#include <openspace/geo/error.hpp>
+
+namespace openspace {
+
+namespace {
+
+struct Station {
+  int backoffSlots = 0;
+  int cw = 0;
+  int retries = 0;
+  double frameReadyAtS = 0.0;   ///< When the current head-of-queue frame arrived.
+  double backoffSpentS = 0.0;   ///< IFS+backoff accumulated for this frame.
+};
+
+int drawBackoff(Rng& rng, int cw) {
+  return static_cast<int>(rng.uniformInt(0, cw - 1));
+}
+
+}  // namespace
+
+double csmaPerFrameOverheadS(const CsmaConfig& cfg) {
+  const double meanInitialBackoff =
+      cfg.slotTimeS * static_cast<double>(cfg.cwMin - 1) / 2.0;
+  return cfg.difsS + meanInitialBackoff + cfg.sifsS;
+}
+
+MacSimResult simulateCsmaCa(const CsmaConfig& cfg, int nodes, double durationS,
+                            Rng& rng) {
+  if (nodes < 1) throw InvalidArgumentError("simulateCsmaCa: nodes must be >= 1");
+  if (durationS <= 0.0) {
+    throw InvalidArgumentError("simulateCsmaCa: duration must be > 0");
+  }
+
+  std::vector<Station> st(static_cast<std::size_t>(nodes));
+  for (auto& s : st) {
+    s.cw = cfg.cwMin;
+    s.backoffSlots = drawBackoff(rng, s.cw);
+  }
+
+  MacSimResult r;
+  std::vector<double> delays;
+  double t = 0.0;
+  double usefulAirtime = 0.0;
+  double overheadTotal = 0.0;
+  double attempts = 0.0;
+  double collisions = 0.0;
+
+  while (t < durationS) {
+    // Channel idle: everyone waits DIFS then counts down backoff together.
+    int minB = st[0].backoffSlots;
+    for (const auto& s : st) minB = std::min(minB, s.backoffSlots);
+    const double idleSpan = cfg.difsS + cfg.slotTimeS * minB;
+    t += idleSpan;
+    std::vector<std::size_t> txers;
+    for (std::size_t i = 0; i < st.size(); ++i) {
+      st[i].backoffSpentS += idleSpan;
+      st[i].backoffSlots -= minB;
+      if (st[i].backoffSlots == 0) txers.push_back(i);
+    }
+    attempts += static_cast<double>(txers.size());
+
+    if (txers.size() == 1) {
+      Station& s = st[txers[0]];
+      delays.push_back(t - s.frameReadyAtS);
+      overheadTotal += s.backoffSpentS + cfg.sifsS;
+      t += cfg.frameAirtimeS + cfg.sifsS + cfg.ackAirtimeS;
+      usefulAirtime += cfg.frameAirtimeS;
+      r.deliveredFrames += 1;
+      r.offeredFrames += 1;
+      s = Station{};  // saturated: next frame ready immediately
+      s.cw = cfg.cwMin;
+      s.backoffSlots = drawBackoff(rng, s.cw);
+      s.frameReadyAtS = t;
+    } else {
+      // Collision: all transmitters burn a frame's airtime, then back off
+      // with doubled windows.
+      collisions += static_cast<double>(txers.size());
+      t += cfg.frameAirtimeS;
+      for (const std::size_t i : txers) {
+        Station& s = st[i];
+        ++s.retries;
+        if (s.retries > cfg.maxRetries) {
+          r.droppedFrames += 1;
+          r.offeredFrames += 1;
+          s = Station{};
+          s.cw = cfg.cwMin;
+          s.frameReadyAtS = t;
+        } else {
+          s.cw = std::min(s.cw * 2, cfg.cwMax);
+        }
+        s.backoffSlots = drawBackoff(rng, s.cw);
+      }
+    }
+  }
+
+  if (!delays.empty()) {
+    std::sort(delays.begin(), delays.end());
+    double sum = 0.0;
+    for (const double d : delays) sum += d;
+    r.meanAccessDelayS = sum / static_cast<double>(delays.size());
+    r.p95AccessDelayS = delays[static_cast<std::size_t>(
+        0.95 * static_cast<double>(delays.size() - 1))];
+  }
+  if (r.deliveredFrames > 0) {
+    r.meanOverheadS = overheadTotal / r.deliveredFrames;
+  }
+  r.throughputFraction = usefulAirtime / t;
+  r.collisionRate = (attempts > 0) ? collisions / attempts : 0.0;
+  return r;
+}
+
+MacSimResult simulateTdma(const TdmaConfig& cfg, int nodes, double durationS) {
+  if (nodes < 1) throw InvalidArgumentError("simulateTdma: nodes must be >= 1");
+  if (durationS <= 0.0) {
+    throw InvalidArgumentError("simulateTdma: duration must be > 0");
+  }
+  if (cfg.slotS <= 0.0 || cfg.guardS < 0.0) {
+    throw InvalidArgumentError("simulateTdma: non-physical slot/guard");
+  }
+  const double slotSpan = cfg.slotS + cfg.guardS;
+  const double cycle = slotSpan * nodes;
+
+  MacSimResult r;
+  const double slots = std::floor(durationS / slotSpan);
+  r.offeredFrames = slots;
+  r.deliveredFrames = slots;  // saturated, collision-free by construction
+  r.droppedFrames = 0;
+  // A saturated node's next frame is ready the instant its slot ends and
+  // then waits one full cycle minus its own slot for the next turn.
+  r.meanAccessDelayS = cycle - cfg.slotS;
+  r.p95AccessDelayS = r.meanAccessDelayS;
+  r.meanOverheadS = cfg.guardS;
+  r.throughputFraction = cfg.slotS / slotSpan;
+  r.collisionRate = 0.0;
+  return r;
+}
+
+}  // namespace openspace

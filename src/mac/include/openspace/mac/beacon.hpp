@@ -1,0 +1,57 @@
+// Standardized OpenSpace beacon.
+//
+// §2.1/§2.2: every OpenSpace satellite periodically broadcasts an RF beacon
+// advertising its presence, identity, orbital information and link
+// capabilities. The same beacon drives (a) ISL discovery between satellites
+// and (b) user association (users pick the closest advertised satellite).
+#pragma once
+
+#include <vector>
+
+#include <openspace/orbit/elements.hpp>
+#include <openspace/orbit/ephemeris.hpp>
+#include <openspace/phy/bands.hpp>
+
+namespace openspace {
+
+/// Link capabilities advertised in a beacon.
+struct LinkCapabilities {
+  std::vector<Band> islBands;      ///< Must include at least one RF band.
+  bool hasLaserTerminal = false;
+  /// Body-frame pointing of the laser head, advertised so a peer can decide
+  /// geometric feasibility before initiating optical pairing (§2.1: the
+  /// pair request contains "the exact position of its laser diodes").
+  Vec3 laserBoresightBody{1.0, 0.0, 0.0};
+  int maxIslCount = 4;             ///< Terminal/power bound on simultaneous ISLs.
+};
+
+/// The over-the-air beacon payload.
+struct BeaconMessage {
+  SatelliteId satellite = 0;
+  ProviderId provider = 0;
+  double txTimeS = 0.0;
+  OrbitalElements elements;  ///< Current published orbit (public topology).
+  LinkCapabilities capabilities;
+};
+
+/// Beacon schedule: every satellite beacons with the standardized period,
+/// phase-staggered by id so co-located satellites do not collide every time.
+class BeaconSchedule {
+ public:
+  /// Throws InvalidArgumentError if period <= 0.
+  explicit BeaconSchedule(double periodS);
+
+  /// Time of the first beacon at or after `tSeconds` for satellite `id`.
+  double nextBeaconTime(SatelliteId id, double tSeconds) const;
+
+  /// Number of beacons satellite `id` emits in [t0, t1).
+  int beaconCount(SatelliteId id, double t0, double t1) const;
+
+  double periodS() const noexcept { return periodS_; }
+
+ private:
+  double phaseOf(SatelliteId id) const;
+  double periodS_;
+};
+
+}  // namespace openspace

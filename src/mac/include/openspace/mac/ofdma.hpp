@@ -1,0 +1,62 @@
+// OFDMA downlink scheduler for satellite-to-user links.
+//
+// §2.1: "existing satellite providers have employed OFDM in satellite-to-
+// ground links, and this choice has shown to work well in efficiently
+// utilizing the spectrum while minimizing interference with other users."
+// A satellite serving many ground users divides its channel into resource
+// blocks and allocates them per scheduling epoch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace openspace {
+
+/// One user's standing downlink demand as seen by the scheduler.
+struct OfdmaDemand {
+  std::uint64_t userId = 0;
+  double demandBps = 0.0;              ///< Requested rate this epoch.
+  double spectralEfficiency = 2.0;     ///< From the user's current MODCOD.
+  double weight = 1.0;                 ///< QoS weight (plan tier).
+};
+
+/// Allocation granted to one user.
+struct OfdmaGrant {
+  std::uint64_t userId = 0;
+  int resourceBlocks = 0;
+  double grantedBps = 0.0;
+};
+
+/// Scheduler policy.
+enum class OfdmaPolicy {
+  RoundRobin,        ///< Equal blocks regardless of demand.
+  ProportionalFair,  ///< Blocks proportional to weight, capped at demand.
+  MaxThroughput,     ///< Blocks to the highest spectral efficiency first.
+};
+
+/// OFDMA epoch scheduler over a fixed grid of resource blocks.
+class OfdmaScheduler {
+ public:
+  /// `channelBandwidthHz` divided into `resourceBlocks` equal blocks.
+  /// Throws InvalidArgumentError for non-positive parameters.
+  OfdmaScheduler(double channelBandwidthHz, int resourceBlocks, OfdmaPolicy policy);
+
+  /// Allocate the epoch's blocks across the demands. Users with zero demand
+  /// receive nothing; unused blocks are redistributed (PF/MaxTp) or left
+  /// idle (RR). Result is ordered like the input.
+  std::vector<OfdmaGrant> schedule(const std::vector<OfdmaDemand>& demands) const;
+
+  /// Bandwidth of one resource block, Hz.
+  double blockBandwidthHz() const noexcept;
+
+  int resourceBlocks() const noexcept { return blocks_; }
+  OfdmaPolicy policy() const noexcept { return policy_; }
+
+ private:
+  double bandwidthHz_;
+  int blocks_;
+  OfdmaPolicy policy_;
+};
+
+}  // namespace openspace

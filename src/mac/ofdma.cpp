@@ -1,0 +1,118 @@
+#include <openspace/mac/ofdma.hpp>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <openspace/geo/error.hpp>
+
+namespace openspace {
+
+OfdmaScheduler::OfdmaScheduler(double channelBandwidthHz, int resourceBlocks,
+                               OfdmaPolicy policy)
+    : bandwidthHz_(channelBandwidthHz), blocks_(resourceBlocks), policy_(policy) {
+  if (channelBandwidthHz <= 0.0 || resourceBlocks <= 0) {
+    throw InvalidArgumentError("OfdmaScheduler: non-positive channel/blocks");
+  }
+}
+
+double OfdmaScheduler::blockBandwidthHz() const noexcept {
+  return bandwidthHz_ / blocks_;
+}
+
+std::vector<OfdmaGrant> OfdmaScheduler::schedule(
+    const std::vector<OfdmaDemand>& demands) const {
+  std::vector<OfdmaGrant> grants(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    if (demands[i].demandBps < 0.0 || demands[i].spectralEfficiency <= 0.0 ||
+        demands[i].weight < 0.0) {
+      throw InvalidArgumentError("OfdmaScheduler: invalid demand entry");
+    }
+    grants[i].userId = demands[i].userId;
+  }
+
+  // Blocks a user still wants: ceil(demand / per-block rate).
+  const auto blocksWanted = [&](const OfdmaDemand& d, int granted) {
+    const double perBlockBps = d.spectralEfficiency * blockBandwidthHz();
+    const int want = static_cast<int>(std::ceil(d.demandBps / perBlockBps));
+    return std::max(0, want - granted);
+  };
+
+  int remaining = blocks_;
+  switch (policy_) {
+    case OfdmaPolicy::RoundRobin: {
+      // Cycle over users with outstanding demand, one block each pass.
+      bool progress = true;
+      while (remaining > 0 && progress) {
+        progress = false;
+        for (std::size_t i = 0; i < demands.size() && remaining > 0; ++i) {
+          if (blocksWanted(demands[i], grants[i].resourceBlocks) > 0) {
+            ++grants[i].resourceBlocks;
+            --remaining;
+            progress = true;
+          }
+        }
+      }
+      break;
+    }
+    case OfdmaPolicy::ProportionalFair: {
+      // Weighted shares, then largest-remainder on leftovers, capped at demand.
+      double totalWeight = 0.0;
+      for (const auto& d : demands) {
+        if (d.demandBps > 0.0) totalWeight += d.weight;
+      }
+      if (totalWeight > 0.0) {
+        for (std::size_t i = 0; i < demands.size(); ++i) {
+          if (demands[i].demandBps <= 0.0) continue;
+          const int share = static_cast<int>(
+              std::floor(blocks_ * demands[i].weight / totalWeight));
+          const int want = blocksWanted(demands[i], 0);
+          grants[i].resourceBlocks = std::min(share, want);
+          remaining -= grants[i].resourceBlocks;
+        }
+        // Hand leftovers to whoever still wants blocks, heaviest weight first.
+        std::vector<std::size_t> idx(demands.size());
+        std::iota(idx.begin(), idx.end(), 0u);
+        std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+          return demands[a].weight > demands[b].weight;
+        });
+        bool progress = true;
+        while (remaining > 0 && progress) {
+          progress = false;
+          for (const std::size_t i : idx) {
+            if (remaining == 0) break;
+            if (blocksWanted(demands[i], grants[i].resourceBlocks) > 0) {
+              ++grants[i].resourceBlocks;
+              --remaining;
+              progress = true;
+            }
+          }
+        }
+      }
+      break;
+    }
+    case OfdmaPolicy::MaxThroughput: {
+      // Serve users in descending spectral efficiency until blocks run out.
+      std::vector<std::size_t> idx(demands.size());
+      std::iota(idx.begin(), idx.end(), 0u);
+      std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+        return demands[a].spectralEfficiency > demands[b].spectralEfficiency;
+      });
+      for (const std::size_t i : idx) {
+        if (remaining == 0) break;
+        const int give = std::min(remaining, blocksWanted(demands[i], 0));
+        grants[i].resourceBlocks = give;
+        remaining -= give;
+      }
+      break;
+    }
+  }
+
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    grants[i].grantedBps = grants[i].resourceBlocks * blockBandwidthHz() *
+                           demands[i].spectralEfficiency;
+  }
+  return grants;
+}
+
+}  // namespace openspace

@@ -1,0 +1,46 @@
+#include <openspace/net/event.hpp>
+
+#include <utility>
+
+#include <openspace/geo/error.hpp>
+
+namespace openspace {
+
+void EventQueue::schedule(double tSeconds, Handler fn) {
+  if (tSeconds < now_) {
+    throw InvalidArgumentError("EventQueue::schedule: time is in the past");
+  }
+  events_.push(Ev{tSeconds, seq_++, std::move(fn)});
+}
+
+void EventQueue::scheduleIn(double delayS, Handler fn) {
+  schedule(now_ + delayS, std::move(fn));
+}
+
+bool EventQueue::step() {
+  if (events_.empty()) return false;
+  // priority_queue::top is const; the handler must be moved out before pop.
+  Ev ev = std::move(const_cast<Ev&>(events_.top()));
+  events_.pop();
+  now_ = ev.t;
+  ev.fn();
+  return true;
+}
+
+std::size_t EventQueue::run(double untilS) {
+  std::size_t n = 0;
+  while (!events_.empty() && events_.top().t <= untilS) {
+    step();
+    ++n;
+  }
+  if (now_ < untilS) now_ = untilS;
+  return n;
+}
+
+std::size_t EventQueue::runAll() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+}  // namespace openspace

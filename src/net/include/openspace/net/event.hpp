@@ -1,0 +1,54 @@
+// Discrete-event simulation core.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+
+namespace openspace {
+
+/// A monotonic discrete-event queue. Events scheduled for the same time
+/// fire in scheduling order (FIFO tie-break), which keeps runs
+/// deterministic.
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `tSeconds`. Throws InvalidArgumentError
+  /// if tSeconds is before now() (no time travel).
+  void schedule(double tSeconds, Handler fn);
+
+  /// Schedule `fn` `delayS` seconds from now.
+  void scheduleIn(double delayS, Handler fn);
+
+  /// Run until the queue empties or simulated time would exceed `untilS`.
+  /// Returns the number of events executed.
+  std::size_t run(double untilS);
+
+  /// Run every pending event (no time bound).
+  std::size_t runAll();
+
+  /// Execute at most one event. Returns false if the queue is empty.
+  bool step();
+
+  double now() const noexcept { return now_; }
+  bool empty() const noexcept { return events_.empty(); }
+  std::size_t pending() const noexcept { return events_.size(); }
+
+ private:
+  struct Ev {
+    double t;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const noexcept {
+      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
+    }
+  };
+  std::priority_queue<Ev, std::vector<Ev>, Later> events_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace openspace

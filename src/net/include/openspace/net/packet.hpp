@@ -1,0 +1,36 @@
+// Packets and delivery accounting.
+#pragma once
+
+#include <cstdint>
+
+#include <openspace/routing/route.hpp>
+
+namespace openspace {
+
+using PacketId = std::uint64_t;
+
+/// A simulated datagram.
+struct Packet {
+  PacketId id = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  double sizeBits = 12'000.0;  ///< Default ~1500 B MTU.
+  double createdAtS = 0.0;
+  QosClass qos = QosClass::Standard;
+  ProviderId homeProvider = 0;  ///< The user's home ISP (drives accounting).
+};
+
+/// Why a packet failed to deliver.
+enum class DropReason { None, QueueOverflow, NoRoute, Ttl };
+
+/// Per-packet delivery record.
+struct DeliveryRecord {
+  Packet packet;
+  bool delivered = false;
+  DropReason drop = DropReason::None;
+  double deliveredAtS = 0.0;
+  double latencyS = 0.0;
+  int hops = 0;
+};
+
+}  // namespace openspace

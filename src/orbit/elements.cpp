@@ -1,0 +1,126 @@
+#include <openspace/orbit/elements.hpp>
+
+#include <cmath>
+#include <numbers>
+
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/geodetic.hpp>
+#include <openspace/geo/wgs84.hpp>
+
+namespace openspace {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}  // namespace
+
+OrbitalElements OrbitalElements::circular(double altitudeM, double inclinationRad,
+                                          double raanRad, double phaseRad) {
+  if (altitudeM <= 0.0) {
+    throw InvalidArgumentError("OrbitalElements::circular: altitude must be > 0");
+  }
+  OrbitalElements el;
+  el.semiMajorAxisM = wgs84::kMeanRadiusM + altitudeM;
+  el.eccentricity = 0.0;
+  el.inclinationRad = inclinationRad;
+  el.raanRad = raanRad;
+  el.argPerigeeRad = 0.0;
+  el.meanAnomalyAtEpochRad = phaseRad;
+  return el;
+}
+
+double OrbitalElements::periodS() const {
+  return kTwoPi * std::sqrt(std::pow(semiMajorAxisM, 3) / wgs84::kMuM3PerS2);
+}
+
+double OrbitalElements::meanMotionRadPerS() const {
+  return std::sqrt(wgs84::kMuM3PerS2 / std::pow(semiMajorAxisM, 3));
+}
+
+double OrbitalElements::perigeeAltitudeM() const {
+  return semiMajorAxisM * (1.0 - eccentricity) - wgs84::kMeanRadiusM;
+}
+
+double solveKepler(double meanAnomalyRad, double eccentricity) {
+  if (eccentricity < 0.0 || eccentricity >= 1.0) {
+    throw InvalidArgumentError("solveKepler: eccentricity must be in [0, 1)");
+  }
+  if (eccentricity == 0.0) return meanAnomalyRad;
+  // Newton's method on f(E) = E - e sin E - M. Starting from E = M (or pi
+  // for high e) converges quadratically; 20 iterations is far more than
+  // needed for e < 1 but bounds the loop.
+  double e = eccentricity;
+  double m = std::remainder(meanAnomalyRad, kTwoPi);
+  double guess = (e > 0.8) ? std::numbers::pi : m;
+  for (int i = 0; i < 20; ++i) {
+    const double f = guess - e * std::sin(guess) - m;
+    const double fp = 1.0 - e * std::cos(guess);
+    const double step = f / fp;
+    guess -= step;
+    if (std::abs(step) < 1e-14) break;
+  }
+  // Return in the same revolution as the input mean anomaly.
+  return guess + (meanAnomalyRad - m);
+}
+
+StateVector propagate(const OrbitalElements& el, double tSeconds) {
+  const double n = el.meanMotionRadPerS();
+  const double m = el.meanAnomalyAtEpochRad + n * tSeconds;
+  const double ecc = el.eccentricity;
+  const double eAnom = solveKepler(m, ecc);
+
+  // Perifocal coordinates.
+  const double a = el.semiMajorAxisM;
+  const double cosE = std::cos(eAnom);
+  const double sinE = std::sin(eAnom);
+  const double r = a * (1.0 - ecc * cosE);
+  const double xP = a * (cosE - ecc);
+  const double yP = a * std::sqrt(1.0 - ecc * ecc) * sinE;
+  const double rDotCoef = std::sqrt(wgs84::kMuM3PerS2 * a) / r;
+  const double vxP = -rDotCoef * sinE;
+  const double vyP = rDotCoef * std::sqrt(1.0 - ecc * ecc) * cosE;
+
+  // Rotate perifocal -> ECI: Rz(raan) * Rx(incl) * Rz(argPerigee).
+  const double cO = std::cos(el.raanRad), sO = std::sin(el.raanRad);
+  const double cI = std::cos(el.inclinationRad), sI = std::sin(el.inclinationRad);
+  const double cW = std::cos(el.argPerigeeRad), sW = std::sin(el.argPerigeeRad);
+
+  const double r11 = cO * cW - sO * sW * cI;
+  const double r12 = -cO * sW - sO * cW * cI;
+  const double r21 = sO * cW + cO * sW * cI;
+  const double r22 = -sO * sW + cO * cW * cI;
+  const double r31 = sW * sI;
+  const double r32 = cW * sI;
+
+  StateVector sv;
+  sv.positionM = {r11 * xP + r12 * yP, r21 * xP + r22 * yP, r31 * xP + r32 * yP};
+  sv.velocityMps = {r11 * vxP + r12 * vyP, r21 * vxP + r22 * vyP,
+                    r31 * vxP + r32 * vyP};
+  return sv;
+}
+
+Vec3 positionEci(const OrbitalElements& el, double tSeconds) {
+  return propagate(el, tSeconds).positionM;
+}
+
+std::vector<GroundTrackPoint> groundTrack(const OrbitalElements& el, double t0,
+                                          double t1, double stepS) {
+  if (stepS <= 0.0) throw InvalidArgumentError("groundTrack: step must be > 0");
+  if (t1 < t0) throw InvalidArgumentError("groundTrack: t1 < t0");
+  std::vector<GroundTrackPoint> track;
+  track.reserve(static_cast<std::size_t>((t1 - t0) / stepS) + 1);
+  for (double t = t0; t <= t1 + 1e-9; t += stepS) {
+    const Vec3 ecef = eciToEcef(positionEci(el, t), t);
+    const Geodetic g = ecefToGeodetic(ecef);
+    track.push_back({t, g.latitudeRad, g.longitudeRad, g.altitudeM});
+  }
+  return track;
+}
+
+std::ostream& operator<<(std::ostream& os, const OrbitalElements& el) {
+  return os << "OrbitalElements{a=" << el.semiMajorAxisM << "m e=" << el.eccentricity
+            << " i=" << el.inclinationRad << " raan=" << el.raanRad
+            << " argp=" << el.argPerigeeRad << " M0=" << el.meanAnomalyAtEpochRad
+            << '}';
+}
+
+}  // namespace openspace

@@ -1,0 +1,54 @@
+#include <openspace/orbit/ephemeris.hpp>
+
+#include <openspace/geo/error.hpp>
+
+namespace openspace {
+
+SatelliteId EphemerisService::publish(ProviderId owner,
+                                      const OrbitalElements& elements) {
+  while (records_.contains(nextId_)) ++nextId_;
+  const SatelliteId id = nextId_++;
+  records_.emplace(id, EphemerisRecord{id, owner, elements});
+  order_.push_back(id);
+  return id;
+}
+
+void EphemerisService::publishWithId(SatelliteId id, ProviderId owner,
+                                     const OrbitalElements& elements) {
+  if (records_.contains(id)) {
+    throw InvalidArgumentError("EphemerisService: satellite id already published");
+  }
+  records_.emplace(id, EphemerisRecord{id, owner, elements});
+  order_.push_back(id);
+}
+
+const EphemerisRecord& EphemerisService::record(SatelliteId id) const {
+  const auto it = records_.find(id);
+  if (it == records_.end()) {
+    throw NotFoundError("EphemerisService: unknown satellite id " +
+                        std::to_string(id));
+  }
+  return it->second;
+}
+
+bool EphemerisService::contains(SatelliteId id) const noexcept {
+  return records_.contains(id);
+}
+
+Vec3 EphemerisService::positionEci(SatelliteId id, double tSeconds) const {
+  return openspace::positionEci(record(id).elements, tSeconds);
+}
+
+StateVector EphemerisService::state(SatelliteId id, double tSeconds) const {
+  return propagate(record(id).elements, tSeconds);
+}
+
+std::vector<SatelliteId> EphemerisService::satellitesOf(ProviderId provider) const {
+  std::vector<SatelliteId> out;
+  for (const SatelliteId id : order_) {
+    if (records_.at(id).owner == provider) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace openspace

@@ -1,0 +1,72 @@
+// The public ephemeris service.
+//
+// The paper's routing design rests on the observation that "the radar-
+// tracked orbital paths of satellites are well-known and readily available
+// on public websites", giving every OpenSpace participant "a full public
+// view of the topology of the entire network". EphemerisService is that
+// shared registry: every provider publishes its satellites' orbital
+// elements here, and any participant can query any satellite's position at
+// any (past or future) time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <openspace/orbit/elements.hpp>
+
+namespace openspace {
+
+/// Opaque satellite identifier, unique network-wide.
+using SatelliteId = std::uint32_t;
+
+/// Opaque provider (ISP / operator) identifier.
+using ProviderId = std::uint32_t;
+
+/// One published ephemeris record.
+struct EphemerisRecord {
+  SatelliteId satellite = 0;
+  ProviderId owner = 0;
+  OrbitalElements elements;
+};
+
+/// Shared, append-only registry of every participating satellite's orbit.
+class EphemerisService {
+ public:
+  /// Publish a satellite's orbit. Returns the assigned SatelliteId.
+  SatelliteId publish(ProviderId owner, const OrbitalElements& elements);
+
+  /// Publish with a caller-chosen id. Throws InvalidArgumentError if the id
+  /// is already taken.
+  void publishWithId(SatelliteId id, ProviderId owner,
+                     const OrbitalElements& elements);
+
+  /// Look up a record. Throws NotFoundError for unknown ids.
+  const EphemerisRecord& record(SatelliteId id) const;
+
+  /// True if the id is registered.
+  bool contains(SatelliteId id) const noexcept;
+
+  /// ECI position of a satellite at time t. Throws NotFoundError.
+  Vec3 positionEci(SatelliteId id, double tSeconds) const;
+
+  /// ECI state (position + velocity). Throws NotFoundError.
+  StateVector state(SatelliteId id, double tSeconds) const;
+
+  /// All registered satellite ids, in publication order.
+  const std::vector<SatelliteId>& satellites() const noexcept { return order_; }
+
+  /// Ids of satellites owned by `provider`, in publication order.
+  std::vector<SatelliteId> satellitesOf(ProviderId provider) const;
+
+  std::size_t size() const noexcept { return order_.size(); }
+
+ private:
+  std::unordered_map<SatelliteId, EphemerisRecord> records_;
+  std::vector<SatelliteId> order_;
+  SatelliteId nextId_ = 1;
+};
+
+}  // namespace openspace

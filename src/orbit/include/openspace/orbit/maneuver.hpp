@@ -1,0 +1,66 @@
+// Orbital maneuver planning.
+//
+// §3 counts "launching and maneuvering satellites into the desired orbit"
+// among the dominant startup costs. This module quantifies the maneuvering
+// part: impulsive two-body transfers (Hohmann altitude raises, plane
+// changes, in-plane phasing into a constellation slot) and the propellant
+// they cost via the rocket equation — feeding the capex model with a
+// physics-backed line item instead of a guess.
+#pragma once
+
+#include <openspace/orbit/elements.hpp>
+
+namespace openspace {
+
+/// Circular-orbit speed at radius r (vis-viva, e = 0).
+double circularVelocityMps(double radiusM);
+
+/// Total delta-v (m/s) of a Hohmann transfer between two circular coplanar
+/// orbits of radii r1, r2 (either direction). Throws InvalidArgumentError
+/// for non-positive radii.
+double hohmannDeltaVMps(double r1M, double r2M);
+
+/// Transfer time of the Hohmann ellipse (half its period), seconds.
+double hohmannTransferTimeS(double r1M, double r2M);
+
+/// Delta-v of a pure plane change of `angleRad` at circular radius r:
+/// 2 v sin(angle/2). Plane changes are notoriously expensive — this is why
+/// OpenSpace providers launch into their target planes rather than
+/// re-planing on orbit.
+double planeChangeDeltaVMps(double radiusM, double angleRad);
+
+/// In-plane phasing: drift `phaseChangeRad` along the orbit (positive =
+/// move ahead) by temporarily lowering/raising to a phasing orbit for
+/// `revolutions` laps. Returns the delta-v cost and the time it takes.
+struct PhasingPlan {
+  double deltaVMps = 0.0;
+  double durationS = 0.0;
+  double phasingSemiMajorAxisM = 0.0;
+};
+
+/// Throws InvalidArgumentError for revolutions < 1, |phase| >= 2*pi, or a
+/// phasing orbit that would dip below ~160 km altitude (re-entry).
+PhasingPlan planPhasing(const OrbitalElements& orbit, double phaseChangeRad,
+                        int revolutions);
+
+/// Propellant mass (kg) to achieve `deltaVMps` from `dryMassKg` with an
+/// engine of `ispSeconds` specific impulse (Tsiolkovsky). Throws
+/// InvalidArgumentError on non-positive inputs.
+double propellantMassKg(double dryMassKg, double deltaVMps, double ispSeconds);
+
+/// Full slot-acquisition budget: from a rideshare drop-off orbit (circular
+/// at `injectionAltM`, same plane as target by assumption of a dedicated
+/// launch window) to the target circular slot: altitude raise + phasing.
+struct SlotAcquisition {
+  double totalDeltaVMps = 0.0;
+  double totalDurationS = 0.0;
+  double propellantKg = 0.0;  ///< For the given dry mass / Isp.
+};
+
+SlotAcquisition planSlotAcquisition(double injectionAltM,
+                                    const OrbitalElements& targetSlot,
+                                    double targetPhaseErrorRad,
+                                    double dryMassKg,
+                                    double ispSeconds = 220.0);
+
+}  // namespace openspace

@@ -1,0 +1,50 @@
+// Walker constellation generators.
+//
+// The paper's §4 simulation uses an Iridium-like Walker *Star* constellation
+// (near-polar planes spread over 180 degrees of RAAN) and cites the CBO
+// 72-satellite, 6-plane, 80-degree-inclination configuration. Walker *Delta*
+// (planes over 360 degrees, e.g. Starlink shells) is provided for contrast.
+#pragma once
+
+#include <vector>
+
+#include <openspace/orbit/elements.hpp>
+
+namespace openspace {
+
+/// Parameters of a Walker constellation i:T/P/F.
+struct WalkerConfig {
+  int totalSatellites = 0;   ///< T: total satellite count.
+  int planes = 0;            ///< P: number of orbital planes (must divide T).
+  int phasing = 0;           ///< F: inter-plane phasing parameter in [0, P).
+  double altitudeM = 0.0;    ///< Orbit altitude above mean-radius Earth.
+  double inclinationRad = 0.0;
+};
+
+/// Generate a Walker Star constellation: P planes spread over 180 degrees of
+/// RAAN (adjacent planes co-rotating except at the seam), T/P satellites
+/// evenly phased per plane, inter-plane phase offset F*360/T degrees.
+/// Satellite k*S+j is plane k, in-plane slot j. Throws InvalidArgumentError
+/// on inconsistent parameters (P !| T, F outside [0,P), alt <= 0, ...).
+std::vector<OrbitalElements> makeWalkerStar(const WalkerConfig& cfg);
+
+/// Generate a Walker Delta constellation: planes spread over 360 degrees.
+std::vector<OrbitalElements> makeWalkerDelta(const WalkerConfig& cfg);
+
+/// The paper's baseline: Iridium (66 satellites, 6 planes, 780 km).
+/// Inclination defaults to the real Iridium 86.4 degrees.
+WalkerConfig iridiumConfig();
+
+/// The CBO primer configuration the paper cites: 72 satellites, 12 per
+/// plane in 6 planes, 80 degree inclination (altitude per CBO primer class,
+/// we use 780 km to match the Iridium-like regime the paper simulates).
+WalkerConfig cboConfig();
+
+/// Generate `n` satellites on independent random circular orbits at the
+/// given altitude: inclination, RAAN and phase drawn uniformly. This is the
+/// paper's §4 setup ("randomly distributing satellites' orbital paths") and
+/// models uncoordinated orbits from many independent providers.
+std::vector<OrbitalElements> makeRandomConstellation(int n, double altitudeM,
+                                                     class Rng& rng);
+
+}  // namespace openspace

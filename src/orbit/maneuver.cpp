@@ -1,0 +1,136 @@
+#include <openspace/orbit/maneuver.hpp>
+
+#include <cmath>
+#include <numbers>
+
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/wgs84.hpp>
+
+namespace openspace {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+constexpr double kMinSafeRadiusM = wgs84::kMeanRadiusM + 160'000.0;
+
+double periodOf(double semiMajorAxisM) {
+  return kTwoPi * std::sqrt(std::pow(semiMajorAxisM, 3) / wgs84::kMuM3PerS2);
+}
+}  // namespace
+
+double circularVelocityMps(double radiusM) {
+  if (radiusM <= 0.0) {
+    throw InvalidArgumentError("circularVelocityMps: radius must be > 0");
+  }
+  return std::sqrt(wgs84::kMuM3PerS2 / radiusM);
+}
+
+double hohmannDeltaVMps(double r1M, double r2M) {
+  if (r1M <= 0.0 || r2M <= 0.0) {
+    throw InvalidArgumentError("hohmannDeltaV: radii must be > 0");
+  }
+  if (r1M == r2M) return 0.0;
+  const double mu = wgs84::kMuM3PerS2;
+  const double aT = (r1M + r2M) / 2.0;  // transfer ellipse semi-major axis
+  const double v1 = circularVelocityMps(r1M);
+  const double v2 = circularVelocityMps(r2M);
+  const double vPeri = std::sqrt(mu * (2.0 / r1M - 1.0 / aT));
+  const double vApo = std::sqrt(mu * (2.0 / r2M - 1.0 / aT));
+  return std::abs(vPeri - v1) + std::abs(v2 - vApo);
+}
+
+double hohmannTransferTimeS(double r1M, double r2M) {
+  if (r1M <= 0.0 || r2M <= 0.0) {
+    throw InvalidArgumentError("hohmannTransferTime: radii must be > 0");
+  }
+  return periodOf((r1M + r2M) / 2.0) / 2.0;
+}
+
+double planeChangeDeltaVMps(double radiusM, double angleRad) {
+  const double v = circularVelocityMps(radiusM);
+  return 2.0 * v * std::abs(std::sin(angleRad / 2.0));
+}
+
+PhasingPlan planPhasing(const OrbitalElements& orbit, double phaseChangeRad,
+                        int revolutions) {
+  if (revolutions < 1) {
+    throw InvalidArgumentError("planPhasing: revolutions must be >= 1");
+  }
+  if (std::abs(phaseChangeRad) >= kTwoPi) {
+    throw InvalidArgumentError("planPhasing: |phase| must be < 2*pi");
+  }
+  PhasingPlan plan;
+  if (phaseChangeRad == 0.0) {
+    plan.phasingSemiMajorAxisM = orbit.semiMajorAxisM;
+    return plan;
+  }
+  // To drift ahead by dphi over k revolutions, fly an orbit whose period is
+  // shorter by dphi/(2*pi*k): T_p = T * (1 - dphi / (2*pi*k)).
+  const double t0 = orbit.periodS();
+  const double tP =
+      t0 * (1.0 - phaseChangeRad / (kTwoPi * static_cast<double>(revolutions)));
+  const double aP = std::cbrt(wgs84::kMuM3PerS2 *
+                              std::pow(tP / kTwoPi, 2));
+  // The phasing ellipse keeps one apsis at the operational radius; its
+  // other apsis is at 2*aP - r.
+  const double rOther = 2.0 * aP - orbit.semiMajorAxisM;
+  if (rOther < kMinSafeRadiusM) {
+    throw InvalidArgumentError(
+        "planPhasing: phasing orbit dips below the safe-altitude floor; use "
+        "more revolutions");
+  }
+  // Enter and exit the phasing orbit: two burns of |v_ellipse - v_circ| at
+  // the shared apsis.
+  const double vCirc = circularVelocityMps(orbit.semiMajorAxisM);
+  const double vEllipse = std::sqrt(wgs84::kMuM3PerS2 *
+                                    (2.0 / orbit.semiMajorAxisM - 1.0 / aP));
+  plan.deltaVMps = 2.0 * std::abs(vEllipse - vCirc);
+  plan.durationS = tP * revolutions;
+  plan.phasingSemiMajorAxisM = aP;
+  return plan;
+}
+
+double propellantMassKg(double dryMassKg, double deltaVMps, double ispSeconds) {
+  if (dryMassKg <= 0.0 || ispSeconds <= 0.0 || deltaVMps < 0.0) {
+    throw InvalidArgumentError("propellantMassKg: non-physical inputs");
+  }
+  constexpr double g0 = 9.80665;
+  return dryMassKg * (std::exp(deltaVMps / (ispSeconds * g0)) - 1.0);
+}
+
+SlotAcquisition planSlotAcquisition(double injectionAltM,
+                                    const OrbitalElements& targetSlot,
+                                    double targetPhaseErrorRad,
+                                    double dryMassKg, double ispSeconds) {
+  if (injectionAltM <= 0.0) {
+    throw InvalidArgumentError("planSlotAcquisition: injection altitude <= 0");
+  }
+  const double rInj = wgs84::kMeanRadiusM + injectionAltM;
+  const double rTgt = targetSlot.semiMajorAxisM;
+
+  SlotAcquisition out;
+  out.totalDeltaVMps = hohmannDeltaVMps(rInj, rTgt);
+  out.totalDurationS = hohmannTransferTimeS(rInj, rTgt);
+  if (targetPhaseErrorRad != 0.0) {
+    // Use enough revolutions to keep the phasing orbit shallow (<= ~30 km
+    // apsis offset per revolution as a rule of thumb).
+    int revs = 1;
+    PhasingPlan phasing;
+    for (;; ++revs) {
+      try {
+        phasing = planPhasing(targetSlot, targetPhaseErrorRad, revs);
+      } catch (const InvalidArgumentError&) {
+        continue;  // too aggressive: add revolutions
+      }
+      if (std::abs(phasing.phasingSemiMajorAxisM - rTgt) < 60'000.0 ||
+          revs >= 40) {
+        break;
+      }
+    }
+    out.totalDeltaVMps += phasing.deltaVMps;
+    out.totalDurationS += phasing.durationS;
+  }
+  out.propellantKg = propellantMassKg(dryMassKg, out.totalDeltaVMps, ispSeconds);
+  return out;
+}
+
+}  // namespace openspace

@@ -1,0 +1,95 @@
+#include <openspace/orbit/visibility.hpp>
+
+#include <cmath>
+#include <numbers>
+
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/wgs84.hpp>
+
+namespace openspace {
+
+namespace {
+constexpr double kHalfPi = std::numbers::pi / 2.0;
+
+void checkFootprintArgs(double altitudeM, double minElevationRad) {
+  if (altitudeM <= 0.0) {
+    throw InvalidArgumentError("footprint: altitude must be > 0");
+  }
+  if (minElevationRad < 0.0 || minElevationRad > kHalfPi) {
+    throw InvalidArgumentError("footprint: elevation must be in [0, pi/2]");
+  }
+}
+}  // namespace
+
+double footprintHalfAngleRad(double altitudeM, double minElevationRad) {
+  checkFootprintArgs(altitudeM, minElevationRad);
+  const double re = wgs84::kMeanRadiusM;
+  const double ratio = re / (re + altitudeM) * std::cos(minElevationRad);
+  return std::acos(ratio) - minElevationRad;
+}
+
+double maxSlantRangeM(double altitudeM, double minElevationRad) {
+  checkFootprintArgs(altitudeM, minElevationRad);
+  // Law of cosines in the Earth-center / ground / satellite triangle with
+  // the central angle lambda between ground point and sub-satellite point.
+  const double re = wgs84::kMeanRadiusM;
+  const double rs = re + altitudeM;
+  const double lambda = footprintHalfAngleRad(altitudeM, minElevationRad);
+  return std::sqrt(re * re + rs * rs - 2.0 * re * rs * std::cos(lambda));
+}
+
+double elevationFrom(const Vec3& satEci, const Geodetic& ground, double tSeconds) {
+  const Vec3 groundEcef = geodeticToEcef(ground);
+  const Vec3 satEcef = eciToEcef(satEci, tSeconds);
+  return elevationAngleRad(groundEcef, satEcef);
+}
+
+bool isVisible(const Vec3& satEci, const Geodetic& ground, double tSeconds,
+               double minElevationRad) {
+  return elevationFrom(satEci, ground, tSeconds) >= minElevationRad;
+}
+
+std::vector<ContactWindow> contactWindows(const OrbitalElements& el,
+                                          const Geodetic& ground, double t0,
+                                          double t1, double minElevationRad,
+                                          double stepS) {
+  if (stepS <= 0.0) throw InvalidArgumentError("contactWindows: step must be > 0");
+  if (t1 < t0) throw InvalidArgumentError("contactWindows: t1 < t0");
+
+  const auto above = [&](double t) {
+    return elevationFrom(positionEci(el, t), ground, t) >= minElevationRad;
+  };
+  // Bisect a rise/set edge between tLo (state `lo`) and tHi to ~1 ms.
+  const auto refine = [&](double tLo, double tHi, bool lo) {
+    for (int i = 0; i < 40 && (tHi - tLo) > 1e-3; ++i) {
+      const double mid = 0.5 * (tLo + tHi);
+      if (above(mid) == lo) {
+        tLo = mid;
+      } else {
+        tHi = mid;
+      }
+    }
+    return 0.5 * (tLo + tHi);
+  };
+
+  std::vector<ContactWindow> windows;
+  bool prev = above(t0);
+  double windowStart = prev ? t0 : 0.0;
+  double prevT = t0;
+  for (double t = t0 + stepS; t < t1 + stepS; t += stepS) {
+    const double tc = std::min(t, t1);
+    const bool cur = above(tc);
+    if (cur && !prev) {
+      windowStart = refine(prevT, tc, /*lo=*/false);
+    } else if (!cur && prev) {
+      windows.push_back({windowStart, refine(prevT, tc, /*lo=*/true)});
+    }
+    prev = cur;
+    prevT = tc;
+    if (tc >= t1) break;
+  }
+  if (prev) windows.push_back({windowStart, t1});
+  return windows;
+}
+
+}  // namespace openspace

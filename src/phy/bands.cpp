@@ -1,0 +1,53 @@
+#include <openspace/phy/bands.hpp>
+
+#include <array>
+#include <cmath>
+
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/units.hpp>
+
+namespace openspace {
+
+namespace {
+
+constexpr std::array<BandInfo, 5> kBands = {{
+    {Band::Uhf, "UHF", 401e6, megahertz(0.5), true, true, 0.03},
+    {Band::S, "S", 2.2e9, megahertz(5.0), true, true, 0.05},
+    {Band::Ku, "Ku", 12.5e9, megahertz(250.0), false, true, 0.3},
+    {Band::Ka, "Ka", 20.0e9, megahertz(500.0), false, true, 0.6},
+    {Band::Optical, "optical", 1.934e14, gigahertz(10.0), true, false, 0.0},
+}};
+
+}  // namespace
+
+const BandInfo& bandInfo(Band b) noexcept {
+  return kBands[static_cast<std::size_t>(b)];
+}
+
+std::string_view bandName(Band b) noexcept { return bandInfo(b).name; }
+
+double atmosphericLossDb(Band b, double elevationRad, double rainMmPerHour) {
+  if (elevationRad <= 0.0) {
+    throw InvalidArgumentError("atmosphericLossDb: elevation must be > 0");
+  }
+  if (rainMmPerHour < 0.0) {
+    throw InvalidArgumentError("atmosphericLossDb: rain rate must be >= 0");
+  }
+  const BandInfo& info = bandInfo(b);
+  if (b == Band::Optical) return 0.0;  // ISL-only band, vacuum path.
+  // Cosecant model: zenith loss scaled by slant path through troposphere.
+  const double slantFactor = 1.0 / std::max(std::sin(elevationRad), 0.05);
+  double loss = info.zenithAttenuationDb * slantFactor;
+  if (rainMmPerHour > 0.0) {
+    // Simplified ITU-R P.838 power law gamma = k * R^alpha (dB/km) with
+    // frequency-dependent k; effective rain path ~4 km / sin(elevation).
+    const double fGhz = info.carrierHz / 1e9;
+    const double k = 4.21e-5 * std::pow(fGhz, 2.42);  // valid ~3-54 GHz
+    const double alpha = 1.41 * std::pow(fGhz, -0.0779);
+    const double gammaDbPerKm = k * std::pow(rainMmPerHour, alpha);
+    loss += gammaDbPerKm * 4.0 * slantFactor;
+  }
+  return loss;
+}
+
+}  // namespace openspace

@@ -1,0 +1,48 @@
+// Spectrum band plan for OpenSpace links.
+//
+// The paper (§2.1) specifies: RF ISLs reuse the flight-proven UHF- and
+// S-band spectra; optical (laser) ISLs are an optional upgrade; ground
+// links follow current practice (Ku-band licensed for satellite broadband
+// in the US), with the exact uplink/downlink frequencies region-dependent.
+#pragma once
+
+#include <string_view>
+
+namespace openspace {
+
+/// Frequency bands a standards-compliant OpenSpace radio may operate in.
+enum class Band {
+  Uhf,      ///< ~400 MHz. Minimal ISL band: robust, low rate, low power.
+  S,        ///< ~2.2 GHz. Standard RF ISL band.
+  Ku,       ///< ~12 GHz (down) / 14 GHz (up). Ground segment.
+  Ka,       ///< ~20/30 GHz. High-rate ground segment option.
+  Optical,  ///< ~193 THz (1550 nm laser). Optional high-rate ISL.
+};
+
+/// Static properties of a band as used by the link-budget model.
+struct BandInfo {
+  Band band;
+  std::string_view name;
+  double carrierHz;            ///< Representative carrier frequency.
+  double channelBandwidthHz;   ///< Standardized channel width in OpenSpace.
+  bool usableForIsl;           ///< Allowed on inter-satellite links.
+  bool usableForGround;        ///< Allowed on satellite<->ground links.
+  /// Clear-sky atmospheric zenith attenuation (dB) for ground links; 0 for
+  /// space-only bands. Rain adds on top (see rainAttenuationDb).
+  double zenithAttenuationDb;
+};
+
+/// Band metadata lookup (total function over the enum).
+const BandInfo& bandInfo(Band b) noexcept;
+
+/// Short human-readable name ("UHF", "S", "Ku", "Ka", "optical").
+std::string_view bandName(Band b) noexcept;
+
+/// Atmospheric attenuation (dB) along a slant path at `elevationRad` for
+/// band `b`, with a rain rate of `rainMmPerHour` (simplified ITU-style
+/// power-law in frequency, cosecant slant scaling; zero for Optical ISLs
+/// in vacuum and near-zero below ~5 GHz). Throws InvalidArgumentError for
+/// elevation <= 0 (no tropospheric path exists at or below the horizon).
+double atmosphericLossDb(Band b, double elevationRad, double rainMmPerHour = 0.0);
+
+}  // namespace openspace

@@ -1,0 +1,64 @@
+// Link budgets: free-space path loss, noise, SNR and achievable capacity.
+#pragma once
+
+#include <vector>
+
+#include <openspace/phy/bands.hpp>
+
+namespace openspace {
+
+/// Free-space path loss in dB at distance `distanceM` and frequency
+/// `frequencyHz`. Throws InvalidArgumentError for non-positive inputs.
+double freeSpacePathLossDb(double distanceM, double frequencyHz);
+
+/// Thermal noise power (watts) in bandwidth `bandwidthHz` at system noise
+/// temperature `noiseTempK`.
+double thermalNoiseW(double bandwidthHz, double noiseTempK);
+
+/// Inputs to a point-to-point link budget.
+struct LinkBudgetInput {
+  Band band = Band::S;
+  double distanceM = 0.0;
+  double txPowerW = 0.0;
+  double txAntennaGainDb = 0.0;
+  double rxAntennaGainDb = 0.0;
+  double systemNoiseTempK = 290.0;
+  double bandwidthHz = 0.0;        ///< 0 => use the band's standard channel.
+  double extraLossesDb = 0.0;      ///< Pointing, polarization, implementation.
+  double atmosphericLossDb = 0.0;  ///< From atmosphericLossDb() for ground links.
+};
+
+/// Computed link budget.
+struct LinkBudgetResult {
+  double pathLossDb = 0.0;
+  double receivedPowerDbw = 0.0;
+  double noisePowerDbw = 0.0;
+  double snrDb = 0.0;
+  double shannonCapacityBps = 0.0;  ///< B * log2(1 + SNR)
+};
+
+/// Evaluate the budget. Throws InvalidArgumentError on non-physical inputs
+/// (distance/power/bandwidth <= 0).
+LinkBudgetResult computeLinkBudget(const LinkBudgetInput& in);
+
+/// One entry of the standardized MODCOD (modulation & coding) table.
+/// OpenSpace mandates a common MODCOD ladder (DVB-S2-like) so heterogeneous
+/// radios interoperate at whatever SNR the geometry allows.
+struct Modcod {
+  std::string_view name;
+  double requiredSnrDb;        ///< Minimum Es/N0 to close the link.
+  double spectralEfficiency;   ///< Information bits per symbol (~per Hz).
+};
+
+/// The standardized ladder, ordered by ascending required SNR.
+const std::vector<Modcod>& modcodLadder();
+
+/// Highest-rate MODCOD whose SNR requirement is met, or nullptr if even the
+/// most robust entry cannot close the link.
+const Modcod* selectModcod(double snrDb);
+
+/// Achievable data rate (bps) at `snrDb` over `bandwidthHz` using the
+/// standardized ladder (0 if the link cannot close).
+double modcodRateBps(double snrDb, double bandwidthHz);
+
+}  // namespace openspace

@@ -1,0 +1,71 @@
+// Communication terminal models.
+//
+// The paper's interoperability floor (§2.1): every OpenSpace satellite must
+// carry at least an RF ISL transceiver; laser terminals are optional and
+// expensive (~$500,000, >= 15 kg, 0.0234 m^3 per the ConLCT80 datasheet the
+// paper cites), which prices them out of small spacecraft. The catalog here
+// encodes those trade-offs so fleet composition studies can sweep them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <openspace/phy/bands.hpp>
+
+namespace openspace {
+
+/// Kind of terminal hardware.
+enum class TerminalKind { RfTransceiver, LaserTerminal };
+
+/// A communication terminal specification (one physical unit).
+struct TerminalSpec {
+  TerminalKind kind = TerminalKind::RfTransceiver;
+  std::string model;
+  Band band = Band::S;
+  double txPowerW = 0.0;
+  double antennaGainDb = 0.0;       ///< Tx == Rx gain (reciprocal antennas).
+  double systemNoiseTempK = 290.0;
+  double massKg = 0.0;
+  double volumeM3 = 0.0;
+  double unitCostUsd = 0.0;
+  double powerDrawW = 0.0;          ///< Bus power consumed while the link is active.
+  /// Laser only: half-power beam divergence; narrow beams demand PAT.
+  double beamDivergenceRad = 0.0;
+  /// Laser only: gimbal slew rate used by the PAT model.
+  double slewRateRadPerS = 0.0;
+
+  bool isOptical() const noexcept { return kind == TerminalKind::LaserTerminal; }
+};
+
+/// Catalog of standardized terminals. These are the "minimal hardware
+/// requirement" units the paper's §2.1 standardization calls for.
+namespace terminals {
+
+/// UHF ISL radio: the absolute interoperability floor. Cheap, heavy-duty,
+/// low rate. Fits any spacecraft down to CubeSat class.
+TerminalSpec uhfIsl();
+
+/// S-band ISL radio: the standard RF ISL (flight-proven per the paper's
+/// survey citation). Higher bandwidth than UHF at a higher power cost.
+TerminalSpec sBandIsl();
+
+/// Optical ISL terminal modeled on the ConLCT80-class unit the paper cites:
+/// ~$500k, 15 kg, 0.0234 m^3, multi-Gbps.
+TerminalSpec laserIsl();
+
+/// Ku-band ground-link radio (satellite side) per current broadband practice.
+TerminalSpec kuGround();
+
+/// Ku-band ground-station antenna (ground side; large dish => high gain).
+TerminalSpec kuGroundStation();
+
+/// Ku-band user terminal (phased-array pizza box).
+TerminalSpec kuUserTerminal();
+
+}  // namespace terminals
+
+/// Effective antenna/telescope gain of a laser terminal from its beam
+/// divergence: G ~ (4/divergence)^2 expressed in dB.
+double laserGainDb(double beamDivergenceRad);
+
+}  // namespace openspace

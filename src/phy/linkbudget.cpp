@@ -1,0 +1,72 @@
+#include <openspace/phy/linkbudget.hpp>
+
+#include <cmath>
+
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/units.hpp>
+
+namespace openspace {
+
+double freeSpacePathLossDb(double distanceM, double frequencyHz) {
+  if (distanceM <= 0.0 || frequencyHz <= 0.0) {
+    throw InvalidArgumentError("freeSpacePathLossDb: inputs must be > 0");
+  }
+  return 20.0 * std::log10(4.0 * std::numbers::pi * distanceM * frequencyHz /
+                           kSpeedOfLightMps);
+}
+
+double thermalNoiseW(double bandwidthHz, double noiseTempK) {
+  if (bandwidthHz <= 0.0 || noiseTempK <= 0.0) {
+    throw InvalidArgumentError("thermalNoiseW: inputs must be > 0");
+  }
+  return kBoltzmannJPerK * noiseTempK * bandwidthHz;
+}
+
+LinkBudgetResult computeLinkBudget(const LinkBudgetInput& in) {
+  if (in.txPowerW <= 0.0) {
+    throw InvalidArgumentError("computeLinkBudget: tx power must be > 0");
+  }
+  const BandInfo& info = bandInfo(in.band);
+  const double bw = (in.bandwidthHz > 0.0) ? in.bandwidthHz : info.channelBandwidthHz;
+
+  LinkBudgetResult out;
+  out.pathLossDb = freeSpacePathLossDb(in.distanceM, info.carrierHz);
+  out.receivedPowerDbw = wattsToDbw(in.txPowerW) + in.txAntennaGainDb +
+                         in.rxAntennaGainDb - out.pathLossDb -
+                         in.extraLossesDb - in.atmosphericLossDb;
+  out.noisePowerDbw = wattsToDbw(thermalNoiseW(bw, in.systemNoiseTempK));
+  out.snrDb = out.receivedPowerDbw - out.noisePowerDbw;
+  out.shannonCapacityBps = bw * std::log2(1.0 + dbToRatio(out.snrDb));
+  return out;
+}
+
+const std::vector<Modcod>& modcodLadder() {
+  // DVB-S2-like ladder: QPSK 1/4 up to 32APSK 9/10. Required SNRs follow the
+  // published Es/N0 thresholds (rounded), efficiencies are information bits
+  // per symbol.
+  static const std::vector<Modcod> ladder = {
+      {"QPSK-1/4", -2.35, 0.49},   {"QPSK-1/2", 1.00, 0.99},
+      {"QPSK-3/4", 4.03, 1.49},    {"8PSK-2/3", 6.62, 1.98},
+      {"8PSK-5/6", 9.35, 2.48},    {"16APSK-3/4", 10.21, 2.97},
+      {"16APSK-8/9", 12.89, 3.52}, {"32APSK-4/5", 13.64, 3.95},
+      {"32APSK-9/10", 16.05, 4.45}};
+  return ladder;
+}
+
+const Modcod* selectModcod(double snrDb) {
+  const Modcod* best = nullptr;
+  for (const Modcod& m : modcodLadder()) {
+    if (snrDb >= m.requiredSnrDb) best = &m;
+  }
+  return best;
+}
+
+double modcodRateBps(double snrDb, double bandwidthHz) {
+  if (bandwidthHz <= 0.0) {
+    throw InvalidArgumentError("modcodRateBps: bandwidth must be > 0");
+  }
+  const Modcod* m = selectModcod(snrDb);
+  return m ? m->spectralEfficiency * bandwidthHz : 0.0;
+}
+
+}  // namespace openspace

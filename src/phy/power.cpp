@@ -1,0 +1,75 @@
+#include <openspace/phy/power.hpp>
+
+#include <algorithm>
+
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/units.hpp>
+
+namespace openspace {
+
+PowerBudget::PowerBudget(double generationW, double batteryWh, double busLoadW)
+    : generationW_(generationW),
+      batteryCapacityWh_(batteryWh),
+      batteryChargeWh_(batteryWh),
+      busLoadW_(busLoadW) {
+  if (generationW <= 0.0 || batteryWh < 0.0 || busLoadW < 0.0) {
+    throw InvalidArgumentError("PowerBudget: non-physical parameters");
+  }
+  if (busLoadW >= generationW) {
+    throw InvalidArgumentError(
+        "PowerBudget: bus load must leave headroom below generation");
+  }
+}
+
+double PowerBudget::availableW() const noexcept {
+  return generationW_ - busLoadW_ - committedW_;
+}
+
+bool PowerBudget::canCommit(double loadW) const noexcept {
+  return loadW > 0.0 && loadW <= availableW();
+}
+
+int PowerBudget::commit(double loadW, std::string label) {
+  if (loadW <= 0.0) throw InvalidArgumentError("PowerBudget::commit: load <= 0");
+  if (loadW > availableW()) {
+    throw CapacityError("PowerBudget: load " + std::to_string(loadW) +
+                        " W exceeds available " + std::to_string(availableW()) +
+                        " W (" + label + ")");
+  }
+  const int id = nextId_++;
+  loads_.emplace_back(id, loadW);
+  labels_.emplace_back(id, std::move(label));
+  committedW_ += loadW;
+  return id;
+}
+
+void PowerBudget::release(int commitmentId) {
+  const auto it = std::find_if(loads_.begin(), loads_.end(),
+                               [&](const auto& p) { return p.first == commitmentId; });
+  if (it == loads_.end()) {
+    throw NotFoundError("PowerBudget::release: unknown commitment id");
+  }
+  committedW_ -= it->second;
+  loads_.erase(it);
+  labels_.erase(std::find_if(labels_.begin(), labels_.end(), [&](const auto& p) {
+    return p.first == commitmentId;
+  }));
+}
+
+void PowerBudget::drawEnergy(double energyWh) {
+  if (energyWh < 0.0) throw InvalidArgumentError("drawEnergy: negative energy");
+  if (energyWh > batteryChargeWh_) {
+    throw CapacityError("PowerBudget: battery cannot supply " +
+                        std::to_string(energyWh) + " Wh");
+  }
+  batteryChargeWh_ -= energyWh;
+}
+
+void PowerBudget::recharge(double durationS) {
+  if (durationS < 0.0) throw InvalidArgumentError("recharge: negative duration");
+  const double surplusW = std::max(0.0, availableW());
+  batteryChargeWh_ = std::min(batteryCapacityWh_,
+                              batteryChargeWh_ + surplusW * durationS / 3600.0);
+}
+
+}  // namespace openspace

@@ -1,0 +1,116 @@
+#include <openspace/phy/terminal.hpp>
+
+#include <cmath>
+
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/units.hpp>
+
+namespace openspace {
+
+double laserGainDb(double beamDivergenceRad) {
+  if (beamDivergenceRad <= 0.0) {
+    throw InvalidArgumentError("laserGainDb: divergence must be > 0");
+  }
+  const double linear = std::pow(4.0 / beamDivergenceRad, 2);
+  return 10.0 * std::log10(linear);
+}
+
+namespace terminals {
+
+TerminalSpec uhfIsl() {
+  TerminalSpec t;
+  t.kind = TerminalKind::RfTransceiver;
+  t.model = "OS-UHF-1";
+  t.band = Band::Uhf;
+  t.txPowerW = 2.0;
+  t.antennaGainDb = 2.0;
+  t.systemNoiseTempK = 350.0;
+  t.massKg = 0.3;
+  t.volumeM3 = 0.0004;
+  t.unitCostUsd = 8'000.0;
+  t.powerDrawW = 6.0;
+  return t;
+}
+
+TerminalSpec sBandIsl() {
+  TerminalSpec t;
+  t.kind = TerminalKind::RfTransceiver;
+  t.model = "OS-S-1";
+  t.band = Band::S;
+  // Sized so the standardized radio closes Walker-grid ISL distances
+  // (~4,000 km intra-plane at 780 km altitude) at a usable MODCOD: a small
+  // phased patch array (18 dB) and a 10 W PA.
+  t.txPowerW = 10.0;
+  t.antennaGainDb = 18.0;
+  t.systemNoiseTempK = 350.0;
+  t.massKg = 1.8;
+  t.volumeM3 = 0.002;
+  t.unitCostUsd = 55'000.0;
+  t.powerDrawW = 28.0;
+  return t;
+}
+
+TerminalSpec laserIsl() {
+  TerminalSpec t;
+  t.kind = TerminalKind::LaserTerminal;
+  t.model = "OS-LCT-80";  // ConLCT80-class unit cited by the paper.
+  t.band = Band::Optical;
+  t.txPowerW = 2.0;
+  t.beamDivergenceRad = 15e-6;  // ~15 microradian beam.
+  t.antennaGainDb = laserGainDb(t.beamDivergenceRad);
+  t.systemNoiseTempK = 600.0;  // effective detector noise temperature
+  t.massKg = 15.0;             // paper: "at least 15kg"
+  t.volumeM3 = 0.0234;         // paper: "0.0234 sq.m of volume" (datasheet m^3)
+  t.unitCostUsd = 500'000.0;   // paper: "$500,000 per terminal"
+  t.powerDrawW = 80.0;
+  t.slewRateRadPerS = deg2rad(1.0);
+  return t;
+}
+
+TerminalSpec kuGround() {
+  TerminalSpec t;
+  t.kind = TerminalKind::RfTransceiver;
+  t.model = "OS-KU-SAT";
+  t.band = Band::Ku;
+  t.txPowerW = 20.0;
+  t.antennaGainDb = 33.0;
+  t.systemNoiseTempK = 450.0;
+  t.massKg = 4.0;
+  t.volumeM3 = 0.006;
+  t.unitCostUsd = 120'000.0;
+  t.powerDrawW = 60.0;
+  return t;
+}
+
+TerminalSpec kuGroundStation() {
+  TerminalSpec t;
+  t.kind = TerminalKind::RfTransceiver;
+  t.model = "OS-KU-GS";
+  t.band = Band::Ku;
+  t.txPowerW = 100.0;
+  t.antennaGainDb = 48.0;  // ~3.5 m dish
+  t.systemNoiseTempK = 150.0;
+  t.massKg = 900.0;
+  t.volumeM3 = 12.0;
+  t.unitCostUsd = 650'000.0;
+  t.powerDrawW = 400.0;
+  return t;
+}
+
+TerminalSpec kuUserTerminal() {
+  TerminalSpec t;
+  t.kind = TerminalKind::RfTransceiver;
+  t.model = "OS-KU-UT";
+  t.band = Band::Ku;
+  t.txPowerW = 4.0;
+  t.antennaGainDb = 33.0;  // phased array
+  t.systemNoiseTempK = 300.0;
+  t.massKg = 3.0;
+  t.volumeM3 = 0.01;
+  t.unitCostUsd = 600.0;
+  t.powerDrawW = 75.0;
+  return t;
+}
+
+}  // namespace terminals
+}  // namespace openspace

@@ -1,0 +1,28 @@
+// Shortest-path computation over topology snapshots.
+#pragma once
+
+#include <openspace/routing/route.hpp>
+
+namespace openspace {
+
+/// Dijkstra shortest path from `src` to `dst` under `cost` as provider
+/// `home`. Returns an invalid Route (valid() == false) when unreachable.
+/// Throws NotFoundError for unknown endpoints.
+Route shortestPath(const NetworkGraph& g, NodeId src, NodeId dst,
+                   const LinkCostFn& cost, ProviderId home = 0);
+
+/// Single-source Dijkstra: routes from `src` to every reachable node.
+/// Unreachable nodes are absent from the result.
+std::unordered_map<NodeId, Route> shortestPathTree(const NetworkGraph& g,
+                                                   NodeId src,
+                                                   const LinkCostFn& cost,
+                                                   ProviderId home = 0);
+
+/// Yen's algorithm: up to k loop-free shortest paths in ascending cost.
+/// Returns fewer when the graph has fewer distinct paths. Throws
+/// InvalidArgumentError for k < 1.
+std::vector<Route> kShortestPaths(const NetworkGraph& g, NodeId src, NodeId dst,
+                                  int k, const LinkCostFn& cost,
+                                  ProviderId home = 0);
+
+}  // namespace openspace

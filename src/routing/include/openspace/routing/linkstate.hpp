@@ -1,0 +1,70 @@
+// Link-state dissemination over ISLs.
+//
+// §2.2's end-to-end routing needs live network state ("the cost of a path
+// cannot be fully predicted since ISL congestion cannot be anticipated") —
+// which means congestion/link state must physically propagate through the
+// constellation before routers can use it. This module implements
+// sequence-numbered LSA flooding and measures how fast state spreads: the
+// staleness floor under which any congestion-aware routing scheme operates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <openspace/topology/graph.hpp>
+
+namespace openspace {
+
+/// A link-state advertisement: one node's view of its attached links.
+struct Lsa {
+  NodeId origin = 0;
+  std::uint64_t sequence = 0;
+  double originatedAtS = 0.0;
+  /// (neighbor, total link delay seconds) pairs.
+  std::vector<std::pair<NodeId, double>> adjacencies;
+};
+
+/// Per-node link-state database with freshness filtering.
+class LinkStateDb {
+ public:
+  /// Install an LSA if it is newer (higher sequence) than what is stored
+  /// for its origin. Returns true when installed (=> re-flood).
+  bool install(const Lsa& lsa);
+
+  /// Stored LSA for `origin`, nullptr if none.
+  const Lsa* lookup(NodeId origin) const;
+
+  std::size_t size() const noexcept { return db_.size(); }
+
+  /// Age of the oldest stored LSA relative to `nowS` (staleness bound).
+  double oldestAgeS(double nowS) const;
+
+ private:
+  std::map<NodeId, Lsa> db_;
+};
+
+/// Result of flooding one LSA through a topology snapshot.
+struct FloodReport {
+  int nodesReached = 0;          ///< Nodes (incl. origin) holding the LSA.
+  int messagesSent = 0;          ///< Transmissions on links.
+  double convergenceTimeS = 0.0; ///< Origin emission -> last node install.
+  double meanArrivalS = 0.0;     ///< Mean install time across nodes.
+};
+
+/// Simulate flooding of `origin`'s LSA over the satellite subgraph of `g`
+/// (floods ride ISLs; ground nodes do not relay). Each node re-floods on
+/// first receipt to all ISL neighbors except the one it heard from;
+/// per-hop cost = link propagation delay + `processingS`. Throws
+/// NotFoundError for an unknown origin, InvalidArgumentError for negative
+/// processing time.
+FloodReport simulateLsaFlood(const NetworkGraph& g, NodeId origin,
+                             double processingS = 2e-3);
+
+/// Mean time for an LSA from `origin` to reach every satellite, i.e. the
+/// minimum staleness of origin-state anywhere in the constellation.
+/// Convenience wrapper returning convergenceTimeS.
+double stateDisseminationTimeS(const NetworkGraph& g, NodeId origin,
+                               double processingS = 2e-3);
+
+}  // namespace openspace

@@ -1,0 +1,54 @@
+// Proactive (ephemeris-precomputed) routing.
+//
+// §2.2: "the topology of the satellite network is both known and public,
+// allowing for pre-computation of static routes between any set of
+// satellites and fixed ground infrastructure." ProactiveRouter snapshots
+// the predicted topology on a fixed time grid ahead of time; at service
+// time a route lookup is a cached tree walk, with no on-line discovery.
+#pragma once
+
+#include <map>
+
+#include <openspace/routing/dijkstra.hpp>
+#include <openspace/topology/builder.hpp>
+
+namespace openspace {
+
+class ProactiveRouter {
+ public:
+  /// Precompute snapshots of `builder` on the grid {t0, t0+step, ...} over
+  /// [t0, t0+horizon]. Throws InvalidArgumentError for non-positive
+  /// step/horizon.
+  ProactiveRouter(const TopologyBuilder& builder, const SnapshotOptions& opt,
+                  double t0, double horizonS, double stepS,
+                  LinkCostFn cost = latencyCost(), ProviderId home = 0);
+
+  /// Route valid at time t (uses the latest snapshot at or before t;
+  /// t before the grid uses the first snapshot). Source trees are cached.
+  /// Returns an invalid route when the destination is unreachable in that
+  /// snapshot. Throws NotFoundError for unknown nodes.
+  Route route(NodeId src, NodeId dst, double tSeconds) const;
+
+  /// The topology snapshot covering time t.
+  const NetworkGraph& snapshotAt(double tSeconds) const;
+
+  /// Grid times, ascending.
+  std::vector<double> gridTimes() const;
+
+  std::size_t snapshotCount() const noexcept { return snaps_.size(); }
+
+ private:
+  struct Snap {
+    NetworkGraph graph;
+    // Lazily filled per-source shortest path trees.
+    mutable std::map<NodeId, std::unordered_map<NodeId, Route>> trees;
+  };
+
+  const Snap& snapFor(double tSeconds) const;
+
+  std::map<double, Snap> snaps_;
+  LinkCostFn cost_;
+  ProviderId home_;
+};
+
+}  // namespace openspace

@@ -1,0 +1,62 @@
+// Time-expanded (contact-graph) routing.
+//
+// The paper's §4 shows sparse early deployments: with few satellites there
+// is often *no contemporaneous path* between a user and a gateway — but
+// because the topology's evolution is publicly predictable, a message can
+// still be delivered by store-carry-forward: a satellite holds the data
+// while it orbits and forwards when the next contact opens (the DTN
+// pattern; the backbone of the "incremental deployment" story, since a
+// half-built OpenSpace is a delay-tolerant network before it is a
+// real-time one).
+//
+// ContactGraphRouter computes earliest-arrival delivery over the predicted
+// snapshot sequence: within a snapshot interval packets move at link speed;
+// across intervals they may wait on any node.
+#pragma once
+
+#include <openspace/routing/dijkstra.hpp>
+#include <openspace/topology/builder.hpp>
+
+namespace openspace {
+
+/// Result of an earliest-arrival query.
+struct TemporalRoute {
+  bool reachable = false;
+  double departureS = 0.0;
+  double arrivalS = 0.0;
+  double inFlightS = 0.0;  ///< Cumulative link (propagation) time.
+  double waitingS = 0.0;   ///< Time stored on nodes awaiting contacts.
+  int hops = 0;            ///< Links traversed across all intervals.
+  int intervalsUsed = 0;   ///< Snapshot intervals touched (>= 1 if reachable).
+
+  double totalDelayS() const noexcept { return arrivalS - departureS; }
+};
+
+/// Earliest-arrival router over a precomputed snapshot grid.
+class ContactGraphRouter {
+ public:
+  /// Precomputes snapshots on {t0, t0+step, ...} covering [t0, t0+horizon].
+  /// Throws InvalidArgumentError for non-positive step/horizon.
+  ContactGraphRouter(const TopologyBuilder& builder, const SnapshotOptions& opt,
+                     double t0, double horizonS, double stepS);
+
+  /// Earliest arrival of a message from `src` (ready at `tStart`) to `dst`,
+  /// allowing storage at intermediate nodes between snapshot intervals.
+  /// Unreachable within the horizon => reachable == false. Throws
+  /// NotFoundError for nodes absent from the snapshots.
+  TemporalRoute earliestArrival(NodeId src, NodeId dst, double tStart) const;
+
+  std::size_t snapshotCount() const noexcept { return snaps_.size(); }
+  double horizonEndS() const noexcept { return gridEnd_; }
+
+ private:
+  struct Interval {
+    double startS;
+    double endS;
+    NetworkGraph graph;
+  };
+  std::vector<Interval> snaps_;
+  double gridEnd_ = 0.0;
+};
+
+}  // namespace openspace

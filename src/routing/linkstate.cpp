@@ -1,0 +1,76 @@
+#include <openspace/routing/linkstate.hpp>
+
+#include <queue>
+
+#include <openspace/geo/error.hpp>
+
+namespace openspace {
+
+bool LinkStateDb::install(const Lsa& lsa) {
+  const auto it = db_.find(lsa.origin);
+  if (it != db_.end() && it->second.sequence >= lsa.sequence) return false;
+  db_[lsa.origin] = lsa;
+  return true;
+}
+
+const Lsa* LinkStateDb::lookup(NodeId origin) const {
+  const auto it = db_.find(origin);
+  return it == db_.end() ? nullptr : &it->second;
+}
+
+double LinkStateDb::oldestAgeS(double nowS) const {
+  double oldest = 0.0;
+  for (const auto& [origin, lsa] : db_) {
+    oldest = std::max(oldest, nowS - lsa.originatedAtS);
+  }
+  return oldest;
+}
+
+FloodReport simulateLsaFlood(const NetworkGraph& g, NodeId origin,
+                             double processingS) {
+  if (!g.hasNode(origin)) throw NotFoundError("simulateLsaFlood: unknown origin");
+  if (processingS < 0.0) {
+    throw InvalidArgumentError("simulateLsaFlood: negative processing time");
+  }
+
+  // Event-driven flood: first receipt triggers re-flood to all other ISL
+  // neighbors. Dijkstra-like since per-link delays are positive.
+  std::map<NodeId, double> installedAt;
+  FloodReport rep;
+  using QE = std::pair<double, NodeId>;
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+  pq.emplace(0.0, origin);
+
+  while (!pq.empty()) {
+    const auto [t, u] = pq.top();
+    pq.pop();
+    if (installedAt.contains(u)) continue;  // duplicate receipt: dropped
+    installedAt[u] = t;
+    for (const LinkId lid : g.linksOf(u)) {
+      const Link& l = g.link(lid);
+      if (l.type != LinkType::IslRf && l.type != LinkType::IslLaser) continue;
+      const NodeId v = l.otherEnd(u);
+      if (installedAt.contains(v)) continue;
+      ++rep.messagesSent;
+      pq.emplace(t + l.totalDelayS() + processingS, v);
+    }
+  }
+
+  rep.nodesReached = static_cast<int>(installedAt.size());
+  double sum = 0.0;
+  for (const auto& [node, t] : installedAt) {
+    rep.convergenceTimeS = std::max(rep.convergenceTimeS, t);
+    sum += t;
+  }
+  rep.meanArrivalS = installedAt.empty()
+                         ? 0.0
+                         : sum / static_cast<double>(installedAt.size());
+  return rep;
+}
+
+double stateDisseminationTimeS(const NetworkGraph& g, NodeId origin,
+                               double processingS) {
+  return simulateLsaFlood(g, origin, processingS).convergenceTimeS;
+}
+
+}  // namespace openspace

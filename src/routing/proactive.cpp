@@ -1,0 +1,53 @@
+#include <openspace/routing/proactive.hpp>
+
+#include <openspace/geo/error.hpp>
+
+namespace openspace {
+
+ProactiveRouter::ProactiveRouter(const TopologyBuilder& builder,
+                                 const SnapshotOptions& opt, double t0,
+                                 double horizonS, double stepS, LinkCostFn cost,
+                                 ProviderId home)
+    : cost_(std::move(cost)), home_(home) {
+  if (stepS <= 0.0 || horizonS <= 0.0) {
+    throw InvalidArgumentError("ProactiveRouter: step and horizon must be > 0");
+  }
+  for (double t = t0; t <= t0 + horizonS + 1e-9; t += stepS) {
+    snaps_.emplace(t, Snap{builder.snapshot(t, opt), {}});
+  }
+}
+
+const ProactiveRouter::Snap& ProactiveRouter::snapFor(double tSeconds) const {
+  auto it = snaps_.upper_bound(tSeconds);
+  if (it != snaps_.begin()) --it;
+  return it->second;
+}
+
+const NetworkGraph& ProactiveRouter::snapshotAt(double tSeconds) const {
+  return snapFor(tSeconds).graph;
+}
+
+Route ProactiveRouter::route(NodeId src, NodeId dst, double tSeconds) const {
+  const Snap& s = snapFor(tSeconds);
+  auto& tree = s.trees[src];
+  if (tree.empty()) {
+    tree = shortestPathTree(s.graph, src, cost_, home_);
+  }
+  const auto it = tree.find(dst);
+  if (it == tree.end()) {
+    if (!s.graph.hasNode(dst)) {
+      throw NotFoundError("ProactiveRouter::route: unknown destination");
+    }
+    return Route{};  // present but unreachable in this snapshot
+  }
+  return it->second;
+}
+
+std::vector<double> ProactiveRouter::gridTimes() const {
+  std::vector<double> out;
+  out.reserve(snaps_.size());
+  for (const auto& [t, s] : snaps_) out.push_back(t);
+  return out;
+}
+
+}  // namespace openspace

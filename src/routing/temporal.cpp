@@ -1,0 +1,93 @@
+#include <openspace/routing/temporal.hpp>
+
+#include <queue>
+
+#include <openspace/geo/error.hpp>
+
+namespace openspace {
+
+ContactGraphRouter::ContactGraphRouter(const TopologyBuilder& builder,
+                                       const SnapshotOptions& opt, double t0,
+                                       double horizonS, double stepS) {
+  if (stepS <= 0.0 || horizonS <= 0.0) {
+    throw InvalidArgumentError("ContactGraphRouter: step/horizon must be > 0");
+  }
+  for (double t = t0; t < t0 + horizonS; t += stepS) {
+    snaps_.push_back({t, std::min(t + stepS, t0 + horizonS),
+                      builder.snapshot(t, opt)});
+  }
+  gridEnd_ = t0 + horizonS;
+}
+
+TemporalRoute ContactGraphRouter::earliestArrival(NodeId src, NodeId dst,
+                                                  double tStart) const {
+  if (snaps_.empty()) throw StateError("ContactGraphRouter: no snapshots");
+  if (!snaps_.front().graph.hasNode(src) || !snaps_.front().graph.hasNode(dst)) {
+    throw NotFoundError("earliestArrival: unknown node");
+  }
+
+  TemporalRoute out;
+  out.departureS = tStart;
+
+  struct Label {
+    double arrival = std::numeric_limits<double>::infinity();
+    double inFlight = 0.0;
+    int hops = 0;
+  };
+  std::unordered_map<NodeId, Label> labels;
+  labels[src] = {tStart, 0.0, 0};
+
+  int intervals = 0;
+  for (const Interval& iv : snaps_) {
+    if (iv.endS < tStart) continue;  // before the message exists
+    ++intervals;
+
+    // Multi-source Dijkstra within this interval: a node participates once
+    // its stored message is present (arrival <= iv.endS); transmission can
+    // start no earlier than max(arrival, iv.startS).
+    using QE = std::pair<double, NodeId>;
+    std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+    for (const auto& [node, lbl] : labels) {
+      if (lbl.arrival <= iv.endS && iv.graph.hasNode(node)) {
+        pq.emplace(std::max(lbl.arrival, iv.startS), node);
+      }
+    }
+    while (!pq.empty()) {
+      const auto [t, u] = pq.top();
+      pq.pop();
+      const auto itU = labels.find(u);
+      if (itU == labels.end() || std::max(itU->second.arrival, iv.startS) < t) {
+        continue;  // stale entry
+      }
+      if (t > iv.endS) continue;
+      for (const LinkId lid : iv.graph.linksOf(u)) {
+        const Link& l = iv.graph.link(lid);
+        const NodeId v = l.otherEnd(u);
+        const double arrive = t + l.totalDelayS();
+        if (arrive > iv.endS) continue;  // contact closes mid-flight
+        auto& lv = labels[v];
+        if (arrive < lv.arrival) {
+          lv.arrival = arrive;
+          lv.inFlight = itU->second.inFlight + l.totalDelayS();
+          lv.hops = itU->second.hops + 1;
+          pq.emplace(arrive, v);
+        }
+      }
+    }
+
+    const auto itDst = labels.find(dst);
+    if (itDst != labels.end() &&
+        itDst->second.arrival <= iv.endS) {
+      out.reachable = true;
+      out.arrivalS = itDst->second.arrival;
+      out.inFlightS = itDst->second.inFlight;
+      out.waitingS = out.totalDelayS() - out.inFlightS;
+      out.hops = itDst->second.hops;
+      out.intervalsUsed = intervals;
+      return out;
+    }
+  }
+  return out;  // not reachable within the horizon
+}
+
+}  // namespace openspace

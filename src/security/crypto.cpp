@@ -1,0 +1,67 @@
+#include <openspace/security/crypto.hpp>
+
+#include <openspace/auth/certificate.hpp>  // keyedTag
+
+namespace openspace {
+
+namespace {
+
+/// Splitmix64-based keystream byte for position i under (key, nonce).
+std::uint8_t keystreamByte(std::uint64_t key, std::uint64_t nonce,
+                           std::size_t i) {
+  std::uint64_t x = key ^ (nonce + 0x9E3779B97F4A7C15ull * (i / 8 + 1));
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return static_cast<std::uint8_t>(x >> (8 * (i % 8)));
+}
+
+std::uint64_t macOver(std::uint64_t key, std::uint64_t nonce,
+                      const std::vector<std::uint8_t>& data) {
+  std::string buf;
+  buf.reserve(data.size() + 8);
+  for (int b = 0; b < 8; ++b) {
+    buf.push_back(static_cast<char>((nonce >> (8 * b)) & 0xFF));
+  }
+  buf.append(data.begin(), data.end());
+  return keyedTag(key, buf);
+}
+
+}  // namespace
+
+SealedMessage SecureChannel::seal(std::string_view plaintext,
+                                  std::uint64_t nonce) const {
+  SealedMessage out;
+  out.nonce = nonce;
+  out.ciphertext.resize(plaintext.size());
+  for (std::size_t i = 0; i < plaintext.size(); ++i) {
+    out.ciphertext[i] = static_cast<std::uint8_t>(plaintext[i]) ^
+                        keystreamByte(key_, nonce, i);
+  }
+  out.tag = macOver(key_, nonce, out.ciphertext);
+  return out;
+}
+
+std::optional<std::string> SecureChannel::open(const SealedMessage& msg) const {
+  if (macOver(key_, msg.nonce, msg.ciphertext) != msg.tag) {
+    return std::nullopt;  // tampered or forged
+  }
+  std::string plaintext(msg.ciphertext.size(), '\0');
+  for (std::size_t i = 0; i < msg.ciphertext.size(); ++i) {
+    plaintext[i] = static_cast<char>(msg.ciphertext[i] ^
+                                     keystreamByte(key_, msg.nonce, i));
+  }
+  return plaintext;
+}
+
+std::uint64_t SecureChannel::deriveSessionKey(std::uint64_t secretA,
+                                              std::uint64_t secretB) {
+  // Order-independent derivation so both sides compute the same key.
+  const std::uint64_t lo = std::min(secretA, secretB);
+  const std::uint64_t hi = std::max(secretA, secretB);
+  return keyedTag(lo, std::to_string(hi));
+}
+
+}  // namespace openspace

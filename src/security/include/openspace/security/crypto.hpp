@@ -1,0 +1,54 @@
+// Baseline end-to-end protection (paper §5(6)).
+//
+// The paper calls for "a common baseline encryption scheme and security
+// protocol implemented by all satellites to ensure secure end-to-end
+// handling of user data" and protection against "attempts by non-OpenSpace
+// agents to intercept user traffic". SecureChannel is that baseline in
+// simulation form: authenticated encryption over a per-session key, so the
+// simulator can model tampering/interception detection and its routing
+// consequences.
+//
+// NOTE: the primitives are simulation-grade (64-bit keyed hashes, XOR
+// keystream), NOT real cryptography. The library models the *protocol* and
+// its failure handling, not key management strength.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace openspace {
+
+/// An authenticated, encrypted payload.
+struct SealedMessage {
+  std::vector<std::uint8_t> ciphertext;
+  std::uint64_t nonce = 0;
+  std::uint64_t tag = 0;  ///< Integrity tag over nonce + ciphertext.
+};
+
+/// Symmetric authenticated-encryption channel between two parties that
+/// share a session key.
+class SecureChannel {
+ public:
+  explicit SecureChannel(std::uint64_t sessionKey) : key_(sessionKey) {}
+
+  /// Encrypt-then-MAC. Each message must use a fresh nonce; reusing a
+  /// nonce leaks keystream (as in any stream construction).
+  SealedMessage seal(std::string_view plaintext, std::uint64_t nonce) const;
+
+  /// Decrypt + verify. Returns nullopt if the tag does not match (the
+  /// message was tampered with or forged).
+  std::optional<std::string> open(const SealedMessage& msg) const;
+
+  /// Derive a session key from two parties' secrets (models the result of
+  /// a key agreement; the simulator gives both sides the derived value).
+  static std::uint64_t deriveSessionKey(std::uint64_t secretA,
+                                        std::uint64_t secretB);
+
+ private:
+  std::uint64_t key_;
+};
+
+}  // namespace openspace

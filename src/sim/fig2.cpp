@@ -1,0 +1,182 @@
+#include <openspace/sim/fig2.hpp>
+
+#include <limits>
+#include <queue>
+
+#include <openspace/coverage/coverage.hpp>
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/orbit/visibility.hpp>
+
+namespace openspace {
+
+namespace {
+
+/// Closest satellite visible from `site` above the mask; nullopt if none.
+std::optional<std::size_t> pickupSatellite(const std::vector<Vec3>& eci,
+                                           const Geodetic& site, double t,
+                                           double minElev) {
+  const Vec3 siteEcef = geodeticToEcef(site);
+  std::optional<std::size_t> best;
+  double bestRange = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < eci.size(); ++i) {
+    const Vec3 satEcef = eciToEcef(eci[i], t);
+    if (elevationAngleRad(siteEcef, satEcef) < minElev) continue;
+    const double range = siteEcef.distanceTo(satEcef);
+    if (range < bestRange) {
+      bestRange = range;
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Dijkstra over the satellite-only ISL graph, edge weight = distance.
+/// Returns (path length, hops) from src to dst, or nullopt if disconnected.
+std::optional<std::pair<double, int>> shortestIslPath(const std::vector<Vec3>& eci,
+                                                      std::size_t src,
+                                                      std::size_t dst,
+                                                      double maxRangeM) {
+  const std::size_t n = eci.size();
+  if (src == dst) return std::make_pair(0.0, 0);
+  // Adjacency: in-range + line-of-sight pairs.
+  std::vector<std::vector<std::pair<std::size_t, double>>> adj(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = eci[i].distanceTo(eci[j]);
+      if (d <= maxRangeM && lineOfSightClear(eci[i], eci[j], km(80.0))) {
+        adj[i].emplace_back(j, d);
+        adj[j].emplace_back(i, d);
+      }
+    }
+  }
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<int> hops(n, 0);
+  using Q = std::pair<double, std::size_t>;
+  std::priority_queue<Q, std::vector<Q>, std::greater<>> pq;
+  dist[src] = 0.0;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == dst) break;
+    for (const auto& [v, w] : adj[u]) {
+      if (d + w < dist[v]) {
+        dist[v] = d + w;
+        hops[v] = hops[u] + 1;
+        pq.emplace(dist[v], v);
+      }
+    }
+  }
+  if (std::isinf(dist[dst])) return std::nullopt;
+  return std::make_pair(dist[dst], hops[dst]);
+}
+
+}  // namespace
+
+Fig2Trial runFig2Trial(int n, const Fig2Config& cfg, Rng& rng) {
+  Fig2Trial trial;
+  if (n <= 0) return trial;
+  const std::vector<OrbitalElements> sats =
+      makeRandomConstellation(n, cfg.altitudeM, rng);
+  std::vector<Vec3> eci(sats.size());
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    eci[i] = positionEci(sats[i], cfg.tSeconds);
+  }
+
+  const auto up = pickupSatellite(eci, cfg.user, cfg.tSeconds, cfg.minElevationRad);
+  const auto down =
+      pickupSatellite(eci, cfg.groundStation, cfg.tSeconds, cfg.minElevationRad);
+  trial.userCovered = up.has_value();
+  trial.stationCovered = down.has_value();
+  if (!up || !down) return trial;
+
+  const auto path = shortestIslPath(eci, *up, *down, cfg.maxIslRangeM);
+  if (!path) return trial;
+
+  trial.connected = true;
+  trial.pathLengthM = path->first;
+  trial.islHops = path->second;
+  trial.latencyS = trial.pathLengthM / kSpeedOfLightMps;
+
+  const Vec3 userEcef = geodeticToEcef(cfg.user);
+  const Vec3 gsEcef = geodeticToEcef(cfg.groundStation);
+  const double upLegM = userEcef.distanceTo(eciToEcef(eci[*up], cfg.tSeconds));
+  const double downLegM = gsEcef.distanceTo(eciToEcef(eci[*down], cfg.tSeconds));
+  trial.endToEndLatencyS = (trial.pathLengthM + upLegM + downLegM) / kSpeedOfLightMps;
+  return trial;
+}
+
+std::vector<Fig2Point> fig2LatencySweep(const std::vector<int>& satelliteCounts,
+                                        int trials, const Fig2Config& cfg,
+                                        std::uint64_t seed) {
+  if (satelliteCounts.empty()) {
+    throw InvalidArgumentError("fig2LatencySweep: empty sweep");
+  }
+  if (trials < 1) throw InvalidArgumentError("fig2LatencySweep: trials < 1");
+
+  std::vector<Fig2Point> out;
+  out.reserve(satelliteCounts.size());
+  for (const int n : satelliteCounts) {
+    Rng rng(seed ^ (static_cast<std::uint64_t>(n) *
+                    std::uint64_t{0x9E3779B97F4A7C15ull}));
+    Fig2Point pt;
+    pt.satellites = n;
+    pt.trials = trials;
+    double latSum = 0.0, e2eSum = 0.0, hopSum = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      const Fig2Trial trial = runFig2Trial(n, cfg, rng);
+      if (trial.connected) {
+        ++pt.connectedTrials;
+        latSum += trial.latencyS;
+        e2eSum += trial.endToEndLatencyS;
+        hopSum += trial.islHops;
+      }
+    }
+    pt.connectivity = static_cast<double>(pt.connectedTrials) / trials;
+    if (pt.connectedTrials > 0) {
+      pt.meanLatencyS = latSum / pt.connectedTrials;
+      pt.meanEndToEndLatencyS = e2eSum / pt.connectedTrials;
+      pt.meanIslHops = hopSum / pt.connectedTrials;
+    }
+    out.push_back(pt);
+  }
+  return out;
+}
+
+std::vector<Fig2CoveragePoint> fig2CoverageSweep(
+    const std::vector<int>& satelliteCounts, int trials, const Fig2Config& cfg,
+    std::uint64_t seed) {
+  if (satelliteCounts.empty()) {
+    throw InvalidArgumentError("fig2CoverageSweep: empty sweep");
+  }
+  if (trials < 1) throw InvalidArgumentError("fig2CoverageSweep: trials < 1");
+
+  std::vector<Fig2CoveragePoint> out;
+  out.reserve(satelliteCounts.size());
+  for (const int n : satelliteCounts) {
+    Rng rng(seed ^ (static_cast<std::uint64_t>(n) *
+                    std::uint64_t{0xD1B54A32D192ED03ull}));
+    Fig2CoveragePoint pt;
+    pt.satellites = n;
+    double wcSum = 0.0, mcSum = 0.0, effSum = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      const auto sats = makeRandomConstellation(n, cfg.altitudeM, rng);
+      const CoverageEstimate wc =
+          worstCaseOverlapCoverage(sats, cfg.tSeconds, cfg.minElevationRad);
+      const CoverageEstimate mc = monteCarloCoverage(
+          sats, cfg.tSeconds, cfg.minElevationRad, 2'000, rng);
+      wcSum += wc.coverageFraction;
+      mcSum += mc.coverageFraction;
+      effSum += wc.effectiveSatellites;
+    }
+    pt.worstCaseCoverage = wcSum / trials;
+    pt.monteCarloCoverage = mcSum / trials;
+    pt.meanEffectiveSatellites = effSum / trials;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace openspace

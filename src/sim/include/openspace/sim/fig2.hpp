@@ -1,0 +1,83 @@
+// The paper's §4 "simplified simulation" (Figure 2).
+//
+// Setup, per the paper: "We run a simplified simulation, fixing the user
+// and ground station coordinates and randomly distributing satellites[']
+// orbital paths. We then compute the shortest path between the satellite
+// that picks up the user's signal, and the satellite that will relay that
+// signal to the ground station, and use this path length to estimate
+// latency."
+//
+// Figure 2(b): propagation latency vs. number of satellites — drops
+// steeply, then plateaus near ~30 ms past ~25 satellites; ~4 satellites is
+// the minimum for any connectivity.
+// Figure 2(c): coverage vs. number of satellites under the worst-case
+// overlap model — total Earth coverage around ~50 satellites.
+#pragma once
+
+#include <optional>
+
+#include <openspace/geo/rng.hpp>
+#include <openspace/orbit/walker.hpp>
+
+namespace openspace {
+
+/// Configuration of the Figure 2 experiment.
+struct Fig2Config {
+  double altitudeM = 780'000.0;       ///< Iridium-like regime.
+  Geodetic user = Geodetic::fromDegrees(40.4406, -79.9959);   ///< Pittsburgh.
+  Geodetic groundStation = Geodetic::fromDegrees(48.8566, 2.3522);  ///< Paris.
+  /// Elevation mask. The paper's simplified simulation counts a satellite
+  /// as "in range" whenever it is above the horizon, so the default is 0.
+  double minElevationRad = 0.0;
+  /// ISLs beyond this range do not close. Default ~ the line-of-sight limit
+  /// between two 780 km satellites grazing the atmosphere.
+  double maxIslRangeM = 6'400'000.0;
+  double tSeconds = 0.0;              ///< Snapshot instant.
+};
+
+/// One latency trial outcome.
+struct Fig2Trial {
+  bool userCovered = false;     ///< Some satellite picks up the user.
+  bool stationCovered = false;  ///< Some satellite reaches the station.
+  bool connected = false;       ///< An ISL path links the two satellites.
+  double pathLengthM = 0.0;     ///< Inter-satellite shortest path length.
+  double latencyS = 0.0;        ///< pathLength / c (the paper's estimate).
+  double endToEndLatencyS = 0.0;///< + user uplink and station downlink legs.
+  int islHops = 0;
+};
+
+/// Run one trial with `n` randomly distributed satellites.
+Fig2Trial runFig2Trial(int n, const Fig2Config& cfg, Rng& rng);
+
+/// Aggregate of many trials at one constellation size.
+struct Fig2Point {
+  int satellites = 0;
+  int trials = 0;
+  int connectedTrials = 0;
+  double connectivity = 0.0;        ///< Fraction of trials with a full path.
+  double meanLatencyS = 0.0;        ///< Over connected trials.
+  double meanEndToEndLatencyS = 0.0;
+  double meanIslHops = 0.0;
+};
+
+/// Figure 2(b) engine: sweep constellation sizes, `trials` random
+/// constellations each. Deterministic given the seed. Throws
+/// InvalidArgumentError on empty sweep or trials < 1.
+std::vector<Fig2Point> fig2LatencySweep(const std::vector<int>& satelliteCounts,
+                                        int trials, const Fig2Config& cfg,
+                                        std::uint64_t seed);
+
+/// Figure 2(c) point: worst-case-overlap and Monte-Carlo coverage for `n`
+/// random satellites, averaged over `trials` constellations.
+struct Fig2CoveragePoint {
+  int satellites = 0;
+  double worstCaseCoverage = 0.0;
+  double monteCarloCoverage = 0.0;
+  double meanEffectiveSatellites = 0.0;
+};
+
+std::vector<Fig2CoveragePoint> fig2CoverageSweep(
+    const std::vector<int>& satelliteCounts, int trials, const Fig2Config& cfg,
+    std::uint64_t seed);
+
+}  // namespace openspace

@@ -1,0 +1,259 @@
+#include <openspace/topology/builder.hpp>
+
+#include <algorithm>
+#include <cmath>
+
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/orbit/visibility.hpp>
+#include <openspace/phy/linkbudget.hpp>
+
+namespace openspace {
+
+namespace {
+
+LinkCapabilities defaultCapabilities() {
+  LinkCapabilities caps;
+  caps.islBands = {Band::S, Band::Uhf};  // the RF interoperability minimum
+  caps.hasLaserTerminal = false;
+  caps.maxIslCount = 4;
+  return caps;
+}
+
+double terminalPairCapacityBps(const TerminalSpec& tx, const TerminalSpec& rx,
+                               double distanceM, double atmosphericDb) {
+  LinkBudgetInput in;
+  in.band = tx.band;
+  in.distanceM = distanceM;
+  in.txPowerW = tx.txPowerW;
+  in.txAntennaGainDb = tx.antennaGainDb;
+  in.rxAntennaGainDb = rx.antennaGainDb;
+  in.systemNoiseTempK = rx.systemNoiseTempK;
+  in.extraLossesDb = 3.0;  // pointing/polarization/implementation margin
+  in.atmosphericLossDb = atmosphericDb;
+  const LinkBudgetResult out = computeLinkBudget(in);
+  return modcodRateBps(out.snrDb, bandInfo(tx.band).channelBandwidthHz);
+}
+
+}  // namespace
+
+double islCapacityBps(double distanceM, bool laser) {
+  const TerminalSpec spec =
+      laser ? terminals::laserIsl() : terminals::sBandIsl();
+  return terminalPairCapacityBps(spec, spec, distanceM, 0.0);
+}
+
+double gslCapacityBps(double distanceM, double elevationRad) {
+  const double atm = atmosphericLossDb(Band::Ku, std::max(elevationRad, 0.01));
+  return terminalPairCapacityBps(terminals::kuGround(), terminals::kuGroundStation(),
+                                 distanceM, atm);
+}
+
+double userLinkCapacityBps(double distanceM, double elevationRad) {
+  const double atm = atmosphericLossDb(Band::Ku, std::max(elevationRad, 0.01));
+  return terminalPairCapacityBps(terminals::kuGround(), terminals::kuUserTerminal(),
+                                 distanceM, atm);
+}
+
+TopologyBuilder::TopologyBuilder(const EphemerisService& ephemeris)
+    : ephemeris_(ephemeris) {
+  for (const SatelliteId sid : ephemeris_.satellites()) {
+    const NodeId nid = nextNode_++;
+    satNodes_.emplace(sid, nid);
+    nodeSats_.emplace(nid, sid);
+    caps_.emplace(sid, defaultCapabilities());
+  }
+}
+
+void TopologyBuilder::setCapabilities(SatelliteId id, LinkCapabilities caps) {
+  if (!satNodes_.contains(id)) {
+    throw NotFoundError("TopologyBuilder::setCapabilities: unknown satellite");
+  }
+  if (caps.islBands.empty()) {
+    throw InvalidArgumentError(
+        "TopologyBuilder: OpenSpace satellites must support at least one RF "
+        "ISL band (interoperability minimum, paper section 2.1)");
+  }
+  caps_[id] = std::move(caps);
+}
+
+const LinkCapabilities& TopologyBuilder::capabilities(SatelliteId id) const {
+  const auto it = caps_.find(id);
+  if (it == caps_.end()) {
+    throw NotFoundError("TopologyBuilder::capabilities: unknown satellite");
+  }
+  return it->second;
+}
+
+NodeId TopologyBuilder::addGroundStation(GroundSite site) {
+  const NodeId id = nextNode_++;
+  stations_.push_back({id, std::move(site)});
+  return id;
+}
+
+NodeId TopologyBuilder::addUser(GroundSite site) {
+  const NodeId id = nextNode_++;
+  users_.push_back({id, std::move(site)});
+  return id;
+}
+
+NodeId TopologyBuilder::nodeOf(SatelliteId id) const {
+  const auto it = satNodes_.find(id);
+  if (it == satNodes_.end()) {
+    throw NotFoundError("TopologyBuilder::nodeOf: unknown satellite");
+  }
+  return it->second;
+}
+
+SatelliteId TopologyBuilder::satelliteOf(NodeId id) const {
+  const auto it = nodeSats_.find(id);
+  if (it == nodeSats_.end()) {
+    throw NotFoundError("TopologyBuilder::satelliteOf: node is not a satellite");
+  }
+  return it->second;
+}
+
+NetworkGraph TopologyBuilder::snapshot(double tSeconds,
+                                       const SnapshotOptions& opt) const {
+  NetworkGraph g;
+
+  // --- nodes -----------------------------------------------------------
+  const auto& sats = ephemeris_.satellites();
+  std::vector<Vec3> satEci(sats.size());
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    const auto& rec = ephemeris_.record(sats[i]);
+    satEci[i] = positionEci(rec.elements, tSeconds);
+    Node n;
+    n.id = satNodes_.at(sats[i]);
+    n.kind = NodeKind::Satellite;
+    n.provider = rec.owner;
+    n.name = "sat-" + std::to_string(sats[i]);
+    n.satellite = sats[i];
+    g.addNode(std::move(n));
+  }
+  if (opt.includeGroundStations) {
+    for (const auto& s : stations_) {
+      Node n;
+      n.id = s.node;
+      n.kind = NodeKind::GroundStation;
+      n.provider = s.site.provider;
+      n.name = s.site.name;
+      n.location = s.site.location;
+      g.addNode(std::move(n));
+    }
+  }
+  if (opt.includeUserLinks) {
+    for (const auto& u : users_) {
+      Node n;
+      n.id = u.node;
+      n.kind = NodeKind::User;
+      n.provider = u.site.provider;
+      n.name = u.site.name;
+      n.location = u.site.location;
+      g.addNode(std::move(n));
+    }
+  }
+
+  // --- ISLs ------------------------------------------------------------
+  const auto tryAddIsl = [&](std::size_t i, std::size_t j) {
+    const double dist = satEci[i].distanceTo(satEci[j]);
+    if (dist > opt.maxIslRangeM) return;
+    if (!lineOfSightClear(satEci[i], satEci[j], km(80.0))) return;
+    const NodeId na = satNodes_.at(sats[i]);
+    const NodeId nb = satNodes_.at(sats[j]);
+    if (g.findLink(na, nb)) return;
+    const bool laser = opt.preferLaser && caps_.at(sats[i]).hasLaserTerminal &&
+                       caps_.at(sats[j]).hasLaserTerminal;
+    const double cap = islCapacityBps(dist, laser);
+    if (cap <= 0.0) return;
+    Link l;
+    l.a = na;
+    l.b = nb;
+    l.type = laser ? LinkType::IslLaser : LinkType::IslRf;
+    l.band = laser ? Band::Optical : Band::S;
+    l.distanceM = dist;
+    l.propagationDelayS = dist / kSpeedOfLightMps;
+    l.capacityBps = cap;
+    g.addLink(l);
+  };
+
+  switch (opt.wiring) {
+    case IslWiring::PlusGrid: {
+      if (opt.planes <= 0 || sats.size() % static_cast<std::size_t>(opt.planes) != 0) {
+        throw InvalidArgumentError(
+            "snapshot: PlusGrid wiring requires planes dividing the fleet");
+      }
+      const std::size_t planes = static_cast<std::size_t>(opt.planes);
+      const std::size_t perPlane = sats.size() / planes;
+      for (std::size_t p = 0; p < planes; ++p) {
+        for (std::size_t s = 0; s < perPlane; ++s) {
+          const std::size_t idx = p * perPlane + s;
+          // Intra-plane ring neighbor.
+          tryAddIsl(idx, p * perPlane + (s + 1) % perPlane);
+          // Same-slot neighbor in the next plane (seam optional).
+          if (p + 1 < planes) {
+            tryAddIsl(idx, (p + 1) * perPlane + s);
+          } else if (opt.interPlaneSeam) {
+            tryAddIsl(idx, s);
+          }
+        }
+      }
+      break;
+    }
+    case IslWiring::NearestNeighbors: {
+      for (std::size_t i = 0; i < sats.size(); ++i) {
+        std::vector<std::pair<double, std::size_t>> dists;
+        dists.reserve(sats.size());
+        for (std::size_t j = 0; j < sats.size(); ++j) {
+          if (j == i) continue;
+          dists.emplace_back(satEci[i].distanceTo(satEci[j]), j);
+        }
+        const std::size_t k =
+            std::min(dists.size(), static_cast<std::size_t>(std::max(0, opt.nearestK)));
+        std::partial_sort(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(k),
+                          dists.end());
+        for (std::size_t n = 0; n < k; ++n) tryAddIsl(i, dists[n].second);
+      }
+      break;
+    }
+    case IslWiring::AllInRange: {
+      for (std::size_t i = 0; i < sats.size(); ++i) {
+        for (std::size_t j = i + 1; j < sats.size(); ++j) tryAddIsl(i, j);
+      }
+      break;
+    }
+  }
+
+  // --- ground links ------------------------------------------------------
+  const auto addGroundLinks = [&](const std::vector<SiteEntry>& sites,
+                                  LinkType type) {
+    for (const auto& site : sites) {
+      const Vec3 siteEcef = geodeticToEcef(site.site.location);
+      for (std::size_t i = 0; i < sats.size(); ++i) {
+        const Vec3 satEcef = eciToEcef(satEci[i], tSeconds);
+        const double elev = elevationAngleRad(siteEcef, satEcef);
+        if (elev < opt.minElevationRad) continue;
+        const double dist = siteEcef.distanceTo(satEcef);
+        const double cap = (type == LinkType::Gsl)
+                               ? gslCapacityBps(dist, elev)
+                               : userLinkCapacityBps(dist, elev);
+        if (cap <= 0.0) continue;
+        Link l;
+        l.a = satNodes_.at(sats[i]);
+        l.b = site.node;
+        l.type = type;
+        l.band = Band::Ku;
+        l.distanceM = dist;
+        l.propagationDelayS = dist / kSpeedOfLightMps;
+        l.capacityBps = cap;
+        g.addLink(l);
+      }
+    }
+  };
+  if (opt.includeGroundStations) addGroundLinks(stations_, LinkType::Gsl);
+  if (opt.includeUserLinks) addGroundLinks(users_, LinkType::UserLink);
+
+  return g;
+}
+
+}  // namespace openspace

@@ -1,0 +1,51 @@
+// Typed links between OpenSpace nodes.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include <openspace/phy/bands.hpp>
+#include <openspace/topology/node.hpp>
+
+namespace openspace {
+
+/// Link identifier.
+using LinkId = std::uint32_t;
+
+/// Kinds of links in the OpenSpace topology (paper §2: ground-to-satellite,
+/// satellite-to-satellite, satellite-to-ground).
+enum class LinkType {
+  IslRf,     ///< Inter-satellite RF link (the interoperability minimum).
+  IslLaser,  ///< Inter-satellite optical link (optional upgrade).
+  Gsl,       ///< Satellite <-> ground station (gateway) link.
+  UserLink,  ///< Satellite <-> user terminal link.
+};
+
+std::string_view linkTypeName(LinkType t) noexcept;
+
+/// An undirected link in a topology snapshot. Distance/latency/capacity are
+/// snapshot-time values; ownership & tariff feed the routing cost model.
+struct Link {
+  LinkId id = 0;
+  NodeId a = 0;
+  NodeId b = 0;
+  LinkType type = LinkType::IslRf;
+  Band band = Band::S;
+  double distanceM = 0.0;
+  double propagationDelayS = 0.0;
+  double capacityBps = 0.0;
+  /// Queueing/processing delay currently observed on this link (congestion
+  /// state; §2.2 notes it cannot be predicted from ephemeris alone).
+  double queueingDelayS = 0.0;
+  /// Per-byte transit tariff (set by whoever owns the carrying asset; §3).
+  double tariffUsdPerGb = 0.0;
+
+  /// Total one-way latency contribution of this link.
+  double totalDelayS() const noexcept { return propagationDelayS + queueingDelayS; }
+
+  /// The endpoint that is not `from`. Throws InvalidArgumentError if `from`
+  /// is not an endpoint.
+  NodeId otherEnd(NodeId from) const;
+};
+
+}  // namespace openspace

@@ -1,0 +1,154 @@
+// Unit tests for the core facade: provider registry, launches, ground
+// assets, topology/routing/coverage queries.
+#include <gtest/gtest.h>
+
+#include <openspace/core/network.hpp>
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/units.hpp>
+
+namespace openspace {
+namespace {
+
+WalkerConfig smallWalker() {
+  WalkerConfig wc;
+  wc.totalSatellites = 12;
+  wc.planes = 3;
+  wc.phasing = 1;
+  wc.altitudeM = km(780.0);
+  wc.inclinationRad = deg2rad(86.4);
+  return wc;
+}
+
+TEST(Network, ProviderRegistry) {
+  OpenSpaceNetwork net;
+  const ProviderId a = net.registerProvider("alpha");
+  const ProviderId b = net.registerProvider("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(net.providerName(a), "alpha");
+  EXPECT_EQ(net.providers().size(), 2u);
+  EXPECT_THROW(net.registerProvider(""), InvalidArgumentError);
+  EXPECT_THROW(net.registerProvider("alpha"), InvalidArgumentError);
+  EXPECT_THROW(net.providerName(99), NotFoundError);
+}
+
+TEST(Network, LaunchesAssignOwnership) {
+  OpenSpaceNetwork net;
+  const ProviderId a = net.registerProvider("alpha");
+  const auto walker = net.launchWalkerStar(a, smallWalker());
+  EXPECT_EQ(walker.size(), 12u);
+  const ProviderId b = net.registerProvider("beta");
+  const auto random = net.launchRandom(b, 5, km(600.0), 3);
+  EXPECT_EQ(random.size(), 5u);
+  EXPECT_EQ(net.satelliteCount(), 17u);
+  EXPECT_EQ(net.ephemeris().satellitesOf(a).size(), 12u);
+  EXPECT_EQ(net.ephemeris().satellitesOf(b).size(), 5u);
+  EXPECT_THROW(net.launchRandom(99, 1, km(600.0), 1), NotFoundError);
+}
+
+TEST(Network, SingleSatelliteLaunch) {
+  OpenSpaceNetwork net;
+  const ProviderId a = net.registerProvider("alpha");
+  const SatelliteId sid =
+      net.launchSatellite(a, OrbitalElements::circular(km(500.0), 1.0, 0, 0));
+  EXPECT_TRUE(net.ephemeris().contains(sid));
+}
+
+TEST(Network, LaunchAfterGroundAssetsRejected) {
+  OpenSpaceNetwork net;
+  const ProviderId a = net.registerProvider("alpha");
+  net.launchWalkerStar(a, smallWalker());
+  net.addUser(a, "u", Geodetic::fromDegrees(0, 0));
+  EXPECT_THROW(net.launchRandom(a, 1, km(600.0), 1), StateError);
+  EXPECT_THROW(net.launchWalkerStar(a, smallWalker()), StateError);
+  EXPECT_THROW(
+      net.launchSatellite(a, OrbitalElements::circular(km(500.0), 1, 0, 0)),
+      StateError);
+}
+
+TEST(Network, GroundAssetsGetDistinctStableNodes) {
+  OpenSpaceNetwork net;
+  const ProviderId a = net.registerProvider("alpha");
+  net.launchWalkerStar(a, smallWalker());
+  const NodeId gs = net.addGroundStation(a, "gs", Geodetic::fromDegrees(1, 1));
+  const NodeId u1 = net.addUser(a, "u1", Geodetic::fromDegrees(2, 2));
+  const NodeId u2 = net.addUser(a, "u2", Geodetic::fromDegrees(3, 3));
+  EXPECT_NE(gs, u1);
+  EXPECT_NE(u1, u2);
+  const NetworkGraph g = net.topologyAt(0.0);
+  EXPECT_EQ(g.nodeCount(), 15u);  // 12 sats + 3 assets, no duplicates
+  EXPECT_TRUE(g.node(gs).isGroundStation());
+  EXPECT_TRUE(g.node(u1).isUser());
+  EXPECT_EQ(g.node(u2).name, "u2");
+}
+
+TEST(Network, LaserUpgradeReflectsInTopology) {
+  OpenSpaceNetwork net;
+  const ProviderId a = net.registerProvider("alpha");
+  const auto sats = net.launchWalkerStar(a, smallWalker());
+  for (const SatelliteId sid : sats) net.equipLaserTerminal(sid);
+  EXPECT_THROW(net.equipLaserTerminal(9999), NotFoundError);
+  SnapshotOptions opt;
+  opt.wiring = IslWiring::PlusGrid;
+  opt.planes = 3;
+  const NetworkGraph g = net.topologyAt(0.0, opt);
+  ASSERT_GT(g.linkCount(), 0u);
+  for (const LinkId lid : g.links()) {
+    EXPECT_EQ(g.link(lid).type, LinkType::IslLaser);
+  }
+}
+
+TEST(Network, RouteBetweenAssets) {
+  OpenSpaceNetwork net;
+  const ProviderId a = net.registerProvider("alpha");
+  WalkerConfig wc = smallWalker();
+  wc.totalSatellites = 33;
+  wc.planes = 3;
+  net.launchWalkerStar(a, wc);
+  const NodeId gs =
+      net.addGroundStation(a, "gs", Geodetic::fromDegrees(48.86, 2.35));
+  const NodeId user = net.addUser(a, "u", Geodetic::fromDegrees(40.44, -79.99));
+  SnapshotOptions opt;
+  opt.minElevationRad = deg2rad(5.0);
+  opt.nearestK = 6;
+  // Polar 33-sat shell: both mid-latitude sites are covered most of the
+  // time; try a few instants.
+  bool found = false;
+  for (double t = 0.0; t <= 3000.0 && !found; t += 300.0) {
+    const Route r = net.route(user, gs, t, QosClass::Standard, opt);
+    if (r.valid()) {
+      EXPECT_EQ(r.nodes.front(), user);
+      EXPECT_EQ(r.nodes.back(), gs);
+      EXPECT_GT(r.bottleneckBps, 0.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Network, NodeOfRoundTrip) {
+  OpenSpaceNetwork net;
+  const ProviderId a = net.registerProvider("alpha");
+  const auto sats = net.launchWalkerStar(a, smallWalker());
+  const NodeId n = net.nodeOf(sats[3]);
+  const NetworkGraph g = net.topologyAt(0.0);
+  EXPECT_EQ(g.node(n).satellite, sats[3]);
+}
+
+TEST(Network, CoverageGrowsWithFleet) {
+  OpenSpaceNetwork net;
+  const ProviderId a = net.registerProvider("alpha");
+  net.launchWalkerStar(a, smallWalker());
+  const double small = net.coverageAt(0.0, deg2rad(10.0), 4000, 1);
+  OpenSpaceNetwork net2;
+  const ProviderId b = net2.registerProvider("alpha");
+  WalkerConfig big = smallWalker();
+  big.totalSatellites = 66;
+  big.planes = 6;
+  net2.launchWalkerStar(b, big);
+  const double large = net2.coverageAt(0.0, deg2rad(10.0), 4000, 1);
+  EXPECT_GT(large, small);
+  EXPECT_GT(large, 0.95);
+}
+
+}  // namespace
+}  // namespace openspace

@@ -1,0 +1,315 @@
+// Unit tests for the geo module: vectors, units, frames, great-circle
+// geometry, line-of-sight, RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/geodetic.hpp>
+#include <openspace/geo/rng.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/geo/vec3.hpp>
+#include <openspace/geo/wgs84.hpp>
+
+namespace openspace {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Vec3, BasicAlgebra) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-1.0, 0.5, 2.0};
+  EXPECT_EQ(a + b, (Vec3{0.0, 2.5, 5.0}));
+  EXPECT_EQ(a - b, (Vec3{2.0, 1.5, 1.0}));
+  EXPECT_EQ(a * 2.0, (Vec3{2.0, 4.0, 6.0}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ(-a, (Vec3{-1.0, -2.0, -3.0}));
+  EXPECT_DOUBLE_EQ(a.dot(b), -1.0 + 1.0 + 6.0);
+}
+
+TEST(Vec3, CrossProductIsOrthogonal) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{4.0, -1.0, 0.5};
+  const Vec3 c = a.cross(b);
+  EXPECT_NEAR(c.dot(a), 0.0, 1e-12);
+  EXPECT_NEAR(c.dot(b), 0.0, 1e-12);
+}
+
+TEST(Vec3, CrossFollowsRightHandRule) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0};
+  EXPECT_EQ(x.cross(y), (Vec3{0, 0, 1}));
+  EXPECT_EQ(y.cross(x), (Vec3{0, 0, -1}));
+}
+
+TEST(Vec3, NormAndNormalize) {
+  const Vec3 v{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.normSquared(), 25.0);
+  const Vec3 u = v.normalized();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-15);
+  EXPECT_NEAR(u.x, 0.6, 1e-15);
+}
+
+TEST(Vec3, DistanceIsSymmetric) {
+  const Vec3 a{1, 2, 3}, b{-4, 0, 9};
+  EXPECT_DOUBLE_EQ(a.distanceTo(b), b.distanceTo(a));
+  EXPECT_DOUBLE_EQ(a.distanceTo(a), 0.0);
+}
+
+TEST(AngleBetween, KnownAngles) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0};
+  EXPECT_NEAR(angleBetween(x, y), kPi / 2, 1e-12);
+  EXPECT_NEAR(angleBetween(x, x), 0.0, 1e-7);
+  EXPECT_NEAR(angleBetween(x, -x), kPi, 1e-7);
+}
+
+TEST(AngleBetween, ZeroVectorThrows) {
+  EXPECT_THROW(angleBetween({0, 0, 0}, {1, 0, 0}), InvalidArgumentError);
+}
+
+TEST(Units, AngleRoundTrip) {
+  EXPECT_NEAR(rad2deg(deg2rad(123.456)), 123.456, 1e-12);
+  EXPECT_DOUBLE_EQ(deg2rad(180.0), kPi);
+}
+
+TEST(Units, DistanceTimeFrequency) {
+  EXPECT_DOUBLE_EQ(km(1.5), 1500.0);
+  EXPECT_DOUBLE_EQ(minutes(2.0), 120.0);
+  EXPECT_DOUBLE_EQ(hours(1.0), 3600.0);
+  EXPECT_DOUBLE_EQ(milliseconds(250.0), 0.25);
+  EXPECT_DOUBLE_EQ(megahertz(5.0), 5e6);
+  EXPECT_DOUBLE_EQ(gbps(2.0), 2e9);
+  EXPECT_DOUBLE_EQ(toMilliseconds(0.03), 30.0);
+}
+
+TEST(Units, DecibelConversions) {
+  EXPECT_NEAR(wattsToDbw(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(wattsToDbw(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(wattsToDbm(1.0), 30.0, 1e-12);
+  EXPECT_NEAR(dbwToWatts(wattsToDbw(123.0)), 123.0, 1e-9);
+  EXPECT_NEAR(dbmToWatts(wattsToDbm(0.02)), 0.02, 1e-12);
+  EXPECT_NEAR(dbToRatio(ratioToDb(42.0)), 42.0, 1e-9);
+  EXPECT_THROW(wattsToDbw(0.0), InvalidArgumentError);
+  EXPECT_THROW(wattsToDbw(-1.0), InvalidArgumentError);
+  EXPECT_THROW(ratioToDb(0.0), InvalidArgumentError);
+}
+
+TEST(Geodetic, FromDegrees) {
+  const Geodetic g = Geodetic::fromDegrees(45.0, -90.0, 100.0);
+  EXPECT_NEAR(g.latitudeRad, kPi / 4, 1e-12);
+  EXPECT_NEAR(g.longitudeRad, -kPi / 2, 1e-12);
+  EXPECT_DOUBLE_EQ(g.altitudeM, 100.0);
+}
+
+TEST(Geodetic, EquatorPrimeMeridianEcef) {
+  const Vec3 p = geodeticToEcef(Geodetic::fromDegrees(0.0, 0.0, 0.0));
+  EXPECT_NEAR(p.x, wgs84::kSemiMajorAxisM, 1e-6);
+  EXPECT_NEAR(p.y, 0.0, 1e-6);
+  EXPECT_NEAR(p.z, 0.0, 1e-6);
+}
+
+TEST(Geodetic, NorthPoleEcef) {
+  const Vec3 p = geodeticToEcef(Geodetic::fromDegrees(90.0, 0.0, 0.0));
+  EXPECT_NEAR(p.x, 0.0, 1e-6);
+  EXPECT_NEAR(p.y, 0.0, 1e-6);
+  EXPECT_NEAR(p.z, wgs84::kSemiMinorAxisM, 1e-6);
+}
+
+TEST(Geodetic, LatitudeOutOfRangeThrows) {
+  Geodetic g;
+  g.latitudeRad = 2.0;  // > pi/2
+  EXPECT_THROW(geodeticToEcef(g), InvalidArgumentError);
+}
+
+class GeodeticRoundTrip : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(GeodeticRoundTrip, EcefAndBack) {
+  const auto [latDeg, lonDeg, altM] = GetParam();
+  const Geodetic in = Geodetic::fromDegrees(latDeg, lonDeg, altM);
+  const Geodetic out = ecefToGeodetic(geodeticToEcef(in));
+  EXPECT_NEAR(out.latitudeRad, in.latitudeRad, 1e-9)
+      << "lat=" << latDeg << " lon=" << lonDeg << " alt=" << altM;
+  EXPECT_NEAR(out.longitudeRad, in.longitudeRad, 1e-9);
+  EXPECT_NEAR(out.altitudeM, in.altitudeM, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GeodeticRoundTrip,
+    ::testing::Values(std::make_tuple(0.0, 0.0, 0.0),
+                      std::make_tuple(45.0, 45.0, 1000.0),
+                      std::make_tuple(-33.9, 151.2, 50.0),
+                      std::make_tuple(40.44, -79.99, 300.0),
+                      std::make_tuple(89.0, 10.0, 780e3),
+                      std::make_tuple(-89.0, -170.0, 500e3),
+                      std::make_tuple(0.0, 179.9, 780e3),
+                      std::make_tuple(51.5, -0.12, 35786e3)));
+
+TEST(Frames, EciEcefRoundTrip) {
+  const Vec3 p{7000e3, -1234e3, 4500e3};
+  const double t = 5432.1;
+  const Vec3 back = ecefToEci(eciToEcef(p, t), t);
+  EXPECT_NEAR(back.x, p.x, 1e-6);
+  EXPECT_NEAR(back.y, p.y, 1e-6);
+  EXPECT_NEAR(back.z, p.z, 1e-6);
+}
+
+TEST(Frames, FramesCoincideAtEpoch) {
+  const Vec3 p{7000e3, 100e3, -2000e3};
+  EXPECT_EQ(eciToEcef(p, 0.0), p);
+}
+
+TEST(Frames, EarthRotatesEastward) {
+  // A point fixed in ECI above the equator drifts westward in ECEF
+  // longitude as the Earth rotates under it.
+  const Vec3 eci{7000e3, 0.0, 0.0};
+  const Geodetic g0 = ecefToGeodetic(eciToEcef(eci, 0.0));
+  const Geodetic g1 = ecefToGeodetic(eciToEcef(eci, 600.0));
+  EXPECT_LT(g1.longitudeRad, g0.longitudeRad);
+}
+
+TEST(Frames, ZAxisUnaffectedByRotation) {
+  const Vec3 pole{0.0, 0.0, 7000e3};
+  EXPECT_EQ(eciToEcef(pole, 1234.5), pole);
+}
+
+TEST(GreatCircle, QuarterMeridian) {
+  const Geodetic equator = Geodetic::fromDegrees(0.0, 0.0);
+  const Geodetic pole = Geodetic::fromDegrees(90.0, 0.0);
+  EXPECT_NEAR(centralAngleRad(equator, pole), kPi / 2, 1e-12);
+  EXPECT_NEAR(greatCircleDistanceM(equator, pole),
+              wgs84::kMeanRadiusM * kPi / 2, 1.0);
+}
+
+TEST(GreatCircle, SymmetricAndZeroOnIdentical) {
+  const Geodetic a = Geodetic::fromDegrees(40.44, -79.99);
+  const Geodetic b = Geodetic::fromDegrees(48.86, 2.35);
+  EXPECT_DOUBLE_EQ(greatCircleDistanceM(a, b), greatCircleDistanceM(b, a));
+  EXPECT_DOUBLE_EQ(greatCircleDistanceM(a, a), 0.0);
+}
+
+TEST(GreatCircle, PittsburghToParisPlausible) {
+  // Known value ~6,140 km.
+  const Geodetic pgh = Geodetic::fromDegrees(40.4406, -79.9959);
+  const Geodetic paris = Geodetic::fromDegrees(48.8566, 2.3522);
+  const double d = greatCircleDistanceM(pgh, paris);
+  EXPECT_GT(d, 6.0e6);
+  EXPECT_LT(d, 6.3e6);
+}
+
+TEST(Elevation, ZenithTargetIs90Degrees) {
+  const Vec3 obs = geodeticToEcef(Geodetic::fromDegrees(10.0, 20.0));
+  const Vec3 overhead = obs * 1.1;  // radially outward
+  EXPECT_NEAR(elevationAngleRad(obs, overhead), kPi / 2, 1e-9);
+}
+
+TEST(Elevation, AntipodalTargetIsBelowHorizon) {
+  const Vec3 obs = geodeticToEcef(Geodetic::fromDegrees(0.0, 0.0));
+  const Vec3 anti = geodeticToEcef(Geodetic::fromDegrees(0.0, 180.0, 780e3));
+  EXPECT_LT(elevationAngleRad(obs, anti), 0.0);
+}
+
+TEST(LineOfSight, ClearAboveEarth) {
+  // Two satellites on the same side of the planet.
+  const Vec3 a{7000e3, 0, 0};
+  const Vec3 b{7000e3 * std::cos(0.3), 7000e3 * std::sin(0.3), 0};
+  EXPECT_TRUE(lineOfSightClear(a, b));
+}
+
+TEST(LineOfSight, BlockedThroughEarth) {
+  const Vec3 a{7000e3, 0, 0};
+  const Vec3 b{-7000e3, 0, 0};
+  EXPECT_FALSE(lineOfSightClear(a, b));
+}
+
+TEST(LineOfSight, ClearanceMarginMatters) {
+  // A grazing path: clear with zero clearance, blocked with 300 km margin.
+  const double r = wgs84::kMeanRadiusM + 100e3;  // closest approach 100 km up
+  const Vec3 a{r, 2000e3, 0};
+  const Vec3 b{r, -2000e3, 0};
+  EXPECT_TRUE(lineOfSightClear(a, b, 0.0));
+  EXPECT_FALSE(lineOfSightClear(a, b, 300e3));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(7);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    sawLo |= (v == 0);
+    sawHi |= (v == 3);
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, InvalidArgsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(3.0, 2.0), InvalidArgumentError);
+  EXPECT_THROW(rng.uniformInt(5, 4), InvalidArgumentError);
+  EXPECT_THROW(rng.exponential(0.0), InvalidArgumentError);
+  EXPECT_THROW(rng.normal(0.0, -1.0), InvalidArgumentError);
+  EXPECT_THROW(rng.chance(1.5), InvalidArgumentError);
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(99);
+  const double rate = 2.0;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.02);
+}
+
+TEST(Rng, UnitSphereIsUnitAndCoversHemispheres) {
+  Rng rng(3);
+  int north = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const Vec3 p = rng.unitSphere();
+    EXPECT_NEAR(p.norm(), 1.0, 1e-12);
+    if (p.z > 0) ++north;
+  }
+  EXPECT_NEAR(static_cast<double>(north) / n, 0.5, 0.05);
+}
+
+TEST(Rng, SurfacePointIsAreaUniform) {
+  // Area-uniform sampling => |lat| < 30 deg holds exactly sin(30) = 50% of
+  // points; naive lat/lon-uniform sampling would give 33%.
+  Rng rng(17);
+  int lowLat = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (std::abs(rng.surfacePoint().latitudeRad) < deg2rad(30.0)) ++lowLat;
+  }
+  EXPECT_NEAR(static_cast<double>(lowLat) / n, 0.5, 0.02);
+}
+
+TEST(ErrorHierarchy, AllDeriveFromError) {
+  EXPECT_THROW(throw InvalidArgumentError("x"), Error);
+  EXPECT_THROW(throw NotFoundError("x"), Error);
+  EXPECT_THROW(throw StateError("x"), Error);
+  EXPECT_THROW(throw ProtocolError("x"), Error);
+  EXPECT_THROW(throw CapacityError("x"), Error);
+}
+
+}  // namespace
+}  // namespace openspace

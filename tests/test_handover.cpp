@@ -1,0 +1,181 @@
+// Unit tests for the handover module: visibility-end prediction, successor
+// planning, and the predictive vs re-associate timeline simulation.
+#include <gtest/gtest.h>
+
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/handover/handover.hpp>
+#include <openspace/orbit/visibility.hpp>
+#include <openspace/orbit/walker.hpp>
+
+namespace openspace {
+namespace {
+
+class HandoverTest : public ::testing::Test {
+ protected:
+  HandoverTest() {
+    for (const auto& el : makeWalkerStar(iridiumConfig())) eph_.publish(1, el);
+    planner_ = std::make_unique<HandoverPlanner>(eph_, deg2rad(10.0));
+  }
+  EphemerisService eph_;
+  std::unique_ptr<HandoverPlanner> planner_;
+  const Geodetic user_ = Geodetic::fromDegrees(40.44, -79.99);
+};
+
+TEST_F(HandoverTest, ElevationMaskValidation) {
+  EXPECT_THROW(HandoverPlanner(eph_, -0.1), InvalidArgumentError);
+  EXPECT_THROW(HandoverPlanner(eph_, 1.6), InvalidArgumentError);
+}
+
+TEST_F(HandoverTest, VisibilityEndMatchesContactWindows) {
+  // Pick a satellite visible at t=0 and compare against the orbit module's
+  // independent contact-window computation.
+  const auto serving = planner_->bestSatelliteAt(user_, 0.0);
+  ASSERT_TRUE(serving.has_value());
+  const double end = planner_->visibilityEndS(*serving, user_, 0.0);
+  const auto windows = contactWindows(eph_.record(*serving).elements, user_,
+                                      0.0, 3600.0, deg2rad(10.0), 5.0);
+  ASSERT_FALSE(windows.empty());
+  EXPECT_NEAR(end, windows.front().endS, 0.5);
+}
+
+TEST_F(HandoverTest, VisibilityEndForInvisibleSatelliteIsNow) {
+  // Find a satellite NOT visible at t=0.
+  for (const SatelliteId sid : eph_.satellites()) {
+    const Vec3 pos = eph_.positionEci(sid, 0.0);
+    if (elevationFrom(pos, user_, 0.0) < deg2rad(10.0)) {
+      EXPECT_DOUBLE_EQ(planner_->visibilityEndS(sid, user_, 0.0), 0.0);
+      return;
+    }
+  }
+  FAIL() << "every satellite visible (implausible for a 66-sat shell)";
+}
+
+TEST_F(HandoverTest, BestSatelliteMaximizesRemainingService) {
+  const auto best = planner_->bestSatelliteAt(user_, 0.0);
+  ASSERT_TRUE(best.has_value());
+  const double bestUntil = planner_->visibilityEndS(*best, user_, 0.0);
+  for (const SatelliteId sid : eph_.satellites()) {
+    if (sid == *best) continue;
+    const Vec3 pos = eph_.positionEci(sid, 0.0);
+    if (elevationFrom(pos, user_, 0.0) < deg2rad(10.0)) continue;
+    EXPECT_LE(planner_->visibilityEndS(sid, user_, 0.0), bestUntil + 0.5);
+  }
+}
+
+TEST_F(HandoverTest, ClosestSatelliteIsVisible) {
+  const auto closest = planner_->closestSatelliteAt(user_, 0.0);
+  ASSERT_TRUE(closest.has_value());
+  const Vec3 pos = eph_.positionEci(*closest, 0.0);
+  EXPECT_GE(elevationFrom(pos, user_, 0.0), deg2rad(10.0));
+}
+
+TEST_F(HandoverTest, PlanProducesUsableSuccessor) {
+  const auto serving = planner_->bestSatelliteAt(user_, 0.0);
+  ASSERT_TRUE(serving.has_value());
+  const HandoverPlan plan = planner_->plan(*serving, user_, 0.0);
+  ASSERT_TRUE(plan.found);
+  EXPECT_NE(plan.successor, *serving);
+  EXPECT_GT(plan.serviceEndsAtS, 0.0);
+  // The successor is actually visible at the switch instant.
+  const Vec3 pos = eph_.positionEci(plan.successor, plan.serviceEndsAtS - 1e-3);
+  EXPECT_GE(elevationFrom(pos, user_, plan.serviceEndsAtS - 1e-3),
+            deg2rad(10.0));
+  // And serves beyond the handover time.
+  EXPECT_GT(plan.successorUntilS, plan.serviceEndsAtS);
+}
+
+TEST_F(HandoverTest, TimelineCoversWindowAndHandsOver) {
+  const auto tl =
+      simulateHandovers(*planner_, user_, 0.0, 3600.0, HandoverMode::Predictive);
+  EXPECT_GT(tl.handovers(), 0);
+  EXPECT_GT(tl.coveredS, 3000.0);  // mostly covered for a 66-sat shell
+  EXPECT_LT(tl.outageS, 600.0);
+  // Events are time-ordered and chain correctly.
+  for (std::size_t i = 1; i < tl.events.size(); ++i) {
+    EXPECT_GT(tl.events[i].atS, tl.events[i - 1].atS);
+    EXPECT_EQ(tl.events[i].from, tl.events[i - 1].to);
+  }
+}
+
+TEST_F(HandoverTest, PredictiveBeatsReassociationOnOutage) {
+  const auto pred =
+      simulateHandovers(*planner_, user_, 0.0, 3600.0, HandoverMode::Predictive);
+  const auto reassoc = simulateHandovers(*planner_, user_, 0.0, 3600.0,
+                                         HandoverMode::ReAssociate);
+  ASSERT_GT(pred.handovers(), 0);
+  ASSERT_GT(reassoc.handovers(), 0);
+  EXPECT_LT(pred.outageS, reassoc.outageS);
+  // Per-handover latency: predictive is milliseconds, reassociation ~1 s.
+  double predMax = 0.0, reassocMin = 1e9;
+  for (const auto& e : pred.events) predMax = std::max(predMax, e.latencyS);
+  for (const auto& e : reassoc.events) {
+    reassocMin = std::min(reassocMin, e.latencyS);
+  }
+  EXPECT_LT(predMax, 0.1);
+  EXPECT_GT(reassocMin, 0.5);
+}
+
+TEST_F(HandoverTest, ReassociationCostIsConfigurable) {
+  ReAssociationCost cheap;
+  cheap.beaconPeriodS = 0.2;
+  cheap.authRttS = 0.010;
+  const auto tl = simulateHandovers(*planner_, user_, 0.0, 3600.0,
+                                    HandoverMode::ReAssociate, cheap);
+  for (const auto& e : tl.events) {
+    EXPECT_NEAR(e.latencyS, 0.1 + 0.010, 1e-12);
+  }
+}
+
+TEST_F(HandoverTest, InvalidWindowThrows) {
+  EXPECT_THROW(
+      simulateHandovers(*planner_, user_, 10.0, 10.0, HandoverMode::Predictive),
+      InvalidArgumentError);
+  EXPECT_THROW(
+      simulateHandovers(*planner_, user_, 10.0, 5.0, HandoverMode::Predictive),
+      InvalidArgumentError);
+}
+
+TEST(HandoverSparse, NoCoverageMeansNoHandovers) {
+  // One equatorial satellite, user at the pole: never visible.
+  EphemerisService eph;
+  eph.publish(1, OrbitalElements::circular(km(780.0), 0.0, 0.0, 0.0));
+  const HandoverPlanner planner(eph, deg2rad(10.0));
+  const Geodetic pole = Geodetic::fromDegrees(89.0, 0.0);
+  const auto tl =
+      simulateHandovers(planner, pole, 0.0, 3600.0, HandoverMode::Predictive);
+  EXPECT_EQ(tl.handovers(), 0);
+  EXPECT_DOUBLE_EQ(tl.coveredS, 0.0);
+  EXPECT_NEAR(tl.outageS, 3600.0, 15.0);
+}
+
+TEST(HandoverSparse, SingleSatellitePlanHasNoSuccessor) {
+  EphemerisService eph;
+  const SatelliteId only =
+      eph.publish(1, OrbitalElements::circular(km(780.0), 0.0, 0.0, 0.0));
+  const HandoverPlanner planner(eph, deg2rad(10.0));
+  const Geodetic equator = Geodetic::fromDegrees(0.0, 0.0);
+  const HandoverPlan plan = planner.plan(only, equator, 0.0);
+  EXPECT_FALSE(plan.found);
+  EXPECT_GT(plan.serviceEndsAtS, 0.0);  // it does serve for a while
+}
+
+TEST(HandoverDensity, DenserFleetsCoverGapsBetter) {
+  const Geodetic user = Geodetic::fromDegrees(40.44, -79.99);
+  auto outageFor = [&](int sats, int planes) {
+    EphemerisService eph;
+    WalkerConfig wc = iridiumConfig();
+    wc.totalSatellites = sats;
+    wc.planes = planes;
+    wc.phasing = wc.phasing % planes;
+    for (const auto& el : makeWalkerStar(wc)) eph.publish(1, el);
+    const HandoverPlanner planner(eph, deg2rad(10.0));
+    return simulateHandovers(planner, user, 0.0, 7200.0,
+                             HandoverMode::Predictive)
+        .outageS;
+  };
+  EXPECT_LE(outageFor(66, 6), outageFor(22, 2) + 1.0);
+}
+
+}  // namespace
+}  // namespace openspace

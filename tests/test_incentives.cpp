@@ -1,0 +1,194 @@
+// Unit tests for the incentives analysis (§5(4)) and the reservation MAC
+// (§2.1 future work).
+#include <gtest/gtest.h>
+
+#include <openspace/econ/incentives.hpp>
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/mac/reservation.hpp>
+#include <openspace/orbit/walker.hpp>
+
+namespace openspace {
+namespace {
+
+std::vector<CoalitionMember> threeSmallProviders(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CoalitionMember> members;
+  for (int i = 0; i < 3; ++i) {
+    members.push_back(
+        {"small-" + std::to_string(i), makeRandomConstellation(8, km(780.0), rng)});
+  }
+  return members;
+}
+
+TEST(Incentives, SharesSumToOneAndRevenueIsConsistent) {
+  auto members = threeSmallProviders(1);
+  Rng rng(2);
+  const auto analysis = analyzeCoalition(members, 100e6, 0.0, deg2rad(10.0),
+                                         2000, 40, rng);
+  double shareSum = 0.0, revenueSum = 0.0;
+  for (const auto& m : analysis.members) {
+    EXPECT_GE(m.shapleyShare, 0.0);
+    EXPECT_LE(m.shapleyShare, 1.0);
+    shareSum += m.shapleyShare;
+    revenueSum += m.coalitionRevenueUsd;
+  }
+  EXPECT_NEAR(shareSum, 1.0, 1e-9);
+  EXPECT_NEAR(revenueSum, analysis.coalitionRevenueUsd, 1.0);
+}
+
+TEST(Incentives, CoalitionCoverageDominatesMembers) {
+  auto members = threeSmallProviders(3);
+  Rng rng(4);
+  const auto analysis = analyzeCoalition(members, 100e6, 0.0, deg2rad(10.0),
+                                         2000, 40, rng);
+  for (const auto& m : analysis.members) {
+    EXPECT_GE(analysis.coalitionCoverage, m.standaloneCoverage - 1e-12);
+  }
+  EXPECT_GE(analysis.coverageSynergy, 0.0);
+}
+
+TEST(Incentives, SmallProvidersGainFromPooling) {
+  // The paper's core pitch: small overlapping-coverage providers earn more
+  // selling the pooled footprint than their fragments. Superadditive
+  // coverage + proportional split should make the coalition self-enforcing
+  // for symmetric small fleets.
+  auto members = threeSmallProviders(5);
+  Rng rng(6);
+  const auto analysis = analyzeCoalition(members, 100e6, 0.0, deg2rad(10.0),
+                                         3000, 60, rng);
+  EXPECT_GT(analysis.coalitionRevenueUsd, analysis.sumStandaloneRevenueUsd * 0.95);
+  int winners = 0;
+  for (const auto& m : analysis.members) {
+    if (m.requiredTransferUsd <= 1e-6) ++winners;
+  }
+  EXPECT_GE(winners, 2);  // at least most members gain outright
+}
+
+TEST(Incentives, DominantProviderMayNeedATransfer) {
+  // A mega-constellation owner joining three tiny fleets: its standalone
+  // coverage is nearly the coalition's, so its proportional share can fall
+  // short — exactly the §5(4) concern. requiredTransferUsd quantifies it.
+  Rng rng(7);
+  std::vector<CoalitionMember> members;
+  members.push_back({"mega", makeWalkerStar(iridiumConfig())});
+  for (int i = 0; i < 3; ++i) {
+    members.push_back(
+        {"tiny-" + std::to_string(i), makeRandomConstellation(2, km(780.0), rng)});
+  }
+  Rng rng2(8);
+  const auto analysis = analyzeCoalition(members, 100e6, 0.0, deg2rad(10.0),
+                                         3000, 60, rng2);
+  const auto& mega = analysis.members[0];
+  EXPECT_GT(mega.standaloneCoverage, 0.9);
+  // The mega provider's share is large but its marginal loss (if any) is
+  // bounded by what the tinies take.
+  EXPECT_GT(mega.shapleyShare, 0.6);
+  EXPECT_LT(mega.requiredTransferUsd, 0.15 * analysis.coalitionRevenueUsd);
+}
+
+TEST(Incentives, Validation) {
+  Rng rng(9);
+  EXPECT_THROW(analyzeCoalition({}, 1e6, 0.0, 0.1, 100, 10, rng),
+               InvalidArgumentError);
+  auto members = threeSmallProviders(10);
+  EXPECT_THROW(analyzeCoalition(members, 0.0, 0.0, 0.1, 100, 10, rng),
+               InvalidArgumentError);
+  EXPECT_THROW(analyzeCoalition(members, 1e6, 0.0, 0.1, 0, 10, rng),
+               InvalidArgumentError);
+  EXPECT_THROW(analyzeCoalition(members, 1e6, 0.0, 0.1, 100, 0, rng),
+               InvalidArgumentError);
+}
+
+TEST(Incentives, DeterministicGivenSeed) {
+  auto members = threeSmallProviders(11);
+  Rng a(12), b(12);
+  const auto ra = analyzeCoalition(members, 1e6, 0.0, 0.1, 500, 20, a);
+  const auto rb = analyzeCoalition(members, 1e6, 0.0, 0.1, 500, 20, b);
+  EXPECT_DOUBLE_EQ(ra.coalitionCoverage, rb.coalitionCoverage);
+  for (std::size_t i = 0; i < ra.members.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.members[i].shapleyShare, rb.members[i].shapleyShare);
+  }
+}
+
+// --- reservation MAC ----------------------------------------------------------
+
+TEST(ReservationMac, DeliversCollisionFreeData) {
+  Rng rng(20);
+  const auto r = simulateReservationMac(ReservationConfig{}, 4, 10.0, rng);
+  EXPECT_GT(r.deliveredFrames, 0.0);
+  EXPECT_DOUBLE_EQ(r.droppedFrames, 0.0);
+  EXPECT_GT(r.throughputFraction, 0.4);
+}
+
+TEST(ReservationMac, OverheadBelowCsmaUnderContention) {
+  // The real-time argument: contention is confined to cheap minislots, so
+  // per-delivered-frame overhead stays far below CSMA/CA's IFS + backoff +
+  // collided-airtime cost at the same population.
+  Rng a(21), b(21);
+  const auto res = simulateReservationMac(ReservationConfig{}, 16, 10.0, a);
+  const auto csma = simulateCsmaCa(CsmaConfig{}, 16, 10.0, b);
+  EXPECT_LT(res.meanOverheadS, csma.meanOverheadS);
+}
+
+TEST(ReservationMac, ThroughputStableAcrossContention) {
+  // p-persistent reservation keeps the data slots flowing regardless of
+  // population; CSMA/CA throughput degrades with contention.
+  Rng a(22), b(22), c(22), d(22);
+  const auto lightRes = simulateReservationMac(ReservationConfig{}, 2, 10.0, a);
+  const auto heavyRes = simulateReservationMac(ReservationConfig{}, 32, 10.0, b);
+  EXPECT_GT(heavyRes.throughputFraction, lightRes.throughputFraction * 0.8);
+  const auto lightCsma = simulateCsmaCa(CsmaConfig{}, 2, 10.0, c);
+  const auto heavyCsma = simulateCsmaCa(CsmaConfig{}, 32, 10.0, d);
+  const double resRatio = heavyRes.throughputFraction / lightRes.throughputFraction;
+  const double csmaRatio =
+      heavyCsma.throughputFraction / lightCsma.throughputFraction;
+  EXPECT_GT(resRatio, csmaRatio);
+}
+
+TEST(ReservationMac, AccessDelayBoundedByServiceRate) {
+  // Saturated access delay tracks the analytic service rate: with W
+  // expected winners per frame, a population of n waits ~n/W frames.
+  const ReservationConfig cfg;
+  Rng rng(26);
+  const int nodes = 16;
+  const auto r = simulateReservationMac(cfg, nodes, 20.0, rng);
+  ASSERT_GT(r.deliveredFrames, 0.0);
+  const double framesTotal = 20.0 / cfg.frameDurationS();
+  const double winnersPerFrame = r.deliveredFrames / framesTotal;
+  const double expectedDelay = nodes / winnersPerFrame * cfg.frameDurationS();
+  EXPECT_NEAR(r.meanAccessDelayS, expectedDelay, expectedDelay);  // same scale
+  EXPECT_LT(r.p95AccessDelayS, 6.0 * expectedDelay);
+}
+
+TEST(ReservationMac, SingleNodeHasNoCollisions) {
+  Rng rng(23);
+  const auto r = simulateReservationMac(ReservationConfig{}, 1, 5.0, rng);
+  EXPECT_DOUBLE_EQ(r.collisionRate, 0.0);
+  EXPECT_GT(r.deliveredFrames, 0.0);
+}
+
+TEST(ReservationMac, Validation) {
+  Rng rng(24);
+  EXPECT_THROW(simulateReservationMac(ReservationConfig{}, 0, 1.0, rng),
+               InvalidArgumentError);
+  EXPECT_THROW(simulateReservationMac(ReservationConfig{}, 1, 0.0, rng),
+               InvalidArgumentError);
+  ReservationConfig bad;
+  bad.dataSlots = 0;
+  EXPECT_THROW(simulateReservationMac(bad, 1, 1.0, rng), InvalidArgumentError);
+  ReservationConfig bad2;
+  bad2.minislotS = 0.0;
+  EXPECT_THROW(simulateReservationMac(bad2, 1, 1.0, rng), InvalidArgumentError);
+}
+
+TEST(ReservationMac, DeterministicGivenSeed) {
+  Rng a(25), b(25);
+  const auto ra = simulateReservationMac(ReservationConfig{}, 8, 5.0, a);
+  const auto rb = simulateReservationMac(ReservationConfig{}, 8, 5.0, b);
+  EXPECT_DOUBLE_EQ(ra.deliveredFrames, rb.deliveredFrames);
+  EXPECT_DOUBLE_EQ(ra.meanAccessDelayS, rb.meanAccessDelayS);
+}
+
+}  // namespace
+}  // namespace openspace

@@ -1,0 +1,136 @@
+// Unit tests for ephemeris/site serialization (the public-topology
+// interchange format).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/io/ephemeris_io.hpp>
+#include <openspace/orbit/walker.hpp>
+
+namespace openspace {
+namespace {
+
+EphemerisService sampleEphemeris() {
+  EphemerisService eph;
+  int p = 0;
+  for (const auto& el : makeWalkerStar(iridiumConfig())) {
+    eph.publish(static_cast<ProviderId>(1 + (p++ % 3)), el);
+  }
+  return eph;
+}
+
+TEST(EphemerisIo, RoundTripIsExact) {
+  const EphemerisService original = sampleEphemeris();
+  const EphemerisService parsed =
+      ephemerisFromString(ephemerisToString(original));
+  ASSERT_EQ(parsed.size(), original.size());
+  for (const SatelliteId sid : original.satellites()) {
+    ASSERT_TRUE(parsed.contains(sid));
+    const auto& a = original.record(sid);
+    const auto& b = parsed.record(sid);
+    EXPECT_EQ(a.owner, b.owner);
+    // max_digits10 serialization: bit-exact round trip.
+    EXPECT_EQ(a.elements.semiMajorAxisM, b.elements.semiMajorAxisM);
+    EXPECT_EQ(a.elements.eccentricity, b.elements.eccentricity);
+    EXPECT_EQ(a.elements.inclinationRad, b.elements.inclinationRad);
+    EXPECT_EQ(a.elements.raanRad, b.elements.raanRad);
+    EXPECT_EQ(a.elements.argPerigeeRad, b.elements.argPerigeeRad);
+    EXPECT_EQ(a.elements.meanAnomalyAtEpochRad,
+              b.elements.meanAnomalyAtEpochRad);
+    // Therefore positions agree exactly far into the future.
+    EXPECT_EQ(original.positionEci(sid, 86'400.0),
+              parsed.positionEci(sid, 86'400.0));
+  }
+}
+
+TEST(EphemerisIo, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\n"
+      "\n"
+      "sat 5 2 7158137.0 0 1.5 0.5 0 3.0\n"
+      "# trailing comment\n";
+  const EphemerisService eph = ephemerisFromString(text);
+  EXPECT_EQ(eph.size(), 1u);
+  EXPECT_TRUE(eph.contains(5));
+  EXPECT_EQ(eph.record(5).owner, 2u);
+}
+
+TEST(EphemerisIo, MalformedRecordsThrow) {
+  EXPECT_THROW(ephemerisFromString("sat 5 2 nonsense 0 1 0 0 0\n"),
+               ProtocolError);
+  EXPECT_THROW(ephemerisFromString("sat 5 2 7158137.0 0 1.5\n"),  // short
+               ProtocolError);
+  EXPECT_THROW(ephemerisFromString("sat 5 2 -100.0 0 1.5 0 0 0\n"),  // a <= 0
+               ProtocolError);
+  EXPECT_THROW(ephemerisFromString("sat 5 2 7158137.0 1.5 1.5 0 0 0\n"),  // e
+               ProtocolError);
+  EXPECT_THROW(
+      ephemerisFromString("sat 5 2 7158137.0 0 1.5 0 0 0\n"
+                          "sat 5 3 7158137.0 0 1.5 0 0 0\n"),  // dup id
+      ProtocolError);
+}
+
+TEST(EphemerisIo, UnknownRecordKindsAreSkipped) {
+  const std::string text =
+      "sat 1 1 7158137.0 0 1.5 0 0 0\n"
+      "tle 1 some legacy line\n"
+      "site user 3 0.5 0.5 0 someone\n";
+  const EphemerisService eph = ephemerisFromString(text);
+  EXPECT_EQ(eph.size(), 1u);
+}
+
+TEST(SiteIo, RoundTripWithNamesContainingSpaces) {
+  std::vector<SiteRecord> sites;
+  SiteRecord gs;
+  gs.isStation = true;
+  gs.site = {"svalbard ground station", Geodetic::fromDegrees(78.23, 15.41),
+             4};
+  sites.push_back(gs);
+  SiteRecord user;
+  user.isStation = false;
+  user.site = {"nomad user", Geodetic::fromDegrees(-1.29, 36.82, 1700.0), 7};
+  sites.push_back(user);
+
+  std::ostringstream os;
+  saveSites(sites, os);
+  std::istringstream is(os.str());
+  const auto parsed = loadSites(is);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_TRUE(parsed[0].isStation);
+  EXPECT_EQ(parsed[0].site.name, "svalbard ground station");
+  EXPECT_EQ(parsed[0].site.provider, 4u);
+  EXPECT_FALSE(parsed[1].isStation);
+  EXPECT_EQ(parsed[1].site.name, "nomad user");
+  EXPECT_EQ(parsed[1].site.location.altitudeM, 1700.0);
+  EXPECT_EQ(parsed[1].site.location.latitudeRad,
+            Geodetic::fromDegrees(-1.29, 0).latitudeRad);
+}
+
+TEST(SiteIo, MalformedSitesThrow) {
+  std::istringstream bad1("site station notanumber 0 0 0 x\n");
+  EXPECT_THROW(loadSites(bad1), ProtocolError);
+  std::istringstream bad2("site tower 1 0 0 0 x\n");  // unknown kind
+  EXPECT_THROW(loadSites(bad2), ProtocolError);
+  std::istringstream bad3("site user 1 0 0 0\n");  // missing name
+  EXPECT_THROW(loadSites(bad3), ProtocolError);
+}
+
+TEST(CombinedIo, OneFileCarriesBothRecordKinds) {
+  const EphemerisService eph = sampleEphemeris();
+  std::vector<SiteRecord> sites = {
+      {true, {"gw", Geodetic::fromDegrees(47.0, -122.0), 1}}};
+  std::ostringstream os;
+  saveEphemeris(eph, os);
+  saveSites(sites, os);
+  const std::string file = os.str();
+
+  std::istringstream is1(file);
+  EXPECT_EQ(loadEphemeris(is1).size(), eph.size());
+  std::istringstream is2(file);
+  EXPECT_EQ(loadSites(is2).size(), 1u);
+}
+
+}  // namespace
+}  // namespace openspace

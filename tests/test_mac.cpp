@@ -1,0 +1,231 @@
+// Unit tests for the mac module: beacon scheduling, CSMA/CA contention,
+// TDMA, OFDMA scheduling.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include <openspace/geo/units.hpp>
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/rng.hpp>
+#include <openspace/mac/beacon.hpp>
+#include <openspace/mac/csma.hpp>
+#include <openspace/mac/ofdma.hpp>
+
+namespace openspace {
+namespace {
+
+TEST(BeaconSchedule, PeriodicityAndPhase) {
+  const BeaconSchedule sched(2.0);
+  const double t1 = sched.nextBeaconTime(42, 0.0);
+  EXPECT_GE(t1, 0.0);
+  EXPECT_LT(t1, 2.0);
+  const double t2 = sched.nextBeaconTime(42, t1 + 0.001);
+  EXPECT_NEAR(t2 - t1, 2.0, 1e-9);
+}
+
+TEST(BeaconSchedule, NextAtOrAfterQuery) {
+  const BeaconSchedule sched(5.0);
+  for (const SatelliteId id : {1u, 7u, 99u}) {
+    for (const double t : {0.0, 3.3, 12.7, 100.0}) {
+      EXPECT_GE(sched.nextBeaconTime(id, t), t);
+    }
+  }
+}
+
+TEST(BeaconSchedule, DifferentSatellitesAreStaggered) {
+  const BeaconSchedule sched(2.0);
+  // Not all satellites beacon at the same instant (collision avoidance).
+  const double a = sched.nextBeaconTime(1, 0.0);
+  const double b = sched.nextBeaconTime(2, 0.0);
+  const double c = sched.nextBeaconTime(3, 0.0);
+  EXPECT_TRUE(a != b || b != c);
+}
+
+TEST(BeaconSchedule, CountOverInterval) {
+  const BeaconSchedule sched(2.0);
+  // Exactly 5 beacons fit in any 10-second window (one per period).
+  EXPECT_EQ(sched.beaconCount(5, 0.0, 10.0), 5);
+  EXPECT_EQ(sched.beaconCount(5, 0.0, 0.0), 0);
+  EXPECT_EQ(sched.beaconCount(5, 10.0, 0.0), 0);
+}
+
+TEST(BeaconSchedule, InvalidPeriodThrows) {
+  EXPECT_THROW(BeaconSchedule(0.0), InvalidArgumentError);
+  EXPECT_THROW(BeaconSchedule(-1.0), InvalidArgumentError);
+}
+
+TEST(CsmaCa, SingleNodeHasNoCollisions) {
+  Rng rng(1);
+  const auto r = simulateCsmaCa(CsmaConfig{}, 1, 5.0, rng);
+  EXPECT_DOUBLE_EQ(r.collisionRate, 0.0);
+  EXPECT_DOUBLE_EQ(r.droppedFrames, 0.0);
+  EXPECT_GT(r.deliveredFrames, 0.0);
+  EXPECT_GT(r.throughputFraction, 0.5);
+}
+
+TEST(CsmaCa, CollisionsGrowWithContention) {
+  Rng rngA(2), rngB(2);
+  const auto few = simulateCsmaCa(CsmaConfig{}, 2, 5.0, rngA);
+  const auto many = simulateCsmaCa(CsmaConfig{}, 16, 5.0, rngB);
+  EXPECT_GT(many.collisionRate, few.collisionRate);
+  EXPECT_GT(many.meanAccessDelayS, few.meanAccessDelayS);
+}
+
+TEST(CsmaCa, PaperClaimHigherOverheadThanTdma) {
+  // §2.1: CSMA/CA "is prone to higher overhead and corresponding larger
+  // latency due to Inter-Frame Spacing and backoff window requirements".
+  Rng rng(3);
+  const auto csma = simulateCsmaCa(CsmaConfig{}, 8, 5.0, rng);
+  const auto tdma = simulateTdma(TdmaConfig{}, 8, 5.0);
+  EXPECT_GT(csma.meanOverheadS, tdma.meanOverheadS);
+  EXPECT_LT(csma.throughputFraction, tdma.throughputFraction);
+}
+
+TEST(CsmaCa, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  const auto ra = simulateCsmaCa(CsmaConfig{}, 4, 2.0, a);
+  const auto rb = simulateCsmaCa(CsmaConfig{}, 4, 2.0, b);
+  EXPECT_DOUBLE_EQ(ra.deliveredFrames, rb.deliveredFrames);
+  EXPECT_DOUBLE_EQ(ra.meanAccessDelayS, rb.meanAccessDelayS);
+  EXPECT_DOUBLE_EQ(ra.collisionRate, rb.collisionRate);
+}
+
+TEST(CsmaCa, P95AtLeastMean) {
+  Rng rng(5);
+  const auto r = simulateCsmaCa(CsmaConfig{}, 8, 5.0, rng);
+  EXPECT_GE(r.p95AccessDelayS, r.meanAccessDelayS * 0.5);
+  EXPECT_GE(r.p95AccessDelayS, 0.0);
+}
+
+TEST(CsmaCa, ClosedFormOverheadFloor) {
+  const CsmaConfig cfg;
+  const double floor = csmaPerFrameOverheadS(cfg);
+  // DIFS + mean backoff (7.5 slots) + SIFS.
+  EXPECT_NEAR(floor, cfg.difsS + 7.5 * cfg.slotTimeS + cfg.sifsS, 1e-12);
+  // The simulated single-node overhead should sit near the floor.
+  Rng rng(6);
+  const auto r = simulateCsmaCa(cfg, 1, 5.0, rng);
+  EXPECT_NEAR(r.meanOverheadS, floor, floor * 0.25);
+}
+
+TEST(CsmaCa, InvalidArgsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(simulateCsmaCa(CsmaConfig{}, 0, 1.0, rng), InvalidArgumentError);
+  EXPECT_THROW(simulateCsmaCa(CsmaConfig{}, 1, 0.0, rng), InvalidArgumentError);
+}
+
+TEST(Tdma, DeterministicAndCollisionFree) {
+  const auto r = simulateTdma(TdmaConfig{}, 8, 10.0);
+  EXPECT_DOUBLE_EQ(r.collisionRate, 0.0);
+  EXPECT_DOUBLE_EQ(r.droppedFrames, 0.0);
+  EXPECT_DOUBLE_EQ(r.offeredFrames, r.deliveredFrames);
+}
+
+TEST(Tdma, AccessDelayScalesWithNodes) {
+  const auto few = simulateTdma(TdmaConfig{}, 2, 10.0);
+  const auto many = simulateTdma(TdmaConfig{}, 16, 10.0);
+  EXPECT_GT(many.meanAccessDelayS, few.meanAccessDelayS);
+  // Saturated wait = cycle - own slot.
+  const TdmaConfig cfg;
+  EXPECT_NEAR(many.meanAccessDelayS, 16 * (cfg.slotS + cfg.guardS) - cfg.slotS,
+              1e-12);
+}
+
+TEST(Tdma, InvalidArgsThrow) {
+  EXPECT_THROW(simulateTdma(TdmaConfig{}, 0, 1.0), InvalidArgumentError);
+  EXPECT_THROW(simulateTdma(TdmaConfig{}, 1, 0.0), InvalidArgumentError);
+  TdmaConfig bad;
+  bad.slotS = 0.0;
+  EXPECT_THROW(simulateTdma(bad, 1, 1.0), InvalidArgumentError);
+}
+
+// --- OFDMA -----------------------------------------------------------------
+
+TEST(Ofdma, BlockArithmetic) {
+  const OfdmaScheduler sched(megahertz(250.0), 100, OfdmaPolicy::RoundRobin);
+  EXPECT_DOUBLE_EQ(sched.blockBandwidthHz(), 2.5e6);
+  EXPECT_EQ(sched.resourceBlocks(), 100);
+  EXPECT_THROW(OfdmaScheduler(0.0, 10, OfdmaPolicy::RoundRobin),
+               InvalidArgumentError);
+  EXPECT_THROW(OfdmaScheduler(1e6, 0, OfdmaPolicy::RoundRobin),
+               InvalidArgumentError);
+}
+
+std::vector<OfdmaDemand> threeUsers() {
+  return {{1, 50e6, 2.0, 1.0}, {2, 100e6, 2.0, 1.0}, {3, 25e6, 4.0, 2.0}};
+}
+
+TEST(Ofdma, GrantsNeverExceedBlockBudget) {
+  for (const auto policy : {OfdmaPolicy::RoundRobin, OfdmaPolicy::ProportionalFair,
+                            OfdmaPolicy::MaxThroughput}) {
+    const OfdmaScheduler sched(megahertz(250.0), 64, policy);
+    const auto grants = sched.schedule(threeUsers());
+    int total = 0;
+    for (const auto& g : grants) total += g.resourceBlocks;
+    EXPECT_LE(total, 64) << "policy " << static_cast<int>(policy);
+  }
+}
+
+TEST(Ofdma, ZeroDemandGetsNothing) {
+  const OfdmaScheduler sched(megahertz(250.0), 64, OfdmaPolicy::ProportionalFair);
+  const auto grants =
+      sched.schedule({{1, 0.0, 2.0, 1.0}, {2, 500e6, 2.0, 1.0}});
+  EXPECT_EQ(grants[0].resourceBlocks, 0);
+  EXPECT_GT(grants[1].resourceBlocks, 0);
+}
+
+TEST(Ofdma, RoundRobinIsEvenUnderEqualDemand) {
+  const OfdmaScheduler sched(megahertz(250.0), 60, OfdmaPolicy::RoundRobin);
+  const auto grants = sched.schedule(
+      {{1, 1e9, 2.0, 1.0}, {2, 1e9, 2.0, 1.0}, {3, 1e9, 2.0, 1.0}});
+  EXPECT_EQ(grants[0].resourceBlocks, 20);
+  EXPECT_EQ(grants[1].resourceBlocks, 20);
+  EXPECT_EQ(grants[2].resourceBlocks, 20);
+}
+
+TEST(Ofdma, ProportionalFairRespectsWeights) {
+  const OfdmaScheduler sched(megahertz(250.0), 90, OfdmaPolicy::ProportionalFair);
+  const auto grants = sched.schedule(
+      {{1, 1e9, 2.0, 1.0}, {2, 1e9, 2.0, 2.0}});  // user 2 pays for 2x weight
+  EXPECT_NEAR(static_cast<double>(grants[1].resourceBlocks) /
+                  static_cast<double>(grants[0].resourceBlocks),
+              2.0, 0.15);
+}
+
+TEST(Ofdma, MaxThroughputFavorsGoodChannels) {
+  const OfdmaScheduler sched(megahertz(250.0), 10, OfdmaPolicy::MaxThroughput);
+  // User 2 has double the spectral efficiency and wants everything.
+  const auto grants =
+      sched.schedule({{1, 1e9, 2.0, 1.0}, {2, 1e9, 4.0, 1.0}});
+  EXPECT_EQ(grants[1].resourceBlocks, 10);
+  EXPECT_EQ(grants[0].resourceBlocks, 0);
+}
+
+TEST(Ofdma, GrantedRateMatchesBlocksAndEfficiency) {
+  const OfdmaScheduler sched(megahertz(250.0), 50, OfdmaPolicy::RoundRobin);
+  const auto grants = sched.schedule(threeUsers());
+  for (std::size_t i = 0; i < grants.size(); ++i) {
+    EXPECT_DOUBLE_EQ(grants[i].grantedBps,
+                     grants[i].resourceBlocks * sched.blockBandwidthHz() *
+                         threeUsers()[i].spectralEfficiency);
+  }
+}
+
+TEST(Ofdma, DemandCapsAllocation) {
+  // A user wanting one block's worth of rate gets exactly one block even
+  // when the channel is idle (PF redistributes the rest to no one).
+  const OfdmaScheduler sched(megahertz(250.0), 64, OfdmaPolicy::ProportionalFair);
+  const double perBlock = sched.blockBandwidthHz() * 2.0;
+  const auto grants = sched.schedule({{1, perBlock * 0.9, 2.0, 1.0}});
+  EXPECT_EQ(grants[0].resourceBlocks, 1);
+}
+
+TEST(Ofdma, InvalidDemandThrows) {
+  const OfdmaScheduler sched(megahertz(250.0), 64, OfdmaPolicy::RoundRobin);
+  EXPECT_THROW(sched.schedule({{1, -1.0, 2.0, 1.0}}), InvalidArgumentError);
+  EXPECT_THROW(sched.schedule({{1, 1e6, 0.0, 1.0}}), InvalidArgumentError);
+  EXPECT_THROW(sched.schedule({{1, 1e6, 2.0, -0.5}}), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace openspace

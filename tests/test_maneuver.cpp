@@ -1,0 +1,150 @@
+// Unit tests for orbital maneuver planning: Hohmann transfers, plane
+// changes, phasing, propellant budgets, slot acquisition.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/geo/wgs84.hpp>
+#include <openspace/orbit/maneuver.hpp>
+
+namespace openspace {
+namespace {
+
+TEST(Maneuver, CircularVelocityKnownValues) {
+  // LEO at ~780 km: ~7.45 km/s; GEO radius: ~3.07 km/s.
+  EXPECT_NEAR(circularVelocityMps(wgs84::kMeanRadiusM + 780e3), 7'460.0, 30.0);
+  EXPECT_NEAR(circularVelocityMps(42'164e3), 3'075.0, 10.0);
+  EXPECT_THROW(circularVelocityMps(0.0), InvalidArgumentError);
+}
+
+TEST(Maneuver, HohmannLeoToGeoTextbookValue) {
+  // ~3.9 km/s from a 300 km LEO to GEO (textbook).
+  const double r1 = wgs84::kMeanRadiusM + 300e3;
+  const double r2 = 42'164e3;
+  EXPECT_NEAR(hohmannDeltaVMps(r1, r2), 3'900.0, 60.0);
+}
+
+TEST(Maneuver, HohmannSymmetricAndZeroForSameOrbit) {
+  const double r1 = wgs84::kMeanRadiusM + 500e3;
+  const double r2 = wgs84::kMeanRadiusM + 780e3;
+  EXPECT_DOUBLE_EQ(hohmannDeltaVMps(r1, r2), hohmannDeltaVMps(r2, r1));
+  EXPECT_DOUBLE_EQ(hohmannDeltaVMps(r1, r1), 0.0);
+  EXPECT_THROW(hohmannDeltaVMps(-1.0, r2), InvalidArgumentError);
+}
+
+TEST(Maneuver, HohmannTransferTimeIsHalfEllipsePeriod) {
+  const double r1 = wgs84::kMeanRadiusM + 500e3;
+  const double r2 = wgs84::kMeanRadiusM + 780e3;
+  const double t = hohmannTransferTimeS(r1, r2);
+  // Between half-periods of the two circular orbits.
+  const auto lo = OrbitalElements::circular(500e3, 0, 0, 0);
+  const auto hi = OrbitalElements::circular(780e3, 0, 0, 0);
+  EXPECT_GT(t, lo.periodS() / 2.0);
+  EXPECT_LT(t, hi.periodS() / 2.0);
+}
+
+TEST(Maneuver, PlaneChangeCosts) {
+  const double r = wgs84::kMeanRadiusM + 780e3;
+  // 60 deg plane change costs exactly one circular velocity.
+  EXPECT_NEAR(planeChangeDeltaVMps(r, deg2rad(60.0)), circularVelocityMps(r),
+              1e-6);
+  EXPECT_DOUBLE_EQ(planeChangeDeltaVMps(r, 0.0), 0.0);
+  // Small changes are ~linear: v * angle.
+  EXPECT_NEAR(planeChangeDeltaVMps(r, 0.01), circularVelocityMps(r) * 0.01,
+              0.5);
+}
+
+TEST(Maneuver, PlaneChangeDwarfsAltitudeChange) {
+  // The "launch into your plane" rule: a 30 deg re-plane costs far more
+  // than raising 400 -> 780 km.
+  const double r = wgs84::kMeanRadiusM + 780e3;
+  EXPECT_GT(planeChangeDeltaVMps(r, deg2rad(30.0)),
+            10.0 * hohmannDeltaVMps(wgs84::kMeanRadiusM + 400e3, r));
+}
+
+TEST(Phasing, DriftDirectionAndCost) {
+  const auto orbit = OrbitalElements::circular(780e3, deg2rad(86.4), 0, 0);
+  const PhasingPlan ahead = planPhasing(orbit, 0.5, 10);
+  EXPECT_GT(ahead.deltaVMps, 0.0);
+  // Moving ahead = shorter-period phasing orbit = smaller semi-major axis.
+  EXPECT_LT(ahead.phasingSemiMajorAxisM, orbit.semiMajorAxisM);
+  const PhasingPlan behind = planPhasing(orbit, -0.5, 10);
+  EXPECT_GT(behind.phasingSemiMajorAxisM, orbit.semiMajorAxisM);
+  // Duration ~ revolutions * period.
+  EXPECT_NEAR(ahead.durationS, 10 * orbit.periodS(), orbit.periodS());
+}
+
+TEST(Phasing, MoreRevolutionsAreCheaper) {
+  const auto orbit = OrbitalElements::circular(780e3, deg2rad(86.4), 0, 0);
+  const PhasingPlan fast = planPhasing(orbit, 1.0, 5);
+  const PhasingPlan slow = planPhasing(orbit, 1.0, 25);
+  EXPECT_LT(slow.deltaVMps, fast.deltaVMps);
+  EXPECT_GT(slow.durationS, fast.durationS);
+}
+
+TEST(Phasing, ZeroPhaseIsFree) {
+  const auto orbit = OrbitalElements::circular(780e3, 0, 0, 0);
+  const PhasingPlan plan = planPhasing(orbit, 0.0, 5);
+  EXPECT_DOUBLE_EQ(plan.deltaVMps, 0.0);
+  EXPECT_DOUBLE_EQ(plan.durationS, 0.0);
+}
+
+TEST(Phasing, Validation) {
+  const auto orbit = OrbitalElements::circular(780e3, 0, 0, 0);
+  EXPECT_THROW(planPhasing(orbit, 0.5, 0), InvalidArgumentError);
+  EXPECT_THROW(planPhasing(orbit, 7.0, 5), InvalidArgumentError);
+  // An aggressive single-revolution phase change from low orbit dips below
+  // the safety floor.
+  const auto low = OrbitalElements::circular(200e3, 0, 0, 0);
+  EXPECT_THROW(planPhasing(low, 3.0, 1), InvalidArgumentError);
+}
+
+TEST(Propellant, RocketEquation) {
+  // dv = Isp * g0 * ln(1 + mp/md): invert a simple case.
+  const double isp = 220.0;
+  const double g0 = 9.80665;
+  const double mp = propellantMassKg(100.0, isp * g0 * std::numbers::ln2, isp);
+  EXPECT_NEAR(mp, 100.0, 1e-6);  // ln(2) of delta-v doubles the mass
+  EXPECT_DOUBLE_EQ(propellantMassKg(100.0, 0.0, isp), 0.0);
+  EXPECT_THROW(propellantMassKg(0.0, 10.0, isp), InvalidArgumentError);
+  EXPECT_THROW(propellantMassKg(100.0, -1.0, isp), InvalidArgumentError);
+  EXPECT_THROW(propellantMassKg(100.0, 10.0, 0.0), InvalidArgumentError);
+}
+
+TEST(SlotAcquisition, RideshareToOperationalSlot) {
+  const auto slot = OrbitalElements::circular(780e3, deg2rad(86.4), 0, 1.0);
+  const SlotAcquisition acq =
+      planSlotAcquisition(500e3, slot, /*phaseError=*/1.0, /*dryMass=*/100.0);
+  EXPECT_GT(acq.totalDeltaVMps, 100.0);   // raise 280 km + phasing
+  EXPECT_LT(acq.totalDeltaVMps, 400.0);   // sane bound
+  EXPECT_GT(acq.totalDurationS, 3'600.0); // phasing dominates: hours-days
+  EXPECT_GT(acq.propellantKg, 0.0);
+  EXPECT_LT(acq.propellantKg, 25.0);      // small fraction of dry mass
+}
+
+TEST(SlotAcquisition, NoPhasingNeeded) {
+  const auto slot = OrbitalElements::circular(780e3, deg2rad(86.4), 0, 0);
+  const SlotAcquisition acq = planSlotAcquisition(500e3, slot, 0.0, 100.0);
+  EXPECT_NEAR(acq.totalDeltaVMps,
+              hohmannDeltaVMps(wgs84::kMeanRadiusM + 500e3,
+                               wgs84::kMeanRadiusM + 780e3),
+              1e-9);
+  EXPECT_THROW(planSlotAcquisition(0.0, slot, 0.0, 100.0),
+               InvalidArgumentError);
+}
+
+TEST(SlotAcquisition, ManeuveringCostFeedsCapexScale) {
+  // Sanity link to §3: slot acquisition propellant for a 100 kg smallsat is
+  // a few kg — the launch-mass line item, not a showstopper; re-planing
+  // (which OpenSpace avoids) would be.
+  const auto slot = OrbitalElements::circular(780e3, deg2rad(86.4), 0, 0);
+  const double planeChange = planeChangeDeltaVMps(slot.semiMajorAxisM,
+                                                  deg2rad(30.0));
+  const double rePlaneProp = propellantMassKg(100.0, planeChange, 220.0);
+  EXPECT_GT(rePlaneProp, 100.0);  // more propellant than the satellite itself
+}
+
+}  // namespace
+}  // namespace openspace

@@ -1,0 +1,261 @@
+// Unit tests for the phy module: bands, link budgets, MODCOD, terminals,
+// power budgets.
+#include <gtest/gtest.h>
+#include <cmath>
+
+
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/phy/bands.hpp>
+#include <openspace/phy/linkbudget.hpp>
+#include <openspace/phy/power.hpp>
+#include <openspace/phy/terminal.hpp>
+
+namespace openspace {
+namespace {
+
+TEST(Bands, MetadataIsConsistent) {
+  for (const Band b : {Band::Uhf, Band::S, Band::Ku, Band::Ka, Band::Optical}) {
+    const BandInfo& info = bandInfo(b);
+    EXPECT_EQ(info.band, b);
+    EXPECT_GT(info.carrierHz, 0.0);
+    EXPECT_GT(info.channelBandwidthHz, 0.0);
+    EXPECT_FALSE(bandName(b).empty());
+  }
+}
+
+TEST(Bands, IslAndGroundRoles) {
+  // The paper's band plan: UHF/S ISLs, Ku/Ka ground, optical ISL-only.
+  EXPECT_TRUE(bandInfo(Band::Uhf).usableForIsl);
+  EXPECT_TRUE(bandInfo(Band::S).usableForIsl);
+  EXPECT_TRUE(bandInfo(Band::Optical).usableForIsl);
+  EXPECT_FALSE(bandInfo(Band::Ku).usableForIsl);
+  EXPECT_TRUE(bandInfo(Band::Ku).usableForGround);
+  EXPECT_FALSE(bandInfo(Band::Optical).usableForGround);
+}
+
+TEST(Bands, CarrierOrdering) {
+  EXPECT_LT(bandInfo(Band::Uhf).carrierHz, bandInfo(Band::S).carrierHz);
+  EXPECT_LT(bandInfo(Band::S).carrierHz, bandInfo(Band::Ku).carrierHz);
+  EXPECT_LT(bandInfo(Band::Ku).carrierHz, bandInfo(Band::Ka).carrierHz);
+  EXPECT_LT(bandInfo(Band::Ka).carrierHz, bandInfo(Band::Optical).carrierHz);
+}
+
+TEST(Atmosphere, LossGrowsTowardHorizon) {
+  const double zenith = atmosphericLossDb(Band::Ku, deg2rad(90.0));
+  const double slant = atmosphericLossDb(Band::Ku, deg2rad(10.0));
+  EXPECT_GT(slant, zenith);
+  EXPECT_GT(zenith, 0.0);
+}
+
+TEST(Atmosphere, RainAddsLossAndScalesWithFrequency) {
+  const double dryKu = atmosphericLossDb(Band::Ku, deg2rad(30.0), 0.0);
+  const double wetKu = atmosphericLossDb(Band::Ku, deg2rad(30.0), 25.0);
+  const double wetKa = atmosphericLossDb(Band::Ka, deg2rad(30.0), 25.0);
+  EXPECT_GT(wetKu, dryKu);
+  EXPECT_GT(wetKa, wetKu);  // rain fade is worse at Ka
+}
+
+TEST(Atmosphere, OpticalVacuumPathIsLossless) {
+  EXPECT_DOUBLE_EQ(atmosphericLossDb(Band::Optical, deg2rad(45.0), 50.0), 0.0);
+}
+
+TEST(Atmosphere, InvalidArgsThrow) {
+  EXPECT_THROW(atmosphericLossDb(Band::Ku, 0.0), InvalidArgumentError);
+  EXPECT_THROW(atmosphericLossDb(Band::Ku, -0.1), InvalidArgumentError);
+  EXPECT_THROW(atmosphericLossDb(Band::Ku, 0.5, -1.0), InvalidArgumentError);
+}
+
+TEST(Fspl, KnownValue) {
+  // FSPL(1 km, 1 GHz) ~ 92.45 dB (textbook).
+  EXPECT_NEAR(freeSpacePathLossDb(1e3, 1e9), 92.45, 0.01);
+}
+
+TEST(Fspl, SquareLawInDistanceAndFrequency) {
+  const double base = freeSpacePathLossDb(1000e3, 2e9);
+  EXPECT_NEAR(freeSpacePathLossDb(2000e3, 2e9), base + 6.02, 0.01);
+  EXPECT_NEAR(freeSpacePathLossDb(1000e3, 4e9), base + 6.02, 0.01);
+  EXPECT_THROW(freeSpacePathLossDb(0.0, 1e9), InvalidArgumentError);
+  EXPECT_THROW(freeSpacePathLossDb(1e3, 0.0), InvalidArgumentError);
+}
+
+TEST(Noise, ThermalNoiseMatchesKtb) {
+  // kTB at 290 K, 1 Hz = -204 dBW (textbook anchor).
+  EXPECT_NEAR(wattsToDbw(thermalNoiseW(1.0, 290.0)), -203.98, 0.05);
+  EXPECT_THROW(thermalNoiseW(0.0, 290.0), InvalidArgumentError);
+  EXPECT_THROW(thermalNoiseW(1e6, 0.0), InvalidArgumentError);
+}
+
+TEST(LinkBudget, SnrDecreasesWithDistance) {
+  LinkBudgetInput in;
+  in.band = Band::S;
+  in.txPowerW = 10.0;
+  in.txAntennaGainDb = 18.0;
+  in.rxAntennaGainDb = 18.0;
+  in.distanceM = 1000e3;
+  const double snrNear = computeLinkBudget(in).snrDb;
+  in.distanceM = 4000e3;
+  const double snrFar = computeLinkBudget(in).snrDb;
+  EXPECT_GT(snrNear, snrFar);
+  EXPECT_NEAR(snrNear - snrFar, 12.04, 0.05);  // 4x distance = +12 dB FSPL
+}
+
+TEST(LinkBudget, ShannonConsistentWithSnr) {
+  LinkBudgetInput in;
+  in.band = Band::S;
+  in.txPowerW = 10.0;
+  in.txAntennaGainDb = 18.0;
+  in.rxAntennaGainDb = 18.0;
+  in.distanceM = 2000e3;
+  const auto out = computeLinkBudget(in);
+  const double expected = bandInfo(Band::S).channelBandwidthHz *
+                          std::log2(1.0 + dbToRatio(out.snrDb));
+  EXPECT_NEAR(out.shannonCapacityBps, expected, 1.0);
+}
+
+TEST(LinkBudget, ExtraLossesReduceSnrOneForOne) {
+  LinkBudgetInput in;
+  in.band = Band::Ku;
+  in.txPowerW = 20.0;
+  in.txAntennaGainDb = 30.0;
+  in.rxAntennaGainDb = 40.0;
+  in.distanceM = 1500e3;
+  const double snr0 = computeLinkBudget(in).snrDb;
+  in.extraLossesDb = 3.0;
+  in.atmosphericLossDb = 2.0;
+  EXPECT_NEAR(computeLinkBudget(in).snrDb, snr0 - 5.0, 1e-9);
+}
+
+TEST(LinkBudget, InvalidPowerThrows) {
+  LinkBudgetInput in;
+  in.distanceM = 1e6;
+  in.txPowerW = 0.0;
+  EXPECT_THROW(computeLinkBudget(in), InvalidArgumentError);
+}
+
+TEST(Modcod, LadderIsMonotone) {
+  const auto& ladder = modcodLadder();
+  ASSERT_GE(ladder.size(), 5u);
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GT(ladder[i].requiredSnrDb, ladder[i - 1].requiredSnrDb);
+    EXPECT_GT(ladder[i].spectralEfficiency, ladder[i - 1].spectralEfficiency);
+  }
+}
+
+TEST(Modcod, SelectionRespectsThresholds) {
+  EXPECT_EQ(selectModcod(-10.0), nullptr);  // below the most robust entry
+  const Modcod* lowest = selectModcod(-2.0);
+  ASSERT_NE(lowest, nullptr);
+  EXPECT_EQ(lowest->name, "QPSK-1/4");
+  const Modcod* highest = selectModcod(50.0);
+  ASSERT_NE(highest, nullptr);
+  EXPECT_EQ(highest->name, "32APSK-9/10");
+}
+
+TEST(Modcod, RateIsEfficiencyTimesBandwidth) {
+  const Modcod* m = selectModcod(7.0);
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(modcodRateBps(7.0, 5e6), m->spectralEfficiency * 5e6);
+  EXPECT_DOUBLE_EQ(modcodRateBps(-50.0, 5e6), 0.0);
+  EXPECT_THROW(modcodRateBps(7.0, 0.0), InvalidArgumentError);
+}
+
+TEST(Terminals, PaperLaserTerminalAnchors) {
+  // §2.1: "$500,000 per terminal ... 0.0234 sq.m of volume and at least
+  // 15 kg of weight".
+  const TerminalSpec t = terminals::laserIsl();
+  EXPECT_DOUBLE_EQ(t.unitCostUsd, 500'000.0);
+  EXPECT_GE(t.massKg, 15.0);
+  EXPECT_DOUBLE_EQ(t.volumeM3, 0.0234);
+  EXPECT_TRUE(t.isOptical());
+  EXPECT_GT(t.beamDivergenceRad, 0.0);
+  EXPECT_GT(t.slewRateRadPerS, 0.0);
+}
+
+TEST(Terminals, RfTerminalsAreCheapAndLight) {
+  // The accessibility argument: the RF minimum must be far below the laser
+  // premium so small spacecraft can join.
+  const TerminalSpec uhf = terminals::uhfIsl();
+  const TerminalSpec s = terminals::sBandIsl();
+  const TerminalSpec laser = terminals::laserIsl();
+  EXPECT_LT(uhf.unitCostUsd, laser.unitCostUsd / 10.0);
+  EXPECT_LT(s.unitCostUsd, laser.unitCostUsd / 5.0);
+  EXPECT_LT(uhf.massKg, 1.0);
+  EXPECT_FALSE(uhf.isOptical());
+  EXPECT_FALSE(s.isOptical());
+}
+
+TEST(Terminals, SBandClosesWalkerGridDistances) {
+  // The standardized S-band radio must close a 4,000 km intra-plane ISL
+  // (the geometry the paper's Walker Star argument depends on).
+  const TerminalSpec s = terminals::sBandIsl();
+  LinkBudgetInput in;
+  in.band = Band::S;
+  in.distanceM = 4000e3;
+  in.txPowerW = s.txPowerW;
+  in.txAntennaGainDb = s.antennaGainDb;
+  in.rxAntennaGainDb = s.antennaGainDb;
+  in.systemNoiseTempK = s.systemNoiseTempK;
+  in.extraLossesDb = 3.0;
+  const auto out = computeLinkBudget(in);
+  EXPECT_NE(selectModcod(out.snrDb), nullptr)
+      << "S-band ISL fails to close at 4000 km (SNR " << out.snrDb << " dB)";
+}
+
+TEST(Terminals, LaserGainFollowsDivergence) {
+  // Narrower beam, higher gain; (4/theta)^2 in dB.
+  EXPECT_GT(laserGainDb(10e-6), laserGainDb(100e-6));
+  EXPECT_NEAR(laserGainDb(15e-6) - laserGainDb(150e-6), 20.0, 1e-9);
+  EXPECT_THROW(laserGainDb(0.0), InvalidArgumentError);
+}
+
+TEST(PowerBudget, CommitReleaseCycle) {
+  PowerBudget pb(120.0, 200.0, 35.0);
+  EXPECT_DOUBLE_EQ(pb.availableW(), 85.0);
+  EXPECT_TRUE(pb.canCommit(80.0));
+  EXPECT_FALSE(pb.canCommit(90.0));
+  const int id = pb.commit(30.0, "isl");
+  EXPECT_DOUBLE_EQ(pb.availableW(), 55.0);
+  EXPECT_EQ(pb.activeCommitments(), 1u);
+  pb.release(id);
+  EXPECT_DOUBLE_EQ(pb.availableW(), 85.0);
+  EXPECT_EQ(pb.activeCommitments(), 0u);
+}
+
+TEST(PowerBudget, OverCommitThrowsCapacity) {
+  PowerBudget pb(100.0, 50.0, 40.0);
+  pb.commit(50.0, "a");
+  EXPECT_THROW(pb.commit(20.0, "b"), CapacityError);
+  EXPECT_THROW(pb.commit(0.0, "zero"), InvalidArgumentError);
+  EXPECT_THROW(pb.release(999), NotFoundError);
+}
+
+TEST(PowerBudget, ConstructorValidation) {
+  EXPECT_THROW(PowerBudget(0.0, 100.0, 0.0), InvalidArgumentError);
+  EXPECT_THROW(PowerBudget(100.0, -1.0, 10.0), InvalidArgumentError);
+  EXPECT_THROW(PowerBudget(100.0, 100.0, 100.0), InvalidArgumentError);
+  EXPECT_THROW(PowerBudget(100.0, 100.0, 150.0), InvalidArgumentError);
+}
+
+TEST(PowerBudget, BatteryDrawAndRecharge) {
+  PowerBudget pb(120.0, 100.0, 40.0);
+  pb.drawEnergy(60.0);
+  EXPECT_DOUBLE_EQ(pb.batteryChargeWh(), 40.0);
+  EXPECT_THROW(pb.drawEnergy(50.0), CapacityError);
+  // Surplus = 80 W; one hour recharges 80 Wh but caps at capacity.
+  pb.recharge(3600.0);
+  EXPECT_DOUBLE_EQ(pb.batteryChargeWh(), 100.0);
+  EXPECT_THROW(pb.drawEnergy(-1.0), InvalidArgumentError);
+  EXPECT_THROW(pb.recharge(-1.0), InvalidArgumentError);
+}
+
+TEST(PowerBudget, RechargeRateReflectsCommitments) {
+  PowerBudget pb(120.0, 100.0, 40.0);
+  pb.drawEnergy(100.0);
+  pb.commit(60.0, "payload");  // surplus now 20 W
+  pb.recharge(3600.0);
+  EXPECT_NEAR(pb.batteryChargeWh(), 20.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace openspace

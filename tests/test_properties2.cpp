@@ -1,0 +1,225 @@
+// Second property-test suite: invariants across parameter sweeps for the
+// phy, mac, econ, maneuver, temporal-routing and security modules.
+#include <gtest/gtest.h>
+
+#include <openspace/econ/ledger.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/geo/wgs84.hpp>
+#include <openspace/mac/csma.hpp>
+#include <openspace/mac/reservation.hpp>
+#include <openspace/orbit/maneuver.hpp>
+#include <openspace/orbit/walker.hpp>
+#include <openspace/phy/linkbudget.hpp>
+#include <openspace/orbit/visibility.hpp>
+#include <openspace/routing/temporal.hpp>
+#include <openspace/topology/builder.hpp>
+#include <openspace/security/reputation.hpp>
+#include <openspace/sim/scenario.hpp>
+
+namespace openspace {
+namespace {
+
+// --- Property: link capacity is monotone non-increasing in distance ---------
+
+class CapacityMonotone : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CapacityMonotone, OverDistance) {
+  const bool laser = GetParam();
+  double prev = std::numeric_limits<double>::infinity();
+  for (double d = 200e3; d <= 60'000e3; d *= 1.6) {
+    const double cap = islCapacityBps(d, laser);
+    ASSERT_LE(cap, prev) << "capacity increased at distance " << d;
+    ASSERT_GE(cap, 0.0);
+    prev = cap;
+  }
+  // Eventually the ladder fails to close.
+  EXPECT_EQ(islCapacityBps(laser ? 1e10 : 1e8, laser), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RfAndLaser, CapacityMonotone, ::testing::Bool());
+
+// --- Property: link budget SNR monotone in every beneficial knob ------------
+
+TEST(LinkBudgetProperty, MonotoneInPowerGainsAndInverseNoise) {
+  LinkBudgetInput base;
+  base.band = Band::S;
+  base.distanceM = 2000e3;
+  base.txPowerW = 5.0;
+  base.txAntennaGainDb = 10.0;
+  base.rxAntennaGainDb = 10.0;
+  const double snr0 = computeLinkBudget(base).snrDb;
+  for (double f = 1.5; f <= 8.0; f *= 2.0) {
+    LinkBudgetInput in = base;
+    in.txPowerW = base.txPowerW * f;
+    ASSERT_GT(computeLinkBudget(in).snrDb, snr0);
+    in = base;
+    in.txAntennaGainDb += f;
+    ASSERT_GT(computeLinkBudget(in).snrDb, snr0);
+    in = base;
+    in.systemNoiseTempK = 290.0 * f;
+    ASSERT_LT(computeLinkBudget(in).snrDb, snr0);
+  }
+}
+
+// --- Property: Hohmann delta-v grows with altitude gap ----------------------
+
+class HohmannMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(HohmannMonotone, GrowsWithGap) {
+  const double r1 = wgs84::kMeanRadiusM + km(GetParam());
+  double prev = 0.0;
+  for (double dAlt = 50.0; dAlt <= 3200.0; dAlt *= 2.0) {
+    const double dv = hohmannDeltaVMps(r1, r1 + km(dAlt));
+    ASSERT_GT(dv, prev);
+    prev = dv;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StartAltitudes, HohmannMonotone,
+                         ::testing::Values(300.0, 550.0, 780.0, 1200.0));
+
+// --- Property: MAC delivered-frame accounting is exact -----------------------
+
+class MacAccounting : public ::testing::TestWithParam<int> {};
+
+TEST_P(MacAccounting, CsmaDeliveredPlusDroppedEqualsOffered) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const auto r = simulateCsmaCa(CsmaConfig{}, GetParam(), 3.0, rng);
+  EXPECT_DOUBLE_EQ(r.offeredFrames, r.deliveredFrames + r.droppedFrames);
+  EXPECT_GE(r.throughputFraction, 0.0);
+  EXPECT_LE(r.throughputFraction, 1.0);
+  EXPECT_GE(r.collisionRate, 0.0);
+  EXPECT_LE(r.collisionRate, 1.0);
+}
+
+TEST_P(MacAccounting, ReservationInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  const auto r = simulateReservationMac(ReservationConfig{}, GetParam(), 3.0, rng);
+  EXPECT_DOUBLE_EQ(r.offeredFrames, r.deliveredFrames);  // no drops by design
+  EXPECT_LE(r.throughputFraction, 1.0);
+  EXPECT_GE(r.meanAccessDelayS, 0.0);
+  EXPECT_GE(r.p95AccessDelayS, r.meanAccessDelayS * 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, MacAccounting,
+                         ::testing::Values(1, 2, 3, 5, 9, 17, 33));
+
+// --- Property: settlement conservation across random scenarios --------------
+
+class SettlementConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SettlementConservation, PaymentsMatchLedgersAndVerify) {
+  ScenarioConfig cfg;
+  cfg.providers = {{"a", 22, 0.0, 0.10}, {"b", 22, 0.0, 0.20},
+                   {"c", 22, 0.0, 0.30}};
+  cfg.coordinatedWalker = true;
+  cfg.stations = {{"g1", Geodetic::fromDegrees(47.0, -122.0), 0},
+                  {"g2", Geodetic::fromDegrees(1.35, 103.82), 1},
+                  {"g3", Geodetic::fromDegrees(-1.29, 36.82), 2}};
+  cfg.users = {{"u1", Geodetic::fromDegrees(40.44, -79.99), 0},
+               {"u2", Geodetic::fromDegrees(-33.87, 151.21), 1}};
+  cfg.seed = GetParam();
+  Scenario s(cfg);
+  const TrafficReport rep = s.runTrafficEpoch(0.0, 2.0, 1e6);
+  ASSERT_TRUE(rep.ledgersCrossVerified);
+  // Every settlement item equals carrier-ledger bytes x tariff; totals are
+  // additive and non-negative.
+  double total = 0.0;
+  for (const auto& item : rep.settlement) {
+    ASSERT_GE(item.amountUsd, 0.0);
+    const double expected =
+        s.settlement().ledger(item.payee).carriedBytes(item.payee, item.payer) /
+        1e9 * s.settlement().tariffUsdPerGb(item.payee, item.payer);
+    ASSERT_NEAR(item.amountUsd, expected, 1e-9);
+    total += item.amountUsd;
+  }
+  ASSERT_NEAR(total, rep.totalSettlementUsd, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SettlementConservation,
+                         ::testing::Values(1, 2, 3, 4));
+
+// --- Property: temporal routing dominates waiting ----------------------------
+
+class TemporalDominance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TemporalDominance, EarlierStartNeverArrivesLater) {
+  // For any random sparse fleet, starting earlier can never produce a
+  // strictly later earliest arrival (waiting is always allowed).
+  Rng rng(GetParam());
+  EphemerisService eph;
+  for (const auto& el : makeRandomConstellation(8, km(780.0), rng)) {
+    eph.publish(1, el);
+  }
+  TopologyBuilder topo(eph);
+  const NodeId a = topo.addUser({"a", Geodetic::fromDegrees(10.0, 20.0), 1});
+  const NodeId b =
+      topo.addGroundStation({"b", Geodetic::fromDegrees(-20.0, 120.0), 2});
+  SnapshotOptions opt;
+  opt.wiring = IslWiring::AllInRange;
+  opt.minElevationRad = deg2rad(10.0);
+  const ContactGraphRouter router(topo, opt, 0.0, 3'000.0, 100.0);
+  const TemporalRoute early = router.earliestArrival(a, b, 0.0);
+  const TemporalRoute late = router.earliestArrival(a, b, 600.0);
+  if (early.reachable && late.reachable) {
+    ASSERT_LE(early.arrivalS, late.arrivalS + 1e-9);
+  } else if (late.reachable) {
+    FAIL() << "reachable from a later start but not an earlier one";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TemporalDominance,
+                         ::testing::Range<std::uint64_t>(50, 60));
+
+// --- Property: reputation scores stay in (0,1) and respond monotonically ----
+
+class ReputationBounds : public ::testing::TestWithParam<double> {};
+
+TEST_P(ReputationBounds, ScoresBoundedAndMonotone) {
+  ReputationTracker rep(GetParam());
+  double prev = rep.score(1);
+  for (int i = 0; i < 30; ++i) {
+    rep.reportMisbehavior(1, MisbehaviorKind::TamperedPayload, 0.7);
+    const double s = rep.score(1);
+    ASSERT_GT(s, 0.0);
+    ASSERT_LT(s, 1.0);
+    ASSERT_LT(s, prev);
+    prev = s;
+  }
+  for (int i = 0; i < 60; ++i) {
+    rep.reportGoodService(1);
+    const double s = rep.score(1);
+    ASSERT_GT(s, prev);
+    ASSERT_LT(s, 1.0);
+    prev = s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ReputationBounds,
+                         ::testing::Values(0.2, 0.5, 0.8));
+
+// --- Property: footprint + slant range consistency over altitude ------------
+
+class FootprintSlantConsistency : public ::testing::TestWithParam<double> {};
+
+TEST_P(FootprintSlantConsistency, LawOfCosinesHolds) {
+  const double altM = km(GetParam());
+  for (double maskDeg = 0.0; maskDeg <= 60.0; maskDeg += 7.5) {
+    const double mask = deg2rad(maskDeg);
+    const double lambda = footprintHalfAngleRad(altM, mask);
+    const double slant = maxSlantRangeM(altM, mask);
+    // Triangle check: Re^2 + slant^2 + 2*Re*slant*sin(mask) == (Re+h)^2.
+    const double re = wgs84::kMeanRadiusM;
+    const double lhs =
+        re * re + slant * slant + 2.0 * re * slant * std::sin(mask);
+    const double rhs = (re + altM) * (re + altM);
+    ASSERT_NEAR(lhs / rhs, 1.0, 1e-9) << "mask " << maskDeg;
+    ASSERT_GT(lambda, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Altitudes, FootprintSlantConsistency,
+                         ::testing::Values(340.0, 550.0, 780.0, 1500.0));
+
+}  // namespace
+}  // namespace openspace

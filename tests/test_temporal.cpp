@@ -1,0 +1,144 @@
+// Unit tests for time-expanded contact-graph routing (store-carry-forward
+// over the predictable topology).
+#include <gtest/gtest.h>
+
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/orbit/walker.hpp>
+#include <openspace/routing/temporal.hpp>
+
+namespace openspace {
+namespace {
+
+SnapshotOptions denseOpts() {
+  SnapshotOptions opt;
+  opt.wiring = IslWiring::PlusGrid;
+  opt.planes = 6;
+  opt.minElevationRad = deg2rad(10.0);
+  return opt;
+}
+
+class DenseConstellation : public ::testing::Test {
+ protected:
+  DenseConstellation() {
+    for (const auto& el : makeWalkerStar(iridiumConfig())) eph_.publish(1, el);
+    topo_ = std::make_unique<TopologyBuilder>(eph_);
+    user_ = topo_->addUser({"u", Geodetic::fromDegrees(40.44, -79.99), 1});
+    gw_ = topo_->addGroundStation(
+        {"gw", Geodetic::fromDegrees(48.86, 2.35), 2});
+  }
+  EphemerisService eph_;
+  std::unique_ptr<TopologyBuilder> topo_;
+  NodeId user_ = 0, gw_ = 0;
+};
+
+TEST_F(DenseConstellation, ImmediateDeliveryWhenPathExists) {
+  const ContactGraphRouter router(*topo_, denseOpts(), 0.0, 600.0, 60.0);
+  const TemporalRoute r = router.earliestArrival(user_, gw_, 0.0);
+  ASSERT_TRUE(r.reachable);
+  // Dense constellation: delivery within the first interval, no waiting.
+  EXPECT_EQ(r.intervalsUsed, 1);
+  EXPECT_NEAR(r.waitingS, 0.0, 1e-6);
+  EXPECT_GT(r.hops, 0);
+  // Arrival time equals the instantaneous shortest path delay.
+  const NetworkGraph g = topo_->snapshot(0.0, denseOpts());
+  const Route instant = shortestPath(g, user_, gw_, latencyCost());
+  ASSERT_TRUE(instant.valid());
+  EXPECT_NEAR(r.totalDelayS(), instant.totalDelayS(), 1e-6);
+}
+
+TEST_F(DenseConstellation, LaterStartUsesLaterSnapshot) {
+  const ContactGraphRouter router(*topo_, denseOpts(), 0.0, 600.0, 60.0);
+  const TemporalRoute r = router.earliestArrival(user_, gw_, 250.0);
+  ASSERT_TRUE(r.reachable);
+  EXPECT_GE(r.arrivalS, 250.0);
+  EXPECT_DOUBLE_EQ(r.departureS, 250.0);
+}
+
+TEST_F(DenseConstellation, Validation) {
+  EXPECT_THROW(ContactGraphRouter(*topo_, denseOpts(), 0.0, 0.0, 60.0),
+               InvalidArgumentError);
+  EXPECT_THROW(ContactGraphRouter(*topo_, denseOpts(), 0.0, 600.0, 0.0),
+               InvalidArgumentError);
+  const ContactGraphRouter router(*topo_, denseOpts(), 0.0, 120.0, 60.0);
+  EXPECT_THROW(router.earliestArrival(user_, 9999, 0.0), NotFoundError);
+}
+
+class SparseConstellation : public ::testing::Test {
+ protected:
+  SparseConstellation() {
+    // Two satellites in one polar plane, half an orbit apart: never in
+    // mutual line of sight, each passes over both sites in turn.
+    eph_.publish(1, OrbitalElements::circular(km(780.0), deg2rad(86.4), 0.0,
+                                              0.0));
+    eph_.publish(1, OrbitalElements::circular(km(780.0), deg2rad(86.4), 0.0,
+                                              std::numbers::pi));
+    topo_ = std::make_unique<TopologyBuilder>(eph_);
+    // Two sites under the orbital plane, well separated along the track.
+    siteA_ = topo_->addUser({"a", Geodetic::fromDegrees(0.0, 0.0), 1});
+    siteB_ = topo_->addGroundStation(
+        {"b", Geodetic::fromDegrees(60.0, 0.0), 2});
+  }
+  EphemerisService eph_;
+  std::unique_ptr<TopologyBuilder> topo_;
+  NodeId siteA_ = 0, siteB_ = 0;
+};
+
+TEST_F(SparseConstellation, NoInstantaneousPathExists) {
+  SnapshotOptions opt;
+  opt.wiring = IslWiring::AllInRange;
+  opt.minElevationRad = deg2rad(10.0);
+  bool everInstant = false;
+  for (double t = 0.0; t < 6'000.0; t += 100.0) {
+    const NetworkGraph g = topo_->snapshot(t, opt);
+    if (shortestPath(g, siteA_, siteB_, latencyCost()).valid()) {
+      everInstant = true;
+      break;
+    }
+  }
+  // Sites 60 degrees apart exceed a single 780 km footprint, and the two
+  // satellites never link: no instantaneous path at any time.
+  EXPECT_FALSE(everInstant);
+}
+
+TEST_F(SparseConstellation, StoreCarryForwardDelivers) {
+  SnapshotOptions opt;
+  opt.wiring = IslWiring::AllInRange;
+  opt.minElevationRad = deg2rad(10.0);
+  // Horizon: one orbital period (~100 min) sampled every 60 s.
+  const ContactGraphRouter router(*topo_, opt, 0.0, 6'100.0, 60.0);
+  const TemporalRoute r = router.earliestArrival(siteA_, siteB_, 0.0);
+  ASSERT_TRUE(r.reachable);
+  // Delivery required waiting for orbital motion: whole minutes, not ms.
+  EXPECT_GT(r.waitingS, 60.0);
+  EXPECT_GT(r.intervalsUsed, 1);
+  EXPECT_GE(r.hops, 2);  // up to a satellite, later down to the station
+  EXPECT_LT(r.inFlightS, 1.0);
+  EXPECT_GT(r.arrivalS, r.departureS);
+}
+
+TEST_F(SparseConstellation, UnreachableBeyondHorizon) {
+  SnapshotOptions opt;
+  opt.wiring = IslWiring::AllInRange;
+  opt.minElevationRad = deg2rad(10.0);
+  // A 2-minute horizon is too short for orbital motion to bridge the gap.
+  const ContactGraphRouter router(*topo_, opt, 0.0, 120.0, 60.0);
+  const TemporalRoute r = router.earliestArrival(siteA_, siteB_, 0.0);
+  EXPECT_FALSE(r.reachable);
+}
+
+TEST_F(SparseConstellation, EarliestArrivalIsMonotoneInStartTime) {
+  SnapshotOptions opt;
+  opt.wiring = IslWiring::AllInRange;
+  opt.minElevationRad = deg2rad(10.0);
+  const ContactGraphRouter router(*topo_, opt, 0.0, 6'100.0, 60.0);
+  const TemporalRoute early = router.earliestArrival(siteA_, siteB_, 0.0);
+  const TemporalRoute later = router.earliestArrival(siteA_, siteB_, 300.0);
+  ASSERT_TRUE(early.reachable);
+  if (later.reachable) {
+    EXPECT_GE(later.arrivalS, early.arrivalS - 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace openspace

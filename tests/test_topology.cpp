@@ -1,0 +1,296 @@
+// Unit tests for the topology module: graph container, snapshot builder,
+// link capacity assignment.
+#include <gtest/gtest.h>
+
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/orbit/walker.hpp>
+#include <openspace/topology/builder.hpp>
+
+namespace openspace {
+namespace {
+
+Node satNode(NodeId id, SatelliteId sid, ProviderId p = 1) {
+  Node n;
+  n.id = id;
+  n.kind = NodeKind::Satellite;
+  n.provider = p;
+  n.name = "sat";
+  n.satellite = sid;
+  return n;
+}
+
+Node groundNode(NodeId id, NodeKind kind, ProviderId p = 1) {
+  Node n;
+  n.id = id;
+  n.kind = kind;
+  n.provider = p;
+  n.name = "gs";
+  n.location = Geodetic::fromDegrees(0, 0);
+  return n;
+}
+
+Link mkLink(NodeId a, NodeId b, double cap = 1e6) {
+  Link l;
+  l.a = a;
+  l.b = b;
+  l.capacityBps = cap;
+  l.distanceM = 1000e3;
+  l.propagationDelayS = l.distanceM / kSpeedOfLightMps;
+  return l;
+}
+
+TEST(Graph, AddAndQueryNodes) {
+  NetworkGraph g;
+  g.addNode(satNode(1, 10));
+  g.addNode(groundNode(2, NodeKind::GroundStation));
+  EXPECT_EQ(g.nodeCount(), 2u);
+  EXPECT_TRUE(g.hasNode(1));
+  EXPECT_FALSE(g.hasNode(3));
+  EXPECT_TRUE(g.node(1).isSatellite());
+  EXPECT_TRUE(g.node(2).isGroundStation());
+  EXPECT_THROW(g.node(99), NotFoundError);
+}
+
+TEST(Graph, DuplicateNodeRejected) {
+  NetworkGraph g;
+  g.addNode(satNode(1, 10));
+  EXPECT_THROW(g.addNode(satNode(1, 11)), InvalidArgumentError);
+}
+
+TEST(Graph, InconsistentNodeRejected) {
+  NetworkGraph g;
+  Node bad = satNode(1, 10);
+  bad.location = Geodetic{};  // satellite with a ground fix: inconsistent
+  EXPECT_THROW(g.addNode(bad), InvalidArgumentError);
+  Node bad2 = groundNode(2, NodeKind::User);
+  bad2.location.reset();  // ground asset without a fix
+  EXPECT_THROW(g.addNode(bad2), InvalidArgumentError);
+}
+
+TEST(Graph, LinkLifecycle) {
+  NetworkGraph g;
+  g.addNode(satNode(1, 10));
+  g.addNode(satNode(2, 11));
+  const LinkId lid = g.addLink(mkLink(1, 2));
+  EXPECT_EQ(g.linkCount(), 1u);
+  EXPECT_EQ(g.link(lid).otherEnd(1), 2u);
+  EXPECT_EQ(g.link(lid).otherEnd(2), 1u);
+  EXPECT_THROW(g.link(lid).otherEnd(7), InvalidArgumentError);
+  EXPECT_EQ(g.linksOf(1).size(), 1u);
+  g.removeLink(lid);
+  EXPECT_EQ(g.linkCount(), 0u);
+  EXPECT_TRUE(g.linksOf(1).empty());
+  EXPECT_THROW(g.removeLink(lid), NotFoundError);
+}
+
+TEST(Graph, LinkValidation) {
+  NetworkGraph g;
+  g.addNode(satNode(1, 10));
+  g.addNode(satNode(2, 11));
+  EXPECT_THROW(g.addLink(mkLink(1, 99)), NotFoundError);
+  EXPECT_THROW(g.addLink(mkLink(1, 1)), InvalidArgumentError);
+  EXPECT_THROW(g.addLink(mkLink(1, 2, 0.0)), InvalidArgumentError);
+}
+
+TEST(Graph, FindLinkEitherDirection) {
+  NetworkGraph g;
+  g.addNode(satNode(1, 10));
+  g.addNode(satNode(2, 11));
+  g.addNode(satNode(3, 12));
+  const LinkId lid = g.addLink(mkLink(1, 2));
+  EXPECT_EQ(g.findLink(1, 2), std::optional<LinkId>(lid));
+  EXPECT_EQ(g.findLink(2, 1), std::optional<LinkId>(lid));
+  EXPECT_EQ(g.findLink(1, 3), std::nullopt);
+  EXPECT_EQ(g.findLink(99, 1), std::nullopt);
+}
+
+TEST(Graph, NodesOfKind) {
+  NetworkGraph g;
+  g.addNode(satNode(1, 10));
+  g.addNode(groundNode(2, NodeKind::GroundStation));
+  g.addNode(groundNode(3, NodeKind::User));
+  g.addNode(satNode(4, 11));
+  EXPECT_EQ(g.nodesOfKind(NodeKind::Satellite).size(), 2u);
+  EXPECT_EQ(g.nodesOfKind(NodeKind::GroundStation).size(), 1u);
+  EXPECT_EQ(g.nodesOfKind(NodeKind::User).size(), 1u);
+}
+
+TEST(Graph, TotalDelayCombinesPropagationAndQueueing) {
+  Link l = mkLink(1, 2);
+  l.queueingDelayS = 0.005;
+  EXPECT_DOUBLE_EQ(l.totalDelayS(), l.propagationDelayS + 0.005);
+}
+
+// --- builder ---------------------------------------------------------------
+
+class BuilderTest : public ::testing::Test {
+ protected:
+  BuilderTest() {
+    for (const auto& el : makeWalkerStar(iridiumConfig())) {
+      eph_.publish(1 + (eph_.size() % 3), el);  // 3 providers interleaved
+    }
+    builder_ = std::make_unique<TopologyBuilder>(eph_);
+  }
+  EphemerisService eph_;
+  std::unique_ptr<TopologyBuilder> builder_;
+};
+
+TEST_F(BuilderTest, SatelliteNodesAreStable) {
+  EXPECT_EQ(builder_->satelliteCount(), 66u);
+  const SatelliteId sid = eph_.satellites().front();
+  const NodeId nid = builder_->nodeOf(sid);
+  EXPECT_EQ(builder_->satelliteOf(nid), sid);
+  EXPECT_THROW(builder_->nodeOf(9999), NotFoundError);
+  EXPECT_THROW(builder_->satelliteOf(9999), NotFoundError);
+}
+
+TEST_F(BuilderTest, DefaultCapabilitiesAreRfOnly) {
+  const auto& caps = builder_->capabilities(eph_.satellites().front());
+  EXPECT_FALSE(caps.hasLaserTerminal);
+  EXPECT_FALSE(caps.islBands.empty());
+}
+
+TEST_F(BuilderTest, CapabilitiesMustIncludeRf) {
+  LinkCapabilities caps;
+  caps.islBands = {};  // violates the OpenSpace minimum
+  EXPECT_THROW(builder_->setCapabilities(eph_.satellites().front(), caps),
+               InvalidArgumentError);
+  EXPECT_THROW(builder_->setCapabilities(9999, LinkCapabilities{}),
+               NotFoundError);
+}
+
+TEST_F(BuilderTest, PlusGridSnapshotWiresRings) {
+  SnapshotOptions opt;
+  opt.wiring = IslWiring::PlusGrid;
+  opt.planes = 6;
+  const NetworkGraph g = builder_->snapshot(0.0, opt);
+  EXPECT_EQ(g.nodeCount(), 66u);
+  // 66 intra-plane + 55 inter-plane candidate links; nearly all close.
+  EXPECT_GE(g.linkCount(), 100u);
+  EXPECT_LE(g.linkCount(), 121u);
+  // Every satellite has at least 2 ISLs (its ring neighbors).
+  for (const NodeId n : g.nodes()) {
+    EXPECT_GE(g.linksOf(n).size(), 2u);
+  }
+}
+
+TEST_F(BuilderTest, PlusGridRequiresValidPlaneCount) {
+  SnapshotOptions opt;
+  opt.wiring = IslWiring::PlusGrid;
+  opt.planes = 7;  // does not divide 66
+  EXPECT_THROW(builder_->snapshot(0.0, opt), InvalidArgumentError);
+}
+
+TEST_F(BuilderTest, NearestNeighborsHonorsK) {
+  SnapshotOptions opt;
+  opt.wiring = IslWiring::NearestNeighbors;
+  opt.nearestK = 2;
+  const NetworkGraph g2 = builder_->snapshot(0.0, opt);
+  opt.nearestK = 6;
+  const NetworkGraph g6 = builder_->snapshot(0.0, opt);
+  EXPECT_GT(g6.linkCount(), g2.linkCount());
+}
+
+TEST_F(BuilderTest, LaserUpgradeTakesEffect) {
+  // Give everyone laser terminals: +grid links become optical.
+  for (const SatelliteId sid : eph_.satellites()) {
+    LinkCapabilities caps;
+    caps.islBands = {Band::S};
+    caps.hasLaserTerminal = true;
+    builder_->setCapabilities(sid, caps);
+  }
+  SnapshotOptions opt;
+  opt.wiring = IslWiring::PlusGrid;
+  opt.planes = 6;
+  const NetworkGraph g = builder_->snapshot(0.0, opt);
+  for (const LinkId lid : g.links()) {
+    EXPECT_EQ(g.link(lid).type, LinkType::IslLaser);
+    EXPECT_EQ(g.link(lid).band, Band::Optical);
+  }
+  // preferLaser=false keeps them RF even when capable.
+  opt.preferLaser = false;
+  const NetworkGraph gRf = builder_->snapshot(0.0, opt);
+  for (const LinkId lid : gRf.links()) {
+    EXPECT_EQ(gRf.link(lid).type, LinkType::IslRf);
+  }
+}
+
+TEST_F(BuilderTest, GroundAssetsGetLinksWhenVisible) {
+  const NodeId gs = builder_->addGroundStation(
+      {"gs", Geodetic::fromDegrees(45.0, 10.0), 9});
+  const NodeId user =
+      builder_->addUser({"u", Geodetic::fromDegrees(-20.0, 130.0), 9});
+  SnapshotOptions opt;
+  opt.wiring = IslWiring::PlusGrid;
+  opt.planes = 6;
+  opt.minElevationRad = deg2rad(10.0);
+  const NetworkGraph g = builder_->snapshot(0.0, opt);
+  EXPECT_EQ(g.nodeCount(), 68u);
+  int gsl = 0, ul = 0;
+  for (const LinkId lid : g.links()) {
+    const Link& l = g.link(lid);
+    if (l.type == LinkType::Gsl) {
+      ++gsl;
+      EXPECT_TRUE(l.a == gs || l.b == gs);
+    }
+    if (l.type == LinkType::UserLink) {
+      ++ul;
+      EXPECT_TRUE(l.a == user || l.b == user);
+    }
+  }
+  // A 66-sat polar constellation nearly always covers both sites.
+  EXPECT_GE(gsl, 1);
+  EXPECT_GE(ul, 1);
+}
+
+TEST_F(BuilderTest, ExcludingGroundAssetsWorks) {
+  builder_->addGroundStation({"gs", Geodetic::fromDegrees(45.0, 10.0), 9});
+  builder_->addUser({"u", Geodetic::fromDegrees(-20.0, 130.0), 9});
+  SnapshotOptions opt;
+  opt.wiring = IslWiring::PlusGrid;
+  opt.planes = 6;
+  opt.includeGroundStations = false;
+  opt.includeUserLinks = false;
+  const NetworkGraph g = builder_->snapshot(0.0, opt);
+  EXPECT_EQ(g.nodeCount(), 66u);
+}
+
+TEST_F(BuilderTest, ProvidersSurviveIntoSnapshot) {
+  SnapshotOptions opt;
+  opt.wiring = IslWiring::NearestNeighbors;
+  const NetworkGraph g = builder_->snapshot(0.0, opt);
+  for (const SatelliteId sid : eph_.satellites()) {
+    EXPECT_EQ(g.node(builder_->nodeOf(sid)).provider, eph_.record(sid).owner);
+  }
+}
+
+TEST_F(BuilderTest, LinkDelayMatchesDistance) {
+  SnapshotOptions opt;
+  opt.wiring = IslWiring::PlusGrid;
+  opt.planes = 6;
+  const NetworkGraph g = builder_->snapshot(0.0, opt);
+  for (const LinkId lid : g.links()) {
+    const Link& l = g.link(lid);
+    EXPECT_NEAR(l.propagationDelayS, l.distanceM / kSpeedOfLightMps, 1e-12);
+    EXPECT_GT(l.capacityBps, 0.0);
+  }
+}
+
+TEST(Capacity, LaserBeatsRfAndDecaysWithDistance) {
+  EXPECT_GT(islCapacityBps(2000e3, true), islCapacityBps(2000e3, false));
+  EXPECT_GE(islCapacityBps(1000e3, false), islCapacityBps(5000e3, false));
+  // Beyond some distance the RF MODCOD ladder no longer closes.
+  EXPECT_EQ(islCapacityBps(50'000e3, false), 0.0);
+}
+
+TEST(Capacity, GroundLinksCloseAtLeoSlantRanges) {
+  EXPECT_GT(gslCapacityBps(2000e3, deg2rad(20.0)), 0.0);
+  EXPECT_GT(userLinkCapacityBps(2000e3, deg2rad(20.0)), 0.0);
+  // Ground station (big dish) out-performs the user terminal.
+  EXPECT_GT(gslCapacityBps(2000e3, deg2rad(20.0)),
+            userLinkCapacityBps(2000e3, deg2rad(20.0)));
+}
+
+}  // namespace
+}  // namespace openspace
