@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_capex.dir/bench_capex.cpp.o"
+  "CMakeFiles/bench_capex.dir/bench_capex.cpp.o.d"
+  "bench_capex"
+  "bench_capex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_capex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cbo_validation.dir/bench_cbo_validation.cpp.o"
+  "CMakeFiles/bench_cbo_validation.dir/bench_cbo_validation.cpp.o.d"
+  "bench_cbo_validation"
+  "bench_cbo_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cbo_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

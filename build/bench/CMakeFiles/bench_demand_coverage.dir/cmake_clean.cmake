@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_demand_coverage.dir/bench_demand_coverage.cpp.o"
+  "CMakeFiles/bench_demand_coverage.dir/bench_demand_coverage.cpp.o.d"
+  "bench_demand_coverage"
+  "bench_demand_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_demand_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2a_constellation.dir/bench_fig2a_constellation.cpp.o"
+  "CMakeFiles/bench_fig2a_constellation.dir/bench_fig2a_constellation.cpp.o.d"
+  "bench_fig2a_constellation"
+  "bench_fig2a_constellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2a_constellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_isl_mix.dir/bench_isl_mix.cpp.o"
+  "CMakeFiles/bench_isl_mix.dir/bench_isl_mix.cpp.o.d"
+  "bench_isl_mix"
+  "bench_isl_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_isl_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_mac.cpp" "bench/CMakeFiles/bench_mac.dir/bench_mac.cpp.o" "gcc" "bench/CMakeFiles/bench_mac.dir/bench_mac.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isl/CMakeFiles/openspace_isl.dir/DependInfo.cmake"
+  "/root/repo/build/src/handover/CMakeFiles/openspace_handover.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/openspace_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/regulation/CMakeFiles/openspace_regulation.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/openspace_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/openspace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/openspace_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/openspace_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/econ/CMakeFiles/openspace_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/openspace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/openspace_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/openspace_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/openspace_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/openspace_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/openspace_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/openspace_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/openspace_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

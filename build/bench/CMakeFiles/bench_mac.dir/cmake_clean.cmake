@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mac.dir/bench_mac.cpp.o"
+  "CMakeFiles/bench_mac.dir/bench_mac.cpp.o.d"
+  "bench_mac"
+  "bench_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

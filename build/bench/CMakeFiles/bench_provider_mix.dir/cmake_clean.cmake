@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_provider_mix.dir/bench_provider_mix.cpp.o"
+  "CMakeFiles/bench_provider_mix.dir/bench_provider_mix.cpp.o.d"
+  "bench_provider_mix"
+  "bench_provider_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_provider_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

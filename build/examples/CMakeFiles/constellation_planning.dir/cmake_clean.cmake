@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constellation_planning.dir/constellation_planning.cpp.o"
+  "CMakeFiles/constellation_planning.dir/constellation_planning.cpp.o.d"
+  "constellation_planning"
+  "constellation_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constellation_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iridium_constellation.dir/iridium_constellation.cpp.o"
+  "CMakeFiles/iridium_constellation.dir/iridium_constellation.cpp.o.d"
+  "iridium_constellation"
+  "iridium_constellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iridium_constellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

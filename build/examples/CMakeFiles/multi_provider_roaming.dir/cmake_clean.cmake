@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_provider_roaming.dir/multi_provider_roaming.cpp.o"
+  "CMakeFiles/multi_provider_roaming.dir/multi_provider_roaming.cpp.o.d"
+  "multi_provider_roaming"
+  "multi_provider_roaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_provider_roaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openspace_cli.dir/openspace_cli.cpp.o"
+  "CMakeFiles/openspace_cli.dir/openspace_cli.cpp.o.d"
+  "openspace_cli"
+  "openspace_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openspace_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

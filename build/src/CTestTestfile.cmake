@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("geo")
+subdirs("orbit")
+subdirs("phy")
+subdirs("mac")
+subdirs("topology")
+subdirs("isl")
+subdirs("routing")
+subdirs("net")
+subdirs("auth")
+subdirs("handover")
+subdirs("coverage")
+subdirs("econ")
+subdirs("security")
+subdirs("regulation")
+subdirs("io")
+subdirs("sim")
+subdirs("core")

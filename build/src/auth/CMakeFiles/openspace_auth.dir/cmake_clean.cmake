@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openspace_auth.dir/association.cpp.o"
+  "CMakeFiles/openspace_auth.dir/association.cpp.o.d"
+  "CMakeFiles/openspace_auth.dir/certificate.cpp.o"
+  "CMakeFiles/openspace_auth.dir/certificate.cpp.o.d"
+  "CMakeFiles/openspace_auth.dir/radius.cpp.o"
+  "CMakeFiles/openspace_auth.dir/radius.cpp.o.d"
+  "libopenspace_auth.a"
+  "libopenspace_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openspace_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openspace_core.dir/network.cpp.o"
+  "CMakeFiles/openspace_core.dir/network.cpp.o.d"
+  "libopenspace_core.a"
+  "libopenspace_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openspace_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openspace_coverage.dir/coverage.cpp.o"
+  "CMakeFiles/openspace_coverage.dir/coverage.cpp.o.d"
+  "libopenspace_coverage.a"
+  "libopenspace_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openspace_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

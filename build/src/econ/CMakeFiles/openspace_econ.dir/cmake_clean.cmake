@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openspace_econ.dir/capex.cpp.o"
+  "CMakeFiles/openspace_econ.dir/capex.cpp.o.d"
+  "CMakeFiles/openspace_econ.dir/incentives.cpp.o"
+  "CMakeFiles/openspace_econ.dir/incentives.cpp.o.d"
+  "CMakeFiles/openspace_econ.dir/ledger.cpp.o"
+  "CMakeFiles/openspace_econ.dir/ledger.cpp.o.d"
+  "libopenspace_econ.a"
+  "libopenspace_econ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openspace_econ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

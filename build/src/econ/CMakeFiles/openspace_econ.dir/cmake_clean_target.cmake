@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libopenspace_econ.a"
+)

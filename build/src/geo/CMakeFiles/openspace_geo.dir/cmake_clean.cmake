@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openspace_geo.dir/geodetic.cpp.o"
+  "CMakeFiles/openspace_geo.dir/geodetic.cpp.o.d"
+  "CMakeFiles/openspace_geo.dir/rng.cpp.o"
+  "CMakeFiles/openspace_geo.dir/rng.cpp.o.d"
+  "CMakeFiles/openspace_geo.dir/units.cpp.o"
+  "CMakeFiles/openspace_geo.dir/units.cpp.o.d"
+  "libopenspace_geo.a"
+  "libopenspace_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openspace_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

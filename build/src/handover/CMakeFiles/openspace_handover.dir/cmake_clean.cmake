@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openspace_handover.dir/handover.cpp.o"
+  "CMakeFiles/openspace_handover.dir/handover.cpp.o.d"
+  "libopenspace_handover.a"
+  "libopenspace_handover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openspace_handover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

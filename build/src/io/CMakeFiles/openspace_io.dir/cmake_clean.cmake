@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openspace_io.dir/ephemeris_io.cpp.o"
+  "CMakeFiles/openspace_io.dir/ephemeris_io.cpp.o.d"
+  "libopenspace_io.a"
+  "libopenspace_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openspace_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

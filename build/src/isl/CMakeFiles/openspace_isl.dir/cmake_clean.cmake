@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openspace_isl.dir/fleet.cpp.o"
+  "CMakeFiles/openspace_isl.dir/fleet.cpp.o.d"
+  "CMakeFiles/openspace_isl.dir/pairing.cpp.o"
+  "CMakeFiles/openspace_isl.dir/pairing.cpp.o.d"
+  "libopenspace_isl.a"
+  "libopenspace_isl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openspace_isl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openspace_mac.dir/beacon.cpp.o"
+  "CMakeFiles/openspace_mac.dir/beacon.cpp.o.d"
+  "CMakeFiles/openspace_mac.dir/csma.cpp.o"
+  "CMakeFiles/openspace_mac.dir/csma.cpp.o.d"
+  "CMakeFiles/openspace_mac.dir/ofdma.cpp.o"
+  "CMakeFiles/openspace_mac.dir/ofdma.cpp.o.d"
+  "CMakeFiles/openspace_mac.dir/reservation.cpp.o"
+  "CMakeFiles/openspace_mac.dir/reservation.cpp.o.d"
+  "libopenspace_mac.a"
+  "libopenspace_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openspace_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openspace_net.dir/event.cpp.o"
+  "CMakeFiles/openspace_net.dir/event.cpp.o.d"
+  "CMakeFiles/openspace_net.dir/flows.cpp.o"
+  "CMakeFiles/openspace_net.dir/flows.cpp.o.d"
+  "CMakeFiles/openspace_net.dir/forwarding.cpp.o"
+  "CMakeFiles/openspace_net.dir/forwarding.cpp.o.d"
+  "CMakeFiles/openspace_net.dir/metrics.cpp.o"
+  "CMakeFiles/openspace_net.dir/metrics.cpp.o.d"
+  "libopenspace_net.a"
+  "libopenspace_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openspace_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orbit/elements.cpp" "src/orbit/CMakeFiles/openspace_orbit.dir/elements.cpp.o" "gcc" "src/orbit/CMakeFiles/openspace_orbit.dir/elements.cpp.o.d"
+  "/root/repo/src/orbit/ephemeris.cpp" "src/orbit/CMakeFiles/openspace_orbit.dir/ephemeris.cpp.o" "gcc" "src/orbit/CMakeFiles/openspace_orbit.dir/ephemeris.cpp.o.d"
+  "/root/repo/src/orbit/maneuver.cpp" "src/orbit/CMakeFiles/openspace_orbit.dir/maneuver.cpp.o" "gcc" "src/orbit/CMakeFiles/openspace_orbit.dir/maneuver.cpp.o.d"
+  "/root/repo/src/orbit/visibility.cpp" "src/orbit/CMakeFiles/openspace_orbit.dir/visibility.cpp.o" "gcc" "src/orbit/CMakeFiles/openspace_orbit.dir/visibility.cpp.o.d"
+  "/root/repo/src/orbit/walker.cpp" "src/orbit/CMakeFiles/openspace_orbit.dir/walker.cpp.o" "gcc" "src/orbit/CMakeFiles/openspace_orbit.dir/walker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/openspace_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openspace_orbit.dir/elements.cpp.o"
+  "CMakeFiles/openspace_orbit.dir/elements.cpp.o.d"
+  "CMakeFiles/openspace_orbit.dir/ephemeris.cpp.o"
+  "CMakeFiles/openspace_orbit.dir/ephemeris.cpp.o.d"
+  "CMakeFiles/openspace_orbit.dir/maneuver.cpp.o"
+  "CMakeFiles/openspace_orbit.dir/maneuver.cpp.o.d"
+  "CMakeFiles/openspace_orbit.dir/visibility.cpp.o"
+  "CMakeFiles/openspace_orbit.dir/visibility.cpp.o.d"
+  "CMakeFiles/openspace_orbit.dir/walker.cpp.o"
+  "CMakeFiles/openspace_orbit.dir/walker.cpp.o.d"
+  "libopenspace_orbit.a"
+  "libopenspace_orbit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openspace_orbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/bands.cpp" "src/phy/CMakeFiles/openspace_phy.dir/bands.cpp.o" "gcc" "src/phy/CMakeFiles/openspace_phy.dir/bands.cpp.o.d"
+  "/root/repo/src/phy/linkbudget.cpp" "src/phy/CMakeFiles/openspace_phy.dir/linkbudget.cpp.o" "gcc" "src/phy/CMakeFiles/openspace_phy.dir/linkbudget.cpp.o.d"
+  "/root/repo/src/phy/power.cpp" "src/phy/CMakeFiles/openspace_phy.dir/power.cpp.o" "gcc" "src/phy/CMakeFiles/openspace_phy.dir/power.cpp.o.d"
+  "/root/repo/src/phy/terminal.cpp" "src/phy/CMakeFiles/openspace_phy.dir/terminal.cpp.o" "gcc" "src/phy/CMakeFiles/openspace_phy.dir/terminal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/openspace_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openspace_phy.dir/bands.cpp.o"
+  "CMakeFiles/openspace_phy.dir/bands.cpp.o.d"
+  "CMakeFiles/openspace_phy.dir/linkbudget.cpp.o"
+  "CMakeFiles/openspace_phy.dir/linkbudget.cpp.o.d"
+  "CMakeFiles/openspace_phy.dir/power.cpp.o"
+  "CMakeFiles/openspace_phy.dir/power.cpp.o.d"
+  "CMakeFiles/openspace_phy.dir/terminal.cpp.o"
+  "CMakeFiles/openspace_phy.dir/terminal.cpp.o.d"
+  "libopenspace_phy.a"
+  "libopenspace_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openspace_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openspace_regulation.dir/regime.cpp.o"
+  "CMakeFiles/openspace_regulation.dir/regime.cpp.o.d"
+  "libopenspace_regulation.a"
+  "libopenspace_regulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openspace_regulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

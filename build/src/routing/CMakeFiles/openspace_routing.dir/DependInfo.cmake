@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/dijkstra.cpp" "src/routing/CMakeFiles/openspace_routing.dir/dijkstra.cpp.o" "gcc" "src/routing/CMakeFiles/openspace_routing.dir/dijkstra.cpp.o.d"
+  "/root/repo/src/routing/linkstate.cpp" "src/routing/CMakeFiles/openspace_routing.dir/linkstate.cpp.o" "gcc" "src/routing/CMakeFiles/openspace_routing.dir/linkstate.cpp.o.d"
+  "/root/repo/src/routing/ondemand.cpp" "src/routing/CMakeFiles/openspace_routing.dir/ondemand.cpp.o" "gcc" "src/routing/CMakeFiles/openspace_routing.dir/ondemand.cpp.o.d"
+  "/root/repo/src/routing/pathvector.cpp" "src/routing/CMakeFiles/openspace_routing.dir/pathvector.cpp.o" "gcc" "src/routing/CMakeFiles/openspace_routing.dir/pathvector.cpp.o.d"
+  "/root/repo/src/routing/proactive.cpp" "src/routing/CMakeFiles/openspace_routing.dir/proactive.cpp.o" "gcc" "src/routing/CMakeFiles/openspace_routing.dir/proactive.cpp.o.d"
+  "/root/repo/src/routing/route.cpp" "src/routing/CMakeFiles/openspace_routing.dir/route.cpp.o" "gcc" "src/routing/CMakeFiles/openspace_routing.dir/route.cpp.o.d"
+  "/root/repo/src/routing/temporal.cpp" "src/routing/CMakeFiles/openspace_routing.dir/temporal.cpp.o" "gcc" "src/routing/CMakeFiles/openspace_routing.dir/temporal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/openspace_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/openspace_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/openspace_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/openspace_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/openspace_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

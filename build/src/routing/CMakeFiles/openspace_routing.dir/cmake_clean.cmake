@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openspace_routing.dir/dijkstra.cpp.o"
+  "CMakeFiles/openspace_routing.dir/dijkstra.cpp.o.d"
+  "CMakeFiles/openspace_routing.dir/linkstate.cpp.o"
+  "CMakeFiles/openspace_routing.dir/linkstate.cpp.o.d"
+  "CMakeFiles/openspace_routing.dir/ondemand.cpp.o"
+  "CMakeFiles/openspace_routing.dir/ondemand.cpp.o.d"
+  "CMakeFiles/openspace_routing.dir/pathvector.cpp.o"
+  "CMakeFiles/openspace_routing.dir/pathvector.cpp.o.d"
+  "CMakeFiles/openspace_routing.dir/proactive.cpp.o"
+  "CMakeFiles/openspace_routing.dir/proactive.cpp.o.d"
+  "CMakeFiles/openspace_routing.dir/route.cpp.o"
+  "CMakeFiles/openspace_routing.dir/route.cpp.o.d"
+  "CMakeFiles/openspace_routing.dir/temporal.cpp.o"
+  "CMakeFiles/openspace_routing.dir/temporal.cpp.o.d"
+  "libopenspace_routing.a"
+  "libopenspace_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openspace_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

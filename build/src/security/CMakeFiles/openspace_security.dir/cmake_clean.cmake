@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openspace_security.dir/crypto.cpp.o"
+  "CMakeFiles/openspace_security.dir/crypto.cpp.o.d"
+  "CMakeFiles/openspace_security.dir/reputation.cpp.o"
+  "CMakeFiles/openspace_security.dir/reputation.cpp.o.d"
+  "libopenspace_security.a"
+  "libopenspace_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openspace_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

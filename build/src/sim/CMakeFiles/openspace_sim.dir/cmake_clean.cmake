@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openspace_sim.dir/fig2.cpp.o"
+  "CMakeFiles/openspace_sim.dir/fig2.cpp.o.d"
+  "CMakeFiles/openspace_sim.dir/population.cpp.o"
+  "CMakeFiles/openspace_sim.dir/population.cpp.o.d"
+  "CMakeFiles/openspace_sim.dir/scenario.cpp.o"
+  "CMakeFiles/openspace_sim.dir/scenario.cpp.o.d"
+  "libopenspace_sim.a"
+  "libopenspace_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openspace_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

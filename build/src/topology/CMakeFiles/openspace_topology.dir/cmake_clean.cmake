@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openspace_topology.dir/builder.cpp.o"
+  "CMakeFiles/openspace_topology.dir/builder.cpp.o.d"
+  "CMakeFiles/openspace_topology.dir/graph.cpp.o"
+  "CMakeFiles/openspace_topology.dir/graph.cpp.o.d"
+  "libopenspace_topology.a"
+  "libopenspace_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openspace_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

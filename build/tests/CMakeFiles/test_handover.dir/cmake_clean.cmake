@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_handover.dir/test_handover.cpp.o"
+  "CMakeFiles/test_handover.dir/test_handover.cpp.o.d"
+  "test_handover"
+  "test_handover.pdb"
+  "test_handover[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_handover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_incentives.dir/test_incentives.cpp.o"
+  "CMakeFiles/test_incentives.dir/test_incentives.cpp.o.d"
+  "test_incentives"
+  "test_incentives.pdb"
+  "test_incentives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_incentives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maneuver.dir/test_maneuver.cpp.o"
+  "CMakeFiles/test_maneuver.dir/test_maneuver.cpp.o.d"
+  "test_maneuver"
+  "test_maneuver.pdb"
+  "test_maneuver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maneuver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pathvector.dir/test_pathvector.cpp.o"
+  "CMakeFiles/test_pathvector.dir/test_pathvector.cpp.o.d"
+  "test_pathvector"
+  "test_pathvector.pdb"
+  "test_pathvector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pathvector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_geo[1]_include.cmake")
+include("/root/repo/build/tests/test_orbit[1]_include.cmake")
+include("/root/repo/build/tests/test_phy[1]_include.cmake")
+include("/root/repo/build/tests/test_mac[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_isl[1]_include.cmake")
+include("/root/repo/build/tests/test_routing[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_auth[1]_include.cmake")
+include("/root/repo/build/tests/test_handover[1]_include.cmake")
+include("/root/repo/build/tests/test_econ[1]_include.cmake")
+include("/root/repo/build/tests/test_incentives[1]_include.cmake")
+include("/root/repo/build/tests/test_security[1]_include.cmake")
+include("/root/repo/build/tests/test_regulation[1]_include.cmake")
+include("/root/repo/build/tests/test_maneuver[1]_include.cmake")
+include("/root/repo/build/tests/test_population[1]_include.cmake")
+include("/root/repo/build/tests/test_temporal[1]_include.cmake")
+include("/root/repo/build/tests/test_pathvector[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_coverage[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_integration2[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_properties2[1]_include.cmake")
