@@ -11,7 +11,7 @@
 
 #include <openspace/coverage/coverage.hpp>
 #include <openspace/geo/units.hpp>
-#include <openspace/orbit/visibility.hpp>
+#include <openspace/orbit/snapshot.hpp>
 #include <openspace/orbit/walker.hpp>
 #include <openspace/topology/builder.hpp>
 
@@ -45,13 +45,16 @@ int main() {
               rad2deg(wc.inclinationRad));
   std::printf("# ownership: 6 providers, one plane each\n\n");
 
-  // Sub-satellite points (the constellation picture).
+  // Sub-satellite points (the constellation picture), off the same cached
+  // snapshot the topology builder just propagated.
+  const auto snap = SnapshotCache::global().at(eph, t);
+  const auto& sats = eph.satellites();
   std::printf("%-6s %-10s %-10s %-10s\n", "sat", "owner", "lat_deg", "lon_deg");
-  for (const SatelliteId sid : eph.satellites()) {
-    const Vec3 ecef = eciToEcef(eph.positionEci(sid, t), t);
-    const Geodetic gd = ecefToGeodetic(ecef);
-    std::printf("%-6u %-10u %-10.2f %-10.2f\n", sid, eph.record(sid).owner,
-                rad2deg(gd.latitudeRad), rad2deg(gd.longitudeRad));
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    const Geodetic gd = ecefToGeodetic(snap->ecef(i));
+    std::printf("%-6u %-10u %-10.2f %-10.2f\n", sats[i],
+                eph.record(sats[i]).owner, rad2deg(gd.latitudeRad),
+                rad2deg(gd.longitudeRad));
   }
 
   // ISL geometry: the paper highlights Walker Star's simple intra/inter-

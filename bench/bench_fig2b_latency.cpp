@@ -6,12 +6,18 @@
 // satellite. Expected shape: latency falls sharply with the first ~25
 // satellites, then plateaus around ~30 ms; ~4 satellites is the minimum
 // for the user/station to be in range of anything at all.
+//
+// Besides the human-readable table, the bench writes a machine-readable
+// JSON record (wall time + every sweep point) to BENCH_fig2b_latency.json
+// (or argv[1]) so the performance trajectory can be tracked across PRs.
+#include <chrono>
 #include <cstdio>
 
+#include <openspace/concurrency/parallel.hpp>
 #include <openspace/geo/units.hpp>
 #include <openspace/sim/fig2.hpp>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace openspace;
   Fig2Config cfg;  // Pittsburgh user, Paris gateway, 780 km shells
   const int trials = 200;
@@ -20,7 +26,11 @@ int main() {
   for (int n = 1; n <= 30; ++n) counts.push_back(n);
   for (int n = 35; n <= 100; n += 5) counts.push_back(n);
 
+  const auto start = std::chrono::steady_clock::now();
   const auto sweep = fig2LatencySweep(counts, trials, cfg, /*seed=*/2024);
+  const double wallS =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
 
   std::printf("# Figure 2(b): propagation latency vs constellation size\n");
   std::printf(
@@ -52,6 +62,29 @@ int main() {
   if (plateauPoints > 0) {
     std::printf("\n# plateau (N>=25) mean latency: %.2f ms (paper: ~30 ms)\n",
                 plateau / plateauPoints);
+  }
+  std::printf("# wall time: %.3f s (threads=%d)\n", wallS,
+              parallelThreadCount());
+
+  const char* jsonPath = argc > 1 ? argv[1] : "BENCH_fig2b_latency.json";
+  if (std::FILE* f = std::fopen(jsonPath, "w")) {
+    std::fprintf(f,
+                 "{\n  \"bench\": \"fig2b_latency\",\n  \"wall_seconds\": %.6f,"
+                 "\n  \"threads\": %d,\n  \"trials\": %d,\n  \"points\": [\n",
+                 wallS, parallelThreadCount(), trials);
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const auto& pt = sweep[i];
+      std::fprintf(f,
+                   "    {\"satellites\": %d, \"connectivity\": %.6f, "
+                   "\"mean_latency_s\": %.9f, \"mean_end_to_end_latency_s\": "
+                   "%.9f, \"mean_isl_hops\": %.4f}%s\n",
+                   pt.satellites, pt.connectivity, pt.meanLatencyS,
+                   pt.meanEndToEndLatencyS, pt.meanIslHops,
+                   i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# json: %s\n", jsonPath);
   }
   return 0;
 }

@@ -5,12 +5,18 @@
 // shape: total earth coverage achieved by about 50 satellites; additional
 // satellites buy redundancy. The Monte-Carlo union column is the ablation
 // (DESIGN.md §5(1)): the optimistic counterpart of the paper's worst case.
+//
+// Besides the human-readable table, the bench writes a machine-readable
+// JSON record (wall time + every sweep point) to BENCH_fig2c_coverage.json
+// (or argv[1]) so the performance trajectory can be tracked across PRs.
+#include <chrono>
 #include <cstdio>
 
+#include <openspace/concurrency/parallel.hpp>
 #include <openspace/geo/units.hpp>
 #include <openspace/sim/fig2.hpp>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace openspace;
   Fig2Config cfg;
   // The latency experiment counts horizon visibility (mask 0); for the
@@ -23,7 +29,11 @@ int main() {
   for (int n = 1; n <= 30; ++n) counts.push_back(n);
   for (int n = 35; n <= 100; n += 5) counts.push_back(n);
 
+  const auto start = std::chrono::steady_clock::now();
   const auto sweep = fig2CoverageSweep(counts, trials, cfg, /*seed=*/2024);
+  const double wallS =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
 
   std::printf("# Figure 2(c): coverage vs constellation size\n");
   std::printf("# alt=%.0f km  mask=%.0f deg  trials=%d (random constellations)\n",
@@ -44,6 +54,29 @@ int main() {
                 "(paper: ~50)\n", fullCoverageAt);
   } else {
     std::printf("\n# worst-case model did not reach 99%% coverage in sweep\n");
+  }
+  std::printf("# wall time: %.3f s (threads=%d)\n", wallS,
+              parallelThreadCount());
+
+  const char* jsonPath = argc > 1 ? argv[1] : "BENCH_fig2c_coverage.json";
+  if (std::FILE* f = std::fopen(jsonPath, "w")) {
+    std::fprintf(f,
+                 "{\n  \"bench\": \"fig2c_coverage\",\n  \"wall_seconds\": "
+                 "%.6f,\n  \"threads\": %d,\n  \"trials\": %d,\n  "
+                 "\"full_coverage_at\": %d,\n  \"points\": [\n",
+                 wallS, parallelThreadCount(), trials, fullCoverageAt);
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const auto& pt = sweep[i];
+      std::fprintf(f,
+                   "    {\"satellites\": %d, \"worst_case_coverage\": %.6f, "
+                   "\"monte_carlo_coverage\": %.6f, "
+                   "\"mean_effective_satellites\": %.4f}%s\n",
+                   pt.satellites, pt.worstCaseCoverage, pt.monteCarloCoverage,
+                   pt.meanEffectiveSatellites, i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# json: %s\n", jsonPath);
   }
   return 0;
 }

@@ -1,0 +1,42 @@
+// Fixed thread pool + deterministic parallel-for.
+//
+// The snapshot engine and the Monte-Carlo samplers fan work out over a
+// process-wide pool of worker threads. Determinism is preserved by
+// construction: parallelFor always decomposes the index range into the
+// same chunks regardless of how many threads execute them, so any kernel
+// that derives its state (e.g. an RNG stream) from the chunk index and
+// writes results only into its own chunk's slots produces bit-identical
+// output whether it runs on one thread or sixteen.
+//
+// Thread count resolution, in priority order:
+//   1. setParallelThreadCount(n)        (runtime override, used by tests)
+//   2. OPENSPACE_THREADS environment variable
+//   3. std::thread::hardware_concurrency()
+// A count of 1 short-circuits to a serial in-line loop over the same
+// chunk decomposition — the reference path the determinism tests compare
+// against.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace openspace {
+
+/// Effective worker count parallelFor will use (>= 1).
+int parallelThreadCount() noexcept;
+
+/// Override the worker count at runtime. Values < 1 are clamped to 1;
+/// 1 forces the serial fallback. Thread-safe.
+void setParallelThreadCount(int n) noexcept;
+
+/// Invoke `fn(begin, end)` over [0, count) split into chunks of `chunk`
+/// indices (the final chunk may be short). Chunk boundaries are identical
+/// in serial and parallel execution. Nested calls (from inside a worker)
+/// and calls while another parallelFor is active on this thread run
+/// serially in-line, so callers may compose freely without deadlock.
+/// Exceptions thrown by `fn` are captured and rethrown to the caller
+/// (first one wins). Throws InvalidArgumentError if chunk == 0.
+void parallelFor(std::size_t count, std::size_t chunk,
+                 const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace openspace

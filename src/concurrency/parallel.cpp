@@ -1,0 +1,189 @@
+#include <openspace/concurrency/parallel.hpp>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <openspace/geo/error.hpp>
+
+namespace openspace {
+
+namespace {
+
+int defaultThreadCount() noexcept {
+  if (const char* env = std::getenv("OPENSPACE_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+std::atomic<int>& threadCountSlot() noexcept {
+  static std::atomic<int> count{defaultThreadCount()};
+  return count;
+}
+
+/// True while this thread is executing chunks (worker or caller): nested
+/// parallelFor calls must run in-line rather than wait on the pool.
+thread_local bool tInParallelRegion = false;
+
+/// One fan-out: a chunked index range plus completion bookkeeping.
+struct Job {
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::size_t count = 0;
+  std::size_t chunk = 0;
+  std::size_t numChunks = 0;
+  std::atomic<std::size_t> nextChunk{0};
+  std::atomic<std::size_t> chunksDone{0};
+  std::atomic<std::size_t> activeWorkers{0};
+  std::mutex doneMutex;
+  std::condition_variable doneCv;
+  std::exception_ptr error;  // first exception, guarded by doneMutex
+
+  void runChunks() {
+    for (;;) {
+      const std::size_t c = nextChunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= numChunks) break;
+      const std::size_t begin = c * chunk;
+      const std::size_t end = std::min(count, begin + chunk);
+      try {
+        (*fn)(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(doneMutex);
+        if (!error) error = std::current_exception();
+      }
+      if (chunksDone.fetch_add(1, std::memory_order_acq_rel) + 1 == numChunks) {
+        std::lock_guard<std::mutex> lock(doneMutex);
+        doneCv.notify_all();
+      }
+    }
+  }
+};
+
+/// Process-wide fixed pool. Workers are spawned lazily up to the requested
+/// count and persist for the process lifetime; one job runs at a time
+/// (concurrent parallelFor calls from distinct threads serialize).
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  void run(Job& job, int helperThreads) {
+    std::lock_guard<std::mutex> serialize(jobSerialMutex_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ensureWorkersLocked(helperThreads);
+      job_ = &job;
+      ++generation_;
+    }
+    cv_.notify_all();
+    tInParallelRegion = true;
+    job.runChunks();
+    tInParallelRegion = false;
+    {
+      std::unique_lock<std::mutex> lock(job.doneMutex);
+      job.doneCv.wait(lock, [&] {
+        return job.chunksDone.load(std::memory_order_acquire) == job.numChunks &&
+               job.activeWorkers.load(std::memory_order_acquire) == 0;
+      });
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = nullptr;
+    }
+    if (job.error) std::rethrow_exception(job.error);
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+ private:
+  ThreadPool() = default;
+
+  void ensureWorkersLocked(int wanted) {
+    while (static_cast<int>(workers_.size()) < wanted) {
+      workers_.emplace_back([this] { workerLoop(); });
+    }
+  }
+
+  void workerLoop() {
+    std::uint64_t seenGeneration = 0;
+    for (;;) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] {
+          return stop_ || (job_ != nullptr && generation_ != seenGeneration);
+        });
+        if (stop_) return;
+        seenGeneration = generation_;
+        job = job_;
+        job->activeWorkers.fetch_add(1, std::memory_order_acq_rel);
+      }
+      tInParallelRegion = true;
+      job->runChunks();
+      tInParallelRegion = false;
+      if (job->activeWorkers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(job->doneMutex);
+        job->doneCv.notify_all();
+      }
+    }
+  }
+
+  std::mutex jobSerialMutex_;  ///< One fan-out at a time.
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::thread> workers_;
+  Job* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+int parallelThreadCount() noexcept {
+  return threadCountSlot().load(std::memory_order_relaxed);
+}
+
+void setParallelThreadCount(int n) noexcept {
+  threadCountSlot().store(n < 1 ? 1 : n, std::memory_order_relaxed);
+}
+
+void parallelFor(std::size_t count, std::size_t chunk,
+                 const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (chunk == 0) throw InvalidArgumentError("parallelFor: chunk must be > 0");
+  if (count == 0) return;
+  const std::size_t numChunks = (count + chunk - 1) / chunk;
+  const int threads = parallelThreadCount();
+  if (threads <= 1 || numChunks <= 1 || tInParallelRegion) {
+    // Serial fallback over the identical chunk decomposition.
+    for (std::size_t c = 0; c < numChunks; ++c) {
+      const std::size_t begin = c * chunk;
+      fn(begin, std::min(count, begin + chunk));
+    }
+    return;
+  }
+  Job job;
+  job.fn = &fn;
+  job.count = count;
+  job.chunk = chunk;
+  job.numChunks = numChunks;
+  const std::size_t helpers =
+      std::min<std::size_t>(static_cast<std::size_t>(threads) - 1, numChunks - 1);
+  ThreadPool::instance().run(job, static_cast<int>(helpers));
+}
+
+}  // namespace openspace

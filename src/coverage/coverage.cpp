@@ -4,11 +4,37 @@
 #include <cmath>
 #include <numeric>
 
+#include <openspace/concurrency/parallel.hpp>
 #include <openspace/geo/error.hpp>
 #include <openspace/geo/wgs84.hpp>
+#include <openspace/orbit/snapshot.hpp>
 #include <openspace/orbit/visibility.hpp>
 
 namespace openspace {
+
+namespace {
+
+/// Samples per RNG stream in the parallel Monte-Carlo estimators. Chunk
+/// boundaries (and therefore every stream's draws) are fixed by the sample
+/// count alone, so results are bit-identical at any thread count.
+constexpr std::size_t kSampleChunk = 1024;
+
+/// splitmix64 finalizer: decorrelates the per-chunk stream seeds.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// One deterministic RNG stream per sample chunk, derived from a single
+/// draw off the caller's Rng (which also advances the caller's stream, so
+/// successive calls with the same Rng differ as they always did).
+Rng chunkRng(std::uint64_t baseSeed, std::size_t chunkIndex) {
+  return Rng(mix64(baseSeed ^ (0xA0761D6478BD642Full * (chunkIndex + 1))));
+}
+
+}  // namespace
 
 double capAreaFraction(double halfAngleRad) {
   if (halfAngleRad < 0.0) {
@@ -23,16 +49,8 @@ CoverageEstimate worstCaseOverlapCoverage(const std::vector<OrbitalElements>& sa
   CoverageEstimate est;
   if (sats.empty()) return est;
 
-  // Per-satellite footprint half-angles (altitude varies per orbit) and
-  // sub-satellite unit vectors.
-  std::vector<double> halfAngle(sats.size());
-  std::vector<Vec3> dir(sats.size());
-  for (std::size_t i = 0; i < sats.size(); ++i) {
-    const Vec3 pos = positionEci(sats[i], tSeconds);
-    const double alt = pos.norm() - wgs84::kMeanRadiusM;
-    halfAngle[i] = footprintHalfAngleRad(std::max(alt, 1.0), minElevationRad);
-    dir[i] = pos.normalized();
-  }
+  const auto snap = SnapshotCache::global().at(sats, tSeconds);
+  const FootprintIndex footprints(*snap, minElevationRad);
 
   // Worst-case pairwise collapse: caps overlap when the central angle
   // between sub-points is below the sum of their half-angles; each
@@ -46,7 +64,8 @@ CoverageEstimate worstCaseOverlapCoverage(const std::vector<OrbitalElements>& sa
     if (absorbed[i]) continue;
     for (std::size_t j = i + 1; j < sats.size(); ++j) {
       if (absorbed[j]) continue;
-      if (angleBetween(dir[i], dir[j]) < halfAngle[i] + halfAngle[j]) {
+      if (angleBetween(footprints.direction(i), footprints.direction(j)) <
+          footprints.halfAngleRad(i) + footprints.halfAngleRad(j)) {
         absorbed[i] = absorbed[j] = true;  // the pair counts as one cap
         --effective;
         break;
@@ -58,7 +77,9 @@ CoverageEstimate worstCaseOverlapCoverage(const std::vector<OrbitalElements>& sa
   // Worst case: each component contributes a single cap (use the mean cap
   // fraction so heterogeneous altitudes average out).
   double meanCap = 0.0;
-  for (const double h : halfAngle) meanCap += capAreaFraction(h);
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    meanCap += capAreaFraction(footprints.halfAngleRad(i));
+  }
   meanCap /= static_cast<double>(sats.size());
   est.coverageFraction = std::min(1.0, est.effectiveSatellites * meanCap);
   return est;
@@ -74,21 +95,23 @@ CoverageEstimate monteCarloCoverage(const std::vector<OrbitalElements>& sats,
   est.effectiveSatellites = static_cast<int>(sats.size());
   if (sats.empty()) return est;
 
-  std::vector<Vec3> eci(sats.size());
-  for (std::size_t i = 0; i < sats.size(); ++i) {
-    eci[i] = positionEci(sats[i], tSeconds);
-  }
-  int covered = 0;
-  for (int s = 0; s < samples; ++s) {
-    // Sample in ECI directly: coverage of the sphere is rotation-invariant.
-    const Vec3 point = rng.unitSphere() * wgs84::kMeanRadiusM;
-    for (const Vec3& sat : eci) {
-      if (elevationAngleRad(point, sat) >= minElevationRad) {
-        ++covered;
-        break;
-      }
+  const auto snap = SnapshotCache::global().at(sats, tSeconds);
+  const FootprintIndex footprints(*snap, minElevationRad);
+  const std::uint64_t baseSeed = rng.engine()();
+
+  // Sample in ECI directly: coverage of the sphere is rotation-invariant.
+  const std::size_t n = static_cast<std::size_t>(samples);
+  std::vector<int> chunkCovered((n + kSampleChunk - 1) / kSampleChunk, 0);
+  parallelFor(n, kSampleChunk, [&](std::size_t begin, std::size_t end) {
+    Rng stream = chunkRng(baseSeed, begin / kSampleChunk);
+    int covered = 0;
+    for (std::size_t s = begin; s < end; ++s) {
+      if (footprints.anyCovers(stream.unitSphere())) ++covered;
     }
-  }
+    chunkCovered[begin / kSampleChunk] = covered;
+  });
+  const int covered =
+      std::accumulate(chunkCovered.begin(), chunkCovered.end(), 0);
   est.coverageFraction = static_cast<double>(covered) / samples;
   return est;
 }
@@ -117,19 +140,23 @@ double kFoldCoverage(const std::vector<OrbitalElements>& sats, double tSeconds,
     throw InvalidArgumentError("kFoldCoverage: samples must be > 0");
   }
   if (sats.empty()) return 0.0;
-  std::vector<Vec3> eci(sats.size());
-  for (std::size_t i = 0; i < sats.size(); ++i) {
-    eci[i] = positionEci(sats[i], tSeconds);
-  }
-  int covered = 0;
-  for (int s = 0; s < samples; ++s) {
-    const Vec3 point = rng.unitSphere() * wgs84::kMeanRadiusM;
-    int seen = 0;
-    for (const Vec3& sat : eci) {
-      if (elevationAngleRad(point, sat) >= minElevationRad && ++seen >= k) break;
+
+  const auto snap = SnapshotCache::global().at(sats, tSeconds);
+  const FootprintIndex footprints(*snap, minElevationRad);
+  const std::uint64_t baseSeed = rng.engine()();
+
+  const std::size_t n = static_cast<std::size_t>(samples);
+  std::vector<int> chunkCovered((n + kSampleChunk - 1) / kSampleChunk, 0);
+  parallelFor(n, kSampleChunk, [&](std::size_t begin, std::size_t end) {
+    Rng stream = chunkRng(baseSeed, begin / kSampleChunk);
+    int covered = 0;
+    for (std::size_t s = begin; s < end; ++s) {
+      if (footprints.countCovering(stream.unitSphere(), k) >= k) ++covered;
     }
-    if (seen >= k) ++covered;
-  }
+    chunkCovered[begin / kSampleChunk] = covered;
+  });
+  const int covered =
+      std::accumulate(chunkCovered.begin(), chunkCovered.end(), 0);
   return static_cast<double>(covered) / samples;
 }
 

@@ -6,6 +6,7 @@
 
 #include <openspace/geo/error.hpp>
 #include <openspace/geo/wgs84.hpp>
+#include <openspace/orbit/snapshot.hpp>
 
 namespace openspace {
 
@@ -32,10 +33,9 @@ class CoverageOracle {
       points.push_back(rng.unitSphere() * wgs84::kMeanRadiusM);
     }
     for (std::size_t m = 0; m < members.size(); ++m) {
-      std::vector<Vec3> eci(members[m].fleet.size());
-      for (std::size_t s = 0; s < eci.size(); ++s) {
-        eci[s] = positionEci(members[m].fleet[s], tSeconds);
-      }
+      const auto snap =
+          SnapshotCache::global().at(members[m].fleet, tSeconds);
+      const std::vector<Vec3>& eci = snap->eci();
       memberSeen_[m].assign(points.size(), false);
       for (std::size_t p = 0; p < points.size(); ++p) {
         for (const Vec3& sat : eci) {

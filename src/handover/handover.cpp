@@ -6,6 +6,7 @@
 
 #include <openspace/geo/error.hpp>
 #include <openspace/geo/units.hpp>
+#include <openspace/orbit/snapshot.hpp>
 #include <openspace/orbit/visibility.hpp>
 
 namespace openspace {
@@ -48,9 +49,12 @@ std::optional<SatelliteId> HandoverPlanner::bestSatelliteAt(
     const Geodetic& user, double tSeconds, SatelliteId exclude) const {
   std::optional<SatelliteId> best;
   double bestUntil = -1.0;
-  for (const SatelliteId sid : ephemeris_.satellites()) {
+  const auto snap = SnapshotCache::global().at(ephemeris_, tSeconds);
+  const auto& sats = ephemeris_.satellites();
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    const SatelliteId sid = sats[i];
     if (sid == exclude) continue;
-    const Vec3 pos = ephemeris_.positionEci(sid, tSeconds);
+    const Vec3& pos = snap->eci(i);
     if (elevationFrom(pos, user, tSeconds) < minElevationRad_) continue;
     const double until = visibilityEndS(sid, user, tSeconds);
     if (until > bestUntil) {
@@ -66,13 +70,15 @@ std::optional<SatelliteId> HandoverPlanner::closestSatelliteAt(
   const Vec3 userEcef = geodeticToEcef(user);
   std::optional<SatelliteId> best;
   double bestRange = std::numeric_limits<double>::infinity();
-  for (const SatelliteId sid : ephemeris_.satellites()) {
-    const Vec3 pos = ephemeris_.positionEci(sid, tSeconds);
+  const auto snap = SnapshotCache::global().at(ephemeris_, tSeconds);
+  const auto& sats = ephemeris_.satellites();
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    const Vec3& pos = snap->eci(i);
     if (elevationFrom(pos, user, tSeconds) < minElevationRad_) continue;
-    const double range = userEcef.distanceTo(eciToEcef(pos, tSeconds));
+    const double range = userEcef.distanceTo(snap->ecef(i));
     if (range < bestRange) {
       bestRange = range;
-      best = sid;
+      best = sats[i];
     }
   }
   return best;

@@ -1,5 +1,7 @@
 #include <openspace/isl/fleet.hpp>
 
+#include <openspace/orbit/snapshot.hpp>
+
 #include <algorithm>
 
 #include <openspace/geo/error.hpp>
@@ -54,10 +56,10 @@ IslEndpoint& IslFleet::endpoint(SatelliteId id) {
 
 std::vector<FleetLink> IslFleet::runDiscoveryRound(double tSeconds) {
   const auto& sats = ephemeris_.satellites();
-  std::vector<Vec3> pos(sats.size());
+  const auto snap = SnapshotCache::global().at(ephemeris_, tSeconds);
+  const std::vector<Vec3>& pos = snap->eci();
   std::map<SatelliteId, std::size_t> index;
   for (std::size_t i = 0; i < sats.size(); ++i) {
-    pos[i] = ephemeris_.positionEci(sats[i], tSeconds);
     index[sats[i]] = i;
   }
 

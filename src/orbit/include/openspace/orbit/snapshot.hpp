@@ -1,0 +1,192 @@
+// The constellation-snapshot engine.
+//
+// The paper's routing design assumes every participant can cheaply compute
+// the "full public view of the topology" from public ephemerides, and the
+// §4 Figure-2 study re-evaluates the whole fleet's geometry at every sweep
+// step. ConstellationSnapshot is the one place in the library where an
+// entire constellation is propagated to a time t: it propagates every
+// satellite once (in parallel via openspace::parallelFor), precomputes
+// ECI and ECEF positions, answers elevation-visibility queries, and lazily
+// builds a spatially pruned ISL adjacency that path queries share. Every
+// layer that needs "all satellites at time t" — the Figure-2 engine, the
+// topology builder, the coverage estimators, ISL discovery, the coalition
+// oracle — consumes this type instead of propagating by hand.
+//
+// SnapshotCache is the companion LRU cache keyed by (constellation hash,
+// quantized t): sweeps that revisit a timestep (e.g. the worst-case and
+// Monte-Carlo coverage estimators scoring the same constellation) share
+// one propagation instead of repeating it.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <openspace/geo/geodetic.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/orbit/elements.hpp>
+
+namespace openspace {
+
+class EphemerisService;
+
+/// ISL adjacency of a snapshot: for each satellite, its (neighbor index,
+/// distance) pairs sorted by neighbor index. An edge exists when the pair
+/// is within `maxRangeM` and the sightline clears the Earth by
+/// `losClearanceM`.
+struct IslTopology {
+  double maxRangeM = 0.0;
+  double losClearanceM = 0.0;
+  std::vector<std::vector<std::pair<std::size_t, double>>> adjacency;
+  std::size_t linkCount = 0;
+};
+
+/// Order-independent 64-bit hash of a constellation's orbital elements
+/// (FNV-1a over the raw element doubles, in order — two element lists hash
+/// equal iff they are bitwise identical in the same order).
+std::uint64_t constellationHash(const std::vector<OrbitalElements>& elements);
+
+/// All satellites of one constellation propagated to a single instant.
+class ConstellationSnapshot {
+ public:
+  /// Propagate `elements` to time t (parallel over satellites).
+  ConstellationSnapshot(std::vector<OrbitalElements> elements, double tSeconds);
+
+  /// Propagate every satellite registered in `ephemeris`, in publication
+  /// order (index i == ephemeris.satellites()[i]).
+  ConstellationSnapshot(const EphemerisService& ephemeris, double tSeconds);
+
+  double timeSeconds() const noexcept { return t_; }
+  std::size_t size() const noexcept { return elements_.size(); }
+  bool empty() const noexcept { return elements_.empty(); }
+  std::uint64_t elementsHash() const noexcept { return hash_; }
+
+  const std::vector<OrbitalElements>& elements() const noexcept {
+    return elements_;
+  }
+  /// ECI positions at timeSeconds(), one per satellite.
+  const std::vector<Vec3>& eci() const noexcept { return eci_; }
+  /// The same positions rotated into ECEF.
+  const std::vector<Vec3>& ecef() const noexcept { return ecef_; }
+  const Vec3& eci(std::size_t i) const { return eci_.at(i); }
+  const Vec3& ecef(std::size_t i) const { return ecef_.at(i); }
+  /// Altitude above the mean-radius Earth, meters.
+  double altitudeM(std::size_t i) const;
+
+  /// Closest satellite above `minElevationRad` as seen from a ground site
+  /// (site ECEF computed once); nullopt if none is visible.
+  std::optional<std::size_t> closestVisible(const Geodetic& site,
+                                            double minElevationRad) const;
+  std::optional<std::size_t> closestVisible(const Vec3& siteEcef,
+                                            double minElevationRad) const;
+
+  /// ISL adjacency under (maxRangeM, losClearanceM). Built lazily on first
+  /// use with sorted-bucket spatial pruning (grid cells of side maxRangeM:
+  /// only the 27 neighboring cells are scanned per satellite, never all
+  /// pairs), then cached on the snapshot; subsequent calls with the same
+  /// parameters are free. Thread-safe.
+  std::shared_ptr<const IslTopology> islTopology(
+      double maxRangeM, double losClearanceM = km(80.0)) const;
+
+  /// Dijkstra over the cached ISL adjacency, edge weight = distance.
+  /// Returns (path length, hops) or nullopt if disconnected. The adjacency
+  /// is built once per snapshot, not once per (src, dst) query.
+  std::optional<std::pair<double, int>> shortestIslPath(
+      std::size_t src, std::size_t dst, double maxRangeM,
+      double losClearanceM = km(80.0)) const;
+
+ private:
+  void propagateAll();
+
+  std::vector<OrbitalElements> elements_;
+  double t_ = 0.0;
+  std::uint64_t hash_ = 0;
+  std::vector<Vec3> eci_;
+  std::vector<Vec3> ecef_;
+  mutable std::mutex islMutex_;
+  mutable std::shared_ptr<const IslTopology> isl_;
+};
+
+/// Precomputed spherical-cap footprint test for surface points: satellite i
+/// covers a surface point p (|p| == mean Earth radius) iff the central
+/// angle between p and the sub-satellite direction is at most the
+/// footprint half-angle at the query elevation mask. Reduces the per-
+/// (sample, satellite) visibility test to one dot-product comparison.
+class FootprintIndex {
+ public:
+  FootprintIndex(const ConstellationSnapshot& snapshot, double minElevationRad);
+
+  std::size_t size() const noexcept { return cosHalfAngle_.size(); }
+  double halfAngleRad(std::size_t i) const { return halfAngle_.at(i); }
+  const Vec3& direction(std::size_t i) const { return direction_.at(i); }
+
+  /// True if satellite i covers the surface point with unit direction
+  /// `unitPoint` (ECI frame, matching the snapshot's positions).
+  bool covers(const Vec3& unitPoint, std::size_t i) const noexcept {
+    return unitPoint.dot(direction_[i]) >= cosHalfAngle_[i];
+  }
+  /// True if any satellite covers the point.
+  bool anyCovers(const Vec3& unitPoint) const noexcept;
+  /// Number of satellites covering the point, counting stops at
+  /// `stopAfter` (pass size() for an exact count).
+  int countCovering(const Vec3& unitPoint, int stopAfter) const noexcept;
+
+ private:
+  std::vector<Vec3> direction_;       ///< Unit sub-satellite directions.
+  std::vector<double> cosHalfAngle_;  ///< cos(footprint half-angle).
+  std::vector<double> halfAngle_;
+};
+
+/// LRU cache of recent snapshots keyed by (constellation hash, satellite
+/// count, t quantized to 1 microsecond). Thread-safe; the global() instance
+/// is shared by every snapshot consumer in the library so that e.g. the
+/// worst-case and Monte-Carlo coverage estimators scoring the same
+/// constellation at the same instant propagate it once.
+class SnapshotCache {
+ public:
+  explicit SnapshotCache(std::size_t capacity = 32);
+
+  /// The snapshot of `elements` at `tSeconds` — cached, or built and
+  /// inserted (evicting the least-recently-used entry when full).
+  std::shared_ptr<const ConstellationSnapshot> at(
+      const std::vector<OrbitalElements>& elements, double tSeconds);
+  std::shared_ptr<const ConstellationSnapshot> at(
+      const EphemerisService& ephemeris, double tSeconds);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const;
+  std::size_t hits() const;
+  std::size_t misses() const;
+  void clear();
+
+  static SnapshotCache& global();
+
+ private:
+  struct Key {
+    std::uint64_t hash;
+    std::uint64_t count;
+    std::int64_t tMicros;
+    bool operator==(const Key&) const noexcept = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+  using Entry = std::pair<Key, std::shared_ptr<const ConstellationSnapshot>>;
+
+  std::shared_ptr<const ConstellationSnapshot> lookup(
+      const Key& key, std::vector<OrbitalElements>&& elements, double tSeconds);
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< Front = most recently used.
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace openspace

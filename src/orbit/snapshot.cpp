@@ -1,0 +1,348 @@
+// The single translation unit in the library that propagates a whole
+// constellation: every other layer gets its "all satellites at time t"
+// view through ConstellationSnapshot / SnapshotCache.
+#include <openspace/orbit/snapshot.hpp>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <queue>
+
+#include <openspace/concurrency/parallel.hpp>
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/wgs84.hpp>
+#include <openspace/orbit/ephemeris.hpp>
+#include <openspace/orbit/visibility.hpp>
+
+namespace openspace {
+
+namespace {
+
+constexpr std::size_t kPropagateChunk = 64;
+constexpr std::size_t kAdjacencyChunk = 16;
+
+// Word-wise FNV-1a step: one xor-multiply per double. The snapshot cache
+// only needs collision resistance across distinct constellations, and the
+// hash sits on the hot path of every uncached snapshot construction.
+std::uint64_t fnv1a(std::uint64_t h, double v) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  h ^= bits;
+  h *= 0x100000001B3ull;
+  return h;
+}
+
+std::vector<OrbitalElements> elementsOf(const EphemerisService& ephemeris) {
+  std::vector<OrbitalElements> elements;
+  elements.reserve(ephemeris.size());
+  for (const SatelliteId sid : ephemeris.satellites()) {
+    elements.push_back(ephemeris.record(sid).elements);
+  }
+  return elements;
+}
+
+/// Pack integer grid-cell coordinates into one map key (cells are offset
+/// into the non-negative range; 21 bits per axis is ample for LEO shells
+/// divided by any usable ISL range).
+std::int64_t cellKey(std::int64_t cx, std::int64_t cy, std::int64_t cz) noexcept {
+  constexpr std::int64_t kOffset = 1 << 20;
+  return ((cx + kOffset) << 42) | ((cy + kOffset) << 21) | (cz + kOffset);
+}
+
+}  // namespace
+
+std::uint64_t constellationHash(const std::vector<OrbitalElements>& elements) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const OrbitalElements& el : elements) {
+    h = fnv1a(h, el.semiMajorAxisM);
+    h = fnv1a(h, el.eccentricity);
+    h = fnv1a(h, el.inclinationRad);
+    h = fnv1a(h, el.raanRad);
+    h = fnv1a(h, el.argPerigeeRad);
+    h = fnv1a(h, el.meanAnomalyAtEpochRad);
+  }
+  return h;
+}
+
+ConstellationSnapshot::ConstellationSnapshot(
+    std::vector<OrbitalElements> elements, double tSeconds)
+    : elements_(std::move(elements)),
+      t_(tSeconds),
+      hash_(constellationHash(elements_)) {
+  propagateAll();
+}
+
+ConstellationSnapshot::ConstellationSnapshot(const EphemerisService& ephemeris,
+                                             double tSeconds)
+    : ConstellationSnapshot(elementsOf(ephemeris), tSeconds) {}
+
+void ConstellationSnapshot::propagateAll() {
+  const std::size_t n = elements_.size();
+  eci_.resize(n);
+  ecef_.resize(n);
+  parallelFor(n, kPropagateChunk, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      eci_[i] = positionEci(elements_[i], t_);
+      ecef_[i] = eciToEcef(eci_[i], t_);
+    }
+  });
+}
+
+double ConstellationSnapshot::altitudeM(std::size_t i) const {
+  return eci_.at(i).norm() - wgs84::kMeanRadiusM;
+}
+
+std::optional<std::size_t> ConstellationSnapshot::closestVisible(
+    const Geodetic& site, double minElevationRad) const {
+  return closestVisible(geodeticToEcef(site), minElevationRad);
+}
+
+std::optional<std::size_t> ConstellationSnapshot::closestVisible(
+    const Vec3& siteEcef, double minElevationRad) const {
+  std::optional<std::size_t> best;
+  double bestRange = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < ecef_.size(); ++i) {
+    if (elevationAngleRad(siteEcef, ecef_[i]) < minElevationRad) continue;
+    const double range = siteEcef.distanceTo(ecef_[i]);
+    if (range < bestRange) {
+      bestRange = range;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::shared_ptr<const IslTopology> ConstellationSnapshot::islTopology(
+    double maxRangeM, double losClearanceM) const {
+  if (maxRangeM <= 0.0) {
+    throw InvalidArgumentError("islTopology: maxRangeM must be > 0");
+  }
+  {
+    std::lock_guard<std::mutex> lock(islMutex_);
+    if (isl_ && isl_->maxRangeM == maxRangeM &&
+        isl_->losClearanceM == losClearanceM) {
+      return isl_;
+    }
+  }
+
+  auto topo = std::make_shared<IslTopology>();
+  topo->maxRangeM = maxRangeM;
+  topo->losClearanceM = losClearanceM;
+  const std::size_t n = eci_.size();
+  topo->adjacency.resize(n);
+  // Below a few hundred satellites the all-pairs scan beats the grid's
+  // bucket-allocation and hash-probe overhead; the output is identical
+  // (same edge predicate, neighbors naturally in index order).
+  constexpr std::size_t kBruteForceMax = 256;
+  if (n > 1 && n <= kBruteForceMax) {
+    parallelFor(n, kAdjacencyChunk, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        auto& adj = topo->adjacency[i];
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j == i) continue;
+          const double d = eci_[i].distanceTo(eci_[j]);
+          if (d <= maxRangeM && lineOfSightClear(eci_[i], eci_[j], losClearanceM)) {
+            adj.emplace_back(j, d);
+          }
+        }
+      }
+    });
+  } else if (n > 1) {
+    // Sorted-bucket spatial pruning: hash satellites into grid cells of
+    // side maxRangeM; any in-range pair lies in the same or an adjacent
+    // cell, so each satellite scans at most 27 buckets instead of all n.
+    const double cell = maxRangeM;
+    std::unordered_map<std::int64_t, std::vector<std::size_t>> buckets;
+    std::vector<std::array<std::int64_t, 3>> coords(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      coords[i] = {static_cast<std::int64_t>(std::floor(eci_[i].x / cell)),
+                   static_cast<std::int64_t>(std::floor(eci_[i].y / cell)),
+                   static_cast<std::int64_t>(std::floor(eci_[i].z / cell))};
+      buckets[cellKey(coords[i][0], coords[i][1], coords[i][2])].push_back(i);
+    }
+    parallelFor(n, kAdjacencyChunk, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        auto& adj = topo->adjacency[i];
+        for (std::int64_t dx = -1; dx <= 1; ++dx) {
+          for (std::int64_t dy = -1; dy <= 1; ++dy) {
+            for (std::int64_t dz = -1; dz <= 1; ++dz) {
+              const auto it = buckets.find(cellKey(
+                  coords[i][0] + dx, coords[i][1] + dy, coords[i][2] + dz));
+              if (it == buckets.end()) continue;
+              for (const std::size_t j : it->second) {
+                if (j == i) continue;
+                const double d = eci_[i].distanceTo(eci_[j]);
+                if (d <= maxRangeM &&
+                    lineOfSightClear(eci_[i], eci_[j], losClearanceM)) {
+                  adj.emplace_back(j, d);
+                }
+              }
+            }
+          }
+        }
+        std::sort(adj.begin(), adj.end());
+      }
+    });
+  }
+  std::size_t degreeSum = 0;
+  for (const auto& adj : topo->adjacency) degreeSum += adj.size();
+  topo->linkCount = degreeSum / 2;
+
+  std::lock_guard<std::mutex> lock(islMutex_);
+  isl_ = std::move(topo);
+  return isl_;
+}
+
+std::optional<std::pair<double, int>> ConstellationSnapshot::shortestIslPath(
+    std::size_t src, std::size_t dst, double maxRangeM,
+    double losClearanceM) const {
+  const std::size_t n = eci_.size();
+  if (src >= n || dst >= n) {
+    throw InvalidArgumentError("shortestIslPath: satellite index out of range");
+  }
+  if (src == dst) return std::make_pair(0.0, 0);
+  const std::shared_ptr<const IslTopology> topo =
+      islTopology(maxRangeM, losClearanceM);
+
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<int> hops(n, 0);
+  using Q = std::pair<double, std::size_t>;
+  std::priority_queue<Q, std::vector<Q>, std::greater<>> pq;
+  dist[src] = 0.0;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == dst) break;
+    for (const auto& [v, w] : topo->adjacency[u]) {
+      if (d + w < dist[v]) {
+        dist[v] = d + w;
+        hops[v] = hops[u] + 1;
+        pq.emplace(dist[v], v);
+      }
+    }
+  }
+  if (std::isinf(dist[dst])) return std::nullopt;
+  return std::make_pair(dist[dst], hops[dst]);
+}
+
+FootprintIndex::FootprintIndex(const ConstellationSnapshot& snapshot,
+                               double minElevationRad) {
+  const std::size_t n = snapshot.size();
+  direction_.resize(n);
+  cosHalfAngle_.resize(n);
+  halfAngle_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    direction_[i] = snapshot.eci(i).normalized();
+    halfAngle_[i] = footprintHalfAngleRad(std::max(snapshot.altitudeM(i), 1.0),
+                                          minElevationRad);
+    cosHalfAngle_[i] = std::cos(halfAngle_[i]);
+  }
+}
+
+bool FootprintIndex::anyCovers(const Vec3& unitPoint) const noexcept {
+  for (std::size_t i = 0; i < direction_.size(); ++i) {
+    if (covers(unitPoint, i)) return true;
+  }
+  return false;
+}
+
+int FootprintIndex::countCovering(const Vec3& unitPoint,
+                                  int stopAfter) const noexcept {
+  int seen = 0;
+  for (std::size_t i = 0; i < direction_.size(); ++i) {
+    if (covers(unitPoint, i) && ++seen >= stopAfter) break;
+  }
+  return seen;
+}
+
+SnapshotCache::SnapshotCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::size_t SnapshotCache::KeyHash::operator()(const Key& k) const noexcept {
+  std::uint64_t h = k.hash;
+  h ^= k.count * 0x9E3779B97F4A7C15ull;
+  h ^= static_cast<std::uint64_t>(k.tMicros) * 0xD1B54A32D192ED03ull;
+  h ^= h >> 32;
+  return static_cast<std::size_t>(h);
+}
+
+std::shared_ptr<const ConstellationSnapshot> SnapshotCache::at(
+    const std::vector<OrbitalElements>& elements, double tSeconds) {
+  const Key key{constellationHash(elements), elements.size(),
+                std::llround(tSeconds * 1e6)};
+  return lookup(key, std::vector<OrbitalElements>(elements), tSeconds);
+}
+
+std::shared_ptr<const ConstellationSnapshot> SnapshotCache::at(
+    const EphemerisService& ephemeris, double tSeconds) {
+  std::vector<OrbitalElements> elements = elementsOf(ephemeris);
+  const Key key{constellationHash(elements), elements.size(),
+                std::llround(tSeconds * 1e6)};
+  return lookup(key, std::move(elements), tSeconds);
+}
+
+std::shared_ptr<const ConstellationSnapshot> SnapshotCache::lookup(
+    const Key& key, std::vector<OrbitalElements>&& elements, double tSeconds) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      return lru_.front().second;
+    }
+    ++misses_;
+  }
+  // Propagate outside the lock so concurrent misses on different
+  // constellations do not serialize; a racing duplicate insert is resolved
+  // below in favor of the first.
+  auto snapshot =
+      std::make_shared<const ConstellationSnapshot>(std::move(elements), tSeconds);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return lru_.front().second;
+  }
+  lru_.emplace_front(key, std::move(snapshot));
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  return lru_.front().second;
+}
+
+std::size_t SnapshotCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::size_t SnapshotCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t SnapshotCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+void SnapshotCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+SnapshotCache& SnapshotCache::global() {
+  static SnapshotCache cache(32);
+  return cache;
+}
+
+}  // namespace openspace

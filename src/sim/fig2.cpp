@@ -1,98 +1,51 @@
 #include <openspace/sim/fig2.hpp>
 
 #include <limits>
-#include <queue>
 
+#include <openspace/concurrency/parallel.hpp>
 #include <openspace/coverage/coverage.hpp>
 #include <openspace/geo/error.hpp>
 #include <openspace/geo/units.hpp>
-#include <openspace/orbit/visibility.hpp>
+#include <openspace/orbit/snapshot.hpp>
 
 namespace openspace {
 
 namespace {
 
-/// Closest satellite visible from `site` above the mask; nullopt if none.
-std::optional<std::size_t> pickupSatellite(const std::vector<Vec3>& eci,
-                                           const Geodetic& site, double t,
-                                           double minElev) {
-  const Vec3 siteEcef = geodeticToEcef(site);
-  std::optional<std::size_t> best;
-  double bestRange = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < eci.size(); ++i) {
-    const Vec3 satEcef = eciToEcef(eci[i], t);
-    if (elevationAngleRad(siteEcef, satEcef) < minElev) continue;
-    const double range = siteEcef.distanceTo(satEcef);
-    if (range < bestRange) {
-      bestRange = range;
-      best = i;
-    }
-  }
-  return best;
+/// splitmix64 finalizer, for deriving independent per-trial RNG streams.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
 }
 
-/// Dijkstra over the satellite-only ISL graph, edge weight = distance.
-/// Returns (path length, hops) from src to dst, or nullopt if disconnected.
-std::optional<std::pair<double, int>> shortestIslPath(const std::vector<Vec3>& eci,
-                                                      std::size_t src,
-                                                      std::size_t dst,
-                                                      double maxRangeM) {
-  const std::size_t n = eci.size();
-  if (src == dst) return std::make_pair(0.0, 0);
-  // Adjacency: in-range + line-of-sight pairs.
-  std::vector<std::vector<std::pair<std::size_t, double>>> adj(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double d = eci[i].distanceTo(eci[j]);
-      if (d <= maxRangeM && lineOfSightClear(eci[i], eci[j], km(80.0))) {
-        adj[i].emplace_back(j, d);
-        adj[j].emplace_back(i, d);
-      }
-    }
-  }
-  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
-  std::vector<int> hops(n, 0);
-  using Q = std::pair<double, std::size_t>;
-  std::priority_queue<Q, std::vector<Q>, std::greater<>> pq;
-  dist[src] = 0.0;
-  pq.emplace(0.0, src);
-  while (!pq.empty()) {
-    const auto [d, u] = pq.top();
-    pq.pop();
-    if (d > dist[u]) continue;
-    if (u == dst) break;
-    for (const auto& [v, w] : adj[u]) {
-      if (d + w < dist[v]) {
-        dist[v] = d + w;
-        hops[v] = hops[u] + 1;
-        pq.emplace(dist[v], v);
-      }
-    }
-  }
-  if (std::isinf(dist[dst])) return std::nullopt;
-  return std::make_pair(dist[dst], hops[dst]);
+/// Deterministic seed of trial `trial` at constellation size `n`: trials
+/// are independent streams, so the sweep can evaluate them in parallel and
+/// aggregate in trial order with bit-identical results at any thread count.
+std::uint64_t trialSeed(std::uint64_t seed, std::uint64_t salt, int n,
+                        std::size_t trial) {
+  return mix64(seed ^ mix64(salt ^ (static_cast<std::uint64_t>(n) *
+                                    std::uint64_t{0x9E3779B97F4A7C15ull}) ^
+                            (trial * std::uint64_t{0xD1B54A32D192ED03ull})));
 }
 
-}  // namespace
+constexpr std::uint64_t kLatencySalt = 0x6C62272E07BB0142ull;
+constexpr std::uint64_t kCoverageSalt = 0x27D4EB2F165667C5ull;
 
-Fig2Trial runFig2Trial(int n, const Fig2Config& cfg, Rng& rng) {
+/// One latency trial against an already-propagated snapshot. The ISL
+/// adjacency is built (and cached) on the snapshot, once per timestep —
+/// not once per (src, dst) query.
+Fig2Trial runTrialOnSnapshot(const ConstellationSnapshot& snap,
+                             const Fig2Config& cfg) {
   Fig2Trial trial;
-  if (n <= 0) return trial;
-  const std::vector<OrbitalElements> sats =
-      makeRandomConstellation(n, cfg.altitudeM, rng);
-  std::vector<Vec3> eci(sats.size());
-  for (std::size_t i = 0; i < sats.size(); ++i) {
-    eci[i] = positionEci(sats[i], cfg.tSeconds);
-  }
-
-  const auto up = pickupSatellite(eci, cfg.user, cfg.tSeconds, cfg.minElevationRad);
-  const auto down =
-      pickupSatellite(eci, cfg.groundStation, cfg.tSeconds, cfg.minElevationRad);
+  const auto up = snap.closestVisible(cfg.user, cfg.minElevationRad);
+  const auto down = snap.closestVisible(cfg.groundStation, cfg.minElevationRad);
   trial.userCovered = up.has_value();
   trial.stationCovered = down.has_value();
   if (!up || !down) return trial;
 
-  const auto path = shortestIslPath(eci, *up, *down, cfg.maxIslRangeM);
+  const auto path = snap.shortestIslPath(*up, *down, cfg.maxIslRangeM);
   if (!path) return trial;
 
   trial.connected = true;
@@ -102,10 +55,19 @@ Fig2Trial runFig2Trial(int n, const Fig2Config& cfg, Rng& rng) {
 
   const Vec3 userEcef = geodeticToEcef(cfg.user);
   const Vec3 gsEcef = geodeticToEcef(cfg.groundStation);
-  const double upLegM = userEcef.distanceTo(eciToEcef(eci[*up], cfg.tSeconds));
-  const double downLegM = gsEcef.distanceTo(eciToEcef(eci[*down], cfg.tSeconds));
+  const double upLegM = userEcef.distanceTo(snap.ecef(*up));
+  const double downLegM = gsEcef.distanceTo(snap.ecef(*down));
   trial.endToEndLatencyS = (trial.pathLengthM + upLegM + downLegM) / kSpeedOfLightMps;
   return trial;
+}
+
+}  // namespace
+
+Fig2Trial runFig2Trial(int n, const Fig2Config& cfg, Rng& rng) {
+  if (n <= 0) return Fig2Trial{};
+  const ConstellationSnapshot snap(makeRandomConstellation(n, cfg.altitudeM, rng),
+                                   cfg.tSeconds);
+  return runTrialOnSnapshot(snap, cfg);
 }
 
 std::vector<Fig2Point> fig2LatencySweep(const std::vector<int>& satelliteCounts,
@@ -118,15 +80,20 @@ std::vector<Fig2Point> fig2LatencySweep(const std::vector<int>& satelliteCounts,
 
   std::vector<Fig2Point> out;
   out.reserve(satelliteCounts.size());
+  const std::size_t trialCount = static_cast<std::size_t>(trials);
+  std::vector<Fig2Trial> results(trialCount);
   for (const int n : satelliteCounts) {
-    Rng rng(seed ^ (static_cast<std::uint64_t>(n) *
-                    std::uint64_t{0x9E3779B97F4A7C15ull}));
+    parallelFor(trialCount, 1, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t t = begin; t < end; ++t) {
+        Rng rng(trialSeed(seed, kLatencySalt, n, t));
+        results[t] = runFig2Trial(n, cfg, rng);
+      }
+    });
     Fig2Point pt;
     pt.satellites = n;
     pt.trials = trials;
     double latSum = 0.0, e2eSum = 0.0, hopSum = 0.0;
-    for (int t = 0; t < trials; ++t) {
-      const Fig2Trial trial = runFig2Trial(n, cfg, rng);
+    for (const Fig2Trial& trial : results) {
       if (trial.connected) {
         ++pt.connectedTrials;
         latSum += trial.latencyS;
@@ -153,23 +120,38 @@ std::vector<Fig2CoveragePoint> fig2CoverageSweep(
   }
   if (trials < 1) throw InvalidArgumentError("fig2CoverageSweep: trials < 1");
 
+  struct TrialResult {
+    double worstCase = 0.0;
+    double monteCarlo = 0.0;
+    double effective = 0.0;
+  };
+
   std::vector<Fig2CoveragePoint> out;
   out.reserve(satelliteCounts.size());
+  const std::size_t trialCount = static_cast<std::size_t>(trials);
+  std::vector<TrialResult> results(trialCount);
   for (const int n : satelliteCounts) {
-    Rng rng(seed ^ (static_cast<std::uint64_t>(n) *
-                    std::uint64_t{0xD1B54A32D192ED03ull}));
+    parallelFor(trialCount, 1, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t t = begin; t < end; ++t) {
+        Rng rng(trialSeed(seed, kCoverageSalt, n, t));
+        const auto sats = makeRandomConstellation(n, cfg.altitudeM, rng);
+        // Both estimators hit the same SnapshotCache entry: the
+        // constellation is propagated once per trial, not twice.
+        const CoverageEstimate wc =
+            worstCaseOverlapCoverage(sats, cfg.tSeconds, cfg.minElevationRad);
+        const CoverageEstimate mc = monteCarloCoverage(
+            sats, cfg.tSeconds, cfg.minElevationRad, 2'000, rng);
+        results[t] = {wc.coverageFraction, mc.coverageFraction,
+                      static_cast<double>(wc.effectiveSatellites)};
+      }
+    });
     Fig2CoveragePoint pt;
     pt.satellites = n;
     double wcSum = 0.0, mcSum = 0.0, effSum = 0.0;
-    for (int t = 0; t < trials; ++t) {
-      const auto sats = makeRandomConstellation(n, cfg.altitudeM, rng);
-      const CoverageEstimate wc =
-          worstCaseOverlapCoverage(sats, cfg.tSeconds, cfg.minElevationRad);
-      const CoverageEstimate mc = monteCarloCoverage(
-          sats, cfg.tSeconds, cfg.minElevationRad, 2'000, rng);
-      wcSum += wc.coverageFraction;
-      mcSum += mc.coverageFraction;
-      effSum += wc.effectiveSatellites;
+    for (const TrialResult& r : results) {
+      wcSum += r.worstCase;
+      mcSum += r.monteCarlo;
+      effSum += r.effective;
     }
     pt.worstCaseCoverage = wcSum / trials;
     pt.monteCarloCoverage = mcSum / trials;

@@ -7,6 +7,7 @@
 #include <openspace/geo/error.hpp>
 #include <openspace/geo/units.hpp>
 #include <openspace/geo/wgs84.hpp>
+#include <openspace/orbit/snapshot.hpp>
 #include <openspace/orbit/visibility.hpp>
 
 namespace openspace {
@@ -76,19 +77,16 @@ double PopulationModel::demandWeightedCoverage(
     throw InvalidArgumentError("demandWeightedCoverage: samples must be > 0");
   }
   if (sats.empty()) return 0.0;
-  std::vector<Vec3> eci(sats.size());
-  for (std::size_t i = 0; i < sats.size(); ++i) {
-    eci[i] = positionEci(sats[i], tSeconds);
-  }
+  const auto snap = SnapshotCache::global().at(sats, tSeconds);
+  const std::vector<Vec3>& satEcef = snap->ecef();
   const auto users = sampleUsers(samples, rng);
   double total = 0.0;
   double covered = 0.0;
   for (const SampledUser& u : users) {
     total += u.weight;
     const Vec3 userEcef = geodeticToEcef(u.location);
-    for (const Vec3& sat : eci) {
-      if (elevationAngleRad(userEcef, eciToEcef(sat, tSeconds)) >=
-          minElevationRad) {
+    for (const Vec3& sat : satEcef) {
+      if (elevationAngleRad(userEcef, sat) >= minElevationRad) {
         covered += u.weight;
         break;
       }

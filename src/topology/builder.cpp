@@ -5,6 +5,7 @@
 
 #include <openspace/geo/error.hpp>
 #include <openspace/geo/units.hpp>
+#include <openspace/orbit/snapshot.hpp>
 #include <openspace/orbit/visibility.hpp>
 #include <openspace/phy/linkbudget.hpp>
 
@@ -118,11 +119,13 @@ NetworkGraph TopologyBuilder::snapshot(double tSeconds,
   NetworkGraph g;
 
   // --- nodes -----------------------------------------------------------
+  // One shared propagation of the whole fleet (LRU-cached across repeated
+  // snapshots of the same instant).
   const auto& sats = ephemeris_.satellites();
-  std::vector<Vec3> satEci(sats.size());
+  const auto snap = SnapshotCache::global().at(ephemeris_, tSeconds);
+  const std::vector<Vec3>& satEci = snap->eci();
   for (std::size_t i = 0; i < sats.size(); ++i) {
     const auto& rec = ephemeris_.record(sats[i]);
-    satEci[i] = positionEci(rec.elements, tSeconds);
     Node n;
     n.id = satNodes_.at(sats[i]);
     n.kind = NodeKind::Satellite;
@@ -217,8 +220,13 @@ NetworkGraph TopologyBuilder::snapshot(double tSeconds,
       break;
     }
     case IslWiring::AllInRange: {
+      // Candidate pairs from the snapshot's spatially pruned adjacency
+      // (range + line-of-sight prefiltered) instead of an all-pairs scan.
+      const auto isl = snap->islTopology(opt.maxIslRangeM);
       for (std::size_t i = 0; i < sats.size(); ++i) {
-        for (std::size_t j = i + 1; j < sats.size(); ++j) tryAddIsl(i, j);
+        for (const auto& neighbor : isl->adjacency[i]) {
+          if (neighbor.first > i) tryAddIsl(i, neighbor.first);
+        }
       }
       break;
     }
@@ -230,7 +238,7 @@ NetworkGraph TopologyBuilder::snapshot(double tSeconds,
     for (const auto& site : sites) {
       const Vec3 siteEcef = geodeticToEcef(site.site.location);
       for (std::size_t i = 0; i < sats.size(); ++i) {
-        const Vec3 satEcef = eciToEcef(satEci[i], tSeconds);
+        const Vec3& satEcef = snap->ecef(i);
         const double elev = elevationAngleRad(siteEcef, satEcef);
         if (elev < opt.minElevationRad) continue;
         const double dist = siteEcef.distanceTo(satEcef);

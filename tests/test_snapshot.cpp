@@ -1,0 +1,408 @@
+// Unit tests for the constellation-snapshot engine: the parallel-for
+// primitive, snapshot correctness against brute-force propagation, the
+// spatially pruned ISL adjacency, the snapshot LRU cache, and the
+// determinism contract (parallel == serial, bit for bit).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include <openspace/concurrency/parallel.hpp>
+#include <openspace/coverage/coverage.hpp>
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/geo/wgs84.hpp>
+#include <openspace/orbit/ephemeris.hpp>
+#include <openspace/orbit/snapshot.hpp>
+#include <openspace/orbit/visibility.hpp>
+#include <openspace/orbit/walker.hpp>
+#include <openspace/sim/fig2.hpp>
+
+namespace openspace {
+namespace {
+
+/// Restores the ambient worker count when a test overrides it.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(parallelThreadCount()) {}
+  ~ThreadCountGuard() { setParallelThreadCount(saved_); }
+
+ private:
+  int saved_;
+};
+
+std::vector<OrbitalElements> testConstellation(int n, std::uint64_t seed = 7) {
+  Rng rng(seed);
+  return makeRandomConstellation(n, km(780.0), rng);
+}
+
+// --- parallelFor ---------------------------------------------------------
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  for (const int threads : {1, 4}) {
+    setParallelThreadCount(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    for (auto& h : hits) h = 0;
+    parallelFor(hits.size(), 64, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) ++hits[i];
+    });
+    for (const auto& h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ParallelFor, ChunkBoundariesAreFixed) {
+  ThreadCountGuard guard;
+  // The decomposition must not depend on the thread count: record the
+  // (begin, end) pairs serially and check the parallel run sees the same
+  // set.
+  const std::size_t count = 107, chunk = 10;
+  std::vector<std::pair<std::size_t, std::size_t>> serial;
+  setParallelThreadCount(1);
+  parallelFor(count, chunk, [&](std::size_t b, std::size_t e) {
+    serial.emplace_back(b, e);
+  });
+  ASSERT_EQ(serial.size(), 11u);
+  EXPECT_EQ(serial.back().second, count);  // short tail chunk
+
+  setParallelThreadCount(4);
+  std::vector<std::atomic<bool>> seen(serial.size());
+  for (auto& s : seen) s = false;
+  parallelFor(count, chunk, [&](std::size_t b, std::size_t e) {
+    ASSERT_EQ(b % chunk, 0u);
+    EXPECT_EQ(e, std::min(b + chunk, count));
+    seen[b / chunk] = true;
+  });
+  for (const auto& s : seen) EXPECT_TRUE(s);
+}
+
+TEST(ParallelFor, EmptyRangeAndZeroChunk) {
+  int calls = 0;
+  parallelFor(0, 8, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_THROW(parallelFor(10, 0, [](std::size_t, std::size_t) {}),
+               InvalidArgumentError);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  ThreadCountGuard guard;
+  for (const int threads : {1, 4}) {
+    setParallelThreadCount(threads);
+    EXPECT_THROW(
+        parallelFor(100, 8,
+                    [](std::size_t begin, std::size_t) {
+                      if (begin >= 32) throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+  }
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  ThreadCountGuard guard;
+  setParallelThreadCount(4);
+  std::atomic<int> total{0};
+  parallelFor(8, 1, [&](std::size_t, std::size_t) {
+    parallelFor(8, 1, [&](std::size_t, std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total, 64);
+}
+
+TEST(ParallelFor, ThreadCountOverrideClamps) {
+  ThreadCountGuard guard;
+  setParallelThreadCount(-3);
+  EXPECT_EQ(parallelThreadCount(), 1);
+  setParallelThreadCount(5);
+  EXPECT_EQ(parallelThreadCount(), 5);
+}
+
+// --- ConstellationSnapshot ----------------------------------------------
+
+TEST(Snapshot, MatchesBruteForcePropagation) {
+  const auto sats = testConstellation(24);
+  const double t = 345.6;
+  const ConstellationSnapshot snap(sats, t);
+  ASSERT_EQ(snap.size(), sats.size());
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    const Vec3 eci = positionEci(sats[i], t);
+    const Vec3 ecef = eciToEcef(eci, t);
+    EXPECT_DOUBLE_EQ(snap.eci(i).x, eci.x);
+    EXPECT_DOUBLE_EQ(snap.eci(i).y, eci.y);
+    EXPECT_DOUBLE_EQ(snap.eci(i).z, eci.z);
+    EXPECT_DOUBLE_EQ(snap.ecef(i).x, ecef.x);
+    EXPECT_DOUBLE_EQ(snap.ecef(i).y, ecef.y);
+    EXPECT_DOUBLE_EQ(snap.ecef(i).z, ecef.z);
+  }
+}
+
+TEST(Snapshot, EphemerisConstructorFollowsPublicationOrder) {
+  const auto sats = testConstellation(10);
+  EphemerisService eph;
+  for (const auto& el : sats) eph.publish(1, el);
+  const double t = 100.0;
+  const ConstellationSnapshot snap(eph, t);
+  ASSERT_EQ(snap.size(), sats.size());
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    const Vec3 eci = eph.positionEci(eph.satellites()[i], t);
+    EXPECT_DOUBLE_EQ(snap.eci(i).x, eci.x);
+    EXPECT_DOUBLE_EQ(snap.eci(i).y, eci.y);
+    EXPECT_DOUBLE_EQ(snap.eci(i).z, eci.z);
+  }
+}
+
+TEST(Snapshot, ClosestVisibleMatchesBruteForce) {
+  const auto sats = testConstellation(40);
+  const double t = 0.0;
+  const ConstellationSnapshot snap(sats, t);
+  const Geodetic site{deg2rad(40.44), deg2rad(-79.99), 0.0};  // Pittsburgh
+  const Vec3 siteEcef = geodeticToEcef(site);
+  const double minElev = deg2rad(10.0);
+
+  std::optional<std::size_t> expect;
+  double best = 0.0;
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    const Vec3 satEcef = eciToEcef(positionEci(sats[i], t), t);
+    if (elevationAngleRad(siteEcef, satEcef) < minElev) continue;
+    const double d = siteEcef.distanceTo(satEcef);
+    if (!expect || d < best) {
+      expect = i;
+      best = d;
+    }
+  }
+  EXPECT_EQ(snap.closestVisible(site, minElev), expect);
+
+  // A site with the mask at zenith sees nothing.
+  EXPECT_EQ(snap.closestVisible(site, deg2rad(89.9)), std::nullopt);
+}
+
+TEST(Snapshot, IslTopologyMatchesAllPairsScan) {
+  const auto sats = testConstellation(48);
+  const double t = 12.0, maxRange = 3'000'000.0;
+  const ConstellationSnapshot snap(sats, t);
+  const auto isl = snap.islTopology(maxRange);
+  ASSERT_EQ(isl->adjacency.size(), sats.size());
+  EXPECT_DOUBLE_EQ(isl->maxRangeM, maxRange);
+
+  std::size_t expectLinks = 0;
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    std::vector<std::pair<std::size_t, double>> expect;
+    for (std::size_t j = 0; j < sats.size(); ++j) {
+      if (j == i) continue;
+      const double d = snap.eci(i).distanceTo(snap.eci(j));
+      if (d <= maxRange && lineOfSightClear(snap.eci(i), snap.eci(j), km(80.0))) {
+        expect.emplace_back(j, d);
+      }
+    }
+    expectLinks += expect.size();
+    ASSERT_EQ(isl->adjacency[i].size(), expect.size()) << "sat " << i;
+    for (std::size_t n = 0; n < expect.size(); ++n) {
+      EXPECT_EQ(isl->adjacency[i][n].first, expect[n].first);
+      EXPECT_DOUBLE_EQ(isl->adjacency[i][n].second, expect[n].second);
+    }
+  }
+  EXPECT_EQ(isl->linkCount, expectLinks / 2);
+
+  // Same parameters must return the identical cached object.
+  EXPECT_EQ(snap.islTopology(maxRange).get(), isl.get());
+  // Different parameters rebuild.
+  EXPECT_NE(snap.islTopology(maxRange * 2).get(), isl.get());
+}
+
+TEST(Snapshot, GridPrunedAdjacencyMatchesAllPairs) {
+  // Above the brute-force cutoff the adjacency comes from the spatial
+  // grid; it must agree edge-for-edge with the all-pairs definition.
+  const auto sats = testConstellation(300, 11);
+  const double maxRange = 2'000'000.0;
+  const ConstellationSnapshot snap(sats, 5.0);
+  const auto isl = snap.islTopology(maxRange);
+
+  std::size_t expectLinks = 0;
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    std::vector<std::pair<std::size_t, double>> expect;
+    for (std::size_t j = 0; j < sats.size(); ++j) {
+      if (j == i) continue;
+      const double d = snap.eci(i).distanceTo(snap.eci(j));
+      if (d <= maxRange && lineOfSightClear(snap.eci(i), snap.eci(j), km(80.0))) {
+        expect.emplace_back(j, d);
+      }
+    }
+    expectLinks += expect.size();
+    ASSERT_EQ(isl->adjacency[i], expect) << "sat " << i;
+  }
+  EXPECT_EQ(isl->linkCount, expectLinks / 2);
+}
+
+TEST(Snapshot, ShortestIslPathSelfAndDisconnected) {
+  const auto sats = testConstellation(16);
+  const ConstellationSnapshot snap(sats, 0.0);
+  const auto self = snap.shortestIslPath(3, 3, 3'000'000.0);
+  ASSERT_TRUE(self.has_value());
+  EXPECT_DOUBLE_EQ(self->first, 0.0);
+  EXPECT_EQ(self->second, 0);
+
+  // A max range below any pairwise distance disconnects everything.
+  EXPECT_FALSE(snap.shortestIslPath(0, 1, 1.0).has_value());
+}
+
+TEST(Snapshot, FootprintIndexMatchesElevationTest) {
+  const auto sats = testConstellation(20);
+  const double t = 0.0, minElev = deg2rad(10.0);
+  const ConstellationSnapshot snap(sats, t);
+  const FootprintIndex fp(snap, minElev);
+  ASSERT_EQ(fp.size(), sats.size());
+
+  Rng rng(99);
+  for (int s = 0; s < 200; ++s) {
+    const Vec3 unit = rng.unitSphere();
+    const Vec3 surfEci = unit * wgs84::kMeanRadiusM;
+    bool any = false;
+    int count = 0;
+    for (std::size_t i = 0; i < sats.size(); ++i) {
+      const bool covered = elevationAngleRad(surfEci, snap.eci(i)) >= minElev;
+      EXPECT_EQ(fp.covers(unit, i), covered) << "sample " << s << " sat " << i;
+      any |= covered;
+      count += covered ? 1 : 0;
+    }
+    EXPECT_EQ(fp.anyCovers(unit), any);
+    EXPECT_EQ(fp.countCovering(unit, static_cast<int>(sats.size())), count);
+  }
+}
+
+// --- SnapshotCache -------------------------------------------------------
+
+TEST(SnapshotCacheTest, HitOnSameKeyMissOnDifferent) {
+  SnapshotCache cache(4);
+  const auto sats = testConstellation(8);
+
+  const auto a = cache.at(sats, 100.0);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // Exact repeat and a sub-microsecond perturbation both hit.
+  EXPECT_EQ(cache.at(sats, 100.0).get(), a.get());
+  EXPECT_EQ(cache.at(sats, 100.0 + 1e-8).get(), a.get());
+  EXPECT_EQ(cache.hits(), 2u);
+
+  // A different time misses.
+  const auto b = cache.at(sats, 200.0);
+  EXPECT_NE(b.get(), a.get());
+  EXPECT_EQ(cache.misses(), 2u);
+
+  // A modified element invalidates (different constellation hash).
+  auto mutated = sats;
+  mutated[0].raanRad += 1e-9;
+  EXPECT_NE(cache.at(mutated, 100.0).get(), a.get());
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(SnapshotCacheTest, LruEviction) {
+  SnapshotCache cache(2);
+  const auto sats = testConstellation(6);
+
+  const auto a = cache.at(sats, 1.0);
+  cache.at(sats, 2.0);
+  // Touch t=1 so t=2 is the least recently used...
+  EXPECT_EQ(cache.at(sats, 1.0).get(), a.get());
+  // ...then insert a third entry, evicting t=2.
+  cache.at(sats, 3.0);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.at(sats, 1.0).get(), a.get());  // still cached
+  const std::size_t missesBefore = cache.misses();
+  cache.at(sats, 2.0);  // evicted: must rebuild
+  EXPECT_EQ(cache.misses(), missesBefore + 1);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SnapshotCacheTest, EphemerisAndElementListShareEntries) {
+  SnapshotCache cache(4);
+  const auto sats = testConstellation(5);
+  EphemerisService eph;
+  for (const auto& el : sats) eph.publish(1, el);
+
+  const auto a = cache.at(sats, 50.0);
+  EXPECT_EQ(cache.at(eph, 50.0).get(), a.get());
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+// --- Determinism: parallel == serial, bit for bit ------------------------
+
+TEST(Determinism, MonteCarloCoverage) {
+  ThreadCountGuard guard;
+  const auto sats = testConstellation(30);
+
+  setParallelThreadCount(1);
+  Rng serialRng(42);
+  const auto serial =
+      monteCarloCoverage(sats, 0.0, deg2rad(10.0), 20'000, serialRng);
+
+  setParallelThreadCount(4);
+  Rng parallelRng(42);
+  const auto parallel =
+      monteCarloCoverage(sats, 0.0, deg2rad(10.0), 20'000, parallelRng);
+
+  EXPECT_EQ(serial.coverageFraction, parallel.coverageFraction);
+  // Both paths must advance the caller's stream identically too.
+  EXPECT_EQ(serialRng.engine()(), parallelRng.engine()());
+}
+
+TEST(Determinism, KFoldCoverage) {
+  ThreadCountGuard guard;
+  const auto sats = testConstellation(40);
+
+  setParallelThreadCount(1);
+  Rng serialRng(43);
+  const double serial = kFoldCoverage(sats, 0.0, deg2rad(10.0), 2, 10'000, serialRng);
+
+  setParallelThreadCount(4);
+  Rng parallelRng(43);
+  const double parallel =
+      kFoldCoverage(sats, 0.0, deg2rad(10.0), 2, 10'000, parallelRng);
+
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Determinism, Fig2LatencySweep) {
+  ThreadCountGuard guard;
+  const std::vector<int> counts = {4, 12, 24};
+  const Fig2Config cfg;
+
+  setParallelThreadCount(1);
+  const auto serial = fig2LatencySweep(counts, 40, cfg, 2024);
+  setParallelThreadCount(4);
+  const auto parallel = fig2LatencySweep(counts, 40, cfg, 2024);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].connectedTrials, parallel[i].connectedTrials);
+    EXPECT_EQ(serial[i].connectivity, parallel[i].connectivity);
+    EXPECT_EQ(serial[i].meanLatencyS, parallel[i].meanLatencyS);
+    EXPECT_EQ(serial[i].meanEndToEndLatencyS, parallel[i].meanEndToEndLatencyS);
+    EXPECT_EQ(serial[i].meanIslHops, parallel[i].meanIslHops);
+  }
+}
+
+TEST(Determinism, Fig2CoverageSweep) {
+  ThreadCountGuard guard;
+  const std::vector<int> counts = {6, 18};
+  Fig2Config cfg;
+  cfg.minElevationRad = deg2rad(10.0);
+
+  setParallelThreadCount(1);
+  const auto serial = fig2CoverageSweep(counts, 10, cfg, 2024);
+  setParallelThreadCount(4);
+  const auto parallel = fig2CoverageSweep(counts, 10, cfg, 2024);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].worstCaseCoverage, parallel[i].worstCaseCoverage);
+    EXPECT_EQ(serial[i].monteCarloCoverage, parallel[i].monteCarloCoverage);
+    EXPECT_EQ(serial[i].meanEffectiveSatellites,
+              parallel[i].meanEffectiveSatellites);
+  }
+}
+
+}  // namespace
+}  // namespace openspace
