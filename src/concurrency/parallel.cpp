@@ -87,16 +87,22 @@ class ThreadPool {
     tInParallelRegion = true;
     job.runChunks();
     tInParallelRegion = false;
+    // Every chunk index is claimed once the caller's runChunks returns, so
+    // a worker registering now would do no work. Unpublish the job BEFORE
+    // waiting for completion: a late-waking worker then sees job_ == nullptr
+    // and can never register against a job whose wait may already have been
+    // satisfied (which would let the caller destroy the stack-allocated Job
+    // while the worker still holds a pointer to it).
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = nullptr;
+    }
     {
       std::unique_lock<std::mutex> lock(job.doneMutex);
       job.doneCv.wait(lock, [&] {
         return job.chunksDone.load(std::memory_order_acquire) == job.numChunks &&
                job.activeWorkers.load(std::memory_order_acquire) == 0;
       });
-    }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      job_ = nullptr;
     }
     if (job.error) std::rethrow_exception(job.error);
   }
@@ -136,8 +142,13 @@ class ThreadPool {
       tInParallelRegion = true;
       job->runChunks();
       tInParallelRegion = false;
-      if (job->activeWorkers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Deregister while holding doneMutex: the caller's completion wait
+      // evaluates its predicate under the same lock, so it cannot observe
+      // activeWorkers == 0 and destroy the Job between our decrement and
+      // this notify.
+      {
         std::lock_guard<std::mutex> lock(job->doneMutex);
+        job->activeWorkers.fetch_sub(1, std::memory_order_acq_rel);
         job->doneCv.notify_all();
       }
     }

@@ -46,7 +46,7 @@ struct IslTopology {
   std::size_t linkCount = 0;
 };
 
-/// Order-independent 64-bit hash of a constellation's orbital elements
+/// Order-dependent 64-bit hash of a constellation's orbital elements
 /// (FNV-1a over the raw element doubles, in order — two element lists hash
 /// equal iff they are bitwise identical in the same order).
 std::uint64_t constellationHash(const std::vector<OrbitalElements>& elements);
@@ -178,7 +178,12 @@ class SnapshotCache {
   };
   using Entry = std::pair<Key, std::shared_ptr<const ConstellationSnapshot>>;
 
-  std::shared_ptr<const ConstellationSnapshot> lookup(
+  /// Cache probe under the lock; returns the entry (promoted to MRU) or
+  /// nullptr on a miss. Counts the hit/miss either way.
+  std::shared_ptr<const ConstellationSnapshot> probe(const Key& key);
+  /// Build the snapshot (outside the lock) and insert it, resolving a
+  /// racing duplicate insert in favor of the first.
+  std::shared_ptr<const ConstellationSnapshot> insert(
       const Key& key, std::vector<OrbitalElements>&& elements, double tSeconds);
 
   std::size_t capacity_;

@@ -51,6 +51,14 @@ std::int64_t cellKey(std::int64_t cx, std::int64_t cy, std::int64_t cz) noexcept
   return ((cx + kOffset) << 42) | ((cy + kOffset) << 21) | (cz + kOffset);
 }
 
+/// True iff a grid coordinate fits the 21-bit per-axis budget of cellKey,
+/// with one cell of headroom on each side for the ±1 neighbor lookups.
+/// Coordinates outside this range would silently alias across axes.
+bool cellCoordFits(std::int64_t c) noexcept {
+  constexpr std::int64_t kMax = (1 << 20) - 2;
+  return c >= -kMax && c <= kMax;
+}
+
 }  // namespace
 
 std::uint64_t constellationHash(const std::vector<OrbitalElements>& elements) {
@@ -134,9 +142,11 @@ std::shared_ptr<const IslTopology> ConstellationSnapshot::islTopology(
   topo->adjacency.resize(n);
   // Below a few hundred satellites the all-pairs scan beats the grid's
   // bucket-allocation and hash-probe overhead; the output is identical
-  // (same edge predicate, neighbors naturally in index order).
+  // (same edge predicate, neighbors naturally in index order). It is also
+  // the fallback when the grid coordinates would overflow cellKey's
+  // per-axis budget (tiny maxRangeM relative to the position magnitudes).
   constexpr std::size_t kBruteForceMax = 256;
-  if (n > 1 && n <= kBruteForceMax) {
+  const auto bruteForce = [&] {
     parallelFor(n, kAdjacencyChunk, [&](std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) {
         auto& adj = topo->adjacency[i];
@@ -149,17 +159,29 @@ std::shared_ptr<const IslTopology> ConstellationSnapshot::islTopology(
         }
       }
     });
-  } else if (n > 1) {
-    // Sorted-bucket spatial pruning: hash satellites into grid cells of
-    // side maxRangeM; any in-range pair lies in the same or an adjacent
-    // cell, so each satellite scans at most 27 buckets instead of all n.
+  };
+  // Sorted-bucket spatial pruning for larger fleets: hash satellites into
+  // grid cells of side maxRangeM; any in-range pair lies in the same or an
+  // adjacent cell, so each satellite scans at most 27 buckets instead of
+  // all n.
+  bool gridFits = n > kBruteForceMax;
+  std::vector<std::array<std::int64_t, 3>> coords;
+  if (gridFits) {
     const double cell = maxRangeM;
-    std::unordered_map<std::int64_t, std::vector<std::size_t>> buckets;
-    std::vector<std::array<std::int64_t, 3>> coords(n);
-    for (std::size_t i = 0; i < n; ++i) {
+    coords.resize(n);
+    for (std::size_t i = 0; i < n && gridFits; ++i) {
       coords[i] = {static_cast<std::int64_t>(std::floor(eci_[i].x / cell)),
                    static_cast<std::int64_t>(std::floor(eci_[i].y / cell)),
                    static_cast<std::int64_t>(std::floor(eci_[i].z / cell))};
+      gridFits = cellCoordFits(coords[i][0]) && cellCoordFits(coords[i][1]) &&
+                 cellCoordFits(coords[i][2]);
+    }
+  }
+  if (n > 1 && !gridFits) {
+    bruteForce();
+  } else if (n > 1) {
+    std::unordered_map<std::int64_t, std::vector<std::size_t>> buckets;
+    for (std::size_t i = 0; i < n; ++i) {
       buckets[cellKey(coords[i][0], coords[i][1], coords[i][2])].push_back(i);
     }
     parallelFor(n, kAdjacencyChunk, [&](std::size_t begin, std::size_t end) {
@@ -274,7 +296,10 @@ std::shared_ptr<const ConstellationSnapshot> SnapshotCache::at(
     const std::vector<OrbitalElements>& elements, double tSeconds) {
   const Key key{constellationHash(elements), elements.size(),
                 std::llround(tSeconds * 1e6)};
-  return lookup(key, std::vector<OrbitalElements>(elements), tSeconds);
+  // Probe first so a hit never pays the O(n) element copy; the copy is
+  // materialized only on the miss path that actually builds a snapshot.
+  if (auto hit = probe(key)) return hit;
+  return insert(key, std::vector<OrbitalElements>(elements), tSeconds);
 }
 
 std::shared_ptr<const ConstellationSnapshot> SnapshotCache::at(
@@ -282,21 +307,25 @@ std::shared_ptr<const ConstellationSnapshot> SnapshotCache::at(
   std::vector<OrbitalElements> elements = elementsOf(ephemeris);
   const Key key{constellationHash(elements), elements.size(),
                 std::llround(tSeconds * 1e6)};
-  return lookup(key, std::move(elements), tSeconds);
+  if (auto hit = probe(key)) return hit;
+  return insert(key, std::move(elements), tSeconds);
 }
 
-std::shared_ptr<const ConstellationSnapshot> SnapshotCache::lookup(
-    const Key& key, std::vector<OrbitalElements>&& elements, double tSeconds) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = index_.find(key);
-    if (it != index_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
-      ++hits_;
-      return lru_.front().second;
-    }
-    ++misses_;
+std::shared_ptr<const ConstellationSnapshot> SnapshotCache::probe(
+    const Key& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return lru_.front().second;
   }
+  ++misses_;
+  return nullptr;
+}
+
+std::shared_ptr<const ConstellationSnapshot> SnapshotCache::insert(
+    const Key& key, std::vector<OrbitalElements>&& elements, double tSeconds) {
   // Propagate outside the lock so concurrent misses on different
   // constellations do not serialize; a racing duplicate insert is resolved
   // below in favor of the first.
