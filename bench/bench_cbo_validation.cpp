@@ -48,7 +48,7 @@ int main() {
 
   // Walker Star ISL simplicity: +grid link feasibility at t=0.
   EphemerisService eph;
-  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(1, el);
+  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(ProviderId{1}, el);
   TopologyBuilder topo(eph);
   SnapshotOptions opt;
   opt.wiring = IslWiring::PlusGrid;

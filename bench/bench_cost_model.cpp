@@ -39,7 +39,7 @@ int main() {
               "6 roaming users\n\n");
   std::printf("packets offered=%zu delivered=%zu dropped=%zu loss=%.4f\n",
               rep.packetsOffered, rep.packetsDelivered, rep.packetsDropped,
-              rep.lossRate);
+              rep.lossProbability);
   if (rep.packetsDelivered > 0) {
     std::printf("latency mean=%.2f ms p95=%.2f ms\n",
                 toMilliseconds(rep.meanLatencyS),
@@ -51,7 +51,7 @@ int main() {
   std::printf("%-8s %-8s %-14s %-12s\n", "payer", "payee", "transit_MB",
               "amount_usd");
   for (const auto& item : rep.settlement) {
-    std::printf("%-8u %-8u %-14.3f %-12.6f\n", item.payer, item.payee,
+    std::printf("%-8u %-8u %-14.3f %-12.6f\n", item.payer.value(), item.payee.value(),
                 item.bytes / 1e6, item.amountUsd);
   }
   std::printf("\ntotal settlement: $%.6f\n", rep.totalSettlementUsd);
@@ -61,7 +61,7 @@ int main() {
               peers.size());
   for (const auto& p : peers) {
     std::printf("  providers %u <-> %u  (%.2f MB / %.2f MB, symmetry %.2f)\n",
-                p.a, p.b, p.aCarriedForB / 1e6, p.bCarriedForA / 1e6,
+                p.a.value(), p.b.value(), p.aCarriedForB / 1e6, p.bCarriedForA / 1e6,
                 p.symmetry);
   }
 

@@ -52,8 +52,8 @@ int main() {
   std::printf("%-6s %-10s %-10s %-10s\n", "sat", "owner", "lat_deg", "lon_deg");
   for (std::size_t i = 0; i < sats.size(); ++i) {
     const Geodetic gd = ecefToGeodetic(snap->ecef(i));
-    std::printf("%-6u %-10u %-10.2f %-10.2f\n", sats[i],
-                eph.record(sats[i]).owner, rad2deg(gd.latitudeRad),
+    std::printf("%-6u %-10u %-10.2f %-10.2f\n", sats[i].value(),
+                eph.record(sats[i]).owner.value(), rad2deg(gd.latitudeRad),
                 rad2deg(gd.longitudeRad));
   }
 

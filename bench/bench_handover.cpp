@@ -16,7 +16,7 @@ int main() {
   using namespace openspace;
 
   EphemerisService eph;
-  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(1, el);
+  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(ProviderId{1}, el);
 
   const HandoverPlanner planner(eph, deg2rad(10.0));
   const Geodetic user = Geodetic::fromDegrees(40.4406, -79.9959);  // Pittsburgh
@@ -56,7 +56,7 @@ int main() {
     wc.planes = (n % 11 == 0) ? n / 11 : 6;
     if (n % wc.planes != 0) wc.planes = 1;
     wc.phasing = wc.phasing % wc.planes;
-    for (const auto& el : makeWalkerStar(wc)) e2.publish(1, el);
+    for (const auto& el : makeWalkerStar(wc)) e2.publish(ProviderId{1}, el);
     const HandoverPlanner p2(e2, deg2rad(10.0));
     const auto tl = simulateHandovers(p2, user, 0.0, horizon,
                                       HandoverMode::Predictive);

@@ -54,7 +54,7 @@ int main() {
     }
     const auto meshRep = runPathVector(providers, meshLinks);
     std::printf("%-10d %-10s %-12.3f %-14.2f %-12d %-12d\n", k, "mesh",
-                meshRep.reachability, meshRep.meanPathLength, meshRep.rounds,
+                meshRep.reachability, meshRep.meanPathHops, meshRep.rounds,
                 meshRep.messages);
 
     // Gao-Rexford: impose a hierarchy the physical mesh does not have —
@@ -63,10 +63,10 @@ int main() {
     std::vector<ProviderLink> grLinks;
     for (const auto& [a, b] : adjacency) {
       ProviderLink l{a, b, Relationship::Peer, Relationship::Peer};
-      if (a == 1) {
+      if (a == ProviderId{1}) {
         l.aToB = Relationship::Customer;  // 1 sees b as customer
         l.bToA = Relationship::Provider;
-      } else if (b == 1) {
+      } else if (b == ProviderId{1}) {
         l.bToA = Relationship::Customer;
         l.aToB = Relationship::Provider;
       }
@@ -74,7 +74,7 @@ int main() {
     }
     const auto grRep = runPathVector(providers, grLinks);
     std::printf("%-10d %-10s %-12.3f %-14.2f %-12d %-12d\n", k, "gao-rex",
-                grRep.reachability, grRep.meanPathLength, grRep.rounds,
+                grRep.reachability, grRep.meanPathHops, grRep.rounds,
                 grRep.messages);
   }
 
@@ -88,7 +88,7 @@ int main() {
     wc.totalSatellites = n;
     wc.planes = 6;
     wc.totalSatellites -= wc.totalSatellites % wc.planes;
-    for (const auto& el : makeWalkerStar(wc)) eph.publish(1, el);
+    for (const auto& el : makeWalkerStar(wc)) eph.publish(ProviderId{1}, el);
     TopologyBuilder topo(eph);
     SnapshotOptions opt;
     opt.wiring = IslWiring::PlusGrid;

@@ -25,7 +25,7 @@ int main() {
 
   for (const double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
     EphemerisService eph;
-    for (const auto& el : makeWalkerStar(wc)) eph.publish(1, el);
+    for (const auto& el : makeWalkerStar(wc)) eph.publish(ProviderId{1}, el);
     TopologyBuilder topo(eph);
 
     const auto sats = eph.satellites();
@@ -38,9 +38,9 @@ int main() {
       topo.setCapabilities(sats[i], caps);
     }
     const NodeId userNode = topo.addUser(
-        {"sydney-user", Geodetic::fromDegrees(-33.87, 151.21), 1});
-    const NodeId gwNode = topo.addGroundStation(
-        {"frankfurt-gw", Geodetic::fromDegrees(50.11, 8.68), 2});
+        {"sydney-user", Geodetic::fromDegrees(-33.87, 151.21), ProviderId{1}});
+    const NodeId gwNode = topo.nodeOf(topo.addGroundStation(
+        {"frankfurt-gw", Geodetic::fromDegrees(50.11, 8.68), ProviderId{2}}));
 
     SnapshotOptions opt;
     opt.wiring = IslWiring::PlusGrid;

@@ -33,13 +33,13 @@ int main() {
                 "csma/ca", toMilliseconds(c.meanAccessDelayS),
                 toMilliseconds(c.p95AccessDelayS),
                 toMilliseconds(c.meanOverheadS), c.throughputFraction,
-                c.collisionRate);
+                c.collisionFraction);
     const MacSimResult t = simulateTdma(tdma, nodes, duration);
     std::printf("%-7d %-10s %-13.3f %-13.3f %-13.3f %-12.3f %-10.3f\n", nodes,
                 "tdma", toMilliseconds(t.meanAccessDelayS),
                 toMilliseconds(t.p95AccessDelayS),
                 toMilliseconds(t.meanOverheadS), t.throughputFraction,
-                t.collisionRate);
+                t.collisionFraction);
     Rng rng2(static_cast<std::uint64_t>(nodes) * 2000 + 9);
     const MacSimResult res =
         simulateReservationMac(ReservationConfig{}, nodes, duration, rng2);
@@ -47,7 +47,7 @@ int main() {
                 "reserv.", toMilliseconds(res.meanAccessDelayS),
                 toMilliseconds(res.p95AccessDelayS),
                 toMilliseconds(res.meanOverheadS), res.throughputFraction,
-                res.collisionRate);
+                res.collisionFraction);
   }
 
   std::printf("\n# closed-form CSMA/CA per-frame floor (idle channel): %.3f ms\n",

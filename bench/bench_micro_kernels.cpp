@@ -38,7 +38,7 @@ void BM_Snapshot(benchmark::State& state) {
   wc.totalSatellites = static_cast<int>(state.range(0));
   wc.planes = 6;
   wc.totalSatellites -= wc.totalSatellites % 6;
-  for (const auto& el : makeWalkerStar(wc)) eph.publish(1, el);
+  for (const auto& el : makeWalkerStar(wc)) eph.publish(ProviderId{1}, el);
   TopologyBuilder topo(eph);
   SnapshotOptions opt;
   opt.wiring = IslWiring::NearestNeighbors;
@@ -52,7 +52,7 @@ BENCHMARK(BM_Snapshot)->Arg(24)->Arg(66)->Arg(120);
 
 void BM_Dijkstra(benchmark::State& state) {
   EphemerisService eph;
-  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(1, el);
+  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(ProviderId{1}, el);
   TopologyBuilder topo(eph);
   SnapshotOptions opt;
   opt.wiring = IslWiring::PlusGrid;
@@ -83,7 +83,7 @@ BENCHMARK(BM_MonteCarloCoverage)->Arg(500)->Arg(5000);
 
 void BM_FleetDiscovery(benchmark::State& state) {
   EphemerisService eph;
-  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(1, el);
+  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(ProviderId{1}, el);
   for (auto _ : state) {
     state.PauseTiming();
     IslFleet fleet(eph, FleetConfig{});

@@ -17,7 +17,7 @@ int main() {
   using namespace openspace;
 
   EphemerisService eph;
-  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(1, el);
+  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(ProviderId{1}, el);
   TopologyBuilder topo(eph);
 
   struct UserSite {
@@ -32,7 +32,7 @@ int main() {
   };
   std::vector<NodeId> userNodes;
   for (const auto& u : users) {
-    userNodes.push_back(topo.addUser({u.name, u.loc, 1}));
+    userNodes.push_back(topo.addUser({u.name, u.loc, ProviderId{1}}));
   }
   // Gateways in all three regions.
   const std::vector<std::pair<const char*, Geodetic>> gateways = {
@@ -45,7 +45,7 @@ int main() {
   };
   std::vector<NodeId> gatewayNodes;
   for (const auto& [name, loc] : gateways) {
-    gatewayNodes.push_back(topo.addGroundStation({name, loc, 2}));
+    gatewayNodes.push_back(topo.nodeOf(topo.addGroundStation({name, loc, ProviderId{2}})));
   }
 
   SnapshotOptions opt;

@@ -18,14 +18,14 @@ int main() {
   using namespace openspace;
 
   EphemerisService eph;
-  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(1, el);
+  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(ProviderId{1}, el);
   TopologyBuilder topo(eph);
   const NodeId user = topo.addUser(
-      {"nairobi-user", Geodetic::fromDegrees(-1.2921, 36.8219), 10});
-  const NodeId nearGs = topo.addGroundStation(
-      {"mombasa-gw", Geodetic::fromDegrees(-4.0435, 39.6682), 20});
-  const NodeId farGs = topo.addGroundStation(
-      {"johannesburg-gw", Geodetic::fromDegrees(-26.2041, 28.0473), 30});
+      {"nairobi-user", Geodetic::fromDegrees(-1.2921, 36.8219), ProviderId{10}});
+  const NodeId nearGs = topo.nodeOf(topo.addGroundStation(
+      {"mombasa-gw", Geodetic::fromDegrees(-4.0435, 39.6682), ProviderId{20}}));
+  const NodeId farGs = topo.nodeOf(topo.addGroundStation(
+      {"johannesburg-gw", Geodetic::fromDegrees(-26.2041, 28.0473), ProviderId{30}}));
 
   SnapshotOptions opt;
   opt.wiring = IslWiring::PlusGrid;

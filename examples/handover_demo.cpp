@@ -14,7 +14,7 @@ int main() {
   using namespace openspace;
 
   EphemerisService eph;
-  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(1, el);
+  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(ProviderId{1}, el);
   const HandoverPlanner planner(eph, deg2rad(10.0));
 
   const Geodetic user = Geodetic::fromDegrees(-1.2921, 36.8219);  // Nairobi
@@ -31,7 +31,7 @@ int main() {
   int step = 0;
   while (t < horizon && step < 12) {
     const HandoverPlan plan = planner.plan(*serving, user, t, horizon);
-    std::printf("  t=%6.0fs  serving sat-%-3u  until t=%6.0fs", t, *serving,
+    std::printf("  t=%6.0fs  serving sat-%-3u  until t=%6.0fs", t, serving->value(),
                 plan.serviceEndsAtS);
     if (plan.serviceEndsAtS >= horizon) {
       std::printf("  (end of demo window)\n");
@@ -41,7 +41,7 @@ int main() {
       std::printf("  (coverage gap follows - no successor in view)\n");
       break;
     }
-    std::printf("  successor sat-%-3u (visible %5.0fs more)\n", plan.successor,
+    std::printf("  successor sat-%-3u (visible %5.0fs more)\n", plan.successor.value(),
                 plan.successorUntilS - plan.serviceEndsAtS);
     t = plan.serviceEndsAtS;
     serving = plan.successor;

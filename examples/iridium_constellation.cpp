@@ -42,10 +42,10 @@ int main() {
 
   // --- topology + a trans-constellation route ---------------------------
   TopologyBuilder topo(eph);
-  const NodeId tokyo = topo.addGroundStation(
-      {"tokyo-gw", Geodetic::fromDegrees(35.6762, 139.6503), 1});
-  const NodeId saoPaulo = topo.addGroundStation(
-      {"sao-paulo-gw", Geodetic::fromDegrees(-23.5505, -46.6333), 4});
+  const NodeId tokyo = topo.nodeOf(topo.addGroundStation(
+      {"tokyo-gw", Geodetic::fromDegrees(35.6762, 139.6503), ProviderId{1}}));
+  const NodeId saoPaulo = topo.nodeOf(topo.addGroundStation(
+      {"sao-paulo-gw", Geodetic::fromDegrees(-23.5505, -46.6333), ProviderId{4}}));
 
   SnapshotOptions opt;
   opt.wiring = IslWiring::PlusGrid;
@@ -59,7 +59,7 @@ int main() {
     std::printf("Tokyo -> Sao Paulo: %d hops, %.2f ms propagation\n", r.hops(),
                 toMilliseconds(r.propagationDelayS));
     int owners = 0;
-    ProviderId prev = 0;
+    ProviderId prev{};
     for (const NodeId n : r.nodes) {
       const ProviderId p = g.node(n).provider;
       if (p != prev) {

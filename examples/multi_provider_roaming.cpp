@@ -37,25 +37,25 @@ int main() {
   }
   std::printf("user home ISP:      polarnet (provider 1)\n");
   std::printf("serving satellite:  sat-%u (provider %u)%s\n",
-              assoc.servingSatellite, assoc.servingProvider,
-              assoc.servingProvider != 1 ? "  <-- roaming" : "");
+              assoc.servingSatellite.value(), assoc.servingProvider.value(),
+              assoc.servingProvider != ProviderId{1} ? "  <-- roaming" : "");
   std::printf("beacon wait:        %.1f ms\n",
               toMilliseconds(assoc.beaconScanLatencyS));
   std::printf("RADIUS over ISLs:   %.1f ms\n", toMilliseconds(assoc.authLatencyS));
   std::printf("certificate valid:  %.0f s (issued by provider %u)\n",
               assoc.certificate.expiresAtS - assoc.certificate.issuedAtS,
-              assoc.certificate.homeProvider);
+              assoc.certificate.homeProvider.value());
 
   // --- traffic + settlement ----------------------------------------------
   const TrafficReport rep = scenario.runTrafficEpoch(0.0, 5.0, 1e6);
   std::printf("\ntraffic epoch: %zu packets, %.2f ms mean latency, loss %.4f\n",
               rep.packetsDelivered, toMilliseconds(rep.meanLatencyS),
-              rep.lossRate);
+              rep.lossProbability);
   std::printf("ledgers cross-verified: %s\n",
               rep.ledgersCrossVerified ? "yes" : "NO");
   for (const auto& item : rep.settlement) {
     std::printf("provider %u owes provider %u  $%.6f for %.2f MB of transit\n",
-                item.payer, item.payee, item.amountUsd, item.bytes / 1e6);
+                item.payer.value(), item.payee.value(), item.amountUsd, item.bytes / 1e6);
   }
   return 0;
 }

@@ -53,7 +53,7 @@ int cmdGenerate(int argc, char** argv) {
   wc.altitudeM = km(std::atof(argv[4]));
   wc.inclinationRad = deg2rad(std::atof(argv[5]));
   EphemerisService eph;
-  for (const auto& el : makeWalkerStar(wc)) eph.publish(1, el);
+  for (const auto& el : makeWalkerStar(wc)) eph.publish(ProviderId{1}, el);
   saveEphemeris(eph, std::cout);
   return 0;
 }
@@ -79,10 +79,10 @@ int cmdRoute(int argc, char** argv) {
   TopologyBuilder topo(eph);
   const NodeId a = topo.addUser(
       {"site-a", Geodetic::fromDegrees(std::atof(argv[3]), std::atof(argv[4])),
-       1});
-  const NodeId b = topo.addGroundStation(
+       ProviderId{1}});
+  const NodeId b = topo.nodeOf(topo.addGroundStation(
       {"site-b", Geodetic::fromDegrees(std::atof(argv[5]), std::atof(argv[6])),
-       2});
+       ProviderId{2}}));
   SnapshotOptions opt;
   opt.wiring = IslWiring::NearestNeighbors;
   opt.nearestK = 4;

@@ -29,7 +29,7 @@ CertificateAuthority::CertificateAuthority(ProviderId provider,
 
 std::uint64_t CertificateAuthority::expectedTag(const Certificate& cert) const {
   return keyedTag(secret_, std::to_string(cert.user) + '|' +
-                               std::to_string(cert.homeProvider) + '|' +
+                               std::to_string(cert.homeProvider.value()) + '|' +
                                std::to_string(cert.issuedAtS) + '|' +
                                std::to_string(cert.expiresAtS));
 }

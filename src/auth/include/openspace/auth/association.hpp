@@ -31,8 +31,8 @@ std::string_view associationStateName(AssociationState s) noexcept;
 /// Outcome of one association attempt.
 struct AssociationResult {
   bool success = false;
-  SatelliteId servingSatellite = 0;
-  ProviderId servingProvider = 0;
+  SatelliteId servingSatellite{};
+  ProviderId servingProvider{};
   double beaconScanLatencyS = 0.0;  ///< Wait for the chosen satellite's beacon.
   double authLatencyS = 0.0;        ///< RTT of RADIUS over the ISL path.
   double totalLatencyS = 0.0;

@@ -22,7 +22,7 @@ using UserId = std::uint64_t;
 /// A roaming credential issued by a user's home ISP after authentication.
 struct Certificate {
   UserId user = 0;
-  ProviderId homeProvider = 0;
+  ProviderId homeProvider{};
   double issuedAtS = 0.0;
   double expiresAtS = 0.0;
   std::uint64_t tag = 0;  ///< Keyed integrity tag.

@@ -15,7 +15,7 @@ namespace openspace {
 /// Access-Request as carried over the ISL path to the home provider.
 struct AccessRequest {
   UserId user = 0;
-  ProviderId homeProvider = 0;
+  ProviderId homeProvider{};
   std::uint64_t credentialProof = 0;  ///< keyedTag(userSecret, nonce).
   std::string nonce;
 };

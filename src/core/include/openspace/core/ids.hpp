@@ -1,0 +1,92 @@
+// Strong identifier types for every OpenSpace naming domain.
+//
+// The paper's routing and settlement mechanisms (§2.7, §3) require every
+// carrier to compute identical metrics from the shared public topology, so
+// a satellite index silently used as a plane index (or a provider id used
+// as a node id) corrupts results instead of crashing. Each identifier
+// domain therefore gets its own tagged integer type: construction from a
+// raw integer is explicit, cross-domain assignment and comparison do not
+// compile, and the raw value is only reachable through value(). The types
+// are trivially copyable and exactly as cheap as the integers they wrap.
+//
+// Domains:
+//   SatId (= SatelliteId)  satellites, unique network-wide (EphemerisService)
+//   PlaneId                orbital planes within a Walker constellation
+//   ProviderId             ISPs / operators
+//   NodeId                 topology-snapshot graph nodes (satellites + ground)
+//   GroundStationId        ground stations registered with a TopologyBuilder
+//   LinkId                 links within a topology snapshot
+//
+// Id value 0 is reserved as "unset" in every domain; allocators hand out
+// ids from 1. A default-constructed id is unset (isValid() == false).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace openspace {
+
+/// A tagged integral identifier. `Tag` is an empty struct naming the
+/// domain; ids from different domains are distinct, incompatible types.
+template <class Tag, class Rep = std::uint32_t>
+class TaggedId {
+ public:
+  using rep_type = Rep;
+
+  constexpr TaggedId() noexcept = default;
+  constexpr explicit TaggedId(Rep value) noexcept : value_(value) {}
+
+  /// The raw integral value. Prefer passing the typed id around; reach for
+  /// value() only at serialization / formatting / indexing boundaries.
+  [[nodiscard]] constexpr Rep value() const noexcept { return value_; }
+
+  /// False for the reserved "unset" value 0.
+  [[nodiscard]] constexpr bool isValid() const noexcept { return value_ != 0; }
+
+  friend constexpr bool operator==(TaggedId, TaggedId) noexcept = default;
+  friend constexpr auto operator<=>(TaggedId, TaggedId) noexcept = default;
+
+  friend std::ostream& operator<<(std::ostream& os, TaggedId id) {
+    return os << id.value();
+  }
+
+ private:
+  Rep value_ = 0;
+};
+
+namespace detail {
+struct SatIdTag {};
+struct PlaneIdTag {};
+struct ProviderIdTag {};
+struct NodeIdTag {};
+struct GroundStationIdTag {};
+struct LinkIdTag {};
+}  // namespace detail
+
+/// Opaque satellite identifier, unique network-wide (EphemerisService).
+using SatId = TaggedId<detail::SatIdTag>;
+/// Historical spelling of SatId, kept for API continuity.
+using SatelliteId = SatId;
+/// Orbital-plane index within one Walker constellation (0-based; PlaneId is
+/// the one domain where 0 is a real plane, not "unset").
+using PlaneId = TaggedId<detail::PlaneIdTag>;
+/// Opaque provider (ISP / operator) identifier.
+using ProviderId = TaggedId<detail::ProviderIdTag>;
+/// Graph-level node identifier (distinct space from SatId: ground assets
+/// have NodeIds but no SatId).
+using NodeId = TaggedId<detail::NodeIdTag>;
+/// Stable handle for a ground station registered with a TopologyBuilder.
+using GroundStationId = TaggedId<detail::GroundStationIdTag>;
+/// Link identifier within one topology snapshot.
+using LinkId = TaggedId<detail::LinkIdTag>;
+
+}  // namespace openspace
+
+template <class Tag, class Rep>
+struct std::hash<openspace::TaggedId<Tag, Rep>> {
+  std::size_t operator()(openspace::TaggedId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};

@@ -71,7 +71,7 @@ class OpenSpaceNetwork {
   struct GroundAsset {
     bool isStation;
     GroundSite site;
-    NodeId assignedNode = 0;  ///< Stable across builder rebuilds.
+    NodeId assignedNode{};  ///< Stable across builder rebuilds.
   };
 
   TopologyBuilder& builder() const;
@@ -83,7 +83,7 @@ class OpenSpaceNetwork {
   std::map<ProviderId, std::string> names_;
   std::map<SatelliteId, LinkCapabilities> capOverrides_;
   std::vector<GroundAsset> groundAssets_;
-  ProviderId nextProvider_ = 1;
+  ProviderId::rep_type nextProviderValue_ = 1;
   mutable std::unique_ptr<TopologyBuilder> builder_;
   mutable std::map<std::size_t, NodeId> assetNodes_;  ///< asset idx -> node.
 };

@@ -13,7 +13,7 @@ ProviderId OpenSpaceNetwork::registerProvider(const std::string& name) {
       throw InvalidArgumentError("registerProvider: duplicate name '" + name + "'");
     }
   }
-  const ProviderId id = nextProvider_++;
+  const ProviderId id{nextProviderValue_++};
   names_.emplace(id, name);
   return id;
 }
@@ -37,7 +37,7 @@ namespace {
 void requireProvider(const std::map<ProviderId, std::string>& names, ProviderId p) {
   if (!names.contains(p)) {
     throw NotFoundError("OpenSpaceNetwork: unknown provider id " +
-                        std::to_string(p));
+                        std::to_string(p.value()));
   }
 }
 }  // namespace
@@ -103,7 +103,7 @@ NodeId OpenSpaceNetwork::addGroundAsset(bool isStation, ProviderId owner,
                                         const std::string& name,
                                         const Geodetic& location) {
   requireProvider(names_, owner);
-  groundAssets_.push_back({isStation, GroundSite{name, location, owner}, 0});
+  groundAssets_.push_back({isStation, GroundSite{name, location, owner}, NodeId{}});
   const std::size_t idx = groundAssets_.size() - 1;
   // builder() replays groundAssets_ when it (re)constructs, which already
   // includes the entry just pushed; only add explicitly when the builder
@@ -114,7 +114,7 @@ NodeId OpenSpaceNetwork::addGroundAsset(bool isStation, ProviderId owner,
   if (it != assetNodes_.end()) {
     node = it->second;
   } else {
-    node = isStation ? b.addGroundStation(groundAssets_[idx].site)
+    node = isStation ? b.nodeOf(b.addGroundStation(groundAssets_[idx].site))
                      : b.addUser(groundAssets_[idx].site);
     assetNodes_[idx] = node;
   }
@@ -142,9 +142,10 @@ TopologyBuilder& OpenSpaceNetwork::builder() const {
     assetNodes_.clear();
     for (std::size_t i = 0; i < groundAssets_.size(); ++i) {
       const auto& asset = groundAssets_[i];
-      const NodeId node = asset.isStation
-                              ? builder_->addGroundStation(asset.site)
-                              : builder_->addUser(asset.site);
+      const NodeId node =
+          asset.isStation
+              ? builder_->nodeOf(builder_->addGroundStation(asset.site))
+              : builder_->addUser(asset.site);
       assetNodes_[i] = node;
     }
   }

@@ -116,17 +116,17 @@ CoverageEstimate monteCarloCoverage(const std::vector<OrbitalElements>& sats,
   return est;
 }
 
-double timeAveragedCoverage(const std::vector<OrbitalElements>& sats, double t0,
-                            double t1, int steps, double minElevationRad,
+double timeAveragedCoverage(const std::vector<OrbitalElements>& sats, double t0S,
+                            double t1S, int steps, double minElevationRad,
                             int samplesPerStep, Rng& rng) {
   if (steps <= 0) {
     throw InvalidArgumentError("timeAveragedCoverage: steps must be > 0");
   }
-  if (t1 < t0) throw InvalidArgumentError("timeAveragedCoverage: t1 < t0");
+  if (t1S < t0S) throw InvalidArgumentError("timeAveragedCoverage: t1S < t0S");
   double acc = 0.0;
   for (int i = 0; i < steps; ++i) {
     const double t =
-        (steps == 1) ? t0 : t0 + (t1 - t0) * static_cast<double>(i) / (steps - 1);
+        (steps == 1) ? t0S : t0S + (t1S - t0S) * static_cast<double>(i) / (steps - 1);
     acc += monteCarloCoverage(sats, t, minElevationRad, samplesPerStep, rng)
                .coverageFraction;
   }

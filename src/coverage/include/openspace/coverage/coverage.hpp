@@ -44,11 +44,11 @@ CoverageEstimate monteCarloCoverage(const std::vector<OrbitalElements>& sats,
                                     double tSeconds, double minElevationRad,
                                     int samples, Rng& rng);
 
-/// Time-averaged Monte-Carlo coverage over [t0, t1] sampled at `steps`
+/// Time-averaged Monte-Carlo coverage over [t0S, t1S] sampled at `steps`
 /// instants (useful for constellations whose instantaneous coverage
 /// oscillates as planes rotate).
-double timeAveragedCoverage(const std::vector<OrbitalElements>& sats, double t0,
-                            double t1, int steps, double minElevationRad,
+double timeAveragedCoverage(const std::vector<OrbitalElements>& sats, double t0S,
+                            double t1S, int steps, double minElevationRad,
                             int samplesPerStep, Rng& rng);
 
 /// Fraction of `samples` surface points that see at least `k` satellites

@@ -43,15 +43,15 @@ class TrafficLedger {
 
 /// A bilateral tariff: what `carrier` charges `owner` per GB of transit.
 struct Tariff {
-  ProviderId carrier = 0;
-  ProviderId owner = 0;  ///< 0 = default rate for any owner.
+  ProviderId carrier{};
+  ProviderId owner{};  ///< 0 = default rate for any owner.
   double usdPerGb = 0.0;
 };
 
 /// A settlement line item.
 struct SettlementItem {
-  ProviderId payer = 0;    ///< Traffic owner.
-  ProviderId payee = 0;    ///< Carrier.
+  ProviderId payer{};    ///< Traffic owner.
+  ProviderId payee{};    ///< Carrier.
   double bytes = 0.0;
   double amountUsd = 0.0;
 };
@@ -59,10 +59,10 @@ struct SettlementItem {
 /// A detected peering opportunity (§3: providers routing similar volumes
 /// through each other "may decide to peer").
 struct PeeringSuggestion {
-  ProviderId a = 0;
-  ProviderId b = 0;
-  double aCarriedForB = 0.0;  ///< bytes
-  double bCarriedForA = 0.0;  ///< bytes
+  ProviderId a{};
+  ProviderId b{};
+  double aCarriedForB = 0.0;  ///< units: bytes
+  double bCarriedForA = 0.0;  ///< units: bytes
   double symmetry = 0.0;      ///< min/max of the two volumes, in [0, 1].
 };
 

@@ -1,4 +1,5 @@
 // Deterministic random number generation.
+// units-file: distribution parameters are in whatever units the caller samples.
 //
 // Every stochastic component in the library draws from an explicitly seeded
 // Rng so that simulations are exactly reproducible; no component touches

@@ -1,4 +1,5 @@
 // Lightweight unit helpers.
+// units-file: these ARE the unit conversions; each helper names its unit.
 //
 // The library uses SI doubles internally (meters, seconds, hertz, watts,
 // radians). These helpers make call sites explicit about units without the

@@ -1,4 +1,5 @@
 // Minimal 3-vector used for positions (meters, ECEF/ECI) and velocities.
+// units-file: generic linear-algebra primitive; frames/units are set by producers.
 #pragma once
 
 #include <cmath>

@@ -8,10 +8,11 @@ namespace openspace::wgs84 {
 /// Semi-major axis (equatorial radius), meters.
 inline constexpr double kSemiMajorAxisM = 6'378'137.0;
 /// Flattening.
-inline constexpr double kFlattening = 1.0 / 298.257'223'563;
+inline constexpr double kFlattening = 1.0 / 298.257'223'563;  // units: dimensionless
 /// Semi-minor axis (polar radius), meters.
 inline constexpr double kSemiMinorAxisM = kSemiMajorAxisM * (1.0 - kFlattening);
 /// First eccentricity squared.
+// units: dimensionless
 inline constexpr double kEccentricitySquared = kFlattening * (2.0 - kFlattening);
 /// Mean Earth radius (IUGG), meters. Used for spherical geometry.
 inline constexpr double kMeanRadiusM = 6'371'008.771'4;

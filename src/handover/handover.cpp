@@ -119,36 +119,36 @@ double predictiveLatencyS(const EphemerisService& eph, const Geodetic& user,
 }  // namespace
 
 HandoverTimeline simulateHandovers(const HandoverPlanner& planner,
-                                   const Geodetic& user, double t0, double t1,
+                                   const Geodetic& user, double t0S, double t1S,
                                    HandoverMode mode,
                                    const ReAssociationCost& reassocCost) {
-  if (t1 <= t0) throw InvalidArgumentError("simulateHandovers: t1 <= t0");
+  if (t1S <= t0S) throw InvalidArgumentError("simulateHandovers: t1S <= t0S");
 
   HandoverTimeline tl;
-  double t = t0;
+  double t = t0S;
   std::optional<SatelliteId> serving = planner.bestSatelliteAt(user, t);
-  while (!serving && t < t1) {
+  while (!serving && t < t1S) {
     // No coverage: scan forward for first acquisition.
-    tl.outageS += std::min(10.0, t1 - t);
+    tl.outageS += std::min(10.0, t1S - t);
     t += 10.0;
-    if (t < t1) serving = planner.bestSatelliteAt(user, t);
+    if (t < t1S) serving = planner.bestSatelliteAt(user, t);
   }
 
-  while (t < t1 && serving) {
+  while (t < t1S && serving) {
     const double until =
-        std::min(planner.visibilityEndS(*serving, user, t), t1);
+        std::min(planner.visibilityEndS(*serving, user, t), t1S);
     tl.coveredS += until - t;
-    if (until >= t1) break;
+    if (until >= t1S) break;
 
     const auto next = planner.bestSatelliteAt(user, until - 1e-3, *serving);
     if (!next) {
       // Coverage hole: wait for any satellite.
       double scan = until;
       std::optional<SatelliteId> reacq;
-      while (scan < t1 && !(reacq = planner.bestSatelliteAt(user, scan))) {
+      while (scan < t1S && !(reacq = planner.bestSatelliteAt(user, scan))) {
         scan += 10.0;
       }
-      tl.outageS += std::min(scan, t1) - until;
+      tl.outageS += std::min(scan, t1S) - until;
       serving = reacq;
       t = scan;
       continue;
@@ -177,7 +177,7 @@ HandoverTimeline simulateHandovers(const HandoverPlanner& planner,
     tl.meanIntervalS = (tl.events.back().atS - tl.events.front().atS) /
                        static_cast<double>(tl.events.size() - 1);
   } else if (tl.events.size() == 1) {
-    tl.meanIntervalS = t1 - t0;
+    tl.meanIntervalS = t1S - t0S;
   }
   return tl;
 }

@@ -24,7 +24,7 @@ namespace openspace {
 struct HandoverPlan {
   bool found = false;
   double serviceEndsAtS = 0.0;    ///< Serving satellite drops below the mask.
-  SatelliteId successor = 0;
+  SatelliteId successor{};
   double successorUntilS = 0.0;   ///< How long the successor will serve.
 };
 
@@ -44,7 +44,7 @@ class HandoverPlanner {
   /// Best serving satellite at time t: visible and longest remaining
   /// service (maximizes time-to-next-handover), excluding `exclude`.
   std::optional<SatelliteId> bestSatelliteAt(const Geodetic& user, double tSeconds,
-                                             SatelliteId exclude = 0) const;
+                                             SatelliteId exclude = {}) const;
 
   /// Closest visible satellite at time t (the association rule).
   std::optional<SatelliteId> closestSatelliteAt(const Geodetic& user,
@@ -77,8 +77,8 @@ struct ReAssociationCost {
 /// One executed handover.
 struct HandoverEvent {
   double atS = 0.0;
-  SatelliteId from = 0;
-  SatelliteId to = 0;
+  SatelliteId from{};
+  SatelliteId to{};
   double latencyS = 0.0;  ///< Signaling time; service gap for ReAssociate.
 };
 
@@ -91,13 +91,13 @@ struct HandoverTimeline {
   int handovers() const noexcept { return static_cast<int>(events.size()); }
 };
 
-/// Simulate the serving-satellite timeline for a user over [t0, t1].
+/// Simulate the serving-satellite timeline for a user over [t0S, t1S].
 /// Predictive mode: make-before-break, outage only from signaling latency
 /// (one hop to successor). ReAssociate mode: break-before-make, outage =
 /// beacon wait + auth RTT per handover. Throws InvalidArgumentError if
-/// t1 <= t0.
+/// t1S <= t0S.
 HandoverTimeline simulateHandovers(const HandoverPlanner& planner,
-                                   const Geodetic& user, double t0, double t1,
+                                   const Geodetic& user, double t0S, double t1S,
                                    HandoverMode mode,
                                    const ReAssociationCost& reassocCost = {});
 

@@ -1,5 +1,6 @@
 #include <openspace/io/ephemeris_io.hpp>
 
+#include <cmath>
 #include <iomanip>
 #include <istream>
 #include <limits>
@@ -48,13 +49,25 @@ EphemerisService loadEphemeris(std::istream& is) {
     std::string kind;
     ss >> kind;
     if (kind != "sat") continue;  // site lines and unknown records: skip
-    SatelliteId id = 0;
-    ProviderId owner = 0;
+    // Serialization boundary: ids cross the wire as raw integers.
+    SatelliteId::rep_type idValue = 0;
+    ProviderId::rep_type ownerValue = 0;
     OrbitalElements el;
-    ss >> id >> owner >> el.semiMajorAxisM >> el.eccentricity >>
+    ss >> idValue >> ownerValue >> el.semiMajorAxisM >> el.eccentricity >>
         el.inclinationRad >> el.raanRad >> el.argPerigeeRad >>
         el.meanAnomalyAtEpochRad;
     if (ss.fail()) malformed(lineNo, line, "has a malformed sat record");
+    const SatelliteId id{idValue};
+    const ProviderId owner{ownerValue};
+    if (!id.isValid()) malformed(lineNo, line, "uses reserved satellite id 0");
+    // Note the isfinite checks: "nan" and "inf" parse as valid doubles, and
+    // NaN compares false against every range bound below.
+    if (!std::isfinite(el.semiMajorAxisM) || !std::isfinite(el.eccentricity) ||
+        !std::isfinite(el.inclinationRad) || !std::isfinite(el.raanRad) ||
+        !std::isfinite(el.argPerigeeRad) ||
+        !std::isfinite(el.meanAnomalyAtEpochRad)) {
+      malformed(lineNo, line, "has non-finite elements");
+    }
     if (el.semiMajorAxisM <= 0.0 || el.eccentricity < 0.0 ||
         el.eccentricity >= 1.0) {
       malformed(lineNo, line, "has non-physical elements");
@@ -93,9 +106,16 @@ std::vector<SiteRecord> loadSites(std::istream& is) {
     if (kind != "site") continue;
     SiteRecord rec;
     std::string siteKind;
-    ss >> siteKind >> rec.site.provider >> rec.site.location.latitudeRad >>
+    ProviderId::rep_type providerValue = 0;
+    ss >> siteKind >> providerValue >> rec.site.location.latitudeRad >>
         rec.site.location.longitudeRad >> rec.site.location.altitudeM;
     if (ss.fail()) malformed(lineNo, line, "has a malformed site record");
+    if (!std::isfinite(rec.site.location.latitudeRad) ||
+        !std::isfinite(rec.site.location.longitudeRad) ||
+        !std::isfinite(rec.site.location.altitudeM)) {
+      malformed(lineNo, line, "has a non-finite coordinate");
+    }
+    rec.site.provider = ProviderId{providerValue};
     if (siteKind == "station") {
       rec.isStation = true;
     } else if (siteKind == "user") {

@@ -16,8 +16,8 @@ namespace openspace {
 
 /// A live inter-satellite link at fleet level.
 struct FleetLink {
-  SatelliteId a = 0;
-  SatelliteId b = 0;
+  SatelliteId a{};
+  SatelliteId b{};
   bool optical = false;
   double establishedAtS = 0.0;
   double distanceM = 0.0;

@@ -42,17 +42,17 @@ std::string_view islStateName(IslState s) noexcept;
 
 /// Pair request message (step 2).
 struct PairRequest {
-  SatelliteId from = 0;
-  SatelliteId to = 0;
-  ProviderId fromProvider = 0;
+  SatelliteId from{};
+  SatelliteId to{};
+  ProviderId fromProvider{};
   double txTimeS = 0.0;
   LinkCapabilities capabilities;  ///< Includes laser boresight if present.
 };
 
 /// Pair response message (step 3).
 struct PairResponse {
-  SatelliteId from = 0;
-  SatelliteId to = 0;
+  SatelliteId from{};
+  SatelliteId to{};
   bool accepted = false;
   bool offerOptical = false;  ///< Receiver also wants the laser upgrade.
   std::string reason;         ///< Reject reason, for diagnostics.

@@ -97,7 +97,7 @@ std::optional<PairRequest> IslEndpoint::considerPairing(const BeaconMessage& bea
 bool IslEndpoint::tryCommitRf(PeerState& ps, SatelliteId peerId) {
   if (!power_.canCommit(rfSpec_.powerDrawW)) return false;
   ps.rfPowerCommit =
-      power_.commit(rfSpec_.powerDrawW, "isl-rf:" + std::to_string(peerId));
+      power_.commit(rfSpec_.powerDrawW, "isl-rf:" + std::to_string(peerId.value()));
   return true;
 }
 
@@ -192,7 +192,7 @@ std::optional<double> IslEndpoint::beginOpticalUpgrade(SatelliteId peerId,
 
   power_.drawEnergy(slewEnergyWh);
   ps.opticalPowerCommit =
-      power_.commit(laserSpec_.powerDrawW, "isl-laser:" + std::to_string(peerId));
+      power_.commit(laserSpec_.powerDrawW, "isl-laser:" + std::to_string(peerId.value()));
   ps.state = IslState::Acquiring;
   const double slewTimeS =
       (laserSpec_.slewRateRadPerS > 0.0)

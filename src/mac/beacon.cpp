@@ -15,7 +15,7 @@ BeaconSchedule::BeaconSchedule(double periodS) : periodS_(periodS) {
 double BeaconSchedule::phaseOf(SatelliteId id) const {
   // Cheap integer hash -> [0, period) stagger; avoids synchronized beacons
   // from satellites registered consecutively.
-  std::uint64_t h = static_cast<std::uint64_t>(id) * 0x9E3779B97F4A7C15ull;
+  std::uint64_t h = static_cast<std::uint64_t>(id.value()) * 0x9E3779B97F4A7C15ull;
   h ^= h >> 31;
   return periodS_ * static_cast<double>(h % 10'000) / 10'000.0;
 }
@@ -26,10 +26,10 @@ double BeaconSchedule::nextBeaconTime(SatelliteId id, double tSeconds) const {
   return phase + std::max(0.0, k) * periodS_;
 }
 
-int BeaconSchedule::beaconCount(SatelliteId id, double t0, double t1) const {
-  if (t1 <= t0) return 0;
+int BeaconSchedule::beaconCount(SatelliteId id, double t0S, double t1S) const {
+  if (t1S <= t0S) return 0;
   int count = 0;
-  for (double t = nextBeaconTime(id, t0); t < t1;
+  for (double t = nextBeaconTime(id, t0S); t < t1S;
        t = nextBeaconTime(id, t + periodS_ / 2.0)) {
     ++count;
   }

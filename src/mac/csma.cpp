@@ -110,7 +110,7 @@ MacSimResult simulateCsmaCa(const CsmaConfig& cfg, int nodes, double durationS,
     r.meanOverheadS = overheadTotal / r.deliveredFrames;
   }
   r.throughputFraction = usefulAirtime / t;
-  r.collisionRate = (attempts > 0) ? collisions / attempts : 0.0;
+  r.collisionFraction = (attempts > 0) ? collisions / attempts : 0.0;
   return r;
 }
 
@@ -136,7 +136,7 @@ MacSimResult simulateTdma(const TdmaConfig& cfg, int nodes, double durationS) {
   r.p95AccessDelayS = r.meanAccessDelayS;
   r.meanOverheadS = cfg.guardS;
   r.throughputFraction = cfg.slotS / slotSpan;
-  r.collisionRate = 0.0;
+  r.collisionFraction = 0.0;
   return r;
 }
 

@@ -27,8 +27,8 @@ struct LinkCapabilities {
 
 /// The over-the-air beacon payload.
 struct BeaconMessage {
-  SatelliteId satellite = 0;
-  ProviderId provider = 0;
+  SatelliteId satellite{};
+  ProviderId provider{};
   double txTimeS = 0.0;
   OrbitalElements elements;  ///< Current published orbit (public topology).
   LinkCapabilities capabilities;
@@ -44,8 +44,8 @@ class BeaconSchedule {
   /// Time of the first beacon at or after `tSeconds` for satellite `id`.
   double nextBeaconTime(SatelliteId id, double tSeconds) const;
 
-  /// Number of beacons satellite `id` emits in [t0, t1).
-  int beaconCount(SatelliteId id, double t0, double t1) const;
+  /// Number of beacons satellite `id` emits in [t0S, t1S).
+  int beaconCount(SatelliteId id, double t0S, double t1S) const;
 
   double periodS() const noexcept { return periodS_; }
 

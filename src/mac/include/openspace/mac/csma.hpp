@@ -35,7 +35,7 @@ struct MacSimResult {
   double p95AccessDelayS = 0.0;
   double meanOverheadS = 0.0;      ///< IFS + backoff time per delivered frame.
   double throughputFraction = 0.0; ///< Useful airtime / wall time.
-  double collisionRate = 0.0;      ///< Collisions per attempt.
+  double collisionFraction = 0.0;      ///< Collisions per attempt.
 };
 
 /// Simulate `nodes` saturated stations contending for one channel for

@@ -86,8 +86,10 @@ MacSimResult simulateReservationMac(const ReservationConfig& cfg, int nodes,
     for (const std::size_t w : winners) {
       delays.push_back(slotStart - pendingSince[w]);
       usefulAirtime += cfg.dataSlotS;
-      overheadTotal += contentionSpan / std::max<std::size_t>(1, winners.size()) +
-                       cfg.guardS;
+      overheadTotal +=
+          contentionSpan /
+              static_cast<double>(std::max<std::size_t>(1, winners.size())) +
+          cfg.guardS;
       r.deliveredFrames += 1;
       r.offeredFrames += 1;
       slotStart += cfg.dataSlotS + cfg.guardS;
@@ -106,7 +108,7 @@ MacSimResult simulateReservationMac(const ReservationConfig& cfg, int nodes,
   }
   if (r.deliveredFrames > 0) r.meanOverheadS = overheadTotal / r.deliveredFrames;
   r.throughputFraction = (t > 0.0) ? usefulAirtime / t : 0.0;
-  r.collisionRate = (attempts > 0.0) ? collisions / attempts : 0.0;
+  r.collisionFraction = (attempts > 0.0) ? collisions / attempts : 0.0;
   return r;
 }
 

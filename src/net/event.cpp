@@ -7,14 +7,14 @@
 namespace openspace {
 
 void EventQueue::schedule(double tSeconds, Handler fn) {
-  if (tSeconds < now_) {
+  if (tSeconds < nowS_) {
     throw InvalidArgumentError("EventQueue::schedule: time is in the past");
   }
   events_.push(Ev{tSeconds, seq_++, std::move(fn)});
 }
 
 void EventQueue::scheduleIn(double delayS, Handler fn) {
-  schedule(now_ + delayS, std::move(fn));
+  schedule(nowS_ + delayS, std::move(fn));
 }
 
 bool EventQueue::step() {
@@ -22,18 +22,18 @@ bool EventQueue::step() {
   // priority_queue::top is const; the handler must be moved out before pop.
   Ev ev = std::move(const_cast<Ev&>(events_.top()));
   events_.pop();
-  now_ = ev.t;
+  nowS_ = ev.tS;
   ev.fn();
   return true;
 }
 
 std::size_t EventQueue::run(double untilS) {
   std::size_t n = 0;
-  while (!events_.empty() && events_.top().t <= untilS) {
+  while (!events_.empty() && events_.top().tS <= untilS) {
     step();
     ++n;
   }
-  if (now_ < untilS) now_ = untilS;
+  if (nowS_ < untilS) nowS_ = untilS;
   return n;
 }
 

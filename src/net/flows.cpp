@@ -17,9 +17,9 @@ void FlowGenerator::addFlow(const FlowSpec& flow) {
   scheduleNext(flow, flow.startS);
 }
 
-void FlowGenerator::scheduleNext(const FlowSpec& flow, double after) {
+void FlowGenerator::scheduleNext(const FlowSpec& flow, double afterS) {
   const double meanGapS = flow.packetBits / flow.rateBps;
-  const double t = after + rng_.exponential(1.0 / meanGapS);
+  const double t = afterS + rng_.exponential(1.0 / meanGapS);
   if (t >= flow.stopS) return;
   events_.schedule(t, [this, flow, t]() {
     Packet p;

@@ -17,7 +17,7 @@ void ForwardingEngine::onComplete(std::function<void(const DeliveryRecord&)> cb)
 }
 
 ForwardingEngine::Tx& ForwardingEngine::txFor(LinkId id, bool fromA) {
-  return tx_[static_cast<std::uint64_t>(id) * 2 + (fromA ? 0 : 1)];
+  return tx_[static_cast<std::uint64_t>(id.value()) * 2 + (fromA ? 0 : 1)];
 }
 
 double ForwardingEngine::bitsCarried(LinkId id) const {
@@ -26,7 +26,7 @@ double ForwardingEngine::bitsCarried(LinkId id) const {
 }
 
 double ForwardingEngine::backlogBits(LinkId id, bool fromA) const {
-  const auto it = tx_.find(static_cast<std::uint64_t>(id) * 2 + (fromA ? 0 : 1));
+  const auto it = tx_.find(static_cast<std::uint64_t>(id.value()) * 2 + (fromA ? 0 : 1));
   return it == tx_.end() ? 0.0 : it->second.backlogBits;
 }
 

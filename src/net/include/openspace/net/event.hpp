@@ -31,23 +31,23 @@ class EventQueue {
   /// Execute at most one event. Returns false if the queue is empty.
   bool step();
 
-  double now() const noexcept { return now_; }
+  double now() const noexcept { return nowS_; }
   bool empty() const noexcept { return events_.empty(); }
   std::size_t pending() const noexcept { return events_.size(); }
 
  private:
   struct Ev {
-    double t;
+    double tS;
     std::uint64_t seq;
     Handler fn;
   };
   struct Later {
     bool operator()(const Ev& a, const Ev& b) const noexcept {
-      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
+      return a.tS > b.tS || (a.tS == b.tS && a.seq > b.seq);
     }
   };
   std::priority_queue<Ev, std::vector<Ev>, Later> events_;
-  double now_ = 0.0;
+  double nowS_ = 0.0;
   std::uint64_t seq_ = 0;
 };
 

@@ -16,12 +16,12 @@ namespace openspace {
 
 /// A unidirectional traffic flow specification.
 struct FlowSpec {
-  NodeId src = 0;
-  NodeId dst = 0;
+  NodeId src{};
+  NodeId dst{};
   double rateBps = 1e6;        ///< Mean offered load.
   double packetBits = 12'000;  ///< Packet size.
   QosClass qos = QosClass::Standard;
-  ProviderId homeProvider = 0;
+  ProviderId homeProvider{};
   double startS = 0.0;
   double stopS = 0.0;  ///< Exclusive; <= startS means no packets.
 };
@@ -42,7 +42,7 @@ class FlowGenerator {
   std::size_t packetsEmitted() const noexcept { return emitted_; }
 
  private:
-  void scheduleNext(const FlowSpec& flow, double after);
+  void scheduleNext(const FlowSpec& flow, double afterS);
 
   EventQueue& events_;
   Rng& rng_;

@@ -19,9 +19,9 @@ class LatencyStats {
   double meanS() const;
   double minS() const;
   double maxS() const;
-  /// q in [0, 1]; throws InvalidArgumentError outside, NotFoundError when
+  /// quantile in [0, 1]; throws InvalidArgumentError outside, NotFoundError when
   /// empty.
-  double percentileS(double q) const;
+  double percentileS(double quantile) const;
   double p50S() const { return percentileS(0.50); }
   double p95S() const { return percentileS(0.95); }
   double p99S() const { return percentileS(0.99); }
@@ -31,7 +31,7 @@ class LatencyStats {
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
   std::size_t losses_ = 0;
-  double sum_ = 0.0;
+  double sumS_ = 0.0;
 };
 
 }  // namespace openspace

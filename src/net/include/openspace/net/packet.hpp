@@ -12,12 +12,12 @@ using PacketId = std::uint64_t;
 /// A simulated datagram.
 struct Packet {
   PacketId id = 0;
-  NodeId src = 0;
-  NodeId dst = 0;
+  NodeId src{};
+  NodeId dst{};
   double sizeBits = 12'000.0;  ///< Default ~1500 B MTU.
   double createdAtS = 0.0;
   QosClass qos = QosClass::Standard;
-  ProviderId homeProvider = 0;  ///< The user's home ISP (drives accounting).
+  ProviderId homeProvider{};  ///< The user's home ISP (drives accounting).
 };
 
 /// Why a packet failed to deliver.

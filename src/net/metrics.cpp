@@ -12,7 +12,7 @@ void LatencyStats::add(double latencyS) {
     throw InvalidArgumentError("LatencyStats::add: negative latency");
   }
   samples_.push_back(latencyS);
-  sum_ += latencyS;
+  sumS_ += latencyS;
   sorted_ = false;
 }
 
@@ -23,7 +23,7 @@ double LatencyStats::lossRate() const noexcept {
 
 double LatencyStats::meanS() const {
   if (samples_.empty()) throw NotFoundError("LatencyStats: no samples");
-  return sum_ / static_cast<double>(samples_.size());
+  return sumS_ / static_cast<double>(samples_.size());
 }
 
 void LatencyStats::ensureSorted() const {
@@ -45,14 +45,14 @@ double LatencyStats::maxS() const {
   return samples_.back();
 }
 
-double LatencyStats::percentileS(double q) const {
-  if (q < 0.0 || q > 1.0) {
-    throw InvalidArgumentError("LatencyStats::percentileS: q outside [0,1]");
+double LatencyStats::percentileS(double quantile) const {
+  if (quantile < 0.0 || quantile > 1.0) {
+    throw InvalidArgumentError("LatencyStats::percentileS: quantile outside [0,1]");
   }
   if (samples_.empty()) throw NotFoundError("LatencyStats: no samples");
   ensureSorted();
   const auto idx = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(samples_.size())));
+      std::ceil(quantile * static_cast<double>(samples_.size())));
   return samples_[std::min(samples_.size() - 1, idx == 0 ? 0 : idx - 1)];
 }
 

@@ -102,13 +102,13 @@ Vec3 positionEci(const OrbitalElements& el, double tSeconds) {
   return propagate(el, tSeconds).positionM;
 }
 
-std::vector<GroundTrackPoint> groundTrack(const OrbitalElements& el, double t0,
-                                          double t1, double stepS) {
+std::vector<GroundTrackPoint> groundTrack(const OrbitalElements& el, double t0S,
+                                          double t1S, double stepS) {
   if (stepS <= 0.0) throw InvalidArgumentError("groundTrack: step must be > 0");
-  if (t1 < t0) throw InvalidArgumentError("groundTrack: t1 < t0");
+  if (t1S < t0S) throw InvalidArgumentError("groundTrack: t1S < t0S");
   std::vector<GroundTrackPoint> track;
-  track.reserve(static_cast<std::size_t>((t1 - t0) / stepS) + 1);
-  for (double t = t0; t <= t1 + 1e-9; t += stepS) {
+  track.reserve(static_cast<std::size_t>((t1S - t0S) / stepS) + 1);
+  for (double t = t0S; t <= t1S + 1e-9; t += stepS) {
     const Vec3 ecef = eciToEcef(positionEci(el, t), t);
     const Geodetic g = ecefToGeodetic(ecef);
     track.push_back({t, g.latitudeRad, g.longitudeRad, g.altitudeM});

@@ -6,8 +6,8 @@ namespace openspace {
 
 SatelliteId EphemerisService::publish(ProviderId owner,
                                       const OrbitalElements& elements) {
-  while (records_.contains(nextId_)) ++nextId_;
-  const SatelliteId id = nextId_++;
+  while (records_.contains(SatelliteId{nextIdValue_})) ++nextIdValue_;
+  const SatelliteId id{nextIdValue_++};
   records_.emplace(id, EphemerisRecord{id, owner, elements});
   order_.push_back(id);
   return id;
@@ -26,7 +26,7 @@ const EphemerisRecord& EphemerisService::record(SatelliteId id) const {
   const auto it = records_.find(id);
   if (it == records_.end()) {
     throw NotFoundError("EphemerisService: unknown satellite id " +
-                        std::to_string(id));
+                        std::to_string(id.value()));
   }
   return it->second;
 }

@@ -63,11 +63,11 @@ struct GroundTrackPoint {
   double altitudeM = 0.0;
 };
 
-/// Sample the ground track over [t0, t1] at `stepS` intervals (inclusive of
-/// t0; the final sample is the last grid point <= t1). Throws
-/// InvalidArgumentError if stepS <= 0 or t1 < t0.
-std::vector<GroundTrackPoint> groundTrack(const OrbitalElements& el, double t0,
-                                          double t1, double stepS);
+/// Sample the ground track over [t0S, t1S] at `stepS` intervals (inclusive of
+/// t0S; the final sample is the last grid point <= t1S). Throws
+/// InvalidArgumentError if stepS <= 0 or t1S < t0S.
+std::vector<GroundTrackPoint> groundTrack(const OrbitalElements& el, double t0S,
+                                          double t1S, double stepS);
 
 std::ostream& operator<<(std::ostream& os, const OrbitalElements& el);
 

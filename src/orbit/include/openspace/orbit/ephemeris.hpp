@@ -15,20 +15,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include <openspace/core/ids.hpp>
 #include <openspace/orbit/elements.hpp>
 
 namespace openspace {
 
-/// Opaque satellite identifier, unique network-wide.
-using SatelliteId = std::uint32_t;
-
-/// Opaque provider (ISP / operator) identifier.
-using ProviderId = std::uint32_t;
-
 /// One published ephemeris record.
 struct EphemerisRecord {
-  SatelliteId satellite = 0;
-  ProviderId owner = 0;
+  SatelliteId satellite{};
+  ProviderId owner{};
   OrbitalElements elements;
 };
 
@@ -66,7 +61,7 @@ class EphemerisService {
  private:
   std::unordered_map<SatelliteId, EphemerisRecord> records_;
   std::vector<SatelliteId> order_;
-  SatelliteId nextId_ = 1;
+  SatelliteId::rep_type nextIdValue_ = 1;
 };
 
 }  // namespace openspace

@@ -61,7 +61,7 @@ class ConstellationSnapshot {
   /// order (index i == ephemeris.satellites()[i]).
   ConstellationSnapshot(const EphemerisService& ephemeris, double tSeconds);
 
-  double timeSeconds() const noexcept { return t_; }
+  double timeSeconds() const noexcept { return tS_; }
   std::size_t size() const noexcept { return elements_.size(); }
   bool empty() const noexcept { return elements_.empty(); }
   std::uint64_t elementsHash() const noexcept { return hash_; }
@@ -104,7 +104,7 @@ class ConstellationSnapshot {
   void propagateAll();
 
   std::vector<OrbitalElements> elements_;
-  double t_ = 0.0;
+  double tS_ = 0.0;
   std::uint64_t hash_ = 0;
   std::vector<Vec3> eci_;
   std::vector<Vec3> ecef_;

@@ -35,12 +35,12 @@ struct ContactWindow {
   double durationS() const { return endS - startS; }
 };
 
-/// Predict all visibility windows of `el` from `ground` over [t0, t1].
+/// Predict all visibility windows of `el` from `ground` over [t0S, t1S].
 /// Coarse-samples at `stepS` then refines each edge by bisection to ~1 ms.
 /// Windows truncated by the interval boundaries are reported truncated.
 std::vector<ContactWindow> contactWindows(const OrbitalElements& el,
-                                          const Geodetic& ground, double t0,
-                                          double t1, double minElevationRad,
+                                          const Geodetic& ground, double t0S,
+                                          double t1S, double minElevationRad,
                                           double stepS = 10.0);
 
 }  // namespace openspace

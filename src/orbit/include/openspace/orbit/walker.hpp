@@ -6,8 +6,10 @@
 // (planes over 360 degrees, e.g. Starlink shells) is provided for contrast.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
+#include <openspace/core/ids.hpp>
 #include <openspace/orbit/elements.hpp>
 
 namespace openspace {
@@ -39,6 +41,36 @@ WalkerConfig iridiumConfig();
 /// plane in 6 planes, 80 degree inclination (altitude per CBO primer class,
 /// we use 780 km to match the Iridium-like regime the paper simulates).
 WalkerConfig cboConfig();
+
+/// Plane/slot coordinates inside a Walker constellation.
+///
+/// makeWalkerStar/Delta lay satellites out as k*S+j == (plane k, slot j);
+/// PlaneGrid makes that arithmetic typed so a PlaneId cannot be confused
+/// with a satellite or slot index (the +grid ISL wiring is the consumer).
+/// Throws InvalidArgumentError unless planes >= 1 divides satCount.
+class PlaneGrid {
+ public:
+  PlaneGrid(std::size_t satCount, int planes);
+
+  std::size_t planeCount() const noexcept { return planes_; }
+  std::size_t satsPerPlane() const noexcept { return perPlane_; }
+
+  /// Plane of a satellite index (0-based planes).
+  PlaneId planeOf(std::size_t satIndex) const;
+  /// In-plane slot of a satellite index.
+  std::size_t slotOf(std::size_t satIndex) const;
+  /// Satellite index of (plane, slot); the slot wraps modulo satsPerPlane
+  /// (ring neighbors). Throws InvalidArgumentError for an unknown plane.
+  std::size_t indexOf(PlaneId plane, std::size_t slot) const;
+  /// True for the last plane (the Walker seam).
+  bool isSeamPlane(PlaneId plane) const noexcept;
+  /// The adjacent plane in RAAN order, wrapping across the seam.
+  PlaneId nextPlane(PlaneId plane) const noexcept;
+
+ private:
+  std::size_t planes_ = 0;
+  std::size_t perPlane_ = 0;
+};
 
 /// Generate `n` satellites on independent random circular orbits at the
 /// given altitude: inclination, RAAN and phase drawn uniformly. This is the

@@ -11,6 +11,7 @@
 #include <queue>
 
 #include <openspace/concurrency/parallel.hpp>
+#include <openspace/core/assert.hpp>
 #include <openspace/geo/error.hpp>
 #include <openspace/geo/wgs84.hpp>
 #include <openspace/orbit/ephemeris.hpp>
@@ -77,7 +78,7 @@ std::uint64_t constellationHash(const std::vector<OrbitalElements>& elements) {
 ConstellationSnapshot::ConstellationSnapshot(
     std::vector<OrbitalElements> elements, double tSeconds)
     : elements_(std::move(elements)),
-      t_(tSeconds),
+      tS_(tSeconds),
       hash_(constellationHash(elements_)) {
   propagateAll();
 }
@@ -91,14 +92,17 @@ void ConstellationSnapshot::propagateAll() {
   eci_.resize(n);
   ecef_.resize(n);
   parallelFor(n, kPropagateChunk, [&](std::size_t begin, std::size_t end) {
+    OPENSPACE_ASSERT(begin <= end && end <= n,
+                     "parallelFor chunk must stay inside the fleet");
     for (std::size_t i = begin; i < end; ++i) {
-      eci_[i] = positionEci(elements_[i], t_);
-      ecef_[i] = eciToEcef(eci_[i], t_);
+      eci_[i] = positionEci(elements_[i], tS_);
+      ecef_[i] = eciToEcef(eci_[i], tS_);
     }
   });
 }
 
 double ConstellationSnapshot::altitudeM(std::size_t i) const {
+  OPENSPACE_ASSERT(i < eci_.size(), "satellite index within the snapshot");
   return eci_.at(i).norm() - wgs84::kMeanRadiusM;
 }
 
@@ -109,6 +113,8 @@ std::optional<std::size_t> ConstellationSnapshot::closestVisible(
 
 std::optional<std::size_t> ConstellationSnapshot::closestVisible(
     const Vec3& siteEcef, double minElevationRad) const {
+  OPENSPACE_ASSERT(ecef_.size() == elements_.size(),
+                   "snapshot fully propagated before visibility queries");
   std::optional<std::size_t> best;
   double bestRange = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < ecef_.size(); ++i) {
@@ -194,6 +200,7 @@ std::shared_ptr<const IslTopology> ConstellationSnapshot::islTopology(
                   coords[i][0] + dx, coords[i][1] + dy, coords[i][2] + dz));
               if (it == buckets.end()) continue;
               for (const std::size_t j : it->second) {
+                OPENSPACE_ASSERT(j < n, "bucket entries index the fleet");
                 if (j == i) continue;
                 const double d = eci_[i].distanceTo(eci_[j]);
                 if (d <= maxRangeM &&

@@ -50,11 +50,11 @@ bool isVisible(const Vec3& satEci, const Geodetic& ground, double tSeconds,
 }
 
 std::vector<ContactWindow> contactWindows(const OrbitalElements& el,
-                                          const Geodetic& ground, double t0,
-                                          double t1, double minElevationRad,
+                                          const Geodetic& ground, double t0S,
+                                          double t1S, double minElevationRad,
                                           double stepS) {
   if (stepS <= 0.0) throw InvalidArgumentError("contactWindows: step must be > 0");
-  if (t1 < t0) throw InvalidArgumentError("contactWindows: t1 < t0");
+  if (t1S < t0S) throw InvalidArgumentError("contactWindows: t1S < t0S");
 
   const auto above = [&](double t) {
     return elevationFrom(positionEci(el, t), ground, t) >= minElevationRad;
@@ -73,11 +73,11 @@ std::vector<ContactWindow> contactWindows(const OrbitalElements& el,
   };
 
   std::vector<ContactWindow> windows;
-  bool prev = above(t0);
-  double windowStart = prev ? t0 : 0.0;
-  double prevT = t0;
-  for (double t = t0 + stepS; t < t1 + stepS; t += stepS) {
-    const double tc = std::min(t, t1);
+  bool prev = above(t0S);
+  double windowStart = prev ? t0S : 0.0;
+  double prevT = t0S;
+  for (double t = t0S + stepS; t < t1S + stepS; t += stepS) {
+    const double tc = std::min(t, t1S);
     const bool cur = above(tc);
     if (cur && !prev) {
       windowStart = refine(prevT, tc, /*lo=*/false);
@@ -86,9 +86,9 @@ std::vector<ContactWindow> contactWindows(const OrbitalElements& el,
     }
     prev = cur;
     prevT = tc;
-    if (tc >= t1) break;
+    if (tc >= t1S) break;
   }
-  if (prev) windows.push_back({windowStart, t1});
+  if (prev) windows.push_back({windowStart, t1S});
   return windows;
 }
 

@@ -80,6 +80,47 @@ WalkerConfig cboConfig() {
   return cfg;
 }
 
+PlaneGrid::PlaneGrid(std::size_t satCount, int planes) {
+  if (planes < 1 || satCount == 0 ||
+      satCount % static_cast<std::size_t>(planes) != 0) {
+    throw InvalidArgumentError(
+        "PlaneGrid: plane count must be >= 1 and divide the fleet size");
+  }
+  planes_ = static_cast<std::size_t>(planes);
+  perPlane_ = satCount / planes_;
+}
+
+PlaneId PlaneGrid::planeOf(std::size_t satIndex) const {
+  if (satIndex >= planes_ * perPlane_) {
+    throw InvalidArgumentError("PlaneGrid::planeOf: satellite index out of range");
+  }
+  return PlaneId{static_cast<PlaneId::rep_type>(satIndex / perPlane_)};
+}
+
+std::size_t PlaneGrid::slotOf(std::size_t satIndex) const {
+  if (satIndex >= planes_ * perPlane_) {
+    throw InvalidArgumentError("PlaneGrid::slotOf: satellite index out of range");
+  }
+  return satIndex % perPlane_;
+}
+
+std::size_t PlaneGrid::indexOf(PlaneId plane, std::size_t slot) const {
+  if (plane.value() >= planes_) {
+    throw InvalidArgumentError("PlaneGrid::indexOf: unknown plane");
+  }
+  return static_cast<std::size_t>(plane.value()) * perPlane_ + slot % perPlane_;
+}
+
+bool PlaneGrid::isSeamPlane(PlaneId plane) const noexcept {
+  return static_cast<std::size_t>(plane.value()) + 1 == planes_;
+}
+
+PlaneId PlaneGrid::nextPlane(PlaneId plane) const noexcept {
+  return isSeamPlane(plane) ? PlaneId{0}
+                            : PlaneId{static_cast<PlaneId::rep_type>(
+                                  plane.value() + 1)};
+}
+
 std::vector<OrbitalElements> makeRandomConstellation(int n, double altitudeM,
                                                      Rng& rng) {
   if (n < 0) throw InvalidArgumentError("makeRandomConstellation: n must be >= 0");

@@ -4,6 +4,7 @@
 #include <queue>
 #include <set>
 
+#include <openspace/core/assert.hpp>
 #include <openspace/geo/error.hpp>
 
 namespace openspace {
@@ -21,9 +22,10 @@ std::unordered_map<NodeId, std::pair<double, LinkId>> dijkstraCore(
     const NetworkGraph& g, NodeId src, const LinkCostFn& cost, ProviderId home,
     const std::set<NodeId>* forbiddenNodes, const std::set<LinkId>* forbiddenLinks,
     std::optional<NodeId> stopAt) {
+  OPENSPACE_ASSERT(g.hasNode(src), "public entry points validate endpoints");
   std::unordered_map<NodeId, std::pair<double, LinkId>> best;  // node -> (dist, via)
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
-  best[src] = {0.0, 0};
+  best[src] = {0.0, LinkId{}};
   pq.push({0.0, src});
   while (!pq.empty()) {
     const auto [dist, u] = pq.top();
@@ -42,6 +44,8 @@ std::unordered_map<NodeId, std::pair<double, LinkId>> dijkstraCore(
       }
       if (std::isinf(c)) continue;
       const double nd = dist + c;
+      OPENSPACE_ASSERT(nd >= dist,
+                       "non-negative costs keep distances monotone");
       const auto itV = best.find(v);
       if (itV == best.end() || nd < itV->second.first) {
         best[v] = {nd, lid};
@@ -60,6 +64,8 @@ Route extractRoute(const NetworkGraph& g, NodeId src, NodeId dst,
   r.cost = itDst->second.first;
   NodeId cur = dst;
   while (cur != src) {
+    OPENSPACE_ASSERT(best.contains(cur),
+                     "every settled node except src has a predecessor");
     const LinkId via = best.at(cur).second;
     r.links.push_back(via);
     r.nodes.push_back(cur);

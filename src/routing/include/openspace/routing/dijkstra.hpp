@@ -9,20 +9,20 @@ namespace openspace {
 /// `home`. Returns an invalid Route (valid() == false) when unreachable.
 /// Throws NotFoundError for unknown endpoints.
 Route shortestPath(const NetworkGraph& g, NodeId src, NodeId dst,
-                   const LinkCostFn& cost, ProviderId home = 0);
+                   const LinkCostFn& cost, ProviderId home = {});
 
 /// Single-source Dijkstra: routes from `src` to every reachable node.
 /// Unreachable nodes are absent from the result.
 std::unordered_map<NodeId, Route> shortestPathTree(const NetworkGraph& g,
                                                    NodeId src,
                                                    const LinkCostFn& cost,
-                                                   ProviderId home = 0);
+                                                   ProviderId home = {});
 
 /// Yen's algorithm: up to k loop-free shortest paths in ascending cost.
 /// Returns fewer when the graph has fewer distinct paths. Throws
 /// InvalidArgumentError for k < 1.
 std::vector<Route> kShortestPaths(const NetworkGraph& g, NodeId src, NodeId dst,
                                   int k, const LinkCostFn& cost,
-                                  ProviderId home = 0);
+                                  ProviderId home = {});
 
 }  // namespace openspace

@@ -18,7 +18,7 @@ namespace openspace {
 
 /// A link-state advertisement: one node's view of its attached links.
 struct Lsa {
-  NodeId origin = 0;
+  NodeId origin{};
   std::uint64_t sequence = 0;
   double originatedAtS = 0.0;
   /// (neighbor, total link delay seconds) pairs.

@@ -19,7 +19,7 @@ class OnDemandRouter {
  public:
   /// The graph reference must stay alive and reflects live conditions.
   explicit OnDemandRouter(const NetworkGraph& graph,
-                          LinkCostFn cost = latencyCost(), ProviderId home = 0);
+                          LinkCostFn cost = latencyCost(), ProviderId home = {});
 
   /// Route under current congestion/tariff state.
   Route route(NodeId src, NodeId dst) const;

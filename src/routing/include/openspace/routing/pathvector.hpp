@@ -39,7 +39,7 @@ std::string_view relationshipName(Relationship r) noexcept;
 
 /// A route advertisement for one destination provider.
 struct PathAdvertisement {
-  ProviderId destination = 0;
+  ProviderId destination{};
   /// Provider-level path, destination last; self is prepended on export.
   std::vector<ProviderId> path;
 
@@ -82,7 +82,7 @@ class PathVectorNode {
  private:
   struct RibEntry {
     PathAdvertisement adv;
-    ProviderId learnedFrom = 0;
+    ProviderId learnedFrom{};
     Relationship learnedVia = Relationship::Mesh;
   };
   /// Preference: customer > peer > provider (Gao-Rexford econ), then
@@ -98,8 +98,8 @@ class PathVectorNode {
 /// Provider-level adjacency with relationship labels (symmetric pairs must
 /// be added consistently by the caller: A customer-of B <=> B provider-of A).
 struct ProviderLink {
-  ProviderId a = 0;
-  ProviderId b = 0;
+  ProviderId a{};
+  ProviderId b{};
   Relationship aToB = Relationship::Mesh;  ///< a's view of b.
   Relationship bToA = Relationship::Mesh;  ///< b's view of a.
 };
@@ -111,7 +111,7 @@ struct ConvergenceReport {
   bool converged = false;  ///< false = hit the round cap.
   /// reachablePairs / (n * (n-1)).
   double reachability = 0.0;
-  double meanPathLength = 0.0;  ///< Over reachable pairs.
+  double meanPathHops = 0.0;  ///< Over reachable pairs.
 };
 
 /// Build nodes from links, run synchronous advertisement rounds until no

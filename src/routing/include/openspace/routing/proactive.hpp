@@ -16,12 +16,12 @@ namespace openspace {
 
 class ProactiveRouter {
  public:
-  /// Precompute snapshots of `builder` on the grid {t0, t0+step, ...} over
-  /// [t0, t0+horizon]. Throws InvalidArgumentError for non-positive
+  /// Precompute snapshots of `builder` on the grid {t0S, t0S+step, ...} over
+  /// [t0S, t0S+horizon]. Throws InvalidArgumentError for non-positive
   /// step/horizon.
   ProactiveRouter(const TopologyBuilder& builder, const SnapshotOptions& opt,
-                  double t0, double horizonS, double stepS,
-                  LinkCostFn cost = latencyCost(), ProviderId home = 0);
+                  double t0S, double horizonS, double stepS,
+                  LinkCostFn cost = latencyCost(), ProviderId home = {});
 
   /// Route valid at time t (uses the latest snapshot at or before t;
   /// t before the grid uses the first snapshot). Source trees are cached.

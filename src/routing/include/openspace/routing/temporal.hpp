@@ -35,19 +35,19 @@ struct TemporalRoute {
 /// Earliest-arrival router over a precomputed snapshot grid.
 class ContactGraphRouter {
  public:
-  /// Precomputes snapshots on {t0, t0+step, ...} covering [t0, t0+horizon].
+  /// Precomputes snapshots on {t0S, t0S+step, ...} covering [t0S, t0S+horizon].
   /// Throws InvalidArgumentError for non-positive step/horizon.
   ContactGraphRouter(const TopologyBuilder& builder, const SnapshotOptions& opt,
-                     double t0, double horizonS, double stepS);
+                     double t0S, double horizonS, double stepS);
 
-  /// Earliest arrival of a message from `src` (ready at `tStart`) to `dst`,
+  /// Earliest arrival of a message from `src` (ready at `tStartS`) to `dst`,
   /// allowing storage at intermediate nodes between snapshot intervals.
   /// Unreachable within the horizon => reachable == false. Throws
   /// NotFoundError for nodes absent from the snapshots.
-  TemporalRoute earliestArrival(NodeId src, NodeId dst, double tStart) const;
+  TemporalRoute earliestArrival(NodeId src, NodeId dst, double tStartS) const;
 
   std::size_t snapshotCount() const noexcept { return snaps_.size(); }
-  double horizonEndS() const noexcept { return gridEnd_; }
+  double horizonEndS() const noexcept { return gridEndS_; }
 
  private:
   struct Interval {
@@ -56,7 +56,7 @@ class ContactGraphRouter {
     NetworkGraph graph;
   };
   std::vector<Interval> snaps_;
-  double gridEnd_ = 0.0;
+  double gridEndS_ = 0.0;
 };
 
 }  // namespace openspace

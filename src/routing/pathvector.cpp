@@ -179,7 +179,7 @@ ConvergenceReport runPathVector(const std::vector<ProviderId>& providers,
     }
     rep.reachability =
         static_cast<double>(reachable) / static_cast<double>(n * (n - 1));
-    rep.meanPathLength = reachable ? pathSum / static_cast<double>(reachable) : 0.0;
+    rep.meanPathHops = reachable ? pathSum / static_cast<double>(reachable) : 0.0;
   }
   if (outNodes) *outNodes = std::move(nodes);
   return rep;

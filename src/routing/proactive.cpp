@@ -5,14 +5,14 @@
 namespace openspace {
 
 ProactiveRouter::ProactiveRouter(const TopologyBuilder& builder,
-                                 const SnapshotOptions& opt, double t0,
+                                 const SnapshotOptions& opt, double t0S,
                                  double horizonS, double stepS, LinkCostFn cost,
                                  ProviderId home)
     : cost_(std::move(cost)), home_(home) {
   if (stepS <= 0.0 || horizonS <= 0.0) {
     throw InvalidArgumentError("ProactiveRouter: step and horizon must be > 0");
   }
-  for (double t = t0; t <= t0 + horizonS + 1e-9; t += stepS) {
+  for (double t = t0S; t <= t0S + horizonS + 1e-9; t += stepS) {
     snaps_.emplace(t, Snap{builder.snapshot(t, opt), {}});
   }
 }

@@ -42,7 +42,7 @@ LinkCostFn makeCostFunction(const CostWeights& weights) {
       cost += weights.bandwidthWeight / l.capacityBps;
     }
     cost += weights.tariffWeight * l.tariffUsdPerGb * 1e-3;
-    if (weights.foreignPenalty > 0.0 && home != 0) {
+    if (weights.foreignPenalty > 0.0 && home.isValid()) {
       // A hop is "foreign" when neither endpoint belongs to the home ISP.
       const bool aHome = g.node(l.a).provider == home;
       const bool bHome = g.node(l.b).provider == home;

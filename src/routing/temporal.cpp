@@ -7,27 +7,27 @@
 namespace openspace {
 
 ContactGraphRouter::ContactGraphRouter(const TopologyBuilder& builder,
-                                       const SnapshotOptions& opt, double t0,
+                                       const SnapshotOptions& opt, double t0S,
                                        double horizonS, double stepS) {
   if (stepS <= 0.0 || horizonS <= 0.0) {
     throw InvalidArgumentError("ContactGraphRouter: step/horizon must be > 0");
   }
-  for (double t = t0; t < t0 + horizonS; t += stepS) {
-    snaps_.push_back({t, std::min(t + stepS, t0 + horizonS),
+  for (double t = t0S; t < t0S + horizonS; t += stepS) {
+    snaps_.push_back({t, std::min(t + stepS, t0S + horizonS),
                       builder.snapshot(t, opt)});
   }
-  gridEnd_ = t0 + horizonS;
+  gridEndS_ = t0S + horizonS;
 }
 
 TemporalRoute ContactGraphRouter::earliestArrival(NodeId src, NodeId dst,
-                                                  double tStart) const {
+                                                  double tStartS) const {
   if (snaps_.empty()) throw StateError("ContactGraphRouter: no snapshots");
   if (!snaps_.front().graph.hasNode(src) || !snaps_.front().graph.hasNode(dst)) {
     throw NotFoundError("earliestArrival: unknown node");
   }
 
   TemporalRoute out;
-  out.departureS = tStart;
+  out.departureS = tStartS;
 
   struct Label {
     double arrival = std::numeric_limits<double>::infinity();
@@ -35,11 +35,11 @@ TemporalRoute ContactGraphRouter::earliestArrival(NodeId src, NodeId dst,
     int hops = 0;
   };
   std::unordered_map<NodeId, Label> labels;
-  labels[src] = {tStart, 0.0, 0};
+  labels[src] = {tStartS, 0.0, 0};
 
   int intervals = 0;
   for (const Interval& iv : snaps_) {
-    if (iv.endS < tStart) continue;  // before the message exists
+    if (iv.endS < tStartS) continue;  // before the message exists
     ++intervals;
 
     // Multi-source Dijkstra within this interval: a node participates once

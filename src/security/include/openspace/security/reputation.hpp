@@ -38,12 +38,12 @@ std::string_view misbehaviorName(MisbehaviorKind k) noexcept;
 class ReputationTracker {
  public:
   /// Throws InvalidArgumentError unless 0 < threshold < 1.
-  explicit ReputationTracker(double quarantineThreshold = 0.5,
-                             double priorGood = 8.0, double priorBad = 1.0);
+  explicit ReputationTracker(double quarantineScore = 0.5,
+                             double priorGoodCount = 8.0, double priorBadCount = 1.0);
 
-  /// Record misbehavior evidence; `severity` scales the weight (>= 0).
+  /// Record misbehavior evidence; `severityWeight` scales the evidence (>= 0).
   void reportMisbehavior(ProviderId p, MisbehaviorKind kind,
-                         double severity = 1.0);
+                         double severityWeight = 1.0);
 
   /// Record successfully-audited good service.
   void reportGoodService(ProviderId p, double weight = 1.0);
@@ -59,27 +59,27 @@ class ReputationTracker {
 
  private:
   struct Record {
-    double good;
-    double bad;
+    double goodCount;
+    double badCount;
     std::map<MisbehaviorKind, int> incidents;
   };
   Record& recordOf(ProviderId p);
 
-  double threshold_;
-  double priorGood_;
-  double priorBad_;
+  double quarantineScore_;
+  double priorGoodCount_;
+  double priorBadCount_;
   std::map<ProviderId, Record> records_;
 };
 
 /// A detected books mismatch between a carrier and a traffic owner.
 struct LedgerDiscrepancy {
-  ProviderId carrier = 0;
-  ProviderId owner = 0;
+  ProviderId carrier{};
+  ProviderId owner{};
   double carrierClaimBytes = 0.0;
   double ownerClaimBytes = 0.0;
   /// The party whose claim disagrees with the witness consensus. 0 when no
   /// witness can arbitrate (the two principals simply disagree).
-  ProviderId suspected = 0;
+  ProviderId suspected{};
 };
 
 /// Audit every (carrier, owner) pair across all ledgers. For each mismatch
@@ -89,7 +89,7 @@ struct LedgerDiscrepancy {
 std::vector<LedgerDiscrepancy> auditLedgers(const SettlementEngine& engine,
                                             double toleranceBytes = 0.5);
 
-/// Feed audit results into a reputation tracker (severity scales with the
+/// Feed audit results into a reputation tracker (severityWeight scales with the
 /// relative size of the discrepancy).
 void applyAuditFindings(const std::vector<LedgerDiscrepancy>& findings,
                         ReputationTracker& reputation);

@@ -18,15 +18,15 @@ std::string_view misbehaviorName(MisbehaviorKind k) noexcept {
   return "?";
 }
 
-ReputationTracker::ReputationTracker(double quarantineThreshold,
-                                     double priorGood, double priorBad)
-    : threshold_(quarantineThreshold),
-      priorGood_(priorGood),
-      priorBad_(priorBad) {
-  if (quarantineThreshold <= 0.0 || quarantineThreshold >= 1.0) {
+ReputationTracker::ReputationTracker(double quarantineScore,
+                                     double priorGoodCount, double priorBadCount)
+    : quarantineScore_(quarantineScore),
+      priorGoodCount_(priorGoodCount),
+      priorBadCount_(priorBadCount) {
+  if (quarantineScore <= 0.0 || quarantineScore >= 1.0) {
     throw InvalidArgumentError("ReputationTracker: threshold must be in (0,1)");
   }
-  if (priorGood <= 0.0 || priorBad <= 0.0) {
+  if (priorGoodCount <= 0.0 || priorBadCount <= 0.0) {
     throw InvalidArgumentError("ReputationTracker: priors must be > 0");
   }
 }
@@ -34,16 +34,16 @@ ReputationTracker::ReputationTracker(double quarantineThreshold,
 ReputationTracker::Record& ReputationTracker::recordOf(ProviderId p) {
   const auto it = records_.find(p);
   if (it != records_.end()) return it->second;
-  return records_.emplace(p, Record{priorGood_, priorBad_, {}}).first->second;
+  return records_.emplace(p, Record{priorGoodCount_, priorBadCount_, {}}).first->second;
 }
 
 void ReputationTracker::reportMisbehavior(ProviderId p, MisbehaviorKind kind,
-                                          double severity) {
-  if (severity < 0.0) {
-    throw InvalidArgumentError("reportMisbehavior: negative severity");
+                                          double severityWeight) {
+  if (severityWeight < 0.0) {
+    throw InvalidArgumentError("reportMisbehavior: negative severityWeight");
   }
   Record& r = recordOf(p);
-  r.bad += severity;
+  r.badCount += severityWeight;
   r.incidents[kind] += 1;
 }
 
@@ -51,17 +51,17 @@ void ReputationTracker::reportGoodService(ProviderId p, double weight) {
   if (weight < 0.0) {
     throw InvalidArgumentError("reportGoodService: negative weight");
   }
-  recordOf(p).good += weight;
+  recordOf(p).goodCount += weight;
 }
 
 double ReputationTracker::score(ProviderId p) const {
   const auto it = records_.find(p);
-  if (it == records_.end()) return priorGood_ / (priorGood_ + priorBad_);
-  return it->second.good / (it->second.good + it->second.bad);
+  if (it == records_.end()) return priorGoodCount_ / (priorGoodCount_ + priorBadCount_);
+  return it->second.goodCount / (it->second.goodCount + it->second.badCount);
 }
 
 bool ReputationTracker::quarantined(ProviderId p) const {
-  return score(p) < threshold_;
+  return score(p) < quarantineScore_;
 }
 
 std::vector<ProviderId> ReputationTracker::quarantinedProviders() const {
@@ -131,14 +131,14 @@ std::vector<LedgerDiscrepancy> auditLedgers(const SettlementEngine& engine,
 void applyAuditFindings(const std::vector<LedgerDiscrepancy>& findings,
                         ReputationTracker& reputation) {
   for (const auto& d : findings) {
-    if (d.suspected == 0) continue;  // unarbitrated: no attribution
+    if (!d.suspected.isValid()) continue;  // unarbitrated: no attribution
     const double base = std::max(d.carrierClaimBytes, d.ownerClaimBytes);
-    const double severity =
+    const double severityWeight =
         (base > 0.0)
             ? std::abs(d.carrierClaimBytes - d.ownerClaimBytes) / base
             : 1.0;
     reputation.reportMisbehavior(d.suspected, MisbehaviorKind::LedgerInflation,
-                                 severity * 4.0);
+                                 severityWeight * 4.0);
   }
 }
 

@@ -79,7 +79,7 @@ struct TrafficReport {
   std::size_t packetsDropped = 0;
   double meanLatencyS = 0.0;
   double p95LatencyS = 0.0;
-  double lossRate = 0.0;
+  double lossProbability = 0.0;
   bool ledgersCrossVerified = false;
   std::vector<SettlementItem> settlement;
   double totalSettlementUsd = 0.0;
@@ -122,6 +122,8 @@ class Scenario {
   const TopologyBuilder& topology() const noexcept { return *builder_; }
   SettlementEngine& settlement() noexcept { return settlement_; }
   NodeId userNode(std::size_t userIndex) const;
+  /// Typed handle of station `stationIndex` (config order).
+  GroundStationId stationId(std::size_t stationIndex) const;
   NodeId stationNode(std::size_t stationIndex) const;
   NodeId homeGatewayOf(std::size_t userIndex) const;
   const ScenarioConfig& config() const noexcept { return cfg_; }
@@ -138,7 +140,7 @@ class Scenario {
   std::vector<RadiusServer> radius_;  ///< One per provider.
   std::vector<AssociationAgent> agents_;
   std::vector<NodeId> userNodes_;
-  std::vector<NodeId> stationNodes_;
+  std::vector<GroundStationId> stations_;
   SettlementEngine settlement_;
   BeaconSchedule beacons_;
   Rng rng_;

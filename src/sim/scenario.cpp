@@ -68,7 +68,7 @@ Scenario::Scenario(const ScenarioConfig& cfg)
       throw InvalidArgumentError("Scenario: station owner index out of range");
     }
     GroundSite site{st.name, st.location, providerId(st.ownerProviderIndex)};
-    stationNodes_.push_back(builder_->addGroundStation(site));
+    stations_.push_back(builder_->addGroundStation(site));
   }
 
   // --- users + AAA ----------------------------------------------------------
@@ -93,7 +93,7 @@ Scenario::Scenario(const ScenarioConfig& cfg)
   for (std::size_t p = 0; p < cfg.providers.size(); ++p) {
     settlement_.addProvider(providerId(p));
     settlement_.setTariff(
-        {providerId(p), 0, cfg.providers[p].transitTariffUsdPerGb});
+        {providerId(p), ProviderId{}, cfg.providers[p].transitTariffUsdPerGb});
   }
 }
 
@@ -134,11 +134,15 @@ NodeId Scenario::userNode(std::size_t userIndex) const {
   return userNodes_[userIndex];
 }
 
-NodeId Scenario::stationNode(std::size_t stationIndex) const {
-  if (stationIndex >= stationNodes_.size()) {
-    throw InvalidArgumentError("Scenario::stationNode: index out of range");
+GroundStationId Scenario::stationId(std::size_t stationIndex) const {
+  if (stationIndex >= stations_.size()) {
+    throw InvalidArgumentError("Scenario::stationId: index out of range");
   }
-  return stationNodes_[stationIndex];
+  return stations_[stationIndex];
+}
+
+NodeId Scenario::stationNode(std::size_t stationIndex) const {
+  return builder_->nodeOf(stationId(stationIndex));
 }
 
 NodeId Scenario::homeGatewayOf(std::size_t userIndex) const {
@@ -147,7 +151,9 @@ NodeId Scenario::homeGatewayOf(std::size_t userIndex) const {
   }
   const std::size_t home = cfg_.users[userIndex].homeProviderIndex;
   for (std::size_t s = 0; s < cfg_.stations.size(); ++s) {
-    if (cfg_.stations[s].ownerProviderIndex == home) return stationNodes_[s];
+    if (cfg_.stations[s].ownerProviderIndex == home) {
+      return builder_->nodeOf(stations_[s]);
+    }
   }
   throw NotFoundError("Scenario: user's home provider owns no ground station");
 }
@@ -292,7 +298,7 @@ TrafficReport Scenario::runTrafficEpoch(double tSeconds, double durationS,
     rep.meanLatencyS = engine.stats().meanS();
     rep.p95LatencyS = engine.stats().p95S();
   }
-  rep.lossRate = engine.stats().lossRate();
+  rep.lossProbability = engine.stats().lossRate();
   rep.ledgersCrossVerified = settlement_.crossVerify();
   rep.settlement = settlement_.settle();
   for (const auto& item : rep.settlement) rep.totalSettlementUsd += item.amountUsd;

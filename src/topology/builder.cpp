@@ -6,6 +6,7 @@
 #include <openspace/geo/error.hpp>
 #include <openspace/geo/units.hpp>
 #include <openspace/orbit/snapshot.hpp>
+#include <openspace/orbit/walker.hpp>
 #include <openspace/orbit/visibility.hpp>
 #include <openspace/phy/linkbudget.hpp>
 
@@ -59,7 +60,7 @@ double userLinkCapacityBps(double distanceM, double elevationRad) {
 TopologyBuilder::TopologyBuilder(const EphemerisService& ephemeris)
     : ephemeris_(ephemeris) {
   for (const SatelliteId sid : ephemeris_.satellites()) {
-    const NodeId nid = nextNode_++;
+    const NodeId nid{nextNodeValue_++};
     satNodes_.emplace(sid, nid);
     nodeSats_.emplace(nid, sid);
     caps_.emplace(sid, defaultCapabilities());
@@ -86,14 +87,14 @@ const LinkCapabilities& TopologyBuilder::capabilities(SatelliteId id) const {
   return it->second;
 }
 
-NodeId TopologyBuilder::addGroundStation(GroundSite site) {
-  const NodeId id = nextNode_++;
+GroundStationId TopologyBuilder::addGroundStation(GroundSite site) {
+  const NodeId id{nextNodeValue_++};
   stations_.push_back({id, std::move(site)});
-  return id;
+  return GroundStationId{static_cast<GroundStationId::rep_type>(stations_.size())};
 }
 
 NodeId TopologyBuilder::addUser(GroundSite site) {
-  const NodeId id = nextNode_++;
+  const NodeId id{nextNodeValue_++};
   users_.push_back({id, std::move(site)});
   return id;
 }
@@ -104,6 +105,22 @@ NodeId TopologyBuilder::nodeOf(SatelliteId id) const {
     throw NotFoundError("TopologyBuilder::nodeOf: unknown satellite");
   }
   return it->second;
+}
+
+NodeId TopologyBuilder::nodeOf(GroundStationId id) const {
+  if (!id.isValid() || id.value() > stations_.size()) {
+    throw NotFoundError("TopologyBuilder::nodeOf: unknown ground station");
+  }
+  return stations_[id.value() - 1].node;
+}
+
+std::vector<GroundStationId> TopologyBuilder::groundStations() const {
+  std::vector<GroundStationId> out;
+  out.reserve(stations_.size());
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    out.push_back(GroundStationId{static_cast<GroundStationId::rep_type>(i + 1)});
+  }
+  return out;
 }
 
 SatelliteId TopologyBuilder::satelliteOf(NodeId id) const {
@@ -130,7 +147,7 @@ NetworkGraph TopologyBuilder::snapshot(double tSeconds,
     n.id = satNodes_.at(sats[i]);
     n.kind = NodeKind::Satellite;
     n.provider = rec.owner;
-    n.name = "sat-" + std::to_string(sats[i]);
+    n.name = "sat-" + std::to_string(sats[i].value());
     n.satellite = sats[i];
     g.addNode(std::move(n));
   }
@@ -182,23 +199,20 @@ NetworkGraph TopologyBuilder::snapshot(double tSeconds,
 
   switch (opt.wiring) {
     case IslWiring::PlusGrid: {
-      if (opt.planes <= 0 || sats.size() % static_cast<std::size_t>(opt.planes) != 0) {
+      if (opt.planes <= 0 || sats.empty() ||
+          sats.size() % static_cast<std::size_t>(opt.planes) != 0) {
         throw InvalidArgumentError(
             "snapshot: PlusGrid wiring requires planes dividing the fleet");
       }
-      const std::size_t planes = static_cast<std::size_t>(opt.planes);
-      const std::size_t perPlane = sats.size() / planes;
-      for (std::size_t p = 0; p < planes; ++p) {
-        for (std::size_t s = 0; s < perPlane; ++s) {
-          const std::size_t idx = p * perPlane + s;
-          // Intra-plane ring neighbor.
-          tryAddIsl(idx, p * perPlane + (s + 1) % perPlane);
-          // Same-slot neighbor in the next plane (seam optional).
-          if (p + 1 < planes) {
-            tryAddIsl(idx, (p + 1) * perPlane + s);
-          } else if (opt.interPlaneSeam) {
-            tryAddIsl(idx, s);
-          }
+      const PlaneGrid grid(sats.size(), opt.planes);
+      for (std::size_t idx = 0; idx < sats.size(); ++idx) {
+        const PlaneId plane = grid.planeOf(idx);
+        const std::size_t slot = grid.slotOf(idx);
+        // Intra-plane ring neighbor.
+        tryAddIsl(idx, grid.indexOf(plane, slot + 1));
+        // Same-slot neighbor in the next plane (seam optional).
+        if (!grid.isSeamPlane(plane) || opt.interPlaneSeam) {
+          tryAddIsl(idx, grid.indexOf(grid.nextPlane(plane), slot));
         }
       }
       break;

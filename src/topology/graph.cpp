@@ -35,7 +35,7 @@ NodeId Link::otherEnd(NodeId from) const {
 void NetworkGraph::addNode(Node node) {
   if (nodes_.contains(node.id)) {
     throw InvalidArgumentError("NetworkGraph: duplicate node id " +
-                               std::to_string(node.id));
+                               std::to_string(node.id.value()));
   }
   const bool sat = node.kind == NodeKind::Satellite;
   if (sat != node.satellite.has_value() || sat == node.location.has_value()) {
@@ -59,7 +59,7 @@ LinkId NetworkGraph::addLink(Link link) {
   if (link.capacityBps <= 0.0) {
     throw InvalidArgumentError("NetworkGraph::addLink: capacity must be > 0");
   }
-  link.id = nextLinkId_++;
+  link.id = LinkId{nextLinkIdValue_++};
   const LinkId id = link.id;
   adjacency_[link.a].push_back(id);
   adjacency_[link.b].push_back(id);
@@ -89,7 +89,7 @@ void NetworkGraph::removeLink(LinkId id) {
 const Node& NetworkGraph::node(NodeId id) const {
   const auto it = nodes_.find(id);
   if (it == nodes_.end()) {
-    throw NotFoundError("NetworkGraph: unknown node " + std::to_string(id));
+    throw NotFoundError("NetworkGraph: unknown node " + std::to_string(id.value()));
   }
   return it->second;
 }
@@ -101,7 +101,7 @@ Node& NetworkGraph::node(NodeId id) {
 const Link& NetworkGraph::link(LinkId id) const {
   const auto it = links_.find(id);
   if (it == links_.end()) {
-    throw NotFoundError("NetworkGraph: unknown link " + std::to_string(id));
+    throw NotFoundError("NetworkGraph: unknown link " + std::to_string(id.value()));
   }
   return it->second;
 }

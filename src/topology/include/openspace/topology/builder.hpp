@@ -19,7 +19,7 @@ namespace openspace {
 struct GroundSite {
   std::string name;
   Geodetic location;
-  ProviderId provider = 0;
+  ProviderId provider{};
 };
 
 /// How ISLs are wired in a snapshot.
@@ -64,13 +64,18 @@ class TopologyBuilder {
 
   const LinkCapabilities& capabilities(SatelliteId id) const;
 
-  NodeId addGroundStation(GroundSite site);
+  /// Register a ground station; returns its stable typed handle.
+  GroundStationId addGroundStation(GroundSite site);
   NodeId addUser(GroundSite site);
 
   /// NodeId of a satellite (assigned at construction, ephemeris order).
   NodeId nodeOf(SatelliteId id) const;
+  /// NodeId of a registered ground station. Throws NotFoundError.
+  NodeId nodeOf(GroundStationId id) const;
   /// SatelliteId behind a node. Throws if the node is not a satellite.
   SatelliteId satelliteOf(NodeId id) const;
+  /// All registered ground stations, in registration order.
+  std::vector<GroundStationId> groundStations() const;
 
   /// Materialize the topology at time t.
   NetworkGraph snapshot(double tSeconds, const SnapshotOptions& opt) const;
@@ -92,7 +97,7 @@ class TopologyBuilder {
   std::unordered_map<SatelliteId, LinkCapabilities> caps_;
   std::vector<SiteEntry> stations_;
   std::vector<SiteEntry> users_;
-  NodeId nextNode_ = 1;
+  NodeId::rep_type nextNodeValue_ = 1;
 };
 
 /// Capacity (bps) an ISL closes at over `distanceM` using the standardized

@@ -57,7 +57,7 @@ class NetworkGraph {
   std::unordered_map<LinkId, Link> links_;
   std::vector<LinkId> linkOrder_;
   std::unordered_map<NodeId, std::vector<LinkId>> adjacency_;
-  LinkId nextLinkId_ = 1;
+  LinkId::rep_type nextLinkIdValue_ = 1;
   std::size_t liveLinks_ = 0;
 };
 

@@ -4,13 +4,11 @@
 #include <cstdint>
 #include <string_view>
 
+#include <openspace/core/ids.hpp>
 #include <openspace/phy/bands.hpp>
 #include <openspace/topology/node.hpp>
 
 namespace openspace {
-
-/// Link identifier.
-using LinkId = std::uint32_t;
 
 /// Kinds of links in the OpenSpace topology (paper §2: ground-to-satellite,
 /// satellite-to-satellite, satellite-to-ground).
@@ -26,9 +24,9 @@ std::string_view linkTypeName(LinkType t) noexcept;
 /// An undirected link in a topology snapshot. Distance/latency/capacity are
 /// snapshot-time values; ownership & tariff feed the routing cost model.
 struct Link {
-  LinkId id = 0;
-  NodeId a = 0;
-  NodeId b = 0;
+  LinkId id{};
+  NodeId a{};
+  NodeId b{};
   LinkType type = LinkType::IslRf;
   Band band = Band::S;
   double distanceM = 0.0;

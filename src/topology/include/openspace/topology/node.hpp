@@ -5,14 +5,11 @@
 #include <optional>
 #include <string>
 
+#include <openspace/core/ids.hpp>
 #include <openspace/geo/geodetic.hpp>
 #include <openspace/orbit/ephemeris.hpp>
 
 namespace openspace {
-
-/// Graph-level node identifier (distinct space from SatelliteId: ground
-/// assets have NodeIds but no SatelliteId).
-using NodeId = std::uint32_t;
 
 /// Kinds of OpenSpace network participants.
 enum class NodeKind { Satellite, GroundStation, User };
@@ -21,9 +18,9 @@ enum class NodeKind { Satellite, GroundStation, User };
 /// the shared EphemerisService); ground assets carry a fixed geodetic
 /// location.
 struct Node {
-  NodeId id = 0;
+  NodeId id{};
   NodeKind kind = NodeKind::Satellite;
-  ProviderId provider = 0;
+  ProviderId provider{};
   std::string name;
   /// Set iff kind == Satellite.
   std::optional<SatelliteId> satellite;

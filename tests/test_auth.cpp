@@ -18,17 +18,17 @@ TEST(KeyedTag, DeterministicAndKeySensitive) {
 }
 
 TEST(Certificate, IssueAndVerify) {
-  const CertificateAuthority ca(5, 0xDEADBEEF, 3600.0);
+  const CertificateAuthority ca(ProviderId{5}, 0xDEADBEEF, 3600.0);
   const Certificate cert = ca.issue(42, 100.0);
   EXPECT_EQ(cert.user, 42u);
-  EXPECT_EQ(cert.homeProvider, 5u);
+  EXPECT_EQ(cert.homeProvider, ProviderId{5u});
   EXPECT_DOUBLE_EQ(cert.issuedAtS, 100.0);
   EXPECT_DOUBLE_EQ(cert.expiresAtS, 3700.0);
   EXPECT_TRUE(ca.verify(cert, 200.0));
 }
 
 TEST(Certificate, ExpiryEnforced) {
-  const CertificateAuthority ca(5, 1, 100.0);
+  const CertificateAuthority ca(ProviderId{5}, 1, 100.0);
   const Certificate cert = ca.issue(42, 0.0);
   EXPECT_TRUE(ca.verify(cert, 99.9));
   EXPECT_FALSE(ca.verify(cert, 100.0));
@@ -36,7 +36,7 @@ TEST(Certificate, ExpiryEnforced) {
 }
 
 TEST(Certificate, TamperingDetected) {
-  const CertificateAuthority ca(5, 0xABCD, 3600.0);
+  const CertificateAuthority ca(ProviderId{5}, 0xABCD, 3600.0);
   Certificate cert = ca.issue(42, 0.0);
   cert.user = 43;  // forge a different user
   EXPECT_FALSE(ca.verify(cert, 10.0));
@@ -46,22 +46,22 @@ TEST(Certificate, TamperingDetected) {
 }
 
 TEST(Certificate, WrongAuthorityRejects) {
-  const CertificateAuthority caA(1, 111, 3600.0);
-  const CertificateAuthority caB(2, 222, 3600.0);
+  const CertificateAuthority caA(ProviderId{1}, 111, 3600.0);
+  const CertificateAuthority caB(ProviderId{2}, 222, 3600.0);
   const Certificate cert = caA.issue(42, 0.0);
   EXPECT_FALSE(caB.verify(cert, 10.0));
 }
 
 TEST(Certificate, InvalidLifetimeThrows) {
-  EXPECT_THROW(CertificateAuthority(1, 1, 0.0), InvalidArgumentError);
+  EXPECT_THROW(CertificateAuthority(ProviderId{1}, 1, 0.0), InvalidArgumentError);
 }
 
 TEST(Radius, AcceptsValidCredentials) {
-  RadiusServer server(3, 0xFEED);
+  RadiusServer server(ProviderId{3}, 0xFEED);
   server.enroll(7, 0x1234);
   AccessRequest req;
   req.user = 7;
-  req.homeProvider = 3;
+  req.homeProvider = ProviderId{3};
   req.nonce = "n-1";
   req.credentialProof = RadiusServer::proveCredential(0x1234, "n-1");
   const AccessResponse resp = server.authenticate(req, 50.0);
@@ -71,11 +71,11 @@ TEST(Radius, AcceptsValidCredentials) {
 }
 
 TEST(Radius, RejectsBadProofUnknownUserWrongProvider) {
-  RadiusServer server(3, 0xFEED);
+  RadiusServer server(ProviderId{3}, 0xFEED);
   server.enroll(7, 0x1234);
   AccessRequest req;
   req.user = 7;
-  req.homeProvider = 3;
+  req.homeProvider = ProviderId{3};
   req.nonce = "n-1";
   req.credentialProof = RadiusServer::proveCredential(0x9999, "n-1");
   EXPECT_FALSE(server.authenticate(req, 0.0).accepted);  // wrong secret
@@ -88,12 +88,12 @@ TEST(Radius, RejectsBadProofUnknownUserWrongProvider) {
   EXPECT_FALSE(server.authenticate(req, 0.0).accepted);
 
   req.user = 7;
-  req.homeProvider = 4;  // wrong home
+  req.homeProvider = ProviderId{4};  // wrong home
   EXPECT_FALSE(server.authenticate(req, 0.0).accepted);
 }
 
 TEST(Radius, RevocationWorks) {
-  RadiusServer server(3, 0xFEED);
+  RadiusServer server(ProviderId{3}, 0xFEED);
   server.enroll(7, 0x1234);
   EXPECT_EQ(server.subscriberCount(), 1u);
   server.revoke(7);
@@ -101,7 +101,7 @@ TEST(Radius, RevocationWorks) {
   EXPECT_THROW(server.revoke(7), NotFoundError);
   AccessRequest req;
   req.user = 7;
-  req.homeProvider = 3;
+  req.homeProvider = ProviderId{3};
   req.nonce = "n";
   req.credentialProof = RadiusServer::proveCredential(0x1234, "n");
   EXPECT_FALSE(server.authenticate(req, 0.0).accepted);
@@ -112,18 +112,18 @@ TEST(Radius, RevocationWorks) {
 class AssociationTest : public ::testing::Test {
  protected:
   AssociationTest()
-      : server_(1, 0xCAFE),
+      : server_(ProviderId{1}, 0xCAFE),
         schedule_(2.0),
         user_(Geodetic::fromDegrees(40.44, -79.99)) {
     // Interleave two providers across the Iridium constellation.
     int i = 0;
     for (const auto& el : makeWalkerStar(iridiumConfig())) {
-      eph_.publish(1 + (i++ % 2), el);
+      eph_.publish(ProviderId{static_cast<std::uint32_t>(1 + (i++ % 2))}, el);
     }
     builder_ = std::make_unique<TopologyBuilder>(eph_);
     // Provider 1's gateway (where its RADIUS server lives).
-    gateway_ = builder_->addGroundStation(
-        {"home-gw", Geodetic::fromDegrees(47.0, -122.0), 1});
+    gateway_ = builder_->nodeOf(builder_->addGroundStation(
+        {"home-gw", Geodetic::fromDegrees(47.0, -122.0), ProviderId{1}}));
     server_.enroll(1, 0xABC);
     opt_.wiring = IslWiring::PlusGrid;
     opt_.planes = 6;
@@ -148,12 +148,12 @@ class AssociationTest : public ::testing::Test {
   RadiusServer server_;
   BeaconSchedule schedule_;
   Geodetic user_;
-  NodeId gateway_ = 0;
+  NodeId gateway_{};
   SnapshotOptions opt_;
 };
 
 TEST_F(AssociationTest, SelectsClosestVisibleSatellite) {
-  AssociationAgent agent(1, 1, 0xABC, user_);
+  AssociationAgent agent(1, ProviderId{1}, 0xABC, user_);
   const auto chosen =
       agent.selectSatellite(beaconsAt(0.0), 0.0, deg2rad(10.0));
   ASSERT_TRUE(chosen.has_value());
@@ -171,7 +171,7 @@ TEST_F(AssociationTest, SelectsClosestVisibleSatellite) {
 }
 
 TEST_F(AssociationTest, FullAssociationIssuesRoamingCertificate) {
-  AssociationAgent agent(1, 1, 0xABC, user_);
+  AssociationAgent agent(1, ProviderId{1}, 0xABC, user_);
   const NetworkGraph g = builder_->snapshot(0.0, opt_);
   const AssociationResult res =
       agent.associate(beaconsAt(0.0), g, *builder_, server_, gateway_, 0.0,
@@ -188,18 +188,18 @@ TEST_F(AssociationTest, FullAssociationIssuesRoamingCertificate) {
 }
 
 TEST_F(AssociationTest, RoamingOntoForeignSatelliteStillAuthenticatesHome) {
-  AssociationAgent agent(1, 1, 0xABC, user_);
+  AssociationAgent agent(1, ProviderId{1}, 0xABC, user_);
   const NetworkGraph g = builder_->snapshot(0.0, opt_);
   const AssociationResult res =
       agent.associate(beaconsAt(0.0), g, *builder_, server_, gateway_, 0.0,
                       deg2rad(10.0), schedule_);
   ASSERT_TRUE(res.success);
   // Whoever serves, the certificate comes from the home provider.
-  EXPECT_EQ(res.certificate.homeProvider, 1u);
+  EXPECT_EQ(res.certificate.homeProvider, ProviderId{1u});
 }
 
 TEST_F(AssociationTest, WrongCredentialFailsCleanly) {
-  AssociationAgent agent(1, 1, 0xBAD, user_);  // wrong secret
+  AssociationAgent agent(1, ProviderId{1}, 0xBAD, user_);  // wrong secret
   const NetworkGraph g = builder_->snapshot(0.0, opt_);
   const AssociationResult res =
       agent.associate(beaconsAt(0.0), g, *builder_, server_, gateway_, 0.0,
@@ -211,7 +211,7 @@ TEST_F(AssociationTest, WrongCredentialFailsCleanly) {
 }
 
 TEST_F(AssociationTest, NoVisibleSatelliteFails) {
-  AssociationAgent agent(1, 1, 0xABC, user_);
+  AssociationAgent agent(1, ProviderId{1}, 0xABC, user_);
   const NetworkGraph g = builder_->snapshot(0.0, opt_);
   const AssociationResult res =
       agent.associate({}, g, *builder_, server_, gateway_, 0.0, deg2rad(10.0),
@@ -220,7 +220,7 @@ TEST_F(AssociationTest, NoVisibleSatelliteFails) {
 }
 
 TEST_F(AssociationTest, MoveRequiresReassociation) {
-  AssociationAgent agent(1, 1, 0xABC, user_);
+  AssociationAgent agent(1, ProviderId{1}, 0xABC, user_);
   const NetworkGraph g = builder_->snapshot(0.0, opt_);
   ASSERT_TRUE(agent
                   .associate(beaconsAt(0.0), g, *builder_, server_, gateway_,
@@ -233,22 +233,22 @@ TEST_F(AssociationTest, MoveRequiresReassociation) {
 }
 
 TEST_F(AssociationTest, SuccessorAdoptionSkipsReauth) {
-  AssociationAgent agent(1, 1, 0xABC, user_);
+  AssociationAgent agent(1, ProviderId{1}, 0xABC, user_);
   const NetworkGraph g = builder_->snapshot(0.0, opt_);
   const auto res = agent.associate(beaconsAt(0.0), g, *builder_, server_,
                                    gateway_, 0.0, deg2rad(10.0), schedule_);
   ASSERT_TRUE(res.success);
   const Certificate before = *agent.certificate();
-  agent.adoptSuccessor(res.servingSatellite + 1);
+  agent.adoptSuccessor(SatelliteId{res.servingSatellite.value() + 1});
   EXPECT_EQ(agent.state(), AssociationState::Associated);
-  EXPECT_EQ(agent.servingSatellite(), res.servingSatellite + 1);
+  EXPECT_EQ(agent.servingSatellite(), SatelliteId{res.servingSatellite.value() + 1});
   // Certificate unchanged: no re-authentication happened.
   EXPECT_EQ(agent.certificate()->tag, before.tag);
 }
 
 TEST_F(AssociationTest, AdoptWithoutAssociationThrows) {
-  AssociationAgent agent(1, 1, 0xABC, user_);
-  EXPECT_THROW(agent.adoptSuccessor(5), StateError);
+  AssociationAgent agent(1, ProviderId{1}, 0xABC, user_);
+  EXPECT_THROW(agent.adoptSuccessor(SatelliteId{5}), StateError);
 }
 
 TEST(AssociationStateNames, AllNamed) {

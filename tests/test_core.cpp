@@ -28,7 +28,7 @@ TEST(Network, ProviderRegistry) {
   EXPECT_EQ(net.providers().size(), 2u);
   EXPECT_THROW(net.registerProvider(""), InvalidArgumentError);
   EXPECT_THROW(net.registerProvider("alpha"), InvalidArgumentError);
-  EXPECT_THROW(net.providerName(99), NotFoundError);
+  EXPECT_THROW(net.providerName(ProviderId{99}), NotFoundError);
 }
 
 TEST(Network, LaunchesAssignOwnership) {
@@ -42,7 +42,7 @@ TEST(Network, LaunchesAssignOwnership) {
   EXPECT_EQ(net.satelliteCount(), 17u);
   EXPECT_EQ(net.ephemeris().satellitesOf(a).size(), 12u);
   EXPECT_EQ(net.ephemeris().satellitesOf(b).size(), 5u);
-  EXPECT_THROW(net.launchRandom(99, 1, km(600.0), 1), NotFoundError);
+  EXPECT_THROW(net.launchRandom(ProviderId{99}, 1, km(600.0), 1), NotFoundError);
 }
 
 TEST(Network, SingleSatelliteLaunch) {
@@ -86,7 +86,7 @@ TEST(Network, LaserUpgradeReflectsInTopology) {
   const ProviderId a = net.registerProvider("alpha");
   const auto sats = net.launchWalkerStar(a, smallWalker());
   for (const SatelliteId sid : sats) net.equipLaserTerminal(sid);
-  EXPECT_THROW(net.equipLaserTerminal(9999), NotFoundError);
+  EXPECT_THROW(net.equipLaserTerminal(SatelliteId{9999}), NotFoundError);
   SnapshotOptions opt;
   opt.wiring = IslWiring::PlusGrid;
   opt.planes = 3;

@@ -12,22 +12,22 @@ namespace openspace {
 namespace {
 
 TEST(Ledger, RecordAndQuery) {
-  TrafficLedger ledger(1);
-  ledger.record(2, 1, 1000.0);
-  ledger.record(2, 1, 500.0);
-  ledger.record(3, 1, 200.0);
-  EXPECT_DOUBLE_EQ(ledger.carriedBytes(2, 1), 1500.0);
-  EXPECT_DOUBLE_EQ(ledger.carriedBytes(3, 1), 200.0);
-  EXPECT_DOUBLE_EQ(ledger.carriedBytes(9, 9), 0.0);
-  EXPECT_EQ(ledger.observer(), 1u);
-  EXPECT_THROW(ledger.record(2, 1, -1.0), InvalidArgumentError);
+  TrafficLedger ledger(ProviderId{1});
+  ledger.record(ProviderId{2}, ProviderId{1}, 1000.0);
+  ledger.record(ProviderId{2}, ProviderId{1}, 500.0);
+  ledger.record(ProviderId{3}, ProviderId{1}, 200.0);
+  EXPECT_DOUBLE_EQ(ledger.carriedBytes(ProviderId{2}, ProviderId{1}), 1500.0);
+  EXPECT_DOUBLE_EQ(ledger.carriedBytes(ProviderId{3}, ProviderId{1}), 200.0);
+  EXPECT_DOUBLE_EQ(ledger.carriedBytes(ProviderId{9}, ProviderId{9}), 0.0);
+  EXPECT_EQ(ledger.observer(), ProviderId{1u});
+  EXPECT_THROW(ledger.record(ProviderId{2}, ProviderId{1}, -1.0), InvalidArgumentError);
 }
 
 TEST(Ledger, TransitExcludesSelfCarriage) {
-  TrafficLedger ledger(2);
-  ledger.record(2, 1, 1000.0);  // carried for someone else
-  ledger.record(2, 2, 9999.0);  // own traffic on own assets
-  EXPECT_DOUBLE_EQ(ledger.totalTransitBytes(2), 1000.0);
+  TrafficLedger ledger(ProviderId{2});
+  ledger.record(ProviderId{2}, ProviderId{1}, 1000.0);  // carried for someone else
+  ledger.record(ProviderId{2}, ProviderId{2}, 9999.0);  // own traffic on own assets
+  EXPECT_DOUBLE_EQ(ledger.totalTransitBytes(ProviderId{2}), 1000.0);
 }
 
 /// Builds a 3-provider path graph: user(P1) - satA(P2) - satB(P3) - gs(P1).
@@ -39,18 +39,18 @@ class SettlementTest : public ::testing::Test {
       n.id = id;
       n.kind = kind;
       n.provider = p;
-      n.name = "n" + std::to_string(id);
+      n.name = "n" + std::to_string(id.value());
       if (kind == NodeKind::Satellite) {
-        n.satellite = id;
+        n.satellite = SatelliteId{id.value()};
       } else {
         n.location = Geodetic::fromDegrees(0, 0);
       }
       g_.addNode(std::move(n));
     };
-    addNode(1, NodeKind::User, 1);
-    addNode(2, NodeKind::Satellite, 2);
-    addNode(3, NodeKind::Satellite, 3);
-    addNode(4, NodeKind::GroundStation, 1);
+    addNode(NodeId{1}, NodeKind::User, ProviderId{1});
+    addNode(NodeId{2}, NodeKind::Satellite, ProviderId{2});
+    addNode(NodeId{3}, NodeKind::Satellite, ProviderId{3});
+    addNode(NodeId{4}, NodeKind::GroundStation, ProviderId{1});
     auto addLink = [&](NodeId a, NodeId b) {
       Link l;
       l.a = a;
@@ -60,10 +60,10 @@ class SettlementTest : public ::testing::Test {
       l.propagationDelayS = l.distanceM / kSpeedOfLightMps;
       g_.addLink(l);
     };
-    addLink(1, 2);
-    addLink(2, 3);
-    addLink(3, 4);
-    route_ = shortestPath(g_, 1, 4, latencyCost());
+    addLink(NodeId{1}, NodeId{2});
+    addLink(NodeId{2}, NodeId{3});
+    addLink(NodeId{3}, NodeId{4});
+    route_ = shortestPath(g_, NodeId{1}, NodeId{4}, latencyCost());
   }
   NetworkGraph g_;
   Route route_;
@@ -71,30 +71,30 @@ class SettlementTest : public ::testing::Test {
 
 TEST_F(SettlementTest, RouteAttributionPerTransmittingProvider) {
   SettlementEngine engine;
-  engine.recordRouteTraffic(g_, route_, /*owner=*/1, 1e6);
+  engine.recordRouteTraffic(g_, route_, /*owner=*/ProviderId{1}, 1e6);
   // Hop 1->2 transmitted by user (P1, owner: free). Hop 2->3 by sat P2.
   // Hop 3->4 by sat P3.
-  EXPECT_DOUBLE_EQ(engine.ledger(1).carriedBytes(2, 1), 1e6);
-  EXPECT_DOUBLE_EQ(engine.ledger(1).carriedBytes(3, 1), 1e6);
-  EXPECT_DOUBLE_EQ(engine.ledger(2).carriedBytes(2, 1), 1e6);
-  EXPECT_DOUBLE_EQ(engine.ledger(3).carriedBytes(3, 1), 1e6);
+  EXPECT_DOUBLE_EQ(engine.ledger(ProviderId{1}).carriedBytes(ProviderId{2}, ProviderId{1}), 1e6);
+  EXPECT_DOUBLE_EQ(engine.ledger(ProviderId{1}).carriedBytes(ProviderId{3}, ProviderId{1}), 1e6);
+  EXPECT_DOUBLE_EQ(engine.ledger(ProviderId{2}).carriedBytes(ProviderId{2}, ProviderId{1}), 1e6);
+  EXPECT_DOUBLE_EQ(engine.ledger(ProviderId{3}).carriedBytes(ProviderId{3}, ProviderId{1}), 1e6);
   // Own infrastructure is never billed.
-  EXPECT_DOUBLE_EQ(engine.ledger(1).carriedBytes(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(engine.ledger(ProviderId{1}).carriedBytes(ProviderId{1}, ProviderId{1}), 0.0);
   EXPECT_TRUE(engine.crossVerify());
 }
 
 TEST_F(SettlementTest, SettlementUsesTariffs) {
   SettlementEngine engine;
-  engine.setTariff({2, 0, 0.10});   // P2 default rate
-  engine.setTariff({3, 1, 0.50});   // P3 bilateral rate for P1
-  engine.recordRouteTraffic(g_, route_, 1, 1e9);  // 1 GB
+  engine.setTariff({ProviderId{2}, ProviderId{0}, 0.10});   // P2 default rate
+  engine.setTariff({ProviderId{3}, ProviderId{1}, 0.50});   // P3 bilateral rate for P1
+  engine.recordRouteTraffic(g_, route_, ProviderId{1}, 1e9);  // 1 GB
   const auto items = engine.settle();
   ASSERT_EQ(items.size(), 2u);
   double toP2 = 0.0, toP3 = 0.0;
   for (const auto& it : items) {
-    EXPECT_EQ(it.payer, 1u);
-    if (it.payee == 2) toP2 = it.amountUsd;
-    if (it.payee == 3) toP3 = it.amountUsd;
+    EXPECT_EQ(it.payer, ProviderId{1u});
+    if (it.payee == ProviderId{2}) toP2 = it.amountUsd;
+    if (it.payee == ProviderId{3}) toP3 = it.amountUsd;
   }
   EXPECT_NEAR(toP2, 0.10, 1e-9);
   EXPECT_NEAR(toP3, 0.50, 1e-9);
@@ -102,43 +102,43 @@ TEST_F(SettlementTest, SettlementUsesTariffs) {
 
 TEST_F(SettlementTest, TariffFallbackAndValidation) {
   SettlementEngine engine;
-  engine.setTariff({2, 0, 0.20});
-  EXPECT_DOUBLE_EQ(engine.tariffUsdPerGb(2, 7), 0.20);  // default
-  engine.setTariff({2, 7, 0.05});
-  EXPECT_DOUBLE_EQ(engine.tariffUsdPerGb(2, 7), 0.05);  // bilateral wins
-  EXPECT_DOUBLE_EQ(engine.tariffUsdPerGb(9, 7), 0.0);   // unknown carrier
-  EXPECT_THROW(engine.setTariff({1, 0, -0.1}), InvalidArgumentError);
+  engine.setTariff({ProviderId{2}, ProviderId{}, 0.20});
+  EXPECT_DOUBLE_EQ(engine.tariffUsdPerGb(ProviderId{2}, ProviderId{7}), 0.20);  // default
+  engine.setTariff({ProviderId{2}, ProviderId{7}, 0.05});
+  EXPECT_DOUBLE_EQ(engine.tariffUsdPerGb(ProviderId{2}, ProviderId{7}), 0.05);  // bilateral wins
+  EXPECT_DOUBLE_EQ(engine.tariffUsdPerGb(ProviderId{9}, ProviderId{7}), 0.0);   // unknown carrier
+  EXPECT_THROW(engine.setTariff({ProviderId{1}, ProviderId{}, -0.1}), InvalidArgumentError);
 }
 
 TEST_F(SettlementTest, CrossVerifyDetectsInflatedBooks) {
   SettlementEngine engine;
-  engine.recordRouteTraffic(g_, route_, 1, 1e6);
+  engine.recordRouteTraffic(g_, route_, ProviderId{1}, 1e6);
   ASSERT_TRUE(engine.crossVerify());
   // Carrier P2 inflates its own books beyond what the owner saw.
-  const_cast<TrafficLedger&>(engine.ledger(2)).record(2, 1, 5e5);
+  const_cast<TrafficLedger&>(engine.ledger(ProviderId{2})).record(ProviderId{2}, ProviderId{1}, 5e5);
   EXPECT_FALSE(engine.crossVerify());
 }
 
 TEST_F(SettlementTest, RecordValidation) {
   SettlementEngine engine;
-  EXPECT_THROW(engine.recordRouteTraffic(g_, Route{}, 1, 100.0),
+  EXPECT_THROW(engine.recordRouteTraffic(g_, Route{}, ProviderId{1}, 100.0),
                InvalidArgumentError);
-  EXPECT_THROW(engine.recordRouteTraffic(g_, route_, 1, -5.0),
+  EXPECT_THROW(engine.recordRouteTraffic(g_, route_, ProviderId{1}, -5.0),
                InvalidArgumentError);
-  EXPECT_THROW(engine.ledger(42), NotFoundError);
+  EXPECT_THROW(engine.ledger(ProviderId{42}), NotFoundError);
 }
 
 TEST_F(SettlementTest, PeeringDetection) {
   SettlementEngine engine;
   // Symmetric mutual carriage between 2 and 3 via direct records.
-  engine.addProvider(2);
-  engine.addProvider(3);
-  const_cast<TrafficLedger&>(engine.ledger(2)).record(2, 3, 1e6);
-  const_cast<TrafficLedger&>(engine.ledger(3)).record(3, 2, 0.9e6);
+  engine.addProvider(ProviderId{2});
+  engine.addProvider(ProviderId{3});
+  const_cast<TrafficLedger&>(engine.ledger(ProviderId{2})).record(ProviderId{2}, ProviderId{3}, 1e6);
+  const_cast<TrafficLedger&>(engine.ledger(ProviderId{3})).record(ProviderId{3}, ProviderId{2}, 0.9e6);
   const auto peers = engine.recommendPeering(0.7, 1e3);
   ASSERT_EQ(peers.size(), 1u);
-  EXPECT_EQ(peers[0].a, 2u);
-  EXPECT_EQ(peers[0].b, 3u);
+  EXPECT_EQ(peers[0].a, ProviderId{2u});
+  EXPECT_EQ(peers[0].b, ProviderId{3u});
   EXPECT_NEAR(peers[0].symmetry, 0.9, 1e-9);
   // Raising the bar excludes them.
   EXPECT_TRUE(engine.recommendPeering(0.95, 1e3).empty());

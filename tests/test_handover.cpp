@@ -14,7 +14,7 @@ namespace {
 class HandoverTest : public ::testing::Test {
  protected:
   HandoverTest() {
-    for (const auto& el : makeWalkerStar(iridiumConfig())) eph_.publish(1, el);
+    for (const auto& el : makeWalkerStar(iridiumConfig())) eph_.publish(ProviderId{1}, el);
     planner_ = std::make_unique<HandoverPlanner>(eph_, deg2rad(10.0));
   }
   EphemerisService eph_;
@@ -139,7 +139,7 @@ TEST_F(HandoverTest, InvalidWindowThrows) {
 TEST(HandoverSparse, NoCoverageMeansNoHandovers) {
   // One equatorial satellite, user at the pole: never visible.
   EphemerisService eph;
-  eph.publish(1, OrbitalElements::circular(km(780.0), 0.0, 0.0, 0.0));
+  eph.publish(ProviderId{1}, OrbitalElements::circular(km(780.0), 0.0, 0.0, 0.0));
   const HandoverPlanner planner(eph, deg2rad(10.0));
   const Geodetic pole = Geodetic::fromDegrees(89.0, 0.0);
   const auto tl =
@@ -152,7 +152,7 @@ TEST(HandoverSparse, NoCoverageMeansNoHandovers) {
 TEST(HandoverSparse, SingleSatellitePlanHasNoSuccessor) {
   EphemerisService eph;
   const SatelliteId only =
-      eph.publish(1, OrbitalElements::circular(km(780.0), 0.0, 0.0, 0.0));
+      eph.publish(ProviderId{1}, OrbitalElements::circular(km(780.0), 0.0, 0.0, 0.0));
   const HandoverPlanner planner(eph, deg2rad(10.0));
   const Geodetic equator = Geodetic::fromDegrees(0.0, 0.0);
   const HandoverPlan plan = planner.plan(only, equator, 0.0);
@@ -168,7 +168,7 @@ TEST(HandoverDensity, DenserFleetsCoverGapsBetter) {
     wc.totalSatellites = sats;
     wc.planes = planes;
     wc.phasing = wc.phasing % planes;
-    for (const auto& el : makeWalkerStar(wc)) eph.publish(1, el);
+    for (const auto& el : makeWalkerStar(wc)) eph.publish(ProviderId{1}, el);
     const HandoverPlanner planner(eph, deg2rad(10.0));
     return simulateHandovers(planner, user, 0.0, 7200.0,
                              HandoverMode::Predictive)

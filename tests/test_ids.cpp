@@ -1,0 +1,114 @@
+// Unit tests for the strong identifier layer (core/ids.hpp) and the typed
+// plane/slot arithmetic built on it (orbit/walker.hpp PlaneGrid).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <openspace/core/ids.hpp>
+#include <openspace/geo/error.hpp>
+#include <openspace/orbit/walker.hpp>
+
+namespace openspace {
+namespace {
+
+// --- the whole point: cross-domain mixups do not compile ---------------------
+
+// No implicit construction from raw integers...
+static_assert(!std::is_convertible_v<int, SatId>);
+static_assert(!std::is_convertible_v<std::uint32_t, NodeId>);
+// ...and no conversion between domains, in either direction.
+static_assert(!std::is_convertible_v<PlaneId, SatId>);
+static_assert(!std::is_convertible_v<SatId, PlaneId>);
+static_assert(!std::is_convertible_v<SatelliteId, NodeId>);
+static_assert(!std::is_convertible_v<NodeId, SatelliteId>);
+static_assert(!std::is_convertible_v<ProviderId, NodeId>);
+static_assert(!std::is_convertible_v<GroundStationId, NodeId>);
+static_assert(!std::is_convertible_v<LinkId, NodeId>);
+// Not even explicitly: a SatId cannot be static_cast into a PlaneId.
+static_assert(!std::is_constructible_v<PlaneId, SatId>);
+static_assert(!std::is_constructible_v<NodeId, GroundStationId>);
+// SatelliteId is the historical spelling of SatId, not a third domain.
+static_assert(std::is_same_v<SatId, SatelliteId>);
+// Ids stay exactly as cheap as the integer they wrap.
+static_assert(std::is_trivially_copyable_v<SatId>);
+static_assert(sizeof(SatId) == sizeof(SatId::rep_type));
+
+TEST(TaggedId, DefaultConstructedIsUnset) {
+  const NodeId unset;
+  EXPECT_FALSE(unset.isValid());
+  EXPECT_EQ(unset.value(), 0u);
+  EXPECT_EQ(unset, NodeId{0});
+  EXPECT_TRUE(NodeId{1}.isValid());
+}
+
+TEST(TaggedId, ComparesWithinDomain) {
+  EXPECT_EQ(SatId{7}, SatId{7});
+  EXPECT_NE(SatId{7}, SatId{8});
+  EXPECT_LT(SatId{7}, SatId{8});
+  EXPECT_GE(SatId{8}, SatId{7});
+}
+
+TEST(TaggedId, HashesIntoStandardContainers) {
+  std::unordered_set<SatId> seen;
+  seen.insert(SatId{1});
+  seen.insert(SatId{2});
+  seen.insert(SatId{1});  // duplicate
+  EXPECT_EQ(seen.size(), 2u);
+
+  std::unordered_map<ProviderId, int> owned;
+  owned[ProviderId{3}] = 10;
+  owned[ProviderId{4}] = 20;
+  EXPECT_EQ(owned.at(ProviderId{3}), 10);
+  EXPECT_EQ(std::hash<SatId>{}(SatId{42}),
+            std::hash<SatId::rep_type>{}(42u));
+}
+
+TEST(TaggedId, StreamsAsRawValue) {
+  std::ostringstream os;
+  os << "sat " << SatId{66} << " plane " << PlaneId{5};
+  EXPECT_EQ(os.str(), "sat 66 plane 5");
+}
+
+// --- PlaneGrid: typed plane/slot arithmetic ----------------------------------
+
+TEST(PlaneGrid, RoundTripsIndexPlaneSlot) {
+  const PlaneGrid grid(66, 6);  // Iridium: 6 planes x 11 slots
+  EXPECT_EQ(grid.planeCount(), 6u);
+  EXPECT_EQ(grid.satsPerPlane(), 11u);
+  for (std::size_t idx = 0; idx < 66; ++idx) {
+    const PlaneId plane = grid.planeOf(idx);
+    const std::size_t slot = grid.slotOf(idx);
+    EXPECT_LT(plane.value(), 6u);
+    EXPECT_LT(slot, 11u);
+    EXPECT_EQ(grid.indexOf(plane, slot), idx);
+  }
+}
+
+TEST(PlaneGrid, SlotsWrapWithinAPlane) {
+  const PlaneGrid grid(12, 3);
+  // Slot 4 of a 4-slot plane is slot 0 again (ring neighbors).
+  EXPECT_EQ(grid.indexOf(PlaneId{1}, 4), grid.indexOf(PlaneId{1}, 0));
+}
+
+TEST(PlaneGrid, SeamPlaneWrapsToPlaneZero) {
+  const PlaneGrid grid(12, 3);
+  EXPECT_FALSE(grid.isSeamPlane(PlaneId{0}));
+  EXPECT_TRUE(grid.isSeamPlane(PlaneId{2}));
+  EXPECT_EQ(grid.nextPlane(PlaneId{0}), PlaneId{1});
+  EXPECT_EQ(grid.nextPlane(PlaneId{2}), PlaneId{0});
+}
+
+TEST(PlaneGrid, RejectsInconsistentLayouts) {
+  EXPECT_THROW(PlaneGrid(10, 3), InvalidArgumentError);   // 3 does not divide 10
+  EXPECT_THROW(PlaneGrid(10, 0), InvalidArgumentError);   // no planes
+  EXPECT_THROW(PlaneGrid(0, 1), InvalidArgumentError);    // empty fleet
+  EXPECT_THROW(PlaneGrid(12, 3).planeOf(12), InvalidArgumentError);
+  EXPECT_THROW(PlaneGrid(12, 3).slotOf(99), InvalidArgumentError);
+  EXPECT_THROW(PlaneGrid(12, 3).indexOf(PlaneId{3}, 0), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace openspace

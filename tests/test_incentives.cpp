@@ -164,7 +164,7 @@ TEST(ReservationMac, AccessDelayBoundedByServiceRate) {
 TEST(ReservationMac, SingleNodeHasNoCollisions) {
   Rng rng(23);
   const auto r = simulateReservationMac(ReservationConfig{}, 1, 5.0, rng);
-  EXPECT_DOUBLE_EQ(r.collisionRate, 0.0);
+  EXPECT_DOUBLE_EQ(r.collisionFraction, 0.0);
   EXPECT_GT(r.deliveredFrames, 0.0);
 }
 

@@ -20,7 +20,7 @@ TEST(Integration, FleetDiscoveryMatchesGeometricWiring) {
   // a link set consistent with pure geometry: every protocol link is also
   // geometrically feasible.
   EphemerisService eph;
-  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(1, el);
+  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(ProviderId{1}, el);
   IslFleet fleet(eph, FleetConfig{});
   const auto links = fleet.runDiscoveryRound(0.0);
   ASSERT_FALSE(links.empty());
@@ -127,14 +127,14 @@ TEST(Integration, CongestionShiftsTrafficToIdleGateway) {
   // refresh queueing state from the forwarding engine's counters, and show
   // the on-demand router detours while the clean-graph route does not.
   EphemerisService eph;
-  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(1, el);
+  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(ProviderId{1}, el);
   TopologyBuilder topo(eph);
   const NodeId user =
-      topo.addUser({"u", Geodetic::fromDegrees(-1.29, 36.82), 1});
-  const NodeId nearGs = topo.addGroundStation(
-      {"near", Geodetic::fromDegrees(-4.04, 39.67), 2});
-  const NodeId farGs = topo.addGroundStation(
-      {"far", Geodetic::fromDegrees(-26.20, 28.05), 3});
+      topo.addUser({"u", Geodetic::fromDegrees(-1.29, 36.82), ProviderId{1}});
+  const NodeId nearGs = topo.nodeOf(topo.addGroundStation(
+      {"near", Geodetic::fromDegrees(-4.04, 39.67), ProviderId{2}}));
+  const NodeId farGs = topo.nodeOf(topo.addGroundStation(
+      {"far", Geodetic::fromDegrees(-26.20, 28.05), ProviderId{3}}));
   SnapshotOptions opt;
   opt.wiring = IslWiring::PlusGrid;
   opt.planes = 6;
@@ -165,12 +165,12 @@ TEST(Integration, ProactiveAndOnDemandAgreeOnQuietNetwork) {
   // With zero congestion the precomputed route and the live route coincide
   // (same cost function, same topology).
   EphemerisService eph;
-  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(1, el);
+  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(ProviderId{1}, el);
   TopologyBuilder topo(eph);
   const NodeId user =
-      topo.addUser({"u", Geodetic::fromDegrees(40.44, -79.99), 1});
+      topo.addUser({"u", Geodetic::fromDegrees(40.44, -79.99), ProviderId{1}});
   const NodeId gs =
-      topo.addGroundStation({"gw", Geodetic::fromDegrees(48.86, 2.35), 2});
+      topo.nodeOf(topo.addGroundStation({"gw", Geodetic::fromDegrees(48.86, 2.35), ProviderId{2}}));
   SnapshotOptions opt;
   opt.wiring = IslWiring::PlusGrid;
   opt.planes = 6;

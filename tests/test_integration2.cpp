@@ -35,13 +35,13 @@ TEST(Integration2, SerializedEphemerisReproducesTopologyAndRoutes) {
   TopologyBuilder topoA(original);
   TopologyBuilder topoB(loaded);
   const NodeId userA =
-      topoA.addUser({"u", Geodetic::fromDegrees(40.44, -79.99), 1});
+      topoA.addUser({"u", Geodetic::fromDegrees(40.44, -79.99), ProviderId{1}});
   const NodeId gwA =
-      topoA.addGroundStation({"g", Geodetic::fromDegrees(48.86, 2.35), 2});
+      topoA.nodeOf(topoA.addGroundStation({"g", Geodetic::fromDegrees(48.86, 2.35), ProviderId{2}}));
   const NodeId userB =
-      topoB.addUser({"u", Geodetic::fromDegrees(40.44, -79.99), 1});
+      topoB.addUser({"u", Geodetic::fromDegrees(40.44, -79.99), ProviderId{1}});
   const NodeId gwB =
-      topoB.addGroundStation({"g", Geodetic::fromDegrees(48.86, 2.35), 2});
+      topoB.nodeOf(topoB.addGroundStation({"g", Geodetic::fromDegrees(48.86, 2.35), ProviderId{2}}));
 
   SnapshotOptions opt;
   opt.wiring = IslWiring::PlusGrid;
@@ -135,12 +135,12 @@ TEST(Integration2, TemporalNeverBeatsInstantaneousOnDenseFleet) {
   // slower than it by more than numerical noise when a path exists at the
   // start snapshot.
   EphemerisService eph;
-  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(1, el);
+  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(ProviderId{1}, el);
   TopologyBuilder topo(eph);
   const NodeId user =
-      topo.addUser({"u", Geodetic::fromDegrees(-1.29, 36.82), 1});
+      topo.addUser({"u", Geodetic::fromDegrees(-1.29, 36.82), ProviderId{1}});
   const NodeId gw =
-      topo.addGroundStation({"g", Geodetic::fromDegrees(-4.04, 39.67), 2});
+      topo.nodeOf(topo.addGroundStation({"g", Geodetic::fromDegrees(-4.04, 39.67), ProviderId{2}}));
   SnapshotOptions opt;
   opt.wiring = IslWiring::PlusGrid;
   opt.planes = 6;
@@ -183,7 +183,7 @@ TEST(Integration2, PathVectorOverPhysicalAdjacencyMatchesIslReachability) {
   for (const auto& [a, b] : adjacency) {
     links.push_back({a, b, Relationship::Mesh, Relationship::Mesh});
   }
-  const auto rep = runPathVector({1, 2, 3, 4}, links);
+  const auto rep = runPathVector({ProviderId{1}, ProviderId{2}, ProviderId{3}, ProviderId{4}}, links);
   EXPECT_TRUE(rep.converged);
   EXPECT_DOUBLE_EQ(rep.reachability, 1.0);  // interleaved planes: connected
 }
@@ -209,7 +209,7 @@ TEST(Integration2, LinkStateFloodFasterThanHandoverCadence) {
   // handovers), so congestion-aware routing over flooded state is
   // self-consistent.
   EphemerisService eph;
-  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(1, el);
+  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(ProviderId{1}, el);
   TopologyBuilder topo(eph);
   SnapshotOptions opt;
   opt.wiring = IslWiring::PlusGrid;

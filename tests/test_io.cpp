@@ -53,8 +53,8 @@ TEST(EphemerisIo, CommentsAndBlankLinesIgnored) {
       "# trailing comment\n";
   const EphemerisService eph = ephemerisFromString(text);
   EXPECT_EQ(eph.size(), 1u);
-  EXPECT_TRUE(eph.contains(5));
-  EXPECT_EQ(eph.record(5).owner, 2u);
+  EXPECT_TRUE(eph.contains(SatelliteId{5}));
+  EXPECT_EQ(eph.record(SatelliteId{5}).owner, ProviderId{2u});
 }
 
 TEST(EphemerisIo, MalformedRecordsThrow) {
@@ -72,6 +72,50 @@ TEST(EphemerisIo, MalformedRecordsThrow) {
       ProtocolError);
 }
 
+TEST(EphemerisIo, NonFiniteElementsThrow) {
+  // "nan"/"inf" parse as valid doubles and NaN slips past range checks
+  // (NaN <= 0.0 is false), so the loader must reject them explicitly.
+  EXPECT_THROW(ephemerisFromString("sat 5 2 nan 0 1.5 0 0 0\n"),
+               ProtocolError);
+  EXPECT_THROW(ephemerisFromString("sat 5 2 inf 0 1.5 0 0 0\n"),
+               ProtocolError);
+  EXPECT_THROW(ephemerisFromString("sat 5 2 7158137.0 nan 1.5 0 0 0\n"),
+               ProtocolError);
+  EXPECT_THROW(ephemerisFromString("sat 5 2 7158137.0 0 1.5 0 0 nan\n"),
+               ProtocolError);
+}
+
+TEST(EphemerisIo, ReservedIdZeroThrows) {
+  // Id 0 means "unset" in every domain (core/ids.hpp); a file that claims
+  // it is corrupt, not merely unusual.
+  EXPECT_THROW(ephemerisFromString("sat 0 2 7158137.0 0 1.5 0 0 0\n"),
+               ProtocolError);
+}
+
+TEST(EphemerisIo, TruncatedStreamYieldsErrorNotPartialData) {
+  // A file cut off mid-record (e.g. an interrupted download) must not load
+  // as a smaller-but-valid constellation.
+  const std::string full = ephemerisToString(sampleEphemeris());
+  // Cut at the last field separator: the final record loses its mean
+  // anomaly and must be rejected as short, not silently dropped.
+  const std::string truncated = full.substr(0, full.find_last_of(' '));
+  EXPECT_THROW(ephemerisFromString(truncated), ProtocolError);
+}
+
+TEST(EphemerisIo, EmptyInputIsAnEmptyService) {
+  EXPECT_EQ(ephemerisFromString("").size(), 0u);
+  EXPECT_EQ(ephemerisFromString("# only comments\n\n").size(), 0u);
+}
+
+TEST(EphemerisIo, ErrorMessagesNameTheOffendingLine) {
+  try {
+    ephemerisFromString("sat 1 1 7158137.0 0 1.5 0 0 0\nsat 9 2 bogus\n");
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
 TEST(EphemerisIo, UnknownRecordKindsAreSkipped) {
   const std::string text =
       "sat 1 1 7158137.0 0 1.5 0 0 0\n"
@@ -86,11 +130,11 @@ TEST(SiteIo, RoundTripWithNamesContainingSpaces) {
   SiteRecord gs;
   gs.isStation = true;
   gs.site = {"svalbard ground station", Geodetic::fromDegrees(78.23, 15.41),
-             4};
+             ProviderId{4}};
   sites.push_back(gs);
   SiteRecord user;
   user.isStation = false;
-  user.site = {"nomad user", Geodetic::fromDegrees(-1.29, 36.82, 1700.0), 7};
+  user.site = {"nomad user", Geodetic::fromDegrees(-1.29, 36.82, 1700.0), ProviderId{7}};
   sites.push_back(user);
 
   std::ostringstream os;
@@ -100,7 +144,7 @@ TEST(SiteIo, RoundTripWithNamesContainingSpaces) {
   ASSERT_EQ(parsed.size(), 2u);
   EXPECT_TRUE(parsed[0].isStation);
   EXPECT_EQ(parsed[0].site.name, "svalbard ground station");
-  EXPECT_EQ(parsed[0].site.provider, 4u);
+  EXPECT_EQ(parsed[0].site.provider, ProviderId{4u});
   EXPECT_FALSE(parsed[1].isStation);
   EXPECT_EQ(parsed[1].site.name, "nomad user");
   EXPECT_EQ(parsed[1].site.location.altitudeM, 1700.0);
@@ -115,12 +159,16 @@ TEST(SiteIo, MalformedSitesThrow) {
   EXPECT_THROW(loadSites(bad2), ProtocolError);
   std::istringstream bad3("site user 1 0 0 0\n");  // missing name
   EXPECT_THROW(loadSites(bad3), ProtocolError);
+  std::istringstream bad4("site user 1 nan 0 0 x\n");  // non-finite latitude
+  EXPECT_THROW(loadSites(bad4), ProtocolError);
+  std::istringstream bad5("site user 1 0 0\n");  // truncated record
+  EXPECT_THROW(loadSites(bad5), ProtocolError);
 }
 
 TEST(CombinedIo, OneFileCarriesBothRecordKinds) {
   const EphemerisService eph = sampleEphemeris();
   std::vector<SiteRecord> sites = {
-      {true, {"gw", Geodetic::fromDegrees(47.0, -122.0), 1}}};
+      {true, {"gw", Geodetic::fromDegrees(47.0, -122.0), ProviderId{1}}}};
   std::ostringstream os;
   saveEphemeris(eph, os);
   saveSites(sites, os);

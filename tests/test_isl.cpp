@@ -30,7 +30,7 @@ PowerBudget poorPower() { return PowerBudget(45.0, 50.0, 35.0); }  // 10 W spare
 
 IslEndpoint mkEndpoint(SatelliteId id, const LinkCapabilities& caps,
                        PowerBudget pb = richPower()) {
-  return IslEndpoint(id, id * 10, caps, std::move(pb));
+  return IslEndpoint(id, ProviderId{id.value() * 10}, caps, std::move(pb));
 }
 
 const Vec3 kPosA{7158e3, 0.0, 0.0};
@@ -39,57 +39,57 @@ const Vec3 kPosB{7158e3 * std::cos(0.3), 7158e3 * std::sin(0.3), 0.0};
 TEST(IslEndpoint, RequiresRfMinimum) {
   LinkCapabilities opticalOnly;
   opticalOnly.islBands = {Band::Optical};
-  EXPECT_THROW(IslEndpoint(1, 1, opticalOnly, richPower()),
+  EXPECT_THROW(IslEndpoint(SatelliteId{1}, ProviderId{1}, opticalOnly, richPower()),
                InvalidArgumentError);
   LinkCapabilities none;
-  EXPECT_THROW(IslEndpoint(1, 1, none, richPower()), InvalidArgumentError);
+  EXPECT_THROW(IslEndpoint(SatelliteId{1}, ProviderId{1}, none, richPower()), InvalidArgumentError);
   LinkCapabilities zeroLinks = rfCaps(0);
-  EXPECT_THROW(IslEndpoint(1, 1, zeroLinks, richPower()), InvalidArgumentError);
+  EXPECT_THROW(IslEndpoint(SatelliteId{1}, ProviderId{1}, zeroLinks, richPower()), InvalidArgumentError);
 }
 
 TEST(IslEndpoint, BeaconCarriesIdentityAndCapabilities) {
-  const auto ep = mkEndpoint(7, laserCaps());
+  const auto ep = mkEndpoint(SatelliteId{7}, laserCaps());
   const auto el = OrbitalElements::circular(km(780.0), 1.0, 0.5, 0.2);
   const BeaconMessage b = ep.makeBeacon(123.0, el);
-  EXPECT_EQ(b.satellite, 7u);
-  EXPECT_EQ(b.provider, 70u);
+  EXPECT_EQ(b.satellite, SatelliteId{7u});
+  EXPECT_EQ(b.provider, ProviderId{70u});
   EXPECT_DOUBLE_EQ(b.txTimeS, 123.0);
   EXPECT_TRUE(b.capabilities.hasLaserTerminal);
   EXPECT_DOUBLE_EQ(b.elements.raanRad, 0.5);
 }
 
 TEST(Pairing, RfHandshakeSucceeds) {
-  auto a = mkEndpoint(1, rfCaps());
-  auto b = mkEndpoint(2, rfCaps());
+  auto a = mkEndpoint(SatelliteId{1}, rfCaps());
+  auto b = mkEndpoint(SatelliteId{2}, rfCaps());
   const auto est = establishIsl(a, b, kPosA, kPosB, 0.0);
   EXPECT_TRUE(est.rfEstablished);
   EXPECT_FALSE(est.opticalEstablished);
-  EXPECT_EQ(a.stateWith(2), IslState::RfActive);
-  EXPECT_EQ(b.stateWith(1), IslState::RfActive);
+  EXPECT_EQ(a.stateWith(SatelliteId{2}), IslState::RfActive);
+  EXPECT_EQ(b.stateWith(SatelliteId{1}), IslState::RfActive);
   // Handshake costs 3 one-way propagation delays.
   const double prop = kPosA.distanceTo(kPosB) / kSpeedOfLightMps;
   EXPECT_NEAR(est.rfReadyAtS, 3.0 * prop, 1e-9);
 }
 
 TEST(Pairing, IgnoresOwnBeacon) {
-  auto a = mkEndpoint(1, rfCaps());
+  auto a = mkEndpoint(SatelliteId{1}, rfCaps());
   const BeaconMessage selfBeacon = a.makeBeacon(0.0, OrbitalElements{});
   EXPECT_EQ(a.considerPairing(selfBeacon, 0.0), std::nullopt);
 }
 
 TEST(Pairing, DoesNotRePairmExistingPeer) {
-  auto a = mkEndpoint(1, rfCaps());
-  auto b = mkEndpoint(2, rfCaps());
+  auto a = mkEndpoint(SatelliteId{1}, rfCaps());
+  auto b = mkEndpoint(SatelliteId{2}, rfCaps());
   ASSERT_TRUE(establishIsl(a, b, kPosA, kPosB, 0.0).rfEstablished);
   const BeaconMessage beacon = b.makeBeacon(1.0, OrbitalElements{});
   EXPECT_EQ(a.considerPairing(beacon, 1.0), std::nullopt);
 }
 
 TEST(Pairing, TerminalCapacityEnforced) {
-  auto hub = mkEndpoint(1, rfCaps(/*maxIsl=*/2));
-  auto s2 = mkEndpoint(2, rfCaps());
-  auto s3 = mkEndpoint(3, rfCaps());
-  auto s4 = mkEndpoint(4, rfCaps());
+  auto hub = mkEndpoint(SatelliteId{1}, rfCaps(/*maxIsl=*/2));
+  auto s2 = mkEndpoint(SatelliteId{2}, rfCaps());
+  auto s3 = mkEndpoint(SatelliteId{3}, rfCaps());
+  auto s4 = mkEndpoint(SatelliteId{4}, rfCaps());
   EXPECT_TRUE(establishIsl(hub, s2, kPosA, kPosB, 0.0).rfEstablished);
   EXPECT_TRUE(establishIsl(hub, s3, kPosA, kPosB, 0.0).rfEstablished);
   EXPECT_TRUE(hub.atCapacity());
@@ -99,29 +99,29 @@ TEST(Pairing, TerminalCapacityEnforced) {
 }
 
 TEST(Pairing, ResponderAtCapacityRejects) {
-  auto a = mkEndpoint(1, rfCaps());
-  auto hub = mkEndpoint(2, rfCaps(/*maxIsl=*/1));
-  auto c = mkEndpoint(3, rfCaps());
+  auto a = mkEndpoint(SatelliteId{1}, rfCaps());
+  auto hub = mkEndpoint(SatelliteId{2}, rfCaps(/*maxIsl=*/1));
+  auto c = mkEndpoint(SatelliteId{3}, rfCaps());
   ASSERT_TRUE(establishIsl(hub, c, kPosA, kPosB, 0.0).rfEstablished);
   const auto est = establishIsl(a, hub, kPosA, kPosB, 0.0);
   EXPECT_FALSE(est.rfEstablished);
-  EXPECT_EQ(a.stateWith(2), IslState::Idle);  // initiator rolls back cleanly
+  EXPECT_EQ(a.stateWith(SatelliteId{2}), IslState::Idle);  // initiator rolls back cleanly
 }
 
 TEST(Pairing, PowerShortageRejects) {
   // 10 W spare < the 28 W S-band draw: the responder must refuse.
-  auto a = mkEndpoint(1, rfCaps());
-  auto b = mkEndpoint(2, rfCaps(), poorPower());
+  auto a = mkEndpoint(SatelliteId{1}, rfCaps());
+  auto b = mkEndpoint(SatelliteId{2}, rfCaps(), poorPower());
   const auto est = establishIsl(a, b, kPosA, kPosB, 0.0);
   EXPECT_FALSE(est.rfEstablished);
 }
 
 TEST(Pairing, PoorInitiatorNeverSendsRequest) {
-  auto a = mkEndpoint(1, rfCaps(), poorPower());
-  auto b = mkEndpoint(2, rfCaps());
+  auto a = mkEndpoint(SatelliteId{1}, rfCaps(), poorPower());
+  auto b = mkEndpoint(SatelliteId{2}, rfCaps());
   const auto est = establishIsl(a, b, kPosA, kPosB, 0.0);
   EXPECT_FALSE(est.rfEstablished);
-  EXPECT_EQ(b.stateWith(1), IslState::Idle);  // b never saw a request
+  EXPECT_EQ(b.stateWith(SatelliteId{1}), IslState::Idle);  // b never saw a request
 }
 
 TEST(Pairing, NoCommonBandRejects) {
@@ -131,16 +131,16 @@ TEST(Pairing, NoCommonBandRejects) {
   LinkCapabilities sOnly;
   sOnly.islBands = {Band::S};
   sOnly.maxIslCount = 4;
-  auto a = mkEndpoint(1, uhfOnly);
-  auto b = mkEndpoint(2, sOnly);
+  auto a = mkEndpoint(SatelliteId{1}, uhfOnly);
+  auto b = mkEndpoint(SatelliteId{2}, sOnly);
   const auto est = establishIsl(a, b, kPosA, kPosB, 0.0);
   EXPECT_FALSE(est.rfEstablished);
   EXPECT_NE(est.failureReason.find("band"), std::string::npos);
 }
 
 TEST(Pairing, OpticalUpgradeWhenBothCapable) {
-  auto a = mkEndpoint(1, laserCaps());
-  auto b = mkEndpoint(2, laserCaps());
+  auto a = mkEndpoint(SatelliteId{1}, laserCaps());
+  auto b = mkEndpoint(SatelliteId{2}, laserCaps());
   const auto est = establishIsl(a, b, kPosA, kPosB, 0.0);
   EXPECT_TRUE(est.rfEstablished);
   EXPECT_TRUE(est.opticalEstablished);
@@ -148,82 +148,82 @@ TEST(Pairing, OpticalUpgradeWhenBothCapable) {
   // Slew + acquisition dominates: at least the PAT settle time.
   EXPECT_GE(est.opticalReadyAtS - est.rfReadyAtS,
             IslEndpoint::kOpticalAcquisitionS);
-  EXPECT_EQ(a.stateWith(2), IslState::OpticalActive);
-  EXPECT_EQ(b.stateWith(1), IslState::OpticalActive);
+  EXPECT_EQ(a.stateWith(SatelliteId{2}), IslState::OpticalActive);
+  EXPECT_EQ(b.stateWith(SatelliteId{1}), IslState::OpticalActive);
 }
 
 TEST(Pairing, NoOpticalWhenOneSideRfOnly) {
-  auto a = mkEndpoint(1, laserCaps());
-  auto b = mkEndpoint(2, rfCaps());
+  auto a = mkEndpoint(SatelliteId{1}, laserCaps());
+  auto b = mkEndpoint(SatelliteId{2}, rfCaps());
   const auto est = establishIsl(a, b, kPosA, kPosB, 0.0);
   EXPECT_TRUE(est.rfEstablished);
   EXPECT_FALSE(est.opticalEstablished);
-  EXPECT_EQ(a.stateWith(2), IslState::RfActive);
+  EXPECT_EQ(a.stateWith(SatelliteId{2}), IslState::RfActive);
 }
 
 TEST(Pairing, TeardownReleasesPowerForNewLinks) {
   // Power for exactly one RF link (S-band draws 28 W).
-  auto a = mkEndpoint(1, rfCaps(), PowerBudget(70.0, 50.0, 35.0));
-  auto b = mkEndpoint(2, rfCaps());
-  auto c = mkEndpoint(3, rfCaps());
+  auto a = mkEndpoint(SatelliteId{1}, rfCaps(), PowerBudget(70.0, 50.0, 35.0));
+  auto b = mkEndpoint(SatelliteId{2}, rfCaps());
+  auto c = mkEndpoint(SatelliteId{3}, rfCaps());
   ASSERT_TRUE(establishIsl(a, b, kPosA, kPosB, 0.0).rfEstablished);
   EXPECT_FALSE(establishIsl(a, c, kPosA, kPosB, 1.0).rfEstablished);
-  a.teardown(2);
-  b.teardown(1);
-  EXPECT_EQ(a.stateWith(2), IslState::Torn);
+  a.teardown(SatelliteId{2});
+  b.teardown(SatelliteId{1});
+  EXPECT_EQ(a.stateWith(SatelliteId{2}), IslState::Torn);
   EXPECT_TRUE(establishIsl(a, c, kPosA, kPosB, 2.0).rfEstablished);
 }
 
 TEST(Pairing, TeardownUnknownPeerThrows) {
-  auto a = mkEndpoint(1, rfCaps());
-  EXPECT_THROW(a.teardown(42), NotFoundError);
+  auto a = mkEndpoint(SatelliteId{1}, rfCaps());
+  EXPECT_THROW(a.teardown(SatelliteId{42}), NotFoundError);
 }
 
 TEST(Pairing, OpticalUpgradeStateMachineGuards) {
-  auto a = mkEndpoint(1, laserCaps());
-  EXPECT_THROW(a.beginOpticalUpgrade(2, 0.1, 0.0), StateError);
-  EXPECT_THROW(a.completeOpticalUpgrade(2), StateError);
-  EXPECT_THROW(a.abortOpticalUpgrade(2), StateError);
+  auto a = mkEndpoint(SatelliteId{1}, laserCaps());
+  EXPECT_THROW(a.beginOpticalUpgrade(SatelliteId{2}, 0.1, 0.0), StateError);
+  EXPECT_THROW(a.completeOpticalUpgrade(SatelliteId{2}), StateError);
+  EXPECT_THROW(a.abortOpticalUpgrade(SatelliteId{2}), StateError);
 }
 
 TEST(Pairing, ResponseWithoutRequestThrows) {
-  auto a = mkEndpoint(1, rfCaps());
+  auto a = mkEndpoint(SatelliteId{1}, rfCaps());
   PairResponse resp;
-  resp.from = 9;
-  resp.to = 1;
+  resp.from = SatelliteId{9};
+  resp.to = SatelliteId{1};
   resp.accepted = true;
   EXPECT_THROW(a.onPairResponse(resp, 0.0), StateError);
 }
 
 TEST(Pairing, SlewTimeScalesWithAngle) {
-  auto a1 = mkEndpoint(1, laserCaps());
-  auto b1 = mkEndpoint(2, laserCaps());
+  auto a1 = mkEndpoint(SatelliteId{1}, laserCaps());
+  auto b1 = mkEndpoint(SatelliteId{2}, laserCaps());
   ASSERT_TRUE(establishIsl(a1, b1, kPosA, kPosB, 0.0).rfEstablished);
   // Manually drive upgrades with two different slew angles.
-  auto a2 = mkEndpoint(3, laserCaps());
-  auto b2 = mkEndpoint(4, laserCaps());
+  auto a2 = mkEndpoint(SatelliteId{3}, laserCaps());
+  auto b2 = mkEndpoint(SatelliteId{4}, laserCaps());
   ASSERT_TRUE(establishIsl(a2, b2, kPosA, kPosB, 0.0).rfEstablished);
   // a1/b1 already upgraded optically by establishIsl (both laser) — use
   // fresh RF-active pairs instead.
-  auto c = mkEndpoint(5, laserCaps());
-  auto d = mkEndpoint(6, rfCaps());
+  auto c = mkEndpoint(SatelliteId{5}, laserCaps());
+  auto d = mkEndpoint(SatelliteId{6}, rfCaps());
   ASSERT_TRUE(establishIsl(c, d, kPosA, kPosB, 0.0).rfEstablished);
-  const auto readySmall = c.beginOpticalUpgrade(6, 0.1, 100.0);
+  const auto readySmall = c.beginOpticalUpgrade(SatelliteId{6}, 0.1, 100.0);
   ASSERT_TRUE(readySmall.has_value());
-  auto e = mkEndpoint(7, laserCaps());
-  auto f = mkEndpoint(8, rfCaps());
+  auto e = mkEndpoint(SatelliteId{7}, laserCaps());
+  auto f = mkEndpoint(SatelliteId{8}, rfCaps());
   ASSERT_TRUE(establishIsl(e, f, kPosA, kPosB, 0.0).rfEstablished);
-  const auto readyLarge = e.beginOpticalUpgrade(8, 1.0, 100.0);
+  const auto readyLarge = e.beginOpticalUpgrade(SatelliteId{8}, 1.0, 100.0);
   ASSERT_TRUE(readyLarge.has_value());
   EXPECT_GT(*readyLarge, *readySmall);
 }
 
 TEST(Pairing, SlewDrawsBatteryEnergy) {
-  auto a = mkEndpoint(1, laserCaps());
-  auto b = mkEndpoint(2, rfCaps());
+  auto a = mkEndpoint(SatelliteId{1}, laserCaps());
+  auto b = mkEndpoint(SatelliteId{2}, rfCaps());
   ASSERT_TRUE(establishIsl(a, b, kPosA, kPosB, 0.0).rfEstablished);
   const double before = a.power().batteryChargeWh();
-  ASSERT_TRUE(a.beginOpticalUpgrade(2, 1.0, 10.0).has_value());
+  ASSERT_TRUE(a.beginOpticalUpgrade(SatelliteId{2}, 1.0, 10.0).has_value());
   EXPECT_NEAR(before - a.power().batteryChargeWh(),
               IslEndpoint::kSlewEnergyWhPerRad, 1e-9);
 }
@@ -232,7 +232,7 @@ TEST(Pairing, SlewDrawsBatteryEnergy) {
 
 TEST(Fleet, DiscoveryEstablishesLinks) {
   EphemerisService eph;
-  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(1, el);
+  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(ProviderId{1}, el);
   IslFleet fleet(eph, FleetConfig{});
   const auto links = fleet.runDiscoveryRound(0.0);
   EXPECT_GT(links.size(), 30u);
@@ -245,7 +245,7 @@ TEST(Fleet, DiscoveryEstablishesLinks) {
 
 TEST(Fleet, RespectsTerminalBudgets) {
   EphemerisService eph;
-  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(1, el);
+  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(ProviderId{1}, el);
   IslFleet fleet(eph, FleetConfig{});
   fleet.runDiscoveryRound(0.0);
   for (const SatelliteId sid : eph.satellites()) {
@@ -260,8 +260,8 @@ TEST(Fleet, LinksTearDownWhenGeometryBreaks) {
   EphemerisService eph;
   const auto a = OrbitalElements::circular(km(780.0), deg2rad(86.4), 0.0, 0.0);
   const auto b = OrbitalElements::circular(km(780.0), deg2rad(86.4), 0.0, 0.2);
-  const SatelliteId ida = eph.publish(1, a);
-  const SatelliteId idb = eph.publish(2, b);
+  const SatelliteId ida = eph.publish(ProviderId{1}, a);
+  const SatelliteId idb = eph.publish(ProviderId{2}, b);
   IslFleet fleet(eph, FleetConfig{});
   const auto links = fleet.runDiscoveryRound(0.0);
   ASSERT_EQ(links.size(), 1u);
@@ -277,8 +277,8 @@ TEST(Fleet, LinksTearDownWhenGeometryBreaks) {
 TEST(Fleet, OpposingSatellitesNeverLink) {
   EphemerisService eph;
   // Same plane, antipodal phases: always blocked by the Earth.
-  eph.publish(1, OrbitalElements::circular(km(780.0), deg2rad(86.4), 0.0, 0.0));
-  eph.publish(2, OrbitalElements::circular(km(780.0), deg2rad(86.4), 0.0,
+  eph.publish(ProviderId{1}, OrbitalElements::circular(km(780.0), deg2rad(86.4), 0.0, 0.0));
+  eph.publish(ProviderId{2}, OrbitalElements::circular(km(780.0), deg2rad(86.4), 0.0,
                                            std::numbers::pi));
   IslFleet fleet(eph, FleetConfig{});
   EXPECT_TRUE(fleet.runDiscoveryRound(0.0).empty());
@@ -287,22 +287,22 @@ TEST(Fleet, OpposingSatellitesNeverLink) {
 
 TEST(Fleet, CapabilitiesUpgradeYieldsOpticalLinks) {
   EphemerisService eph;
-  eph.publish(1, OrbitalElements::circular(km(780.0), deg2rad(86.4), 0.0, 0.0));
-  eph.publish(2, OrbitalElements::circular(km(780.0), deg2rad(86.4), 0.0, 0.2));
+  eph.publish(ProviderId{1}, OrbitalElements::circular(km(780.0), deg2rad(86.4), 0.0, 0.0));
+  eph.publish(ProviderId{2}, OrbitalElements::circular(km(780.0), deg2rad(86.4), 0.0, 0.2));
   IslFleet fleet(eph, FleetConfig{});
-  fleet.setCapabilities(1, laserCaps());
-  fleet.setCapabilities(2, laserCaps());
+  fleet.setCapabilities(SatelliteId{1}, laserCaps());
+  fleet.setCapabilities(SatelliteId{2}, laserCaps());
   const auto links = fleet.runDiscoveryRound(0.0);
   ASSERT_EQ(links.size(), 1u);
   EXPECT_TRUE(links[0].optical);
-  EXPECT_THROW(fleet.setCapabilities(99, laserCaps()), NotFoundError);
+  EXPECT_THROW(fleet.setCapabilities(SatelliteId{99}, laserCaps()), NotFoundError);
 }
 
 TEST(Fleet, UnknownEndpointThrows) {
   EphemerisService eph;
-  eph.publish(1, OrbitalElements::circular(km(780.0), 0.0, 0.0, 0.0));
+  eph.publish(ProviderId{1}, OrbitalElements::circular(km(780.0), 0.0, 0.0, 0.0));
   IslFleet fleet(eph, FleetConfig{});
-  EXPECT_THROW(fleet.endpoint(42), NotFoundError);
+  EXPECT_THROW(fleet.endpoint(SatelliteId{42}), NotFoundError);
 }
 
 TEST(IslStateNames, AllNamed) {

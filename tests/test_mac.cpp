@@ -16,16 +16,16 @@ namespace {
 
 TEST(BeaconSchedule, PeriodicityAndPhase) {
   const BeaconSchedule sched(2.0);
-  const double t1 = sched.nextBeaconTime(42, 0.0);
+  const double t1 = sched.nextBeaconTime(SatelliteId{42}, 0.0);
   EXPECT_GE(t1, 0.0);
   EXPECT_LT(t1, 2.0);
-  const double t2 = sched.nextBeaconTime(42, t1 + 0.001);
+  const double t2 = sched.nextBeaconTime(SatelliteId{42}, t1 + 0.001);
   EXPECT_NEAR(t2 - t1, 2.0, 1e-9);
 }
 
 TEST(BeaconSchedule, NextAtOrAfterQuery) {
   const BeaconSchedule sched(5.0);
-  for (const SatelliteId id : {1u, 7u, 99u}) {
+  for (const SatelliteId id : {SatelliteId{1u}, SatelliteId{7u}, SatelliteId{99u}}) {
     for (const double t : {0.0, 3.3, 12.7, 100.0}) {
       EXPECT_GE(sched.nextBeaconTime(id, t), t);
     }
@@ -35,18 +35,18 @@ TEST(BeaconSchedule, NextAtOrAfterQuery) {
 TEST(BeaconSchedule, DifferentSatellitesAreStaggered) {
   const BeaconSchedule sched(2.0);
   // Not all satellites beacon at the same instant (collision avoidance).
-  const double a = sched.nextBeaconTime(1, 0.0);
-  const double b = sched.nextBeaconTime(2, 0.0);
-  const double c = sched.nextBeaconTime(3, 0.0);
+  const double a = sched.nextBeaconTime(SatelliteId{1}, 0.0);
+  const double b = sched.nextBeaconTime(SatelliteId{2}, 0.0);
+  const double c = sched.nextBeaconTime(SatelliteId{3}, 0.0);
   EXPECT_TRUE(a != b || b != c);
 }
 
 TEST(BeaconSchedule, CountOverInterval) {
   const BeaconSchedule sched(2.0);
   // Exactly 5 beacons fit in any 10-second window (one per period).
-  EXPECT_EQ(sched.beaconCount(5, 0.0, 10.0), 5);
-  EXPECT_EQ(sched.beaconCount(5, 0.0, 0.0), 0);
-  EXPECT_EQ(sched.beaconCount(5, 10.0, 0.0), 0);
+  EXPECT_EQ(sched.beaconCount(SatelliteId{5}, 0.0, 10.0), 5);
+  EXPECT_EQ(sched.beaconCount(SatelliteId{5}, 0.0, 0.0), 0);
+  EXPECT_EQ(sched.beaconCount(SatelliteId{5}, 10.0, 0.0), 0);
 }
 
 TEST(BeaconSchedule, InvalidPeriodThrows) {
@@ -57,7 +57,7 @@ TEST(BeaconSchedule, InvalidPeriodThrows) {
 TEST(CsmaCa, SingleNodeHasNoCollisions) {
   Rng rng(1);
   const auto r = simulateCsmaCa(CsmaConfig{}, 1, 5.0, rng);
-  EXPECT_DOUBLE_EQ(r.collisionRate, 0.0);
+  EXPECT_DOUBLE_EQ(r.collisionFraction, 0.0);
   EXPECT_DOUBLE_EQ(r.droppedFrames, 0.0);
   EXPECT_GT(r.deliveredFrames, 0.0);
   EXPECT_GT(r.throughputFraction, 0.5);
@@ -67,7 +67,7 @@ TEST(CsmaCa, CollisionsGrowWithContention) {
   Rng rngA(2), rngB(2);
   const auto few = simulateCsmaCa(CsmaConfig{}, 2, 5.0, rngA);
   const auto many = simulateCsmaCa(CsmaConfig{}, 16, 5.0, rngB);
-  EXPECT_GT(many.collisionRate, few.collisionRate);
+  EXPECT_GT(many.collisionFraction, few.collisionFraction);
   EXPECT_GT(many.meanAccessDelayS, few.meanAccessDelayS);
 }
 
@@ -87,7 +87,7 @@ TEST(CsmaCa, DeterministicGivenSeed) {
   const auto rb = simulateCsmaCa(CsmaConfig{}, 4, 2.0, b);
   EXPECT_DOUBLE_EQ(ra.deliveredFrames, rb.deliveredFrames);
   EXPECT_DOUBLE_EQ(ra.meanAccessDelayS, rb.meanAccessDelayS);
-  EXPECT_DOUBLE_EQ(ra.collisionRate, rb.collisionRate);
+  EXPECT_DOUBLE_EQ(ra.collisionFraction, rb.collisionFraction);
 }
 
 TEST(CsmaCa, P95AtLeastMean) {
@@ -116,7 +116,7 @@ TEST(CsmaCa, InvalidArgsThrow) {
 
 TEST(Tdma, DeterministicAndCollisionFree) {
   const auto r = simulateTdma(TdmaConfig{}, 8, 10.0);
-  EXPECT_DOUBLE_EQ(r.collisionRate, 0.0);
+  EXPECT_DOUBLE_EQ(r.collisionFraction, 0.0);
   EXPECT_DOUBLE_EQ(r.droppedFrames, 0.0);
   EXPECT_DOUBLE_EQ(r.offeredFrames, r.deliveredFrames);
 }

@@ -112,18 +112,19 @@ TEST(LatencyStats, AddAfterPercentileKeepsCorrectOrder) {
 class LineGraph : public ::testing::Test {
  protected:
   LineGraph() {
-    for (NodeId id = 1; id <= 3; ++id) {
+    for (NodeId::rep_type idValue = 1; idValue <= 3; ++idValue) {
+      const NodeId id{idValue};
       Node n;
       n.id = id;
       n.kind = NodeKind::Satellite;
-      n.provider = id;
-      n.name = "n" + std::to_string(id);
-      n.satellite = id;
+      n.provider = ProviderId{idValue};
+      n.name = "n" + std::to_string(idValue);
+      n.satellite = SatelliteId{idValue};
       g_.addNode(std::move(n));
     }
-    slow_ = addLink(1, 2, 1e6);   // 1 Mbps
-    fast_ = addLink(2, 3, 100e6); // 100 Mbps
-    route_ = shortestPath(g_, 1, 3, latencyCost());
+    slow_ = addLink(NodeId{1}, NodeId{2}, 1e6);   // 1 Mbps
+    fast_ = addLink(NodeId{2}, NodeId{3}, 100e6); // 100 Mbps
+    route_ = shortestPath(g_, NodeId{1}, NodeId{3}, latencyCost());
   }
 
   LinkId addLink(NodeId a, NodeId b, double cap) {
@@ -139,15 +140,15 @@ class LineGraph : public ::testing::Test {
   Packet mkPacket(PacketId id, double bits = 12'000.0) {
     Packet p;
     p.id = id;
-    p.src = 1;
-    p.dst = 3;
+    p.src = NodeId{1};
+    p.dst = NodeId{3};
     p.sizeBits = bits;
     p.createdAtS = 0.0;
     return p;
   }
 
   NetworkGraph g_;
-  LinkId slow_ = 0, fast_ = 0;
+  LinkId slow_ = {}, fast_ = LinkId{0};
   Route route_;
 };
 
@@ -202,7 +203,7 @@ TEST_F(LineGraph, MismatchedEndpointsThrow) {
   EventQueue ev;
   ForwardingEngine engine(g_, ev);
   Packet p = mkPacket(1);
-  p.dst = 2;  // route goes to 3
+  p.dst = NodeId{2};  // route goes to 3
   EXPECT_THROW(engine.send(p, route_), InvalidArgumentError);
   Packet bad = mkPacket(2);
   bad.sizeBits = 0.0;
@@ -217,7 +218,7 @@ TEST_F(LineGraph, CarriedBitsAccumulate) {
   ev.runAll();
   EXPECT_DOUBLE_EQ(engine.bitsCarried(slow_), 24'000.0);
   EXPECT_DOUBLE_EQ(engine.bitsCarried(fast_), 24'000.0);
-  EXPECT_DOUBLE_EQ(engine.bitsCarried(999), 0.0);
+  EXPECT_DOUBLE_EQ(engine.bitsCarried(LinkId{999}), 0.0);
 }
 
 TEST_F(LineGraph, BacklogDrainsToZero) {
@@ -244,8 +245,8 @@ TEST(FlowGenerator, EmitsApproximatelyConfiguredRate) {
   std::size_t count = 0;
   FlowGenerator gen(ev, rng, [&](const Packet&) { ++count; });
   FlowSpec flow;
-  flow.src = 1;
-  flow.dst = 2;
+  flow.src = NodeId{1};
+  flow.dst = NodeId{2};
   flow.rateBps = 1e6;
   flow.packetBits = 10'000.0;
   flow.startS = 0.0;
@@ -262,12 +263,12 @@ TEST(FlowGenerator, PacketsCarryFlowMetadata) {
   std::vector<Packet> seen;
   FlowGenerator gen(ev, rng, [&](const Packet& p) { seen.push_back(p); });
   FlowSpec flow;
-  flow.src = 7;
-  flow.dst = 8;
+  flow.src = NodeId{7};
+  flow.dst = NodeId{8};
   flow.rateBps = 1e6;
   flow.packetBits = 12'000.0;
   flow.qos = QosClass::Premium;
-  flow.homeProvider = 3;
+  flow.homeProvider = ProviderId{3};
   flow.startS = 1.0;
   flow.stopS = 2.0;
   gen.addFlow(flow);
@@ -275,10 +276,10 @@ TEST(FlowGenerator, PacketsCarryFlowMetadata) {
   ASSERT_FALSE(seen.empty());
   PacketId prev = 0;
   for (const Packet& p : seen) {
-    EXPECT_EQ(p.src, 7u);
-    EXPECT_EQ(p.dst, 8u);
+    EXPECT_EQ(p.src, NodeId{7u});
+    EXPECT_EQ(p.dst, NodeId{8u});
     EXPECT_EQ(p.qos, QosClass::Premium);
-    EXPECT_EQ(p.homeProvider, 3u);
+    EXPECT_EQ(p.homeProvider, ProviderId{3u});
     EXPECT_GE(p.createdAtS, 1.0);
     EXPECT_LT(p.createdAtS, 2.0);
     EXPECT_GT(p.id, prev);  // ids ascend

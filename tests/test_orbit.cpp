@@ -335,44 +335,44 @@ TEST(ContactWindows, InvalidArgsThrow) {
 TEST(Ephemeris, PublishAndLookup) {
   EphemerisService eph;
   const auto el = OrbitalElements::circular(km(780.0), 1.0, 0.5, 0.0);
-  const SatelliteId id = eph.publish(7, el);
+  const SatelliteId id = eph.publish(ProviderId{7}, el);
   EXPECT_TRUE(eph.contains(id));
-  EXPECT_EQ(eph.record(id).owner, 7u);
+  EXPECT_EQ(eph.record(id).owner, ProviderId{7u});
   EXPECT_EQ(eph.size(), 1u);
   EXPECT_EQ(eph.positionEci(id, 50.0), positionEci(el, 50.0));
 }
 
 TEST(Ephemeris, UnknownIdThrows) {
   EphemerisService eph;
-  EXPECT_THROW(eph.record(42), NotFoundError);
-  EXPECT_THROW(eph.positionEci(42, 0.0), NotFoundError);
-  EXPECT_FALSE(eph.contains(42));
+  EXPECT_THROW(eph.record(SatelliteId{42}), NotFoundError);
+  EXPECT_THROW(eph.positionEci(SatelliteId{42}, 0.0), NotFoundError);
+  EXPECT_FALSE(eph.contains(SatelliteId{42}));
 }
 
 TEST(Ephemeris, ExplicitIdsAndCollision) {
   EphemerisService eph;
   const auto el = OrbitalElements::circular(km(500.0), 0, 0, 0);
-  eph.publishWithId(100, 1, el);
-  EXPECT_THROW(eph.publishWithId(100, 2, el), InvalidArgumentError);
+  eph.publishWithId(SatelliteId{100}, ProviderId{1}, el);
+  EXPECT_THROW(eph.publishWithId(SatelliteId{100}, ProviderId{2}, el), InvalidArgumentError);
   // Auto-assign skips taken ids.
-  const SatelliteId next = eph.publish(1, el);
-  EXPECT_NE(next, 100u);
+  const SatelliteId next = eph.publish(ProviderId{1}, el);
+  EXPECT_NE(next, SatelliteId{100u});
   EXPECT_TRUE(eph.contains(next));
 }
 
 TEST(Ephemeris, SatellitesOfFiltersByOwner) {
   EphemerisService eph;
   const auto el = OrbitalElements::circular(km(500.0), 0, 0, 0);
-  const auto a1 = eph.publish(1, el);
-  const auto b1 = eph.publish(2, el);
-  const auto a2 = eph.publish(1, el);
-  const auto mine = eph.satellitesOf(1);
+  const auto a1 = eph.publish(ProviderId{1}, el);
+  const auto b1 = eph.publish(ProviderId{2}, el);
+  const auto a2 = eph.publish(ProviderId{1}, el);
+  const auto mine = eph.satellitesOf(ProviderId{1});
   ASSERT_EQ(mine.size(), 2u);
   EXPECT_EQ(mine[0], a1);
   EXPECT_EQ(mine[1], a2);
-  EXPECT_EQ(eph.satellitesOf(2).size(), 1u);
-  EXPECT_EQ(eph.satellitesOf(2)[0], b1);
-  EXPECT_TRUE(eph.satellitesOf(3).empty());
+  EXPECT_EQ(eph.satellitesOf(ProviderId{2}).size(), 1u);
+  EXPECT_EQ(eph.satellitesOf(ProviderId{2})[0], b1);
+  EXPECT_TRUE(eph.satellitesOf(ProviderId{3}).empty());
 }
 
 TEST(Ephemeris, PublicTopologyIsSharedKnowledge) {
@@ -380,7 +380,7 @@ TEST(Ephemeris, PublicTopologyIsSharedKnowledge) {
   // ahead — the property OpenSpace routing rests on.
   EphemerisService eph;
   const auto el = OrbitalElements::circular(km(780.0), deg2rad(86.4), 0.1, 0.2);
-  const SatelliteId id = eph.publish(1, el);
+  const SatelliteId id = eph.publish(ProviderId{1}, el);
   const double future = 7 * 24 * 3600.0;  // one week out
   EXPECT_EQ(eph.positionEci(id, future), positionEci(el, future));
 }

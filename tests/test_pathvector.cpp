@@ -26,105 +26,105 @@ ProviderLink peer(ProviderId a, ProviderId b) {
 }
 
 TEST(PathVector, SelfNeighborRejected) {
-  PathVectorNode node(1);
-  EXPECT_THROW(node.addNeighbor(1, Relationship::Mesh), InvalidArgumentError);
-  EXPECT_THROW(node.receive(9, PathAdvertisement{}), NotFoundError);
-  EXPECT_THROW(node.exportTo(9), NotFoundError);
+  PathVectorNode node(ProviderId{1});
+  EXPECT_THROW(node.addNeighbor(ProviderId{1}, Relationship::Mesh), InvalidArgumentError);
+  EXPECT_THROW(node.receive(ProviderId{9}, PathAdvertisement{}), NotFoundError);
+  EXPECT_THROW(node.exportTo(ProviderId{9}), NotFoundError);
 }
 
 TEST(PathVector, LoopPreventionDropsOwnAsPaths) {
-  PathVectorNode node(1);
-  node.addNeighbor(2, Relationship::Mesh);
+  PathVectorNode node(ProviderId{1});
+  node.addNeighbor(ProviderId{2}, Relationship::Mesh);
   PathAdvertisement adv;
-  adv.destination = 3;
-  adv.path = {2, 1, 3};  // our id already on the path
-  EXPECT_FALSE(node.receive(2, adv));
-  EXPECT_FALSE(node.bestRoute(3).has_value());
+  adv.destination = ProviderId{3};
+  adv.path = {ProviderId{2}, ProviderId{1}, ProviderId{3}};  // our id already on the path
+  EXPECT_FALSE(node.receive(ProviderId{2}, adv));
+  EXPECT_FALSE(node.bestRoute(ProviderId{3}).has_value());
 }
 
 TEST(PathVector, PrefersShorterPathsInMesh) {
-  PathVectorNode node(1);
-  node.addNeighbor(2, Relationship::Mesh);
-  node.addNeighbor(3, Relationship::Mesh);
+  PathVectorNode node(ProviderId{1});
+  node.addNeighbor(ProviderId{2}, Relationship::Mesh);
+  node.addNeighbor(ProviderId{3}, Relationship::Mesh);
   PathAdvertisement longAdv;
-  longAdv.destination = 9;
-  longAdv.path = {2, 5, 6, 9};
+  longAdv.destination = ProviderId{9};
+  longAdv.path = {ProviderId{2}, ProviderId{5}, ProviderId{6}, ProviderId{9}};
   PathAdvertisement shortAdv;
-  shortAdv.destination = 9;
-  shortAdv.path = {3, 9};
-  EXPECT_TRUE(node.receive(2, longAdv));
-  EXPECT_TRUE(node.receive(3, shortAdv));
-  const auto best = node.bestRoute(9);
+  shortAdv.destination = ProviderId{9};
+  shortAdv.path = {ProviderId{3}, ProviderId{9}};
+  EXPECT_TRUE(node.receive(ProviderId{2}, longAdv));
+  EXPECT_TRUE(node.receive(ProviderId{3}, shortAdv));
+  const auto best = node.bestRoute(ProviderId{9});
   ASSERT_TRUE(best.has_value());
   EXPECT_EQ(best->path, shortAdv.path);
   // A worse route does not displace it.
-  EXPECT_FALSE(node.receive(2, longAdv));
+  EXPECT_FALSE(node.receive(ProviderId{2}, longAdv));
 }
 
 TEST(PathVector, CustomerRoutesPreferredOverProviderRoutes) {
   // Gao-Rexford economics: prefer routes your customer gives you even when
   // longer (they pay you to carry the traffic).
-  PathVectorNode node(1);
-  node.addNeighbor(2, Relationship::Customer);
-  node.addNeighbor(3, Relationship::Provider);
+  PathVectorNode node(ProviderId{1});
+  node.addNeighbor(ProviderId{2}, Relationship::Customer);
+  node.addNeighbor(ProviderId{3}, Relationship::Provider);
   PathAdvertisement viaProvider;
-  viaProvider.destination = 9;
-  viaProvider.path = {3, 9};
+  viaProvider.destination = ProviderId{9};
+  viaProvider.path = {ProviderId{3}, ProviderId{9}};
   PathAdvertisement viaCustomer;
-  viaCustomer.destination = 9;
-  viaCustomer.path = {2, 7, 8, 9};
-  EXPECT_TRUE(node.receive(3, viaProvider));
-  EXPECT_TRUE(node.receive(2, viaCustomer));
-  const auto best = node.bestRoute(9);
+  viaCustomer.destination = ProviderId{9};
+  viaCustomer.path = {ProviderId{2}, ProviderId{7}, ProviderId{8}, ProviderId{9}};
+  EXPECT_TRUE(node.receive(ProviderId{3}, viaProvider));
+  EXPECT_TRUE(node.receive(ProviderId{2}, viaCustomer));
+  const auto best = node.bestRoute(ProviderId{9});
   ASSERT_TRUE(best.has_value());
-  EXPECT_EQ(best->path.front(), 2u);
+  EXPECT_EQ(best->path.front(), ProviderId{2u});
 }
 
 TEST(PathVector, GaoRexfordExportRules) {
   // Node 1 with a customer 2, a peer 3, a provider 4. A route learned from
   // the peer must be exported to the customer but NOT to the provider.
-  PathVectorNode node(1);
-  node.addNeighbor(2, Relationship::Customer);
-  node.addNeighbor(3, Relationship::Peer);
-  node.addNeighbor(4, Relationship::Provider);
+  PathVectorNode node(ProviderId{1});
+  node.addNeighbor(ProviderId{2}, Relationship::Customer);
+  node.addNeighbor(ProviderId{3}, Relationship::Peer);
+  node.addNeighbor(ProviderId{4}, Relationship::Provider);
   PathAdvertisement fromPeer;
-  fromPeer.destination = 9;
-  fromPeer.path = {3, 9};
-  ASSERT_TRUE(node.receive(3, fromPeer));
+  fromPeer.destination = ProviderId{9};
+  fromPeer.path = {ProviderId{3}, ProviderId{9}};
+  ASSERT_TRUE(node.receive(ProviderId{3}, fromPeer));
 
-  const auto toCustomer = node.exportTo(2);
-  const auto toProvider = node.exportTo(4);
+  const auto toCustomer = node.exportTo(ProviderId{2});
+  const auto toProvider = node.exportTo(ProviderId{4});
   const auto has9 = [](const std::vector<PathAdvertisement>& advs) {
     for (const auto& a : advs) {
-      if (a.destination == 9) return true;
+      if (a.destination == ProviderId{9}) return true;
     }
     return false;
   };
   EXPECT_TRUE(has9(toCustomer));
   EXPECT_FALSE(has9(toProvider));
   // Self is always advertised, with self prepended on exported paths.
-  EXPECT_EQ(toProvider.front().destination, 1u);
+  EXPECT_EQ(toProvider.front().destination, ProviderId{1u});
   for (const auto& a : toCustomer) {
-    if (a.destination == 9) EXPECT_EQ(a.path.front(), 1u);
+    if (a.destination == ProviderId{9}) EXPECT_EQ(a.path.front(), ProviderId{1u});
   }
 }
 
 TEST(PathVector, SplitHorizonSuppressesEcho) {
-  PathVectorNode node(1);
-  node.addNeighbor(2, Relationship::Mesh);
+  PathVectorNode node(ProviderId{1});
+  node.addNeighbor(ProviderId{2}, Relationship::Mesh);
   PathAdvertisement adv;
-  adv.destination = 9;
-  adv.path = {2, 9};
-  ASSERT_TRUE(node.receive(2, adv));
+  adv.destination = ProviderId{9};
+  adv.path = {ProviderId{2}, ProviderId{9}};
+  ASSERT_TRUE(node.receive(ProviderId{2}, adv));
   // The route learned from 2 is not advertised back to 2.
-  for (const auto& a : node.exportTo(2)) {
-    EXPECT_NE(a.destination, 9u);
+  for (const auto& a : node.exportTo(ProviderId{2})) {
+    EXPECT_NE(a.destination, ProviderId{9u});
   }
 }
 
 TEST(PathVector, MeshConvergesToFullReachability) {
   // Ring of five mesh providers.
-  const std::vector<ProviderId> ps = {1, 2, 3, 4, 5};
+  const std::vector<ProviderId> ps = {ProviderId{1}, ProviderId{2}, ProviderId{3}, ProviderId{4}, ProviderId{5}};
   std::vector<ProviderLink> links;
   for (std::size_t i = 0; i < ps.size(); ++i) {
     links.push_back(mesh(ps[i], ps[(i + 1) % ps.size()]));
@@ -132,8 +132,8 @@ TEST(PathVector, MeshConvergesToFullReachability) {
   const auto rep = runPathVector(ps, links);
   EXPECT_TRUE(rep.converged);
   EXPECT_DOUBLE_EQ(rep.reachability, 1.0);
-  EXPECT_GT(rep.meanPathLength, 1.0);
-  EXPECT_LE(rep.meanPathLength, 3.0);  // ring diameter 2 + destination hop
+  EXPECT_GT(rep.meanPathHops, 1.0);
+  EXPECT_LE(rep.meanPathHops, 3.0);  // ring diameter 2 + destination hop
 }
 
 TEST(PathVector, GaoRexfordValleyFreePoliciesLoseReachability) {
@@ -142,39 +142,39 @@ TEST(PathVector, GaoRexfordValleyFreePoliciesLoseReachability) {
   // behind the other peer's other peer (no valley-free path), while the
   // same physical adjacency under OpenSpace mesh policy is fully reachable.
   //   1 -customer-> 2 <-peer-> 3 <-peer-> 4 <-customer- 5
-  const std::vector<ProviderId> ps = {1, 2, 3, 4, 5};
-  std::vector<ProviderLink> gr = {transit(1, 2), peer(2, 3), peer(3, 4),
-                                  transit(5, 4)};
+  const std::vector<ProviderId> ps = {ProviderId{1}, ProviderId{2}, ProviderId{3}, ProviderId{4}, ProviderId{5}};
+  std::vector<ProviderLink> gr = {transit(ProviderId{1}, ProviderId{2}), peer(ProviderId{2}, ProviderId{3}), peer(ProviderId{3}, ProviderId{4}),
+                                  transit(ProviderId{5}, ProviderId{4})};
   const auto grRep = runPathVector(ps, gr);
   EXPECT_TRUE(grRep.converged);
   EXPECT_LT(grRep.reachability, 1.0);  // peer-peer-peer paths are forbidden
 
-  std::vector<ProviderLink> open = {mesh(1, 2), mesh(2, 3), mesh(3, 4),
-                                    mesh(5, 4)};
+  std::vector<ProviderLink> open = {mesh(ProviderId{1}, ProviderId{2}), mesh(ProviderId{2}, ProviderId{3}), mesh(ProviderId{3}, ProviderId{4}),
+                                    mesh(ProviderId{5}, ProviderId{4})};
   const auto meshRep = runPathVector(ps, open);
   EXPECT_TRUE(meshRep.converged);
   EXPECT_DOUBLE_EQ(meshRep.reachability, 1.0);
 }
 
 TEST(PathVector, SpecificUnreachablePairUnderGaoRexford) {
-  const std::vector<ProviderId> ps = {1, 2, 3, 4, 5};
-  std::vector<ProviderLink> gr = {transit(1, 2), peer(2, 3), peer(3, 4),
-                                  transit(5, 4)};
+  const std::vector<ProviderId> ps = {ProviderId{1}, ProviderId{2}, ProviderId{3}, ProviderId{4}, ProviderId{5}};
+  std::vector<ProviderLink> gr = {transit(ProviderId{1}, ProviderId{2}), peer(ProviderId{2}, ProviderId{3}), peer(ProviderId{3}, ProviderId{4}),
+                                  transit(ProviderId{5}, ProviderId{4})};
   std::map<ProviderId, PathVectorNode> nodes;
   runPathVector(ps, gr, 100, &nodes);
   // 1 can reach its provider 2, and 3 (2 exports customer+self... 3 is a
   // peer of 2: 2 exports self and customer routes to peers, so 3 learns 1;
   // and 2 exports peer routes to its customer 1, so 1 learns 3). But 1
   // cannot reach 5: the only physical path crosses two peering links.
-  EXPECT_TRUE(nodes.at(1).bestRoute(2).has_value());
-  EXPECT_TRUE(nodes.at(1).bestRoute(3).has_value());
-  EXPECT_FALSE(nodes.at(1).bestRoute(5).has_value());
-  EXPECT_FALSE(nodes.at(5).bestRoute(1).has_value());
+  EXPECT_TRUE(nodes.at(ProviderId{1}).bestRoute(ProviderId{2}).has_value());
+  EXPECT_TRUE(nodes.at(ProviderId{1}).bestRoute(ProviderId{3}).has_value());
+  EXPECT_FALSE(nodes.at(ProviderId{1}).bestRoute(ProviderId{5}).has_value());
+  EXPECT_FALSE(nodes.at(ProviderId{5}).bestRoute(ProviderId{1}).has_value());
 }
 
 TEST(PathVector, RunValidation) {
-  EXPECT_THROW(runPathVector({1, 2}, {mesh(1, 2)}, 0), InvalidArgumentError);
-  EXPECT_THROW(runPathVector({1}, {mesh(1, 2)}), NotFoundError);
+  EXPECT_THROW(runPathVector({ProviderId{1}, ProviderId{2}}, {mesh(ProviderId{1}, ProviderId{2})}, 0), InvalidArgumentError);
+  EXPECT_THROW(runPathVector({ProviderId{1}}, {mesh(ProviderId{1}, ProviderId{2})}), NotFoundError);
 }
 
 // --- link-state dissemination -----------------------------------------------
@@ -182,7 +182,7 @@ TEST(PathVector, RunValidation) {
 TEST(LinkStateDb, SequenceFiltering) {
   LinkStateDb db;
   Lsa lsa;
-  lsa.origin = 7;
+  lsa.origin = NodeId{7};
   lsa.sequence = 3;
   lsa.originatedAtS = 10.0;
   EXPECT_TRUE(db.install(lsa));
@@ -192,9 +192,9 @@ TEST(LinkStateDb, SequenceFiltering) {
   lsa.sequence = 4;
   lsa.originatedAtS = 20.0;
   EXPECT_TRUE(db.install(lsa));
-  ASSERT_NE(db.lookup(7), nullptr);
-  EXPECT_EQ(db.lookup(7)->sequence, 4u);
-  EXPECT_EQ(db.lookup(8), nullptr);
+  ASSERT_NE(db.lookup(NodeId{7}), nullptr);
+  EXPECT_EQ(db.lookup(NodeId{7})->sequence, 4u);
+  EXPECT_EQ(db.lookup(NodeId{8}), nullptr);
   EXPECT_DOUBLE_EQ(db.oldestAgeS(25.0), 5.0);
   EXPECT_EQ(db.size(), 1u);
 }
@@ -202,7 +202,7 @@ TEST(LinkStateDb, SequenceFiltering) {
 class FloodTest : public ::testing::Test {
  protected:
   FloodTest() {
-    for (const auto& el : makeWalkerStar(iridiumConfig())) eph_.publish(1, el);
+    for (const auto& el : makeWalkerStar(iridiumConfig())) eph_.publish(ProviderId{1}, el);
     topo_ = std::make_unique<TopologyBuilder>(eph_);
     SnapshotOptions opt;
     opt.wiring = IslWiring::PlusGrid;
@@ -235,7 +235,7 @@ TEST_F(FloodTest, ProcessingTimeDominatesConvergence) {
 TEST_F(FloodTest, GroundNodesDoNotRelay) {
   // Add a ground station bridging nothing: flood counts only satellites.
   TopologyBuilder topo2(eph_);
-  topo2.addGroundStation({"gw", Geodetic::fromDegrees(45.0, 0.0), 1});
+  topo2.addGroundStation({"gw", Geodetic::fromDegrees(45.0, 0.0), ProviderId{1}});
   SnapshotOptions opt;
   opt.wiring = IslWiring::PlusGrid;
   opt.planes = 6;
@@ -247,14 +247,14 @@ TEST_F(FloodTest, GroundNodesDoNotRelay) {
 }
 
 TEST_F(FloodTest, Validation) {
-  EXPECT_THROW(simulateLsaFlood(graph_, 9999), NotFoundError);
+  EXPECT_THROW(simulateLsaFlood(graph_, NodeId{9999}), NotFoundError);
   const NodeId origin = graph_.nodesOfKind(NodeKind::Satellite).front();
   EXPECT_THROW(simulateLsaFlood(graph_, origin, -1.0), InvalidArgumentError);
 }
 
 TEST(FloodSparse, IsolatedOriginReachesOnlyItself) {
   EphemerisService eph;
-  eph.publish(1, OrbitalElements::circular(km(780.0), 0.0, 0.0, 0.0));
+  eph.publish(ProviderId{1}, OrbitalElements::circular(km(780.0), 0.0, 0.0, 0.0));
   TopologyBuilder topo(eph);
   SnapshotOptions opt;
   const NetworkGraph g = topo.snapshot(0.0, opt);

@@ -165,18 +165,22 @@ TEST_P(DijkstraOptimality, MatchesBruteForceEnumeration) {
   // Random connected-ish graph of 8 satellites.
   NetworkGraph g;
   const int n = 8;
-  for (NodeId id = 1; id <= n; ++id) {
+  for (NodeId::rep_type idValue = 1; idValue <= static_cast<NodeId::rep_type>(n);
+       ++idValue) {
+    const NodeId id{idValue};
     Node node;
     node.id = id;
     node.kind = NodeKind::Satellite;
-    node.provider = 1;
-    node.name = std::to_string(id);
-    node.satellite = id;
+    node.provider = ProviderId{1};
+    node.name = std::to_string(idValue);
+    node.satellite = SatelliteId{idValue};
     g.addNode(std::move(node));
   }
-  for (NodeId a = 1; a <= n; ++a) {
-    for (NodeId b = static_cast<NodeId>(a + 1); b <= n; ++b) {
+  for (NodeId::rep_type av = 1; av <= static_cast<NodeId::rep_type>(n); ++av) {
+    for (NodeId::rep_type bv = av + 1; bv <= static_cast<NodeId::rep_type>(n);
+         ++bv) {
       if (rng.chance(0.45)) {
+        const NodeId a{av}, b{bv};
         Link l;
         l.a = a;
         l.b = b;
@@ -190,10 +194,10 @@ TEST_P(DijkstraOptimality, MatchesBruteForceEnumeration) {
 
   // Brute force: DFS enumeration of all simple paths 1 -> n.
   double best = std::numeric_limits<double>::infinity();
-  std::vector<NodeId> stack{1};
-  std::set<NodeId> visited{1};
+  std::vector<NodeId> stack{NodeId{1}};
+  std::set<NodeId> visited{NodeId{1}};
   std::function<void(NodeId, double)> dfs = [&](NodeId u, double cost) {
-    if (u == static_cast<NodeId>(n)) {
+    if (u == NodeId{static_cast<NodeId::rep_type>(n)}) {
       best = std::min(best, cost);
       return;
     }
@@ -206,9 +210,9 @@ TEST_P(DijkstraOptimality, MatchesBruteForceEnumeration) {
       visited.erase(v);
     }
   };
-  dfs(1, 0.0);
+  dfs(NodeId{1}, 0.0);
 
-  const Route r = shortestPath(g, 1, static_cast<NodeId>(n), latencyCost());
+  const Route r = shortestPath(g, NodeId{1}, NodeId{static_cast<NodeId::rep_type>(n)}, latencyCost());
   if (std::isinf(best)) {
     ASSERT_FALSE(r.valid());
   } else {
@@ -226,7 +230,7 @@ class YenProperties : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(YenProperties, Holds) {
   EphemerisService eph;
-  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(1, el);
+  for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(ProviderId{1}, el);
   TopologyBuilder topo(eph);
   SnapshotOptions opt;
   opt.wiring = IslWiring::PlusGrid;

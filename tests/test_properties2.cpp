@@ -88,8 +88,8 @@ TEST_P(MacAccounting, CsmaDeliveredPlusDroppedEqualsOffered) {
   EXPECT_DOUBLE_EQ(r.offeredFrames, r.deliveredFrames + r.droppedFrames);
   EXPECT_GE(r.throughputFraction, 0.0);
   EXPECT_LE(r.throughputFraction, 1.0);
-  EXPECT_GE(r.collisionRate, 0.0);
-  EXPECT_LE(r.collisionRate, 1.0);
+  EXPECT_GE(r.collisionFraction, 0.0);
+  EXPECT_LE(r.collisionFraction, 1.0);
 }
 
 TEST_P(MacAccounting, ReservationInvariants) {
@@ -149,12 +149,12 @@ TEST_P(TemporalDominance, EarlierStartNeverArrivesLater) {
   Rng rng(GetParam());
   EphemerisService eph;
   for (const auto& el : makeRandomConstellation(8, km(780.0), rng)) {
-    eph.publish(1, el);
+    eph.publish(ProviderId{1}, el);
   }
   TopologyBuilder topo(eph);
-  const NodeId a = topo.addUser({"a", Geodetic::fromDegrees(10.0, 20.0), 1});
+  const NodeId a = topo.addUser({"a", Geodetic::fromDegrees(10.0, 20.0), ProviderId{1}});
   const NodeId b =
-      topo.addGroundStation({"b", Geodetic::fromDegrees(-20.0, 120.0), 2});
+      topo.nodeOf(topo.addGroundStation({"b", Geodetic::fromDegrees(-20.0, 120.0), ProviderId{2}}));
   SnapshotOptions opt;
   opt.wiring = IslWiring::AllInRange;
   opt.minElevationRad = deg2rad(10.0);
@@ -177,18 +177,18 @@ class ReputationBounds : public ::testing::TestWithParam<double> {};
 
 TEST_P(ReputationBounds, ScoresBoundedAndMonotone) {
   ReputationTracker rep(GetParam());
-  double prev = rep.score(1);
+  double prev = rep.score(ProviderId{1});
   for (int i = 0; i < 30; ++i) {
-    rep.reportMisbehavior(1, MisbehaviorKind::TamperedPayload, 0.7);
-    const double s = rep.score(1);
+    rep.reportMisbehavior(ProviderId{1}, MisbehaviorKind::TamperedPayload, 0.7);
+    const double s = rep.score(ProviderId{1});
     ASSERT_GT(s, 0.0);
     ASSERT_LT(s, 1.0);
     ASSERT_LT(s, prev);
     prev = s;
   }
   for (int i = 0; i < 60; ++i) {
-    rep.reportGoodService(1);
-    const double s = rep.score(1);
+    rep.reportGoodService(ProviderId{1});
+    const double s = rep.score(ProviderId{1});
     ASSERT_GT(s, prev);
     ASSERT_LT(s, 1.0);
     prev = s;

@@ -85,16 +85,16 @@ TEST(Regime, LandingFees) {
 class ComplianceRouting : public ::testing::Test {
  protected:
   ComplianceRouting() : regime_(exampleGlobalRegime()) {
-    for (const auto& el : makeWalkerStar(iridiumConfig())) eph_.publish(1, el);
+    for (const auto& el : makeWalkerStar(iridiumConfig())) eph_.publish(ProviderId{1}, el);
     topo_ = std::make_unique<TopologyBuilder>(eph_);
     // A user in APAC (Tokyo) and gateways in all three regions.
-    user_ = topo_->addUser({"tokyo-user", Geodetic::fromDegrees(35.68, 139.69), 1});
-    gwAmericas_ = topo_->addGroundStation(
-        {"seattle-gw", Geodetic::fromDegrees(47.61, -122.33), 2});
-    gwEmea_ = topo_->addGroundStation(
-        {"paris-gw", Geodetic::fromDegrees(48.86, 2.35), 2});
-    gwApac_ = topo_->addGroundStation(
-        {"osaka-gw", Geodetic::fromDegrees(34.69, 135.50), 2});
+    user_ = topo_->addUser({"tokyo-user", Geodetic::fromDegrees(35.68, 139.69), ProviderId{1}});
+    gwAmericas_ = topo_->nodeOf(topo_->addGroundStation(
+        {"seattle-gw", Geodetic::fromDegrees(47.61, -122.33), ProviderId{2}}));
+    gwEmea_ = topo_->nodeOf(topo_->addGroundStation(
+        {"paris-gw", Geodetic::fromDegrees(48.86, 2.35), ProviderId{2}}));
+    gwApac_ = topo_->nodeOf(topo_->addGroundStation(
+        {"osaka-gw", Geodetic::fromDegrees(34.69, 135.50), ProviderId{2}}));
     SnapshotOptions opt;
     opt.wiring = IslWiring::PlusGrid;
     opt.planes = 6;
@@ -105,7 +105,7 @@ class ComplianceRouting : public ::testing::Test {
   EphemerisService eph_;
   std::unique_ptr<TopologyBuilder> topo_;
   RegulatoryRegime regime_;
-  NodeId user_ = 0, gwAmericas_ = 0, gwEmea_ = 0, gwApac_ = 0;
+  NodeId user_ = {}, gwAmericas_ = NodeId{0}, gwEmea_ = NodeId{0}, gwApac_ = NodeId{0};
   NetworkGraph graph_;
 };
 
@@ -160,7 +160,7 @@ TEST_F(ComplianceRouting, IslsAreNeverRegulated) {
   for (const LinkId lid : graph_.links()) {
     const Link& l = graph_.link(lid);
     if (l.type == LinkType::IslRf || l.type == LinkType::IslLaser) {
-      EXPECT_FALSE(std::isinf(cost(graph_, l, 0)));
+      EXPECT_FALSE(std::isinf(cost(graph_, l, ProviderId{})));
     }
   }
 }

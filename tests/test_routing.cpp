@@ -19,28 +19,29 @@ namespace {
 class DiamondGraph : public ::testing::Test {
  protected:
   DiamondGraph() {
-    for (NodeId id = 1; id <= 4; ++id) {
+    for (NodeId::rep_type idValue = 1; idValue <= 4; ++idValue) {
+      const NodeId id{idValue};
       Node n;
       n.id = id;
       n.kind = NodeKind::Satellite;
-      n.provider = (id % 2 == 0) ? 20 : 10;
-      n.name = "sat" + std::to_string(id);
-      n.satellite = id;
+      n.provider = ProviderId{(idValue % 2 == 0) ? 20u : 10u};
+      n.name = "sat" + std::to_string(idValue);
+      n.satellite = SatelliteId{idValue};
       g_.addNode(std::move(n));
     }
     Node gs;
-    gs.id = 5;
+    gs.id = NodeId{5};
     gs.kind = NodeKind::GroundStation;
-    gs.provider = 30;
+    gs.provider = ProviderId{30};
     gs.name = "gs";
     gs.location = Geodetic::fromDegrees(0, 0);
     g_.addNode(std::move(gs));
 
-    top1_ = addLink(1, 2, 1000e3, 10e6);
-    top2_ = addLink(2, 4, 1000e3, 10e6);
-    bot1_ = addLink(1, 3, 2000e3, 100e6);
-    bot2_ = addLink(3, 4, 2000e3, 100e6);
-    gsl_ = addLink(4, 5, 1500e3, 500e6, LinkType::Gsl);
+    top1_ = addLink(NodeId{1}, NodeId{2}, 1000e3, 10e6);
+    top2_ = addLink(NodeId{2}, NodeId{4}, 1000e3, 10e6);
+    bot1_ = addLink(NodeId{1}, NodeId{3}, 2000e3, 100e6);
+    bot2_ = addLink(NodeId{3}, NodeId{4}, 2000e3, 100e6);
+    gsl_ = addLink(NodeId{4}, NodeId{5}, 1500e3, 500e6, LinkType::Gsl);
   }
 
   LinkId addLink(NodeId a, NodeId b, double dist, double cap,
@@ -60,9 +61,9 @@ class DiamondGraph : public ::testing::Test {
 };
 
 TEST_F(DiamondGraph, ShortestPathPicksLowLatency) {
-  const Route r = shortestPath(g_, 1, 5, latencyCost());
+  const Route r = shortestPath(g_, NodeId{1}, NodeId{5}, latencyCost());
   ASSERT_TRUE(r.valid());
-  EXPECT_EQ(r.nodes, (std::vector<NodeId>{1, 2, 4, 5}));
+  EXPECT_EQ(r.nodes, (std::vector<NodeId>{NodeId{1}, NodeId{2}, NodeId{4}, NodeId{5}}));
   EXPECT_EQ(r.hops(), 3);
   EXPECT_NEAR(r.propagationDelayS, 3500e3 / kSpeedOfLightMps, 1e-12);
   EXPECT_DOUBLE_EQ(r.bottleneckBps, 10e6);
@@ -72,9 +73,9 @@ TEST_F(DiamondGraph, BandwidthWeightFlipsChoice) {
   CostWeights w;
   w.latencyWeight = 1.0;
   w.bandwidthWeight = 1e6;  // 0.1 cost on 10 Mbps links vs 0.01 on 100 Mbps
-  const Route r = shortestPath(g_, 1, 5, makeCostFunction(w));
+  const Route r = shortestPath(g_, NodeId{1}, NodeId{5}, makeCostFunction(w));
   ASSERT_TRUE(r.valid());
-  EXPECT_EQ(r.nodes, (std::vector<NodeId>{1, 3, 4, 5}));
+  EXPECT_EQ(r.nodes, (std::vector<NodeId>{NodeId{1}, NodeId{3}, NodeId{4}, NodeId{5}}));
   EXPECT_DOUBLE_EQ(r.bottleneckBps, 100e6);
 }
 
@@ -84,16 +85,16 @@ TEST_F(DiamondGraph, TariffWeightAvoidsExpensiveLinks) {
   CostWeights w;
   w.latencyWeight = 1.0;
   w.tariffWeight = 50.0;
-  const Route r = shortestPath(g_, 1, 5, makeCostFunction(w));
+  const Route r = shortestPath(g_, NodeId{1}, NodeId{5}, makeCostFunction(w));
   ASSERT_TRUE(r.valid());
-  EXPECT_EQ(r.nodes, (std::vector<NodeId>{1, 3, 4, 5}));
+  EXPECT_EQ(r.nodes, (std::vector<NodeId>{NodeId{1}, NodeId{3}, NodeId{4}, NodeId{5}}));
 }
 
 TEST_F(DiamondGraph, QueueingDelayStealsTraffic) {
   g_.link(top1_).queueingDelayS = 0.050;  // hot link
-  const Route r = shortestPath(g_, 1, 5, latencyCost());
+  const Route r = shortestPath(g_, NodeId{1}, NodeId{5}, latencyCost());
   ASSERT_TRUE(r.valid());
-  EXPECT_EQ(r.nodes, (std::vector<NodeId>{1, 3, 4, 5}));
+  EXPECT_EQ(r.nodes, (std::vector<NodeId>{NodeId{1}, NodeId{3}, NodeId{4}, NodeId{5}}));
   EXPECT_DOUBLE_EQ(r.queueingDelayS, 0.0);
 }
 
@@ -103,82 +104,82 @@ TEST_F(DiamondGraph, ForeignPenaltySteersTowardHomeAssets) {
   CostWeights w;
   w.latencyWeight = 1.0;
   w.foreignPenalty = 0.1;
-  const Route r = shortestPath(g_, 1, 5, makeCostFunction(w), /*home=*/10);
+  const Route r = shortestPath(g_, NodeId{1}, NodeId{5}, makeCostFunction(w), /*home=*/ProviderId{10});
   ASSERT_TRUE(r.valid());
-  EXPECT_EQ(r.nodes, (std::vector<NodeId>{1, 3, 4, 5}));
+  EXPECT_EQ(r.nodes, (std::vector<NodeId>{NodeId{1}, NodeId{3}, NodeId{4}, NodeId{5}}));
 }
 
 TEST_F(DiamondGraph, PremiumRequiresLaser) {
   // All links are RF: a Premium flow that mandates laser finds no path.
   const Route r =
-      shortestPath(g_, 1, 5, makeCostFunction(CostWeights::forQos(QosClass::Premium)));
+      shortestPath(g_, NodeId{1}, NodeId{5}, makeCostFunction(CostWeights::forQos(QosClass::Premium)));
   EXPECT_FALSE(r.valid());
 }
 
 TEST_F(DiamondGraph, SameSourceAndDestination) {
-  const Route r = shortestPath(g_, 3, 3, latencyCost());
+  const Route r = shortestPath(g_, NodeId{3}, NodeId{3}, latencyCost());
   ASSERT_TRUE(r.valid());
   EXPECT_EQ(r.hops(), 0);
   EXPECT_DOUBLE_EQ(r.cost, 0.0);
 }
 
 TEST_F(DiamondGraph, UnknownEndpointsThrow) {
-  EXPECT_THROW(shortestPath(g_, 1, 99, latencyCost()), NotFoundError);
-  EXPECT_THROW(shortestPath(g_, 99, 1, latencyCost()), NotFoundError);
-  EXPECT_THROW(shortestPathTree(g_, 99, latencyCost()), NotFoundError);
+  EXPECT_THROW(shortestPath(g_, NodeId{1}, NodeId{99}, latencyCost()), NotFoundError);
+  EXPECT_THROW(shortestPath(g_, NodeId{99}, NodeId{1}, latencyCost()), NotFoundError);
+  EXPECT_THROW(shortestPathTree(g_, NodeId{99}, latencyCost()), NotFoundError);
 }
 
 TEST_F(DiamondGraph, UnreachableGivesInvalidRoute) {
   Node lonely;
-  lonely.id = 42;
+  lonely.id = NodeId{42};
   lonely.kind = NodeKind::User;
-  lonely.provider = 1;
+  lonely.provider = ProviderId{1};
   lonely.name = "lonely";
   lonely.location = Geodetic::fromDegrees(0, 0);
   g_.addNode(std::move(lonely));
-  const Route r = shortestPath(g_, 1, 42, latencyCost());
+  const Route r = shortestPath(g_, NodeId{1}, NodeId{42}, latencyCost());
   EXPECT_FALSE(r.valid());
 }
 
 TEST_F(DiamondGraph, ShortestPathTreeCoversComponent) {
-  const auto tree = shortestPathTree(g_, 1, latencyCost());
+  const auto tree = shortestPathTree(g_, NodeId{1}, latencyCost());
   EXPECT_EQ(tree.size(), 5u);  // all five nodes reachable
-  EXPECT_EQ(tree.at(5).nodes.front(), 1u);
-  EXPECT_EQ(tree.at(5).nodes.back(), 5u);
+  EXPECT_EQ(tree.at(NodeId{5}).nodes.front(), NodeId{1u});
+  EXPECT_EQ(tree.at(NodeId{5}).nodes.back(), NodeId{5u});
   // Subpath optimality: the tree's route to 4 is a prefix of the one to 5.
-  const auto& r4 = tree.at(4);
-  const auto& r5 = tree.at(5);
+  const auto& r4 = tree.at(NodeId{4});
+  const auto& r5 = tree.at(NodeId{5});
   ASSERT_EQ(r5.nodes.size(), r4.nodes.size() + 1);
   EXPECT_TRUE(std::equal(r4.nodes.begin(), r4.nodes.end(), r5.nodes.begin()));
 }
 
 TEST_F(DiamondGraph, KShortestFindsBothDiamondArms) {
-  const auto routes = kShortestPaths(g_, 1, 5, 3, latencyCost());
+  const auto routes = kShortestPaths(g_, NodeId{1}, NodeId{5}, 3, latencyCost());
   ASSERT_EQ(routes.size(), 2u);  // only two simple paths exist
-  EXPECT_EQ(routes[0].nodes, (std::vector<NodeId>{1, 2, 4, 5}));
-  EXPECT_EQ(routes[1].nodes, (std::vector<NodeId>{1, 3, 4, 5}));
+  EXPECT_EQ(routes[0].nodes, (std::vector<NodeId>{NodeId{1}, NodeId{2}, NodeId{4}, NodeId{5}}));
+  EXPECT_EQ(routes[1].nodes, (std::vector<NodeId>{NodeId{1}, NodeId{3}, NodeId{4}, NodeId{5}}));
   EXPECT_LE(routes[0].cost, routes[1].cost);
 }
 
 TEST_F(DiamondGraph, KShortestValidation) {
-  EXPECT_THROW(kShortestPaths(g_, 1, 5, 0, latencyCost()),
+  EXPECT_THROW(kShortestPaths(g_, NodeId{1}, NodeId{5}, 0, latencyCost()),
                InvalidArgumentError);
   // Unreachable destination: empty result, not a throw.
   Node lonely;
-  lonely.id = 42;
+  lonely.id = NodeId{42};
   lonely.kind = NodeKind::User;
-  lonely.provider = 1;
+  lonely.provider = ProviderId{1};
   lonely.name = "l";
   lonely.location = Geodetic::fromDegrees(0, 0);
   g_.addNode(std::move(lonely));
-  EXPECT_TRUE(kShortestPaths(g_, 1, 42, 3, latencyCost()).empty());
+  EXPECT_TRUE(kShortestPaths(g_, NodeId{1}, NodeId{42}, 3, latencyCost()).empty());
 }
 
 TEST_F(DiamondGraph, NegativeCostRejected) {
   const LinkCostFn bad = [](const NetworkGraph&, const Link&, ProviderId) {
     return -1.0;
   };
-  EXPECT_THROW(shortestPath(g_, 1, 5, bad), InvalidArgumentError);
+  EXPECT_THROW(shortestPath(g_, NodeId{1}, NodeId{5}, bad), InvalidArgumentError);
 }
 
 TEST_F(DiamondGraph, InfiniteCostForbidsLink) {
@@ -187,9 +188,9 @@ TEST_F(DiamondGraph, InfiniteCostForbidsLink) {
     if (l.id == top1_) return std::numeric_limits<double>::infinity();
     return l.totalDelayS();
   };
-  const Route r = shortestPath(g_, 1, 5, noTop);
+  const Route r = shortestPath(g_, NodeId{1}, NodeId{5}, noTop);
   ASSERT_TRUE(r.valid());
-  EXPECT_EQ(r.nodes, (std::vector<NodeId>{1, 3, 4, 5}));
+  EXPECT_EQ(r.nodes, (std::vector<NodeId>{NodeId{1}, NodeId{3}, NodeId{4}, NodeId{5}}));
 }
 
 TEST(QosPresets, PremiumWeighsLatencyHarder) {
@@ -205,18 +206,18 @@ TEST(QosPresets, PremiumWeighsLatencyHarder) {
 class ProactiveTest : public ::testing::Test {
  protected:
   ProactiveTest() {
-    for (const auto& el : makeWalkerStar(iridiumConfig())) eph_.publish(1, el);
+    for (const auto& el : makeWalkerStar(iridiumConfig())) eph_.publish(ProviderId{1}, el);
     builder_ = std::make_unique<TopologyBuilder>(eph_);
-    gs_ = builder_->addGroundStation(
-        {"gs", Geodetic::fromDegrees(48.86, 2.35), 2});
-    user_ = builder_->addUser({"u", Geodetic::fromDegrees(40.44, -79.99), 3});
+    gs_ = builder_->nodeOf(builder_->addGroundStation(
+        {"gs", Geodetic::fromDegrees(48.86, 2.35), ProviderId{2}}));
+    user_ = builder_->addUser({"u", Geodetic::fromDegrees(40.44, -79.99), ProviderId{3}});
     opt_.wiring = IslWiring::PlusGrid;
     opt_.planes = 6;
     opt_.minElevationRad = deg2rad(10.0);
   }
   EphemerisService eph_;
   std::unique_ptr<TopologyBuilder> builder_;
-  NodeId gs_ = 0, user_ = 0;
+  NodeId gs_ = {}, user_ = NodeId{0};
   SnapshotOptions opt_;
 };
 
@@ -260,14 +261,14 @@ TEST_F(ProactiveTest, ValidationThrows) {
   EXPECT_THROW(ProactiveRouter(*builder_, opt_, 0.0, 600.0, 0.0),
                InvalidArgumentError);
   const ProactiveRouter router(*builder_, opt_, 0.0, 300.0, 300.0);
-  EXPECT_THROW(router.route(user_, 9999, 0.0), NotFoundError);
+  EXPECT_THROW(router.route(user_, NodeId{9999}, 0.0), NotFoundError);
 }
 
 // --- on-demand router --------------------------------------------------------
 
 TEST_F(ProactiveTest, OnDemandSelectsBestGroundStation) {
-  const NodeId gs2 = builder_->addGroundStation(
-      {"gs2", Geodetic::fromDegrees(40.0, -80.5), 2});  // right by the user
+  const NodeId gs2 = builder_->nodeOf(builder_->addGroundStation(
+      {"gs2", Geodetic::fromDegrees(40.0, -80.5), ProviderId{2}}));  // right by the user
   const NetworkGraph g = builder_->snapshot(0.0, opt_);
   const OnDemandRouter router(g, latencyCost());
   const Route best = router.selectGroundStation(user_);

@@ -83,35 +83,35 @@ TEST(SecureChannel, EmptyMessageRoundTrips) {
 
 TEST(Reputation, StartsTrustedDegradesWithEvidence) {
   ReputationTracker rep(0.5);
-  EXPECT_GT(rep.score(7), 0.5);
-  EXPECT_FALSE(rep.quarantined(7));
+  EXPECT_GT(rep.score(ProviderId{7}), 0.5);
+  EXPECT_FALSE(rep.quarantined(ProviderId{7}));
   for (int i = 0; i < 12; ++i) {
-    rep.reportMisbehavior(7, MisbehaviorKind::TamperedPayload);
+    rep.reportMisbehavior(ProviderId{7}, MisbehaviorKind::TamperedPayload);
   }
-  EXPECT_LT(rep.score(7), 0.5);
-  EXPECT_TRUE(rep.quarantined(7));
-  EXPECT_EQ(rep.quarantinedProviders(), std::vector<ProviderId>{7});
+  EXPECT_LT(rep.score(ProviderId{7}), 0.5);
+  EXPECT_TRUE(rep.quarantined(ProviderId{7}));
+  EXPECT_EQ(rep.quarantinedProviders(), std::vector<ProviderId>{ProviderId{7}});
 }
 
 TEST(Reputation, GoodServiceRestoresTrust) {
   ReputationTracker rep(0.5);
   for (int i = 0; i < 12; ++i) {
-    rep.reportMisbehavior(3, MisbehaviorKind::LedgerInflation);
+    rep.reportMisbehavior(ProviderId{3}, MisbehaviorKind::LedgerInflation);
   }
-  ASSERT_TRUE(rep.quarantined(3));
-  for (int i = 0; i < 40; ++i) rep.reportGoodService(3);
-  EXPECT_FALSE(rep.quarantined(3));
+  ASSERT_TRUE(rep.quarantined(ProviderId{3}));
+  for (int i = 0; i < 40; ++i) rep.reportGoodService(ProviderId{3});
+  EXPECT_FALSE(rep.quarantined(ProviderId{3}));
 }
 
 TEST(Reputation, IncidentBookkeeping) {
   ReputationTracker rep;
-  rep.reportMisbehavior(5, MisbehaviorKind::AuthAbuse);
-  rep.reportMisbehavior(5, MisbehaviorKind::AuthAbuse);
-  rep.reportMisbehavior(5, MisbehaviorKind::Interception, 0.5);
-  const auto inc = rep.incidents(5);
+  rep.reportMisbehavior(ProviderId{5}, MisbehaviorKind::AuthAbuse);
+  rep.reportMisbehavior(ProviderId{5}, MisbehaviorKind::AuthAbuse);
+  rep.reportMisbehavior(ProviderId{5}, MisbehaviorKind::Interception, 0.5);
+  const auto inc = rep.incidents(ProviderId{5});
   EXPECT_EQ(inc.at(MisbehaviorKind::AuthAbuse), 2);
   EXPECT_EQ(inc.at(MisbehaviorKind::Interception), 1);
-  EXPECT_TRUE(rep.incidents(99).empty());
+  EXPECT_TRUE(rep.incidents(ProviderId{99}).empty());
 }
 
 TEST(Reputation, Validation) {
@@ -119,9 +119,9 @@ TEST(Reputation, Validation) {
   EXPECT_THROW(ReputationTracker(1.0), InvalidArgumentError);
   EXPECT_THROW(ReputationTracker(0.5, 0.0, 1.0), InvalidArgumentError);
   ReputationTracker rep;
-  EXPECT_THROW(rep.reportMisbehavior(1, MisbehaviorKind::AuthAbuse, -1.0),
+  EXPECT_THROW(rep.reportMisbehavior(ProviderId{1}, MisbehaviorKind::AuthAbuse, -1.0),
                InvalidArgumentError);
-  EXPECT_THROW(rep.reportGoodService(1, -1.0), InvalidArgumentError);
+  EXPECT_THROW(rep.reportGoodService(ProviderId{1}, -1.0), InvalidArgumentError);
 }
 
 TEST(MisbehaviorNames, AllNamed) {
@@ -138,10 +138,10 @@ TEST(MisbehaviorNames, AllNamed) {
 /// carrier 2 carried 1 MB for owner 1, witnessed by provider 3.
 SettlementEngine honestEngine() {
   SettlementEngine engine;
-  for (ProviderId p : {1u, 2u, 3u}) engine.addProvider(p);
+  for (ProviderId p : {ProviderId{1u}, ProviderId{2u}, ProviderId{3u}}) engine.addProvider(p);
   // All three parties record the same carriage (as recordRouteTraffic would).
-  for (ProviderId p : {1u, 2u, 3u}) {
-    const_cast<TrafficLedger&>(engine.ledger(p)).record(2, 1, 1e6);
+  for (ProviderId p : {ProviderId{1u}, ProviderId{2u}, ProviderId{3u}}) {
+    const_cast<TrafficLedger&>(engine.ledger(p)).record(ProviderId{2}, ProviderId{1}, 1e6);
   }
   return engine;
 }
@@ -154,47 +154,47 @@ TEST(Audit, CleanBooksProduceNoFindings) {
 TEST(Audit, InflatedCarrierIsSuspected) {
   SettlementEngine engine = honestEngine();
   // Carrier 2 inflates its claim by 50%.
-  const_cast<TrafficLedger&>(engine.ledger(2)).record(2, 1, 5e5);
+  const_cast<TrafficLedger&>(engine.ledger(ProviderId{2})).record(ProviderId{2}, ProviderId{1}, 5e5);
   const auto findings = auditLedgers(engine);
   ASSERT_EQ(findings.size(), 1u);
-  EXPECT_EQ(findings[0].carrier, 2u);
-  EXPECT_EQ(findings[0].owner, 1u);
-  EXPECT_EQ(findings[0].suspected, 2u);  // witness 3 backs the owner
+  EXPECT_EQ(findings[0].carrier, ProviderId{2u});
+  EXPECT_EQ(findings[0].owner, ProviderId{1u});
+  EXPECT_EQ(findings[0].suspected, ProviderId{2u});  // witness 3 backs the owner
   EXPECT_DOUBLE_EQ(findings[0].carrierClaimBytes, 1.5e6);
   EXPECT_DOUBLE_EQ(findings[0].ownerClaimBytes, 1e6);
 }
 
 TEST(Audit, UnderstatingOwnerIsSuspected) {
   SettlementEngine engine;
-  for (ProviderId p : {1u, 2u, 3u}) engine.addProvider(p);
-  const_cast<TrafficLedger&>(engine.ledger(2)).record(2, 1, 1e6);
-  const_cast<TrafficLedger&>(engine.ledger(3)).record(2, 1, 1e6);
+  for (ProviderId p : {ProviderId{1u}, ProviderId{2u}, ProviderId{3u}}) engine.addProvider(p);
+  const_cast<TrafficLedger&>(engine.ledger(ProviderId{2})).record(ProviderId{2}, ProviderId{1}, 1e6);
+  const_cast<TrafficLedger&>(engine.ledger(ProviderId{3})).record(ProviderId{2}, ProviderId{1}, 1e6);
   // Owner 1 claims only half (dodging the bill).
-  const_cast<TrafficLedger&>(engine.ledger(1)).record(2, 1, 5e5);
+  const_cast<TrafficLedger&>(engine.ledger(ProviderId{1})).record(ProviderId{2}, ProviderId{1}, 5e5);
   const auto findings = auditLedgers(engine);
   ASSERT_EQ(findings.size(), 1u);
-  EXPECT_EQ(findings[0].suspected, 1u);
+  EXPECT_EQ(findings[0].suspected, ProviderId{1u});
 }
 
 TEST(Audit, NoWitnessMeansNoAttribution) {
   SettlementEngine engine;
-  engine.addProvider(1);
-  engine.addProvider(2);
-  const_cast<TrafficLedger&>(engine.ledger(2)).record(2, 1, 2e6);
-  const_cast<TrafficLedger&>(engine.ledger(1)).record(2, 1, 1e6);
+  engine.addProvider(ProviderId{1});
+  engine.addProvider(ProviderId{2});
+  const_cast<TrafficLedger&>(engine.ledger(ProviderId{2})).record(ProviderId{2}, ProviderId{1}, 2e6);
+  const_cast<TrafficLedger&>(engine.ledger(ProviderId{1})).record(ProviderId{2}, ProviderId{1}, 1e6);
   const auto findings = auditLedgers(engine);
   ASSERT_EQ(findings.size(), 1u);
-  EXPECT_EQ(findings[0].suspected, 0u);
+  EXPECT_EQ(findings[0].suspected, ProviderId{0u});
 }
 
 TEST(Audit, FindingsFeedReputationAndQuarantine) {
   SettlementEngine engine = honestEngine();
-  const_cast<TrafficLedger&>(engine.ledger(2)).record(2, 1, 9e6);  // 10x fraud
+  const_cast<TrafficLedger&>(engine.ledger(ProviderId{2})).record(ProviderId{2}, ProviderId{1}, 9e6);  // 10x fraud
   ReputationTracker rep(0.8);
   applyAuditFindings(auditLedgers(engine), rep);
-  EXPECT_LT(rep.score(2), rep.score(1));
-  EXPECT_TRUE(rep.quarantined(2));
-  const auto inc = rep.incidents(2);
+  EXPECT_LT(rep.score(ProviderId{2}), rep.score(ProviderId{1}));
+  EXPECT_TRUE(rep.quarantined(ProviderId{2}));
+  const auto inc = rep.incidents(ProviderId{2});
   EXPECT_EQ(inc.at(MisbehaviorKind::LedgerInflation), 1);
 }
 
@@ -208,14 +208,14 @@ TEST(QuarantineRouting, CutsOffBadActorsLinks) {
     n.id = id;
     n.kind = NodeKind::Satellite;
     n.provider = p;
-    n.name = std::to_string(id);
-    n.satellite = id;
+    n.name = std::to_string(id.value());
+    n.satellite = SatelliteId{id.value()};
     g.addNode(std::move(n));
   };
-  addNode(1, 1);
-  addNode(2, 2);
-  addNode(3, 3);
-  addNode(4, 1);
+  addNode(NodeId{1}, ProviderId{1});
+  addNode(NodeId{2}, ProviderId{2});
+  addNode(NodeId{3}, ProviderId{3});
+  addNode(NodeId{4}, ProviderId{1});
   auto addLink = [&](NodeId a, NodeId b, double dist) {
     Link l;
     l.a = a;
@@ -225,32 +225,32 @@ TEST(QuarantineRouting, CutsOffBadActorsLinks) {
     l.propagationDelayS = dist / kSpeedOfLightMps;
     g.addLink(l);
   };
-  addLink(1, 2, 1000e3);  // short path via provider 2
-  addLink(2, 4, 1000e3);
-  addLink(1, 3, 3000e3);  // long path via provider 3
-  addLink(3, 4, 3000e3);
+  addLink(NodeId{1}, NodeId{2}, 1000e3);  // short path via provider 2
+  addLink(NodeId{2}, NodeId{4}, 1000e3);
+  addLink(NodeId{1}, NodeId{3}, 3000e3);  // long path via provider 3
+  addLink(NodeId{3}, NodeId{4}, 3000e3);
 
   ReputationTracker rep(0.5);
   const LinkCostFn cost = quarantineAwareCost(latencyCost(), rep);
 
   // Trusted network: short path via provider 2 wins.
-  Route r = shortestPath(g, 1, 4, cost);
+  Route r = shortestPath(g, NodeId{1}, NodeId{4}, cost);
   ASSERT_TRUE(r.valid());
-  EXPECT_EQ(r.nodes, (std::vector<NodeId>{1, 2, 4}));
+  EXPECT_EQ(r.nodes, (std::vector<NodeId>{NodeId{1}, NodeId{2}, NodeId{4}}));
 
   // Provider 2 caught misbehaving: quarantine reroutes around it.
   for (int i = 0; i < 12; ++i) {
-    rep.reportMisbehavior(2, MisbehaviorKind::Interception);
+    rep.reportMisbehavior(ProviderId{2}, MisbehaviorKind::Interception);
   }
-  r = shortestPath(g, 1, 4, cost);
+  r = shortestPath(g, NodeId{1}, NodeId{4}, cost);
   ASSERT_TRUE(r.valid());
-  EXPECT_EQ(r.nodes, (std::vector<NodeId>{1, 3, 4}));
+  EXPECT_EQ(r.nodes, (std::vector<NodeId>{NodeId{1}, NodeId{3}, NodeId{4}}));
 
   // Both relays quarantined: the network is (correctly) partitioned.
   for (int i = 0; i < 12; ++i) {
-    rep.reportMisbehavior(3, MisbehaviorKind::Interception);
+    rep.reportMisbehavior(ProviderId{3}, MisbehaviorKind::Interception);
   }
-  EXPECT_FALSE(shortestPath(g, 1, 4, cost).valid());
+  EXPECT_FALSE(shortestPath(g, NodeId{1}, NodeId{4}, cost).valid());
 }
 
 }  // namespace

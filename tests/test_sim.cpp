@@ -121,16 +121,16 @@ TEST(Scenario, BuildsAllPieces) {
   EXPECT_EQ(s.ephemeris().size(), 66u);
   EXPECT_EQ(s.topology().groundStationCount(), 2u);
   EXPECT_EQ(s.topology().userCount(), 2u);
-  EXPECT_EQ(s.providerId(0), 1u);
-  EXPECT_EQ(s.providerId(1), 2u);
+  EXPECT_EQ(s.providerId(0), ProviderId{1u});
+  EXPECT_EQ(s.providerId(1), ProviderId{2u});
   EXPECT_THROW(s.providerId(5), InvalidArgumentError);
   EXPECT_EQ(s.beaconsAt(0.0).size(), 66u);
 }
 
 TEST(Scenario, OwnershipSplitMatchesConfig) {
   Scenario s(smallScenario());
-  EXPECT_EQ(s.ephemeris().satellitesOf(1).size(), 33u);
-  EXPECT_EQ(s.ephemeris().satellitesOf(2).size(), 33u);
+  EXPECT_EQ(s.ephemeris().satellitesOf(ProviderId{1}).size(), 33u);
+  EXPECT_EQ(s.ephemeris().satellitesOf(ProviderId{2}).size(), 33u);
 }
 
 TEST(Scenario, ValidationRejectsBadConfigs) {
@@ -162,7 +162,7 @@ TEST(Scenario, UserAssociationSucceeds) {
   Scenario s(smallScenario());
   const AssociationResult res = s.associateUser(0, 0.0);
   EXPECT_TRUE(res.success) << res.failureReason;
-  EXPECT_EQ(res.certificate.homeProvider, 1u);
+  EXPECT_EQ(res.certificate.homeProvider, ProviderId{1u});
 }
 
 TEST(Scenario, TrafficEpochDeliversAndSettles) {

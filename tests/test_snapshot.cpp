@@ -138,7 +138,7 @@ TEST(Snapshot, MatchesBruteForcePropagation) {
 TEST(Snapshot, EphemerisConstructorFollowsPublicationOrder) {
   const auto sats = testConstellation(10);
   EphemerisService eph;
-  for (const auto& el : sats) eph.publish(1, el);
+  for (const auto& el : sats) eph.publish(ProviderId{1}, el);
   const double t = 100.0;
   const ConstellationSnapshot snap(eph, t);
   ASSERT_EQ(snap.size(), sats.size());
@@ -320,7 +320,7 @@ TEST(SnapshotCacheTest, EphemerisAndElementListShareEntries) {
   SnapshotCache cache(4);
   const auto sats = testConstellation(5);
   EphemerisService eph;
-  for (const auto& el : sats) eph.publish(1, el);
+  for (const auto& el : sats) eph.publish(ProviderId{1}, el);
 
   const auto a = cache.at(sats, 50.0);
   EXPECT_EQ(cache.at(eph, 50.0).get(), a.get());

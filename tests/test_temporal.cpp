@@ -21,15 +21,15 @@ SnapshotOptions denseOpts() {
 class DenseConstellation : public ::testing::Test {
  protected:
   DenseConstellation() {
-    for (const auto& el : makeWalkerStar(iridiumConfig())) eph_.publish(1, el);
+    for (const auto& el : makeWalkerStar(iridiumConfig())) eph_.publish(ProviderId{1}, el);
     topo_ = std::make_unique<TopologyBuilder>(eph_);
-    user_ = topo_->addUser({"u", Geodetic::fromDegrees(40.44, -79.99), 1});
-    gw_ = topo_->addGroundStation(
-        {"gw", Geodetic::fromDegrees(48.86, 2.35), 2});
+    user_ = topo_->addUser({"u", Geodetic::fromDegrees(40.44, -79.99), ProviderId{1}});
+    gw_ = topo_->nodeOf(topo_->addGroundStation(
+        {"gw", Geodetic::fromDegrees(48.86, 2.35), ProviderId{2}}));
   }
   EphemerisService eph_;
   std::unique_ptr<TopologyBuilder> topo_;
-  NodeId user_ = 0, gw_ = 0;
+  NodeId user_ = {}, gw_ = NodeId{0};
 };
 
 TEST_F(DenseConstellation, ImmediateDeliveryWhenPathExists) {
@@ -61,7 +61,7 @@ TEST_F(DenseConstellation, Validation) {
   EXPECT_THROW(ContactGraphRouter(*topo_, denseOpts(), 0.0, 600.0, 0.0),
                InvalidArgumentError);
   const ContactGraphRouter router(*topo_, denseOpts(), 0.0, 120.0, 60.0);
-  EXPECT_THROW(router.earliestArrival(user_, 9999, 0.0), NotFoundError);
+  EXPECT_THROW(router.earliestArrival(user_, NodeId{9999}, 0.0), NotFoundError);
 }
 
 class SparseConstellation : public ::testing::Test {
@@ -69,19 +69,19 @@ class SparseConstellation : public ::testing::Test {
   SparseConstellation() {
     // Two satellites in one polar plane, half an orbit apart: never in
     // mutual line of sight, each passes over both sites in turn.
-    eph_.publish(1, OrbitalElements::circular(km(780.0), deg2rad(86.4), 0.0,
+    eph_.publish(ProviderId{1}, OrbitalElements::circular(km(780.0), deg2rad(86.4), 0.0,
                                               0.0));
-    eph_.publish(1, OrbitalElements::circular(km(780.0), deg2rad(86.4), 0.0,
+    eph_.publish(ProviderId{1}, OrbitalElements::circular(km(780.0), deg2rad(86.4), 0.0,
                                               std::numbers::pi));
     topo_ = std::make_unique<TopologyBuilder>(eph_);
     // Two sites under the orbital plane, well separated along the track.
-    siteA_ = topo_->addUser({"a", Geodetic::fromDegrees(0.0, 0.0), 1});
-    siteB_ = topo_->addGroundStation(
-        {"b", Geodetic::fromDegrees(60.0, 0.0), 2});
+    siteA_ = topo_->addUser({"a", Geodetic::fromDegrees(0.0, 0.0), ProviderId{1}});
+    siteB_ = topo_->nodeOf(topo_->addGroundStation(
+        {"b", Geodetic::fromDegrees(60.0, 0.0), ProviderId{2}}));
   }
   EphemerisService eph_;
   std::unique_ptr<TopologyBuilder> topo_;
-  NodeId siteA_ = 0, siteB_ = 0;
+  NodeId siteA_{}, siteB_{};
 };
 
 TEST_F(SparseConstellation, NoInstantaneousPathExists) {

@@ -10,7 +10,7 @@
 namespace openspace {
 namespace {
 
-Node satNode(NodeId id, SatelliteId sid, ProviderId p = 1) {
+Node satNode(NodeId id, SatelliteId sid, ProviderId p = ProviderId{1}) {
   Node n;
   n.id = id;
   n.kind = NodeKind::Satellite;
@@ -20,7 +20,7 @@ Node satNode(NodeId id, SatelliteId sid, ProviderId p = 1) {
   return n;
 }
 
-Node groundNode(NodeId id, NodeKind kind, ProviderId p = 1) {
+Node groundNode(NodeId id, NodeKind kind, ProviderId p = ProviderId{1}) {
   Node n;
   n.id = id;
   n.kind = kind;
@@ -42,82 +42,82 @@ Link mkLink(NodeId a, NodeId b, double cap = 1e6) {
 
 TEST(Graph, AddAndQueryNodes) {
   NetworkGraph g;
-  g.addNode(satNode(1, 10));
-  g.addNode(groundNode(2, NodeKind::GroundStation));
+  g.addNode(satNode(NodeId{1}, SatelliteId{10}));
+  g.addNode(groundNode(NodeId{2}, NodeKind::GroundStation));
   EXPECT_EQ(g.nodeCount(), 2u);
-  EXPECT_TRUE(g.hasNode(1));
-  EXPECT_FALSE(g.hasNode(3));
-  EXPECT_TRUE(g.node(1).isSatellite());
-  EXPECT_TRUE(g.node(2).isGroundStation());
-  EXPECT_THROW(g.node(99), NotFoundError);
+  EXPECT_TRUE(g.hasNode(NodeId{1}));
+  EXPECT_FALSE(g.hasNode(NodeId{3}));
+  EXPECT_TRUE(g.node(NodeId{1}).isSatellite());
+  EXPECT_TRUE(g.node(NodeId{2}).isGroundStation());
+  EXPECT_THROW(g.node(NodeId{99}), NotFoundError);
 }
 
 TEST(Graph, DuplicateNodeRejected) {
   NetworkGraph g;
-  g.addNode(satNode(1, 10));
-  EXPECT_THROW(g.addNode(satNode(1, 11)), InvalidArgumentError);
+  g.addNode(satNode(NodeId{1}, SatelliteId{10}));
+  EXPECT_THROW(g.addNode(satNode(NodeId{1}, SatelliteId{11})), InvalidArgumentError);
 }
 
 TEST(Graph, InconsistentNodeRejected) {
   NetworkGraph g;
-  Node bad = satNode(1, 10);
+  Node bad = satNode(NodeId{1}, SatelliteId{10});
   bad.location = Geodetic{};  // satellite with a ground fix: inconsistent
   EXPECT_THROW(g.addNode(bad), InvalidArgumentError);
-  Node bad2 = groundNode(2, NodeKind::User);
+  Node bad2 = groundNode(NodeId{2}, NodeKind::User);
   bad2.location.reset();  // ground asset without a fix
   EXPECT_THROW(g.addNode(bad2), InvalidArgumentError);
 }
 
 TEST(Graph, LinkLifecycle) {
   NetworkGraph g;
-  g.addNode(satNode(1, 10));
-  g.addNode(satNode(2, 11));
-  const LinkId lid = g.addLink(mkLink(1, 2));
+  g.addNode(satNode(NodeId{1}, SatelliteId{10}));
+  g.addNode(satNode(NodeId{2}, SatelliteId{11}));
+  const LinkId lid = g.addLink(mkLink(NodeId{1}, NodeId{2}));
   EXPECT_EQ(g.linkCount(), 1u);
-  EXPECT_EQ(g.link(lid).otherEnd(1), 2u);
-  EXPECT_EQ(g.link(lid).otherEnd(2), 1u);
-  EXPECT_THROW(g.link(lid).otherEnd(7), InvalidArgumentError);
-  EXPECT_EQ(g.linksOf(1).size(), 1u);
+  EXPECT_EQ(g.link(lid).otherEnd(NodeId{1}), NodeId{2u});
+  EXPECT_EQ(g.link(lid).otherEnd(NodeId{2}), NodeId{1u});
+  EXPECT_THROW(g.link(lid).otherEnd(NodeId{7}), InvalidArgumentError);
+  EXPECT_EQ(g.linksOf(NodeId{1}).size(), 1u);
   g.removeLink(lid);
   EXPECT_EQ(g.linkCount(), 0u);
-  EXPECT_TRUE(g.linksOf(1).empty());
+  EXPECT_TRUE(g.linksOf(NodeId{1}).empty());
   EXPECT_THROW(g.removeLink(lid), NotFoundError);
 }
 
 TEST(Graph, LinkValidation) {
   NetworkGraph g;
-  g.addNode(satNode(1, 10));
-  g.addNode(satNode(2, 11));
-  EXPECT_THROW(g.addLink(mkLink(1, 99)), NotFoundError);
-  EXPECT_THROW(g.addLink(mkLink(1, 1)), InvalidArgumentError);
-  EXPECT_THROW(g.addLink(mkLink(1, 2, 0.0)), InvalidArgumentError);
+  g.addNode(satNode(NodeId{1}, SatelliteId{10}));
+  g.addNode(satNode(NodeId{2}, SatelliteId{11}));
+  EXPECT_THROW(g.addLink(mkLink(NodeId{1}, NodeId{99})), NotFoundError);
+  EXPECT_THROW(g.addLink(mkLink(NodeId{1}, NodeId{1})), InvalidArgumentError);
+  EXPECT_THROW(g.addLink(mkLink(NodeId{1}, NodeId{2}, 0.0)), InvalidArgumentError);
 }
 
 TEST(Graph, FindLinkEitherDirection) {
   NetworkGraph g;
-  g.addNode(satNode(1, 10));
-  g.addNode(satNode(2, 11));
-  g.addNode(satNode(3, 12));
-  const LinkId lid = g.addLink(mkLink(1, 2));
-  EXPECT_EQ(g.findLink(1, 2), std::optional<LinkId>(lid));
-  EXPECT_EQ(g.findLink(2, 1), std::optional<LinkId>(lid));
-  EXPECT_EQ(g.findLink(1, 3), std::nullopt);
-  EXPECT_EQ(g.findLink(99, 1), std::nullopt);
+  g.addNode(satNode(NodeId{1}, SatelliteId{10}));
+  g.addNode(satNode(NodeId{2}, SatelliteId{11}));
+  g.addNode(satNode(NodeId{3}, SatelliteId{12}));
+  const LinkId lid = g.addLink(mkLink(NodeId{1}, NodeId{2}));
+  EXPECT_EQ(g.findLink(NodeId{1}, NodeId{2}), std::optional<LinkId>(lid));
+  EXPECT_EQ(g.findLink(NodeId{2}, NodeId{1}), std::optional<LinkId>(lid));
+  EXPECT_EQ(g.findLink(NodeId{1}, NodeId{3}), std::nullopt);
+  EXPECT_EQ(g.findLink(NodeId{99}, NodeId{1}), std::nullopt);
 }
 
 TEST(Graph, NodesOfKind) {
   NetworkGraph g;
-  g.addNode(satNode(1, 10));
-  g.addNode(groundNode(2, NodeKind::GroundStation));
-  g.addNode(groundNode(3, NodeKind::User));
-  g.addNode(satNode(4, 11));
+  g.addNode(satNode(NodeId{1}, SatelliteId{10}));
+  g.addNode(groundNode(NodeId{2}, NodeKind::GroundStation));
+  g.addNode(groundNode(NodeId{3}, NodeKind::User));
+  g.addNode(satNode(NodeId{4}, SatelliteId{11}));
   EXPECT_EQ(g.nodesOfKind(NodeKind::Satellite).size(), 2u);
   EXPECT_EQ(g.nodesOfKind(NodeKind::GroundStation).size(), 1u);
   EXPECT_EQ(g.nodesOfKind(NodeKind::User).size(), 1u);
 }
 
 TEST(Graph, TotalDelayCombinesPropagationAndQueueing) {
-  Link l = mkLink(1, 2);
+  Link l = mkLink(NodeId{1}, NodeId{2});
   l.queueingDelayS = 0.005;
   EXPECT_DOUBLE_EQ(l.totalDelayS(), l.propagationDelayS + 0.005);
 }
@@ -128,7 +128,7 @@ class BuilderTest : public ::testing::Test {
  protected:
   BuilderTest() {
     for (const auto& el : makeWalkerStar(iridiumConfig())) {
-      eph_.publish(1 + (eph_.size() % 3), el);  // 3 providers interleaved
+      eph_.publish(ProviderId{static_cast<std::uint32_t>(1 + (eph_.size() % 3))}, el);  // 3 providers interleaved
     }
     builder_ = std::make_unique<TopologyBuilder>(eph_);
   }
@@ -141,8 +141,8 @@ TEST_F(BuilderTest, SatelliteNodesAreStable) {
   const SatelliteId sid = eph_.satellites().front();
   const NodeId nid = builder_->nodeOf(sid);
   EXPECT_EQ(builder_->satelliteOf(nid), sid);
-  EXPECT_THROW(builder_->nodeOf(9999), NotFoundError);
-  EXPECT_THROW(builder_->satelliteOf(9999), NotFoundError);
+  EXPECT_THROW(builder_->nodeOf(SatelliteId{9999}), NotFoundError);
+  EXPECT_THROW(builder_->satelliteOf(NodeId{9999}), NotFoundError);
 }
 
 TEST_F(BuilderTest, DefaultCapabilitiesAreRfOnly) {
@@ -156,7 +156,7 @@ TEST_F(BuilderTest, CapabilitiesMustIncludeRf) {
   caps.islBands = {};  // violates the OpenSpace minimum
   EXPECT_THROW(builder_->setCapabilities(eph_.satellites().front(), caps),
                InvalidArgumentError);
-  EXPECT_THROW(builder_->setCapabilities(9999, LinkCapabilities{}),
+  EXPECT_THROW(builder_->setCapabilities(SatelliteId{9999}, LinkCapabilities{}),
                NotFoundError);
 }
 
@@ -217,10 +217,10 @@ TEST_F(BuilderTest, LaserUpgradeTakesEffect) {
 }
 
 TEST_F(BuilderTest, GroundAssetsGetLinksWhenVisible) {
-  const NodeId gs = builder_->addGroundStation(
-      {"gs", Geodetic::fromDegrees(45.0, 10.0), 9});
+  const NodeId gs = builder_->nodeOf(builder_->addGroundStation(
+      {"gs", Geodetic::fromDegrees(45.0, 10.0), ProviderId{9}}));
   const NodeId user =
-      builder_->addUser({"u", Geodetic::fromDegrees(-20.0, 130.0), 9});
+      builder_->addUser({"u", Geodetic::fromDegrees(-20.0, 130.0), ProviderId{9}});
   SnapshotOptions opt;
   opt.wiring = IslWiring::PlusGrid;
   opt.planes = 6;
@@ -245,8 +245,8 @@ TEST_F(BuilderTest, GroundAssetsGetLinksWhenVisible) {
 }
 
 TEST_F(BuilderTest, ExcludingGroundAssetsWorks) {
-  builder_->addGroundStation({"gs", Geodetic::fromDegrees(45.0, 10.0), 9});
-  builder_->addUser({"u", Geodetic::fromDegrees(-20.0, 130.0), 9});
+  builder_->addGroundStation({"gs", Geodetic::fromDegrees(45.0, 10.0), ProviderId{9}});
+  builder_->addUser({"u", Geodetic::fromDegrees(-20.0, 130.0), ProviderId{9}});
   SnapshotOptions opt;
   opt.wiring = IslWiring::PlusGrid;
   opt.planes = 6;

@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Units lint: enforce unit-suffix naming on raw-double quantities in public headers.
+
+openspace uses SI doubles by convention (geo/units.hpp): meters, seconds,
+hertz, bits-per-second, radians, watts. The convention is only useful if
+every public signature names the unit it expects, so this lint walks every
+public header (src/*/include/**/*.hpp) and requires each raw `double`
+function parameter and aggregate member to either
+
+  * end in a recognized unit suffix — snake (`_m`, `_s`, `_hz`, `_bps`,
+    `_rad`, ...) or the house camelCase equivalent (`M`, `Seconds`, `Hz`,
+    `Bps`, `Rad`, ...), or
+  * be a recognized dimensionless name (ratio, fraction, weight, ...), or
+  * carry an explicit same-line waiver: `// units: <reason>`.
+
+Exit status is non-zero when any violation is found; CI runs this script
+on every push. Run locally with:
+
+    python3 tools/check_units.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# --- policy -----------------------------------------------------------------
+
+# Recognized unit suffixes. Keys are the canonical snake suffix (what the
+# ISSUE calls out); values are accepted camelCase spellings of the same unit.
+UNIT_SUFFIXES: dict[str, tuple[str, ...]] = {
+    "_m": ("M", "Meters"),                    # meters
+    "_m2": ("M2",),                           # square meters
+    "_s": ("S", "Seconds", "Secs"),           # seconds
+    "_hz": ("Hz",),                           # hertz
+    "_bps": ("Bps",),                         # bits per second
+    "_rad": ("Rad", "Radians"),               # radians
+    "_deg": ("Deg", "Degrees"),               # degrees (I/O boundaries only)
+    "_mps": ("Mps",),                         # meters per second
+    "_mps2": ("Mps2",),                       # meters per second^2
+    "_w": ("W", "Watts"),                     # watts
+    "_k": ("K", "Kelvin"),                    # kelvin
+    "_db": ("Db",),                           # decibels (ratio, log scale)
+    "_dbw": ("Dbw",),                         # dBW
+    "_dbm": ("Dbm",),                         # dBm
+    "_dbi": ("Dbi",),                         # antenna gain dBi
+    "_bits": ("Bits",),                       # bits
+    "_bytes": ("Bytes",),                     # bytes
+    "_gb": ("Gb",),                           # gigabytes (tariff accounting)
+    "_usd": ("Usd",),                         # dollars
+    "_usd_per_gb": ("UsdPerGb",),             # transit tariff
+    "_usd_per_kg": ("UsdPerKg",),             # launch cost
+    "_kg": ("Kg",),                           # kilograms
+    "_per_s": ("PerS", "PerSecond"),          # rates (1/s)
+    "_per_m2": ("PerM2",),                    # densities (1/m^2)
+    "_wh": ("Wh",),                           # watt-hours (battery energy)
+    "_m3": ("M3",),                           # cubic meters
+    "_m3_per_s2": ("M3PerS2",),               # gravitational parameter mu
+    "_mm_per_hour": ("MmPerHour",),           # rain rate (ITU-R attenuation)
+}
+
+# Names that are legitimately dimensionless doubles. Exact match, or the
+# name may end with one of these (e.g. "latencyWeight", "packetLossRatio").
+DIMENSIONLESS = (
+    "ratio",
+    "fraction",
+    "factor",
+    "weight",
+    "penalty",
+    "probability",
+    "share",
+    "efficiency",
+    "utilization",
+    "quantile",
+    "percentile",
+    "score",
+    "scale",
+    "alpha",
+    "beta",
+    "gamma",
+    "epsilon",
+    "tolerance",
+    "eccentricity",  # orbital eccentricity is dimensionless
+    "samples",
+    "count",
+    # Counts and pure numbers specific to this simulator's domain.
+    "hops",          # path lengths in hops
+    "frames",        # MAC frame counts
+    "satellites",    # expected satellite counts
+    "millions",      # population weights, in millions of people
+    "coverage",      # covered fraction of time/demand, in [0, 1]
+    "connectivity",  # connected fraction of node pairs, in [0, 1]
+    "reachability",  # reachable fraction of provider pairs, in [0, 1]
+    "synergy",       # coalition coverage gain, a difference of fractions
+    "symmetry",      # min/max volume ratio, in [0, 1]
+    "exponent",      # exponents are dimensionless by definition
+    "quantile",
+    "cost",          # route costs are weighted mixed-unit scalars
+)
+
+WAIVER_RE = re.compile(r"//[/!<]*\s*units:\s*\S")
+
+# A header whose first lines carry `// units-file: <reason>` is exempt as a
+# whole. Reserved for the primitive-math layer (vec3, rng, the unit
+# conversion helpers themselves) where parameters are generic scalars.
+FILE_WAIVER_RE = re.compile(r"//[/!<]*\s*units-file:\s*\S")
+
+# A raw double quantity: `double <name>` directly followed by a terminator
+# that makes it a parameter or member (`,` `)` `;` `=` `{`). Excludes
+# pointers/references and `double foo(` function declarations.
+DECL_RE = re.compile(r"\bdouble\s+([A-Za-z_]\w*)\s*(?=[,)\;={])")
+
+BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+LINE_COMMENT_RE = re.compile(r"//[^\n]*")
+
+
+def name_is_compliant(name: str) -> bool:
+    name = name.rstrip("_")  # private members carry a trailing underscore
+    lowered = name.lower()
+    for snake, camels in UNIT_SUFFIXES.items():
+        # A name that IS the unit states it as clearly as a suffix would
+        # (e.g. `double bytes`, `deg2rad(double deg)`).
+        if lowered == snake[1:]:
+            return True
+        if name.endswith(snake):
+            return True
+        for camel in camels:
+            # A camelCase suffix needs a non-empty stem so a bare `M` or `S`
+            # does not count as carrying a unit.
+            if name.endswith(camel) and len(name) > len(camel):
+                return True
+    return any(lowered == d or lowered.endswith(d) for d in DIMENSIONLESS)
+
+
+def strip_comments_keep_lines(text: str) -> str:
+    """Blank out comments while preserving line numbers (waivers are read
+    from the raw text separately)."""
+
+    def blank(match: re.Match[str]) -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    text = BLOCK_COMMENT_RE.sub(blank, text)
+    return LINE_COMMENT_RE.sub(blank, text)
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    raw = path.read_text(encoding="utf-8")
+    raw_lines = raw.splitlines()
+    if any(FILE_WAIVER_RE.search(line) for line in raw_lines[:10]):
+        return []
+    stripped = strip_comments_keep_lines(raw)
+    violations = []
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        for match in DECL_RE.finditer(line):
+            name = match.group(1)
+            if name_is_compliant(name):
+                continue
+            # Waiver on the declaration's line, or alone on the line above
+            # (for declarations too long to share a line with a comment).
+            if lineno <= len(raw_lines) and (
+                WAIVER_RE.search(raw_lines[lineno - 1])
+                or (lineno >= 2 and WAIVER_RE.search(raw_lines[lineno - 2]))
+            ):
+                continue
+            violations.append(
+                f"{path}:{lineno}: raw double `{name}` has no unit suffix "
+                f"(see tools/check_units.py for the accepted suffixes; "
+                f"waive with `// units: <reason>`)"
+            )
+    return violations
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "roots",
+        nargs="*",
+        default=["src"],
+        help="directories to scan (default: src)",
+    )
+    args = parser.parse_args()
+
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    headers: list[pathlib.Path] = []
+    for root in args.roots:
+        base = (repo / root) if not pathlib.Path(root).is_absolute() else pathlib.Path(root)
+        headers.extend(sorted(base.glob("*/include/**/*.hpp")))
+        if not any(base.glob("*/include")):
+            headers.extend(sorted(base.glob("**/*.hpp")))
+
+    if not headers:
+        print(f"check_units: no headers found under {args.roots}", file=sys.stderr)
+        return 2
+
+    violations: list[str] = []
+    for header in headers:
+        violations.extend(check_file(header))
+
+    for v in violations:
+        print(v)
+    print(
+        f"check_units: scanned {len(headers)} headers, "
+        f"{len(violations)} violation(s)"
+    )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
