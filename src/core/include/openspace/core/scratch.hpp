@@ -1,0 +1,162 @@
+// units-file: generic scratch primitives; scalar meanings are caller-defined.
+//
+// Reusable zero-allocation search scratch: generation-stamped arrays and a
+// d-ary heap. These are the building blocks of every hot graph-search loop
+// in the library (the RouteEngine's Dijkstra, Yen spur searches, the
+// constellation snapshot's ISL path queries): a query "clears" its state in
+// O(1) by bumping a generation counter instead of refilling arrays, and the
+// heap keeps its capacity across queries, so a warmed-up search allocates
+// nothing at all.
+//
+// Determinism: DaryHeap orders entries by (key, index) lexicographically,
+// so pop order — and therefore parent choice among equal-cost relaxations —
+// is identical regardless of insertion interleaving. Search kernels built
+// on these primitives produce bit-identical results run-to-run and
+// thread-count-to-thread-count.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include <openspace/core/assert.hpp>
+
+namespace openspace {
+
+/// A fixed-capacity array whose entries read as "untouched" until written
+/// in the current generation. reset() is O(1) (amortized): it bumps the
+/// generation stamp instead of refilling values.
+template <class T>
+class StampedArray {
+ public:
+  /// Start a new generation over `n` slots. Grows storage on demand; never
+  /// shrinks, so steady-state reuse performs no allocation.
+  void reset(std::size_t n) {
+    if (n > stamps_.size()) {
+      stamps_.resize(n, 0);
+      values_.resize(n);
+    }
+    if (++generation_ == 0) {  // wrapped: all stamps are stale by definition
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      generation_ = 1;
+    }
+  }
+
+  bool touched(std::size_t i) const {
+    OPENSPACE_ASSERT(i < stamps_.size(), "StampedArray index in range");
+    return stamps_[i] == generation_;
+  }
+
+  /// Value at i, or `fallback` when the slot is untouched this generation.
+  const T& getOr(std::size_t i, const T& fallback) const {
+    return touched(i) ? values_[i] : fallback;
+  }
+
+  void set(std::size_t i, const T& v) {
+    OPENSPACE_ASSERT(i < stamps_.size(), "StampedArray index in range");
+    values_[i] = v;
+    stamps_[i] = generation_;
+  }
+
+ private:
+  std::vector<T> values_;
+  std::vector<std::uint32_t> stamps_;
+  std::uint32_t generation_ = 0;
+};
+
+/// Binary min-heap of (key, index) pairs with lazy deletion (no
+/// decrease-key; stale entries are skipped by the caller via a distance
+/// check). On the small frontiers routing works with (tens of entries),
+/// arity 2 measured faster than 4: one comparison per level beats the
+/// shorter-but-wider sift of higher arities. Ties break toward the smaller
+/// index, deterministically.
+///
+/// Internally keys are stored as order-preserving integer bit patterns (the
+/// standard sign-flip transform of the IEEE-754 layout), so the hot sift
+/// compares are integer ops instead of FP-compare branch pairs. NaN keys
+/// are not supported (asserted); -0.0 sorts strictly before +0.0, which is
+/// indistinguishable to callers keying on costs or timestamps.
+class DaryHeap {
+ public:
+  struct Entry {
+    double key;
+    std::uint32_t index;
+  };
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+  /// Drop all entries but keep capacity for reuse.
+  void clear() noexcept { heap_.clear(); }
+
+  void push(double key, std::uint32_t index) {
+    OPENSPACE_ASSERT(key == key, "DaryHeap keys must not be NaN");
+    heap_.push_back({orderedBits(key), index});
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!less(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  /// Remove and return the minimum entry. Heap must be non-empty.
+  Entry pop() {
+    OPENSPACE_ASSERT(!heap_.empty(), "DaryHeap::pop on empty heap");
+    const Packed top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t firstChild = i * kArity + 1;
+      if (firstChild >= n) break;
+      std::size_t best = firstChild;
+      const std::size_t lastChild = std::min(firstChild + kArity, n);
+      for (std::size_t c = firstChild + 1; c < lastChild; ++c) {
+        if (less(heap_[c], heap_[best])) best = c;
+      }
+      if (!less(heap_[best], heap_[i])) break;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+    return {keyOf(top), top.index};
+  }
+
+ private:
+  static constexpr std::size_t kArity = 2;
+  static constexpr std::uint64_t kSignBit = 1ull << 63;
+
+  struct Packed {
+    std::uint64_t key;  ///< Order-preserving transform of the double key.
+    std::uint32_t index;
+  };
+
+  /// Monotone double -> uint64 map: negative values flip entirely, others
+  /// flip the sign bit, so unsigned integer order == IEEE numeric order.
+  static std::uint64_t orderedBits(double d) noexcept {
+    std::uint64_t b = 0;
+    static_assert(sizeof b == sizeof d);
+    std::memcpy(&b, &d, sizeof b);
+    return (b & kSignBit) != 0 ? ~b : (b | kSignBit);
+  }
+
+  static double keyOf(const Packed& p) noexcept {
+    const std::uint64_t b =
+        (p.key & kSignBit) != 0 ? (p.key ^ kSignBit) : ~p.key;
+    double d = 0.0;
+    std::memcpy(&d, &b, sizeof d);
+    return d;
+  }
+
+  static bool less(const Packed& a, const Packed& b) noexcept {
+    return a.key < b.key || (a.key == b.key && a.index < b.index);
+  }
+
+  std::vector<Packed> heap_;
+};
+
+}  // namespace openspace

@@ -8,10 +8,10 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
-#include <queue>
 
 #include <openspace/concurrency/parallel.hpp>
 #include <openspace/core/assert.hpp>
+#include <openspace/core/scratch.hpp>
 #include <openspace/geo/error.hpp>
 #include <openspace/geo/wgs84.hpp>
 #include <openspace/orbit/ephemeris.hpp>
@@ -235,27 +235,37 @@ std::optional<std::pair<double, int>> ConstellationSnapshot::shortestIslPath(
   const std::shared_ptr<const IslTopology> topo =
       islTopology(maxRangeM, losClearanceM);
 
-  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
-  std::vector<int> hops(n, 0);
-  using Q = std::pair<double, std::size_t>;
-  std::priority_queue<Q, std::vector<Q>, std::greater<>> pq;
-  dist[src] = 0.0;
-  pq.emplace(0.0, src);
+  // Per-thread reusable scratch (core/scratch.hpp): the stamped arrays reset
+  // in O(1) and the heap keeps its capacity, so steady-state queries — e.g.
+  // the fig2 Monte Carlo sweep issuing one per trial — allocate nothing.
+  thread_local StampedArray<double> dist;
+  thread_local StampedArray<int> hops;
+  thread_local DaryHeap pq;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  OPENSPACE_ASSERT(n < 0xFFFFFFFFu, "satellite indices fit the heap's 32 bits");
+  dist.reset(n);
+  hops.reset(n);
+  pq.clear();
+  dist.set(src, 0.0);
+  hops.set(src, 0);
+  pq.push(0.0, static_cast<std::uint32_t>(src));
   while (!pq.empty()) {
-    const auto [d, u] = pq.top();
-    pq.pop();
-    if (d > dist[u]) continue;
+    const auto [d, u] = pq.pop();
+    if (d > dist.getOr(u, kInf)) continue;
     if (u == dst) break;
+    const int throughHops = hops.getOr(u, 0) + 1;
     for (const auto& [v, w] : topo->adjacency[u]) {
-      if (d + w < dist[v]) {
-        dist[v] = d + w;
-        hops[v] = hops[u] + 1;
-        pq.emplace(dist[v], v);
+      const double nd = d + w;
+      if (nd < dist.getOr(v, kInf)) {
+        dist.set(v, nd);
+        hops.set(v, throughHops);
+        pq.push(nd, static_cast<std::uint32_t>(v));
       }
     }
   }
-  if (std::isinf(dist[dst])) return std::nullopt;
-  return std::make_pair(dist[dst], hops[dst]);
+  const double dstDist = dist.getOr(dst, kInf);
+  if (std::isinf(dstDist)) return std::nullopt;
+  return std::make_pair(dstDist, hops.getOr(dst, 0));
 }
 
 FootprintIndex::FootprintIndex(const ConstellationSnapshot& snapshot,

@@ -1,11 +1,21 @@
+// Public routing entry points (engine-backed adapters) plus the legacy
+// reference implementations they are property-tested against.
+//
+// The free functions below keep their original signatures but now compile
+// the snapshot into a CSR RouteEngine and query that; callers with repeated
+// queries against one snapshot should construct a RouteEngine directly and
+// amortize the compilation.
 #include <openspace/routing/dijkstra.hpp>
 
 #include <algorithm>
 #include <queue>
 #include <set>
+#include <unordered_set>
 
 #include <openspace/core/assert.hpp>
 #include <openspace/geo/error.hpp>
+#include <openspace/routing/engine.hpp>
+#include <openspace/routing/legacy.hpp>
 
 namespace openspace {
 
@@ -14,7 +24,24 @@ namespace {
 struct QueueEntry {
   double dist;
   NodeId node;
-  bool operator>(const QueueEntry& o) const noexcept { return dist > o.dist; }
+  /// Orders by (dist, node id): the deterministic tie-break mirrors the
+  /// RouteEngine's (dist, dense index) heap order, so equal-cost parent
+  /// choices agree between the reference and compiled paths.
+  bool operator>(const QueueEntry& o) const noexcept {
+    return dist > o.dist || (dist == o.dist && node.value() > o.node.value());
+  }
+};
+
+/// FNV-1a over a node sequence (Yen candidate dedup).
+struct NodeSeqHash {
+  std::size_t operator()(const std::vector<NodeId>& nodes) const noexcept {
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (const NodeId id : nodes) {
+      h ^= id.value();
+      h *= 0x100000001B3ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
 };
 
 /// Internal Dijkstra with optional forbidden nodes/links (for Yen spurs).
@@ -64,9 +91,10 @@ Route extractRoute(const NetworkGraph& g, NodeId src, NodeId dst,
   r.cost = itDst->second.first;
   NodeId cur = dst;
   while (cur != src) {
-    OPENSPACE_ASSERT(best.contains(cur),
+    const auto itCur = best.find(cur);
+    OPENSPACE_ASSERT(itCur != best.end(),
                      "every settled node except src has a predecessor");
-    const LinkId via = best.at(cur).second;
+    const LinkId via = itCur->second.second;
     r.links.push_back(via);
     r.nodes.push_back(cur);
     cur = g.link(via).otherEnd(cur);
@@ -84,6 +112,8 @@ Route extractRoute(const NetworkGraph& g, NodeId src, NodeId dst,
 }
 
 }  // namespace
+
+namespace legacy {
 
 Route shortestPath(const NetworkGraph& g, NodeId src, NodeId dst,
                    const LinkCostFn& cost, ProviderId home) {
@@ -118,16 +148,35 @@ std::vector<Route> kShortestPaths(const NetworkGraph& g, NodeId src, NodeId dst,
                                   int k, const LinkCostFn& cost, ProviderId home) {
   if (k < 1) throw InvalidArgumentError("kShortestPaths: k must be >= 1");
   std::vector<Route> result;
-  const Route first = shortestPath(g, src, dst, cost, home);
+  const Route first = legacy::shortestPath(g, src, dst, cost, home);
   if (!first.valid()) return result;
   result.push_back(first);
 
-  // Yen's algorithm: candidate spur paths kept in a cost-ordered list.
+  // Yen's algorithm. Dedup is a hashed node-sequence set over every path
+  // ever accepted (result ∪ candidates); the root prefix of each spur route
+  // is priced once per outer iteration with running prefix sums instead of
+  // re-invoking the cost model per candidate.
   auto routeLess = [](const Route& a, const Route& b) { return a.cost < b.cost; };
+  std::unordered_set<std::vector<NodeId>, NodeSeqHash> seen;
+  seen.insert(first.nodes);
   std::vector<Route> candidates;
+  std::vector<double> prefixCost, prefixPropS, prefixQueueS, prefixBottleneckBps;
 
   for (int ki = 1; ki < k; ++ki) {
     const Route& prev = result.back();
+    prefixCost.assign(1, 0.0);
+    prefixPropS.assign(1, 0.0);
+    prefixQueueS.assign(1, 0.0);
+    prefixBottleneckBps.assign(1, std::numeric_limits<double>::infinity());
+    for (const LinkId lid : prev.links) {
+      const Link& l = g.link(lid);
+      prefixCost.push_back(prefixCost.back() + cost(g, l, home));
+      prefixPropS.push_back(prefixPropS.back() + l.propagationDelayS);
+      prefixQueueS.push_back(prefixQueueS.back() + l.queueingDelayS);
+      prefixBottleneckBps.push_back(
+          std::min(prefixBottleneckBps.back(), l.capacityBps));
+    }
+
     for (std::size_t spur = 0; spur + 1 < prev.nodes.size(); ++spur) {
       const NodeId spurNode = prev.nodes[spur];
       // Root path: prev.nodes[0..spur].
@@ -149,7 +198,7 @@ std::vector<Route> kShortestPaths(const NetworkGraph& g, NodeId src, NodeId dst,
       Route spurRoute = extractRoute(g, spurNode, dst, best);
       if (!spurRoute.valid()) continue;
 
-      // Stitch root + spur.
+      // Stitch root + spur; the root prefix is already priced.
       Route total;
       total.nodes.assign(prev.nodes.begin(),
                          prev.nodes.begin() + static_cast<std::ptrdiff_t>(spur));
@@ -159,29 +208,50 @@ std::vector<Route> kShortestPaths(const NetworkGraph& g, NodeId src, NodeId dst,
                          prev.links.begin() + static_cast<std::ptrdiff_t>(spur));
       total.links.insert(total.links.end(), spurRoute.links.begin(),
                          spurRoute.links.end());
-      total.cost = 0.0;
-      total.bottleneckBps = std::numeric_limits<double>::infinity();
-      for (const LinkId lid : total.links) {
-        const Link& l = g.link(lid);
-        total.cost += cost(g, l, home);
-        total.propagationDelayS += l.propagationDelayS;
-        total.queueingDelayS += l.queueingDelayS;
-        total.bottleneckBps = std::min(total.bottleneckBps, l.capacityBps);
-      }
-      // Deduplicate against known routes and candidates.
-      const auto sameNodes = [&](const Route& r) { return r.nodes == total.nodes; };
-      if (std::any_of(result.begin(), result.end(), sameNodes) ||
-          std::any_of(candidates.begin(), candidates.end(), sameNodes)) {
-        continue;
-      }
+      total.cost = prefixCost[spur] + spurRoute.cost;
+      total.propagationDelayS = prefixPropS[spur] + spurRoute.propagationDelayS;
+      total.queueingDelayS = prefixQueueS[spur] + spurRoute.queueingDelayS;
+      total.bottleneckBps =
+          std::min(prefixBottleneckBps[spur], spurRoute.bottleneckBps);
+
+      if (!seen.insert(total.nodes).second) continue;  // already known
       candidates.push_back(std::move(total));
     }
     if (candidates.empty()) break;
     const auto it = std::min_element(candidates.begin(), candidates.end(), routeLess);
-    result.push_back(*it);
+    result.push_back(std::move(*it));
     candidates.erase(it);
   }
   return result;
+}
+
+}  // namespace legacy
+
+// --- engine-backed adapters --------------------------------------------------
+
+Route shortestPath(const NetworkGraph& g, NodeId src, NodeId dst,
+                   const LinkCostFn& cost, ProviderId home) {
+  if (!g.hasNode(src) || !g.hasNode(dst)) {
+    throw NotFoundError("shortestPath: unknown endpoint node");
+  }
+  return RouteEngine(g, cost, home).shortestPath(src, dst);
+}
+
+std::unordered_map<NodeId, Route> shortestPathTree(const NetworkGraph& g,
+                                                   NodeId src,
+                                                   const LinkCostFn& cost,
+                                                   ProviderId home) {
+  if (!g.hasNode(src)) throw NotFoundError("shortestPathTree: unknown source");
+  return RouteEngine(g, cost, home).shortestPathTree(src).allRoutes();
+}
+
+std::vector<Route> kShortestPaths(const NetworkGraph& g, NodeId src, NodeId dst,
+                                  int k, const LinkCostFn& cost, ProviderId home) {
+  if (k < 1) throw InvalidArgumentError("kShortestPaths: k must be >= 1");
+  if (!g.hasNode(src) || !g.hasNode(dst)) {
+    throw NotFoundError("kShortestPaths: unknown endpoint node");
+  }
+  return RouteEngine(g, cost, home).kShortestPaths(src, dst, k);
 }
 
 }  // namespace openspace

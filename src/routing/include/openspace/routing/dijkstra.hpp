@@ -1,4 +1,10 @@
 // Shortest-path computation over topology snapshots.
+//
+// These free functions are one-shot conveniences: each call compiles the
+// snapshot into a CSR RouteEngine (engine.hpp) and queries it. Callers that
+// issue repeated queries against the same snapshot — sweeps, routers,
+// benches — should construct a RouteEngine once and amortize compilation;
+// the legacy hash-map reference implementations live in legacy.hpp.
 #pragma once
 
 #include <openspace/routing/route.hpp>

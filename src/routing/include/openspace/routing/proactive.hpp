@@ -5,11 +5,16 @@
 // satellites and fixed ground infrastructure." ProactiveRouter snapshots
 // the predicted topology on a fixed time grid ahead of time; at service
 // time a route lookup is a cached tree walk, with no on-line discovery.
+//
+// Each grid snapshot is compiled once into a CSR RouteEngine; per-source
+// results are cached as compact PathTrees (two flat arrays each) and
+// destinations expand to full Routes on demand, so warming a source costs
+// one arena-backed Dijkstra and a lookup never re-walks the hash-map graph.
 #pragma once
 
 #include <map>
 
-#include <openspace/routing/dijkstra.hpp>
+#include <openspace/routing/engine.hpp>
 #include <openspace/topology/builder.hpp>
 
 namespace openspace {
@@ -29,6 +34,13 @@ class ProactiveRouter {
   /// snapshot. Throws NotFoundError for unknown nodes.
   Route route(NodeId src, NodeId dst, double tSeconds) const;
 
+  /// Warm the per-source tree caches for `sources` across every grid
+  /// snapshot, fanning the Dijkstra runs over the process thread pool
+  /// (RouteEngine::batchShortestPathTrees). Subsequent route() calls for
+  /// these sources are pure cache hits. Throws NotFoundError if any source
+  /// is unknown; already-cached sources are recomputed (results identical).
+  void precomputeTrees(const std::vector<NodeId>& sources);
+
   /// The topology snapshot covering time t.
   const NetworkGraph& snapshotAt(double tSeconds) const;
 
@@ -40,8 +52,9 @@ class ProactiveRouter {
  private:
   struct Snap {
     NetworkGraph graph;
-    // Lazily filled per-source shortest path trees.
-    mutable std::map<NodeId, std::unordered_map<NodeId, Route>> trees;
+    RouteEngine engine;  ///< Compiled once from `graph` at construction.
+    // Lazily filled per-source shortest path trees (compact form).
+    mutable std::map<NodeId, PathTree> trees;
   };
 
   const Snap& snapFor(double tSeconds) const;

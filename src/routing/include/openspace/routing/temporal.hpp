@@ -11,11 +11,16 @@
 //
 // ContactGraphRouter computes earliest-arrival delivery over the predicted
 // snapshot sequence: within a snapshot interval packets move at link speed;
-// across intervals they may wait on any node.
+// across intervals they may wait on any node. Each interval's snapshot is
+// compiled once into a CSR CompactGraph (edge weight = total link delay),
+// so a query runs label-correcting Dijkstra over flat arrays indexed by
+// dense node id — no hash-map graph walk per interval.
 #pragma once
 
-#include <openspace/routing/dijkstra.hpp>
+#include <memory>
+
 #include <openspace/topology/builder.hpp>
+#include <openspace/topology/compact_graph.hpp>
 
 namespace openspace {
 
@@ -53,7 +58,11 @@ class ContactGraphRouter {
   struct Interval {
     double startS;
     double endS;
-    NetworkGraph graph;
+    /// Compiled snapshot; edgeCost() == the link's total delay in seconds.
+    /// The dense node numbering is identical across all intervals (verified
+    /// at construction), so per-node labels carry over between intervals as
+    /// flat arrays without translation.
+    std::shared_ptr<const CompactGraph> csr;
   };
   std::vector<Interval> snaps_;
   double gridEndS_ = 0.0;

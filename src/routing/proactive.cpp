@@ -13,7 +13,9 @@ ProactiveRouter::ProactiveRouter(const TopologyBuilder& builder,
     throw InvalidArgumentError("ProactiveRouter: step and horizon must be > 0");
   }
   for (double t = t0S; t <= t0S + horizonS + 1e-9; t += stepS) {
-    snaps_.emplace(t, Snap{builder.snapshot(t, opt), {}});
+    NetworkGraph g = builder.snapshot(t, opt);
+    RouteEngine engine(g, cost_, home_);
+    snaps_.emplace(t, Snap{std::move(g), std::move(engine), {}});
   }
 }
 
@@ -29,18 +31,21 @@ const NetworkGraph& ProactiveRouter::snapshotAt(double tSeconds) const {
 
 Route ProactiveRouter::route(NodeId src, NodeId dst, double tSeconds) const {
   const Snap& s = snapFor(tSeconds);
-  auto& tree = s.trees[src];
-  if (tree.empty()) {
-    tree = shortestPathTree(s.graph, src, cost_, home_);
+  auto it = s.trees.find(src);
+  if (it == s.trees.end()) {
+    // Throws NotFoundError for an unknown source before caching anything.
+    it = s.trees.emplace(src, s.engine.shortestPathTree(src)).first;
   }
-  const auto it = tree.find(dst);
-  if (it == tree.end()) {
-    if (!s.graph.hasNode(dst)) {
-      throw NotFoundError("ProactiveRouter::route: unknown destination");
+  return it->second.routeTo(dst);  // NotFoundError for unknown destinations
+}
+
+void ProactiveRouter::precomputeTrees(const std::vector<NodeId>& sources) {
+  for (auto& [t, s] : snaps_) {
+    std::vector<PathTree> trees = s.engine.batchShortestPathTrees(sources);
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      s.trees.insert_or_assign(sources[i], std::move(trees[i]));
     }
-    return Route{};  // present but unreachable in this snapshot
   }
-  return it->second;
 }
 
 std::vector<double> ProactiveRouter::gridTimes() const {

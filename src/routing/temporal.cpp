@@ -1,7 +1,8 @@
 #include <openspace/routing/temporal.hpp>
 
-#include <queue>
+#include <limits>
 
+#include <openspace/core/scratch.hpp>
 #include <openspace/geo/error.hpp>
 
 namespace openspace {
@@ -12,77 +13,90 @@ ContactGraphRouter::ContactGraphRouter(const TopologyBuilder& builder,
   if (stepS <= 0.0 || horizonS <= 0.0) {
     throw InvalidArgumentError("ContactGraphRouter: step/horizon must be > 0");
   }
+  const CompactGraph::CostFn delayCost =
+      [](const NetworkGraph&, const Link& l, ProviderId) {
+        return l.totalDelayS();
+      };
   for (double t = t0S; t < t0S + horizonS; t += stepS) {
-    snaps_.push_back({t, std::min(t + stepS, t0S + horizonS),
-                      builder.snapshot(t, opt)});
+    snaps_.push_back(
+        {t, std::min(t + stepS, t0S + horizonS),
+         std::make_shared<const CompactGraph>(
+             compileGraph(builder.snapshot(t, opt), delayCost))});
   }
   gridEndS_ = t0S + horizonS;
+  // The flat label arrays in earliestArrival() are carried across intervals
+  // by dense index, which is only sound when every interval numbers the
+  // nodes identically. The builder emits nodes in a fixed order, so this
+  // holds by construction; fail loudly if that ever changes.
+  for (const Interval& iv : snaps_) {
+    if (iv.csr->nodes() != snaps_.front().csr->nodes()) {
+      throw StateError(
+          "ContactGraphRouter: snapshot node ordering changed across intervals");
+    }
+  }
 }
 
 TemporalRoute ContactGraphRouter::earliestArrival(NodeId src, NodeId dst,
                                                   double tStartS) const {
   if (snaps_.empty()) throw StateError("ContactGraphRouter: no snapshots");
-  if (!snaps_.front().graph.hasNode(src) || !snaps_.front().graph.hasNode(dst)) {
+  const CompactGraph& first = *snaps_.front().csr;
+  const std::uint32_t srcIdx = first.indexOf(src);
+  const std::uint32_t dstIdx = first.indexOf(dst);
+  if (srcIdx == CompactGraph::kInvalidIndex ||
+      dstIdx == CompactGraph::kInvalidIndex) {
     throw NotFoundError("earliestArrival: unknown node");
   }
 
   TemporalRoute out;
   out.departureS = tStartS;
 
-  struct Label {
-    double arrival = std::numeric_limits<double>::infinity();
-    double inFlight = 0.0;
-    int hops = 0;
-  };
-  std::unordered_map<NodeId, Label> labels;
-  labels[src] = {tStartS, 0.0, 0};
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t n = first.nodeCount();
+  // Labels persist across intervals: stored messages wait on their node
+  // until a later contact opens.
+  std::vector<double> arrival(n, kInf);
+  std::vector<double> inFlight(n, 0.0);
+  std::vector<int> hops(n, 0);
+  arrival[srcIdx] = tStartS;
 
+  DaryHeap pq;
   int intervals = 0;
   for (const Interval& iv : snaps_) {
     if (iv.endS < tStartS) continue;  // before the message exists
     ++intervals;
+    const CompactGraph& csr = *iv.csr;
 
     // Multi-source Dijkstra within this interval: a node participates once
     // its stored message is present (arrival <= iv.endS); transmission can
     // start no earlier than max(arrival, iv.startS).
-    using QE = std::pair<double, NodeId>;
-    std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
-    for (const auto& [node, lbl] : labels) {
-      if (lbl.arrival <= iv.endS && iv.graph.hasNode(node)) {
-        pq.emplace(std::max(lbl.arrival, iv.startS), node);
-      }
+    pq.clear();
+    for (std::uint32_t u = 0; u < n; ++u) {
+      if (arrival[u] <= iv.endS) pq.push(std::max(arrival[u], iv.startS), u);
     }
     while (!pq.empty()) {
-      const auto [t, u] = pq.top();
-      pq.pop();
-      const auto itU = labels.find(u);
-      if (itU == labels.end() || std::max(itU->second.arrival, iv.startS) < t) {
-        continue;  // stale entry
-      }
+      const auto [t, u] = pq.pop();
+      if (std::max(arrival[u], iv.startS) < t) continue;  // stale entry
       if (t > iv.endS) continue;
-      for (const LinkId lid : iv.graph.linksOf(u)) {
-        const Link& l = iv.graph.link(lid);
-        const NodeId v = l.otherEnd(u);
-        const double arrive = t + l.totalDelayS();
+      for (std::uint32_t e = csr.rowBegin(u); e < csr.rowEnd(u); ++e) {
+        const std::uint32_t v = csr.edgeTarget(e);
+        const double delayS = csr.edgeCost(e);
+        const double arrive = t + delayS;
         if (arrive > iv.endS) continue;  // contact closes mid-flight
-        auto& lv = labels[v];
-        if (arrive < lv.arrival) {
-          lv.arrival = arrive;
-          lv.inFlight = itU->second.inFlight + l.totalDelayS();
-          lv.hops = itU->second.hops + 1;
-          pq.emplace(arrive, v);
+        if (arrive < arrival[v]) {
+          arrival[v] = arrive;
+          inFlight[v] = inFlight[u] + delayS;
+          hops[v] = hops[u] + 1;
+          pq.push(arrive, v);
         }
       }
     }
 
-    const auto itDst = labels.find(dst);
-    if (itDst != labels.end() &&
-        itDst->second.arrival <= iv.endS) {
+    if (arrival[dstIdx] <= iv.endS) {
       out.reachable = true;
-      out.arrivalS = itDst->second.arrival;
-      out.inFlightS = itDst->second.inFlight;
+      out.arrivalS = arrival[dstIdx];
+      out.inFlightS = inFlight[dstIdx];
       out.waitingS = out.totalDelayS() - out.inFlightS;
-      out.hops = itDst->second.hops;
+      out.hops = hops[dstIdx];
       out.intervalsUsed = intervals;
       return out;
     }

@@ -35,7 +35,9 @@ constexpr std::uint64_t kCoverageSalt = 0x27D4EB2F165667C5ull;
 
 /// One latency trial against an already-propagated snapshot. The ISL
 /// adjacency is built (and cached) on the snapshot, once per timestep —
-/// not once per (src, dst) query.
+/// not once per (src, dst) query — and shortestIslPath runs on per-thread
+/// reusable scratch arenas, so the per-trial cost is the Dijkstra itself
+/// with no allocation.
 Fig2Trial runTrialOnSnapshot(const ConstellationSnapshot& snap,
                              const Fig2Config& cfg) {
   Fig2Trial trial;

@@ -1,0 +1,82 @@
+#include <openspace/topology/compact_graph.hpp>
+
+#include <algorithm>
+#include <cmath>
+
+#include <openspace/core/assert.hpp>
+#include <openspace/geo/error.hpp>
+
+namespace openspace {
+
+const std::vector<std::uint32_t>& CompactGraph::edgesOfLink(LinkId id) const {
+  static const std::vector<std::uint32_t> kEmpty;
+  const auto it = linkEdges_.find(id);
+  return it == linkEdges_.end() ? kEmpty : it->second;
+}
+
+CompactGraph compileGraph(const NetworkGraph& g, const CompactGraph::CostFn& cost,
+                          ProviderId home) {
+  CompactGraph out;
+  const std::vector<NodeId>& order = g.nodes();
+  const std::size_t n = order.size();
+  OPENSPACE_ASSERT(n < CompactGraph::kInvalidIndex,
+                   "dense node indices fit in 32 bits");
+  out.denseToNode_ = order;
+  out.nodeKind_.reserve(n);
+  out.nodeToDense_.reserve(n);
+  std::uint32_t maxIdValue = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.nodeToDense_.emplace(order[i], static_cast<std::uint32_t>(i));
+    out.nodeKind_.push_back(g.node(order[i]).kind);
+    maxIdValue = std::max(maxIdValue, order[i].value());
+  }
+  // Builder-assigned ids are dense (1..N), so a direct-mapped table makes
+  // indexOf a single load. Skip it for pathological sparse id spaces where
+  // it would waste memory.
+  if (n > 0 && maxIdValue <= 4 * n + 1024) {
+    out.idToDense_.assign(maxIdValue + 1, CompactGraph::kInvalidIndex);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.idToDense_[order[i].value()] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  out.rowOffset_.reserve(n + 1);
+  out.rowOffset_.push_back(0);
+  const std::size_t edgeGuess = 2 * g.linkCount();
+  out.edgeTo_.reserve(edgeGuess);
+  out.edgeFrom_.reserve(edgeGuess);
+  out.edgeCost_.reserve(edgeGuess);
+  out.edgePropS_.reserve(edgeGuess);
+  out.edgeQueueS_.reserve(edgeGuess);
+  out.edgeCapBps_.reserve(edgeGuess);
+  out.edgeLinkId_.reserve(edgeGuess);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId u = order[i];
+    for (const LinkId lid : g.linksOf(u)) {
+      const Link& l = g.link(lid);
+      const double c = cost(g, l, home);
+      if (std::isnan(c) || c < 0.0) {
+        throw InvalidArgumentError("compileGraph: negative or NaN link cost");
+      }
+      if (std::isinf(c)) continue;  // forbidden edge: dropped at compile time
+      const NodeId v = l.otherEnd(u);
+      const auto itV = out.nodeToDense_.find(v);
+      OPENSPACE_ASSERT(itV != out.nodeToDense_.end(),
+                       "every link endpoint is a graph node");
+      const auto e = static_cast<std::uint32_t>(out.edgeTo_.size());
+      out.edgeTo_.push_back(itV->second);
+      out.edgeFrom_.push_back(static_cast<std::uint32_t>(i));
+      out.edgeCost_.push_back(c);
+      out.edgePropS_.push_back(l.propagationDelayS);
+      out.edgeQueueS_.push_back(l.queueingDelayS);
+      out.edgeCapBps_.push_back(l.capacityBps);
+      out.edgeLinkId_.push_back(lid);
+      out.linkEdges_[lid].push_back(e);
+    }
+    out.rowOffset_.push_back(static_cast<std::uint32_t>(out.edgeTo_.size()));
+  }
+  return out;
+}
+
+}  // namespace openspace

@@ -1,0 +1,100 @@
+// Immutable flat (CSR) compilation of a NetworkGraph snapshot.
+//
+// NetworkGraph is the mutable, hash-map-backed construction form of a
+// topology snapshot. Routing never needs mutation: it needs the fastest
+// possible "for each out-edge of u" walk, with every per-edge quantity the
+// cost model can ask about already materialized. compileGraph() performs a
+// one-shot translation: nodes get dense indices 0..N-1 in insertion order,
+// each undirected link becomes two directed CSR edges, and the caller's
+// cost callback is evaluated exactly once per directed edge at compile
+// time — the search hot loop never touches a std::function, a hash map, or
+// the cost model again. This is the paper's §2.7 observation turned into a
+// data structure: the LEO topology is predictable and public, so each
+// snapshot can be compiled once and queried many times.
+//
+// Semantics (mirroring the legacy lazy-evaluation Dijkstra):
+//   * cost == +inf  -> the edge is forbidden and dropped at compile time;
+//   * cost < 0 / NaN -> InvalidArgumentError at compile time (the legacy
+//     path threw on first relaxation; compilation tightens this to "at
+//     compile", catching negative edges even in unreachable components).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include <openspace/topology/graph.hpp>
+
+namespace openspace {
+
+class CompactGraph {
+ public:
+  /// Sentinel for "no such node / edge".
+  static constexpr std::uint32_t kInvalidIndex = 0xFFFFFFFFu;
+
+  /// Same signature as routing's LinkCostFn (they are the same
+  /// std::function type; the alias lives in the routing layer).
+  using CostFn = std::function<double(const NetworkGraph&, const Link&, ProviderId)>;
+
+  std::size_t nodeCount() const noexcept { return denseToNode_.size(); }
+  std::size_t edgeCount() const noexcept { return edgeTo_.size(); }
+
+  /// Dense index of a NodeId, or kInvalidIndex when absent.
+  std::uint32_t indexOf(NodeId id) const {
+    // Builder-produced ids are small and sequential, so the common case is
+    // one array load; the hash map only backs sparse / oversized ids.
+    if (id.value() < idToDense_.size()) return idToDense_[id.value()];
+    const auto it = nodeToDense_.find(id);
+    return it == nodeToDense_.end() ? kInvalidIndex : it->second;
+  }
+  NodeId nodeAt(std::uint32_t dense) const { return denseToNode_[dense]; }
+  const std::vector<NodeId>& nodes() const noexcept { return denseToNode_; }
+  NodeKind kindAt(std::uint32_t dense) const { return nodeKind_[dense]; }
+
+  /// CSR row of directed out-edges of dense node u: [rowBegin, rowEnd).
+  std::uint32_t rowBegin(std::uint32_t u) const { return rowOffset_[u]; }
+  std::uint32_t rowEnd(std::uint32_t u) const { return rowOffset_[u + 1]; }
+
+  std::uint32_t edgeTarget(std::uint32_t e) const { return edgeTo_[e]; }
+  std::uint32_t edgeSource(std::uint32_t e) const { return edgeFrom_[e]; }
+  double edgeCost(std::uint32_t e) const { return edgeCost_[e]; }
+  double edgePropagationDelayS(std::uint32_t e) const { return edgePropS_[e]; }
+  double edgeQueueingDelayS(std::uint32_t e) const { return edgeQueueS_[e]; }
+  double edgeCapacityBps(std::uint32_t e) const { return edgeCapBps_[e]; }
+  LinkId edgeLink(std::uint32_t e) const { return edgeLinkId_[e]; }
+
+  /// Directed edge indices compiled from undirected link `id` (0, 1 or 2
+  /// entries — fewer than 2 when a direction was dropped as forbidden).
+  /// Returns an empty span-like vector reference for unknown links.
+  const std::vector<std::uint32_t>& edgesOfLink(LinkId id) const;
+
+  friend CompactGraph compileGraph(const NetworkGraph& g, const CostFn& cost,
+                                   ProviderId home);
+
+ private:
+  std::vector<NodeId> denseToNode_;
+  std::vector<NodeKind> nodeKind_;
+  /// Direct-mapped id -> dense table (kInvalidIndex for gaps); built only
+  /// when the id range is close to the node count, empty otherwise.
+  std::vector<std::uint32_t> idToDense_;
+  std::unordered_map<NodeId, std::uint32_t> nodeToDense_;
+  std::vector<std::uint32_t> rowOffset_;  ///< size nodeCount()+1.
+  std::vector<std::uint32_t> edgeTo_;
+  std::vector<std::uint32_t> edgeFrom_;
+  std::vector<double> edgeCost_;
+  std::vector<double> edgePropS_;
+  std::vector<double> edgeQueueS_;
+  std::vector<double> edgeCapBps_;
+  std::vector<LinkId> edgeLinkId_;
+  std::unordered_map<LinkId, std::vector<std::uint32_t>> linkEdges_;
+};
+
+/// Compile `g` into CSR form under `cost` as provider `home`. Evaluates the
+/// cost callback once per directed edge; throws InvalidArgumentError on a
+/// negative or NaN cost, drops +inf (forbidden) edges.
+CompactGraph compileGraph(const NetworkGraph& g, const CompactGraph::CostFn& cost,
+                          ProviderId home = {});
+
+}  // namespace openspace

@@ -5,6 +5,7 @@
 #include <openspace/geo/error.hpp>
 #include <openspace/geo/units.hpp>
 #include <openspace/orbit/walker.hpp>
+#include <openspace/routing/dijkstra.hpp>
 #include <openspace/routing/temporal.hpp>
 
 namespace openspace {

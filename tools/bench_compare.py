@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Warn-only benchmark regression check.
+
+Compares freshly produced BENCH_*.json files against the committed
+reference numbers in bench/baseline/. Two formats are understood:
+
+* google-benchmark JSON ("benchmarks": [{"name", "real_time", ...}]) —
+  per-benchmark real_time is compared by name;
+* the custom routing-ablation record ("bench": "routing_ablation") —
+  batch serial/parallel wall seconds are compared, and checksum agreement
+  is re-asserted.
+
+CI hardware varies run to run, so this is a smoke alarm, not a gate: every
+regression beyond the threshold prints a GitHub ::warning:: annotation and
+the script still exits 0. The committed baselines document the numbers a
+known machine produced; refresh them (tools/bench_compare.py --help shows
+the layout) whenever an intentional perf change lands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Warn when current time exceeds baseline by more than this factor.
+DEFAULT_THRESHOLD = 1.5
+
+
+def warn(msg: str) -> None:
+    print(f"::warning::{msg}")
+
+
+def load(path: Path):
+    try:
+        with path.open() as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        warn(f"bench_compare: cannot read {path}: {e}")
+        return None
+
+
+def google_benchmark_times(doc) -> dict[str, float]:
+    """name -> real_time (ns) for plain (non-aggregate) entries."""
+    times: dict[str, float] = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name")
+        t = b.get("real_time")
+        if name is None or t is None:
+            continue
+        # Repetitions repeat names; keep the minimum (robust on noisy CI).
+        times[name] = min(t, times.get(name, float("inf")))
+    return times
+
+
+def compare_google_benchmark(current, baseline, threshold: float) -> int:
+    warned = 0
+    cur = google_benchmark_times(current)
+    base = google_benchmark_times(baseline)
+    for name, base_t in sorted(base.items()):
+        cur_t = cur.get(name)
+        if cur_t is None:
+            warn(f"benchmark {name} present in baseline but not in this run")
+            warned += 1
+            continue
+        ratio = cur_t / base_t if base_t > 0 else float("inf")
+        marker = " REGRESSION?" if ratio > threshold else ""
+        print(f"  {name}: {cur_t:.0f} vs baseline {base_t:.0f} "
+              f"({ratio:.2f}x){marker}")
+        if ratio > threshold:
+            warn(f"{name}: {cur_t:.0f} ns vs baseline {base_t:.0f} ns "
+                 f"({ratio:.2f}x > {threshold:.2f}x)")
+            warned += 1
+    return warned
+
+
+def compare_routing_ablation(current, baseline, threshold: float) -> int:
+    warned = 0
+    cur_batch = current.get("batch", {})
+    base_batch = baseline.get("batch", {})
+    if not cur_batch.get("checksums_match", False):
+        warn("routing_ablation: serial/parallel batch checksums diverged")
+        warned += 1
+    for key in ("serial_seconds", "parallel_seconds"):
+        cur_t = cur_batch.get(key)
+        base_t = base_batch.get(key)
+        if cur_t is None or base_t is None or base_t <= 0:
+            continue
+        ratio = cur_t / base_t
+        marker = " REGRESSION?" if ratio > threshold else ""
+        print(f"  batch.{key}: {cur_t:.4f}s vs baseline {base_t:.4f}s "
+              f"({ratio:.2f}x){marker}")
+        if ratio > threshold:
+            warn(f"routing_ablation batch.{key}: {cur_t:.4f}s vs baseline "
+                 f"{base_t:.4f}s ({ratio:.2f}x > {threshold:.2f}x)")
+            warned += 1
+    return warned
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="+", type=Path,
+                    help="freshly produced BENCH_*.json files")
+    ap.add_argument("--baseline-dir", type=Path,
+                    default=Path("bench/baseline"),
+                    help="directory of committed baselines, matched by "
+                         "file name (default: bench/baseline)")
+    ap.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                    help="warn when current/baseline exceeds this factor")
+    args = ap.parse_args()
+
+    warned = 0
+    for path in args.files:
+        current = load(path)
+        if current is None:
+            warned += 1
+            continue
+        base_path = args.baseline_dir / path.name
+        if not base_path.exists():
+            warn(f"no committed baseline for {path.name} "
+                 f"(expected {base_path}); skipping compare")
+            warned += 1
+            continue
+        baseline = load(base_path)
+        if baseline is None:
+            warned += 1
+            continue
+        print(f"== {path.name} vs {base_path}")
+        if current.get("bench") == "routing_ablation":
+            warned += compare_routing_ablation(current, baseline,
+                                               args.threshold)
+        else:
+            warned += compare_google_benchmark(current, baseline,
+                                               args.threshold)
+
+    print(f"bench_compare: {warned} warning(s) (informational only)")
+    return 0  # warn-only by design: CI hardware is too noisy to gate on
+
+
+if __name__ == "__main__":
+    sys.exit(main())
