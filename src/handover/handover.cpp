@@ -6,6 +6,7 @@
 
 #include <openspace/geo/error.hpp>
 #include <openspace/geo/units.hpp>
+#include <openspace/orbit/propagation_batch.hpp>
 #include <openspace/orbit/snapshot.hpp>
 #include <openspace/orbit/visibility.hpp>
 
@@ -21,23 +22,41 @@ HandoverPlanner::HandoverPlanner(const EphemerisService& ephemeris,
 
 double HandoverPlanner::visibilityEndS(SatelliteId sat, const Geodetic& user,
                                        double fromS, double horizonS) const {
-  const auto& el = ephemeris_.record(sat).elements;
+  // The horizon is an explicit, finite search bound: a satellite that never
+  // drops below the mask (e.g. a mask of 0 over a pole-adjacent user, or a
+  // horizon shorter than the pass) yields fromS + horizonS rather than an
+  // unbounded scan.
+  if (!(horizonS >= 0.0) || std::isinf(horizonS)) {
+    throw InvalidArgumentError(
+        "visibilityEndS: horizon must be finite and >= 0");
+  }
+  // Warm-started single-satellite sweep: the coarse scan and the bisection
+  // below evaluate the same orbit dozens of times in sequence.
+  SatelliteSweep sweep(ephemeris_.record(sat).elements);
   const auto visible = [&](double t) {
-    return elevationFrom(positionEci(el, t), user, t) >= minElevationRad_;
+    return elevationFrom(sweep.positionEciAt(t), user, t) >= minElevationRad_;
   };
   if (!visible(fromS)) return fromS;
-  // Coarse forward scan (10 s) then bisect the set edge to ~1 ms.
+  // Coarse forward scan (10 s grid, clamped to the horizon) then bisect
+  // the set edge to ~1 ms.
   const double step = 10.0;
+  const double horizonEndS = fromS + horizonS;
   double lo = fromS;
-  double hi = fromS;
-  for (double t = fromS + step;; t += step) {
-    if (t >= fromS + horizonS) return fromS + horizonS;
-    if (!visible(t)) {
-      lo = t - step;
-      hi = t;
+  double hi = horizonEndS;
+  bool crossed = false;
+  for (double t = fromS + step; t < horizonEndS + step; t += step) {
+    const double clampedS = std::min(t, horizonEndS);
+    if (!visible(clampedS)) {
+      lo = std::max(fromS, t - step);
+      hi = clampedS;
+      crossed = true;
       break;
     }
+    if (clampedS >= horizonEndS) break;
   }
+  // Still visible at every grid point up to the horizon: no LOS transition
+  // inside the search window.
+  if (!crossed) return horizonEndS;
   for (int i = 0; i < 40 && hi - lo > 1e-3; ++i) {
     const double mid = 0.5 * (lo + hi);
     (visible(mid) ? lo : hi) = mid;

@@ -37,7 +37,8 @@ class HandoverPlanner {
   /// When satellite `sat` stops being visible from `user` (first mask
   /// crossing after `fromS`, searched up to fromS+horizonS; returns
   /// fromS+horizonS if still visible at the horizon, fromS if not visible
-  /// at fromS).
+  /// at fromS). The horizon is a hard search bound; throws
+  /// InvalidArgumentError unless it is finite and >= 0.
   double visibilityEndS(SatelliteId sat, const Geodetic& user, double fromS,
                         double horizonS = 3'600.0) const;
 

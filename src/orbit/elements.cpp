@@ -6,6 +6,7 @@
 #include <openspace/geo/error.hpp>
 #include <openspace/geo/geodetic.hpp>
 #include <openspace/geo/wgs84.hpp>
+#include <openspace/orbit/propagation_batch.hpp>
 
 namespace openspace {
 
@@ -40,26 +41,50 @@ double OrbitalElements::perigeeAltitudeM() const {
   return semiMajorAxisM * (1.0 - eccentricity) - wgs84::kMeanRadiusM;
 }
 
-double solveKepler(double meanAnomalyRad, double eccentricity) {
-  if (eccentricity < 0.0 || eccentricity >= 1.0) {
-    throw InvalidArgumentError("solveKepler: eccentricity must be in [0, 1)");
-  }
-  if (eccentricity == 0.0) return meanAnomalyRad;
+double solveKeplerReduced(double reducedMeanAnomalyRad, double eccentricity) {
   // Newton's method on f(E) = E - e sin E - M. Starting from E = M (or pi
-  // for high e) converges quadratically; 20 iterations is far more than
-  // needed for e < 1 but bounds the loop.
-  double e = eccentricity;
-  double m = std::remainder(meanAnomalyRad, kTwoPi);
+  // for high e) converges quadratically for most of the (e, M) plane; 20
+  // iterations bounds the loop.
+  const double e = eccentricity;
+  const double m = reducedMeanAnomalyRad;
   double guess = (e > 0.8) ? std::numbers::pi : m;
   for (int i = 0; i < 20; ++i) {
     const double f = guess - e * std::sin(guess) - m;
     const double fp = 1.0 - e * std::cos(guess);
     const double step = f / fp;
     guess -= step;
+    if (std::abs(step) < 1e-14) return guess;
+  }
+  // Plain Newton oscillates for e ~> 0.82 with M near +-pi (the pi start
+  // lands where f' = 1 - e cos E is tiny and overshoots). f is strictly
+  // increasing with the unique root bracketed by [M - e, M + e]
+  // (f(M - e) <= 0 <= f(M + e)), so a bisection-safeguarded Newton always
+  // converges: any Newton step leaving the bracket is replaced by its
+  // midpoint, and each iteration shrinks the bracket.
+  double lo = m - e;
+  double hi = m + e;
+  guess = 0.5 * (lo + hi);
+  for (int i = 0; i < 200; ++i) {
+    const double f = guess - e * std::sin(guess) - m;
+    (f > 0.0 ? hi : lo) = guess;
+    const double fp = 1.0 - e * std::cos(guess);
+    double next = guess - f / fp;
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    const double step = next - guess;
+    guess = next;
     if (std::abs(step) < 1e-14) break;
   }
+  return guess;
+}
+
+double solveKepler(double meanAnomalyRad, double eccentricity) {
+  if (eccentricity < 0.0 || eccentricity >= 1.0) {
+    throw InvalidArgumentError("solveKepler: eccentricity must be in [0, 1)");
+  }
+  if (eccentricity == 0.0) return meanAnomalyRad;
+  const double m = std::remainder(meanAnomalyRad, kTwoPi);
   // Return in the same revolution as the input mean anomaly.
-  return guess + (meanAnomalyRad - m);
+  return solveKeplerReduced(m, eccentricity) + (meanAnomalyRad - m);
 }
 
 StateVector propagate(const OrbitalElements& el, double tSeconds) {
@@ -108,8 +133,11 @@ std::vector<GroundTrackPoint> groundTrack(const OrbitalElements& el, double t0S,
   if (t1S < t0S) throw InvalidArgumentError("groundTrack: t1S < t0S");
   std::vector<GroundTrackPoint> track;
   track.reserve(static_cast<std::size_t>((t1S - t0S) / stepS) + 1);
+  // Monotone dense scan of one satellite: the warm-started sweep converges
+  // the Kepler solve in 1-2 iterations per sample instead of a cold solve.
+  SatelliteSweep sweep(el);
   for (double t = t0S; t <= t1S + 1e-9; t += stepS) {
-    const Vec3 ecef = eciToEcef(positionEci(el, t), t);
+    const Vec3 ecef = eciToEcef(sweep.positionEciAt(t), t);
     const Geodetic g = ecefToGeodetic(ecef);
     track.push_back({t, g.latitudeRad, g.longitudeRad, g.altitudeM});
   }

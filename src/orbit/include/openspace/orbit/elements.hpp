@@ -44,9 +44,17 @@ struct StateVector {
 };
 
 /// Solve Kepler's equation M = E - e*sin(E) for the eccentric anomaly E,
-/// by Newton iteration. `meanAnomalyRad` may be any real; result is within
-/// the same 2*pi revolution. Throws InvalidArgumentError for e outside [0,1).
+/// by Newton iteration with a bisection-safeguarded fallback for the rare
+/// high-eccentricity cases where plain Newton oscillates. `meanAnomalyRad`
+/// may be any real; result is within the same 2*pi revolution. Throws
+/// InvalidArgumentError for e outside [0,1).
 double solveKepler(double meanAnomalyRad, double eccentricity);
+
+/// The range-reduced core of solveKepler: eccentric anomaly for a mean
+/// anomaly already reduced to [-pi, pi], eccentricity in (0, 1) (callers
+/// handle e == 0 and the revolution offset). Shared by the scalar spec and
+/// the batch kernel's cold-start path so both stay bit-identical.
+double solveKeplerReduced(double reducedMeanAnomalyRad, double eccentricity);
 
 /// Two-body propagation: ECI state at `tSeconds` past epoch.
 StateVector propagate(const OrbitalElements& el, double tSeconds);

@@ -1,0 +1,172 @@
+// Batch (structure-of-arrays) two-body propagation.
+//
+// Every experiment in the reproduction — the Figure-2 latency/coverage
+// sweeps, handover prediction, the temporal router's per-interval
+// snapshots — bottoms out in per-satellite Kepler propagation. The scalar
+// path (orbit/elements.hpp `propagate`) recomputes every time-invariant
+// term on every call: the mean motion (a `pow` and a `sqrt`), two
+// `sqrt(1-e^2)` factors, and the six trig evaluations of the perifocal->ECI
+// rotation. FleetEphemeris compiles a fleet once, hoisting all of that into
+// contiguous per-satellite arrays, so evaluating a timestep reduces to flat
+// loops the compiler can keep in registers and auto-vectorize: a
+// mean-anomaly advance, a Kepler solve, one sin/cos pair, and two
+// multiply-adds per axis.
+//
+// The scalar `propagate`/`positionEci` stays as the executable spec
+// (mirroring the `openspace::legacy` routing pattern): FleetEphemeris'
+// cold-start evaluation performs the exact same floating-point operations
+// in the same order, so its output is bit-for-bit identical — pinned by
+// the property tests in tests/test_propagation_batch.cpp.
+//
+// TimeSweep layers warm-started sweeps on top: it carries each satellite's
+// previous eccentric anomaly across steps as the Newton starting guess, so
+// near-circular LEO fleets converge in 1-2 iterations instead of a cold
+// solve per step. Per-satellite state plus the fixed parallelFor chunk
+// decomposition keep sweep results bit-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <openspace/geo/vec3.hpp>
+#include <openspace/orbit/elements.hpp>
+
+namespace openspace {
+
+class EphemerisService;
+
+/// A fleet's orbital elements compiled once into structure-of-arrays form
+/// with every time-invariant term of the two-body propagation precomputed.
+/// Immutable after construction, so one compiled fleet may be shared across
+/// threads and timesteps freely.
+class FleetEphemeris {
+ public:
+  /// Compile `elements` (index i keeps its position). Throws
+  /// InvalidArgumentError if any eccentricity is outside [0, 1) — the same
+  /// domain the scalar solveKepler enforces per call.
+  explicit FleetEphemeris(const std::vector<OrbitalElements>& elements);
+
+  /// Compile every satellite registered in `ephemeris`, in publication
+  /// order (index i == ephemeris.satellites()[i]).
+  explicit FleetEphemeris(const EphemerisService& ephemeris);
+
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  /// Cold-start batch evaluation: ECI position of every satellite at time
+  /// t, written to `outEci` (resized to size()). Parallel over satellites;
+  /// bit-for-bit identical to calling the scalar positionEci per satellite,
+  /// at any thread count.
+  void positionsAt(double tSeconds, std::vector<Vec3>& outEci) const;
+
+  /// As above, plus the same positions rotated into ECEF. The Earth
+  /// rotation angle's sin/cos is computed once for the whole fleet instead
+  /// of once per satellite; the per-satellite arithmetic matches
+  /// eciToEcef() exactly.
+  void positionsAt(double tSeconds, std::vector<Vec3>& outEci,
+                   std::vector<Vec3>& outEcef) const;
+
+  /// Single-satellite cold evaluation (same operations as the batch path).
+  Vec3 positionAt(std::size_t i, double tSeconds) const;
+
+  /// The compiled form of `elements`, from a small process-wide LRU cache
+  /// keyed by (constellationHash, count): consumers that repeatedly
+  /// snapshot the same fleet — the temporal router's interval grid, the
+  /// coverage estimators, handover planning — compile it once. `hash` must
+  /// be constellationHash(elements) (the caller usually has it already).
+  static std::shared_ptr<const FleetEphemeris> compiled(
+      const std::vector<OrbitalElements>& elements, std::uint64_t hash);
+
+ private:
+  friend class TimeSweep;
+
+  /// Perifocal position from a solved eccentric anomaly, rotated to ECI —
+  /// the shared tail of every evaluation path (operation-for-operation the
+  /// scalar spec's perifocal block).
+  Vec3 positionFromEccentricAnomaly(std::size_t i,
+                                    double eccentricAnomalyRad) const;
+
+  std::size_t count_ = 0;
+  // Per-satellite time-invariant terms, one contiguous array per field.
+  std::vector<double> semiMajorAxisM_;
+  std::vector<double> eccentricity_;
+  std::vector<double> meanMotionRadPerS_;
+  std::vector<double> meanAnomalyAtEpochRad_;
+  std::vector<double> semiMinorAxisM_;  ///< a*sqrt(1-e^2): the y_P coefficient.
+  // Perifocal->ECI rotation, stored as its two used columns
+  // P = (r11, r21, r31) and Q = (r12, r22, r32).
+  std::vector<double> p1_, p2_, p3_;  // units: rotation-matrix entries
+  std::vector<double> q1_, q2_, q3_;  // units: rotation-matrix entries
+};
+
+/// Warm-started time sweep over a compiled fleet.
+///
+/// Each advance() reuses the previous step's reduced (mean, eccentric)
+/// anomaly pair per satellite as the Newton starting guess. Invariants:
+///  * the visit history influences results only through the warm guesses —
+///    every solve still iterates to the same |step| < 1e-14 convergence
+///    criterion as the cold solver, so warm and cold positions agree to
+///    within 1e-13 relative to the orbital radius per component
+///    (property-tested; exactly equal for e == 0 fleets, where both
+///    solvers short-circuit);
+///  * a warm solve that fails to converge within the iteration cap falls
+///    back to the scalar spec's bisection-safeguarded cold solve, so a
+///    sweep can jump arbitrarily far in time (or even backwards) without
+///    losing accuracy;
+///  * per-satellite state and the fixed chunk decomposition of parallelFor
+///    make sweeps bit-identical at any thread count (hard-gated in
+///    bench/bench_propagation.cpp and the TSan CI lane).
+class TimeSweep {
+ public:
+  /// The sweep holds a reference; `fleet` must outlive it.
+  explicit TimeSweep(const FleetEphemeris& fleet);
+  /// Shared-ownership variant for sweeps that outlive the caller's frame.
+  explicit TimeSweep(std::shared_ptr<const FleetEphemeris> fleet);
+
+  const FleetEphemeris& fleet() const noexcept { return *fleet_; }
+
+  /// ECI positions of the whole fleet at time t (warm-started solve).
+  void advance(double tSeconds, std::vector<Vec3>& outEci);
+
+  /// As above, plus ECEF positions (Earth angle hoisted per step).
+  void advance(double tSeconds, std::vector<Vec3>& outEci,
+               std::vector<Vec3>& outEcef);
+
+ private:
+  void advanceImpl(double tSeconds, std::vector<Vec3>& outEci,
+                   std::vector<Vec3>* outEcef);
+
+  std::shared_ptr<const FleetEphemeris> owned_;  ///< May be null (ref ctor).
+  const FleetEphemeris* fleet_;
+  std::vector<double> prevMeanRad_;       ///< Reduced mean anomaly, last step.
+  std::vector<double> prevEccentricRad_;  ///< Reduced eccentric anomaly.
+  bool primed_ = false;
+};
+
+/// Warm single-satellite propagator for dense time scans (handover
+/// visibility-window searches, ground tracks): the scalar analogue of
+/// TimeSweep. Cheap to construct (compiles one satellite's invariants) and
+/// carries the last solve as the next warm start.
+class SatelliteSweep {
+ public:
+  /// Throws InvalidArgumentError if eccentricity is outside [0, 1).
+  explicit SatelliteSweep(const OrbitalElements& elements);
+
+  /// ECI position at t; successive calls warm-start from each other.
+  Vec3 positionEciAt(double tSeconds);
+
+ private:
+  double semiMajorAxisM_;
+  double eccentricity_;
+  double meanMotionRadPerS_;
+  double meanAnomalyAtEpochRad_;
+  double semiMinorAxisM_;
+  double p1_, p2_, p3_;  // units: rotation-matrix entries
+  double q1_, q2_, q3_;  // units: rotation-matrix entries
+  double prevMeanRad_ = 0.0;
+  double prevEccentricRad_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace openspace

@@ -1,0 +1,343 @@
+// The batch propagation kernel.
+//
+// Correctness contract: the cold-start path performs the exact
+// floating-point operations of the scalar spec (orbit/elements.cpp
+// `propagate`) in the same order — the precomputed terms are produced by
+// the same expressions the scalar path evaluates per call, and the
+// per-step arithmetic mirrors it token for token. Any change here must
+// keep tests/test_propagation_batch.cpp's bit-for-bit pins green.
+#include <openspace/orbit/propagation_batch.hpp>
+
+#include <cmath>
+#include <list>
+#include <mutex>
+#include <numbers>
+#include <unordered_map>
+#include <utility>
+
+#include <openspace/concurrency/parallel.hpp>
+#include <openspace/core/assert.hpp>
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/wgs84.hpp>
+#include <openspace/orbit/ephemeris.hpp>
+#include <openspace/orbit/snapshot.hpp>
+
+namespace openspace {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Chunk of the satellite range per parallelFor task. Matches the snapshot
+/// engine's decomposition; fixed so results are thread-count independent.
+constexpr std::size_t kBatchChunk = 64;
+
+/// Newton iteration on f(E) = E - e sin E - m from `guess` (the scalar
+/// spec's inner loop): stop on |step| < 1e-14 (converged) or after 20
+/// iterations. Returns whether the tolerance was reached; `guess` holds
+/// the final iterate either way.
+bool newtonKepler(double reducedMeanRad, double ecc, double& guess) noexcept {
+  for (int i = 0; i < 20; ++i) {
+    const double f = guess - ecc * std::sin(guess) - reducedMeanRad;
+    const double fp = 1.0 - ecc * std::cos(guess);
+    const double step = f / fp;
+    guess -= step;
+    if (std::abs(step) < 1e-14) return true;
+  }
+  return false;
+}
+
+/// Warm-started Kepler solve. `stateMeanRad`/`stateEccentricRad` carry the
+/// previous step's reduced anomalies; when `primed` the Newton guess is the
+/// previous eccentric anomaly advanced by the mean-anomaly delta (1-2
+/// iterations for near-circular LEO). A warm start that misses the
+/// convergence tolerance within the cap falls back to the scalar spec's
+/// cold solve (solveKeplerReduced, bisection-safeguarded), so accuracy
+/// never depends on the previous state being close.
+double solveKeplerWarm(double meanAnomalyRad, double ecc, bool primed,
+                       double& stateMeanRad, double& stateEccentricRad) {
+  if (ecc == 0.0) return meanAnomalyRad;
+  const double reducedRad = std::remainder(meanAnomalyRad, kTwoPi);
+  double guess = 0.0;
+  bool solved = false;
+  if (primed) {
+    guess = stateEccentricRad + std::remainder(reducedRad - stateMeanRad, kTwoPi);
+    solved = newtonKepler(reducedRad, ecc, guess);
+  }
+  if (!solved) guess = solveKeplerReduced(reducedRad, ecc);
+  stateMeanRad = reducedRad;
+  stateEccentricRad = guess;
+  return guess + (meanAnomalyRad - reducedRad);
+}
+
+}  // namespace
+
+FleetEphemeris::FleetEphemeris(const std::vector<OrbitalElements>& elements)
+    : count_(elements.size()) {
+  semiMajorAxisM_.reserve(count_);
+  eccentricity_.reserve(count_);
+  meanMotionRadPerS_.reserve(count_);
+  meanAnomalyAtEpochRad_.reserve(count_);
+  semiMinorAxisM_.reserve(count_);
+  p1_.reserve(count_);
+  p2_.reserve(count_);
+  p3_.reserve(count_);
+  q1_.reserve(count_);
+  q2_.reserve(count_);
+  q3_.reserve(count_);
+  for (const OrbitalElements& el : elements) {
+    const double ecc = el.eccentricity;
+    if (ecc < 0.0 || ecc >= 1.0) {
+      throw InvalidArgumentError(
+          "FleetEphemeris: eccentricity must be in [0, 1)");
+    }
+    const double a = el.semiMajorAxisM;
+    semiMajorAxisM_.push_back(a);
+    eccentricity_.push_back(ecc);
+    meanMotionRadPerS_.push_back(el.meanMotionRadPerS());
+    meanAnomalyAtEpochRad_.push_back(el.meanAnomalyAtEpochRad);
+    // The scalar path evaluates yP = a * sqrt(1 - e^2) * sinE left to
+    // right, so a * sqrt(1 - e^2) is exactly the term it forms first.
+    semiMinorAxisM_.push_back(a * std::sqrt(1.0 - ecc * ecc));
+    // Perifocal -> ECI rotation Rz(raan) * Rx(incl) * Rz(argPerigee),
+    // entry expressions identical to the scalar path's r11..r32.
+    const double cO = std::cos(el.raanRad), sO = std::sin(el.raanRad);
+    const double cI = std::cos(el.inclinationRad), sI = std::sin(el.inclinationRad);
+    const double cW = std::cos(el.argPerigeeRad), sW = std::sin(el.argPerigeeRad);
+    p1_.push_back(cO * cW - sO * sW * cI);
+    q1_.push_back(-cO * sW - sO * cW * cI);
+    p2_.push_back(sO * cW + cO * sW * cI);
+    q2_.push_back(-sO * sW + cO * cW * cI);
+    p3_.push_back(sW * sI);
+    q3_.push_back(cW * sI);
+  }
+}
+
+namespace {
+std::vector<OrbitalElements> elementsOf(const EphemerisService& ephemeris) {
+  std::vector<OrbitalElements> elements;
+  elements.reserve(ephemeris.size());
+  for (const SatelliteId sid : ephemeris.satellites()) {
+    elements.push_back(ephemeris.record(sid).elements);
+  }
+  return elements;
+}
+}  // namespace
+
+FleetEphemeris::FleetEphemeris(const EphemerisService& ephemeris)
+    : FleetEphemeris(elementsOf(ephemeris)) {}
+
+Vec3 FleetEphemeris::positionFromEccentricAnomaly(
+    std::size_t i, double eccentricAnomalyRad) const {
+  const double cosE = std::cos(eccentricAnomalyRad);
+  const double sinE = std::sin(eccentricAnomalyRad);
+  const double xP = semiMajorAxisM_[i] * (cosE - eccentricity_[i]);
+  const double yP = semiMinorAxisM_[i] * sinE;
+  return {p1_[i] * xP + q1_[i] * yP, p2_[i] * xP + q2_[i] * yP,
+          p3_[i] * xP + q3_[i] * yP};
+}
+
+void FleetEphemeris::positionsAt(double tSeconds,
+                                 std::vector<Vec3>& outEci) const {
+  outEci.resize(count_);
+  parallelFor(count_, kBatchChunk, [&](std::size_t begin, std::size_t end) {
+    OPENSPACE_ASSERT(begin <= end && end <= count_,
+                     "parallelFor chunk must stay inside the fleet");
+    for (std::size_t i = begin; i < end; ++i) {
+      const double mRad =
+          meanAnomalyAtEpochRad_[i] + meanMotionRadPerS_[i] * tSeconds;
+      outEci[i] = positionFromEccentricAnomaly(
+          i, solveKepler(mRad, eccentricity_[i]));
+    }
+  });
+}
+
+void FleetEphemeris::positionsAt(double tSeconds, std::vector<Vec3>& outEci,
+                                 std::vector<Vec3>& outEcef) const {
+  outEci.resize(count_);
+  outEcef.resize(count_);
+  // Earth rotation angle hoisted once per step; the per-satellite rotation
+  // below is the body of eciToEcef verbatim.
+  const double ang = -wgs84::kEarthRotationRadPerS * tSeconds;
+  const double c = std::cos(ang);
+  const double s = std::sin(ang);
+  parallelFor(count_, kBatchChunk, [&](std::size_t begin, std::size_t end) {
+    OPENSPACE_ASSERT(begin <= end && end <= count_,
+                     "parallelFor chunk must stay inside the fleet");
+    for (std::size_t i = begin; i < end; ++i) {
+      const double mRad =
+          meanAnomalyAtEpochRad_[i] + meanMotionRadPerS_[i] * tSeconds;
+      const Vec3 eci = positionFromEccentricAnomaly(
+          i, solveKepler(mRad, eccentricity_[i]));
+      outEci[i] = eci;
+      outEcef[i] = {c * eci.x - s * eci.y, s * eci.x + c * eci.y, eci.z};
+    }
+  });
+}
+
+Vec3 FleetEphemeris::positionAt(std::size_t i, double tSeconds) const {
+  OPENSPACE_ASSERT(i < count_, "satellite index within the fleet");
+  const double mRad =
+      meanAnomalyAtEpochRad_[i] + meanMotionRadPerS_[i] * tSeconds;
+  return positionFromEccentricAnomaly(i, solveKepler(mRad, eccentricity_[i]));
+}
+
+namespace {
+
+struct FleetCacheKey {
+  std::uint64_t hash;
+  std::uint64_t count;
+  bool operator==(const FleetCacheKey&) const noexcept = default;
+};
+
+struct FleetCacheKeyHash {
+  std::size_t operator()(const FleetCacheKey& k) const noexcept {
+    std::uint64_t h = k.hash ^ (k.count * 0x9E3779B97F4A7C15ull);
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Process-wide LRU of compiled fleets (analogue of SnapshotCache, one
+/// level down): the temporal router's interval grid, repeated coverage
+/// scoring and handover planning all recompile the same constellation
+/// otherwise. Compilation happens outside the lock; a racing duplicate
+/// insert resolves in favor of the first.
+class FleetEphemerisCache {
+ public:
+  std::shared_ptr<const FleetEphemeris> at(
+      const std::vector<OrbitalElements>& elements, std::uint64_t hash) {
+    const FleetCacheKey key{hash, elements.size()};
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = index_.find(key);
+      if (it != index_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return lru_.front().second;
+      }
+    }
+    auto fleet = std::make_shared<const FleetEphemeris>(elements);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return lru_.front().second;
+    }
+    lru_.emplace_front(key, std::move(fleet));
+    index_.emplace(key, lru_.begin());
+    while (lru_.size() > kCapacity) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+    return lru_.front().second;
+  }
+
+ private:
+  static constexpr std::size_t kCapacity = 64;
+  using Entry =
+      std::pair<FleetCacheKey, std::shared_ptr<const FleetEphemeris>>;
+  std::mutex mutex_;
+  std::list<Entry> lru_;
+  std::unordered_map<FleetCacheKey, std::list<Entry>::iterator,
+                     FleetCacheKeyHash>
+      index_;
+};
+
+}  // namespace
+
+std::shared_ptr<const FleetEphemeris> FleetEphemeris::compiled(
+    const std::vector<OrbitalElements>& elements, std::uint64_t hash) {
+  static FleetEphemerisCache cache;
+  OPENSPACE_ASSERT(hash == constellationHash(elements),
+                   "compiled(): hash must be constellationHash(elements)");
+  return cache.at(elements, hash);
+}
+
+TimeSweep::TimeSweep(const FleetEphemeris& fleet) : fleet_(&fleet) {}
+
+TimeSweep::TimeSweep(std::shared_ptr<const FleetEphemeris> fleet)
+    : owned_(std::move(fleet)), fleet_(owned_.get()) {
+  if (!fleet_) throw InvalidArgumentError("TimeSweep: null fleet");
+}
+
+void TimeSweep::advance(double tSeconds, std::vector<Vec3>& outEci) {
+  advanceImpl(tSeconds, outEci, nullptr);
+}
+
+void TimeSweep::advance(double tSeconds, std::vector<Vec3>& outEci,
+                        std::vector<Vec3>& outEcef) {
+  advanceImpl(tSeconds, outEci, &outEcef);
+}
+
+void TimeSweep::advanceImpl(double tSeconds, std::vector<Vec3>& outEci,
+                            std::vector<Vec3>* outEcef) {
+  const FleetEphemeris& f = *fleet_;
+  const std::size_t n = f.count_;
+  outEci.resize(n);
+  if (outEcef) outEcef->resize(n);
+  if (!primed_) {
+    prevMeanRad_.assign(n, 0.0);
+    prevEccentricRad_.assign(n, 0.0);
+  }
+  const bool primed = primed_;
+  double c = 1.0, s = 0.0;
+  if (outEcef) {
+    const double ang = -wgs84::kEarthRotationRadPerS * tSeconds;
+    c = std::cos(ang);
+    s = std::sin(ang);
+  }
+  parallelFor(n, kBatchChunk, [&](std::size_t begin, std::size_t end) {
+    OPENSPACE_ASSERT(begin <= end && end <= n,
+                     "parallelFor chunk must stay inside the fleet");
+    for (std::size_t i = begin; i < end; ++i) {
+      const double mRad =
+          f.meanAnomalyAtEpochRad_[i] + f.meanMotionRadPerS_[i] * tSeconds;
+      const double eAnomRad = solveKeplerWarm(
+          mRad, f.eccentricity_[i], primed, prevMeanRad_[i], prevEccentricRad_[i]);
+      const Vec3 eci = f.positionFromEccentricAnomaly(i, eAnomRad);
+      outEci[i] = eci;
+      if (outEcef) {
+        (*outEcef)[i] = {c * eci.x - s * eci.y, s * eci.x + c * eci.y, eci.z};
+      }
+    }
+  });
+  primed_ = true;
+}
+
+SatelliteSweep::SatelliteSweep(const OrbitalElements& elements) {
+  const double ecc = elements.eccentricity;
+  if (ecc < 0.0 || ecc >= 1.0) {
+    throw InvalidArgumentError("SatelliteSweep: eccentricity must be in [0, 1)");
+  }
+  const double a = elements.semiMajorAxisM;
+  semiMajorAxisM_ = a;
+  eccentricity_ = ecc;
+  meanMotionRadPerS_ = elements.meanMotionRadPerS();
+  meanAnomalyAtEpochRad_ = elements.meanAnomalyAtEpochRad;
+  semiMinorAxisM_ = a * std::sqrt(1.0 - ecc * ecc);
+  const double cO = std::cos(elements.raanRad), sO = std::sin(elements.raanRad);
+  const double cI = std::cos(elements.inclinationRad);
+  const double sI = std::sin(elements.inclinationRad);
+  const double cW = std::cos(elements.argPerigeeRad);
+  const double sW = std::sin(elements.argPerigeeRad);
+  p1_ = cO * cW - sO * sW * cI;
+  q1_ = -cO * sW - sO * cW * cI;
+  p2_ = sO * cW + cO * sW * cI;
+  q2_ = -sO * sW + cO * cW * cI;
+  p3_ = sW * sI;
+  q3_ = cW * sI;
+}
+
+Vec3 SatelliteSweep::positionEciAt(double tSeconds) {
+  const double mRad = meanAnomalyAtEpochRad_ + meanMotionRadPerS_ * tSeconds;
+  const double eAnomRad = solveKeplerWarm(mRad, eccentricity_, primed_,
+                                          prevMeanRad_, prevEccentricRad_);
+  primed_ = true;
+  const double cosE = std::cos(eAnomRad);
+  const double sinE = std::sin(eAnomRad);
+  const double xP = semiMajorAxisM_ * (cosE - eccentricity_);
+  const double yP = semiMinorAxisM_ * sinE;
+  return {p1_ * xP + q1_ * yP, p2_ * xP + q2_ * yP, p3_ * xP + q3_ * yP};
+}
+
+}  // namespace openspace

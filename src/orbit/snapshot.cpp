@@ -15,13 +15,13 @@
 #include <openspace/geo/error.hpp>
 #include <openspace/geo/wgs84.hpp>
 #include <openspace/orbit/ephemeris.hpp>
+#include <openspace/orbit/propagation_batch.hpp>
 #include <openspace/orbit/visibility.hpp>
 
 namespace openspace {
 
 namespace {
 
-constexpr std::size_t kPropagateChunk = 64;
 constexpr std::size_t kAdjacencyChunk = 16;
 
 // Word-wise FNV-1a step: one xor-multiply per double. The snapshot cache
@@ -88,17 +88,15 @@ ConstellationSnapshot::ConstellationSnapshot(const EphemerisService& ephemeris,
     : ConstellationSnapshot(elementsOf(ephemeris), tSeconds) {}
 
 void ConstellationSnapshot::propagateAll() {
-  const std::size_t n = elements_.size();
-  eci_.resize(n);
-  ecef_.resize(n);
-  parallelFor(n, kPropagateChunk, [&](std::size_t begin, std::size_t end) {
-    OPENSPACE_ASSERT(begin <= end && end <= n,
-                     "parallelFor chunk must stay inside the fleet");
-    for (std::size_t i = begin; i < end; ++i) {
-      eci_[i] = positionEci(elements_[i], tS_);
-      ecef_[i] = eciToEcef(eci_[i], tS_);
-    }
-  });
+  // The SoA batch kernel (orbit/propagation_batch.hpp) evaluates the whole
+  // fleet over flat precomputed arrays — bit-identical to the scalar
+  // positionEci/eciToEcef pair per satellite, but without re-deriving the
+  // time-invariant terms per call. The compiled-fleet cache makes repeated
+  // snapshots of one constellation (temporal router grids, coverage
+  // estimators, sweeps) pay the compile once.
+  const std::shared_ptr<const FleetEphemeris> fleet =
+      FleetEphemeris::compiled(elements_, hash_);
+  fleet->positionsAt(tS_, eci_, ecef_);
 }
 
 double ConstellationSnapshot::altitudeM(std::size_t i) const {

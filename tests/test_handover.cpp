@@ -2,6 +2,8 @@
 // planning, and the predictive vs re-associate timeline simulation.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include <openspace/geo/error.hpp>
 #include <openspace/geo/units.hpp>
 #include <openspace/handover/handover.hpp>
@@ -134,6 +136,41 @@ TEST_F(HandoverTest, InvalidWindowThrows) {
   EXPECT_THROW(
       simulateHandovers(*planner_, user_, 10.0, 5.0, HandoverMode::Predictive),
       InvalidArgumentError);
+}
+
+TEST(HandoverHorizon, AlwaysVisibleSatelliteReturnsHorizonBound) {
+  // A geostationary-altitude satellite parked over the user never crosses
+  // the elevation mask: the LOS scan must stop at the horizon bound rather
+  // than searching forever for a transition that does not exist.
+  EphemerisService eph;
+  const SatelliteId sid =
+      eph.publish(ProviderId{1},
+                  OrbitalElements::circular(km(35'786.0), 0.0, 0.0, 0.0));
+  const HandoverPlanner planner(eph, deg2rad(10.0));
+  const Geodetic user = Geodetic::fromDegrees(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(planner.visibilityEndS(sid, user, 0.0), 3'600.0);
+  EXPECT_DOUBLE_EQ(planner.visibilityEndS(sid, user, 50.0, 600.0), 650.0);
+  // Horizon shorter than the scan grid still clamps exactly to the bound.
+  EXPECT_DOUBLE_EQ(planner.visibilityEndS(sid, user, 0.0, 3.5), 3.5);
+  // Degenerate zero-length window: visible now, search ends immediately.
+  EXPECT_DOUBLE_EQ(planner.visibilityEndS(sid, user, 10.0, 0.0), 10.0);
+}
+
+TEST(HandoverHorizon, InvalidHorizonThrows) {
+  EphemerisService eph;
+  const SatelliteId sid =
+      eph.publish(ProviderId{1},
+                  OrbitalElements::circular(km(780.0), 0.0, 0.0, 0.0));
+  const HandoverPlanner planner(eph, deg2rad(10.0));
+  const Geodetic user = Geodetic::fromDegrees(0.0, 0.0);
+  EXPECT_THROW(planner.visibilityEndS(sid, user, 0.0, -1.0),
+               InvalidArgumentError);
+  EXPECT_THROW(planner.visibilityEndS(sid, user, 0.0,
+                                      std::numeric_limits<double>::infinity()),
+               InvalidArgumentError);
+  EXPECT_THROW(planner.visibilityEndS(sid, user, 0.0,
+                                      std::numeric_limits<double>::quiet_NaN()),
+               InvalidArgumentError);
 }
 
 TEST(HandoverSparse, NoCoverageMeansNoHandovers) {

@@ -65,6 +65,21 @@ INSTANTIATE_TEST_SUITE_P(
                                          12.5),
                        ::testing::Values(0.0, 0.01, 0.1, 0.5, 0.9, 0.99)));
 
+TEST(Kepler, ConvergesAcrossHighEccentricityGrid) {
+  // Regression: plain Newton from the pi start oscillates for e ~> 0.82
+  // with mean anomaly near +-pi and used to exit unconverged after 20
+  // iterations, leaving residuals of whole radians (found by the batch
+  // kernel's warm-vs-cold property tests). The bisection-safeguarded
+  // fallback must hold every residual at solver tolerance.
+  for (double e = 0.80; e < 0.999; e += 0.01) {
+    for (double m = -3.14; m <= 3.14; m += 0.05) {
+      const double eAnom = solveKepler(m, e);
+      EXPECT_NEAR(eAnom - e * std::sin(eAnom), m, 1e-12)
+          << "M=" << m << " e=" << e;
+    }
+  }
+}
+
 TEST(Kepler, InvalidEccentricityThrows) {
   EXPECT_THROW(solveKepler(1.0, -0.1), InvalidArgumentError);
   EXPECT_THROW(solveKepler(1.0, 1.0), InvalidArgumentError);

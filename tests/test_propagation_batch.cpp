@@ -1,0 +1,341 @@
+// Property tests pinning the batch propagation kernel to the scalar spec.
+//
+// The scalar propagate()/positionEci() in orbit/elements.cpp is the
+// executable specification; FleetEphemeris' cold path must reproduce it
+// bit for bit, TimeSweep's warm-started solves must agree with cold starts
+// to within a few ULP per component, and every batch path must be
+// bit-identical at any thread count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <openspace/concurrency/parallel.hpp>
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/geodetic.hpp>
+#include <openspace/geo/rng.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/geo/wgs84.hpp>
+#include <openspace/orbit/ephemeris.hpp>
+#include <openspace/orbit/propagation_batch.hpp>
+#include <openspace/orbit/snapshot.hpp>
+#include <openspace/orbit/walker.hpp>
+
+namespace openspace {
+namespace {
+
+/// Restores the ambient worker count when a test overrides it.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(parallelThreadCount()) {}
+  ~ThreadCountGuard() { setParallelThreadCount(saved_); }
+
+ private:
+  int saved_;
+};
+
+/// Distance between two doubles in units in the last place (steps along
+/// the ordered representable doubles); huge for sign disagreements.
+std::uint64_t ulpDistance(double a, double b) {
+  if (a == b) return 0;
+  if (std::isnan(a) || std::isnan(b)) return UINT64_MAX;
+  auto ordered = [](double v) {
+    std::int64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits < 0 ? std::int64_t{INT64_MIN} - bits : bits;
+  };
+  const std::int64_t oa = ordered(a), ob = ordered(b);
+  return oa > ob ? static_cast<std::uint64_t>(oa) - static_cast<std::uint64_t>(ob)
+                 : static_cast<std::uint64_t>(ob) - static_cast<std::uint64_t>(oa);
+}
+
+std::uint64_t maxUlp(const Vec3& a, const Vec3& b) {
+  return std::max({ulpDistance(a.x, b.x), ulpDistance(a.y, b.y),
+                   ulpDistance(a.z, b.z)});
+}
+
+/// Warm- and cold-started Newton solves agree on the eccentric anomaly to
+/// ~1 ULP; one ULP of anomaly moves a position component by up to
+/// a * 2^-52, which can be many ULPs of a near-zero component. The right
+/// yardstick for warm==cold is therefore relative to the orbit scale, not
+/// per-component ULPs: |delta| <= 1e-13 * |r| on every axis (sub-micrometer
+/// for LEO, far below any physical meaning in the simulator).
+void expectWarmMatchesCold(const Vec3& warm, const Vec3& cold,
+                           const char* label, double tSeconds) {
+  const double tol = 1e-13 * std::max(1.0, cold.norm());
+  EXPECT_NEAR(warm.x, cold.x, tol) << label << " t " << tSeconds;
+  EXPECT_NEAR(warm.y, cold.y, tol) << label << " t " << tSeconds;
+  EXPECT_NEAR(warm.z, cold.z, tol) << label << " t " << tSeconds;
+}
+
+/// Randomized general elements covering the regimes the kernel must pin:
+/// near-circular LEO, high-eccentricity, retrograde inclination, and
+/// equatorial / polar edge cases appear with fixed probability.
+OrbitalElements randomElements(Rng& rng) {
+  OrbitalElements el;
+  el.semiMajorAxisM = wgs84::kMeanRadiusM + rng.uniform(km(300.0), km(36'000.0));
+  const double roll = rng.uniform(0.0, 1.0);
+  if (roll < 0.25) {
+    el.eccentricity = 0.0;  // exactly circular (the solver's shortcut path)
+  } else if (roll < 0.5) {
+    el.eccentricity = rng.uniform(0.0, 0.02);  // near-circular LEO
+  } else if (roll < 0.75) {
+    el.eccentricity = rng.uniform(0.6, 0.95);  // high-e (past the 0.8 guess)
+  } else {
+    el.eccentricity = rng.uniform(0.0, 0.6);
+  }
+  const double inclRoll = rng.uniform(0.0, 1.0);
+  if (inclRoll < 0.2) {
+    el.inclinationRad = 0.0;  // equatorial
+  } else if (inclRoll < 0.4) {
+    el.inclinationRad = rng.uniform(deg2rad(95.0), deg2rad(180.0));  // retrograde
+  } else {
+    el.inclinationRad = rng.uniform(0.0, deg2rad(95.0));
+  }
+  el.raanRad = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  el.argPerigeeRad = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  el.meanAnomalyAtEpochRad = rng.uniform(-2.0, 8.0);
+  return el;
+}
+
+std::vector<OrbitalElements> randomFleet(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<OrbitalElements> fleet;
+  fleet.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) fleet.push_back(randomElements(rng));
+  return fleet;
+}
+
+// --- cold path == scalar spec, bit for bit --------------------------------
+
+TEST(FleetEphemeris, MatchesScalarBitForBitAcrossRandomElements) {
+  for (std::uint64_t seed : {11ull, 12ull, 13ull, 14ull}) {
+    const auto fleet = randomFleet(64, seed);
+    const FleetEphemeris batch(fleet);
+    std::vector<Vec3> eci, ecef;
+    for (const double t : {0.0, 1.5, 600.0, 5'400.0, -250.0, 86'400.0}) {
+      batch.positionsAt(t, eci, ecef);
+      ASSERT_EQ(eci.size(), fleet.size());
+      for (std::size_t i = 0; i < fleet.size(); ++i) {
+        const Vec3 want = positionEci(fleet[i], t);
+        EXPECT_DOUBLE_EQ(eci[i].x, want.x) << "seed " << seed << " sat " << i;
+        EXPECT_DOUBLE_EQ(eci[i].y, want.y) << "seed " << seed << " sat " << i;
+        EXPECT_DOUBLE_EQ(eci[i].z, want.z) << "seed " << seed << " sat " << i;
+        const Vec3 wantEcef = eciToEcef(want, t);
+        EXPECT_DOUBLE_EQ(ecef[i].x, wantEcef.x);
+        EXPECT_DOUBLE_EQ(ecef[i].y, wantEcef.y);
+        EXPECT_DOUBLE_EQ(ecef[i].z, wantEcef.z);
+      }
+    }
+  }
+}
+
+TEST(FleetEphemeris, SingleSatelliteAccessorMatchesBatch) {
+  const auto fleet = randomFleet(16, 99);
+  const FleetEphemeris batch(fleet);
+  std::vector<Vec3> eci;
+  batch.positionsAt(321.5, eci);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const Vec3 one = batch.positionAt(i, 321.5);
+    EXPECT_DOUBLE_EQ(one.x, eci[i].x);
+    EXPECT_DOUBLE_EQ(one.y, eci[i].y);
+    EXPECT_DOUBLE_EQ(one.z, eci[i].z);
+  }
+}
+
+TEST(FleetEphemeris, EciOnlyOverloadMatchesCombined) {
+  const auto fleet = randomFleet(32, 5);
+  const FleetEphemeris batch(fleet);
+  std::vector<Vec3> a, b, ecef;
+  batch.positionsAt(777.0, a);
+  batch.positionsAt(777.0, b, ecef);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+    EXPECT_DOUBLE_EQ(a[i].y, b[i].y);
+    EXPECT_DOUBLE_EQ(a[i].z, b[i].z);
+  }
+}
+
+TEST(FleetEphemeris, RejectsInvalidEccentricity) {
+  OrbitalElements bad = OrbitalElements::circular(km(780.0), 1.0, 0.0, 0.0);
+  bad.eccentricity = 1.0;
+  EXPECT_THROW(FleetEphemeris({bad}), InvalidArgumentError);
+  bad.eccentricity = -0.1;
+  EXPECT_THROW(FleetEphemeris({bad}), InvalidArgumentError);
+  EXPECT_THROW(SatelliteSweep{bad}, InvalidArgumentError);
+}
+
+TEST(FleetEphemeris, EmptyFleetIsFine) {
+  const FleetEphemeris batch(std::vector<OrbitalElements>{});
+  EXPECT_TRUE(batch.empty());
+  std::vector<Vec3> eci{Vec3{1, 2, 3}};
+  batch.positionsAt(0.0, eci);
+  EXPECT_TRUE(eci.empty());
+}
+
+TEST(FleetEphemeris, EphemerisServiceConstructorUsesPublicationOrder) {
+  EphemerisService eph;
+  const auto fleet = makeWalkerStar(iridiumConfig());
+  for (const auto& el : fleet) eph.publish(ProviderId{1}, el);
+  const FleetEphemeris batch(eph);
+  ASSERT_EQ(batch.size(), fleet.size());
+  std::vector<Vec3> eci;
+  batch.positionsAt(120.0, eci);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const Vec3 want = eph.positionEci(eph.satellites()[i], 120.0);
+    EXPECT_DOUBLE_EQ(eci[i].x, want.x);
+    EXPECT_DOUBLE_EQ(eci[i].y, want.y);
+    EXPECT_DOUBLE_EQ(eci[i].z, want.z);
+  }
+}
+
+TEST(FleetEphemeris, CompiledCacheReturnsSharedInstance) {
+  const auto fleet = randomFleet(24, 404);
+  const std::uint64_t hash = constellationHash(fleet);
+  const auto a = FleetEphemeris::compiled(fleet, hash);
+  const auto b = FleetEphemeris::compiled(fleet, hash);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a->size(), fleet.size());
+}
+
+// --- warm start == cold start ---------------------------------------------
+
+TEST(TimeSweep, WarmStartAgreesWithColdStartWithinUlps) {
+  for (std::uint64_t seed : {21ull, 22ull, 23ull}) {
+    const auto fleet = randomFleet(48, seed);
+    const FleetEphemeris batch(fleet);
+    TimeSweep sweep(batch);
+    std::vector<Vec3> warm, cold;
+    // Dense monotone grid (the warm solver's home turf), with one long
+    // jump and one backwards jump to exercise the cold fallback guard.
+    const double grid[] = {0.0,    30.0,   60.0,   90.0,    120.0,
+                           150.0,  4000.0, 4030.0, -1000.0, -970.0};
+    for (const double t : grid) {
+      sweep.advance(t, warm);
+      batch.positionsAt(t, cold);
+      ASSERT_EQ(warm.size(), cold.size());
+      for (std::size_t i = 0; i < warm.size(); ++i) {
+        expectWarmMatchesCold(warm[i], cold[i], "warm sweep", t);
+      }
+    }
+  }
+}
+
+TEST(TimeSweep, EcefOverloadMatchesScalarRotation) {
+  const auto fleet = randomFleet(16, 31);
+  const FleetEphemeris batch(fleet);
+  TimeSweep sweep(batch);
+  std::vector<Vec3> eci, ecef;
+  for (const double t : {0.0, 45.0, 90.0}) {
+    sweep.advance(t, eci, ecef);
+    for (std::size_t i = 0; i < eci.size(); ++i) {
+      const Vec3 want = eciToEcef(eci[i], t);
+      EXPECT_DOUBLE_EQ(ecef[i].x, want.x);
+      EXPECT_DOUBLE_EQ(ecef[i].y, want.y);
+      EXPECT_DOUBLE_EQ(ecef[i].z, want.z);
+    }
+  }
+}
+
+TEST(SatelliteSweep, AgreesWithScalarAcrossScanAndBisectionPattern) {
+  Rng rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    const OrbitalElements el = randomElements(rng);
+    SatelliteSweep sweep(el);
+    // The handover search pattern: forward scan, then non-monotone
+    // bisection probes inside one step.
+    const double probes[] = {0.0,  10.0,  20.0, 30.0, 25.0,
+                             22.5, 23.75, 24.0, 23.9, 4000.0};
+    for (const double t : probes) {
+      const Vec3 got = sweep.positionEciAt(t);
+      const Vec3 want = positionEci(el, t);
+      expectWarmMatchesCold(got, want, "satellite sweep", t);
+    }
+  }
+}
+
+// --- determinism: serial == parallel, bit for bit -------------------------
+
+TEST(TimeSweep, SweepIsBitIdenticalAtAnyThreadCount) {
+  ThreadCountGuard guard;
+  const auto fleet = randomFleet(200, 55);
+  const FleetEphemeris batch(fleet);
+
+  const auto runSweep = [&](int threads) {
+    setParallelThreadCount(threads);
+    TimeSweep sweep(batch);
+    std::vector<std::vector<Vec3>> frames;
+    std::vector<Vec3> eci, ecef;
+    for (double t = 0.0; t <= 600.0; t += 60.0) {
+      sweep.advance(t, eci, ecef);
+      frames.push_back(eci);
+      frames.push_back(ecef);
+    }
+    return frames;
+  };
+
+  const auto serial = runSweep(1);
+  for (const int threads : {2, 5, 16}) {
+    const auto parallel = runSweep(threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t f = 0; f < serial.size(); ++f) {
+      for (std::size_t i = 0; i < serial[f].size(); ++i) {
+        EXPECT_DOUBLE_EQ(serial[f][i].x, parallel[f][i].x);
+        EXPECT_DOUBLE_EQ(serial[f][i].y, parallel[f][i].y);
+        EXPECT_DOUBLE_EQ(serial[f][i].z, parallel[f][i].z);
+      }
+    }
+  }
+}
+
+TEST(FleetEphemeris, ColdBatchIsBitIdenticalAtAnyThreadCount) {
+  ThreadCountGuard guard;
+  const auto fleet = randomFleet(150, 66);
+  const FleetEphemeris batch(fleet);
+  std::vector<Vec3> serialEci, serialEcef, parEci, parEcef;
+  setParallelThreadCount(1);
+  batch.positionsAt(300.0, serialEci, serialEcef);
+  for (const int threads : {3, 8}) {
+    setParallelThreadCount(threads);
+    batch.positionsAt(300.0, parEci, parEcef);
+    for (std::size_t i = 0; i < serialEci.size(); ++i) {
+      EXPECT_DOUBLE_EQ(serialEci[i].x, parEci[i].x);
+      EXPECT_DOUBLE_EQ(serialEci[i].y, parEci[i].y);
+      EXPECT_DOUBLE_EQ(serialEci[i].z, parEci[i].z);
+      EXPECT_DOUBLE_EQ(serialEcef[i].x, parEcef[i].x);
+      EXPECT_DOUBLE_EQ(serialEcef[i].y, parEcef[i].y);
+      EXPECT_DOUBLE_EQ(serialEcef[i].z, parEcef[i].z);
+    }
+  }
+}
+
+// --- integration: the snapshot engine rides the kernel --------------------
+
+TEST(FleetEphemeris, SnapshotEngineStaysPinnedToScalarSpec) {
+  const auto fleet = makeWalkerStar(iridiumConfig());
+  const ConstellationSnapshot snap(fleet, 432.0);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const Vec3 want = positionEci(fleet[i], 432.0);
+    EXPECT_DOUBLE_EQ(snap.eci(i).x, want.x);
+    EXPECT_DOUBLE_EQ(snap.eci(i).y, want.y);
+    EXPECT_DOUBLE_EQ(snap.eci(i).z, want.z);
+  }
+}
+
+TEST(SatelliteSweep, GroundTrackMatchesScalarRecomputation) {
+  const auto el = OrbitalElements::circular(km(780.0), deg2rad(86.4), 0.4, 1.1);
+  const auto track = groundTrack(el, 0.0, 1'200.0, 30.0);
+  ASSERT_EQ(track.size(), 41u);
+  for (const auto& p : track) {
+    const Geodetic want = ecefToGeodetic(eciToEcef(positionEci(el, p.tSeconds),
+                                                   p.tSeconds));
+    EXPECT_NEAR(p.latitudeRad, want.latitudeRad, 1e-9);
+    EXPECT_NEAR(p.longitudeRad, want.longitudeRad, 1e-9);
+    EXPECT_NEAR(p.altitudeM, want.altitudeM, 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace openspace

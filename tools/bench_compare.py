@@ -8,7 +8,11 @@ reference numbers in bench/baseline/. Two formats are understood:
   per-benchmark real_time is compared by name;
 * the custom routing-ablation record ("bench": "routing_ablation") —
   batch serial/parallel wall seconds are compared, and checksum agreement
-  is re-asserted.
+  is re-asserted;
+* the custom propagation record ("bench": "propagation") — per-step times
+  for the scalar/batch/warm paths are compared, checksum agreement is
+  re-asserted, and the batch speedup is checked against the 3x floor the
+  kernel is expected to hold.
 
 CI hardware varies run to run, so this is a smoke alarm, not a gate: every
 regression beyond the threshold prints a GitHub ::warning:: annotation and
@@ -100,6 +104,40 @@ def compare_routing_ablation(current, baseline, threshold: float) -> int:
     return warned
 
 
+def compare_propagation(current, baseline, threshold: float) -> int:
+    warned = 0
+    if not current.get("checksums_match", False):
+        warn("propagation: scalar/batch/warm or serial/parallel checksums "
+             "diverged")
+        warned += 1
+    for key in ("scalar_us_per_step", "batch_us_per_step",
+                "warm_us_per_step"):
+        cur_t = current.get(key)
+        base_t = baseline.get(key)
+        if cur_t is None or base_t is None or base_t <= 0:
+            continue
+        ratio = cur_t / base_t
+        marker = " REGRESSION?" if ratio > threshold else ""
+        print(f"  {key}: {cur_t:.3f}us vs baseline {base_t:.3f}us "
+              f"({ratio:.2f}x){marker}")
+        if ratio > threshold:
+            warn(f"propagation {key}: {cur_t:.3f}us vs baseline "
+                 f"{base_t:.3f}us ({ratio:.2f}x > {threshold:.2f}x)")
+            warned += 1
+    # The batch kernel's reason to exist: warn if the speedup over the
+    # scalar spec sinks below the floor the baseline machine demonstrated.
+    for key, floor in (("speedup_batch", 3.0), ("speedup_warm", 3.0)):
+        speedup = current.get(key)
+        if speedup is None:
+            continue
+        print(f"  {key}: {speedup:.2f}x (floor {floor:.1f}x)")
+        if speedup < floor:
+            warn(f"propagation {key}: {speedup:.2f}x below the {floor:.1f}x "
+                 f"floor")
+            warned += 1
+    return warned
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("files", nargs="+", type=Path,
@@ -132,6 +170,8 @@ def main() -> int:
         if current.get("bench") == "routing_ablation":
             warned += compare_routing_ablation(current, baseline,
                                                args.threshold)
+        elif current.get("bench") == "propagation":
+            warned += compare_propagation(current, baseline, args.threshold)
         else:
             warned += compare_google_benchmark(current, baseline,
                                                args.threshold)
