@@ -1,12 +1,34 @@
 #include <openspace/auth/association.hpp>
 
+#include <cmath>
 #include <limits>
+#include <numbers>
 
+#include <openspace/concurrency/parallel.hpp>
+#include <openspace/coverage/footprint_index.hpp>
 #include <openspace/geo/error.hpp>
 #include <openspace/geo/units.hpp>
+#include <openspace/orbit/snapshot.hpp>
 #include <openspace/orbit/visibility.hpp>
 
 namespace openspace {
+
+namespace {
+
+/// Users per parallelFor chunk in associateUsers. Fixed boundaries + each
+/// user writing only its own slot keep serial and parallel sweeps
+/// bit-identical.
+constexpr std::size_t kUserChunk = 512;
+
+/// The footprint index accepts the footprintHalfAngleRad mask domain;
+/// selection calls with masks outside it (never produced by the library's
+/// own callers, but the brute scan tolerated them) fall back to the brute
+/// loop.
+bool maskIndexable(double minElevationRad) {
+  return minElevationRad >= 0.0 && minElevationRad <= std::numbers::pi / 2.0;
+}
+
+}  // namespace
 
 std::string_view associationStateName(AssociationState s) noexcept {
   switch (s) {
@@ -29,18 +51,70 @@ std::optional<SatelliteId> AssociationAgent::selectSatellite(
   // in closest range": positions come from the orbital elements each beacon
   // advertises, not from a central service.
   const Vec3 userEcef = geodeticToEcef(location_);
-  double bestRange = std::numeric_limits<double>::infinity();
-  std::optional<SatelliteId> best;
-  for (const BeaconMessage& b : beacons) {
-    const Vec3 satEcef = eciToEcef(positionEci(b.elements, tSeconds), tSeconds);
-    if (elevationAngleRad(userEcef, satEcef) < minElevationRad) continue;
-    const double range = userEcef.distanceTo(satEcef);
-    if (range < bestRange) {
-      bestRange = range;
-      best = b.satellite;
+  if (!maskIndexable(minElevationRad)) {
+    // Brute scan (the pre-index selection loop, verbatim): positions from
+    // the scalar propagation, first-wins over ascending beacons.
+    double bestRange = std::numeric_limits<double>::infinity();
+    std::optional<SatelliteId> best;
+    for (const BeaconMessage& b : beacons) {
+      const Vec3 satEcef = eciToEcef(positionEci(b.elements, tSeconds), tSeconds);
+      if (elevationAngleRad(userEcef, satEcef) < minElevationRad) continue;
+      const double range = userEcef.distanceTo(satEcef);
+      if (range < bestRange) {
+        bestRange = range;
+        best = b.satellite;
+      }
     }
+    return best;
   }
-  return best;
+  // Indexed selection: snapshot the advertised orbits (batch-propagated,
+  // bit-identical to the scalar eciToEcef(positionEci(...)) pair — the
+  // PR-pinned FleetEphemeris contract), then let the footprint index prune
+  // the candidate scan. closestVisible applies the identical elevation and
+  // range expressions with the brute loop's first-wins tie order.
+  std::vector<OrbitalElements> elements;
+  elements.reserve(beacons.size());
+  for (const BeaconMessage& b : beacons) elements.push_back(b.elements);
+  const auto snap = SnapshotCache::global().at(elements, tSeconds);
+  const auto footprints = FootprintIndex2::compiled(snap, minElevationRad);
+  const auto chosen = footprints->closestVisible(userEcef);
+  if (!chosen) return std::nullopt;
+  return beacons[*chosen].satellite;
+}
+
+std::vector<UserAssociation> associateUsers(
+    const std::vector<OrbitalElements>& fleet, double tSeconds,
+    const std::vector<Geodetic>& users, double minElevationRad) {
+  std::vector<UserAssociation> out(users.size());
+  if (fleet.empty() || users.empty()) return out;
+  const auto snap = SnapshotCache::global().at(fleet, tSeconds);
+  const auto footprints = FootprintIndex2::compiled(snap, minElevationRad);
+  parallelFor(users.size(), kUserChunk,
+              [&](std::size_t begin, std::size_t end) {
+                for (std::size_t u = begin; u < end; ++u) {
+                  const Vec3 userEcef = geodeticToEcef(users[u]);
+                  const auto best = footprints->closestVisible(userEcef);
+                  if (!best) continue;
+                  out[u].covered = true;
+                  out[u].satelliteIndex = static_cast<std::uint32_t>(*best);
+                  out[u].slantRangeM = userEcef.distanceTo(snap->ecef(*best));
+                }
+              });
+  return out;
+}
+
+std::vector<UserAssociation> associateUsers(
+    const std::vector<BeaconMessage>& beacons, double tSeconds,
+    const std::vector<Geodetic>& users, double minElevationRad) {
+  std::vector<OrbitalElements> fleet;
+  fleet.reserve(beacons.size());
+  for (const BeaconMessage& b : beacons) fleet.push_back(b.elements);
+  std::vector<UserAssociation> out =
+      associateUsers(fleet, tSeconds, users, minElevationRad);
+  for (UserAssociation& a : out) {
+    if (a.covered) a.satellite = beacons[a.satelliteIndex].satellite;
+  }
+  return out;
 }
 
 AssociationResult AssociationAgent::associate(

@@ -40,6 +40,32 @@ struct AssociationResult {
   std::string failureReason;
 };
 
+/// One user's outcome in a batched association sweep.
+struct UserAssociation {
+  bool covered = false;           ///< Any satellite at/above the mask?
+  std::uint32_t satelliteIndex = 0;  ///< Into the fleet/beacon list (iff covered).
+  SatelliteId satellite{};        ///< Chosen satellite (beacon overload only).
+  double slantRangeM = 0.0;       ///< User->satellite range (iff covered).
+};
+
+/// Batched association: for every user, the closest satellite at/above
+/// `minElevationRad` at time t — the §2.2 selection rule
+/// (AssociationAgent::selectSatellite) fanned over the thread pool in
+/// fixed chunks. The fleet is propagated and footprint-indexed once;
+/// each user then scans O(candidate) satellites instead of the whole
+/// fleet. Results are bit-identical to the per-user brute scan and to
+/// themselves at any thread count (serial == parallel; hard-gated in
+/// bench/bench_coverage_index.cpp). Output order matches `users`.
+std::vector<UserAssociation> associateUsers(
+    const std::vector<OrbitalElements>& fleet, double tSeconds,
+    const std::vector<Geodetic>& users, double minElevationRad);
+
+/// Beacon-list overload: selection over the advertised orbits, with each
+/// result's `satellite` filled from the owning beacon.
+std::vector<UserAssociation> associateUsers(
+    const std::vector<BeaconMessage>& beacons, double tSeconds,
+    const std::vector<Geodetic>& users, double minElevationRad);
+
 /// Client-side association agent for one user terminal.
 class AssociationAgent {
  public:

@@ -1,0 +1,158 @@
+// The per-snapshot footprint index: every visibility consumer's spatial
+// accelerator.
+//
+// FootprintIndex2 compiles one constellation snapshot + elevation mask into
+// (a) the same per-satellite spherical-cap arrays the original orbit-layer
+// FootprintIndex holds — direction, half-angle, cos(half-angle), built with
+// the identical expressions so `covers()` is bit-for-bit the brute test —
+// and (b) a SphericalCapIndex over conservatively padded caps that answers
+// "which satellites could see this point" in O(candidates) instead of O(N).
+//
+// Two query families share the one index:
+//  * surface-sample queries (Monte-Carlo coverage): unit ECI directions
+//    tested against the exact cap predicate `dot >= cos(halfAngle)`;
+//  * ground-site queries (association, handover, demand coverage): ECEF
+//    sites tested against the exact `elevationAngleRad(site, satEcef) >=
+//    mask` predicate. The registered cap radii are padded out to the
+//    largest central angle any supported observer radius can see
+//    (kMinObserverRadiusM at the mask), so the candidate set is a superset
+//    for both predicates; sites outside the supported radius range fall
+//    back to a full scan.
+//
+// Determinism contract (DESIGN.md §10): the index only *prunes* — every
+// candidate is re-tested with the exact brute predicate, ties are broken
+// by satellite index exactly as the brute ascending scans do, and the RNG
+// draw sequence of the Monte-Carlo estimators is untouched. The brute
+// implementations survive in openspace::legacy (coverage/legacy.hpp) as the
+// executable spec the indexed paths are property-tested against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include <openspace/geo/geodetic.hpp>
+#include <openspace/geo/spherical_index.hpp>
+#include <openspace/geo/vec3.hpp>
+
+namespace openspace {
+
+class ConstellationSnapshot;
+
+/// Spatially indexed footprint tests over one snapshot. Immutable after
+/// construction; share freely across threads. Obtain via compiled() on any
+/// hot path — construction costs one pass over the fleet plus the band
+/// index build, amortized by a process-wide LRU.
+class FootprintIndex2 {
+ public:
+  /// Lowest/highest observer radius (from Earth center) the ground-site
+  /// pruning supports. Sites outside fall back to exact full scans: ~10 km
+  /// below the WGS-84 polar radius to ~100 km above the equatorial radius
+  /// covers every terrestrial and airborne terminal.
+  static constexpr double kMinObserverRadiusM = 6'346'752.0;
+  static constexpr double kMaxObserverRadiusM = 6'478'137.0;
+
+  /// Compile the footprint index of `snapshot` at `minElevationRad`.
+  /// Throws InvalidArgumentError for a mask outside [0, pi/2] (the
+  /// footprintHalfAngleRad domain — same throw as the brute path).
+  FootprintIndex2(std::shared_ptr<const ConstellationSnapshot> snapshot,
+                  double minElevationRad);
+
+  std::size_t size() const noexcept { return direction_.size(); }
+  double minElevationRad() const noexcept { return minElevationRad_; }
+  const ConstellationSnapshot& snapshot() const noexcept { return *snapshot_; }
+
+  double halfAngleRad(std::size_t i) const { return halfAngle_.at(i); }
+  const Vec3& direction(std::size_t i) const { return direction_.at(i); }
+
+  /// True if satellite i covers the surface point with unit direction
+  /// `unitPoint` (ECI frame). Bit-identical to the orbit-layer
+  /// FootprintIndex::covers — the executable-spec predicate.
+  bool covers(const Vec3& unitPoint, std::size_t i) const noexcept {
+    return unitPoint.dot(direction_[i]) >= cosHalfAngle_[i];
+  }
+  /// True if any satellite covers the point. Same boolean as the brute
+  /// scan, found through the band index.
+  bool anyCovers(const Vec3& unitPoint) const noexcept;
+  /// Number of satellites covering the point, counting stops at
+  /// `stopAfter` — same result as the brute ascending scan for every
+  /// stopAfter, including the degenerate stopAfter <= 0 cases.
+  int countCovering(const Vec3& unitPoint, int stopAfter) const noexcept;
+
+  /// True if at least one satellite is at or above the mask from the ECEF
+  /// site — the exact elevationAngleRad predicate, candidates from the
+  /// index.
+  bool anyVisibleFrom(const Vec3& siteEcef) const;
+
+  /// Closest at-or-above-mask satellite from the site (ties broken toward
+  /// the lower index, matching the brute first-wins ascending scan);
+  /// nullopt when none is visible. Bit-identical to
+  /// ConstellationSnapshot::closestVisible at the same mask.
+  std::optional<std::size_t> closestVisible(const Vec3& siteEcef) const;
+  std::optional<std::size_t> closestVisible(const Geodetic& site) const;
+
+  /// Visit a superset of the satellites visible from the ECEF site (each
+  /// at most once, order unspecified). Callers apply their own exact
+  /// predicate — this is the pruning hook the handover planner uses so its
+  /// elevation test expression stays token-identical to the brute loop.
+  template <typename Fn>
+  void forEachGroundCandidate(const Vec3& siteEcef, Fn&& fn) const {
+    const double radiusM = siteEcef.norm();
+    if (!(radiusM >= kMinObserverRadiusM && radiusM <= kMaxObserverRadiusM)) {
+      for (std::size_t i = 0; i < size(); ++i) {
+        fn(static_cast<std::uint32_t>(i));
+      }
+      return;
+    }
+    // Rotate the site into the ECI frame of the cap centers (an exact
+    // longitude shift about +Z; z is rotation-invariant) and query the
+    // index with the unit direction.
+    const double inv = 1.0 / radiusM;
+    const Vec3 unitEci{
+        (siteEcef.x * cosLonOffset_ - siteEcef.y * sinLonOffset_) * inv,
+        (siteEcef.x * sinLonOffset_ + siteEcef.y * cosLonOffset_) * inv,
+        siteEcef.z * inv};
+    capIndex_.forEachCandidate(unitEci, fn);
+  }
+
+  /// Append (ascending, deduplicated, excluding i) every j whose footprint
+  /// could overlap footprint i — a superset of {j : centralAngle(i, j) <
+  /// halfAngle(i) + halfAngle(j)}. Drives the worst-case overlap band
+  /// sweep that replaces the O(N^2) pair loop.
+  void overlapCandidates(std::size_t i, std::vector<std::uint32_t>& out) const;
+
+  /// Per-satellite ECEF position (the snapshot's array).
+  const Vec3& ecef(std::size_t i) const;
+
+  /// The compiled index of (snapshot, mask) from a process-wide LRU keyed
+  /// by (elements hash, count, quantized t, mask bits): coverage sweeps,
+  /// association batches and handover planning touching the same timestep
+  /// compile the index once.
+  static std::shared_ptr<const FootprintIndex2> compiled(
+      std::shared_ptr<const ConstellationSnapshot> snapshot,
+      double minElevationRad);
+
+ private:
+  std::shared_ptr<const ConstellationSnapshot> snapshot_;
+  double minElevationRad_ = 0.0;
+  // ECEF->ECI rotation about +Z at the snapshot time (lon_eci = lon_ecef +
+  // omega * t), stored as the rotation's cosine/sine.
+  double cosLonOffset_ = 1.0;  // units: dimensionless rotation cosine
+  double sinLonOffset_ = 0.0;  // units: dimensionless rotation sine
+  std::vector<Vec3> direction_;       ///< Unit sub-satellite directions (ECI).
+  std::vector<double> cosHalfAngle_;  ///< cos(footprint half-angle).
+  std::vector<double> halfAngle_;
+  double maxHalfAngleRad_ = 0.0;
+  SphericalCapIndex capIndex_;
+  /// Whole-cell cover certificates, one per grid cell: the number of
+  /// satellites (saturated at 2^16-1) whose *exact* footprint cap provably
+  /// contains every unit direction mapping to the cell. anyCovers and
+  /// countCovering answer most queries from this array alone — no dot
+  /// products — which is where the Monte-Carlo sweep speedup comes from.
+  /// Certificates shortcut only the unit-sphere cap predicate; ground-site
+  /// queries always run the exact elevation test over the candidate list.
+  std::vector<std::uint16_t> minCoverCount_;
+};
+
+}  // namespace openspace

@@ -1,35 +1,21 @@
-// Indexed coverage estimators. Each estimator is bit-for-bit identical to
-// its brute-force executable spec in legacy.cpp (openspace::legacy): the
-// footprint index only prunes which satellites are *tested*, never what
-// the test is, what order ties resolve in, or which RNG draws happen —
-// property-tested in tests/test_footprint_index.cpp and hard-gated by
-// bench/bench_coverage_index.cpp's checksums.
-#include <openspace/coverage/coverage.hpp>
+// The brute-force coverage estimators, kept verbatim as the executable
+// spec of the indexed paths in coverage.cpp (see legacy.hpp).
+#include <openspace/coverage/legacy.hpp>
 
 #include <algorithm>
 #include <cmath>
 #include <numeric>
 
 #include <openspace/concurrency/parallel.hpp>
-#include <openspace/coverage/footprint_index.hpp>
 #include <openspace/geo/error.hpp>
-#include <openspace/geo/wgs84.hpp>
 #include <openspace/orbit/snapshot.hpp>
-#include <openspace/orbit/visibility.hpp>
 
 #include "coverage_sampling.hpp"
 
-namespace openspace {
+namespace openspace::legacy {
 
 using coverage_detail::chunkRng;
 using coverage_detail::kSampleChunk;
-
-double capAreaFraction(double halfAngleRad) {
-  if (halfAngleRad < 0.0) {
-    throw InvalidArgumentError("capAreaFraction: negative half-angle");
-  }
-  return (1.0 - std::cos(std::min(halfAngleRad, std::numbers::pi))) / 2.0;
-}
 
 CoverageEstimate worstCaseOverlapCoverage(const std::vector<OrbitalElements>& sats,
                                           double tSeconds,
@@ -38,24 +24,22 @@ CoverageEstimate worstCaseOverlapCoverage(const std::vector<OrbitalElements>& sa
   if (sats.empty()) return est;
 
   const auto snap = SnapshotCache::global().at(sats, tSeconds);
-  const auto footprints = FootprintIndex2::compiled(snap, minElevationRad);
+  const FootprintIndex footprints(*snap, minElevationRad);
 
-  // Worst-case pairwise collapse (see legacy.cpp for the brute spec): the
-  // band sweep replaces the O(N^2) inner scan with each satellite's
-  // overlap candidates — ascending and superset-guaranteed, so taking the
-  // first exact-predicate match over them reproduces the greedy matching's
-  // "first overlapping j > i" choice exactly.
+  // Worst-case pairwise collapse: caps overlap when the central angle
+  // between sub-points is below the sum of their half-angles; each
+  // overlapping *pair* contributes the coverage of a single satellite
+  // (greedy maximal matching over the overlap graph — a satellite is
+  // absorbed into at most one pair, matching the paper's phrasing "two
+  // satellites have completely overlapping ground coverage").
   std::vector<bool> absorbed(sats.size(), false);
   int effective = static_cast<int>(sats.size());
-  std::vector<std::uint32_t> candidates;
   for (std::size_t i = 0; i < sats.size(); ++i) {
     if (absorbed[i]) continue;
-    footprints->overlapCandidates(i, candidates);
-    for (const std::uint32_t j : candidates) {
-      if (j <= i) continue;
+    for (std::size_t j = i + 1; j < sats.size(); ++j) {
       if (absorbed[j]) continue;
-      if (angleBetween(footprints->direction(i), footprints->direction(j)) <
-          footprints->halfAngleRad(i) + footprints->halfAngleRad(j)) {
+      if (angleBetween(footprints.direction(i), footprints.direction(j)) <
+          footprints.halfAngleRad(i) + footprints.halfAngleRad(j)) {
         absorbed[i] = absorbed[j] = true;  // the pair counts as one cap
         --effective;
         break;
@@ -68,7 +52,7 @@ CoverageEstimate worstCaseOverlapCoverage(const std::vector<OrbitalElements>& sa
   // fraction so heterogeneous altitudes average out).
   double meanCap = 0.0;
   for (std::size_t i = 0; i < sats.size(); ++i) {
-    meanCap += capAreaFraction(footprints->halfAngleRad(i));
+    meanCap += capAreaFraction(footprints.halfAngleRad(i));
   }
   meanCap /= static_cast<double>(sats.size());
   est.coverageFraction = std::min(1.0, est.effectiveSatellites * meanCap);
@@ -86,19 +70,17 @@ CoverageEstimate monteCarloCoverage(const std::vector<OrbitalElements>& sats,
   if (sats.empty()) return est;
 
   const auto snap = SnapshotCache::global().at(sats, tSeconds);
-  const auto footprints = FootprintIndex2::compiled(snap, minElevationRad);
+  const FootprintIndex footprints(*snap, minElevationRad);
   const std::uint64_t baseSeed = rng.engine()();
 
   // Sample in ECI directly: coverage of the sphere is rotation-invariant.
-  // The stream derivation and the per-sample draw sequence are identical
-  // to the brute spec; only the covered-or-not evaluation is indexed.
   const std::size_t n = static_cast<std::size_t>(samples);
   std::vector<int> chunkCovered((n + kSampleChunk - 1) / kSampleChunk, 0);
   parallelFor(n, kSampleChunk, [&](std::size_t begin, std::size_t end) {
     Rng stream = chunkRng(baseSeed, begin / kSampleChunk);
     int covered = 0;
     for (std::size_t s = begin; s < end; ++s) {
-      if (footprints->anyCovers(stream.unitSphere())) ++covered;
+      if (footprints.anyCovers(stream.unitSphere())) ++covered;
     }
     chunkCovered[begin / kSampleChunk] = covered;
   });
@@ -119,7 +101,8 @@ double timeAveragedCoverage(const std::vector<OrbitalElements>& sats, double t0S
   for (int i = 0; i < steps; ++i) {
     const double t =
         (steps == 1) ? t0S : t0S + (t1S - t0S) * static_cast<double>(i) / (steps - 1);
-    acc += monteCarloCoverage(sats, t, minElevationRad, samplesPerStep, rng)
+    acc += legacy::monteCarloCoverage(sats, t, minElevationRad, samplesPerStep,
+                                      rng)
                .coverageFraction;
   }
   return acc / steps;
@@ -134,7 +117,7 @@ double kFoldCoverage(const std::vector<OrbitalElements>& sats, double tSeconds,
   if (sats.empty()) return 0.0;
 
   const auto snap = SnapshotCache::global().at(sats, tSeconds);
-  const auto footprints = FootprintIndex2::compiled(snap, minElevationRad);
+  const FootprintIndex footprints(*snap, minElevationRad);
   const std::uint64_t baseSeed = rng.engine()();
 
   const std::size_t n = static_cast<std::size_t>(samples);
@@ -143,7 +126,7 @@ double kFoldCoverage(const std::vector<OrbitalElements>& sats, double tSeconds,
     Rng stream = chunkRng(baseSeed, begin / kSampleChunk);
     int covered = 0;
     for (std::size_t s = begin; s < end; ++s) {
-      if (footprints->countCovering(stream.unitSphere(), k) >= k) ++covered;
+      if (footprints.countCovering(stream.unitSphere(), k) >= k) ++covered;
     }
     chunkCovered[begin / kSampleChunk] = covered;
   });
@@ -152,4 +135,4 @@ double kFoldCoverage(const std::vector<OrbitalElements>& sats, double tSeconds,
   return static_cast<double>(covered) / samples;
 }
 
-}  // namespace openspace
+}  // namespace openspace::legacy

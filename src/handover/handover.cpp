@@ -1,9 +1,12 @@
 #include <openspace/handover/handover.hpp>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <numbers>
+#include <vector>
 
+#include <openspace/coverage/footprint_index.hpp>
 #include <openspace/geo/error.hpp>
 #include <openspace/geo/units.hpp>
 #include <openspace/orbit/propagation_batch.hpp>
@@ -11,6 +14,27 @@
 #include <openspace/orbit/visibility.hpp>
 
 namespace openspace {
+
+namespace {
+
+/// Ascending candidate indices that may be visible from `user` — the
+/// footprint index prunes the fleet, the callers then apply the exact
+/// elevationFrom predicate the brute scans used. Sorting restores the
+/// brute loops' ascending visit order, which their first-wins tie
+/// breaking depends on.
+std::vector<std::uint32_t> visibleCandidates(
+    const std::shared_ptr<const ConstellationSnapshot>& snap,
+    const Geodetic& user, double minElevationRad) {
+  const auto footprints = FootprintIndex2::compiled(snap, minElevationRad);
+  std::vector<std::uint32_t> candidates;
+  footprints->forEachGroundCandidate(
+      geodeticToEcef(user),
+      [&](std::uint32_t i) { candidates.push_back(i); });
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+}  // namespace
 
 HandoverPlanner::HandoverPlanner(const EphemerisService& ephemeris,
                                  double minElevationRad)
@@ -70,7 +94,10 @@ std::optional<SatelliteId> HandoverPlanner::bestSatelliteAt(
   double bestUntil = -1.0;
   const auto snap = SnapshotCache::global().at(ephemeris_, tSeconds);
   const auto& sats = ephemeris_.satellites();
-  for (std::size_t i = 0; i < sats.size(); ++i) {
+  // Index-pruned, ascending candidates; the predicate and the strict
+  // `until > bestUntil` first-wins rule are the brute scan's, so skipping
+  // the never-visible satellites cannot change the winner.
+  for (const std::uint32_t i : visibleCandidates(snap, user, minElevationRad_)) {
     const SatelliteId sid = sats[i];
     if (sid == exclude) continue;
     const Vec3& pos = snap->eci(i);
@@ -91,7 +118,7 @@ std::optional<SatelliteId> HandoverPlanner::closestSatelliteAt(
   double bestRange = std::numeric_limits<double>::infinity();
   const auto snap = SnapshotCache::global().at(ephemeris_, tSeconds);
   const auto& sats = ephemeris_.satellites();
-  for (std::size_t i = 0; i < sats.size(); ++i) {
+  for (const std::uint32_t i : visibleCandidates(snap, user, minElevationRad_)) {
     const Vec3& pos = snap->eci(i);
     if (elevationFrom(pos, user, tSeconds) < minElevationRad_) continue;
     const double range = userEcef.distanceTo(snap->ecef(i));

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include <openspace/coverage/footprint_index.hpp>
 #include <openspace/geo/error.hpp>
 #include <openspace/geo/units.hpp>
 #include <openspace/geo/wgs84.hpp>
@@ -78,19 +79,19 @@ double PopulationModel::demandWeightedCoverage(
   }
   if (sats.empty()) return 0.0;
   const auto snap = SnapshotCache::global().at(sats, tSeconds);
-  const std::vector<Vec3>& satEcef = snap->ecef();
+  // Users are sampled before any visibility work, exactly as the brute
+  // loop did, so the RNG draw sequence is unchanged; the footprint index
+  // then answers each user's any-visible query over O(candidates)
+  // satellites with the same elevationAngleRad predicate the brute scan
+  // applied (an order-independent boolean, so the result bits match).
+  const auto footprints = FootprintIndex2::compiled(snap, minElevationRad);
   const auto users = sampleUsers(samples, rng);
   double total = 0.0;
   double covered = 0.0;
   for (const SampledUser& u : users) {
     total += u.weight;
     const Vec3 userEcef = geodeticToEcef(u.location);
-    for (const Vec3& sat : satEcef) {
-      if (elevationAngleRad(userEcef, sat) >= minElevationRad) {
-        covered += u.weight;
-        break;
-      }
-    }
+    if (footprints->anyVisibleFrom(userEcef)) covered += u.weight;
   }
   return (total > 0.0) ? covered / total : 0.0;
 }

@@ -7,6 +7,7 @@
 #include <openspace/coverage/coverage.hpp>
 #include <openspace/geo/error.hpp>
 #include <openspace/geo/units.hpp>
+#include <openspace/orbit/snapshot.hpp>
 #include <openspace/orbit/visibility.hpp>
 #include <openspace/orbit/walker.hpp>
 
@@ -18,6 +19,51 @@ TEST(CapArea, KnownValues) {
   EXPECT_NEAR(capAreaFraction(std::numbers::pi / 2), 0.5, 1e-12);  // hemisphere
   EXPECT_NEAR(capAreaFraction(std::numbers::pi), 1.0, 1e-12);      // full sphere
   EXPECT_THROW(capAreaFraction(-0.1), InvalidArgumentError);
+}
+
+TEST(CapArea, ClampsBeyondFullSphere) {
+  // Half-angles past pi describe the whole sphere, not more of it.
+  EXPECT_DOUBLE_EQ(capAreaFraction(2.0 * std::numbers::pi), 1.0);
+}
+
+TEST(FootprintGeometry, ZeroMaskIsTheHorizonCap) {
+  // Elevation mask 0 gives the widest (horizon-limited) footprint; the
+  // Monte-Carlo fraction of a single satellite must match its cap area.
+  const std::vector<OrbitalElements> one = {
+      OrbitalElements::circular(km(780.0), 1.0, 2.0, 3.0)};
+  Rng rng(20);
+  const auto est = monteCarloCoverage(one, 0.0, 0.0, 50'000, rng);
+  const double horizonCap = capAreaFraction(footprintHalfAngleRad(780e3, 0.0));
+  EXPECT_NEAR(est.coverageFraction, horizonCap, 0.005);
+  EXPECT_GT(horizonCap,
+            capAreaFraction(footprintHalfAngleRad(780e3, deg2rad(10.0))));
+}
+
+TEST(FootprintGeometry, SubSatellitePointAlwaysCovered) {
+  // The footprint cap is centered on the sub-satellite direction: that
+  // direction is covered at any mask in [0, pi/2), its antipode never is.
+  Rng rng(21);
+  const auto sats = makeRandomConstellation(10, km(780.0), rng);
+  const auto snap = SnapshotCache::global().at(sats, 500.0);
+  const FootprintIndex fp(*snap, deg2rad(10.0));
+  for (std::size_t i = 0; i < fp.size(); ++i) {
+    const Vec3 sub = snap->eci(i).normalized();
+    EXPECT_TRUE(fp.covers(sub, i));
+    EXPECT_FALSE(fp.covers(Vec3{-sub.x, -sub.y, -sub.z}, i));
+  }
+}
+
+TEST(FootprintGeometry, PolarSamplesCoveredByNearPolarShell) {
+  // Iridium's 86.4 deg shell keeps both poles inside some footprint; the
+  // pole samples are the latitude-band edge cases of the coverage index.
+  const auto sats = makeWalkerStar(iridiumConfig());
+  const auto snap = SnapshotCache::global().at(sats, 0.0);
+  EXPECT_TRUE(snap->closestVisible(Geodetic{std::numbers::pi / 2, 0.0, 0.0},
+                                   deg2rad(5.0))
+                  .has_value());
+  EXPECT_TRUE(snap->closestVisible(Geodetic{-std::numbers::pi / 2, 0.0, 0.0},
+                                   deg2rad(5.0))
+                  .has_value());
 }
 
 TEST(WorstCase, EmptyAndSingle) {

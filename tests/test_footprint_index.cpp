@@ -1,0 +1,466 @@
+// Property tests for the spherical footprint index (DESIGN.md §10).
+//
+// Three layers under test:
+//  * SphericalCapIndex: the candidate sets are supersets of the true
+//    containing/overlapping cap sets, each cap visited at most once;
+//  * FootprintIndex2: bit-identical to the orbit-layer FootprintIndex cap
+//    predicate and to ConstellationSnapshot::closestVisible, including
+//    polar sites, high-altitude sites (full-scan fallback) and empty
+//    constellations;
+//  * the rerouted estimators: monteCarloCoverage / kFoldCoverage /
+//    timeAveragedCoverage / worstCaseOverlapCoverage must reproduce the
+//    openspace::legacy executable specs bit for bit, and associateUsers
+//    must match the per-user brute association exactly.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <openspace/auth/association.hpp>
+#include <openspace/coverage/coverage.hpp>
+#include <openspace/coverage/footprint_index.hpp>
+#include <openspace/coverage/legacy.hpp>
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/geodetic.hpp>
+#include <openspace/geo/rng.hpp>
+#include <openspace/geo/spherical_index.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/orbit/snapshot.hpp>
+#include <openspace/orbit/visibility.hpp>
+#include <openspace/orbit/walker.hpp>
+
+namespace openspace {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+/// Central angle between two unit vectors.
+double centralAngleRad(const Vec3& a, const Vec3& b) {
+  return std::acos(std::clamp(a.dot(b), -1.0, 1.0));
+}
+
+// ---------------------------------------------------------------------------
+// SphericalCapIndex properties
+// ---------------------------------------------------------------------------
+
+std::vector<SphericalCapIndex::Cap> randomCaps(int n, Rng& rng,
+                                               double minHalfAngleRad,
+                                               double maxHalfAngleRad) {
+  std::vector<SphericalCapIndex::Cap> caps;
+  caps.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    caps.push_back(
+        {rng.unitSphere(), rng.uniform(minHalfAngleRad, maxHalfAngleRad)});
+  }
+  return caps;
+}
+
+/// Every cap containing the query direction (with a tiny interior margin so
+/// the property is robust to the index's own build-time rounding) must be
+/// visited, and no cap more than once.
+void checkCandidateSuperset(const std::vector<SphericalCapIndex::Cap>& caps,
+                            const SphericalCapIndex& index, Rng& rng,
+                            int queries) {
+  for (int q = 0; q < queries; ++q) {
+    Vec3 dir = rng.unitSphere();
+    if (q == 0) dir = Vec3{0.0, 0.0, 1.0};   // north pole
+    if (q == 1) dir = Vec3{0.0, 0.0, -1.0};  // south pole
+    if (q == 2) dir = Vec3{-1.0, 0.0, 0.0};  // +-pi longitude seam
+    std::vector<int> visits(caps.size(), 0);
+    index.forEachCandidate(dir, [&](std::uint32_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      EXPECT_LE(visits[i], 1) << "cap " << i << " visited twice";
+      const double angle = centralAngleRad(dir, caps[i].unitCenter);
+      if (angle <= caps[i].halfAngleRad - 1e-9) {
+        EXPECT_EQ(visits[i], 1)
+            << "containing cap " << i << " missed (angle " << angle
+            << ", half-angle " << caps[i].halfAngleRad << ")";
+      }
+    }
+  }
+}
+
+TEST(SphericalCapIndex, CandidateSupersetSmallCaps) {
+  Rng rng(101);
+  const auto caps = randomCaps(120, rng, deg2rad(1.0), deg2rad(25.0));
+  const SphericalCapIndex index(caps);
+  EXPECT_EQ(index.size(), caps.size());
+  checkCandidateSuperset(caps, index, rng, 300);
+}
+
+TEST(SphericalCapIndex, CandidateSupersetMixedCaps) {
+  // Tiny through hemisphere-and-beyond caps in one index: wide caps must
+  // land in every band their extent touches (pole wrap => width pi).
+  Rng rng(102);
+  auto caps = randomCaps(40, rng, 0.0, kPi);
+  caps.push_back({Vec3{0.0, 0.0, 1.0}, kPi / 2});         // polar hemisphere
+  caps.push_back({Vec3{1.0, 0.0, 0.0}, kPi / 2 + 0.1});   // super-hemisphere
+  caps.push_back({Vec3{0.0, 1.0, 0.0}, kPi});             // whole sphere
+  caps.push_back({Vec3{0.0, 0.0, -1.0}, 0.0});            // degenerate point
+  const SphericalCapIndex index(caps);
+  checkCandidateSuperset(caps, index, rng, 300);
+}
+
+TEST(SphericalCapIndex, HemisphereCapsReachableFromEveryBand) {
+  // A cap with half-angle >= pi/2 contains directions at every latitude;
+  // queries anywhere on the sphere must see it as a candidate.
+  const std::vector<SphericalCapIndex::Cap> caps = {
+      {Vec3{0.0, 0.0, 1.0}, kPi / 2},
+      {Vec3{1.0, 0.0, 0.0}, kPi / 2},
+  };
+  const SphericalCapIndex index(caps);
+  Rng rng(103);
+  checkCandidateSuperset(caps, index, rng, 500);
+}
+
+TEST(SphericalCapIndex, EmptyIndexVisitsNothing) {
+  const SphericalCapIndex defaulted;
+  const SphericalCapIndex built{std::vector<SphericalCapIndex::Cap>{}};
+  int visited = 0;
+  defaulted.forEachCandidate(Vec3{0.8, 0.5, 0.3},
+                             [&](std::uint32_t) { ++visited; });
+  built.forEachCandidate(Vec3{0.1, -0.7, -0.7},
+                         [&](std::uint32_t) { ++visited; });
+  EXPECT_EQ(visited, 0);
+  EXPECT_EQ(defaulted.size(), 0u);
+  EXPECT_EQ(built.entryCount(), 0u);
+}
+
+TEST(SphericalCapIndex, NeighborhoodSuperset) {
+  Rng rng(104);
+  const auto caps = randomCaps(80, rng, deg2rad(2.0), deg2rad(40.0));
+  const SphericalCapIndex index(caps);
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    const double radius = caps[i].halfAngleRad + deg2rad(40.0);
+    index.neighborhoodCandidates(i, radius, out);
+    // Ascending, deduplicated, never the probe cap itself.
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      EXPECT_NE(out[k], static_cast<std::uint32_t>(i));
+      if (k > 0) EXPECT_LT(out[k - 1], out[k]);
+    }
+    for (std::size_t j = 0; j < caps.size(); ++j) {
+      if (j == i) continue;
+      const double d =
+          centralAngleRad(caps[i].unitCenter, caps[j].unitCenter);
+      if (d <= radius - 1e-9) {
+        EXPECT_TRUE(std::find(out.begin(), out.end(),
+                              static_cast<std::uint32_t>(j)) != out.end())
+            << "center " << j << " at distance " << d
+            << " missing from radius-" << radius << " neighborhood of " << i;
+      }
+    }
+  }
+}
+
+TEST(CapLonHalfWidth, KnownValues) {
+  // Pole-wrapping cap: every longitude qualifies.
+  EXPECT_DOUBLE_EQ(
+      capLonHalfWidthRad(deg2rad(80.0), deg2rad(20.0), deg2rad(75.0),
+                         deg2rad(90.0)),
+      kPi);
+  // Whole-sphere cap.
+  EXPECT_DOUBLE_EQ(capLonHalfWidthRad(0.0, kPi, -0.5, 0.5), kPi);
+  // Degenerate point cap: zero width at its own latitude.
+  EXPECT_DOUBLE_EQ(capLonHalfWidthRad(0.3, 0.0, 0.3, 0.3), 0.0);
+  // Equatorial cap measured at the equator: width equals the radius.
+  EXPECT_NEAR(capLonHalfWidthRad(0.0, deg2rad(10.0), 0.0, 0.0),
+              deg2rad(10.0), 1e-12);
+}
+
+TEST(CapLonHalfWidth, BoundsSampledCapPoints) {
+  // For points of the cap whose latitude falls inside the band, the
+  // longitude offset from the center never exceeds the reported width.
+  Rng rng(105);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double lat1 = rng.uniform(-1.4, 1.4);
+    const double rho = rng.uniform(0.01, 1.2);
+    const double latLo = rng.uniform(-kPi / 2, kPi / 2);
+    const double latHi = latLo + rng.uniform(0.0, 0.3);
+    const double width = capLonHalfWidthRad(lat1, rho, latLo, latHi);
+    for (int s = 0; s < 40; ++s) {
+      // Destination point at bearing theta, angular distance d <= rho.
+      const double theta = rng.uniform(0.0, 2 * kPi);
+      const double d = rho * std::sqrt(rng.uniform(0.0, 1.0));
+      const double sinLat2 = std::sin(lat1) * std::cos(d) +
+                             std::cos(lat1) * std::sin(d) * std::cos(theta);
+      const double lat2 = std::asin(std::clamp(sinLat2, -1.0, 1.0));
+      if (lat2 < latLo || lat2 > latHi) continue;
+      const double dLon = std::atan2(
+          std::sin(theta) * std::sin(d) * std::cos(lat1),
+          std::cos(d) - std::sin(lat1) * sinLat2);
+      EXPECT_LE(std::abs(dLon), width + 1e-9)
+          << "cap(lat=" << lat1 << ", rho=" << rho << ") band [" << latLo
+          << ", " << latHi << "]";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FootprintIndex2 vs. the orbit-layer brute predicates
+// ---------------------------------------------------------------------------
+
+TEST(FootprintIndex2, CoversBitIdenticalToOrbitIndex) {
+  Rng rng(201);
+  for (const int n : {1, 7, 66}) {
+    const auto sats = (n == 66) ? makeWalkerStar(iridiumConfig())
+                                : makeRandomConstellation(n, km(780.0), rng);
+    const auto snap = SnapshotCache::global().at(sats, 300.0);
+    const FootprintIndex brute(*snap, deg2rad(10.0));
+    const auto indexed = FootprintIndex2::compiled(snap, deg2rad(10.0));
+    ASSERT_EQ(indexed->size(), brute.size());
+    for (int q = 0; q < 500; ++q) {
+      Vec3 p = rng.unitSphere();
+      if (q == 0) p = Vec3{0.0, 0.0, 1.0};
+      if (q == 1) p = Vec3{0.0, 0.0, -1.0};
+      for (std::size_t i = 0; i < brute.size(); ++i) {
+        ASSERT_EQ(indexed->covers(p, i), brute.covers(p, i));
+      }
+      ASSERT_EQ(indexed->anyCovers(p), brute.anyCovers(p));
+      for (const int stopAfter :
+           {-1, 0, 1, 2, n, n + 3, static_cast<int>(brute.size())}) {
+        ASSERT_EQ(indexed->countCovering(p, stopAfter),
+                  brute.countCovering(p, stopAfter))
+            << "stopAfter=" << stopAfter;
+      }
+    }
+  }
+}
+
+TEST(FootprintIndex2, ClosestVisibleMatchesSnapshotBrute) {
+  Rng rng(202);
+  const auto sats = makeWalkerStar(iridiumConfig());
+  // A nonzero snapshot time exercises the ECEF/ECI longitude offset.
+  const auto snap = SnapshotCache::global().at(sats, 1234.5);
+  for (const double maskRad : {0.0, deg2rad(10.0), deg2rad(25.0)}) {
+    const auto indexed = FootprintIndex2::compiled(snap, maskRad);
+    for (int q = 0; q < 400; ++q) {
+      Geodetic site = rng.surfacePoint();
+      if (q == 0) site = Geodetic{kPi / 2, 0.0, 0.0};       // north pole
+      if (q == 1) site = Geodetic{-kPi / 2, 0.0, 0.0};      // south pole
+      if (q == 2) site = Geodetic{0.0, kPi, 0.0};           // date line
+      if (q == 3) site.altitudeM = 8000.0;                  // airborne
+      if (q == 4) site.altitudeM = 200e3;                   // full-scan path
+      const Vec3 ecef = geodeticToEcef(site);
+      const auto a = indexed->closestVisible(ecef);
+      const auto b = snap->closestVisible(ecef, maskRad);
+      ASSERT_EQ(a.has_value(), b.has_value())
+          << "mask " << maskRad << " site (" << site.latitudeRad << ", "
+          << site.longitudeRad << ", " << site.altitudeM << ")";
+      if (a) ASSERT_EQ(*a, *b);
+      const auto viaGeodetic = indexed->closestVisible(site);
+      ASSERT_EQ(viaGeodetic, a);
+      // anyVisibleFrom agrees with "closestVisible found something".
+      ASSERT_EQ(indexed->anyVisibleFrom(ecef), a.has_value());
+    }
+  }
+}
+
+TEST(FootprintIndex2, GroundCandidatesAreSuperset) {
+  Rng rng(203);
+  const auto sats = makeRandomConstellation(50, km(600.0), rng);
+  const auto snap = SnapshotCache::global().at(sats, 42.0);
+  const double maskRad = deg2rad(5.0);
+  const auto indexed = FootprintIndex2::compiled(snap, maskRad);
+  for (int q = 0; q < 300; ++q) {
+    const Geodetic site = rng.surfacePoint();
+    const Vec3 ecef = geodeticToEcef(site);
+    std::vector<int> visits(sats.size(), 0);
+    indexed->forEachGroundCandidate(ecef, [&](std::uint32_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < sats.size(); ++i) {
+      EXPECT_LE(visits[i], 1);
+      if (elevationAngleRad(ecef, snap->ecef(i)) >= maskRad) {
+        EXPECT_EQ(visits[i], 1) << "visible satellite " << i << " pruned";
+      }
+    }
+  }
+}
+
+TEST(FootprintIndex2, EmptyConstellation) {
+  const auto snap =
+      SnapshotCache::global().at(std::vector<OrbitalElements>{}, 0.0);
+  const auto indexed = FootprintIndex2::compiled(snap, deg2rad(10.0));
+  EXPECT_EQ(indexed->size(), 0u);
+  EXPECT_FALSE(indexed->anyCovers(Vec3{0.0, 0.0, 1.0}));
+  EXPECT_EQ(indexed->countCovering(Vec3{0.0, 0.0, 1.0}, 5), 0);
+  EXPECT_FALSE(indexed->closestVisible(Geodetic{0.0, 0.0, 0.0}).has_value());
+}
+
+TEST(FootprintIndex2, MaskDomainMatchesBrutePath) {
+  Rng rng(204);
+  const auto sats = makeRandomConstellation(4, km(780.0), rng);
+  const auto snap = SnapshotCache::global().at(sats, 0.0);
+  EXPECT_THROW(FootprintIndex2(snap, -0.01), InvalidArgumentError);
+  EXPECT_THROW(FootprintIndex2(snap, kPi / 2 + 0.01), InvalidArgumentError);
+  EXPECT_NO_THROW(FootprintIndex2(snap, 0.0));
+}
+
+TEST(FootprintIndex2, CompiledCacheReturnsSharedInstance) {
+  Rng rng(205);
+  const auto sats = makeRandomConstellation(12, km(780.0), rng);
+  const auto snap = SnapshotCache::global().at(sats, 77.0);
+  const auto a = FootprintIndex2::compiled(snap, deg2rad(10.0));
+  const auto b = FootprintIndex2::compiled(snap, deg2rad(10.0));
+  EXPECT_EQ(a.get(), b.get());
+  const auto c = FootprintIndex2::compiled(snap, deg2rad(15.0));
+  EXPECT_NE(a.get(), c.get());
+}
+
+// ---------------------------------------------------------------------------
+// Indexed estimators vs. the openspace::legacy executable specs
+// ---------------------------------------------------------------------------
+
+TEST(LegacyEquivalence, MonteCarloBitForBit) {
+  Rng mk(301);
+  for (const int n : {1, 5, 40, 66}) {
+    const auto sats = (n == 66) ? makeWalkerStar(iridiumConfig())
+                                : makeRandomConstellation(n, km(780.0), mk);
+    for (const double maskRad : {0.0, deg2rad(10.0)}) {
+      for (const std::uint64_t seed : {17u, 18u}) {
+        Rng a(seed), b(seed);
+        const auto fast = monteCarloCoverage(sats, 250.0, maskRad, 4096, a);
+        const auto spec =
+            legacy::monteCarloCoverage(sats, 250.0, maskRad, 4096, b);
+        EXPECT_EQ(bits(fast.coverageFraction), bits(spec.coverageFraction))
+            << "n=" << n << " mask=" << maskRad << " seed=" << seed;
+        EXPECT_EQ(fast.effectiveSatellites, spec.effectiveSatellites);
+      }
+    }
+  }
+}
+
+TEST(LegacyEquivalence, KFoldBitForBit) {
+  Rng mk(302);
+  const auto sats = makeRandomConstellation(30, km(780.0), mk);
+  for (const int k : {1, 2, 4}) {
+    Rng a(23), b(23);
+    EXPECT_EQ(bits(kFoldCoverage(sats, 90.0, deg2rad(10.0), k, 4096, a)),
+              bits(legacy::kFoldCoverage(sats, 90.0, deg2rad(10.0), k, 4096, b)))
+        << "k=" << k;
+  }
+}
+
+TEST(LegacyEquivalence, TimeAveragedBitForBit) {
+  const auto sats = makeWalkerStar(iridiumConfig());
+  Rng a(31), b(31);
+  const double fast =
+      timeAveragedCoverage(sats, 0.0, 3000.0, 4, deg2rad(10.0), 2048, a);
+  const double spec =
+      legacy::timeAveragedCoverage(sats, 0.0, 3000.0, 4, deg2rad(10.0), 2048, b);
+  EXPECT_EQ(bits(fast), bits(spec));
+}
+
+TEST(LegacyEquivalence, WorstCaseGreedyMatchingPinned) {
+  // The band-sweep must reproduce the O(N^2) greedy matching exactly:
+  // same effectiveSatellites, same coverage bits, on randomized
+  // constellations of every size class.
+  Rng mk(303);
+  for (const int n : {2, 3, 10, 50, 120}) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto sats = makeRandomConstellation(n, km(780.0), mk);
+      const auto fast = worstCaseOverlapCoverage(sats, 60.0, deg2rad(10.0));
+      const auto spec =
+          legacy::worstCaseOverlapCoverage(sats, 60.0, deg2rad(10.0));
+      EXPECT_EQ(fast.effectiveSatellites, spec.effectiveSatellites)
+          << "n=" << n << " trial=" << trial;
+      EXPECT_EQ(bits(fast.coverageFraction), bits(spec.coverageFraction));
+    }
+  }
+  // Dense Walker shells collapse many pairs; pin those too.
+  const auto iridium = makeWalkerStar(iridiumConfig());
+  const auto fast = worstCaseOverlapCoverage(iridium, 0.0, deg2rad(10.0));
+  const auto spec = legacy::worstCaseOverlapCoverage(iridium, 0.0, deg2rad(10.0));
+  EXPECT_EQ(fast.effectiveSatellites, spec.effectiveSatellites);
+  EXPECT_EQ(bits(fast.coverageFraction), bits(spec.coverageFraction));
+}
+
+// ---------------------------------------------------------------------------
+// Batched association
+// ---------------------------------------------------------------------------
+
+TEST(AssociateUsers, MatchesPerUserBrute) {
+  Rng rng(401);
+  const auto fleet = makeWalkerStar(iridiumConfig());
+  const double tS = 510.0;
+  const double maskRad = deg2rad(10.0);
+  std::vector<Geodetic> users;
+  for (int i = 0; i < 600; ++i) users.push_back(rng.surfacePoint());
+  users.push_back(Geodetic{kPi / 2, 0.0, 0.0});
+  users.push_back(Geodetic{-kPi / 2, 0.0, 0.0});
+  const auto out = associateUsers(fleet, tS, users, maskRad);
+  ASSERT_EQ(out.size(), users.size());
+  const auto snap = SnapshotCache::global().at(fleet, tS);
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    const Vec3 ecef = geodeticToEcef(users[u]);
+    const auto brute = snap->closestVisible(ecef, maskRad);
+    ASSERT_EQ(out[u].covered, brute.has_value()) << "user " << u;
+    if (!brute) continue;
+    ASSERT_EQ(out[u].satelliteIndex, static_cast<std::uint32_t>(*brute));
+    ASSERT_EQ(bits(out[u].slantRangeM),
+              bits(ecef.distanceTo(snap->ecef(*brute))));
+  }
+}
+
+TEST(AssociateUsers, BeaconOverloadFillsSatelliteIds) {
+  Rng rng(402);
+  const auto fleet = makeRandomConstellation(20, km(780.0), rng);
+  std::vector<BeaconMessage> beacons;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    BeaconMessage b;
+    b.satellite = SatelliteId(static_cast<std::uint32_t>(1000 + i));
+    b.elements = fleet[i];
+    beacons.push_back(b);
+  }
+  std::vector<Geodetic> users;
+  for (int i = 0; i < 100; ++i) users.push_back(rng.surfacePoint());
+  const auto viaBeacons = associateUsers(beacons, 5.0, users, 0.0);
+  const auto viaFleet = associateUsers(fleet, 5.0, users, 0.0);
+  ASSERT_EQ(viaBeacons.size(), viaFleet.size());
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    ASSERT_EQ(viaBeacons[u].covered, viaFleet[u].covered);
+    if (!viaFleet[u].covered) continue;
+    ASSERT_EQ(viaBeacons[u].satelliteIndex, viaFleet[u].satelliteIndex);
+    ASSERT_EQ(viaBeacons[u].satellite,
+              beacons[viaFleet[u].satelliteIndex].satellite);
+    ASSERT_EQ(bits(viaBeacons[u].slantRangeM), bits(viaFleet[u].slantRangeM));
+  }
+}
+
+TEST(AssociateUsers, EmptyInputs) {
+  const auto fleet = makeWalkerStar(iridiumConfig());
+  EXPECT_TRUE(associateUsers(fleet, 0.0, {}, 0.1).empty());
+  const auto none = associateUsers(std::vector<OrbitalElements>{}, 0.0,
+                                   {Geodetic{0.0, 0.0, 0.0}}, 0.1);
+  ASSERT_EQ(none.size(), 1u);
+  EXPECT_FALSE(none[0].covered);
+}
+
+TEST(AssociateUsers, AgreesWithSelectSatellite) {
+  // The batched sweep and the per-agent selection rule are the same §2.2
+  // rule; their winners must coincide beacon-for-beacon.
+  Rng rng(403);
+  const auto fleet = makeRandomConstellation(30, km(780.0), rng);
+  std::vector<BeaconMessage> beacons;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    BeaconMessage b;
+    b.satellite = SatelliteId(static_cast<std::uint32_t>(i + 1));
+    b.elements = fleet[i];
+    beacons.push_back(b);
+  }
+  const double maskRad = deg2rad(15.0);
+  for (int i = 0; i < 50; ++i) {
+    const Geodetic where = rng.surfacePoint();
+    const AssociationAgent agent(1, ProviderId(1), 7, where);
+    const auto single = agent.selectSatellite(beacons, 30.0, maskRad);
+    const auto batch = associateUsers(beacons, 30.0, {where}, maskRad);
+    ASSERT_EQ(single.has_value(), batch[0].covered);
+    if (single) ASSERT_EQ(*single, batch[0].satellite);
+  }
+}
+
+}  // namespace
+}  // namespace openspace

@@ -12,7 +12,15 @@ reference numbers in bench/baseline/. Two formats are understood:
 * the custom propagation record ("bench": "propagation") — per-step times
   for the scalar/batch/warm paths are compared, checksum agreement is
   re-asserted, and the batch speedup is checked against the 3x floor the
-  kernel is expected to hold.
+  kernel is expected to hold;
+* the custom coverage-index record ("bench": "coverage_index") — indexed
+  wall times are compared, brute==indexed / serial==parallel checksum
+  agreement is re-asserted, and the query-kernel speedups are checked
+  against the floors the spherical footprint index is expected to hold
+  (4x at 66 satellites, 6x at 1000);
+* the custom fig2c record ("bench": "fig2c_coverage") — wall time is
+  compared and the coverage curve itself (a deterministic seeded
+  computation) is re-asserted point for point against the baseline.
 
 CI hardware varies run to run, so this is a smoke alarm, not a gate: every
 regression beyond the threshold prints a GitHub ::warning:: annotation and
@@ -138,6 +146,97 @@ def compare_propagation(current, baseline, threshold: float) -> int:
     return warned
 
 
+def compare_coverage_index(current, baseline, threshold: float) -> int:
+    warned = 0
+    if not current.get("checksums_match", False):
+        warn("coverage_index: brute/indexed or serial/parallel checksums "
+             "diverged")
+        warned += 1
+    if current.get("scale") != baseline.get("scale"):
+        # CI runs the bench at a reduced workload scale; absolute times are
+        # incomparable then, but the speedup floors below still apply.
+        print(f"  (scale {current.get('scale')} vs baseline "
+              f"{baseline.get('scale')}: skipping wall-time comparison)")
+    else:
+        warned += _compare_coverage_index_times(current, baseline, threshold)
+    # The index's reason to exist: the fig2c-style query kernel and the
+    # association fan-out must stay well ahead of the brute specs.
+    for key, floor in (("speedup_kernel66", 4.0), ("speedup_kernel1000", 6.0),
+                       ("speedup_assoc66", 3.0), ("speedup_assoc1000", 8.0)):
+        speedup = current.get(key)
+        if speedup is None:
+            continue
+        print(f"  {key}: {speedup:.2f}x (floor {floor:.1f}x)")
+        if speedup < floor:
+            warn(f"coverage_index {key}: {speedup:.2f}x below the "
+                 f"{floor:.1f}x floor")
+            warned += 1
+    return warned
+
+
+def _compare_coverage_index_times(current, baseline, threshold: float) -> int:
+    warned = 0
+    for key in ("kernel66_indexed_s", "kernel1000_indexed_s",
+                "mc66_indexed_s", "mc1000_indexed_s", "assoc66_indexed_s",
+                "assoc1000_indexed_s", "mc66_parallel_s",
+                "assoc66_parallel_s", "assoc1000_parallel_s"):
+        cur_t = current.get(key)
+        base_t = baseline.get(key)
+        if cur_t is None or base_t is None or base_t <= 0:
+            continue
+        ratio = cur_t / base_t
+        marker = " REGRESSION?" if ratio > threshold else ""
+        print(f"  {key}: {cur_t:.4f}s vs baseline {base_t:.4f}s "
+              f"({ratio:.2f}x){marker}")
+        if ratio > threshold:
+            warn(f"coverage_index {key}: {cur_t:.4f}s vs baseline "
+                 f"{base_t:.4f}s ({ratio:.2f}x > {threshold:.2f}x)")
+            warned += 1
+    return warned
+
+
+def compare_fig2c_coverage(current, baseline, threshold: float) -> int:
+    warned = 0
+    cur_t = current.get("wall_seconds")
+    base_t = baseline.get("wall_seconds")
+    if cur_t is not None and base_t is not None and base_t > 0:
+        ratio = cur_t / base_t
+        marker = " REGRESSION?" if ratio > threshold else ""
+        print(f"  wall_seconds: {cur_t:.3f}s vs baseline {base_t:.3f}s "
+              f"({ratio:.2f}x){marker}")
+        if ratio > threshold:
+            warn(f"fig2c_coverage wall_seconds: {cur_t:.3f}s vs baseline "
+                 f"{base_t:.3f}s ({ratio:.2f}x > {threshold:.2f}x)")
+            warned += 1
+    # The curve is a fixed-seed deterministic computation: any drift from
+    # the committed baseline is a semantic change, not noise.
+    if current.get("full_coverage_at") != baseline.get("full_coverage_at"):
+        warn(f"fig2c_coverage full_coverage_at: "
+             f"{current.get('full_coverage_at')} vs baseline "
+             f"{baseline.get('full_coverage_at')}")
+        warned += 1
+    cur_pts = current.get("points", [])
+    base_pts = baseline.get("points", [])
+    if len(cur_pts) != len(base_pts):
+        warn(f"fig2c_coverage: {len(cur_pts)} points vs baseline "
+             f"{len(base_pts)}")
+        return warned + 1
+    drift = 0.0
+    for cur_p, base_p in zip(cur_pts, base_pts):
+        for key in ("worst_case_coverage", "monte_carlo_coverage",
+                    "mean_effective_satellites"):
+            a, b = cur_p.get(key), base_p.get(key)
+            if a is not None and b is not None:
+                drift = max(drift, abs(a - b))
+    print(f"  curve: {len(cur_pts)} points, max drift {drift:.2e}")
+    if drift > 1e-9:
+        warn(f"fig2c_coverage: coverage curve drifted from the baseline "
+             f"(max {drift:.2e}) — the computation is seeded, so this is "
+             f"a semantic change, not noise")
+        warned += 1
+    return warned
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("files", nargs="+", type=Path,
@@ -172,6 +271,12 @@ def main() -> int:
                                                args.threshold)
         elif current.get("bench") == "propagation":
             warned += compare_propagation(current, baseline, args.threshold)
+        elif current.get("bench") == "coverage_index":
+            warned += compare_coverage_index(current, baseline,
+                                             args.threshold)
+        elif current.get("bench") == "fig2c_coverage":
+            warned += compare_fig2c_coverage(current, baseline,
+                                             args.threshold)
         else:
             warned += compare_google_benchmark(current, baseline,
                                                args.threshold)
