@@ -2,7 +2,6 @@
 
 #include <cmath>
 #include <limits>
-#include <numbers>
 
 #include <openspace/concurrency/parallel.hpp>
 #include <openspace/coverage/footprint_index.hpp>
@@ -19,14 +18,6 @@ namespace {
 /// user writing only its own slot keep serial and parallel sweeps
 /// bit-identical.
 constexpr std::size_t kUserChunk = 512;
-
-/// The footprint index accepts the footprintHalfAngleRad mask domain;
-/// selection calls with masks outside it (never produced by the library's
-/// own callers, but the brute scan tolerated them) fall back to the brute
-/// loop.
-bool maskIndexable(double minElevationRad) {
-  return minElevationRad >= 0.0 && minElevationRad <= std::numbers::pi / 2.0;
-}
 
 }  // namespace
 
@@ -49,37 +40,26 @@ std::optional<SatelliteId> AssociationAgent::selectSatellite(
     double minElevationRad) const {
   // "The user can evaluate received beacons to identify which satellite is
   // in closest range": positions come from the orbital elements each beacon
-  // advertises, not from a central service.
+  // advertises, not from a central service. A single one-shot selection
+  // keeps the O(N) brute scan: compiling a footprint index (snapshot +
+  // cap registration + whole-cell certificate sweep) for one query costs
+  // far more than it saves, and distinct query times defeat the index LRU.
+  // The batched associateUsers path amortizes the index across users and
+  // produces the identical winner (first-wins ascending tie order, same
+  // elevation and range expressions).
   const Vec3 userEcef = geodeticToEcef(location_);
-  if (!maskIndexable(minElevationRad)) {
-    // Brute scan (the pre-index selection loop, verbatim): positions from
-    // the scalar propagation, first-wins over ascending beacons.
-    double bestRange = std::numeric_limits<double>::infinity();
-    std::optional<SatelliteId> best;
-    for (const BeaconMessage& b : beacons) {
-      const Vec3 satEcef = eciToEcef(positionEci(b.elements, tSeconds), tSeconds);
-      if (elevationAngleRad(userEcef, satEcef) < minElevationRad) continue;
-      const double range = userEcef.distanceTo(satEcef);
-      if (range < bestRange) {
-        bestRange = range;
-        best = b.satellite;
-      }
+  double bestRange = std::numeric_limits<double>::infinity();
+  std::optional<SatelliteId> best;
+  for (const BeaconMessage& b : beacons) {
+    const Vec3 satEcef = eciToEcef(positionEci(b.elements, tSeconds), tSeconds);
+    if (elevationAngleRad(userEcef, satEcef) < minElevationRad) continue;
+    const double range = userEcef.distanceTo(satEcef);
+    if (range < bestRange) {
+      bestRange = range;
+      best = b.satellite;
     }
-    return best;
   }
-  // Indexed selection: snapshot the advertised orbits (batch-propagated,
-  // bit-identical to the scalar eciToEcef(positionEci(...)) pair — the
-  // PR-pinned FleetEphemeris contract), then let the footprint index prune
-  // the candidate scan. closestVisible applies the identical elevation and
-  // range expressions with the brute loop's first-wins tie order.
-  std::vector<OrbitalElements> elements;
-  elements.reserve(beacons.size());
-  for (const BeaconMessage& b : beacons) elements.push_back(b.elements);
-  const auto snap = SnapshotCache::global().at(elements, tSeconds);
-  const auto footprints = FootprintIndex2::compiled(snap, minElevationRad);
-  const auto chosen = footprints->closestVisible(userEcef);
-  if (!chosen) return std::nullopt;
-  return beacons[*chosen].satellite;
+  return best;
 }
 
 std::vector<UserAssociation> associateUsers(

@@ -180,8 +180,10 @@ int FootprintIndex2::countCovering(const Vec3& unitPoint,
 bool FootprintIndex2::anyVisibleFrom(const Vec3& siteEcef) const {
   bool any = false;
   forEachGroundCandidate(siteEcef, [&](std::uint32_t i) {
-    any = any ||
-          elevationAngleRad(siteEcef, snapshot_->ecef(i)) >= minElevationRad_;
+    any = elevationAngleRad(siteEcef, snapshot_->ecef(i)) >= minElevationRad_;
+    // Visibility is order-independent; returning true stops the candidate
+    // scan at the first visible satellite, like the brute scan's break.
+    return any;
   });
   return any;
 }

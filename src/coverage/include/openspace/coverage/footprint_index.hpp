@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include <openspace/geo/geodetic.hpp>
@@ -96,12 +97,20 @@ class FootprintIndex2 {
   /// at most once, order unspecified). Callers apply their own exact
   /// predicate — this is the pruning hook the handover planner uses so its
   /// elevation test expression stays token-identical to the brute loop.
+  /// As with SphericalCapIndex::forEachCandidate, a callback returning
+  /// bool stops the scan early by returning true; void callbacks always
+  /// see every candidate.
   template <typename Fn>
   void forEachGroundCandidate(const Vec3& siteEcef, Fn&& fn) const {
     const double radiusM = siteEcef.norm();
     if (!(radiusM >= kMinObserverRadiusM && radiusM <= kMaxObserverRadiusM)) {
       for (std::size_t i = 0; i < size(); ++i) {
-        fn(static_cast<std::uint32_t>(i));
+        if constexpr (std::is_same_v<
+                          std::invoke_result_t<Fn&, std::uint32_t>, bool>) {
+          if (fn(static_cast<std::uint32_t>(i))) return;
+        } else {
+          fn(static_cast<std::uint32_t>(i));
+        }
       }
       return;
     }

@@ -103,7 +103,16 @@ double capLonHalfWidthRad(double centerLatRad, double capRadiusRad,
 SphericalCapIndex::SectorWindow SphericalCapIndex::sectorWindow(
     double centerLonRad, double halfWidthRad) const {
   SectorWindow w{0, static_cast<std::uint32_t>(sectors_)};
-  if (halfWidthRad < kPi) {
+  // The endpoint sectors below determine the span only while the window's
+  // complement is wider than any single sector: a nearly-full window (gap
+  // 2*pi - 2*halfWidth narrower than the sector containing it) lands both
+  // endpoints in that one sector and would masquerade as a single-sector
+  // sliver. Sectors are uniform in pseudo-angle, and the true-angle width
+  // of a sector is at most twice its pseudo-angle width (dtheta/da =
+  // (|cos| + |sin|)^2 <= 2), i.e. <= 8/sectors_ rad — so any window whose
+  // gap could fit inside one sector is treated as full-circle.
+  const double maxSectorWidthRad = 8.0 / static_cast<double>(sectors_);
+  if (halfWidthRad < kPi - 0.5 * maxSectorWidthRad) {
     // Window endpoints in true angle -> sectors via the same pseudo-angle
     // map queries use. The half-width already carries the registration
     // longitude pad, which dominates the rounding difference between this
@@ -295,26 +304,15 @@ void SphericalCapIndex::neighborhoodCandidates(
     if (segLo > segHi) segLo = segHi = std::clamp(lat, segHi, segLo);
     const double w = std::min(
         kPi, capLonHalfWidthRad(lat, r, segLo, segHi) + kLonPadRad);
-    // Scan the same sector walk registration would use: every cap whose
-    // *center* longitude lies in the window maps (monotone pseudo-angle,
-    // pad-covered rounding) to one of these sectors, and a cap always
-    // registers in the cell containing its center.
+    // Scan the same sector walk registration would use (sectorWindow, with
+    // its near-full-window guard): every cap whose *center* longitude lies
+    // in the window maps (monotone pseudo-angle, pad-covered rounding) to
+    // one of these sectors, and a cap always registers in the cell
+    // containing its center.
     const std::size_t base = b * sectors_;
-    std::size_t start = 0;
-    std::size_t count = sectors_;
-    if (w < kPi) {
-      const double lonLo = std::remainder(lon - w, 2.0 * kPi);
-      const double lonHi = std::remainder(lon + w, 2.0 * kPi);
-      const std::size_t sLo = sectorOf(std::cos(lonLo), std::sin(lonLo));
-      const std::size_t sHi = sectorOf(std::cos(lonHi), std::sin(lonHi));
-      const std::size_t span = (sHi + sectors_ - sLo) % sectors_ + 1;
-      if (span < sectors_) {
-        start = sLo;
-        count = span;
-      }
-    }
-    std::size_t s = start;
-    for (std::size_t k = 0; k < count; ++k) {
+    const SectorWindow win = sectorWindow(lon, w);
+    std::size_t s = win.start;
+    for (std::uint32_t k = 0; k < win.count; ++k) {
       const std::size_t c = base + s;
       for (std::uint32_t e = cellStart_[c]; e < cellStart_[c + 1]; ++e) {
         if (cellEntry_[e] != i) out.push_back(cellEntry_[e]);

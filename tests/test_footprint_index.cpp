@@ -157,6 +157,72 @@ TEST(SphericalCapIndex, NeighborhoodSuperset) {
   }
 }
 
+TEST(SphericalCapIndex, NearFullWindowRegistersWholeBand) {
+  // Regression: a pole-wrapping cap whose longitude half-width at some band
+  // falls just short of pi leaves a gap narrower than one sector — both
+  // window endpoints land in the same sector, and deriving the sector span
+  // from the endpoints alone collapsed the registration to that single
+  // sector, silently dropping the cap from the rest of the band. Construct
+  // exactly that geometry: the cap starts covering whole latitude circles
+  // (width pi) a hair above a band boundary, so the band just below
+  // registers with width pi - O(1e-3), far inside one sector's width.
+  const auto dirAt = [](double latRad, double lonRad) {
+    return Vec3{std::cos(latRad) * std::cos(lonRad),
+                std::cos(latRad) * std::sin(lonRad), std::sin(latRad)};
+  };
+  Rng rng(106);
+  const double rho = 0.45;
+  auto caps = randomCaps(200, rng, rho, rho);
+  caps.push_back({Vec3{0.0, 0.0, 1.0}, rho});
+  // Probe build: same cap count and mean half-angle as the final indexes,
+  // so band/sector counts match and the tuned geometry below stays valid.
+  const SphericalCapIndex probe(caps);
+  const double bands = static_cast<double>(probe.bandCount());
+  // Top boundary of a band reachable by a pole-wrapping cap whose center
+  // latitude stays below pi/2.
+  double bandTopLat = 0.0;
+  for (std::size_t b = 0; b + 1 < probe.bandCount(); ++b) {
+    const double zHi = -1.0 + 2.0 * static_cast<double>(b + 1) / bands;
+    const double lat = std::asin(std::clamp(zHi, -1.0, 1.0));
+    if (lat > kPi / 2 - rho + 0.05 && lat < kPi / 2 - 0.05) bandTopLat = lat;
+  }
+  ASSERT_GT(bandTopLat, 0.0) << "no band boundary in the tunable range";
+  // Whole latitude circles lie inside the cap for latitudes above
+  // pi - centerLat - rho; park that threshold just above the boundary.
+  const double wrapLat = bandTopLat + 1e-7;
+  const double centerLat = kPi - rho - wrapLat;
+  ASSERT_LT(centerLat, kPi / 2);
+  ASSERT_GT(centerLat + rho, kPi / 2) << "cap must wrap the pole";
+  // The band's registered half-width must land in the dangerous range:
+  // below pi, but with a gap smaller than one sector's true-angle width.
+  const double w =
+      capLonHalfWidthRad(centerLat, rho, centerLat - rho, bandTopLat);
+  ASSERT_GT(w, kPi - 4.0 / static_cast<double>(probe.sectorCount()));
+  ASSERT_LT(w, kPi);
+  // Same band as bandTopLat, and the cap still spans nearly all longitudes.
+  const double queryLat = bandTopLat - 1e-4;
+  // Several center longitudes so the narrow gap lands at varied offsets
+  // within (and occasionally across) sector boundaries.
+  for (const double centerLon :
+       {0.3, 1.1, 2.0, 2.9, -2.5, -1.6, -0.7, 3.05}) {
+    caps.back() = {dirAt(centerLat, centerLon), rho};
+    const SphericalCapIndex index(caps);
+    ASSERT_EQ(index.bandCount(), probe.bandCount());
+    ASSERT_EQ(index.sectorCount(), probe.sectorCount());
+    for (int k = -30; k <= 30; ++k) {
+      const double lon = centerLon + 0.1 * static_cast<double>(k);
+      const Vec3 dir = dirAt(queryLat, lon);
+      if (centralAngleRad(dir, caps.back().unitCenter) > rho - 1e-9) continue;
+      bool visited = false;
+      index.forEachCandidate(dir, [&](std::uint32_t i) {
+        visited = visited || (i + 1 == caps.size());
+      });
+      EXPECT_TRUE(visited) << "cap dropped from its own band: centerLon="
+                           << centerLon << " query lon offset=" << 0.1 * k;
+    }
+  }
+}
+
 TEST(CapLonHalfWidth, KnownValues) {
   // Pole-wrapping cap: every longitude qualifies.
   EXPECT_DOUBLE_EQ(
