@@ -117,7 +117,7 @@ class FootprintIndex2 {
     // Rotate the site into the ECI frame of the cap centers (an exact
     // longitude shift about +Z; z is rotation-invariant) and query the
     // index with the unit direction.
-    const double inv = 1.0 / radiusM;
+    const double inv = 1.0 / radiusM;  // units: 1/m
     const Vec3 unitEci{
         (siteEcef.x * cosLonOffset_ - siteEcef.y * sinLonOffset_) * inv,
         (siteEcef.x * sinLonOffset_ + siteEcef.y * cosLonOffset_) * inv,

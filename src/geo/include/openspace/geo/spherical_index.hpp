@@ -138,7 +138,8 @@ class SphericalCapIndex {
  private:
   // units: unit-sphere z component, dimensionless in [-1, 1]
   std::size_t bandOf(double unitZ) const noexcept {
-    const double scaled = (unitZ + 1.0) * 0.5 * static_cast<double>(bands_);
+    const double scaled =  // units: fractional band index
+        (unitZ + 1.0) * 0.5 * static_cast<double>(bands_);
     if (!(scaled > 0.0)) return 0;  // also catches NaN
     const auto b = static_cast<std::size_t>(scaled);
     return (b >= bands_) ? bands_ - 1 : b;
@@ -153,14 +154,15 @@ class SphericalCapIndex {
   /// mispredict here would serialize the whole query pipeline.
   // units: pseudo-angle, monotone in longitude over [-2, 2]
   static double pseudoAngle(double x, double y) noexcept {
-    const double d = std::abs(x) + std::abs(y);
-    const double t = d > 0.0 ? y / d : 0.0;  // degenerate (pole): any sector
+    const double d = std::abs(x) + std::abs(y);  // units: 1-norm of (x, y)
+    const double t = d > 0.0 ? y / d : 0.0;  // units: normalized y (pole: 0)
     return t +
            static_cast<double>(x < 0.0) * (std::copysign(2.0, y) - 2.0 * t);
   }
 
+  // units: x, y are unit-direction components
   std::size_t sectorOf(double x, double y) const noexcept {
-    const double scaled =
+    const double scaled =  // units: fractional sector index
         (pseudoAngle(x, y) + 2.0) * 0.25 * static_cast<double>(sectors_);
     if (!(scaled > 0.0)) return 0;
     const auto s = static_cast<std::size_t>(scaled);

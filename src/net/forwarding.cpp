@@ -16,8 +16,8 @@ void ForwardingEngine::onComplete(std::function<void(const DeliveryRecord&)> cb)
   onComplete_ = std::move(cb);
 }
 
-ForwardingEngine::Tx& ForwardingEngine::txFor(LinkId id, bool fromA) {
-  return tx_[static_cast<std::uint64_t>(id.value()) * 2 + (fromA ? 0 : 1)];
+ForwardingEngine::Tx& ForwardingEngine::txFor(DirectedLinkId id) {
+  return tx_[id];
 }
 
 double ForwardingEngine::bitsCarried(LinkId id) const {
@@ -25,8 +25,8 @@ double ForwardingEngine::bitsCarried(LinkId id) const {
   return it == carriedBits_.end() ? 0.0 : it->second;
 }
 
-double ForwardingEngine::backlogBits(LinkId id, bool fromA) const {
-  const auto it = tx_.find(static_cast<std::uint64_t>(id.value()) * 2 + (fromA ? 0 : 1));
+double ForwardingEngine::backlogBits(DirectedLinkId id) const {
+  const auto it = tx_.find(id);
   return it == tx_.end() ? 0.0 : it->second.backlogBits;
 }
 
@@ -56,11 +56,11 @@ void ForwardingEngine::arriveAtNode(InFlight f, NodeId node) {
   }
   const LinkId lid = f.route.links[f.hop];
   const Link& link = graph_.link(lid);
-  const bool fromA = (link.a == node);
-  if (!fromA && link.b != node) {
+  if (link.a != node && link.b != node) {
     throw StateError("ForwardingEngine: route link not incident to node");
   }
-  Tx& tx = txFor(lid, fromA);
+  const DirectedLinkId did = directedFrom(link, node);
+  Tx& tx = txFor(did);
   const double now = events_.now();
 
   // Drain the modeled backlog to what will still be queued at `now`.
@@ -84,8 +84,8 @@ void ForwardingEngine::arriveAtNode(InFlight f, NodeId node) {
   const double arrival = txDone + link.propagationDelayS;
   const NodeId next = link.otherEnd(node);
   const double sizeBits = f.pkt.sizeBits;
-  events_.schedule(txDone, [this, lid, fromA, sizeBits]() {
-    Tx& t = txFor(lid, fromA);
+  events_.schedule(txDone, [this, did, sizeBits]() {
+    Tx& t = txFor(did);
     t.backlogBits = std::max(0.0, t.backlogBits - sizeBits);
   });
   f.hop += 1;

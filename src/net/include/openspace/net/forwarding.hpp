@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include <openspace/net/event.hpp>
+#include <openspace/net/link_dir.hpp>
 #include <openspace/net/metrics.hpp>
 #include <openspace/net/packet.hpp>
 
@@ -45,9 +46,11 @@ class ForwardingEngine {
   /// estimates feeding the congestion-aware router.
   double bitsCarried(LinkId id) const;
 
-  /// Current queue backlog of one link direction, bits. `fromA` selects
-  /// the a->b transmitter.
-  double backlogBits(LinkId id, bool fromA) const;
+  /// Current queue backlog of one link direction, bits.
+  double backlogBits(DirectedLinkId id) const;
+  double backlogBits(LinkId id, LinkDir dir) const {
+    return backlogBits(DirectedLinkId{id, dir});
+  }
 
  private:
   struct Tx {
@@ -62,12 +65,12 @@ class ForwardingEngine {
 
   void arriveAtNode(InFlight f, NodeId node);
   void finish(const InFlight& f, bool delivered, DropReason reason);
-  Tx& txFor(LinkId id, bool fromA);
+  Tx& txFor(DirectedLinkId id);
 
   const NetworkGraph& graph_;
   EventQueue& events_;
   QueueConfig cfg_;
-  std::unordered_map<std::uint64_t, Tx> tx_;  ///< key: link id * 2 + dir.
+  std::unordered_map<DirectedLinkId, Tx> tx_;
   std::unordered_map<LinkId, double> carriedBits_;
   std::function<void(const DeliveryRecord&)> onComplete_;
   LatencyStats stats_;

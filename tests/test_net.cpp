@@ -226,8 +226,8 @@ TEST_F(LineGraph, BacklogDrainsToZero) {
   ForwardingEngine engine(g_, ev);
   for (PacketId i = 1; i <= 5; ++i) engine.send(mkPacket(i), route_);
   ev.runAll();
-  EXPECT_DOUBLE_EQ(engine.backlogBits(slow_, true), 0.0);
-  EXPECT_DOUBLE_EQ(engine.backlogBits(fast_, true), 0.0);
+  EXPECT_DOUBLE_EQ(engine.backlogBits(slow_, LinkDir::AtoB), 0.0);
+  EXPECT_DOUBLE_EQ(engine.backlogBits(fast_, LinkDir::AtoB), 0.0);
 }
 
 TEST_F(LineGraph, ZeroQueueLimitRejected) {

@@ -20,7 +20,11 @@ reference numbers in bench/baseline/. Two formats are understood:
   (4x at 66 satellites, 6x at 1000);
 * the custom fig2c record ("bench": "fig2c_coverage") — wall time is
   compared and the coverage curve itself (a deterministic seeded
-  computation) is re-asserted point for point against the baseline.
+  computation) is re-asserted point for point against the baseline;
+* the custom flow-simulator record ("bench": "flow_sim") — scheduler /
+  simulator / scale-run wall times are compared, the wheel==EventQueue,
+  simulator==legacy and serial==parallel checksum gates are re-asserted,
+  and the timer-wheel speedup is checked against its 3x floor.
 
 CI hardware varies run to run, so this is a smoke alarm, not a gate: every
 regression beyond the threshold prints a GitHub ::warning:: annotation and
@@ -195,6 +199,46 @@ def _compare_coverage_index_times(current, baseline, threshold: float) -> int:
     return warned
 
 
+def compare_flow_sim(current, baseline, threshold: float) -> int:
+    warned = 0
+    if not current.get("checksums_match", False):
+        warn("flow_sim: wheel/EventQueue, simulator/legacy or "
+             "serial/parallel checksums diverged")
+        warned += 1
+    if current.get("scale") != baseline.get("scale"):
+        # CI runs the bench at a reduced workload scale; absolute times are
+        # incomparable then, but the speedup floor below still applies.
+        print(f"  (scale {current.get('scale')} vs baseline "
+              f"{baseline.get('scale')}: skipping wall-time comparison)")
+    else:
+        for key in ("sched_wheel_s", "equiv_sim_s", "scale_run_s"):
+            cur_t = current.get(key)
+            base_t = baseline.get(key)
+            if cur_t is None or base_t is None or base_t <= 0:
+                continue
+            ratio = cur_t / base_t
+            marker = " REGRESSION?" if ratio > threshold else ""
+            print(f"  {key}: {cur_t:.4f}s vs baseline {base_t:.4f}s "
+                  f"({ratio:.2f}x){marker}")
+            if ratio > threshold:
+                warn(f"flow_sim {key}: {cur_t:.4f}s vs baseline "
+                     f"{base_t:.4f}s ({ratio:.2f}x > {threshold:.2f}x)")
+                warned += 1
+    # The wheel's reason to exist: POD slab records must keep it well ahead
+    # of the closure-allocating EventQueue spec. The floor only holds at a
+    # meaningful open-timer count, so skip it on heavily reduced lanes.
+    speedup = current.get("speedup_scheduler")
+    if speedup is not None:
+        floor = 3.0 if current.get("scale", 1.0) >= 0.2 else None
+        floor_txt = f" (floor {floor:.1f}x)" if floor else " (no floor at this scale)"
+        print(f"  speedup_scheduler: {speedup:.2f}x{floor_txt}")
+        if floor is not None and speedup < floor:
+            warn(f"flow_sim speedup_scheduler: {speedup:.2f}x below the "
+                 f"{floor:.1f}x floor")
+            warned += 1
+    return warned
+
+
 def compare_fig2c_coverage(current, baseline, threshold: float) -> int:
     warned = 0
     cur_t = current.get("wall_seconds")
@@ -274,6 +318,8 @@ def main() -> int:
         elif current.get("bench") == "coverage_index":
             warned += compare_coverage_index(current, baseline,
                                              args.threshold)
+        elif current.get("bench") == "flow_sim":
+            warned += compare_flow_sim(current, baseline, args.threshold)
         elif current.get("bench") == "fig2c_coverage":
             warned += compare_fig2c_coverage(current, baseline,
                                              args.threshold)
