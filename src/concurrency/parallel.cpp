@@ -1,13 +1,12 @@
 #include <openspace/concurrency/parallel.hpp>
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include <openspace/core/thread_annotations.hpp>
 #include <openspace/geo/error.hpp>
 
 namespace openspace {
@@ -15,6 +14,9 @@ namespace openspace {
 namespace {
 
 int defaultThreadCount() noexcept {
+  // Read once, before any worker thread exists, from the thread that runs
+  // the first parallelFor — no concurrent setenv in this process.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("OPENSPACE_THREADS")) {
     const int n = std::atoi(env);
     if (n >= 1) return n;
@@ -41,9 +43,9 @@ struct Job {
   std::atomic<std::size_t> nextChunk{0};
   std::atomic<std::size_t> chunksDone{0};
   std::atomic<std::size_t> activeWorkers{0};
-  std::mutex doneMutex;
-  std::condition_variable doneCv;
-  std::exception_ptr error;  // first exception, guarded by doneMutex
+  Mutex doneMutex;
+  ConditionVariable doneCv;
+  std::exception_ptr error OPENSPACE_GUARDED_BY(doneMutex);
 
   void runChunks() {
     for (;;) {
@@ -54,11 +56,11 @@ struct Job {
       try {
         (*fn)(begin, end);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(doneMutex);
+        MutexLock lock(doneMutex);
         if (!error) error = std::current_exception();
       }
       if (chunksDone.fetch_add(1, std::memory_order_acq_rel) + 1 == numChunks) {
-        std::lock_guard<std::mutex> lock(doneMutex);
+        MutexLock lock(doneMutex);
         doneCv.notify_all();
       }
     }
@@ -75,10 +77,10 @@ class ThreadPool {
     return pool;
   }
 
-  void run(Job& job, int helperThreads) {
-    std::lock_guard<std::mutex> serialize(jobSerialMutex_);
+  void run(Job& job, int helperThreads) OPENSPACE_EXCLUDES(mutex_) {
+    MutexLock serialize(jobSerialMutex_);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ensureWorkersLocked(helperThreads);
       job_ = &job;
       ++generation_;
@@ -94,22 +96,24 @@ class ThreadPool {
     // satisfied (which would let the caller destroy the stack-allocated Job
     // while the worker still holds a pointer to it).
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       job_ = nullptr;
     }
+    std::exception_ptr error;
     {
-      std::unique_lock<std::mutex> lock(job.doneMutex);
-      job.doneCv.wait(lock, [&] {
-        return job.chunksDone.load(std::memory_order_acquire) == job.numChunks &&
-               job.activeWorkers.load(std::memory_order_acquire) == 0;
-      });
+      MutexLock lock(job.doneMutex);
+      while (job.chunksDone.load(std::memory_order_acquire) != job.numChunks ||
+             job.activeWorkers.load(std::memory_order_acquire) != 0) {
+        job.doneCv.wait(job.doneMutex);
+      }
+      error = job.error;
     }
-    if (job.error) std::rethrow_exception(job.error);
+    if (error) std::rethrow_exception(error);
   }
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       stop_ = true;
     }
     cv_.notify_all();
@@ -119,26 +123,30 @@ class ThreadPool {
  private:
   ThreadPool() = default;
 
-  void ensureWorkersLocked(int wanted) {
+  void ensureWorkersLocked(int wanted) OPENSPACE_REQUIRES(mutex_) {
     while (static_cast<int>(workers_.size()) < wanted) {
       workers_.emplace_back([this] { workerLoop(); });
     }
   }
 
+  /// Block until a job newer than `seenGeneration` is published (updating
+  /// the generation and registering as an active worker) or the pool stops
+  /// (returning nullptr).
+  Job* awaitJob(std::uint64_t& seenGeneration) OPENSPACE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!stop_ && (job_ == nullptr || generation_ == seenGeneration)) {
+      cv_.wait(mutex_);
+    }
+    if (stop_) return nullptr;
+    seenGeneration = generation_;
+    Job* job = job_;
+    job->activeWorkers.fetch_add(1, std::memory_order_acq_rel);
+    return job;
+  }
+
   void workerLoop() {
     std::uint64_t seenGeneration = 0;
-    for (;;) {
-      Job* job = nullptr;
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [&] {
-          return stop_ || (job_ != nullptr && generation_ != seenGeneration);
-        });
-        if (stop_) return;
-        seenGeneration = generation_;
-        job = job_;
-        job->activeWorkers.fetch_add(1, std::memory_order_acq_rel);
-      }
+    while (Job* job = awaitJob(seenGeneration)) {
       tInParallelRegion = true;
       job->runChunks();
       tInParallelRegion = false;
@@ -147,20 +155,22 @@ class ThreadPool {
       // activeWorkers == 0 and destroy the Job between our decrement and
       // this notify.
       {
-        std::lock_guard<std::mutex> lock(job->doneMutex);
+        MutexLock lock(job->doneMutex);
         job->activeWorkers.fetch_sub(1, std::memory_order_acq_rel);
         job->doneCv.notify_all();
       }
     }
   }
 
-  std::mutex jobSerialMutex_;  ///< One fan-out at a time.
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<std::thread> workers_;
-  Job* job_ = nullptr;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
+  Mutex jobSerialMutex_;  ///< One fan-out at a time.
+  Mutex mutex_;
+  ConditionVariable cv_;
+  /// Worker handles: appended under mutex_ by ensureWorkersLocked, drained
+  /// join-side only by the destructor (after every worker has exited).
+  std::vector<std::thread> workers_ OPENSPACE_GUARDED_BY(mutex_);
+  Job* job_ OPENSPACE_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t generation_ OPENSPACE_GUARDED_BY(mutex_) = 0;
+  bool stop_ OPENSPACE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace

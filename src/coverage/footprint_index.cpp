@@ -5,11 +5,11 @@
 #include <cstring>
 #include <limits>
 #include <list>
-#include <mutex>
 #include <numbers>
 #include <unordered_map>
 
 #include <openspace/core/assert.hpp>
+#include <openspace/core/thread_annotations.hpp>
 #include <openspace/geo/error.hpp>
 #include <openspace/geo/wgs84.hpp>
 #include <openspace/orbit/snapshot.hpp>
@@ -235,14 +235,14 @@ class FootprintIndexCache {
  public:
   std::shared_ptr<const FootprintIndex2> at(
       std::shared_ptr<const ConstellationSnapshot> snapshot,
-      double minElevationRad) {
+      double minElevationRad) OPENSPACE_EXCLUDES(mutex_) {
     Key key{};
     key.hash = snapshot->elementsHash();
     key.count = snapshot->size();
     key.tMicros = std::llround(snapshot->timeSeconds() * 1e6);
     std::memcpy(&key.maskBits, &minElevationRad, sizeof(key.maskBits));
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       const auto it = index_.find(key);
       if (it != index_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second);
@@ -251,7 +251,7 @@ class FootprintIndexCache {
     }
     auto built = std::make_shared<const FootprintIndex2>(std::move(snapshot),
                                                          minElevationRad);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
@@ -292,9 +292,10 @@ class FootprintIndexCache {
   using Entry = std::pair<Key, std::shared_ptr<const FootprintIndex2>>;
 
   static constexpr std::size_t kCapacity = 32;
-  std::mutex mutex_;
-  std::list<Entry> lru_;
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  Mutex mutex_;
+  std::list<Entry> lru_ OPENSPACE_GUARDED_BY(mutex_);
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_
+      OPENSPACE_GUARDED_BY(mutex_);
 };
 
 }  // namespace

@@ -61,6 +61,7 @@ IslState IslEndpoint::stateWith(SatelliteId peerId) const noexcept {
 
 std::size_t IslEndpoint::activeLinkCount() const noexcept {
   std::size_t n = 0;
+  // det-waiver: commutative count accumulation, order cannot reach result
   for (const auto& [peerId, ps] : peers_) {
     if (ps.state == IslState::RfActive || ps.state == IslState::Acquiring ||
         ps.state == IslState::OpticalActive || ps.state == IslState::PairRequested) {

@@ -96,8 +96,8 @@ class FleetEphemeris {
   std::vector<double> semiMinorAxisM_;  ///< a*sqrt(1-e^2): the y_P coefficient.
   // Perifocal->ECI rotation, stored as its two used columns
   // P = (r11, r21, r31) and Q = (r12, r22, r32).
-  std::vector<double> p1_, p2_, p3_;  // units: rotation-matrix entries
-  std::vector<double> q1_, q2_, q3_;  // units: rotation-matrix entries
+  std::vector<double> p1_, p2_, p3_;  // dimensionless rotation-matrix entries
+  std::vector<double> q1_, q2_, q3_;  // dimensionless rotation-matrix entries
 };
 
 /// Warm-started time sweep over a compiled fleet.

@@ -21,12 +21,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include <openspace/core/thread_annotations.hpp>
 #include <openspace/geo/geodetic.hpp>
 #include <openspace/geo/units.hpp>
 #include <openspace/orbit/elements.hpp>
@@ -108,8 +108,8 @@ class ConstellationSnapshot {
   std::uint64_t hash_ = 0;
   std::vector<Vec3> eci_;
   std::vector<Vec3> ecef_;
-  mutable std::mutex islMutex_;
-  mutable std::shared_ptr<const IslTopology> isl_;
+  mutable Mutex islMutex_;
+  mutable std::shared_ptr<const IslTopology> isl_ OPENSPACE_GUARDED_BY(islMutex_);
 };
 
 /// Precomputed spherical-cap footprint test for surface points: satellite i
@@ -180,18 +180,22 @@ class SnapshotCache {
 
   /// Cache probe under the lock; returns the entry (promoted to MRU) or
   /// nullptr on a miss. Counts the hit/miss either way.
-  std::shared_ptr<const ConstellationSnapshot> probe(const Key& key);
+  std::shared_ptr<const ConstellationSnapshot> probe(const Key& key)
+      OPENSPACE_EXCLUDES(mutex_);
   /// Build the snapshot (outside the lock) and insert it, resolving a
   /// racing duplicate insert in favor of the first.
   std::shared_ptr<const ConstellationSnapshot> insert(
-      const Key& key, std::vector<OrbitalElements>&& elements, double tSeconds);
+      const Key& key, std::vector<OrbitalElements>&& elements, double tSeconds)
+      OPENSPACE_EXCLUDES(mutex_);
 
   std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  ///< Front = most recently used.
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  mutable Mutex mutex_;
+  /// Front = most recently used.
+  std::list<Entry> lru_ OPENSPACE_GUARDED_BY(mutex_);
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_
+      OPENSPACE_GUARDED_BY(mutex_);
+  std::size_t hits_ OPENSPACE_GUARDED_BY(mutex_) = 0;
+  std::size_t misses_ OPENSPACE_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace openspace

@@ -10,13 +10,13 @@
 
 #include <cmath>
 #include <list>
-#include <mutex>
 #include <numbers>
 #include <unordered_map>
 #include <utility>
 
 #include <openspace/concurrency/parallel.hpp>
 #include <openspace/core/assert.hpp>
+#include <openspace/core/thread_annotations.hpp>
 #include <openspace/geo/error.hpp>
 #include <openspace/geo/wgs84.hpp>
 #include <openspace/orbit/ephemeris.hpp>
@@ -206,10 +206,11 @@ struct FleetCacheKeyHash {
 class FleetEphemerisCache {
  public:
   std::shared_ptr<const FleetEphemeris> at(
-      const std::vector<OrbitalElements>& elements, std::uint64_t hash) {
+      const std::vector<OrbitalElements>& elements, std::uint64_t hash)
+      OPENSPACE_EXCLUDES(mutex_) {
     const FleetCacheKey key{hash, elements.size()};
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       const auto it = index_.find(key);
       if (it != index_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second);
@@ -217,7 +218,7 @@ class FleetEphemerisCache {
       }
     }
     auto fleet = std::make_shared<const FleetEphemeris>(elements);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
@@ -236,11 +237,11 @@ class FleetEphemerisCache {
   static constexpr std::size_t kCapacity = 64;
   using Entry =
       std::pair<FleetCacheKey, std::shared_ptr<const FleetEphemeris>>;
-  std::mutex mutex_;
-  std::list<Entry> lru_;
+  Mutex mutex_;
+  std::list<Entry> lru_ OPENSPACE_GUARDED_BY(mutex_);
   std::unordered_map<FleetCacheKey, std::list<Entry>::iterator,
                      FleetCacheKeyHash>
-      index_;
+      index_ OPENSPACE_GUARDED_BY(mutex_);
 };
 
 }  // namespace

@@ -132,7 +132,7 @@ std::shared_ptr<const IslTopology> ConstellationSnapshot::islTopology(
     throw InvalidArgumentError("islTopology: maxRangeM must be > 0");
   }
   {
-    std::lock_guard<std::mutex> lock(islMutex_);
+    MutexLock lock(islMutex_);
     if (isl_ && isl_->maxRangeM == maxRangeM &&
         isl_->losClearanceM == losClearanceM) {
       return isl_;
@@ -217,7 +217,7 @@ std::shared_ptr<const IslTopology> ConstellationSnapshot::islTopology(
   for (const auto& adj : topo->adjacency) degreeSum += adj.size();
   topo->linkCount = degreeSum / 2;
 
-  std::lock_guard<std::mutex> lock(islMutex_);
+  MutexLock lock(islMutex_);
   isl_ = std::move(topo);
   return isl_;
 }
@@ -328,7 +328,7 @@ std::shared_ptr<const ConstellationSnapshot> SnapshotCache::at(
 
 std::shared_ptr<const ConstellationSnapshot> SnapshotCache::probe(
     const Key& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
@@ -346,7 +346,7 @@ std::shared_ptr<const ConstellationSnapshot> SnapshotCache::insert(
   // below in favor of the first.
   auto snapshot =
       std::make_shared<const ConstellationSnapshot>(std::move(elements), tSeconds);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
@@ -362,22 +362,22 @@ std::shared_ptr<const ConstellationSnapshot> SnapshotCache::insert(
 }
 
 std::size_t SnapshotCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return lru_.size();
 }
 
 std::size_t SnapshotCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return hits_;
 }
 
 std::size_t SnapshotCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return misses_;
 }
 
 void SnapshotCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   lru_.clear();
   index_.clear();
   hits_ = 0;

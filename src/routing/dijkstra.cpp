@@ -138,6 +138,7 @@ std::unordered_map<NodeId, Route> shortestPathTree(const NetworkGraph& g,
   if (!g.hasNode(src)) throw NotFoundError("shortestPathTree: unknown source");
   const auto best = dijkstraCore(g, src, cost, home, nullptr, nullptr, std::nullopt);
   std::unordered_map<NodeId, Route> out;
+  // det-waiver: keyed-map build from the pure function extractRoute(node)
   for (const auto& [node, entry] : best) {
     out.emplace(node, extractRoute(g, src, node, best));
   }

@@ -1,0 +1,466 @@
+#!/usr/bin/env python3
+"""Determinism lint: flag hazards that can break serial==parallel or
+run-to-run reproducibility in library code.
+
+Every performance claim in this repo rests on bit-identical results:
+parallel paths equal serial paths, optimized paths equal their legacy
+specs, benches gate on FNV checksums. The TSan lane and the checksum
+gates catch such breakage *dynamically* — when a test happens to hit the
+bad interleaving. This lint catches the known hazard patterns
+*statically*, on every push, in every file:
+
+  unordered-iteration   range-for over a `std::unordered_map/set` (or over
+                        the result of a function returning one). Hash-table
+                        iteration order is implementation- and run-defined;
+                        if it reaches output ordering or a non-commutative
+                        accumulation, results stop being reproducible.
+  nondeterministic-source
+                        `std::rand`, `srand`, `std::random_device`,
+                        `time(...)`, `clock()`, `getpid`, `gettimeofday`,
+                        or any `std::chrono::*_clock::now` in library code.
+                        Library randomness must flow through the seeded
+                        `openspace::Rng` streams; wall-clock reads belong
+                        in benches (which live outside `src/` and are not
+                        scanned).
+  pointer-key           unordered container keyed on a pointer type, or
+                        `std::hash<T*>`. Pointer values vary run to run
+                        (ASLR, allocation order), so any ordering or
+                        hashing derived from them is nondeterministic.
+  parallelfor-capture   a by-reference capture mutated inside a
+                        `parallelFor` body through a non-indexed operation
+                        (`push_back`, `insert`, `+=`, `++`, ...). The
+                        sanctioned patterns are per-slot writes
+                        (`out[i] = ...`) and per-chunk locals merged after
+                        the join; anything else is a data race AND an
+                        ordering hazard even when made atomic.
+
+Waiver philosophy matches tools/check_units.py: a real hit gets a fix, or
+a same-line / line-above justification
+
+    // det-waiver: <why this is order-independent / pre-thread / ...>
+
+and a header may opt out wholesale with `// det-waiver-file: <reason>`
+within its first ten lines (reserved for generic primitives).
+
+Scope notes (documented limits, not bugs): declarations are resolved per
+module (`src/<module>/`), so a `std::vector` member named like another
+module's unordered map is not confused; `auto` deductions and iterator
+loops (`X.begin()`) are not resolved; the parallelFor analysis only sees
+by-reference captures mutated via the recognized mutating operations.
+
+With `--compile-commands build/compile_commands.json` the set of scanned
+translation units is taken from the compilation database (the same source
+of truth clang-tidy and the thread-safety build use) instead of a glob;
+headers are always discovered by glob since they are not TUs.
+
+Exit status is non-zero when any unwaived violation is found. Run locally:
+
+    python3 tools/check_determinism.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+from dataclasses import dataclass
+
+# --- waivers -----------------------------------------------------------------
+
+WAIVER_RE = re.compile(r"//[/!<]*\s*det-waiver:\s*\S")
+FILE_WAIVER_RE = re.compile(r"//[/!<]*\s*det-waiver-file:\s*\S")
+
+# --- hazard patterns ---------------------------------------------------------
+
+UNORDERED_RE = re.compile(r"\bunordered_(?:multi)?(?:map|set)\s*<")
+
+NONDET_SOURCE_RES = [re.compile(p) for p in (
+    r"\bstd::rand\b",
+    r"\bstd::srand\b",
+    r"(?<![\w:])srand\s*\(",
+    r"\brandom_device\b",
+    r"(?<![\w:.>])time\s*\(\s*(?:NULL|nullptr|0|&)",
+    r"(?<![\w:.>])clock\s*\(\s*\)",
+    r"\bgettimeofday\s*\(",
+    r"\bgetpid\s*\(",
+    r"\b(?:system|steady|high_resolution)_clock\s*::\s*now\b",
+)]
+
+HASH_PTR_RE = re.compile(r"\bstd::hash\s*<[^<>]*\*\s*>")
+
+# Range-for: the separating colon must not be part of a `::`, and the
+# range expression may contain one level of call parentheses.
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\(([^;{}]*?)(?<!:):(?!:)((?:[^;(){}]|\([^()]*\))*)\)",
+    re.DOTALL)
+
+MUTATING_MEMBER_FNS = (
+    "push_back", "emplace_back", "pop_back", "push_front", "emplace_front",
+    "insert", "emplace", "try_emplace", "erase", "clear", "resize", "assign",
+    "append", "merge", "splice",
+)
+
+# A postfix chain like `topo->adjacency[i]` or `r.samples`; group 1 is the
+# base identifier, the whole match shows whether any step was indexed.
+CHAIN = r"([A-Za-z_]\w*)((?:\s*(?:\.|->)\s*[A-Za-z_]\w*|\s*\[[^\]]*\])*)"
+MUTATE_CALL_RE = re.compile(
+    CHAIN + r"\s*(?:\.|->)\s*(?:" + "|".join(MUTATING_MEMBER_FNS) + r")\s*\(")
+COMPOUND_ASSIGN_RE = re.compile(
+    CHAIN + r"\s*(?:\+=|-=|\*=|/=|%=|\|=|&=|\^=|<<=|>>=)(?!=)")
+INCDEC_RE = re.compile(r"(?:\+\+|--)\s*" + CHAIN + r"|" + CHAIN + r"\s*(?:\+\+|--)")
+
+# Local declarations inside a lambda body (heuristic: type-ish tokens then a
+# name followed by an initializer or declarator punctuation).
+LOCAL_DECL_RE = re.compile(
+    r"(?:\bconst\s+)?\b(?:auto|bool|int|unsigned|float|double|std::size_t|"
+    r"size_t|std::u?int\d+_t|[A-Za-z_][\w:]*(?:<[^;(){}]*?>)?)\s*[&*]?\s+"
+    r"([A-Za-z_]\w*)\s*(?:=|\{|\()")
+STRUCTURED_BINDING_RE = re.compile(
+    r"\bauto\s*[&]{0,2}\s*\[([^\]]+)\]\s*[=:]")
+
+BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+LINE_COMMENT_RE = re.compile(r"//[^\n]*")
+STRING_RE = re.compile(r'"(?:[^"\\\n]|\\.)*"')
+CHAR_RE = re.compile(r"'(?:[^'\\\n]|\\.)*'")
+
+
+@dataclass
+class Violation:
+    path: pathlib.Path
+    line: int
+    kind: str
+    message: str
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}: [{self.kind}] {self.message} "
+                f"(waive with `// det-waiver: <reason>`)")
+
+
+def blank_keep_lines(match: re.Match[str]) -> str:
+    return re.sub(r"[^\n]", " ", match.group(0))
+
+
+def strip_noncode(text: str) -> str:
+    """Blank comments and literals, preserving offsets and line breaks."""
+    text = BLOCK_COMMENT_RE.sub(blank_keep_lines, text)
+    text = LINE_COMMENT_RE.sub(blank_keep_lines, text)
+    text = STRING_RE.sub(blank_keep_lines, text)
+    return CHAR_RE.sub(blank_keep_lines, text)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def balance_angles(text: str, open_idx: int) -> int:
+    """Index just past the `>` matching the `<` at open_idx, or -1."""
+    depth = 0
+    i = open_idx
+    while i < len(text):
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{}" and depth > 0 and c == ";":
+            return -1  # ran off the declaration: a comparison, not a template
+        i += 1
+    return -1
+
+
+IDENT_AFTER_RE = re.compile(r"\s*&?\s*([A-Za-z_]\w*)\s*([;={(,)]|$)")
+
+
+def unordered_decls(text: str) -> tuple[dict[str, int], dict[str, int], list[tuple[int, str]]]:
+    """Scan one file's stripped text for unordered-container declarations.
+
+    Returns (variables, functions, pointer_key_sites): names of declared
+    unordered variables/members, names of functions *returning* unordered
+    containers, and offsets of pointer-keyed declarations.
+    """
+    variables: dict[str, int] = {}
+    functions: dict[str, int] = {}
+    ptr_sites: list[tuple[int, str]] = []
+    for m in UNORDERED_RE.finditer(text):
+        open_idx = m.end() - 1
+        close = balance_angles(text, open_idx)
+        if close < 0:
+            continue
+        args = text[open_idx + 1:close - 1]
+        first_arg = args.split(",", 1)[0].strip()
+        if first_arg.endswith("*"):
+            ptr_sites.append((m.start(),
+                              f"unordered container keyed on pointer type "
+                              f"`{first_arg}`"))
+        after = IDENT_AFTER_RE.match(text, close)
+        if not after:
+            continue
+        name, terminator = after.group(1), after.group(2)
+        if terminator == "(":
+            functions[name] = m.start()
+        elif terminator in ";={,":
+            variables[name] = m.start()
+    return variables, functions, ptr_sites
+
+
+def find_matching_brace(text: str, open_idx: int) -> int:
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def lambda_locals(params: str, body: str) -> set[str]:
+    names: set[str] = set()
+    for p in params.split(","):
+        p = p.strip()
+        if p:
+            tok = re.findall(r"[A-Za-z_]\w*", p)
+            if tok:
+                names.add(tok[-1])
+    for m in LOCAL_DECL_RE.finditer(body):
+        names.add(m.group(1))
+    for m in STRUCTURED_BINDING_RE.finditer(body):
+        for part in m.group(1).split(","):
+            part = part.strip()
+            if part:
+                names.add(part)
+    return names
+
+
+def parallelfor_hazards(text: str) -> list[tuple[int, str]]:
+    """Mutations of by-reference captures inside parallelFor lambda bodies."""
+    hazards: list[tuple[int, str]] = []
+    for call in re.finditer(r"\bparallelFor\s*\(", text):
+        lam = text.find("[", call.end())
+        if lam < 0:
+            continue
+        cap_end = text.find("]", lam)
+        if cap_end < 0:
+            continue
+        captures = text[lam + 1:cap_end]
+        if "&" not in captures:
+            continue  # by-value captures cannot mutate enclosing state
+        paren = text.find("(", cap_end)
+        paren_close = text.find(")", paren) if paren >= 0 else -1
+        brace = text.find("{", cap_end)
+        if brace < 0 or (0 <= paren_close < brace and paren < lam):
+            continue
+        params = text[paren + 1:paren_close] if 0 <= paren < brace else ""
+        body_end = find_matching_brace(text, brace)
+        if body_end < 0:
+            continue
+        body = text[brace + 1:body_end]
+        local = lambda_locals(params, body)
+
+        def record(m: re.Match[str], what: str) -> None:
+            groups = [g for g in m.groups() if g is not None]
+            base, chain = groups[0], groups[1] if len(groups) > 1 else ""
+            if base in local:
+                return
+            if "[" in chain:
+                return  # indexed per-slot access: the sanctioned pattern
+            hazards.append(
+                (brace + 1 + m.start(),
+                 f"`{base}` is captured by reference and mutated ({what}) "
+                 f"inside a parallelFor body; use the per-chunk buffer or "
+                 f"indexed per-slot write pattern"))
+
+        for m in MUTATE_CALL_RE.finditer(body):
+            record(m, "container mutation")
+        for m in COMPOUND_ASSIGN_RE.finditer(body):
+            record(m, "compound assignment")
+        for m in INCDEC_RE.finditer(body):
+            record(m, "increment/decrement")
+    return hazards
+
+
+def last_component(expr: str) -> tuple[str, bool]:
+    """Reduce a range-for expression to its final identifier.
+
+    Returns (name, is_call). Indexed expressions (`a[i]`) and anything
+    unparseable return ("", False).
+    """
+    expr = expr.strip()
+    is_call = False
+    if expr.endswith(")"):
+        # A call: take the callee name.
+        depth = 0
+        for i in range(len(expr) - 1, -1, -1):
+            if expr[i] == ")":
+                depth += 1
+            elif expr[i] == "(":
+                depth -= 1
+                if depth == 0:
+                    expr = expr[:i]
+                    is_call = True
+                    break
+        else:
+            return "", False
+    if expr.endswith("]"):
+        return "", False  # element access, not container iteration
+    m = re.search(r"([A-Za-z_]\w*)\s*$", expr)
+    return (m.group(1), is_call) if m else ("", False)
+
+
+@dataclass
+class FileScan:
+    path: pathlib.Path
+    raw_lines: list[str]
+    stripped: str
+    variables: dict[str, int]
+    functions: dict[str, int]
+    ptr_sites: list[tuple[int, str]]
+
+
+def scan_file(path: pathlib.Path) -> FileScan | None:
+    raw = path.read_text(encoding="utf-8")
+    raw_lines = raw.splitlines()
+    if any(FILE_WAIVER_RE.search(line) for line in raw_lines[:10]):
+        return None
+    stripped = strip_noncode(raw)
+    variables, functions, ptr_sites = unordered_decls(stripped)
+    return FileScan(path, raw_lines, stripped, variables, functions, ptr_sites)
+
+
+def module_of(path: pathlib.Path, roots: list[pathlib.Path]) -> str:
+    for root in roots:
+        try:
+            rel = path.relative_to(root)
+        except ValueError:
+            continue
+        return str(root / rel.parts[0]) if rel.parts else str(root)
+    return str(path.parent)
+
+
+def check(scans: list[FileScan], roots: list[pathlib.Path]) -> list[Violation]:
+    # Declarations visible per module: a .cpp sees its own declarations plus
+    # everything declared in its module's headers.
+    mod_vars: dict[str, dict[str, int]] = {}
+    mod_fns: dict[str, dict[str, int]] = {}
+    for s in scans:
+        mod = module_of(s.path, roots)
+        mod_vars.setdefault(mod, {}).update(s.variables)
+        mod_fns.setdefault(mod, {}).update(s.functions)
+
+    violations: list[Violation] = []
+
+    def waived(s: FileScan, line: int) -> bool:
+        for ln in (line, line - 1):
+            if 1 <= ln <= len(s.raw_lines) and WAIVER_RE.search(s.raw_lines[ln - 1]):
+                return True
+        return False
+
+    def add(s: FileScan, offset: int, kind: str, message: str) -> None:
+        line = line_of(s.stripped, offset)
+        if not waived(s, line):
+            violations.append(Violation(s.path, line, kind, message))
+
+    for s in scans:
+        mod = module_of(s.path, roots)
+        known_vars = mod_vars.get(mod, {})
+        known_fns = mod_fns.get(mod, {})
+
+        # 1. unordered-iteration
+        for m in RANGE_FOR_RE.finditer(s.stripped):
+            name, is_call = last_component(m.group(2))
+            if not name:
+                continue
+            if is_call and name in known_fns:
+                add(s, m.start(), "unordered-iteration",
+                    f"range-for over `{name}(...)`, which returns an "
+                    f"unordered container; iteration order is not "
+                    f"reproducible")
+            elif not is_call and name in known_vars:
+                add(s, m.start(), "unordered-iteration",
+                    f"range-for over unordered container `{name}`; "
+                    f"iteration order is not reproducible")
+
+        # 2. nondeterministic-source
+        for pattern in NONDET_SOURCE_RES:
+            for m in pattern.finditer(s.stripped):
+                add(s, m.start(), "nondeterministic-source",
+                    f"`{m.group(0).strip()}` in library code; use the seeded "
+                    f"openspace::Rng streams (clocks belong in bench/)")
+
+        # 3. pointer-key
+        for offset, msg in s.ptr_sites:
+            add(s, offset, "pointer-key",
+                msg + "; pointer values change run to run (ASLR)")
+        for m in HASH_PTR_RE.finditer(s.stripped):
+            add(s, m.start(), "pointer-key",
+                f"`{m.group(0)}` hashes a pointer value; pointer values "
+                f"change run to run (ASLR)")
+
+        # 4. parallelfor-capture
+        for offset, msg in parallelfor_hazards(s.stripped):
+            add(s, offset, "parallelfor-capture", msg)
+
+    return violations
+
+
+def collect_files(roots: list[str], repo: pathlib.Path,
+                  compile_commands: str | None) -> tuple[list[pathlib.Path], list[pathlib.Path]]:
+    root_paths = [(repo / r) if not pathlib.Path(r).is_absolute()
+                  else pathlib.Path(r) for r in roots]
+    files: list[pathlib.Path] = []
+    if compile_commands:
+        with open(compile_commands, encoding="utf-8") as f:
+            db = json.load(f)
+        for entry in db:
+            p = pathlib.Path(entry["file"])
+            if not p.is_absolute():
+                p = pathlib.Path(entry["directory"]) / p
+            p = p.resolve()
+            if any(p.is_relative_to(r.resolve()) for r in root_paths):
+                files.append(p)
+    else:
+        for root in root_paths:
+            files.extend(sorted(root.glob("**/*.cpp")))
+    # Headers are not TUs, so they never appear in a compilation database;
+    # glob them under the same roots either way.
+    for root in root_paths:
+        files.extend(sorted(root.glob("**/*.hpp")))
+    seen: set[pathlib.Path] = set()
+    unique = [f for f in files if not (f in seen or seen.add(f))]
+    return unique, root_paths
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="determinism lint over library code")
+    parser.add_argument("roots", nargs="*", default=["src"],
+                        help="directories to scan (default: src)")
+    parser.add_argument("--compile-commands", metavar="PATH", default=None,
+                        help="compile_commands.json to take the TU list from "
+                             "(same source of truth as clang-tidy)")
+    args = parser.parse_args()
+
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    files, root_paths = collect_files(args.roots, repo, args.compile_commands)
+    if not files:
+        print(f"check_determinism: no sources found under {args.roots}",
+              file=sys.stderr)
+        return 2
+
+    scans = [s for s in (scan_file(f) for f in files) if s is not None]
+    violations = check(scans, root_paths)
+    violations.sort(key=lambda v: (str(v.path), v.line))
+    for v in violations:
+        print(v.render())
+    print(f"check_determinism: scanned {len(scans)} files, "
+          f"{len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

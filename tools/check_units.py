@@ -22,6 +22,7 @@ on every push. Run locally with:
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import re
 import sys
@@ -180,13 +181,40 @@ def main() -> int:
         default=["src"],
         help="directories to scan (default: src)",
     )
+    parser.add_argument(
+        "--compile-commands",
+        metavar="PATH",
+        default=None,
+        help="compile_commands.json to derive the module set from (the same "
+        "source of truth clang-tidy uses); headers of every module that "
+        "appears in the database are scanned",
+    )
     args = parser.parse_args()
 
     repo = pathlib.Path(__file__).resolve().parent.parent
     headers: list[pathlib.Path] = []
+    if args.compile_commands:
+        # Modules = the directories whose TUs the build actually compiles;
+        # their public headers are what the database's flags/includes cover.
+        with open(args.compile_commands, encoding="utf-8") as f:
+            db = json.load(f)
+        modules: set[pathlib.Path] = set()
+        for entry in db:
+            p = pathlib.Path(entry["file"])
+            if not p.is_absolute():
+                p = pathlib.Path(entry["directory"]) / p
+            p = p.resolve()
+            for root in args.roots:
+                base = (repo / root).resolve() if not pathlib.Path(root).is_absolute() \
+                    else pathlib.Path(root).resolve()
+                if p.is_relative_to(base) and p.relative_to(base).parts:
+                    modules.add(base / p.relative_to(base).parts[0])
+        for module in sorted(modules):
+            headers.extend(sorted(module.glob("include/**/*.hpp")))
     for root in args.roots:
         base = (repo / root) if not pathlib.Path(root).is_absolute() else pathlib.Path(root)
-        headers.extend(sorted(base.glob("*/include/**/*.hpp")))
+        found = sorted(base.glob("*/include/**/*.hpp"))
+        headers.extend(h for h in found if h not in headers)
         if not any(base.glob("*/include")):
             headers.extend(sorted(base.glob("**/*.hpp")))
 
