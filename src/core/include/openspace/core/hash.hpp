@@ -1,0 +1,30 @@
+// Canonical FNV-1a 64-bit mixing helpers.
+//
+// Every determinism gate in the library (serial==parallel bench checksums,
+// simulator==legacy record streams, delta==fresh graph identity) folds its
+// witness through these. They hash raw bit patterns — never rounded or
+// formatted values — so two artifacts checksum equal iff they are bitwise
+// identical in the same order.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace openspace {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+
+inline constexpr std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Raw bit pattern of a double (units: none — bits, not a quantity).
+inline std::uint64_t bitsOf(double v) noexcept {
+  return std::bit_cast<std::uint64_t>(v);
+}
+
+}  // namespace openspace

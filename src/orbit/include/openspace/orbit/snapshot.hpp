@@ -35,6 +35,15 @@ namespace openspace {
 
 class EphemerisService;
 
+/// Fleet size at or below which islTopology() uses the all-pairs O(N^2)
+/// scan instead of sorted-bucket spatial pruning. Below a few hundred
+/// satellites the scan beats the grid's bucket-allocation and hash-probe
+/// overhead. This is a performance crossover only, never a semantic switch:
+/// both paths evaluate the same edge predicate and emit neighbors in the
+/// same (index-ascending) order, so the adjacency is identical on either
+/// side of the threshold (pinned by tests at 255/256/257 satellites).
+inline constexpr std::size_t kIslAllPairsMaxSats = 256;
+
 /// ISL adjacency of a snapshot: for each satellite, its (neighbor index,
 /// distance) pairs sorted by neighbor index. An edge exists when the pair
 /// is within `maxRangeM` and the sightline clears the Earth by

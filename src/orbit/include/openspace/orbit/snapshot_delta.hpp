@@ -1,0 +1,71 @@
+// Link-diff between consecutive constellation snapshots.
+//
+// A temporal sweep re-derives the ISL graph at every step, yet orbital
+// motion changes only a sliver of links per step: at 1 s resolution a
+// 66-satellite fleet sees a handful of ISL openings/closings per minute,
+// while every persisting link merely drifts in range. diffIslTopology()
+// makes that sparsity explicit: it compares the spatially pruned ISL
+// adjacencies of two snapshots (each built by the existing grid — O(cells
+// scanned), never O(N^2) pair enumeration) and emits exactly which links
+// appeared, disappeared, or changed range. The topology layer
+// (topology/delta.hpp) consumes these lists to patch compiled graphs
+// instead of recompiling them.
+//
+// Soundness: both adjacencies list neighbors in ascending index order (a
+// documented IslTopology invariant, identical on both sides of the
+// kIslAllPairsMaxSats crossover), so a per-satellite sorted merge sees
+// every pair that exists in either snapshot exactly once. A link can never
+// escape the diff: it is in prev's list, next's list, or neither.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include <openspace/geo/units.hpp>
+
+namespace openspace {
+
+class ConstellationSnapshot;
+
+/// One ISL (satellite index pair, i < j) that differs between snapshots.
+struct IslLinkChange {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  /// Range at the *next* snapshot for added/rangeChanged entries; range at
+  /// the *previous* snapshot for removed entries (the link has no next
+  /// range).
+  double distanceM = 0.0;
+};
+
+/// The link-level difference between two snapshots of one constellation.
+struct SnapshotDelta {
+  double maxRangeM = 0.0;
+  double losClearanceM = 0.0;
+  /// Pairs linked in `next` but not in `prev`, ascending (i, j).
+  std::vector<IslLinkChange> added;
+  /// Pairs linked in `prev` but not in `next`, ascending (i, j).
+  std::vector<IslLinkChange> removed;
+  /// Pairs linked in both whose range changed (bitwise double compare —
+  /// at any real step this is nearly every persisting link).
+  std::vector<IslLinkChange> rangeChanged;
+  /// Links persisting with bitwise-identical range (repeated timestamps).
+  std::size_t unchanged = 0;
+
+  /// True when the link *set* changed (a patched CSR needs a structural
+  /// rebuild, not just cost overwrites).
+  bool structural() const noexcept { return !added.empty() || !removed.empty(); }
+  bool empty() const noexcept {
+    return added.empty() && removed.empty() && rangeChanged.empty();
+  }
+};
+
+/// Diff the ISL topologies of two snapshots of the same fleet under the
+/// given link predicate (range + line-of-sight clearance, matching
+/// ConstellationSnapshot::islTopology). Adjacency construction is shared
+/// with — and cached on — the snapshots themselves. Throws
+/// InvalidArgumentError if the snapshots differ in satellite count.
+SnapshotDelta diffIslTopology(const ConstellationSnapshot& prev,
+                              const ConstellationSnapshot& next,
+                              double maxRangeM, double losClearanceM = km(80.0));
+
+}  // namespace openspace

@@ -144,12 +144,12 @@ std::shared_ptr<const IslTopology> ConstellationSnapshot::islTopology(
   topo->losClearanceM = losClearanceM;
   const std::size_t n = eci_.size();
   topo->adjacency.resize(n);
-  // Below a few hundred satellites the all-pairs scan beats the grid's
-  // bucket-allocation and hash-probe overhead; the output is identical
-  // (same edge predicate, neighbors naturally in index order). It is also
-  // the fallback when the grid coordinates would overflow cellKey's
-  // per-axis budget (tiny maxRangeM relative to the position magnitudes).
-  constexpr std::size_t kBruteForceMax = 256;
+  // Fleets of <= kIslAllPairsMaxSats (snapshot.hpp) take the all-pairs
+  // scan; the output is identical to the grid's (same edge predicate,
+  // neighbors in index order either way — pinned by the boundary tests).
+  // The scan is also the fallback when the grid coordinates would overflow
+  // cellKey's per-axis budget (tiny maxRangeM relative to the position
+  // magnitudes).
   const auto bruteForce = [&] {
     parallelFor(n, kAdjacencyChunk, [&](std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) {
@@ -168,7 +168,7 @@ std::shared_ptr<const IslTopology> ConstellationSnapshot::islTopology(
   // grid cells of side maxRangeM; any in-range pair lies in the same or an
   // adjacent cell, so each satellite scans at most 27 buckets instead of
   // all n.
-  bool gridFits = n > kBruteForceMax;
+  bool gridFits = n > kIslAllPairsMaxSats;
   std::vector<std::array<std::int64_t, 3>> coords;
   if (gridFits) {
     const double cell = maxRangeM;

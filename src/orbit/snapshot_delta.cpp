@@ -1,0 +1,62 @@
+#include <openspace/orbit/snapshot_delta.hpp>
+
+#include <memory>
+
+#include <openspace/core/hash.hpp>
+#include <openspace/geo/error.hpp>
+#include <openspace/orbit/snapshot.hpp>
+
+namespace openspace {
+
+SnapshotDelta diffIslTopology(const ConstellationSnapshot& prev,
+                              const ConstellationSnapshot& next,
+                              double maxRangeM, double losClearanceM) {
+  if (prev.size() != next.size()) {
+    throw InvalidArgumentError(
+        "diffIslTopology: snapshots must cover the same fleet");
+  }
+  SnapshotDelta out;
+  out.maxRangeM = maxRangeM;
+  out.losClearanceM = losClearanceM;
+
+  const std::shared_ptr<const IslTopology> a =
+      prev.islTopology(maxRangeM, losClearanceM);
+  const std::shared_ptr<const IslTopology> b =
+      next.islTopology(maxRangeM, losClearanceM);
+
+  const std::size_t n = prev.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& pa = a->adjacency[i];
+    const auto& pb = b->adjacency[i];
+    // Both lists are sorted by neighbor index; merge them, counting each
+    // undirected pair once (j > i).
+    std::size_t x = 0;
+    std::size_t y = 0;
+    while (x < pa.size() || y < pb.size()) {
+      const std::size_t ja = x < pa.size() ? pa[x].first : n;
+      const std::size_t jb = y < pb.size() ? pb[y].first : n;
+      if (ja < jb) {
+        if (ja > i) out.removed.push_back({i, ja, pa[x].second});
+        ++x;
+      } else if (jb < ja) {
+        if (jb > i) out.added.push_back({i, jb, pb[y].second});
+        ++y;
+      } else {
+        if (ja > i) {
+          // Bitwise range compare: the delta must notice *any* drift the
+          // downstream cost model could observe, however small.
+          if (bitsOf(pa[x].second) == bitsOf(pb[y].second)) {
+            ++out.unchanged;
+          } else {
+            out.rangeChanged.push_back({i, ja, pb[y].second});
+          }
+        }
+        ++x;
+        ++y;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace openspace

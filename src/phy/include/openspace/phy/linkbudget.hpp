@@ -4,6 +4,7 @@
 #include <vector>
 
 #include <openspace/phy/bands.hpp>
+#include <openspace/phy/terminal.hpp>
 
 namespace openspace {
 
@@ -60,5 +61,44 @@ const Modcod* selectModcod(double snrDb);
 /// Achievable data rate (bps) at `snrDb` over `bandwidthHz` using the
 /// standardized ladder (0 if the link cannot close).
 double modcodRateBps(double snrDb, double bandwidthHz);
+
+/// Precompiled point-to-point capacity evaluator for one fixed terminal
+/// pair: everything that does not depend on the per-link geometry — tx
+/// power in dBW, thermal noise floor, per-MODCOD rates — is evaluated once
+/// at construction, so rateBps() costs a single log10 (the path loss) plus
+/// a ladder scan instead of the full computeLinkBudget()/modcodRateBps()
+/// round trip with its unused Shannon-capacity pow/log2.
+///
+/// Bit-identity contract: rateBps(d, atm) returns the exact double
+/// modcodRateBps(computeLinkBudget(...).snrDb, bandwidth) would — cached
+/// terms are the same function results the full path recomputes per call,
+/// and the remaining arithmetic keeps its expression order. The topology
+/// builder's hot capacity helpers sit on this; property tests pin the
+/// equality across the distance range.
+class CapacityKernel {
+ public:
+  /// Compile the pair. Throws InvalidArgumentError for non-positive tx
+  /// power (the computeLinkBudget precondition, checked eagerly).
+  CapacityKernel(const TerminalSpec& tx, const TerminalSpec& rx,
+                 double extraLossesDb);
+
+  /// Achievable rate at `distanceM` under `atmosphericLossDb` of extra
+  /// path loss. Throws InvalidArgumentError for a non-positive distance
+  /// (the freeSpacePathLossDb precondition).
+  double rateBps(double distanceM, double atmosphericLossDb = 0.0) const;
+
+ private:
+  struct Tier {
+    double requiredSnrDb;
+    double rateBps;
+  };
+  double txPowerDbw_ = 0.0;
+  double txGainDb_ = 0.0;
+  double rxGainDb_ = 0.0;
+  double noiseDbw_ = 0.0;
+  double extraLossesDb_ = 0.0;
+  double carrierHz_ = 0.0;
+  std::vector<Tier> tiers_;  ///< Ascending required SNR, rates precomputed.
+};
 
 }  // namespace openspace

@@ -69,4 +69,43 @@ double modcodRateBps(double snrDb, double bandwidthHz) {
   return m ? m->spectralEfficiency * bandwidthHz : 0.0;
 }
 
+CapacityKernel::CapacityKernel(const TerminalSpec& tx, const TerminalSpec& rx,
+                               double extraLossesDb)
+    : txGainDb_(tx.antennaGainDb),
+      rxGainDb_(rx.antennaGainDb),
+      extraLossesDb_(extraLossesDb) {
+  if (tx.txPowerW <= 0.0) {
+    throw InvalidArgumentError("computeLinkBudget: tx power must be > 0");
+  }
+  const BandInfo& info = bandInfo(tx.band);
+  carrierHz_ = info.carrierHz;
+  // Cached function results, not re-derived formulas: each is the exact
+  // double the full path recomputes on every call.
+  txPowerDbw_ = wattsToDbw(tx.txPowerW);
+  noiseDbw_ = wattsToDbw(
+      thermalNoiseW(info.channelBandwidthHz, rx.systemNoiseTempK));
+  for (const Modcod& m : modcodLadder()) {
+    tiers_.push_back({m.requiredSnrDb,
+                      m.spectralEfficiency * info.channelBandwidthHz});
+  }
+}
+
+double CapacityKernel::rateBps(double distanceM,
+                               double atmosphericLossDb) const {
+  // Same expression, same evaluation order as computeLinkBudget(): only the
+  // constant subterms are cached and the unused Shannon capacity skipped.
+  const double pathLossDb = freeSpacePathLossDb(distanceM, carrierHz_);
+  const double receivedDbw = txPowerDbw_ + txGainDb_ + rxGainDb_ -
+                             pathLossDb - extraLossesDb_ - atmosphericLossDb;
+  const double snrDb = receivedDbw - noiseDbw_;
+  // selectModcod keeps the last tier whose threshold passes; with the
+  // ladder's thresholds strictly ascending that is the first passing tier
+  // scanned from the top, so the reverse scan can exit early — same tier,
+  // same double, fewer comparisons on the common high-SNR links.
+  for (auto it = tiers_.rbegin(); it != tiers_.rend(); ++it) {
+    if (snrDb >= it->requiredSnrDb) return it->rateBps;
+  }
+  return 0.0;
+}
+
 }  // namespace openspace

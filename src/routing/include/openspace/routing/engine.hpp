@@ -83,6 +83,21 @@ class PathTree {
   std::vector<std::uint32_t> parentEdge_;  ///< kInvalidIndex == none.
 };
 
+/// Observability of one repairShortestPathTree() call: whether the repair
+/// path ran (vs falling back to a fresh Dijkstra) and how much of the graph
+/// it actually touched.
+struct TreeRepairStats {
+  bool repaired = false;  ///< False => fell back to a fresh full run.
+  /// Static string naming the fallback cause; nullptr when repaired.
+  const char* fallbackReason = nullptr;
+  std::size_t changedEdges = 0;  ///< Directed edges whose cost bits changed.
+  std::size_t addedEdges = 0;    ///< Directed edges present only in the new graph.
+  std::size_t removedEdges = 0;  ///< Directed edges present only in the old graph.
+  std::size_t seedNodes = 0;     ///< Nodes whose incoming edge set changed.
+  std::size_t queuePops = 0;     ///< Repair-queue activity (~ affected region).
+  std::size_t parentRecomputes = 0;  ///< Nodes whose parent edge was re-derived.
+};
+
 class RouteEngine {
  public:
   /// Compile `g` under `cost` as provider `home`. The NetworkGraph is not
@@ -99,6 +114,24 @@ class RouteEngine {
 
   /// Full single-source tree as a compact PathTree.
   PathTree shortestPathTree(NodeId src) const;
+
+  /// Repair `previous` (a tree computed against an earlier compiled graph
+  /// with the same node template — typically the prior step of an
+  /// IncrementalTopology sweep) into a tree over THIS engine's graph.
+  ///
+  /// Result contract: bit-identical to shortestPathTree(previous.source())
+  /// — same dist and parentEdge arrays to the last bit, property-tested
+  /// against the fresh path. Only the delta-affected frontier is
+  /// re-settled (Ramalingam–Reps style dist repair seeded by the edge
+  /// diff), so cost: O(diff + affected region), not O(N log N + E).
+  ///
+  /// Falls back to a fresh run — never fails, never slower than ~2x fresh
+  /// — when the repair preconditions do not hold: node template changed,
+  /// any new-graph edge has non-positive cost or a missing reverse
+  /// direction, or the diff floods the frontier (`stats->fallbackReason`
+  /// says which). Throws InvalidArgumentError for an invalid `previous`.
+  PathTree repairShortestPathTree(const PathTree& previous,
+                                  TreeRepairStats* stats = nullptr) const;
 
   /// One PathTree per source, computed across the process thread pool
   /// (openspace::parallelFor). Output order matches `sources`; results are
@@ -135,6 +168,34 @@ class RouteEngine {
   mutable RouteScratch scratch_;
   mutable StampedArray<char> forbiddenNodes_;
   mutable StampedArray<char> forbiddenEdges_;
+  /// repairShortestPathTree() arenas: edge-diff row matching, seed/suspect
+  /// marks, and the dist-repair queue. Same sharing rule as scratch_.
+  ///
+  /// The edge diff (preconditions, per-row matching, seeds, old->new
+  /// remap) is a pure function of the (previous, current) graph pair —
+  /// independent of the tree's source — so a temporal sweep repairing one
+  /// tree per source across the same pair computes it once: `cachedPrev`
+  /// keys the cache and pins the old graph so the address cannot be
+  /// recycled while cached.
+  struct RepairScratch {
+    StampedArray<std::uint32_t> rowTarget;  ///< target -> new edge, per row.
+    StampedArray<char> claimed;             ///< new edges matched this call.
+    StampedArray<char> seedMark;
+    StampedArray<char> suspectMark;
+    DaryHeap queue;
+    // Cached diff of (cachedPrev -> engine graph); valid while cachedPrev
+    // matches the previous tree's graph.
+    std::shared_ptr<const CompactGraph> cachedPrev;
+    /// Non-null: the cached pair falls back to a fresh run for this reason.
+    const char* cachedFallback = nullptr;
+    TreeRepairStats diffStats;  ///< changed/added/removed edges, seed count.
+    std::vector<std::uint32_t> oldToNew;  ///< old edge -> new edge (kInvalid).
+    std::vector<std::uint32_t> seeds;
+    /// Parallel-link targets: pre-suspect nodes replayed into suspectMark
+    /// on every (cached) call.
+    std::vector<std::uint32_t> diffSuspects;
+  };
+  mutable RepairScratch repair_;
 };
 
 }  // namespace openspace

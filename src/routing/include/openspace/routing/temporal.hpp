@@ -21,6 +21,7 @@
 
 #include <openspace/topology/builder.hpp>
 #include <openspace/topology/compact_graph.hpp>
+#include <openspace/topology/delta.hpp>
 
 namespace openspace {
 
@@ -42,8 +43,18 @@ class ContactGraphRouter {
  public:
   /// Precomputes snapshots on {t0S, t0S+step, ...} covering [t0S, t0S+horizon].
   /// Throws InvalidArgumentError for non-positive step/horizon.
+  ///
+  /// `build` selects how per-interval graphs are produced. Delta (default)
+  /// walks one IncrementalTopology through the grid — satellite positions
+  /// come from the shared SnapshotCache (repeated sweeps over one window hit
+  /// the LRU) and consecutive graphs are payload-patched instead of
+  /// recompiled. FreshCompile is the executable spec: a full
+  /// builder.snapshot() + compileGraph() per interval. The two produce
+  /// bit-identical graphs (property-tested), so routing results never
+  /// depend on the choice.
   ContactGraphRouter(const TopologyBuilder& builder, const SnapshotOptions& opt,
-                     double t0S, double horizonS, double stepS);
+                     double t0S, double horizonS, double stepS,
+                     TemporalBuild build = TemporalBuild::Delta);
 
   /// Earliest arrival of a message from `src` (ready at `tStartS`) to `dst`,
   /// allowing storage at intermediate nodes between snapshot intervals.

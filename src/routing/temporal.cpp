@@ -9,19 +9,28 @@ namespace openspace {
 
 ContactGraphRouter::ContactGraphRouter(const TopologyBuilder& builder,
                                        const SnapshotOptions& opt, double t0S,
-                                       double horizonS, double stepS) {
+                                       double horizonS, double stepS,
+                                       TemporalBuild build) {
   if (stepS <= 0.0 || horizonS <= 0.0) {
     throw InvalidArgumentError("ContactGraphRouter: step/horizon must be > 0");
   }
-  const CompactGraph::CostFn delayCost =
-      [](const NetworkGraph&, const Link& l, ProviderId) {
-        return l.totalDelayS();
-      };
-  for (double t = t0S; t < t0S + horizonS; t += stepS) {
-    snaps_.push_back(
-        {t, std::min(t + stepS, t0S + horizonS),
-         std::make_shared<const CompactGraph>(
-             compileGraph(builder.snapshot(t, opt), delayCost))});
+  // Both branches compile edge weight == total link delay; the delta path
+  // is pinned bit-identical to the fresh path by property tests, so the
+  // router's results are independent of the build mode.
+  if (build == TemporalBuild::Delta) {
+    IncrementalTopology inc(builder, opt, delayCostModel());
+    for (double t = t0S; t < t0S + horizonS; t += stepS) {
+      inc.step(t);
+      snaps_.push_back({t, std::min(t + stepS, t0S + horizonS), inc.graph()});
+    }
+  } else {
+    const CompactGraph::CostFn delayCost = delayCostModel().link;
+    for (double t = t0S; t < t0S + horizonS; t += stepS) {
+      snaps_.push_back(
+          {t, std::min(t + stepS, t0S + horizonS),
+           std::make_shared<const CompactGraph>(
+               compileGraph(builder.snapshot(t, opt), delayCost))});
+    }
   }
   gridEndS_ = t0S + horizonS;
   // The flat label arrays in earliestArrival() are carried across intervals

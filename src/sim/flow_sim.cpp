@@ -13,10 +13,6 @@
 
 namespace openspace {
 
-std::uint64_t bitsOf(double v) noexcept {
-  return std::bit_cast<std::uint64_t>(v);
-}
-
 std::uint64_t mixDeliveryRecord(std::uint64_t h, const DeliveryRecord& rec) noexcept {
   h = fnv1a(h, rec.packet.id);
   h = fnv1a(h, rec.packet.src.value());

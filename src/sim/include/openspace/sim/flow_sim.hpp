@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include <openspace/core/hash.hpp>
 #include <openspace/geo/rng.hpp>
 #include <openspace/net/flows.hpp>
 #include <openspace/net/metrics.hpp>
@@ -38,17 +39,10 @@ namespace openspace {
 class ConstellationSnapshot;
 class RouteEngine;
 
-/// FNV-1a mixing helpers shared by the simulator's record checksum and the
-/// benches' serial==parallel / simulator==legacy gates.
-inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
-inline constexpr std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) noexcept {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xFFu;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-std::uint64_t bitsOf(double v) noexcept;  // units: raw bit pattern of any double
+// The FNV-1a mixing helpers (kFnvOffsetBasis / fnv1a / bitsOf) shared by the
+// simulator's record checksum and the benches' serial==parallel /
+// simulator==legacy gates live in core/hash.hpp.
+
 /// Fold one delivery record into a running FNV checksum. Used identically
 /// on legacy ForwardingEngine records and FlowSimulator records, so the
 /// equivalence gates compare full record streams, not summaries.

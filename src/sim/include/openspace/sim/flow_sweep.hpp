@@ -1,0 +1,84 @@
+// Multi-snapshot flow simulation over the incremental topology path.
+//
+// flow_sim.hpp simulates one compiled snapshot; a constellation study wants
+// a *sweep* — the same demand set replayed across a time grid while the
+// topology drifts underneath it. runFlowSweep() drives that loop through
+// the delta machinery end to end: one IncrementalTopology produces each
+// step's CompactGraph by payload-patching (topology/delta.hpp), per-source
+// routing trees are carried forward with RouteEngine::repairShortestPathTree
+// instead of re-running Dijkstra from scratch, and one FlowSimulator slice
+// runs per step over the routes those trees select.
+//
+// Determinism gates: every step folds its route node sequences and the
+// slice's delivery-record checksum into one sweep checksum. Running the
+// same sweep with TemporalBuild::FreshCompile (full snapshot + compileGraph
+// + fresh Dijkstra per step) must produce the identical checksum — the
+// delta path's graphs are bit-identical and repaired trees equal fresh
+// trees node-for-node, so the simulated packet streams match bit-for-bit.
+// Property tests and bench_temporal_delta enforce this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include <openspace/core/hash.hpp>
+#include <openspace/sim/flow_sim.hpp>
+#include <openspace/topology/builder.hpp>
+#include <openspace/topology/delta.hpp>
+
+namespace openspace {
+
+/// One persistent demand: a flow offered on every step of the sweep, routed
+/// over that step's shortest delay path (skipped on steps where dst is
+/// unreachable from src — the packets would all drop NoRoute anyway).
+struct FlowSweepDemand {
+  NodeId src{};
+  NodeId dst{};
+  double rateBps = 1e6;
+  double packetBits = 12'000.0;
+};
+
+struct FlowSweepConfig {
+  double t0S = 0.0;
+  double horizonS = 60.0;  ///< Sweep covers [t0S, t0S + horizonS).
+  double stepS = 10.0;     ///< One topology + simulator slice per step.
+  /// Per-slice simulator knobs. startS/durationS are overwritten per step;
+  /// the seed is re-derived per step (FNV-mixed with the step index) so
+  /// slices are decorrelated but reproducible.
+  FlowSimConfig sim;
+  TemporalBuild build = TemporalBuild::Delta;
+};
+
+/// Per-step outcome, in grid order.
+struct FlowSweepStep {
+  double tS = 0.0;
+  bool structural = false;    ///< Link set changed (CSR rebuilt this step).
+  bool treesRepaired = false; ///< All carried trees repaired (no fallback).
+  std::uint64_t packetsOffered = 0;
+  std::uint64_t packetsDelivered = 0;
+  std::uint64_t packetsDropped = 0;
+  std::uint64_t recordChecksum = 0;  ///< The slice's delivery-record FNV.
+};
+
+struct FlowSweepReport {
+  std::vector<FlowSweepStep> steps;
+  std::uint64_t packetsOffered = 0;
+  std::uint64_t packetsDelivered = 0;
+  std::uint64_t packetsDropped = 0;
+  std::size_t structuralSteps = 0;  ///< Steps that rebuilt the CSR arrays.
+  std::size_t repairedSteps = 0;    ///< Steps where every tree was repaired.
+  /// FNV-1a over every step's route node sequences and record checksum, in
+  /// grid order — the delta==fresh sweep witness.
+  std::uint64_t checksum = kFnvOffsetBasis;
+};
+
+/// Run `demands` across the sweep grid. Throws InvalidArgumentError for a
+/// non-positive step/horizon or a demand with an unset endpoint; unknown
+/// endpoints surface as NotFoundError from the routing layer on the first
+/// step. The builder's registry must stay frozen for the duration.
+FlowSweepReport runFlowSweep(const TopologyBuilder& builder,
+                             const SnapshotOptions& opt,
+                             const std::vector<FlowSweepDemand>& demands,
+                             const FlowSweepConfig& cfg);
+
+}  // namespace openspace

@@ -22,39 +22,34 @@ LinkCapabilities defaultCapabilities() {
   return caps;
 }
 
-double terminalPairCapacityBps(const TerminalSpec& tx, const TerminalSpec& rx,
-                               double distanceM, double atmosphericDb) {
-  LinkBudgetInput in;
-  in.band = tx.band;
-  in.distanceM = distanceM;
-  in.txPowerW = tx.txPowerW;
-  in.txAntennaGainDb = tx.antennaGainDb;
-  in.rxAntennaGainDb = rx.antennaGainDb;
-  in.systemNoiseTempK = rx.systemNoiseTempK;
-  in.extraLossesDb = 3.0;  // pointing/polarization/implementation margin
-  in.atmosphericLossDb = atmosphericDb;
-  const LinkBudgetResult out = computeLinkBudget(in);
-  return modcodRateBps(out.snrDb, bandInfo(tx.band).channelBandwidthHz);
-}
-
 }  // namespace
 
+// These helpers run once per candidate link per snapshot — the hottest
+// leaf of every temporal sweep. Each terminal pair is compiled once into a
+// CapacityKernel with a 3 dB pointing/polarization/implementation margin;
+// the kernel is bit-identical to the full computeLinkBudget() +
+// modcodRateBps() round trip by contract (property-tested in test_phy).
+
 double islCapacityBps(double distanceM, bool laser) {
-  const TerminalSpec spec =
-      laser ? terminals::laserIsl() : terminals::sBandIsl();
-  return terminalPairCapacityBps(spec, spec, distanceM, 0.0);
+  static const CapacityKernel rf(terminals::sBandIsl(), terminals::sBandIsl(),
+                                 3.0);
+  static const CapacityKernel optical(terminals::laserIsl(),
+                                      terminals::laserIsl(), 3.0);
+  return (laser ? optical : rf).rateBps(distanceM, 0.0);
 }
 
 double gslCapacityBps(double distanceM, double elevationRad) {
+  static const CapacityKernel kernel(terminals::kuGround(),
+                                     terminals::kuGroundStation(), 3.0);
   const double atm = atmosphericLossDb(Band::Ku, std::max(elevationRad, 0.01));
-  return terminalPairCapacityBps(terminals::kuGround(), terminals::kuGroundStation(),
-                                 distanceM, atm);
+  return kernel.rateBps(distanceM, atm);
 }
 
 double userLinkCapacityBps(double distanceM, double elevationRad) {
+  static const CapacityKernel kernel(terminals::kuGround(),
+                                     terminals::kuUserTerminal(), 3.0);
   const double atm = atmosphericLossDb(Band::Ku, std::max(elevationRad, 0.01));
-  return terminalPairCapacityBps(terminals::kuGround(), terminals::kuUserTerminal(),
-                                 distanceM, atm);
+  return kernel.rateBps(distanceM, atm);
 }
 
 TopologyBuilder::TopologyBuilder(const EphemerisService& ephemeris)
@@ -77,6 +72,7 @@ void TopologyBuilder::setCapabilities(SatelliteId id, LinkCapabilities caps) {
         "ISL band (interoperability minimum, paper section 2.1)");
   }
   caps_[id] = std::move(caps);
+  ++capsVersion_;
 }
 
 const LinkCapabilities& TopologyBuilder::capabilities(SatelliteId id) const {

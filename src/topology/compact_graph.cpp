@@ -4,14 +4,50 @@
 #include <cmath>
 
 #include <openspace/core/assert.hpp>
+#include <openspace/core/hash.hpp>
 #include <openspace/geo/error.hpp>
 
 namespace openspace {
 
-const std::vector<std::uint32_t>& CompactGraph::edgesOfLink(LinkId id) const {
-  static const std::vector<std::uint32_t> kEmpty;
-  const auto it = linkEdges_.find(id);
-  return it == linkEdges_.end() ? kEmpty : it->second;
+std::uint64_t CompactGraph::contentChecksum() const noexcept {
+  std::uint64_t h = kFnvOffsetBasis;
+  h = fnv1a(h, nodes_->denseToNode.size());
+  for (const NodeId id : nodes_->denseToNode) h = fnv1a(h, id.value());
+  for (const NodeKind k : nodes_->nodeKind) {
+    h = fnv1a(h, static_cast<std::uint64_t>(k));
+  }
+  for (const std::uint32_t o : rowOffset_) h = fnv1a(h, o);
+  h = fnv1a(h, edgeTo_.size());
+  for (std::size_t e = 0; e < edgeTo_.size(); ++e) {
+    h = fnv1a(h, edgeTo_[e]);
+    h = fnv1a(h, edgeFrom_[e]);
+    h = fnv1a(h, bitsOf(edgeCost_[e]));
+    h = fnv1a(h, bitsOf(edgePropS_[e]));
+    h = fnv1a(h, bitsOf(edgeQueueS_[e]));
+    h = fnv1a(h, bitsOf(edgeCapBps_[e]));
+    h = fnv1a(h, edgeLinkId_[e].value());
+  }
+  // The link->edges map, walked in link-id order so hash-map iteration
+  // order never leaks into the checksum.
+  for (std::size_t lid = 0; lid < linkEdges_.size(); ++lid) {
+    const LinkEdgeRange& r = linkEdges_[lid];
+    if (r.count == 0) continue;
+    h = fnv1a(h, lid);
+    for (const std::uint32_t e : r) h = fnv1a(h, e);
+  }
+  if (!sparseLinkEdges_.empty()) {
+    std::vector<LinkId> ids;
+    ids.reserve(sparseLinkEdges_.size());
+    for (const auto& [lid, r] : sparseLinkEdges_) ids.push_back(lid);
+    std::sort(ids.begin(), ids.end(),
+              [](LinkId a, LinkId b) { return a.value() < b.value(); });
+    for (const LinkId lid : ids) {
+      const LinkEdgeRange& r = sparseLinkEdges_.at(lid);
+      h = fnv1a(h, lid.value());
+      for (const std::uint32_t e : r) h = fnv1a(h, e);
+    }
+  }
+  return h;
 }
 
 CompactGraph compileGraph(const NetworkGraph& g, const CompactGraph::CostFn& cost,
@@ -21,24 +57,26 @@ CompactGraph compileGraph(const NetworkGraph& g, const CompactGraph::CostFn& cos
   const std::size_t n = order.size();
   OPENSPACE_ASSERT(n < CompactGraph::kInvalidIndex,
                    "dense node indices fit in 32 bits");
-  out.denseToNode_ = order;
-  out.nodeKind_.reserve(n);
-  out.nodeToDense_.reserve(n);
+  auto nt = std::make_shared<CompactGraph::NodeTable>();
+  nt->denseToNode = order;
+  nt->nodeKind.reserve(n);
+  nt->nodeToDense.reserve(n);
   std::uint32_t maxIdValue = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    out.nodeToDense_.emplace(order[i], static_cast<std::uint32_t>(i));
-    out.nodeKind_.push_back(g.node(order[i]).kind);
+    nt->nodeToDense.emplace(order[i], static_cast<std::uint32_t>(i));
+    nt->nodeKind.push_back(g.node(order[i]).kind);
     maxIdValue = std::max(maxIdValue, order[i].value());
   }
   // Builder-assigned ids are dense (1..N), so a direct-mapped table makes
   // indexOf a single load. Skip it for pathological sparse id spaces where
   // it would waste memory.
   if (n > 0 && maxIdValue <= 4 * n + 1024) {
-    out.idToDense_.assign(maxIdValue + 1, CompactGraph::kInvalidIndex);
+    nt->idToDense.assign(maxIdValue + 1, CompactGraph::kInvalidIndex);
     for (std::size_t i = 0; i < n; ++i) {
-      out.idToDense_[order[i].value()] = static_cast<std::uint32_t>(i);
+      nt->idToDense[order[i].value()] = static_cast<std::uint32_t>(i);
     }
   }
+  out.nodes_ = std::move(nt);
 
   out.rowOffset_.reserve(n + 1);
   out.rowOffset_.push_back(0);
@@ -51,6 +89,27 @@ CompactGraph compileGraph(const NetworkGraph& g, const CompactGraph::CostFn& cos
   out.edgeCapBps_.reserve(edgeGuess);
   out.edgeLinkId_.reserve(edgeGuess);
 
+  // Same density heuristic as node ids: builder link ids are 1..L, so the
+  // direct-mapped table covers them all and the sparse map stays empty.
+  std::uint64_t maxLinkIdValue = 0;
+  for (const LinkId lid : g.links()) {
+    maxLinkIdValue = std::max<std::uint64_t>(maxLinkIdValue, lid.value());
+  }
+  const bool denseLinks = maxLinkIdValue <= 4 * g.linkCount() + 1024;
+  if (denseLinks) out.linkEdges_.resize(maxLinkIdValue + 1);
+
+  const auto noteLinkEdge = [&](LinkId lid, std::uint32_t e) {
+    if (denseLinks) {
+      CompactGraph::LinkEdgeRange& r = out.linkEdges_[lid.value()];
+      OPENSPACE_ASSERT(r.count < 2, "an undirected link compiles to <= 2 edges");
+      r.e[r.count++] = e;
+    } else {
+      CompactGraph::LinkEdgeRange& r = out.sparseLinkEdges_[lid];
+      OPENSPACE_ASSERT(r.count < 2, "an undirected link compiles to <= 2 edges");
+      r.e[r.count++] = e;
+    }
+  };
+
   for (std::size_t i = 0; i < n; ++i) {
     const NodeId u = order[i];
     for (const LinkId lid : g.linksOf(u)) {
@@ -61,8 +120,8 @@ CompactGraph compileGraph(const NetworkGraph& g, const CompactGraph::CostFn& cos
       }
       if (std::isinf(c)) continue;  // forbidden edge: dropped at compile time
       const NodeId v = l.otherEnd(u);
-      const auto itV = out.nodeToDense_.find(v);
-      OPENSPACE_ASSERT(itV != out.nodeToDense_.end(),
+      const auto itV = out.nodes_->nodeToDense.find(v);
+      OPENSPACE_ASSERT(itV != out.nodes_->nodeToDense.end(),
                        "every link endpoint is a graph node");
       const auto e = static_cast<std::uint32_t>(out.edgeTo_.size());
       out.edgeTo_.push_back(itV->second);
@@ -72,7 +131,7 @@ CompactGraph compileGraph(const NetworkGraph& g, const CompactGraph::CostFn& cos
       out.edgeQueueS_.push_back(l.queueingDelayS);
       out.edgeCapBps_.push_back(l.capacityBps);
       out.edgeLinkId_.push_back(lid);
-      out.linkEdges_[lid].push_back(e);
+      noteLinkEdge(lid, e);
     }
     out.rowOffset_.push_back(static_cast<std::uint32_t>(out.edgeTo_.size()));
   }

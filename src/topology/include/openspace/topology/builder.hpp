@@ -7,6 +7,7 @@
 // capacity each link closes at given the standardized terminals.
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
 
 #include <openspace/mac/beacon.hpp>
@@ -54,6 +55,12 @@ struct SnapshotOptions {
 
 class TopologyBuilder {
  public:
+  /// A registered ground site and its stable node id.
+  struct SiteEntry {
+    NodeId node;
+    GroundSite site;
+  };
+
   /// The ephemeris service must outlive the builder.
   explicit TopologyBuilder(const EphemerisService& ephemeris);
 
@@ -81,20 +88,28 @@ class TopologyBuilder {
   NetworkGraph snapshot(double tSeconds, const SnapshotOptions& opt) const;
 
   const EphemerisService& ephemeris() const noexcept { return ephemeris_; }
+  /// Bumped by every setCapabilities() call. Lets per-step consumers
+  /// (IncrementalTopology) skip re-reading all capabilities when nothing
+  /// changed, without weakening the "capabilities may change mid-sweep"
+  /// contract.
+  std::uint64_t capabilitiesVersion() const noexcept { return capsVersion_; }
   std::size_t satelliteCount() const noexcept { return satNodes_.size(); }
   std::size_t groundStationCount() const noexcept { return stations_.size(); }
   std::size_t userCount() const noexcept { return users_.size(); }
 
- private:
-  struct SiteEntry {
-    NodeId node;
-    GroundSite site;
-  };
+  /// Registered ground stations / users in registration order — the order
+  /// snapshot() emits their nodes and ground links in. The incremental
+  /// topology pipeline (topology/delta.hpp) replays that order without
+  /// building a NetworkGraph.
+  const std::vector<SiteEntry>& stationSites() const noexcept { return stations_; }
+  const std::vector<SiteEntry>& userSites() const noexcept { return users_; }
 
+ private:
   const EphemerisService& ephemeris_;
   std::unordered_map<SatelliteId, NodeId> satNodes_;
   std::unordered_map<NodeId, SatelliteId> nodeSats_;
   std::unordered_map<SatelliteId, LinkCapabilities> caps_;
+  std::uint64_t capsVersion_ = 0;
   std::vector<SiteEntry> stations_;
   std::vector<SiteEntry> users_;
   NodeId::rep_type nextNodeValue_ = 1;

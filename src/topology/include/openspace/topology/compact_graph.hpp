@@ -17,6 +17,13 @@
 //   * cost < 0 / NaN -> InvalidArgumentError at compile time (the legacy
 //     path threw on first relaxation; compilation tightens this to "at
 //     compile", catching negative edges even in unreachable components).
+//
+// Temporal sweeps need one compiled graph per time step; recompiling from a
+// fresh NetworkGraph every step repeats all of the hash-map construction
+// work even though consecutive snapshots differ by a handful of links.
+// topology/delta.hpp (IncrementalTopology) therefore patches CompactGraphs
+// directly — contentChecksum() is the bit-identity witness the delta==fresh
+// property tests and bench gates compare.
 #pragma once
 
 #include <cstdint>
@@ -38,20 +45,40 @@ class CompactGraph {
   /// std::function type; the alias lives in the routing layer).
   using CostFn = std::function<double(const NetworkGraph&, const Link&, ProviderId)>;
 
-  std::size_t nodeCount() const noexcept { return denseToNode_.size(); }
+  /// The (at most 2) directed edge indices compiled from one undirected
+  /// link, in ascending edge-index order. Small enough to return by value;
+  /// iterable like a container.
+  struct LinkEdgeRange {
+    std::uint32_t count = 0;
+    std::uint32_t e[2] = {kInvalidIndex, kInvalidIndex};
+
+    bool empty() const noexcept { return count == 0; }
+    std::uint32_t size() const noexcept { return count; }
+    std::uint32_t front() const noexcept { return e[0]; }
+    const std::uint32_t* begin() const noexcept { return e; }
+    const std::uint32_t* end() const noexcept { return e + count; }
+  };
+
+  std::size_t nodeCount() const noexcept { return nodes_->denseToNode.size(); }
   std::size_t edgeCount() const noexcept { return edgeTo_.size(); }
 
   /// Dense index of a NodeId, or kInvalidIndex when absent.
   std::uint32_t indexOf(NodeId id) const {
     // Builder-produced ids are small and sequential, so the common case is
     // one array load; the hash map only backs sparse / oversized ids.
-    if (id.value() < idToDense_.size()) return idToDense_[id.value()];
-    const auto it = nodeToDense_.find(id);
-    return it == nodeToDense_.end() ? kInvalidIndex : it->second;
+    if (id.value() < nodes_->idToDense.size()) {
+      return nodes_->idToDense[id.value()];
+    }
+    const auto it = nodes_->nodeToDense.find(id);
+    return it == nodes_->nodeToDense.end() ? kInvalidIndex : it->second;
   }
-  NodeId nodeAt(std::uint32_t dense) const { return denseToNode_[dense]; }
-  const std::vector<NodeId>& nodes() const noexcept { return denseToNode_; }
-  NodeKind kindAt(std::uint32_t dense) const { return nodeKind_[dense]; }
+  NodeId nodeAt(std::uint32_t dense) const {
+    return nodes_->denseToNode[dense];
+  }
+  const std::vector<NodeId>& nodes() const noexcept {
+    return nodes_->denseToNode;
+  }
+  NodeKind kindAt(std::uint32_t dense) const { return nodes_->nodeKind[dense]; }
 
   /// CSR row of directed out-edges of dense node u: [rowBegin, rowEnd).
   std::uint32_t rowBegin(std::uint32_t u) const { return rowOffset_[u]; }
@@ -67,19 +94,44 @@ class CompactGraph {
 
   /// Directed edge indices compiled from undirected link `id` (0, 1 or 2
   /// entries — fewer than 2 when a direction was dropped as forbidden).
-  /// Returns an empty span-like vector reference for unknown links.
-  const std::vector<std::uint32_t>& edgesOfLink(LinkId id) const;
+  /// Returns an empty range for unknown links.
+  LinkEdgeRange edgesOfLink(LinkId id) const {
+    // Builder-assigned link ids are dense (1..L), so the common case is one
+    // array load; the hash map only backs sparse id spaces (e.g. graphs
+    // with removed links).
+    if (id.value() < linkEdges_.size()) return linkEdges_[id.value()];
+    const auto it = sparseLinkEdges_.find(id);
+    return it == sparseLinkEdges_.end() ? LinkEdgeRange{} : it->second;
+  }
+
+  /// FNV-1a over everything observable through this interface: node order,
+  /// node kinds, CSR layout, every per-edge double (raw bits), edge->link
+  /// and link->edge maps. Two graphs checksum equal iff a consumer cannot
+  /// tell them apart — the delta==fresh bit-identity witness.
+  std::uint64_t contentChecksum() const noexcept;
 
   friend CompactGraph compileGraph(const NetworkGraph& g, const CostFn& cost,
                                    ProviderId home);
+  /// topology/delta.hpp: builds/patches CompactGraphs without a
+  /// NetworkGraph, reproducing compileGraph's layout bit-for-bit.
+  friend class IncrementalTopology;
 
  private:
-  std::vector<NodeId> denseToNode_;
-  std::vector<NodeKind> nodeKind_;
-  /// Direct-mapped id -> dense table (kInvalidIndex for gaps); built only
-  /// when the id range is close to the node count, empty otherwise.
-  std::vector<std::uint32_t> idToDense_;
-  std::unordered_map<NodeId, std::uint32_t> nodeToDense_;
+  /// The node half of the graph: dense numbering and both id lookup
+  /// structures. Immutable once built and independent of the per-step edge
+  /// payload, so cost-patched copies of a graph (IncrementalTopology)
+  /// share one table by shared_ptr instead of re-copying the hash map on
+  /// every step.
+  struct NodeTable {
+    std::vector<NodeId> denseToNode;
+    std::vector<NodeKind> nodeKind;
+    /// Direct-mapped id -> dense table (kInvalidIndex for gaps); built only
+    /// when the id range is close to the node count, empty otherwise.
+    std::vector<std::uint32_t> idToDense;
+    std::unordered_map<NodeId, std::uint32_t> nodeToDense;
+  };
+  /// Never null (default-constructed graphs hold an empty table).
+  std::shared_ptr<const NodeTable> nodes_ = std::make_shared<NodeTable>();
   std::vector<std::uint32_t> rowOffset_;  ///< size nodeCount()+1.
   std::vector<std::uint32_t> edgeTo_;
   std::vector<std::uint32_t> edgeFrom_;
@@ -88,7 +140,10 @@ class CompactGraph {
   std::vector<double> edgeQueueS_;
   std::vector<double> edgeCapBps_;
   std::vector<LinkId> edgeLinkId_;
-  std::unordered_map<LinkId, std::vector<std::uint32_t>> linkEdges_;
+  /// Direct-mapped LinkId value -> directed edges (count==0 for gaps);
+  /// built when the link id range is close to the link count.
+  std::vector<LinkEdgeRange> linkEdges_;
+  std::unordered_map<LinkId, LinkEdgeRange> sparseLinkEdges_;
 };
 
 /// Compile `g` into CSR form under `cost` as provider `home`. Evaluates the

@@ -23,6 +23,7 @@
 #include <openspace/routing/dijkstra.hpp>
 #include <openspace/routing/engine.hpp>
 #include <openspace/sim/flow_sim.hpp>
+#include <openspace/sim/flow_sweep.hpp>
 #include <openspace/topology/builder.hpp>
 
 namespace openspace {
@@ -758,6 +759,96 @@ TEST_F(CityFlowsFixture, RejectsBadInputs) {
   bad.meanRateBps = 0.0;
   EXPECT_THROW(buildCityFlows(bad, snapshot_, satNodes_, gateways_, *engine_),
                InvalidArgumentError);
+}
+
+// --- multi-snapshot flow sweeps over the delta path -------------------------
+
+class FlowSweepFixture : public ::testing::Test {
+ protected:
+  FlowSweepFixture() {
+    for (const auto& el : makeWalkerStar(iridiumConfig())) {
+      eph_.publish(ProviderId{1}, el);
+    }
+    topo_ = std::make_unique<TopologyBuilder>(eph_);
+    gwA_ = topo_->nodeOf(topo_->addGroundStation(
+        {"paris", Geodetic::fromDegrees(48.86, 2.35), ProviderId{1}}));
+    gwB_ = topo_->nodeOf(topo_->addGroundStation(
+        {"jburg", Geodetic::fromDegrees(-26.20, 28.05), ProviderId{1}}));
+    for (std::uint32_t s = 0; s < 8; ++s) {
+      FlowSweepDemand d;
+      d.src = topo_->nodeOf(SatelliteId{s * 8 + 1});
+      d.dst = (s % 2 == 0) ? gwA_ : gwB_;
+      d.rateBps = 10e6;
+      demands_.push_back(d);
+    }
+  }
+  static SnapshotOptions opts() {
+    SnapshotOptions opt;
+    opt.wiring = IslWiring::PlusGrid;
+    opt.planes = 6;
+    opt.minElevationRad = deg2rad(10.0);
+    return opt;
+  }
+  static FlowSweepConfig sweep(TemporalBuild build) {
+    FlowSweepConfig cfg;
+    cfg.t0S = 0.0;
+    cfg.horizonS = 2.0;
+    cfg.stepS = 0.5;
+    cfg.sim = FlowSimConfig{}.withSeed(11);
+    cfg.build = build;
+    return cfg;
+  }
+  EphemerisService eph_;
+  std::unique_ptr<TopologyBuilder> topo_;
+  NodeId gwA_{}, gwB_{};
+  std::vector<FlowSweepDemand> demands_;
+};
+
+TEST_F(FlowSweepFixture, DeltaAndFreshSweepsAreBitIdentical) {
+  const FlowSweepReport delta =
+      runFlowSweep(*topo_, opts(), demands_, sweep(TemporalBuild::Delta));
+  const FlowSweepReport fresh =
+      runFlowSweep(*topo_, opts(), demands_, sweep(TemporalBuild::FreshCompile));
+  ASSERT_EQ(delta.steps.size(), 4u);
+  ASSERT_EQ(fresh.steps.size(), 4u);
+  EXPECT_GT(delta.packetsOffered, 0u);
+  EXPECT_GT(delta.packetsDelivered, 0u);
+  // The delta path's graphs are bit-identical to fresh compiles and
+  // repaired trees equal fresh trees, so the whole simulated packet
+  // stream matches record-for-record.
+  EXPECT_EQ(delta.checksum, fresh.checksum);
+  EXPECT_EQ(delta.packetsOffered, fresh.packetsOffered);
+  EXPECT_EQ(delta.packetsDelivered, fresh.packetsDelivered);
+  EXPECT_EQ(delta.packetsDropped, fresh.packetsDropped);
+  for (std::size_t i = 0; i < delta.steps.size(); ++i) {
+    EXPECT_EQ(delta.steps[i].recordChecksum, fresh.steps[i].recordChecksum)
+        << "step " << i;
+  }
+  // The fresh path rebuilds every step; the delta path compiled step 0 and
+  // patched the short-interval follow-ups (link payload drift only).
+  EXPECT_EQ(fresh.structuralSteps, fresh.steps.size());
+  EXPECT_GE(delta.structuralSteps, 1u);
+  EXPECT_LT(delta.structuralSteps, delta.steps.size());
+}
+
+TEST_F(FlowSweepFixture, SweepValidation) {
+  FlowSweepConfig bad = sweep(TemporalBuild::Delta);
+  bad.stepS = 0.0;
+  EXPECT_THROW(runFlowSweep(*topo_, opts(), demands_, bad),
+               InvalidArgumentError);
+  bad = sweep(TemporalBuild::Delta);
+  bad.horizonS = -1.0;
+  EXPECT_THROW(runFlowSweep(*topo_, opts(), demands_, bad),
+               InvalidArgumentError);
+  std::vector<FlowSweepDemand> unset(1);
+  EXPECT_THROW(runFlowSweep(*topo_, opts(), unset, sweep(TemporalBuild::Delta)),
+               InvalidArgumentError);
+  FlowSweepDemand unknown;
+  unknown.src = NodeId{999'999};
+  unknown.dst = gwA_;
+  EXPECT_THROW(runFlowSweep(*topo_, opts(), {unknown},
+                            sweep(TemporalBuild::Delta)),
+               NotFoundError);
 }
 
 }  // namespace

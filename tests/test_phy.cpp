@@ -257,5 +257,62 @@ TEST(PowerBudget, RechargeRateReflectsCommitments) {
   EXPECT_NEAR(pb.batteryChargeWh(), 20.0, 1e-9);
 }
 
+// --- CapacityKernel ---------------------------------------------------------
+
+/// The full-path reference the kernel must reproduce bit for bit (the same
+/// shape the topology builder's capacity helpers used before compiling
+/// their terminal pairs into kernels).
+double fullPathRateBps(const TerminalSpec& tx, const TerminalSpec& rx,
+                       double distanceM, double atmosphericDb) {
+  LinkBudgetInput in;
+  in.band = tx.band;
+  in.distanceM = distanceM;
+  in.txPowerW = tx.txPowerW;
+  in.txAntennaGainDb = tx.antennaGainDb;
+  in.rxAntennaGainDb = rx.antennaGainDb;
+  in.systemNoiseTempK = rx.systemNoiseTempK;
+  in.extraLossesDb = 3.0;
+  in.atmosphericLossDb = atmosphericDb;
+  const LinkBudgetResult out = computeLinkBudget(in);
+  return modcodRateBps(out.snrDb, bandInfo(tx.band).channelBandwidthHz);
+}
+
+TEST(CapacityKernel, BitIdenticalToFullLinkBudgetAcrossDistances) {
+  const struct {
+    TerminalSpec tx, rx;
+  } pairs[] = {
+      {terminals::sBandIsl(), terminals::sBandIsl()},
+      {terminals::laserIsl(), terminals::laserIsl()},
+      {terminals::kuGround(), terminals::kuGroundStation()},
+      {terminals::kuGround(), terminals::kuUserTerminal()},
+  };
+  for (const auto& p : pairs) {
+    const CapacityKernel kernel(p.tx, p.rx, 3.0);
+    // Log-spaced distances from 1 km to 100,000 km sweep the whole MODCOD
+    // ladder including both can't-close ends; a few atmospheric losses
+    // cover the ground-link path. EXPECT_EQ on doubles: the contract is
+    // bitwise, not approximate.
+    for (int i = 0; i <= 500; ++i) {
+      const double distanceM = 1e3 * std::pow(10.0, i / 100.0);
+      for (const double atmDb : {0.0, 0.37, 2.4, 11.0}) {
+        EXPECT_EQ(kernel.rateBps(distanceM, atmDb),
+                  fullPathRateBps(p.tx, p.rx, distanceM, atmDb))
+            << "d=" << distanceM << " atm=" << atmDb;
+      }
+    }
+  }
+}
+
+TEST(CapacityKernel, Validation) {
+  TerminalSpec dead = terminals::sBandIsl();
+  dead.txPowerW = 0.0;
+  EXPECT_THROW(CapacityKernel(dead, terminals::sBandIsl(), 3.0),
+               InvalidArgumentError);
+  const CapacityKernel kernel(terminals::sBandIsl(), terminals::sBandIsl(),
+                              3.0);
+  EXPECT_THROW(kernel.rateBps(0.0), InvalidArgumentError);
+  EXPECT_THROW(kernel.rateBps(-1.0), InvalidArgumentError);
+}
+
 }  // namespace
 }  // namespace openspace

@@ -232,6 +232,37 @@ TEST(Snapshot, GridPrunedAdjacencyMatchesAllPairs) {
   EXPECT_EQ(isl->linkCount, expectLinks / 2);
 }
 
+TEST(Snapshot, IslPathSelectionBoundaryIsInvisible) {
+  // islTopology() switches from the all-pairs scan to the spatial grid
+  // strictly above kIslAllPairsMaxSats. The crossover is a perf decision
+  // only: at 255 / 256 (all-pairs) and 257 (grid) satellites the adjacency
+  // must match the all-pairs definition pair-for-pair, bitwise distances
+  // and ordering included.
+  const double maxRange = 2'500'000.0;
+  for (const std::size_t n :
+       {kIslAllPairsMaxSats - 1, kIslAllPairsMaxSats, kIslAllPairsMaxSats + 1}) {
+    const auto sats = testConstellation(static_cast<int>(n), 19);
+    const ConstellationSnapshot snap(sats, 42.0);
+    const auto isl = snap.islTopology(maxRange);
+    ASSERT_EQ(isl->adjacency.size(), n);
+    std::size_t expectLinks = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<std::pair<std::size_t, double>> expect;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double d = snap.eci(i).distanceTo(snap.eci(j));
+        if (d <= maxRange &&
+            lineOfSightClear(snap.eci(i), snap.eci(j), km(80.0))) {
+          expect.emplace_back(j, d);
+        }
+      }
+      expectLinks += expect.size();
+      ASSERT_EQ(isl->adjacency[i], expect) << "n=" << n << " sat " << i;
+    }
+    EXPECT_EQ(isl->linkCount, expectLinks / 2) << "n=" << n;
+  }
+}
+
 TEST(Snapshot, ShortestIslPathSelfAndDisconnected) {
   const auto sats = testConstellation(16);
   const ConstellationSnapshot snap(sats, 0.0);

@@ -6,6 +6,7 @@
 #include <openspace/geo/units.hpp>
 #include <openspace/orbit/walker.hpp>
 #include <openspace/routing/dijkstra.hpp>
+#include <openspace/orbit/snapshot.hpp>
 #include <openspace/routing/temporal.hpp>
 
 namespace openspace {
@@ -126,6 +127,93 @@ TEST_F(SparseConstellation, UnreachableBeyondHorizon) {
   const ContactGraphRouter router(*topo_, opt, 0.0, 120.0, 60.0);
   const TemporalRoute r = router.earliestArrival(siteA_, siteB_, 0.0);
   EXPECT_FALSE(r.reachable);
+}
+
+// --- Build modes and the snapshot cache ------------------------------------
+
+TEST_F(DenseConstellation, DeltaAndFreshBuildsRouteIdentically) {
+  const ContactGraphRouter delta(*topo_, denseOpts(), 0.0, 600.0, 60.0,
+                                 TemporalBuild::Delta);
+  const ContactGraphRouter fresh(*topo_, denseOpts(), 0.0, 600.0, 60.0,
+                                 TemporalBuild::FreshCompile);
+  for (const double tStart : {0.0, 90.0, 250.0, 599.0}) {
+    const TemporalRoute a = delta.earliestArrival(user_, gw_, tStart);
+    const TemporalRoute b = fresh.earliestArrival(user_, gw_, tStart);
+    ASSERT_EQ(a.reachable, b.reachable) << "tStart=" << tStart;
+    // The underlying graphs are bit-identical, so so are the labels.
+    EXPECT_EQ(a.arrivalS, b.arrivalS) << "tStart=" << tStart;
+    EXPECT_EQ(a.hops, b.hops);
+    EXPECT_EQ(a.intervalsUsed, b.intervalsUsed);
+  }
+}
+
+TEST_F(DenseConstellation, RepeatedSweepsHitTheSnapshotCache) {
+  SnapshotCache& cache = SnapshotCache::global();
+  cache.clear();
+  const ContactGraphRouter first(*topo_, denseOpts(), 0.0, 600.0, 60.0);
+  const std::size_t missesAfterFirst = cache.misses();
+  const std::size_t hitsAfterFirst = cache.hits();
+  EXPECT_GE(missesAfterFirst, 10u);  // one propagation per interval
+  // A second sweep over the same grid re-uses every cached snapshot.
+  const ContactGraphRouter second(*topo_, denseOpts(), 0.0, 600.0, 60.0);
+  EXPECT_EQ(cache.misses(), missesAfterFirst);
+  EXPECT_GE(cache.hits(), hitsAfterFirst + 10u);
+}
+
+// --- Interval-boundary semantics -------------------------------------------
+
+class SinglePassConstellation : public ::testing::Test {
+ protected:
+  SinglePassConstellation() {
+    // One polar satellite passing over two nearby equatorial sites around
+    // t=0; once it moves down-track the contact is gone for the rest of
+    // the orbit (~100 min).
+    eph_.publish(ProviderId{1},
+                 OrbitalElements::circular(km(780.0), deg2rad(86.4), 0.0, 0.0));
+    topo_ = std::make_unique<TopologyBuilder>(eph_);
+    user_ = topo_->addUser({"u", Geodetic::fromDegrees(0.0, 0.0), ProviderId{1}});
+    gw_ = topo_->nodeOf(topo_->addGroundStation(
+        {"gw", Geodetic::fromDegrees(3.0, 0.5), ProviderId{2}}));
+  }
+  static SnapshotOptions opts() {
+    SnapshotOptions opt;
+    opt.wiring = IslWiring::AllInRange;
+    opt.minElevationRad = deg2rad(10.0);
+    return opt;
+  }
+  EphemerisService eph_;
+  std::unique_ptr<TopologyBuilder> topo_;
+  NodeId user_{}, gw_{};
+};
+
+TEST_F(SinglePassConstellation, PathValidInOneIntervalBrokenInTheNext) {
+  // Interval grid of 5 minutes: the pass lives in interval 0; by interval
+  // 2 the satellite is thousands of km down-track.
+  const ContactGraphRouter router(*topo_, opts(), 0.0, 1'500.0, 300.0);
+  const TemporalRoute during = router.earliestArrival(user_, gw_, 0.0);
+  ASSERT_TRUE(during.reachable);
+  EXPECT_EQ(during.intervalsUsed, 1);
+  // Departing after the contact closed: the remaining horizon never
+  // re-establishes the pass, so the same query is now unreachable.
+  const TemporalRoute after = router.earliestArrival(user_, gw_, 600.0);
+  EXPECT_FALSE(after.reachable);
+}
+
+TEST_F(DenseConstellation, DepartureExactlyAtIntervalEdge) {
+  // tStart == the edge between intervals [0,60) and [60,120). The closing
+  // interval still participates (its end is not strictly before the
+  // departure) but cannot transmit — any positive-delay arrival overshoots
+  // its end — so delivery happens in the next interval with zero waiting,
+  // at the instantaneous shortest-path delay of the t=60 snapshot.
+  const ContactGraphRouter router(*topo_, denseOpts(), 0.0, 600.0, 60.0);
+  const TemporalRoute r = router.earliestArrival(user_, gw_, 60.0);
+  ASSERT_TRUE(r.reachable);
+  EXPECT_EQ(r.intervalsUsed, 2);
+  EXPECT_NEAR(r.waitingS, 0.0, 1e-9);
+  const NetworkGraph g = topo_->snapshot(60.0, denseOpts());
+  const Route instant = shortestPath(g, user_, gw_, latencyCost());
+  ASSERT_TRUE(instant.valid());
+  EXPECT_NEAR(r.totalDelayS(), instant.totalDelayS(), 1e-9);
 }
 
 TEST_F(SparseConstellation, EarliestArrivalIsMonotoneInStartTime) {

@@ -1,0 +1,422 @@
+// Property tests for the incremental temporal topology pipeline
+// (topology/delta.hpp): delta-built CompactGraphs must be bit-identical to
+// fresh compileGraph() output, across all three ISL wiring policies, over
+// randomized constellations and sweeps. The fresh path is the executable
+// spec; contentChecksum() is the witness.
+#include <gtest/gtest.h>
+
+#include <openspace/core/hash.hpp>
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/rng.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/orbit/snapshot.hpp>
+#include <openspace/orbit/snapshot_delta.hpp>
+#include <openspace/orbit/walker.hpp>
+#include <openspace/routing/engine.hpp>
+#include <openspace/topology/delta.hpp>
+
+namespace openspace {
+namespace {
+
+LinkCapabilities laserCaps() {
+  LinkCapabilities c;
+  c.islBands = {Band::S};  // RF interoperability minimum
+  c.hasLaserTerminal = true;
+  return c;
+}
+
+/// A builder over a randomized Walker star with ground stations, users, and
+/// a random subset of laser-capable satellites.
+struct Scenario {
+  EphemerisService eph;
+  std::unique_ptr<TopologyBuilder> topo;
+};
+
+std::unique_ptr<Scenario> makeScenario(Rng& rng, int planes, int perPlane,
+                                       int stations, int users) {
+  auto sc = std::make_unique<Scenario>();
+  WalkerConfig cfg;
+  cfg.totalSatellites = planes * perPlane;
+  cfg.planes = planes;
+  cfg.phasing = static_cast<int>(rng.uniformInt(0, planes - 1));
+  cfg.altitudeM = rng.uniform(km(500.0), km(1200.0));
+  cfg.inclinationRad = rng.uniform(deg2rad(50.0), deg2rad(90.0));
+  for (const auto& el : makeWalkerStar(cfg)) {
+    sc->eph.publish(ProviderId{1}, el);
+  }
+  sc->topo = std::make_unique<TopologyBuilder>(sc->eph);
+  for (const SatelliteId sid : sc->eph.satellites()) {
+    if (rng.chance(0.5)) sc->topo->setCapabilities(sid, laserCaps());
+  }
+  for (int i = 0; i < stations; ++i) {
+    sc->topo->addGroundStation(
+        {"gw" + std::to_string(i), rng.surfacePoint(), ProviderId{2}});
+  }
+  for (int i = 0; i < users; ++i) {
+    sc->topo->addUser({"u" + std::to_string(i), rng.surfacePoint(), ProviderId{1}});
+  }
+  return sc;
+}
+
+SnapshotOptions optsFor(IslWiring wiring, int planes, Rng& rng) {
+  SnapshotOptions opt;
+  opt.wiring = wiring;
+  opt.planes = planes;
+  opt.nearestK = static_cast<int>(rng.uniformInt(2, 5));
+  opt.maxIslRangeM = rng.uniform(km(3000.0), km(6000.0));
+  opt.minElevationRad = deg2rad(rng.uniform(5.0, 25.0));
+  opt.interPlaneSeam = rng.chance(0.5);
+  opt.preferLaser = rng.chance(0.8);
+  return opt;
+}
+
+/// One sweep: every step's delta graph checksums equal to a fresh compile
+/// of the same snapshot under the same cost model.
+void expectBitIdenticalSweep(IslWiring wiring, const TemporalCostModel& model,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  const int planes = 4;
+  const auto sc = makeScenario(rng, planes, 6, 2, 3);
+  const SnapshotOptions opt = optsFor(wiring, planes, rng);
+  IncrementalTopology inc(*sc->topo, opt, model);
+
+  std::size_t structuralSteps = 0;
+  std::size_t patchedSteps = 0;
+  double t = 0.0;
+  for (int k = 0; k < 24; ++k) {
+    const TopologyDelta& d = inc.step(t);
+    const CompactGraph fresh =
+        compileGraph(sc->topo->snapshot(t, opt), model.link);
+    ASSERT_NE(inc.graph(), nullptr);
+    ASSERT_EQ(inc.graph()->contentChecksum(), fresh.contentChecksum())
+        << "wiring=" << static_cast<int>(wiring) << " seed=" << seed
+        << " t=" << t;
+    if (d.structural) {
+      ++structuralSteps;
+    } else if (d.costChangedLinks > 0) {
+      ++patchedSteps;
+    }
+    // Bookkeeping closes: every current link is added, changed, or kept.
+    ASSERT_EQ(d.addedLinks + d.costChangedLinks + d.unchangedLinks, d.linkCount);
+    t += rng.uniform(5.0, 40.0);
+  }
+  // The sweep exercised the patch path, not just rebuilds (step sizes are
+  // small enough that most steps keep the link set).
+  EXPECT_GT(patchedSteps, 0u) << "seed=" << seed;
+  // The first step is always structural (nothing to patch against).
+  EXPECT_GE(structuralSteps, 1u);
+}
+
+class DeltaBitIdentity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeltaBitIdentity, PlusGridDelayCost) {
+  expectBitIdenticalSweep(IslWiring::PlusGrid, delayCostModel(), GetParam());
+}
+
+TEST_P(DeltaBitIdentity, NearestNeighborsDelayCost) {
+  expectBitIdenticalSweep(IslWiring::NearestNeighbors, delayCostModel(),
+                          GetParam());
+}
+
+TEST_P(DeltaBitIdentity, AllInRangeDelayCost) {
+  expectBitIdenticalSweep(IslWiring::AllInRange, delayCostModel(), GetParam());
+}
+
+TEST_P(DeltaBitIdentity, PlusGridHopCost) {
+  expectBitIdenticalSweep(IslWiring::PlusGrid, hopCostModel(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaBitIdentity,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+// --- Step/delta semantics --------------------------------------------------
+
+TEST(IncrementalTopology, RepeatedTimestampSharesGraph) {
+  Rng rng(11);
+  const auto sc = makeScenario(rng, 4, 6, 1, 1);
+  SnapshotOptions opt = optsFor(IslWiring::PlusGrid, 4, rng);
+  IncrementalTopology inc(*sc->topo, opt);
+  inc.step(100.0);
+  const auto first = inc.graph();
+  const TopologyDelta& d = inc.step(100.0);
+  EXPECT_FALSE(d.structural);
+  EXPECT_EQ(d.costChangedLinks, 0u);
+  EXPECT_EQ(d.addedLinks, 0u);
+  EXPECT_EQ(d.unchangedLinks, d.linkCount);
+  // Bitwise-identical step: the graph object itself is reused, not copied.
+  EXPECT_EQ(inc.graph().get(), first.get());
+  EXPECT_EQ(inc.stepCount(), 2u);
+}
+
+TEST(IncrementalTopology, HopCostStepsAreNotStructuralUnderStaticLinks) {
+  // Hop cost is constant, so a persisting link set patches zero payloads
+  // only if the geometry payloads (delay, capacity) were also unchanged —
+  // which they are not between distinct times. The delta must still notice
+  // the payload drift even though the *cost* is static.
+  Rng rng(12);
+  const auto sc = makeScenario(rng, 4, 6, 0, 0);
+  SnapshotOptions opt = optsFor(IslWiring::PlusGrid, 4, rng);
+  opt.includeGroundStations = false;
+  opt.includeUserLinks = false;
+  IncrementalTopology inc(*sc->topo, opt, hopCostModel());
+  inc.step(0.0);
+  const TopologyDelta& d = inc.step(1.0);
+  if (!d.structural) {
+    EXPECT_EQ(d.costChangedLinks + d.unchangedLinks, d.linkCount);
+    EXPECT_GT(d.costChangedLinks, 0u);
+  }
+}
+
+TEST(IncrementalTopology, RegistryFreeze) {
+  Rng rng(13);
+  const auto sc = makeScenario(rng, 4, 6, 1, 1);
+  const SnapshotOptions opt = optsFor(IslWiring::NearestNeighbors, 4, rng);
+  IncrementalTopology inc(*sc->topo, opt);
+  inc.step(0.0);
+  sc->topo->addUser({"late", Geodetic::fromDegrees(0.0, 0.0), ProviderId{1}});
+  EXPECT_THROW(inc.step(1.0), StateError);
+}
+
+TEST(IncrementalTopology, PlusGridValidation) {
+  Rng rng(14);
+  const auto sc = makeScenario(rng, 4, 6, 0, 0);
+  SnapshotOptions opt;
+  opt.wiring = IslWiring::PlusGrid;
+  opt.planes = 0;  // missing plane geometry
+  EXPECT_THROW(IncrementalTopology(*sc->topo, opt), InvalidArgumentError);
+  opt.planes = 5;  // does not divide 24
+  EXPECT_THROW(IncrementalTopology(*sc->topo, opt), InvalidArgumentError);
+}
+
+TEST(IncrementalTopology, DegeneratePlusGridSelfPairThrows) {
+  // Two planes of one slot each: the intra-plane ring neighbor of slot 0
+  // is slot 0 itself. The incremental pipeline rejects the degenerate grid
+  // eagerly instead of emitting a self-loop.
+  EphemerisService eph;
+  WalkerConfig cfg;
+  cfg.totalSatellites = 2;
+  cfg.planes = 2;
+  cfg.altitudeM = km(780.0);
+  cfg.inclinationRad = deg2rad(86.4);
+  for (const auto& el : makeWalkerStar(cfg)) eph.publish(ProviderId{1}, el);
+  const TopologyBuilder topo(eph);
+  SnapshotOptions opt;
+  opt.wiring = IslWiring::PlusGrid;
+  opt.planes = 2;
+  EXPECT_THROW(IncrementalTopology(topo, opt), InvalidArgumentError);
+}
+
+TEST(IncrementalTopology, NullCostModelThrows) {
+  Rng rng(15);
+  const auto sc = makeScenario(rng, 4, 6, 0, 0);
+  const SnapshotOptions opt = optsFor(IslWiring::AllInRange, 4, rng);
+  TemporalCostModel broken;  // default-constructed: null callbacks
+  EXPECT_THROW(IncrementalTopology(*sc->topo, opt, std::move(broken)),
+               InvalidArgumentError);
+}
+
+// --- Route repair ----------------------------------------------------------
+
+/// Repaired trees must equal fresh trees node-for-node: bitwise-equal dist
+/// arrays and identical parent edges. Run a delta sweep keeping one tree
+/// alive per source and repairing it each step.
+void expectRepairEqualsFresh(const TemporalCostModel& model, std::uint64_t seed,
+                             std::size_t* repairedSteps) {
+  Rng rng(seed);
+  const auto sc = makeScenario(rng, 4, 6, 2, 2);
+  SnapshotOptions opt = optsFor(IslWiring::PlusGrid, 4, rng);
+  IncrementalTopology inc(*sc->topo, opt, model);
+
+  const std::vector<NodeId> sources = {
+      sc->topo->nodeOf(sc->eph.satellites().front()),
+      sc->topo->stationSites().front().node,
+      sc->topo->userSites().front().node,
+  };
+  std::vector<PathTree> trees(sources.size());
+  double t = 0.0;
+  for (int k = 0; k < 16; ++k) {
+    inc.step(t);
+    const RouteEngine engine(inc.graph());
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      const PathTree fresh = engine.shortestPathTree(sources[s]);
+      if (!trees[s].valid()) {
+        trees[s] = fresh;
+        continue;
+      }
+      TreeRepairStats stats;
+      const PathTree repaired = engine.repairShortestPathTree(trees[s], &stats);
+      if (stats.repaired) ++*repairedSteps;
+      ASSERT_EQ(repaired.source(), fresh.source());
+      ASSERT_EQ(repaired.distByIndex().size(), fresh.distByIndex().size());
+      for (std::size_t i = 0; i < fresh.distByIndex().size(); ++i) {
+        ASSERT_EQ(bitsOf(repaired.distByIndex()[i]),
+                  bitsOf(fresh.distByIndex()[i]))
+            << "seed=" << seed << " t=" << t << " src=" << s << " node=" << i;
+        ASSERT_EQ(repaired.parentEdgeByIndex()[i], fresh.parentEdgeByIndex()[i])
+            << "seed=" << seed << " t=" << t << " src=" << s << " node=" << i;
+      }
+      trees[s] = repaired;
+    }
+    t += rng.uniform(2.0, 20.0);
+  }
+}
+
+class RepairBitIdentity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RepairBitIdentity, HopCostRepairsStructuralChurn) {
+  // Hop cost is static per link, so persisting links never reseed the
+  // repair: only actual link churn (contacts opening/closing) perturbs the
+  // tree, and the repair path must actually engage.
+  std::size_t repaired = 0;
+  expectRepairEqualsFresh(hopCostModel(), GetParam(), &repaired);
+  EXPECT_GT(repaired, 0u);
+}
+
+TEST_P(RepairBitIdentity, DelayCostStaysCorrectUnderSeedFlood) {
+  // Delay costs drift on every edge every step, so most repairs exceed the
+  // seed budget and fall back to fresh runs — the result must be identical
+  // either way.
+  std::size_t repaired = 0;
+  expectRepairEqualsFresh(delayCostModel(), GetParam(), &repaired);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepairBitIdentity, ::testing::Values(31u, 32u, 33u));
+
+TEST(RouteRepair, SameGraphIsIdentityAndCheap) {
+  Rng rng(41);
+  const auto sc = makeScenario(rng, 4, 6, 1, 1);
+  const SnapshotOptions opt = optsFor(IslWiring::PlusGrid, 4, rng);
+  IncrementalTopology inc(*sc->topo, opt);
+  inc.step(0.0);
+  const RouteEngine engine(inc.graph());
+  const NodeId src = sc->topo->userSites().front().node;
+  const PathTree tree = engine.shortestPathTree(src);
+  TreeRepairStats stats;
+  const PathTree again = engine.repairShortestPathTree(tree, &stats);
+  EXPECT_TRUE(stats.repaired);
+  EXPECT_EQ(stats.seedNodes, 0u);
+  EXPECT_EQ(stats.queuePops, 0u);
+  EXPECT_EQ(again.distByIndex(), tree.distByIndex());
+}
+
+TEST(RouteRepair, NodeTemplateMismatchFallsBack) {
+  Rng rng(42);
+  const auto scA = makeScenario(rng, 4, 6, 1, 1);
+  const SnapshotOptions opt = optsFor(IslWiring::PlusGrid, 4, rng);
+  IncrementalTopology incA(*scA->topo, opt);
+  incA.step(0.0);
+  const RouteEngine engineA(incA.graph());
+  const NodeId src = scA->topo->nodeOf(scA->eph.satellites().front());
+  const PathTree treeA = engineA.shortestPathTree(src);
+
+  Rng rng2(43);
+  const auto scB = makeScenario(rng2, 4, 6, 2, 1);  // extra station
+  SnapshotOptions optB = optsFor(IslWiring::PlusGrid, 4, rng2);
+  IncrementalTopology incB(*scB->topo, optB);
+  incB.step(0.0);
+  const RouteEngine engineB(incB.graph());
+  TreeRepairStats stats;
+  const PathTree repaired = engineB.repairShortestPathTree(treeA, &stats);
+  EXPECT_FALSE(stats.repaired);
+  EXPECT_STREQ(stats.fallbackReason, "node-set-changed");
+  // Fallback result is still a correct fresh tree over engineB's graph.
+  const PathTree fresh = engineB.shortestPathTree(src);
+  EXPECT_EQ(repaired.distByIndex(), fresh.distByIndex());
+}
+
+TEST(RouteRepair, InvalidPreviousThrows) {
+  Rng rng(44);
+  const auto sc = makeScenario(rng, 4, 6, 0, 1);
+  const SnapshotOptions opt = optsFor(IslWiring::AllInRange, 4, rng);
+  IncrementalTopology inc(*sc->topo, opt);
+  inc.step(0.0);
+  const RouteEngine engine(inc.graph());
+  EXPECT_THROW(engine.repairShortestPathTree(PathTree{}), InvalidArgumentError);
+}
+
+// --- Orbit-layer link diff (snapshot_delta.hpp) ----------------------------
+
+/// Brute-force reference: set-diff the two topologies' undirected pairs.
+TEST(SnapshotDelta, MatchesBruteForceSetDiff) {
+  Rng rng(21);
+  WalkerConfig cfg;
+  cfg.totalSatellites = 24;
+  cfg.planes = 4;
+  cfg.altitudeM = km(780.0);
+  cfg.inclinationRad = deg2rad(70.0);
+  const auto elements = makeWalkerStar(cfg);
+  EphemerisService eph;
+  for (const auto& el : elements) eph.publish(ProviderId{1}, el);
+
+  const double range = km(4000.0);
+  for (int k = 0; k < 6; ++k) {
+    const double t0 = rng.uniform(0.0, 3000.0);
+    const double t1 = t0 + rng.uniform(1.0, 120.0);
+    const auto a = SnapshotCache::global().at(eph, t0);
+    const auto b = SnapshotCache::global().at(eph, t1);
+    const SnapshotDelta d = diffIslTopology(*a, *b, range);
+
+    const auto pairsOf = [&](const ConstellationSnapshot& s) {
+      std::set<std::pair<std::size_t, std::size_t>> out;
+      const auto topo = s.islTopology(range);
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        for (const auto& [j, dist] : topo->adjacency[i]) {
+          if (j > i) out.insert({i, j});
+        }
+      }
+      return out;
+    };
+    const auto pa = pairsOf(*a);
+    const auto pb = pairsOf(*b);
+    std::size_t added = 0;
+    std::size_t removed = 0;
+    std::size_t persisted = 0;
+    for (const auto& p : pb) {
+      if (pa.count(p) != 0) {
+        ++persisted;
+      } else {
+        ++added;
+      }
+    }
+    for (const auto& p : pa) {
+      if (pb.count(p) == 0) ++removed;
+    }
+    EXPECT_EQ(d.added.size(), added);
+    EXPECT_EQ(d.removed.size(), removed);
+    EXPECT_EQ(d.rangeChanged.size() + d.unchanged, persisted);
+    for (const auto& c : d.added) EXPECT_LT(c.i, c.j);
+    for (const auto& c : d.removed) EXPECT_LT(c.i, c.j);
+  }
+}
+
+TEST(SnapshotDelta, IdenticalSnapshotsProduceEmptyDelta) {
+  EphemerisService eph;
+  WalkerConfig cfg = iridiumConfig();
+  for (const auto& el : makeWalkerStar(cfg)) eph.publish(ProviderId{1}, el);
+  const auto a = SnapshotCache::global().at(eph, 500.0);
+  const SnapshotDelta d = diffIslTopology(*a, *a, km(4000.0));
+  EXPECT_TRUE(d.empty());
+  EXPECT_FALSE(d.structural());
+  EXPECT_EQ(d.added.size() + d.removed.size() + d.rangeChanged.size(), 0u);
+  EXPECT_GT(d.unchanged, 0u);
+}
+
+TEST(SnapshotDelta, FleetSizeMismatchThrows) {
+  EphemerisService a;
+  EphemerisService b;
+  WalkerConfig cfg;
+  cfg.totalSatellites = 8;
+  cfg.planes = 2;
+  cfg.altitudeM = km(780.0);
+  cfg.inclinationRad = deg2rad(86.4);
+  for (const auto& el : makeWalkerStar(cfg)) a.publish(ProviderId{1}, el);
+  cfg.totalSatellites = 12;
+  cfg.planes = 2;
+  for (const auto& el : makeWalkerStar(cfg)) b.publish(ProviderId{1}, el);
+  const auto sa = SnapshotCache::global().at(a, 0.0);
+  const auto sb = SnapshotCache::global().at(b, 0.0);
+  EXPECT_THROW(diffIslTopology(*sa, *sb, km(4000.0)), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace openspace
