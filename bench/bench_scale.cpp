@@ -1,0 +1,684 @@
+// Mega-constellation scaling bench: 1k -> 10k -> 66k satellites through
+// propagate -> index -> topology -> route, per-stage time normalized per
+// satellite so a regression localizes to the stage (and tier) that caused
+// it.
+//
+// Each tier is a realistic multi-shell fleet composed by MultiShellFleet
+// (Starlink-style Delta shells stacked with a polar Star shell), not one
+// giant Walker plane set, so the bench exercises the shell generator, the
+// composed-hash cache keying, and the per-shell +grid wiring alongside the
+// hot kernels.
+//
+// Structure — verification and timing are separate sweeps (the
+// bench_temporal_delta convention):
+//  * propagate (timed, single thread) — TimeSweep over the compiled fleet,
+//    scalar executable-spec kernel vs the runtime-dispatched SIMD kernel.
+//    The single-core scalar/SIMD ratio is the speedup_propagation headline
+//    the committed baseline pins. Untimed gates: both kernels bit-identical
+//    serial vs parallel (full-bit fold of every ECI+ECEF component over
+//    every step), and SIMD within the documented 1e-13 * semi-major-axis
+//    envelope of the scalar spec.
+//  * index (timed) — FootprintIndex2 compile cost per satellite, plus the
+//    batch cap-cell kernel: dispatched SIMD level vs the portable 4-lane
+//    instantiation over a fixed sample block. Hard gate: the two
+//    instantiations (and the scalar cellIndexOf member) are bit-identical
+//    on every sample — the cap map uses only exactly-rounded IEEE ops, so
+//    any divergence is a bug, not noise. Untimed gate: indexed
+//    closestVisible == the snapshot's brute scan at several ground sites.
+//  * topology (timed) — lazy ISL adjacency build (grid-pruned, never
+//    all-pairs at these sizes) on a cold snapshot per pass; per-tier range
+//    caps keep mean ISL degree in the tens like a real +grid/motif fleet.
+//    Untimed gates: diffIslTopology(prev, next) patched onto prev's
+//    adjacency reproduces next's adjacency bit-for-bit, and the
+//    snapshot+topology pipeline is bit-identical serial vs parallel.
+//  * route (timed) — shortestIslPath over spread satellite pairs on the
+//    cached adjacency: Dijkstra cost at fleet scale.
+//
+// argv[1] = JSON output path (default BENCH_scale.json); argv[2] = workload
+// scale in [1e-3, 10] (shrinks every shell's satellite count, e.g. 0.2 for
+// the CI perf-smoke lane); argv[3] = number of tiers to run, 1..3 (the TSan
+// lane runs only the 1k tier). Exit is non-zero unless every gate matches.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <openspace/concurrency/parallel.hpp>
+#include <openspace/core/hash.hpp>
+#include <openspace/coverage/footprint_index.hpp>
+#include <openspace/geo/geodetic.hpp>
+#include <openspace/geo/spherical_index.hpp>
+#include <openspace/geo/spherical_index_simd.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/orbit/propagation_batch.hpp>
+#include <openspace/orbit/propagation_simd.hpp>
+#include <openspace/orbit/shells.hpp>
+#include <openspace/orbit/snapshot.hpp>
+#include <openspace/orbit/snapshot_delta.hpp>
+
+namespace {
+
+using namespace openspace;
+
+constexpr int kPasses = 3;  // best-of to shrug off scheduler noise
+
+double nowS() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Timed {
+  double bestPassS = 0.0;
+  std::uint64_t checksum = 0;
+};
+
+/// Time `pass` (returning a checksum) `passes` times; keep the fastest wall
+/// time and require a stable checksum.
+template <typename Pass>
+Timed timeIt(Pass&& pass, int passes = kPasses) {
+  Timed r;
+  for (int p = 0; p < passes; ++p) {
+    const double t0 = nowS();
+    const std::uint64_t sum = pass();
+    const double dt = nowS() - t0;
+    if (p == 0 || dt < r.bestPassS) r.bestPassS = dt;
+    if (p == 0) {
+      r.checksum = sum;
+    } else if (sum != r.checksum) {
+      std::fprintf(stderr, "non-deterministic pass checksum\n");
+      std::exit(1);
+    }
+  }
+  return r;
+}
+
+/// Full-bit fold of a position array (verification sweeps only).
+std::uint64_t mixVecs(std::uint64_t h, const std::vector<Vec3>& v) {
+  for (const Vec3& p : v) {
+    h = fnv1a(h, bitsOf(p.x));
+    h = fnv1a(h, bitsOf(p.y));
+    h = fnv1a(h, bitsOf(p.z));
+  }
+  return h;
+}
+
+/// Full-bit fold of an ISL adjacency (verification sweeps only).
+std::uint64_t mixAdjacency(
+    std::uint64_t h,
+    const std::vector<std::vector<std::pair<std::size_t, double>>>& adj) {
+  for (const auto& nbrs : adj) {
+    h = fnv1a(h, nbrs.size());
+    for (const auto& [j, d] : nbrs) {
+      h = fnv1a(h, j);
+      h = fnv1a(h, bitsOf(d));
+    }
+  }
+  return h;
+}
+
+/// Deterministic xorshift64* for sample directions (no process entropy:
+/// the bench must produce the same workload in every run).
+struct SplitRng {
+  std::uint64_t state;
+  double next() {  // uniform in [-1, 1)
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    const std::uint64_t bits = state * 0x2545F4914F6CDD1DULL;
+    return static_cast<double>(bits >> 11) *
+               (2.0 / 9007199254740992.0) -
+           1.0;
+  }
+};
+
+std::vector<Vec3> randomUnitDirs(std::size_t n, std::uint64_t seed) {
+  std::vector<Vec3> dirs;
+  dirs.reserve(n);
+  SplitRng rng{seed};
+  while (dirs.size() < n) {
+    const Vec3 v{rng.next(), rng.next(), rng.next()};
+    const double len = v.norm();
+    if (len < 1e-3 || len > 1.0) continue;  // rejection-sample the ball
+    dirs.push_back(Vec3{v.x / len, v.y / len, v.z / len});
+  }
+  return dirs;
+}
+
+/// One scaling tier: a named multi-shell fleet plus its ISL range cap
+/// (chosen per tier to hold mean degree in the tens, like a real fleet).
+struct Tier {
+  const char* name;
+  MultiShellConfig config;
+  double maxIslRangeM;
+};
+
+ShellSpec delta(int t, int p, int f, double altM, double incDeg) {
+  ShellSpec s;
+  s.kind = ShellKind::Delta;
+  s.walker = {t, p, f, altM, deg2rad(incDeg)};
+  return s;
+}
+
+ShellSpec star(int t, int p, int f, double altM, double incDeg) {
+  ShellSpec s;
+  s.kind = ShellKind::Star;
+  s.walker = {t, p, f, altM, deg2rad(incDeg)};
+  return s;
+}
+
+/// Shrink a shell's satellite count by `scale`, keeping T a positive
+/// multiple of P (the Walker validity requirement; F < P is untouched).
+void applyScale(ShellSpec& shell, double scale) {
+  const int p = shell.walker.planes;
+  const int scaled = static_cast<int>(
+      static_cast<double>(shell.walker.totalSatellites) * scale);
+  shell.walker.totalSatellites = std::max(p, scaled / p * p);
+}
+
+std::vector<Tier> makeTiers(double scale) {
+  std::vector<Tier> tiers;
+  {
+    Tier t;
+    t.name = "1k";
+    t.config.shells = {delta(720, 36, 17, km(550.0), 53.0),
+                       star(360, 30, 1, km(560.0), 86.4)};
+    // The small tier also exercises the cross-shell link policy; the big
+    // tiers keep shells +grid-only so their topology time isolates the
+    // grid-pruned adjacency build.
+    t.config.crossShell = CrossShellLinkPolicy::NearestVisible;
+    t.config.crossShellK = 1;
+    t.maxIslRangeM = 3.0e6;
+    tiers.push_back(t);
+  }
+  {
+    Tier t;
+    t.name = "10k";
+    t.config.shells = {delta(4320, 72, 25, km(550.0), 53.0),
+                       delta(3600, 60, 13, km(570.0), 70.0),
+                       star(2160, 36, 5, km(560.0), 86.4)};
+    t.maxIslRangeM = 1.2e6;
+    tiers.push_back(t);
+  }
+  {
+    Tier t;
+    t.name = "66k";
+    t.config.shells = {delta(28800, 144, 31, km(550.0), 53.0),
+                       delta(21600, 120, 47, km(1110.0), 53.8),
+                       star(15840, 96, 11, km(1130.0), 87.9)};
+    t.maxIslRangeM = 5.0e5;
+    tiers.push_back(t);
+  }
+  for (Tier& t : tiers) {
+    for (ShellSpec& s : t.config.shells) applyScale(s, scale);
+  }
+  return tiers;
+}
+
+/// Results of one tier, in JSON field order.
+struct TierResult {
+  std::string name;
+  std::size_t sats = 0;
+  std::size_t shells = 0;
+  std::size_t shellLinks = 0;
+  // propagate
+  int sweepSteps = 0;
+  double propScalarS = 0.0;
+  double propSimdS = 0.0;
+  double speedupPropagation = 0.0;
+  double nsPerSatStep = 0.0;
+  double simdMaxDevM = 0.0;
+  bool propSerialParallelMatch = false;
+  // index
+  double indexBuildS = 0.0;
+  double usPerSatIndex = 0.0;
+  std::size_t capSamples = 0;
+  double capScalar4S = 0.0;
+  double capSimdS = 0.0;
+  double speedupCapIndex = 0.0;
+  bool capBitIdentical = false;
+  bool closestVisibleMatch = false;
+  // topology
+  double maxIslRangeM = 0.0;
+  double topoBuildS = 0.0;
+  double usPerSatTopo = 0.0;
+  std::size_t islLinks = 0;
+  double meanDegree = 0.0;
+  bool deltaFreshMatch = false;
+  bool topoSerialParallelMatch = false;
+  // route
+  std::size_t routePairs = 0;
+  std::size_t routeReached = 0;
+  double routeS = 0.0;
+
+  bool allGates() const {
+    return propSerialParallelMatch && capBitIdentical && closestVisibleMatch &&
+           deltaFreshMatch && topoSerialParallelMatch && simdMaxDevM < 1e-5;
+  }
+};
+
+/// Apply a SnapshotDelta onto a copy of prev's adjacency: the patched
+/// result must reproduce next's adjacency bit-for-bit (the gate).
+std::vector<std::vector<std::pair<std::size_t, double>>> patchAdjacency(
+    const IslTopology& prev, const SnapshotDelta& delta) {
+  auto adj = prev.adjacency;  // deep copy
+  const auto erase = [&](std::size_t a, std::size_t b) {
+    auto& nbrs = adj[a];
+    for (auto it = nbrs.begin(); it != nbrs.end(); ++it) {
+      if (it->first == b) {
+        nbrs.erase(it);
+        return;
+      }
+    }
+  };
+  const auto upsert = [&](std::size_t a, std::size_t b, double distM) {
+    auto& nbrs = adj[a];
+    auto it = nbrs.begin();
+    while (it != nbrs.end() && it->first < b) ++it;
+    if (it != nbrs.end() && it->first == b) {
+      it->second = distM;
+    } else {
+      nbrs.insert(it, {b, distM});
+    }
+  };
+  for (const IslLinkChange& c : delta.removed) {
+    erase(c.i, c.j);
+    erase(c.j, c.i);
+  }
+  for (const IslLinkChange& c : delta.added) {
+    upsert(c.i, c.j, c.distanceM);
+    upsert(c.j, c.i, c.distanceM);
+  }
+  for (const IslLinkChange& c : delta.rangeChanged) {
+    upsert(c.i, c.j, c.distanceM);
+    upsert(c.j, c.i, c.distanceM);
+  }
+  return adj;
+}
+
+TierResult runTier(const Tier& tier, int poolThreads) {
+  TierResult r;
+  r.name = tier.name;
+  r.maxIslRangeM = tier.maxIslRangeM;
+
+  const MultiShellFleet fleet(tier.config);
+  const std::vector<OrbitalElements>& elements = fleet.elements();
+  const std::size_t n = fleet.size();
+  r.sats = n;
+  r.shells = fleet.shellCount();
+
+  const double t0S = 300.0;
+  const double stepS = 1.0;
+  const double maskRad = deg2rad(25.0);
+
+  // Step count scaled so steps*sats stays roughly constant across tiers
+  // (the per-step cost is linear in the fleet).
+  const int steps = static_cast<int>(
+      std::clamp<std::size_t>(262'144 / std::max<std::size_t>(n, 1), 4, 64));
+  r.sweepSteps = steps;
+
+  // --- propagate: scalar spec vs SIMD kernel, single thread ----------------
+  const auto compiled =
+      FleetEphemeris::compiled(elements, fleet.elementsHash());
+  const auto sweepPass = [&](TimeSweep::Kernel kernel) {
+    TimeSweep sweep(compiled);
+    sweep.setKernel(kernel);
+    std::vector<Vec3> eci;
+    std::uint64_t h = kFnvOffsetBasis;
+    for (int s = 0; s < steps; ++s) {
+      sweep.advance(t0S + s * stepS, eci);
+      // O(1) per-step summary: cheap enough not to perturb the timing,
+      // deterministic so timeIt's stability assert has teeth.
+      h = fnv1a(h, bitsOf(eci.front().x));
+      h = fnv1a(h, bitsOf(eci[n / 2].y));
+      h = fnv1a(h, bitsOf(eci.back().z));
+    }
+    return h;
+  };
+  setParallelThreadCount(1);
+  const Timed propScalar =
+      timeIt([&] { return sweepPass(TimeSweep::Kernel::ScalarSpec); });
+  const Timed propSimd =
+      timeIt([&] { return sweepPass(TimeSweep::Kernel::Simd); });
+  setParallelThreadCount(poolThreads);
+  r.propScalarS = propScalar.bestPassS;
+  r.propSimdS = propSimd.bestPassS;
+  r.speedupPropagation =
+      propSimd.bestPassS > 0.0 ? propScalar.bestPassS / propSimd.bestPassS
+                               : 0.0;
+  r.nsPerSatStep = 1e9 * propSimd.bestPassS /
+                   (static_cast<double>(n) * static_cast<double>(steps));
+
+  // Untimed gates: (a) each kernel bit-identical serial vs parallel over
+  // every step's full ECI+ECEF bits; (b) SIMD within the documented
+  // accuracy envelope of the scalar spec at the end of a warm sweep.
+  {
+    const auto foldSweep = [&](TimeSweep::Kernel kernel) {
+      TimeSweep sweep(compiled);
+      sweep.setKernel(kernel);
+      std::vector<Vec3> eci, ecef;
+      std::uint64_t h = kFnvOffsetBasis;
+      for (int s = 0; s < steps; ++s) {
+        sweep.advance(t0S + s * stepS, eci, ecef);
+        h = mixVecs(h, eci);
+        h = mixVecs(h, ecef);
+      }
+      return h;
+    };
+    setParallelThreadCount(1);
+    const std::uint64_t simdSerial = foldSweep(TimeSweep::Kernel::Simd);
+    const std::uint64_t scalarSerial = foldSweep(TimeSweep::Kernel::ScalarSpec);
+    setParallelThreadCount(std::max(poolThreads, 4));
+    const std::uint64_t simdParallel = foldSweep(TimeSweep::Kernel::Simd);
+    const std::uint64_t scalarParallel =
+        foldSweep(TimeSweep::Kernel::ScalarSpec);
+    setParallelThreadCount(poolThreads);
+    r.propSerialParallelMatch =
+        simdSerial == simdParallel && scalarSerial == scalarParallel;
+
+    TimeSweep scalarSweep(compiled), simdSweep(compiled);
+    scalarSweep.setKernel(TimeSweep::Kernel::ScalarSpec);
+    simdSweep.setKernel(TimeSweep::Kernel::Simd);
+    std::vector<Vec3> eciScalar, eciSimd;
+    for (int s = 0; s < steps; ++s) {
+      scalarSweep.advance(t0S + s * stepS, eciScalar);
+      simdSweep.advance(t0S + s * stepS, eciSimd);
+    }
+    double maxDevM = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      maxDevM = std::max(maxDevM, std::abs(eciScalar[i].x - eciSimd[i].x));
+      maxDevM = std::max(maxDevM, std::abs(eciScalar[i].y - eciSimd[i].y));
+      maxDevM = std::max(maxDevM, std::abs(eciScalar[i].z - eciSimd[i].z));
+    }
+    r.simdMaxDevM = maxDevM;
+  }
+
+  // --- index: FootprintIndex2 compile + batch cap-cell kernel --------------
+  const auto snap =
+      std::make_shared<const ConstellationSnapshot>(elements, t0S);
+  const Timed idxBuild = timeIt([&] {
+    const FootprintIndex2 idx(snap, maskRad);
+    return fnv1a(fnv1a(kFnvOffsetBasis, idx.approxBytes()), idx.size());
+  });
+  r.indexBuildS = idxBuild.bestPassS;
+  r.usPerSatIndex = 1e6 * idxBuild.bestPassS / static_cast<double>(n);
+
+  const FootprintIndex2 footprints(snap, maskRad);
+  {
+    // Indexed closestVisible against the snapshot's brute scan.
+    const double sites[][2] = {{40.44, -79.99}, {-33.93, 18.42},
+                               {78.22, 15.64},  {-51.63, -69.22},
+                               {0.35, 32.58}};
+    bool match = true;
+    for (const auto& site : sites) {
+      const Vec3 ecef =
+          geodeticToEcef(Geodetic::fromDegrees(site[0], site[1]));
+      match = match && footprints.closestVisible(ecef) ==
+                           snap->closestVisible(ecef, maskRad);
+    }
+    r.closestVisibleMatch = match;
+  }
+
+  // Batch cap-cell kernel over the index's own caps: dispatched level vs
+  // the portable 4-lane instantiation, bit-identical by contract.
+  {
+    std::vector<SphericalCapIndex::Cap> caps(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      caps[i] = {footprints.direction(i), footprints.halfAngleRad(i)};
+    }
+    const SphericalCapIndex capIdx(caps);
+    const std::size_t bands = capIdx.bandCount();
+    const std::size_t sectors = capIdx.sectorCount();
+    const std::size_t samples = 1u << 17;
+    r.capSamples = samples;
+    const std::vector<Vec3> dirs = randomUnitDirs(samples, 0x5CA1EULL);
+    std::vector<std::uint32_t> cells(samples);
+    const SimdLevel level = simd::cellKernelLevel();
+    const auto capPass = [&](bool useSimd) {
+      if (useSimd) {
+        simd::cellIndices(level, dirs.data(), cells.data(), bands, sectors, 0,
+                          samples);
+      } else {
+        simd::cellIndicesScalar4(dirs.data(), cells.data(), bands, sectors, 0,
+                                 samples);
+      }
+      std::uint64_t h = kFnvOffsetBasis;
+      h = fnv1a(h, cells.front());
+      h = fnv1a(h, cells[samples / 2]);
+      h = fnv1a(h, cells.back());
+      return h;
+    };
+    const Timed capSimd = timeIt([&] { return capPass(true); });
+    const Timed capScalar4 = timeIt([&] { return capPass(false); });
+    r.capSimdS = capSimd.bestPassS;
+    r.capScalar4S = capScalar4.bestPassS;
+    r.speedupCapIndex = capSimd.bestPassS > 0.0
+                            ? capScalar4.bestPassS / capSimd.bestPassS
+                            : 0.0;
+    // Hard gate, untimed: full output arrays bit-identical across the two
+    // instantiations AND the scalar member spec.
+    std::vector<std::uint32_t> simdCells(samples), scalarCells(samples);
+    simd::cellIndices(level, dirs.data(), simdCells.data(), bands, sectors, 0,
+                      samples);
+    simd::cellIndicesScalar4(dirs.data(), scalarCells.data(), bands, sectors,
+                             0, samples);
+    bool identical = simdCells == scalarCells;
+    for (std::size_t i = 0; identical && i < samples; i += 97) {
+      identical = simdCells[i] == capIdx.cellIndexOf(dirs[i]);
+    }
+    r.capBitIdentical = identical;
+  }
+
+  // --- topology: cold ISL adjacency build per pass -------------------------
+  {
+    std::vector<std::unique_ptr<ConstellationSnapshot>> coldSnaps;
+    for (int p = 0; p < kPasses; ++p) {
+      coldSnaps.push_back(
+          std::make_unique<ConstellationSnapshot>(elements, t0S));
+    }
+    int pass = 0;
+    const Timed topo = timeIt([&] {
+      const auto isl = coldSnaps[static_cast<std::size_t>(pass++)]->islTopology(
+          tier.maxIslRangeM);
+      return fnv1a(fnv1a(kFnvOffsetBasis, isl->linkCount),
+                   isl->adjacency.front().size());
+    });
+    r.topoBuildS = topo.bestPassS;
+    r.usPerSatTopo = 1e6 * topo.bestPassS / static_cast<double>(n);
+    const auto isl = snap->islTopology(tier.maxIslRangeM);
+    r.islLinks = isl->linkCount;
+    r.meanDegree =
+        2.0 * static_cast<double>(isl->linkCount) / static_cast<double>(n);
+    r.shellLinks = fleet.islLinks(*snap).size();
+  }
+
+  // Delta==fresh gate: diff the t0 / t0+dt adjacencies, patch t0's arrays
+  // with the delta, and require bit-identity with the fresh t0+dt build.
+  {
+    const double dtS = 15.0;
+    const ConstellationSnapshot next(elements, t0S + dtS);
+    const SnapshotDelta delta =
+        diffIslTopology(*snap, next, tier.maxIslRangeM);
+    const auto patched = patchAdjacency(*snap->islTopology(tier.maxIslRangeM),
+                                        delta);
+    const auto fresh = next.islTopology(tier.maxIslRangeM);
+    r.deltaFreshMatch = mixAdjacency(kFnvOffsetBasis, patched) ==
+                        mixAdjacency(kFnvOffsetBasis, fresh->adjacency);
+  }
+
+  // Serial==parallel gate over the snapshot+topology pipeline.
+  {
+    const auto foldPipeline = [&] {
+      const ConstellationSnapshot s(elements, t0S);
+      std::uint64_t h = mixVecs(kFnvOffsetBasis, s.eci());
+      h = mixVecs(h, s.ecef());
+      return mixAdjacency(h, s.islTopology(tier.maxIslRangeM)->adjacency);
+    };
+    setParallelThreadCount(1);
+    const std::uint64_t serial = foldPipeline();
+    setParallelThreadCount(std::max(poolThreads, 4));
+    const std::uint64_t parallel = foldPipeline();
+    setParallelThreadCount(poolThreads);
+    r.topoSerialParallelMatch = serial == parallel;
+  }
+
+  // --- route: Dijkstra over the cached adjacency ---------------------------
+  {
+    // Endpoints inside shell 0: the big tiers keep shells +grid-only
+    // (cross-shell policy None), so shells are deliberate islands and a
+    // cross-shell pair would measure an unreachable flood, not a path.
+    const auto [s0, s0End] = fleet.shellRange(0);
+    const std::size_t m = s0End - s0;
+    const std::size_t pairs[][2] = {{s0, s0 + m / 2},
+                                    {s0 + m / 5, s0 + 4 * m / 5},
+                                    {s0 + m / 3, s0End - 1}};
+    r.routePairs = std::size(pairs);
+    const Timed route = timeIt([&] {
+      std::uint64_t h = kFnvOffsetBasis;
+      for (const auto& pr : pairs) {
+        const auto path =
+            snap->shortestIslPath(pr[0], pr[1], tier.maxIslRangeM);
+        if (path) {
+          h = fnv1a(h, bitsOf(path->first));
+          h = fnv1a(h, static_cast<std::uint64_t>(path->second));
+        } else {
+          h = fnv1a(h, 0xD15C0ULL);
+        }
+      }
+      return h;
+    });
+    r.routeS = route.bestPassS;
+    for (const auto& pr : pairs) {
+      if (snap->shortestIslPath(pr[0], pr[1], tier.maxIslRangeM)) {
+        ++r.routeReached;
+      }
+    }
+  }
+
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* jsonPath = argc > 1 ? argv[1] : "BENCH_scale.json";
+  const double scale =
+      argc > 2 ? std::clamp(std::atof(argv[2]), 1e-3, 10.0) : 1.0;
+  const int maxTiers = argc > 3 ? std::clamp(std::atoi(argv[3]), 1, 3) : 3;
+  const double wallStartS = nowS();
+  const int poolThreads = parallelThreadCount();
+
+  std::vector<Tier> tiers = makeTiers(scale);
+  tiers.resize(static_cast<std::size_t>(
+      std::min<int>(maxTiers, static_cast<int>(tiers.size()))));
+
+  std::vector<TierResult> results;
+  for (const Tier& tier : tiers) {
+    results.push_back(runTier(tier, poolThreads));
+  }
+
+  bool allMatch = true;
+  double bestSpeedupProp = 0.0, bestSpeedupCap = 0.0;
+  for (const TierResult& r : results) {
+    allMatch = allMatch && r.allGates();
+    bestSpeedupProp = std::max(bestSpeedupProp, r.speedupPropagation);
+    bestSpeedupCap = std::max(bestSpeedupCap, r.speedupCapIndex);
+  }
+
+  // --- report --------------------------------------------------------------
+  std::printf("# Mega-constellation scaling: propagate -> index -> topology "
+              "-> route (scale=%.3f, best of %d passes, single-thread "
+              "kernel timings)\n\n",
+              scale, kPasses);
+  std::printf("%-5s %-7s %-9s %-9s %-9s %-9s %-9s %-8s %-8s\n", "tier",
+              "sats", "prop", "simd", "idx", "topo", "route", "deg",
+              "ns/sat");
+  for (const TierResult& r : results) {
+    std::printf("%-5s %-7zu %-9.4f %-9.4f %-9.4f %-9.4f %-9.4f %-8.1f "
+                "%-8.1f\n",
+                r.name.c_str(), r.sats, r.propScalarS, r.propSimdS,
+                r.indexBuildS, r.topoBuildS, r.routeS, r.meanDegree,
+                r.nsPerSatStep);
+  }
+  std::printf("\n");
+  for (const TierResult& r : results) {
+    std::printf("# %s: speedup propagation %.2fx cap-kernel %.2fx | gates: "
+                "prop serial==parallel %s  cap bit-identical %s  "
+                "closestVisible %s  delta==fresh %s  topo serial==parallel "
+                "%s  simd dev %.2e m\n",
+                r.name.c_str(), r.speedupPropagation, r.speedupCapIndex,
+                r.propSerialParallelMatch ? "MATCH" : "MISMATCH",
+                r.capBitIdentical ? "MATCH" : "MISMATCH",
+                r.closestVisibleMatch ? "MATCH" : "MISMATCH",
+                r.deltaFreshMatch ? "MATCH" : "MISMATCH",
+                r.topoSerialParallelMatch ? "MATCH" : "MISMATCH",
+                r.simdMaxDevM);
+  }
+
+  const double wallS = nowS() - wallStartS;
+  if (std::FILE* f = std::fopen(jsonPath, "w")) {
+    std::fprintf(f,
+                 "{\n  \"bench\": \"scale\",\n"
+                 "  \"wall_seconds\": %.6f,\n"
+                 "  \"threads\": %d,\n"
+                 "  \"scale\": %.4f,\n"
+                 "  \"cap_kernel_level\": \"%s\",\n"
+                 "  \"sweep_kernel_level\": \"%s\",\n"
+                 "  \"speedup_propagation_best\": %.3f,\n"
+                 "  \"speedup_capindex_best\": %.3f,\n"
+                 "  \"tiers\": [\n",
+                 wallS, poolThreads, scale,
+                 simdLevelName(simd::cellKernelLevel()),
+                 simdLevelName(simd::sweepKernelLevel()), bestSpeedupProp,
+                 bestSpeedupCap);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const TierResult& r = results[i];
+      std::fprintf(
+          f,
+          "    {\n"
+          "      \"tier\": \"%s\",\n"
+          "      \"sats\": %zu,\n"
+          "      \"shells\": %zu,\n"
+          "      \"shell_links\": %zu,\n"
+          "      \"sweep_steps\": %d,\n"
+          "      \"prop_scalar_s\": %.6f,\n"
+          "      \"prop_simd_s\": %.6f,\n"
+          "      \"speedup_propagation\": %.3f,\n"
+          "      \"prop_ns_per_sat_step\": %.2f,\n"
+          "      \"simd_max_dev_m\": %.3e,\n"
+          "      \"index_build_s\": %.6f,\n"
+          "      \"index_us_per_sat\": %.4f,\n"
+          "      \"cap_samples\": %zu,\n"
+          "      \"cap_scalar4_s\": %.6f,\n"
+          "      \"cap_simd_s\": %.6f,\n"
+          "      \"speedup_capindex\": %.3f,\n"
+          "      \"max_isl_range_m\": %.1f,\n"
+          "      \"topo_build_s\": %.6f,\n"
+          "      \"topo_us_per_sat\": %.4f,\n"
+          "      \"isl_links\": %zu,\n"
+          "      \"mean_degree\": %.2f,\n"
+          "      \"route_pairs\": %zu,\n"
+          "      \"route_reached\": %zu,\n"
+          "      \"route_s\": %.6f,\n"
+          "      \"gates_match\": %s\n"
+          "    }%s\n",
+          r.name.c_str(), r.sats, r.shells, r.shellLinks, r.sweepSteps,
+          r.propScalarS, r.propSimdS, r.speedupPropagation, r.nsPerSatStep,
+          r.simdMaxDevM, r.indexBuildS, r.usPerSatIndex, r.capSamples,
+          r.capScalar4S, r.capSimdS, r.speedupCapIndex, r.maxIslRangeM,
+          r.topoBuildS, r.usPerSatTopo, r.islLinks, r.meanDegree,
+          r.routePairs, r.routeReached, r.routeS,
+          r.allGates() ? "true" : "false",
+          i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"checksums_match\": %s\n}\n",
+                 allMatch ? "true" : "false");
+    std::fclose(f);
+    std::printf("# json: %s\n", jsonPath);
+  }
+  return allMatch ? 0 : 1;
+}

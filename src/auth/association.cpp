@@ -40,14 +40,31 @@ std::optional<SatelliteId> AssociationAgent::selectSatellite(
     double minElevationRad) const {
   // "The user can evaluate received beacons to identify which satellite is
   // in closest range": positions come from the orbital elements each beacon
-  // advertises, not from a central service. A single one-shot selection
-  // keeps the O(N) brute scan: compiling a footprint index (snapshot +
-  // cap registration + whole-cell certificate sweep) for one query costs
-  // far more than it saves, and distinct query times defeat the index LRU.
+  // advertises, not from a central service.
+  const Vec3 userEcef = geodeticToEcef(location_);
+  if (beacons.size() >= kSelectIndexMinBeacons) {
+    // Mega-constellation path: at this size the brute scan pays one
+    // propagation per beacon anyway, so compiling the shared snapshot +
+    // footprint index (both O(N), both LRU-cached across the agents of a
+    // simulation step) wins, and the per-query cost drops from O(N) to
+    // O(candidates). closestVisible applies the identical elevation and
+    // range expressions with the identical first-wins ascending tie order
+    // (snapshot positions are bit-for-bit the scalar propagation), so the
+    // winner matches the brute scan below exactly.
+    std::vector<OrbitalElements> fleet;
+    fleet.reserve(beacons.size());
+    for (const BeaconMessage& b : beacons) fleet.push_back(b.elements);
+    const auto snap = SnapshotCache::global().at(fleet, tSeconds);
+    const auto footprints = FootprintIndex2::compiled(snap, minElevationRad);
+    const auto best = footprints->closestVisible(userEcef);
+    if (!best) return std::nullopt;
+    return beacons[*best].satellite;
+  }
+  // One-shot small-list selection keeps the O(N) brute scan: compiling a
+  // footprint index for a handful of beacons costs more than it saves.
   // The batched associateUsers path amortizes the index across users and
   // produces the identical winner (first-wins ascending tie order, same
   // elevation and range expressions).
-  const Vec3 userEcef = geodeticToEcef(location_);
   double bestRange = std::numeric_limits<double>::infinity();
   std::optional<SatelliteId> best;
   for (const BeaconMessage& b : beacons) {

@@ -23,7 +23,7 @@ inline constexpr std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) noexcept 
 }
 
 /// Raw bit pattern of a double (units: none — bits, not a quantity).
-inline std::uint64_t bitsOf(double v) noexcept {
+inline std::uint64_t bitsOf(double v) noexcept {  // units: raw bits fold
   return std::bit_cast<std::uint64_t>(v);
 }
 

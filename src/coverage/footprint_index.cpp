@@ -140,7 +140,26 @@ FootprintIndex2::FootprintIndex2(
 
 bool FootprintIndex2::anyCovers(const Vec3& unitPoint) const noexcept {
   if (minCoverCount_.empty()) return false;
-  const std::size_t cell = capIndex_.cellIndexOf(unitPoint);
+  return anyCoversAt(
+      unitPoint, static_cast<std::uint32_t>(capIndex_.cellIndexOf(unitPoint)));
+}
+
+int FootprintIndex2::countCovering(const Vec3& unitPoint,
+                                   int stopAfter) const noexcept {
+  if (minCoverCount_.empty()) return 0;
+  return countCoveringAt(
+      unitPoint, static_cast<std::uint32_t>(capIndex_.cellIndexOf(unitPoint)),
+      stopAfter);
+}
+
+void FootprintIndex2::cellIndicesOf(const Vec3* unitPoints, std::size_t n,
+                                    std::uint32_t* outCells) const {
+  capIndex_.cellIndicesOf(unitPoints, n, outCells);
+}
+
+bool FootprintIndex2::anyCoversAt(const Vec3& unitPoint,
+                                  std::uint32_t cell) const noexcept {
+  if (minCoverCount_.empty()) return false;
   // Certified cell: some cap provably contains every direction here, so
   // the brute scan would find a hit too — answer without any dot products.
   if (minCoverCount_[cell] > 0) return true;
@@ -154,8 +173,8 @@ bool FootprintIndex2::anyCovers(const Vec3& unitPoint) const noexcept {
   return false;
 }
 
-int FootprintIndex2::countCovering(const Vec3& unitPoint,
-                                   int stopAfter) const noexcept {
+int FootprintIndex2::countCoveringAt(const Vec3& unitPoint, std::uint32_t cell,
+                                     int stopAfter) const noexcept {
   // Reproduce the brute scan's early-stop semantics exactly: it returns
   // min(total, stopAfter) for stopAfter >= 1 and, for stopAfter <= 0,
   // breaks on the first covering satellite (1 if any, else 0). Both are
@@ -163,7 +182,6 @@ int FootprintIndex2::countCovering(const Vec3& unitPoint,
   // already forced.
   if (minCoverCount_.empty()) return 0;
   const int limit = std::max(stopAfter, 1);
-  const std::size_t cell = capIndex_.cellIndexOf(unitPoint);
   // At least minCoverCount_[cell] satellites cover every direction here;
   // when that alone reaches the stop limit the clamped count is forced.
   if (static_cast<int>(minCoverCount_[cell]) >= limit) return limit;
@@ -230,7 +248,9 @@ namespace {
 /// Process-wide LRU of compiled footprint indexes, keyed by (elements
 /// hash, count, quantized t, mask bits) — the SnapshotCache pattern one
 /// layer up. Build happens outside the lock; a racing duplicate insert
-/// resolves in favor of the first.
+/// resolves in favor of the first. Eviction is bounded by both an entry
+/// count and an approximate byte budget (see
+/// FootprintIndex2::setCompiledCacheByteBudget).
 class FootprintIndexCache {
  public:
   std::shared_ptr<const FootprintIndex2> at(
@@ -246,7 +266,7 @@ class FootprintIndexCache {
       const auto it = index_.find(key);
       if (it != index_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second);
-        return lru_.front().second;
+        return lru_.front().built;
       }
     }
     auto built = std::make_shared<const FootprintIndex2>(std::move(snapshot),
@@ -255,15 +275,37 @@ class FootprintIndexCache {
     const auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
-      return lru_.front().second;
+      return lru_.front().built;
     }
-    lru_.emplace_front(key, std::move(built));
+    const std::size_t entryBytes = built->approxBytes();
+    lru_.emplace_front(Entry{key, std::move(built), entryBytes});
     index_.emplace(key, lru_.begin());
-    while (lru_.size() > kCapacity) {
-      index_.erase(lru_.back().first);
+    bytes_ += entryBytes;
+    // The just-inserted entry is exempt so an oversized index still caches.
+    while (lru_.size() > 1 &&
+           (lru_.size() > kCapacity || bytes_ > byteBudget_)) {
+      bytes_ -= lru_.back().bytes;
+      index_.erase(lru_.back().key);
       lru_.pop_back();
     }
-    return lru_.front().second;
+    return lru_.front().built;
+  }
+
+  std::size_t setByteBudget(std::size_t budget) OPENSPACE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    const std::size_t previous = byteBudget_;
+    byteBudget_ = budget == 0 ? 1 : budget;
+    while (lru_.size() > 1 && bytes_ > byteBudget_) {
+      bytes_ -= lru_.back().bytes;
+      index_.erase(lru_.back().key);
+      lru_.pop_back();
+    }
+    return previous;
+  }
+
+  std::size_t approxBytes() const OPENSPACE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return bytes_;
   }
 
   static FootprintIndexCache& global() {
@@ -289,13 +331,21 @@ class FootprintIndexCache {
       return static_cast<std::size_t>(h);
     }
   };
-  using Entry = std::pair<Key, std::shared_ptr<const FootprintIndex2>>;
+  struct Entry {
+    Key key;
+    std::shared_ptr<const FootprintIndex2> built;
+    std::size_t bytes = 0;
+  };
 
   static constexpr std::size_t kCapacity = 32;
-  Mutex mutex_;
+  static constexpr std::size_t kDefaultByteBudget =
+      std::size_t{256} * 1024 * 1024;
+  mutable Mutex mutex_;
   std::list<Entry> lru_ OPENSPACE_GUARDED_BY(mutex_);
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_
       OPENSPACE_GUARDED_BY(mutex_);
+  std::size_t bytes_ OPENSPACE_GUARDED_BY(mutex_) = 0;
+  std::size_t byteBudget_ OPENSPACE_GUARDED_BY(mutex_) = kDefaultByteBudget;
 };
 
 }  // namespace
@@ -306,6 +356,14 @@ std::shared_ptr<const FootprintIndex2> FootprintIndex2::compiled(
   OPENSPACE_ASSERT(snapshot != nullptr, "compiled() needs a snapshot");
   return FootprintIndexCache::global().at(std::move(snapshot),
                                           minElevationRad);
+}
+
+std::size_t FootprintIndex2::setCompiledCacheByteBudget(std::size_t bytes) {
+  return FootprintIndexCache::global().setByteBudget(bytes);
+}
+
+std::size_t FootprintIndex2::compiledCacheApproxBytes() {
+  return FootprintIndexCache::global().approxBytes();
 }
 
 }  // namespace openspace

@@ -62,6 +62,17 @@ class FootprintIndex2 {
 
   std::size_t size() const noexcept { return direction_.size(); }
   double minElevationRad() const noexcept { return minElevationRad_; }
+
+  /// Approximate resident size in bytes: the per-satellite cap arrays, the
+  /// band index, and the certificate table (excludes the shared snapshot,
+  /// which SnapshotCache accounts separately) — what the compiled() cache
+  /// charges per entry.
+  std::size_t approxBytes() const noexcept {
+    return sizeof(*this) +
+           direction_.size() * (sizeof(Vec3) + 2 * sizeof(double)) +
+           capIndex_.approxBytes() +
+           minCoverCount_.size() * sizeof(std::uint16_t);
+  }
   const ConstellationSnapshot& snapshot() const noexcept { return *snapshot_; }
 
   double halfAngleRad(std::size_t i) const { return halfAngle_.at(i); }
@@ -80,6 +91,20 @@ class FootprintIndex2 {
   /// `stopAfter` — same result as the brute ascending scan for every
   /// stopAfter, including the degenerate stopAfter <= 0 cases.
   int countCovering(const Vec3& unitPoint, int stopAfter) const noexcept;
+
+  /// Batch cell mapping of `n` unit ECI directions, bit-identical to the
+  /// scalar map the plain anyCovers/countCovering apply per query
+  /// (SIMD-dispatched; see SphericalCapIndex::cellIndicesOf). The
+  /// Monte-Carlo sweeps map each sample chunk in one call, then resolve
+  /// per sample through the *At variants below.
+  void cellIndicesOf(const Vec3* unitPoints, std::size_t n,
+                     std::uint32_t* outCells) const;
+  /// anyCovers with the point's cell precomputed: `cell` must be the
+  /// value cellIndicesOf maps `unitPoint` to. Same boolean as anyCovers.
+  bool anyCoversAt(const Vec3& unitPoint, std::uint32_t cell) const noexcept;
+  /// countCovering with the point's cell precomputed; same contract.
+  int countCoveringAt(const Vec3& unitPoint, std::uint32_t cell,
+                      int stopAfter) const noexcept;
 
   /// True if at least one satellite is at or above the mask from the ECEF
   /// site — the exact elevationAngleRad predicate, candidates from the
@@ -141,6 +166,15 @@ class FootprintIndex2 {
   static std::shared_ptr<const FootprintIndex2> compiled(
       std::shared_ptr<const ConstellationSnapshot> snapshot,
       double minElevationRad);
+
+  /// Byte budget of the compiled() cache (see
+  /// FleetEphemeris::setCompiledCacheByteBudget for the shared eviction
+  /// contract: LRU-tail eviction while over the count cap or this budget,
+  /// newest entry exempt, plain LRU order for equal-size entries). Returns
+  /// the previous budget; pass 0 to shrink the cache to a single entry.
+  static std::size_t setCompiledCacheByteBudget(std::size_t bytes);
+  /// Summed approxBytes() of the currently cached compiled indexes.
+  static std::size_t compiledCacheApproxBytes();
 
  private:
   std::shared_ptr<const ConstellationSnapshot> snapshot_;

@@ -78,11 +78,29 @@ class SphericalCapIndex {
   /// Total (cap, cell) registrations — the index's memory footprint.
   std::size_t entryCount() const noexcept { return cellEntry_.size(); }
 
+  /// Approximate resident size in bytes: the center arrays plus the CSR
+  /// cell table. Feeds the byte-budgeted caches that hold compiled
+  /// indexes (e.g. FootprintIndex2::compiled).
+  std::size_t approxBytes() const noexcept {
+    return sizeof(*this) +
+           (centerLatRad_.size() + centerLonRad_.size()) * sizeof(double) +
+           (cellStart_.size() + cellEntry_.size()) * sizeof(std::uint32_t);
+  }
+
   /// The cell the unit direction stabs. Branchless: one multiply+floor for
   /// the band, one division+floor for the sector.
   std::size_t cellIndexOf(const Vec3& unitDir) const noexcept {
     return bandOf(unitDir.z) * sectors_ + sectorOf(unitDir.x, unitDir.y);
   }
+
+  /// Batch cellIndexOf: outCells[i] = cellIndexOf(unitDirs[i]) for every
+  /// i < n, bit-identical to the scalar member on every input (the map
+  /// uses only exactly-rounded IEEE operations — see
+  /// geo/spherical_index_simd.hpp). Runtime-dispatched to the AVX2 kernel
+  /// when available; the Monte-Carlo sweeps batch their sample chunks
+  /// through this before the per-sample candidate scans.
+  void cellIndicesOf(const Vec3* unitDirs, std::size_t n,
+                     std::uint32_t* outCells) const;
 
   /// Entry range [first, second) of `cell` in entries(): the ascending cap
   /// indices registered there.

@@ -6,6 +6,7 @@
 
 #include <openspace/core/assert.hpp>
 #include <openspace/geo/error.hpp>
+#include <openspace/geo/spherical_index_simd.hpp>
 
 namespace openspace {
 
@@ -154,16 +155,26 @@ SphericalCapIndex::SphericalCapIndex(const std::vector<Cap>& caps)
   // points, and — more importantly for the Monte-Carlo sweeps — most
   // covered cells end up *entirely inside* some cap, which is what lets
   // FootprintIndex2's whole-cell certificates answer the bulk of queries
-  // without touching a single cap. Registrations grow as
-  // (capRadius/cellSize)^2 per cap, so the sqrt(count) density factor
-  // keeps the total entry count (and build time) roughly constant in the
-  // fleet size; dense fleets cover every cell many times over, so their
-  // certificates stay effective even with coarse cells.
+  // without touching a single cap.
+  //
+  // Two regimes (tests/test_footprint_index.cpp, CapIndexScaling):
+  //  * Sparse (cap count up to ~800): registrations grow as
+  //    (capRadius/cellSize)^2 per cap, so the sqrt(count) coarsening keeps
+  //    the total entry count roughly constant while most cells are empty.
+  //  * Dense: the coarsening must stop — per-cell lists cannot shrink
+  //    below the fleet's intrinsic per-point cover count
+  //    kappa = N * capAreaFraction, and a frozen grid inflates them by
+  //    (1 + density)^2 over that floor while saving nothing (the old 0.6
+  //    ceiling cost ~1.8x kappa at 66k caps). The 0.35 ceiling keeps the
+  //    cell a fixed fraction of the cap radius: registrations per cap stay
+  //    constant (~O(N) build, entries within a fixed multiple of N) and
+  //    registrations per cell stay within ~1.3x of the kappa floor at any
+  //    fleet size.
   if (capCount_ > 0) {
     meanHalfAngleRad /= static_cast<double>(capCount_);
     const double density =
         std::clamp(0.1 * std::sqrt(static_cast<double>(capCount_) / 66.0),
-                   0.1, 0.6);
+                   0.1, 0.35);
     const double cellRad = std::clamp(meanHalfAngleRad, 0.02, kPi) * density;
     bands_ = static_cast<std::size_t>(
         std::clamp(std::ceil(2.0 / cellRad), 13.0, 256.0));
@@ -246,6 +257,12 @@ SphericalCapIndex::SphericalCapIndex(const std::vector<Cap>& caps)
       capCount_ == 0 || cellCountBuf[bands_ * sectors_ - 1] ==
                             cellStart_[bands_ * sectors_],
       "cell fill matches CSR offsets");
+}
+
+void SphericalCapIndex::cellIndicesOf(const Vec3* unitDirs, std::size_t n,
+                                      std::uint32_t* outCells) const {
+  simd::cellIndices(simd::cellKernelLevel(), unitDirs, outCells, bands_,
+                    sectors_, 0, n);
 }
 
 std::array<Vec3, 4> SphericalCapIndex::cellCornerDirs(std::size_t cell) const {

@@ -1,0 +1,43 @@
+// AVX2+FMA instantiation of the cell-mapping kernel.
+//
+// Compiled with -mavx2 -mfma on x86-64 (see src/geo/CMakeLists.txt); on
+// other targets — or if the compiler lacks the flags — this file degrades
+// to a forwarder onto the scalar instantiation and reports the AVX2
+// kernel as not built. Only cellIndicesAvx2 may live here: nothing
+// outside this translation unit is compiled with AVX2 flags, and the
+// dispatcher guarantees it is never called on a CPU without AVX2+FMA.
+#include <openspace/geo/spherical_index_simd.hpp>
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <openspace/core/simd_lanes.hpp>
+
+#include "spherical_index_simd_lanes.hpp"
+
+namespace openspace::simd {
+
+bool avx2CellKernelBuilt() noexcept { return true; }
+
+void cellIndicesAvx2(const Vec3* dirs, std::uint32_t* outCells,
+                     std::size_t bands, std::size_t sectors, std::size_t begin,
+                     std::size_t end) {
+  cellIndicesLanes<Avx2Ops>(dirs, outCells, bands, sectors, begin, end);
+}
+
+}  // namespace openspace::simd
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace openspace::simd {
+
+bool avx2CellKernelBuilt() noexcept { return false; }
+
+void cellIndicesAvx2(const Vec3* dirs, std::uint32_t* outCells,
+                     std::size_t bands, std::size_t sectors, std::size_t begin,
+                     std::size_t end) {
+  cellIndicesScalar4(dirs, outCells, bands, sectors, begin, end);
+}
+
+}  // namespace openspace::simd
+
+#endif

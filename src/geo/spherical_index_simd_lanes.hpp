@@ -1,0 +1,96 @@
+// Shared 4-lane implementation of the batch cell-mapping kernel.
+//
+// Included by exactly two translation units — spherical_index_simd.cpp
+// (ScalarOps lanes) and spherical_index_simd_avx2.cpp (Avx2Ops lanes,
+// -mavx2 -mfma) — and must stay private to src/geo. Each step below
+// mirrors one expression of SphericalCapIndex::bandOf / pseudoAngle /
+// sectorOf with the identical operation order; every operation is
+// exactly rounded (add, mul, div) or exact (abs, sign transfer, ordered
+// compares, truncation, bitwise selects), so the lanes are bit-identical
+// to the scalar members under ANY Ops instantiation.
+#pragma once
+
+#include <cstdint>
+
+#include <openspace/geo/spherical_index_simd.hpp>
+
+namespace openspace::simd {
+
+/// One group of k <= 4 directions starting at dirs[i]; stores k cells.
+template <class O>
+inline void cellGroup(const Vec3* dirs, std::uint32_t* outCells,
+                      double bandsD, double sectorsD, std::size_t i,
+                      std::size_t k) {
+  using V = typename O::V;
+  const V zero = O::broadcast(0.0);
+  const V one = O::broadcast(1.0);
+  const V two = O::broadcast(2.0);
+
+  // Padding lanes (k < 4) run on the zero vector: band 0.5*bands, sector
+  // from pseudo-angle 0 — valid arithmetic, results discarded below.
+  double xs[4] = {0.0, 0.0, 0.0, 0.0};
+  double ys[4] = {0.0, 0.0, 0.0, 0.0};
+  double zs[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t j = 0; j < k; ++j) {
+    xs[j] = dirs[i + j].x;
+    ys[j] = dirs[i + j].y;
+    zs[j] = dirs[i + j].z;
+  }
+  const V x = O::load(xs);
+  const V y = O::load(ys);
+  const V z = O::load(zs);
+
+  // bandOf: scaled = (z + 1.0) * 0.5 * bands; !(scaled > 0) -> 0 (also
+  // NaN); truncate; clamp to bands - 1. min() has vminpd semantics
+  // (returns the second operand on NaN), and the and-mask zeroes exactly
+  // the lanes the scalar guard returns 0 for, so the clamp chain matches
+  // the scalar's guard-cast-clamp sequence on every input.
+  const V scaledB =
+      O::mul(O::mul(O::add(z, one), O::broadcast(0.5)), O::broadcast(bandsD));
+  const V band = O::andV(
+      O::min(O::truncToZero(scaledB), O::broadcast(bandsD - 1.0)),
+      O::cmpLt(zero, scaledB));
+
+  // pseudoAngle: d = |x| + |y|; t = d > 0 ? y / d : 0;
+  // pa = t + (x < 0) * (copysign(2, y) - 2 * t).
+  const V d = O::add(O::abs(x), O::abs(y));
+  const V t = O::andV(O::div(y, d), O::cmpLt(zero, d));
+  const V cs = O::orV(O::andV(y, O::broadcast(-0.0)), two);
+  const V flag = O::andV(O::cmpLt(x, zero), one);
+  const V pa = O::add(t, O::mul(flag, O::sub(cs, O::mul(two, t))));
+
+  // sectorOf: same guard-cast-clamp chain on (pa + 2) * 0.25 * sectors.
+  const V scaledS = O::mul(O::mul(O::add(pa, two), O::broadcast(0.25)),
+                           O::broadcast(sectorsD));
+  const V sector = O::andV(
+      O::min(O::truncToZero(scaledS), O::broadcast(sectorsD - 1.0)),
+      O::cmpLt(zero, scaledS));
+
+  // cell = band * sectors + sector: integral values < 2^31, every product
+  // and sum exact in double.
+  const V cell = O::add(O::mul(band, O::broadcast(sectorsD)), sector);
+  if (k == 4) {
+    O::storeIndicesU32(outCells + i, cell);
+  } else {
+    std::uint32_t tmp[4];
+    O::storeIndicesU32(tmp, cell);
+    for (std::size_t j = 0; j < k; ++j) outCells[i + j] = tmp[j];
+  }
+}
+
+template <class O>
+inline void cellIndicesLanes(const Vec3* dirs, std::uint32_t* outCells,
+                             std::size_t bands, std::size_t sectors,
+                             std::size_t begin, std::size_t end) {
+  const double bandsD = static_cast<double>(bands);
+  const double sectorsD = static_cast<double>(sectors);
+  std::size_t i = begin;
+  for (; i + 4 <= end; i += 4) {
+    cellGroup<O>(dirs, outCells, bandsD, sectorsD, i, 4);
+  }
+  if (i < end) {
+    cellGroup<O>(dirs, outCells, bandsD, sectorsD, i, end - i);
+  }
+}
+
+}  // namespace openspace::simd

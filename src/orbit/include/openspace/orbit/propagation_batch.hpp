@@ -54,6 +54,12 @@ class FleetEphemeris {
   std::size_t size() const noexcept { return count_; }
   bool empty() const noexcept { return count_ == 0; }
 
+  /// Approximate resident size in bytes (the eleven per-satellite SoA
+  /// arrays) — what the compiled() cache charges per entry.
+  std::size_t approxBytes() const noexcept {
+    return sizeof(*this) + count_ * 11 * sizeof(double);
+  }
+
   /// Cold-start batch evaluation: ECI position of every satellite at time
   /// t, written to `outEci` (resized to size()). Parallel over satellites;
   /// bit-for-bit identical to calling the scalar positionEci per satellite,
@@ -77,6 +83,17 @@ class FleetEphemeris {
   /// be constellationHash(elements) (the caller usually has it already).
   static std::shared_ptr<const FleetEphemeris> compiled(
       const std::vector<OrbitalElements>& elements, std::uint64_t hash);
+
+  /// Byte budget of the compiled() cache. Eviction drops LRU-tail entries
+  /// while either the entry count exceeds the fixed capacity or the summed
+  /// approxBytes() exceed this budget (the newest entry is exempt), so for
+  /// equal-size fleets the eviction order is plain LRU either way. Returns
+  /// the previous budget; pass 0 to shrink the cache to a single entry.
+  /// Intended for tests and mega-constellation sweeps that want a tighter
+  /// or looser memory cap than the 256 MiB default.
+  static std::size_t setCompiledCacheByteBudget(std::size_t bytes);
+  /// Summed approxBytes() of the currently cached compiled fleets.
+  static std::size_t compiledCacheApproxBytes();
 
  private:
   friend class TimeSweep;
@@ -119,12 +136,27 @@ class FleetEphemeris {
 ///    bench/bench_propagation.cpp and the TSan CI lane).
 class TimeSweep {
  public:
+  /// Which per-chunk kernel advance() runs. ScalarSpec is the executable
+  /// spec (bit-for-bit the scalar propagate path, the default); Simd
+  /// dispatches the vectorized kernel (orbit/propagation_simd.hpp — AVX2
+  /// when available, 4-lane scalar fallback otherwise), which agrees with
+  /// the spec within a few ULP of the orbital radius for e == 0 and
+  /// within 1e-13 * semi-major axis per component otherwise
+  /// (property-tested in tests/test_simd.cpp). Either kernel is
+  /// bit-identical at any thread count.
+  enum class Kernel { ScalarSpec, Simd };
+
   /// The sweep holds a reference; `fleet` must outlive it.
   explicit TimeSweep(const FleetEphemeris& fleet);
   /// Shared-ownership variant for sweeps that outlive the caller's frame.
   explicit TimeSweep(std::shared_ptr<const FleetEphemeris> fleet);
 
   const FleetEphemeris& fleet() const noexcept { return *fleet_; }
+
+  /// Select the advance() kernel. Safe between advances; the warm state
+  /// carries over (both kernels maintain the same reduced-anomaly state).
+  void setKernel(Kernel kernel) noexcept { kernel_ = kernel; }
+  Kernel kernel() const noexcept { return kernel_; }
 
   /// ECI positions of the whole fleet at time t (warm-started solve).
   void advance(double tSeconds, std::vector<Vec3>& outEci);
@@ -142,6 +174,7 @@ class TimeSweep {
   std::vector<double> prevMeanRad_;       ///< Reduced mean anomaly, last step.
   std::vector<double> prevEccentricRad_;  ///< Reduced eccentric anomaly.
   bool primed_ = false;
+  Kernel kernel_ = Kernel::ScalarSpec;
 };
 
 /// Warm single-satellite propagator for dense time scans (handover

@@ -1,0 +1,92 @@
+// Vectorized warm-started batch-propagation kernel.
+//
+// The 4-lane sweep kernel is the vector analogue of TimeSweep's
+// per-satellite loop (propagation_batch.cpp): mean-anomaly advance,
+// warm-started Newton solve of Kepler's equation, perifocal->ECI rotation,
+// optional ECEF rotation. It is compiled twice from one shared template —
+// an AVX2+FMA translation unit and a portable scalar-fallback translation
+// unit whose lanes go through std::fma — and the two are bit-identical
+// because every operation either side performs (add/sub/mul/div/sqrt/fma,
+// round-to-nearest-even, compares, bitwise selects) is correctly rounded
+// and executed in the same order.
+//
+// Against the scalar executable spec (TimeSweep with Kernel::ScalarSpec)
+// the vector path is *not* bit-exact — it evaluates sin/cos with its own
+// Cody-Waite reduction + minimax polynomials instead of libm — but the
+// divergence is bounded and property-tested (tests/test_simd.cpp):
+//   * e == 0 fleets: every position component agrees within a few ULP of
+//     the orbital radius (the only divergence is the final sin/cos pair);
+//   * e > 0 fleets: within 1e-13 * semi-major axis per component, the
+//     same bound the warm-vs-cold solve contract already grants (both
+//     solvers iterate to |step| < 1e-14).
+// Valid for |mean anomaly| up to ~1e6 rad (Cody-Waite with 33-bit
+// constant splits); every sweep in the repo is orders of magnitude below.
+#pragma once
+
+#include <cstddef>
+
+#include <openspace/core/simd.hpp>
+#include <openspace/geo/vec3.hpp>
+
+namespace openspace::simd {
+
+/// Borrowed structure-of-arrays view of a compiled fleet's time-invariant
+/// terms (see FleetEphemeris; the arrays must outlive every kernel call).
+struct FleetSoA {
+  std::size_t count = 0;
+  const double* semiMajorAxisM = nullptr;
+  const double* eccentricity = nullptr;  // units: orbit shape (dimensionless)
+  const double* meanMotionRadPerS = nullptr;
+  const double* meanAnomalyAtEpochRad = nullptr;
+  const double* semiMinorAxisM = nullptr;
+  const double* p1 = nullptr;  // units: rotation-matrix entries
+  const double* p2 = nullptr;  // units: rotation-matrix entries
+  const double* p3 = nullptr;  // units: rotation-matrix entries
+  const double* q1 = nullptr;  // units: rotation-matrix entries
+  const double* q2 = nullptr;  // units: rotation-matrix entries
+  const double* q3 = nullptr;  // units: rotation-matrix entries
+};
+
+/// True when this binary contains the AVX2 kernel translation unit *and*
+/// the CPU reports AVX2+FMA.
+bool avx2KernelAvailable() noexcept;
+
+/// The level sweepRange() dispatches to: activeSimdLevel() degraded to
+/// Scalar4 when avx2KernelAvailable() is false.
+SimdLevel sweepKernelLevel() noexcept;
+
+/// Warm-started vector sweep over satellites [begin, end) of the fleet:
+/// writes ECI positions to outEci[i], optionally ECEF positions to
+/// outEcef[i] (pass nullptr to skip; cosEarthRotation/sinEarthRotation
+/// are cos/sin of the hoisted Earth rotation angle), and updates the
+/// per-satellite warm state exactly like the scalar sweep (untouched for
+/// e == 0 satellites; cold-solve fallback when unprimed or when a warm
+/// Newton start misses the tolerance). Lane groups are fixed multiples of
+/// 4 from `begin`, so results are independent of how callers chunk the
+/// range as long as chunk boundaries are multiples of 4 (TimeSweep's
+/// 64-satellite parallelFor chunks are).
+void sweepRange(SimdLevel level, const FleetSoA& fleet, double tSeconds,
+                bool primed, double* prevMeanRad, double* prevEccentricRad,
+                Vec3* outEci, Vec3* outEcef,
+                double cosEarthRotation,  // units: rotation-matrix entries
+                double sinEarthRotation,  // units: rotation-matrix entries
+                std::size_t begin, std::size_t end);
+
+/// The two instantiations behind sweepRange(), exposed so the property
+/// tests can pin them against each other bit-for-bit. sweepRangeAvx2
+/// falls back to the scalar instantiation when the AVX2 translation unit
+/// is not built for this target (never call it when the CPU lacks AVX2).
+void sweepRangeScalar4(const FleetSoA& fleet, double tSeconds, bool primed,
+                       double* prevMeanRad, double* prevEccentricRad,
+                       Vec3* outEci, Vec3* outEcef,
+                       double cosEarthRotation,  // units: rotation-matrix entries
+                       double sinEarthRotation,  // units: rotation-matrix entries
+                       std::size_t begin, std::size_t end);
+void sweepRangeAvx2(const FleetSoA& fleet, double tSeconds, bool primed,
+                    double* prevMeanRad, double* prevEccentricRad,
+                    Vec3* outEci, Vec3* outEcef,
+                    double cosEarthRotation,  // units: rotation-matrix entries
+                    double sinEarthRotation,  // units: rotation-matrix entries
+                    std::size_t begin, std::size_t end);
+
+}  // namespace openspace::simd

@@ -75,6 +75,16 @@ class ConstellationSnapshot {
   bool empty() const noexcept { return elements_.empty(); }
   std::uint64_t elementsHash() const noexcept { return hash_; }
 
+  /// Approximate resident size in bytes: the element list plus both
+  /// position arrays. The lazily built ISL adjacency is deliberately
+  /// excluded — SnapshotCache charges entries at insert time, before any
+  /// topology exists, and an approximate budget does not chase later
+  /// growth.
+  std::size_t approxBytes() const noexcept {
+    return sizeof(*this) +
+           elements_.size() * (sizeof(OrbitalElements) + 2 * sizeof(Vec3));
+  }
+
   const std::vector<OrbitalElements>& elements() const noexcept {
     return elements_;
   }
@@ -95,10 +105,13 @@ class ConstellationSnapshot {
                                             double minElevationRad) const;
 
   /// ISL adjacency under (maxRangeM, losClearanceM). Built lazily on first
-  /// use with sorted-bucket spatial pruning (grid cells of side maxRangeM:
-  /// only the 27 neighboring cells are scanned per satellite, never all
-  /// pairs), then cached on the snapshot; subsequent calls with the same
-  /// parameters are free. Thread-safe.
+  /// use with sorted-bucket spatial pruning (flat CSR buckets over grid
+  /// cells of side >= maxRangeM — the side is clamped up when the packed
+  /// cell keys would otherwise overflow, so the pruning path covers every
+  /// finite geometry at every fleet size: only the 27 neighboring cells
+  /// are scanned per satellite, never all pairs), then cached on the
+  /// snapshot; subsequent calls with the same parameters are free.
+  /// Thread-safe.
   std::shared_ptr<const IslTopology> islTopology(
       double maxRangeM, double losClearanceM = km(80.0)) const;
 
@@ -158,17 +171,33 @@ class FootprintIndex {
 /// constellation at the same instant propagate it once.
 class SnapshotCache {
  public:
-  explicit SnapshotCache(std::size_t capacity = 32);
+  /// Default byte budget: generous enough that count-based eviction
+  /// dominates for ordinary fleets (a 66k-satellite snapshot is ~7 MiB,
+  /// so ~32 of them fit); the byte cap exists so mega-constellation
+  /// sweeps cannot pin gigabytes of dead snapshots.
+  static constexpr std::size_t kDefaultByteBudget =
+      std::size_t{512} * 1024 * 1024;
+
+  explicit SnapshotCache(std::size_t capacity = 32,
+                         std::size_t byteBudget = kDefaultByteBudget);
 
   /// The snapshot of `elements` at `tSeconds` — cached, or built and
-  /// inserted (evicting the least-recently-used entry when full).
+  /// inserted. Insertion evicts least-recently-used entries while either
+  /// the entry count exceeds `capacity()` or the summed approxBytes()
+  /// exceed `byteBudget()`; the newest entry itself is never evicted.
+  /// When all entries are the same size the byte rule degenerates to a
+  /// smaller effective capacity, so the eviction *order* is always plain
+  /// LRU regardless of which limit binds.
   std::shared_ptr<const ConstellationSnapshot> at(
       const std::vector<OrbitalElements>& elements, double tSeconds);
   std::shared_ptr<const ConstellationSnapshot> at(
       const EphemerisService& ephemeris, double tSeconds);
 
   std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t byteBudget() const noexcept { return byteBudget_; }
   std::size_t size() const;
+  /// Summed approxBytes() of the cached snapshots (insert-time values).
+  std::size_t approxBytes() const;
   std::size_t hits() const;
   std::size_t misses() const;
   void clear();
@@ -185,7 +214,11 @@ class SnapshotCache {
   struct KeyHash {
     std::size_t operator()(const Key& k) const noexcept;
   };
-  using Entry = std::pair<Key, std::shared_ptr<const ConstellationSnapshot>>;
+  struct Entry {
+    Key key;
+    std::shared_ptr<const ConstellationSnapshot> snapshot;
+    std::size_t bytes = 0;  ///< approxBytes() at insert time.
+  };
 
   /// Cache probe under the lock; returns the entry (promoted to MRU) or
   /// nullptr on a miss. Counts the hit/miss either way.
@@ -198,11 +231,13 @@ class SnapshotCache {
       OPENSPACE_EXCLUDES(mutex_);
 
   std::size_t capacity_;
+  std::size_t byteBudget_;
   mutable Mutex mutex_;
   /// Front = most recently used.
   std::list<Entry> lru_ OPENSPACE_GUARDED_BY(mutex_);
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_
       OPENSPACE_GUARDED_BY(mutex_);
+  std::size_t bytes_ OPENSPACE_GUARDED_BY(mutex_) = 0;
   std::size_t hits_ OPENSPACE_GUARDED_BY(mutex_) = 0;
   std::size_t misses_ OPENSPACE_GUARDED_BY(mutex_) = 0;
 };

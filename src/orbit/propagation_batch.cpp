@@ -20,6 +20,7 @@
 #include <openspace/geo/error.hpp>
 #include <openspace/geo/wgs84.hpp>
 #include <openspace/orbit/ephemeris.hpp>
+#include <openspace/orbit/propagation_simd.hpp>
 #include <openspace/orbit/snapshot.hpp>
 
 namespace openspace {
@@ -202,7 +203,9 @@ struct FleetCacheKeyHash {
 /// level down): the temporal router's interval grid, repeated coverage
 /// scoring and handover planning all recompile the same constellation
 /// otherwise. Compilation happens outside the lock; a racing duplicate
-/// insert resolves in favor of the first.
+/// insert resolves in favor of the first. Eviction is bounded by both an
+/// entry count and an approximate byte budget (see
+/// FleetEphemeris::setCompiledCacheByteBudget).
 class FleetEphemerisCache {
  public:
   std::shared_ptr<const FleetEphemeris> at(
@@ -214,7 +217,7 @@ class FleetEphemerisCache {
       const auto it = index_.find(key);
       if (it != index_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second);
-        return lru_.front().second;
+        return lru_.front().fleet;
       }
     }
     auto fleet = std::make_shared<const FleetEphemeris>(elements);
@@ -222,36 +225,78 @@ class FleetEphemerisCache {
     const auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
-      return lru_.front().second;
+      return lru_.front().fleet;
     }
-    lru_.emplace_front(key, std::move(fleet));
+    const std::size_t entryBytes = fleet->approxBytes();
+    lru_.emplace_front(Entry{key, std::move(fleet), entryBytes});
     index_.emplace(key, lru_.begin());
-    while (lru_.size() > kCapacity) {
-      index_.erase(lru_.back().first);
+    bytes_ += entryBytes;
+    // The just-inserted entry is exempt so an oversized fleet still caches.
+    while (lru_.size() > 1 &&
+           (lru_.size() > kCapacity || bytes_ > byteBudget_)) {
+      bytes_ -= lru_.back().bytes;
+      index_.erase(lru_.back().key);
       lru_.pop_back();
     }
-    return lru_.front().second;
+    return lru_.front().fleet;
+  }
+
+  std::size_t setByteBudget(std::size_t budget) OPENSPACE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    const std::size_t previous = byteBudget_;
+    byteBudget_ = budget == 0 ? 1 : budget;
+    // Apply the new budget immediately (same tail rule as insert).
+    while (lru_.size() > 1 && bytes_ > byteBudget_) {
+      bytes_ -= lru_.back().bytes;
+      index_.erase(lru_.back().key);
+      lru_.pop_back();
+    }
+    return previous;
+  }
+
+  std::size_t approxBytes() const OPENSPACE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return bytes_;
+  }
+
+  static FleetEphemerisCache& global() {
+    static FleetEphemerisCache cache;
+    return cache;
   }
 
  private:
   static constexpr std::size_t kCapacity = 64;
-  using Entry =
-      std::pair<FleetCacheKey, std::shared_ptr<const FleetEphemeris>>;
-  Mutex mutex_;
+  static constexpr std::size_t kDefaultByteBudget =
+      std::size_t{256} * 1024 * 1024;
+  struct Entry {
+    FleetCacheKey key;
+    std::shared_ptr<const FleetEphemeris> fleet;
+    std::size_t bytes = 0;
+  };
+  mutable Mutex mutex_;
   std::list<Entry> lru_ OPENSPACE_GUARDED_BY(mutex_);
   std::unordered_map<FleetCacheKey, std::list<Entry>::iterator,
                      FleetCacheKeyHash>
       index_ OPENSPACE_GUARDED_BY(mutex_);
+  std::size_t bytes_ OPENSPACE_GUARDED_BY(mutex_) = 0;
+  std::size_t byteBudget_ OPENSPACE_GUARDED_BY(mutex_) = kDefaultByteBudget;
 };
 
 }  // namespace
 
 std::shared_ptr<const FleetEphemeris> FleetEphemeris::compiled(
     const std::vector<OrbitalElements>& elements, std::uint64_t hash) {
-  static FleetEphemerisCache cache;
   OPENSPACE_ASSERT(hash == constellationHash(elements),
                    "compiled(): hash must be constellationHash(elements)");
-  return cache.at(elements, hash);
+  return FleetEphemerisCache::global().at(elements, hash);
+}
+
+std::size_t FleetEphemeris::setCompiledCacheByteBudget(std::size_t bytes) {
+  return FleetEphemerisCache::global().setByteBudget(bytes);
+}
+
+std::size_t FleetEphemeris::compiledCacheApproxBytes() {
+  return FleetEphemerisCache::global().approxBytes();
 }
 
 TimeSweep::TimeSweep(const FleetEphemeris& fleet) : fleet_(&fleet) {}
@@ -286,6 +331,39 @@ void TimeSweep::advanceImpl(double tSeconds, std::vector<Vec3>& outEci,
     const double ang = -wgs84::kEarthRotationRadPerS * tSeconds;
     c = std::cos(ang);
     s = std::sin(ang);
+  }
+  if (kernel_ == Kernel::Simd) {
+    // Vectorized kernel: same warm-state contract, dispatched once per
+    // advance (the level is process-stable, so serial and parallel runs
+    // execute the same instructions). kBatchChunk is a multiple of the
+    // 4-satellite lane group, so lane grouping — and therefore every
+    // bit of the result — is independent of the thread count.
+    static_assert(kBatchChunk % 4 == 0,
+                  "SIMD lane groups must align with parallelFor chunks");
+    const simd::FleetSoA view{
+        f.count_,
+        f.semiMajorAxisM_.data(),
+        f.eccentricity_.data(),
+        f.meanMotionRadPerS_.data(),
+        f.meanAnomalyAtEpochRad_.data(),
+        f.semiMinorAxisM_.data(),
+        f.p1_.data(),
+        f.p2_.data(),
+        f.p3_.data(),
+        f.q1_.data(),
+        f.q2_.data(),
+        f.q3_.data()};
+    const SimdLevel level = simd::sweepKernelLevel();
+    parallelFor(n, kBatchChunk, [&](std::size_t begin, std::size_t end) {
+      OPENSPACE_ASSERT(begin <= end && end <= n,
+                       "parallelFor chunk must stay inside the fleet");
+      simd::sweepRange(level, view, tSeconds, primed, prevMeanRad_.data(),
+                       prevEccentricRad_.data(), outEci.data(),
+                       outEcef != nullptr ? outEcef->data() : nullptr, c, s,
+                       begin, end);
+    });
+    primed_ = true;
+    return;
   }
   parallelFor(n, kBatchChunk, [&](std::size_t begin, std::size_t end) {
     OPENSPACE_ASSERT(begin <= end && end <= n,

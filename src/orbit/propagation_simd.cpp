@@ -1,0 +1,51 @@
+// Portable lanes instantiation of the sweep kernel + runtime dispatch.
+//
+// ScalarOps (core/simd_lanes.hpp) emulates the AVX2 lane semantics
+// exactly, so this instantiation and the AVX2 one are bit-identical by
+// construction — tests/test_simd.cpp pins the two against each other.
+#include <openspace/orbit/propagation_simd.hpp>
+
+#include <openspace/core/simd_lanes.hpp>
+
+#include "propagation_simd_lanes.hpp"
+
+namespace openspace::simd {
+
+void sweepRangeScalar4(const FleetSoA& fleet, double tSeconds, bool primed,
+                       double* prevMeanRad, double* prevEccentricRad,
+                       Vec3* outEci, Vec3* outEcef, double cosEarthRotation,
+                       double sinEarthRotation, std::size_t begin,
+                       std::size_t end) {
+  sweepRangeLanes<ScalarOps>(fleet, tSeconds, primed, prevMeanRad,
+                             prevEccentricRad, outEci, outEcef,
+                             cosEarthRotation, sinEarthRotation, begin, end);
+}
+
+bool avx2KernelBuilt() noexcept;  // defined in propagation_simd_avx2.cpp
+
+bool avx2KernelAvailable() noexcept {
+  return avx2KernelBuilt() && simd_detail::cpuSupportsAvx2();
+}
+
+SimdLevel sweepKernelLevel() noexcept {
+  return activeSimdLevel() == SimdLevel::Avx2 && avx2KernelAvailable()
+             ? SimdLevel::Avx2
+             : SimdLevel::Scalar4;
+}
+
+void sweepRange(SimdLevel level, const FleetSoA& fleet, double tSeconds,
+                bool primed, double* prevMeanRad, double* prevEccentricRad,
+                Vec3* outEci, Vec3* outEcef, double cosEarthRotation,
+                double sinEarthRotation, std::size_t begin, std::size_t end) {
+  if (level == SimdLevel::Avx2 && avx2KernelAvailable()) {
+    sweepRangeAvx2(fleet, tSeconds, primed, prevMeanRad, prevEccentricRad,
+                   outEci, outEcef, cosEarthRotation, sinEarthRotation, begin,
+                   end);
+  } else {
+    sweepRangeScalar4(fleet, tSeconds, primed, prevMeanRad, prevEccentricRad,
+                      outEci, outEcef, cosEarthRotation, sinEarthRotation,
+                      begin, end);
+  }
+}
+
+}  // namespace openspace::simd

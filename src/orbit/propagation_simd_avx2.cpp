@@ -1,0 +1,51 @@
+// AVX2+FMA instantiation of the sweep kernel.
+//
+// Compiled with -mavx2 -mfma on x86-64 (see src/orbit/CMakeLists.txt);
+// on other targets — or if the compiler lacks the flags — this file
+// degrades to a forwarder onto the scalar instantiation and reports the
+// AVX2 kernel as not built. Only sweepRangeAvx2 may live here: nothing
+// outside this translation unit is compiled with AVX2 flags, and the
+// dispatcher guarantees it is never called on a CPU without AVX2+FMA.
+#include <openspace/orbit/propagation_simd.hpp>
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <openspace/core/simd_lanes.hpp>
+
+#include "propagation_simd_lanes.hpp"
+
+namespace openspace::simd {
+
+bool avx2KernelBuilt() noexcept { return true; }
+
+void sweepRangeAvx2(const FleetSoA& fleet, double tSeconds, bool primed,
+                    double* prevMeanRad, double* prevEccentricRad,
+                    Vec3* outEci, Vec3* outEcef, double cosEarthRotation,
+                    double sinEarthRotation, std::size_t begin,
+                    std::size_t end) {
+  sweepRangeLanes<Avx2Ops>(fleet, tSeconds, primed, prevMeanRad,
+                           prevEccentricRad, outEci, outEcef,
+                           cosEarthRotation, sinEarthRotation, begin, end);
+}
+
+}  // namespace openspace::simd
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace openspace::simd {
+
+bool avx2KernelBuilt() noexcept { return false; }
+
+void sweepRangeAvx2(const FleetSoA& fleet, double tSeconds, bool primed,
+                    double* prevMeanRad, double* prevEccentricRad,
+                    Vec3* outEci, Vec3* outEcef, double cosEarthRotation,
+                    double sinEarthRotation, std::size_t begin,
+                    std::size_t end) {
+  sweepRangeScalar4(fleet, tSeconds, primed, prevMeanRad, prevEccentricRad,
+                    outEci, outEcef, cosEarthRotation, sinEarthRotation, begin,
+                    end);
+}
+
+}  // namespace openspace::simd
+
+#endif

@@ -1,0 +1,285 @@
+// Shared 4-lane implementation of the vectorized sweep kernel.
+//
+// This header is included by exactly two translation units —
+// propagation_simd.cpp (ScalarOps lanes, no special flags) and
+// propagation_simd_avx2.cpp (Avx2Ops lanes, -mavx2 -mfma) — and must stay
+// private to src/orbit. The template uses ONLY operations that are
+// correctly rounded (IEEE add/sub/mul/div/fma, round-to-nearest-even) or
+// exact (abs, negate, compares, bitwise selects), in a fixed order, so
+// any two Ops instantiations produce bit-identical results. Keep it that
+// way: no libm calls in the vector path (the rare cold-start fallback
+// goes through the scalar spec's solveKeplerReduced per lane, which is
+// the same deterministic function under either instantiation).
+//
+// Trig: sin/cos via Cody-Waite reduction by pi/2 (three 33-bit constant
+// pieces, FDLIBM's split, applied with fma) then Cephes minimax
+// polynomials on [-pi/4, pi/4] with quadrant unswizzle. Accurate to ~1-2
+// ULP of the function value for |x| up to ~1e6 rad.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include <openspace/orbit/elements.hpp>
+#include <openspace/orbit/propagation_simd.hpp>
+
+namespace openspace::simd {
+
+inline constexpr double kTwoOverPi = 6.36619772367581382433e-01;
+inline constexpr double kInvTwoPi = 1.59154943091895335769e-01;
+// FDLIBM's 33-bit split of pi/2: pio2_1 + pio2_2 + pio2_3 == pi/2 to
+// ~2^-104; each piece has >= 19 trailing zero mantissa bits so n * piece
+// is exact for |n| < 2^19 even before fma tightens it.
+inline constexpr double kPio2A = 1.57079632673412561417e+00;
+inline constexpr double kPio2B = 6.07710050630396597660e-11;
+inline constexpr double kPio2C = 2.02226624871116645580e-21;
+// 2*pi split: exactly 4x the pi/2 pieces (power-of-two scale).
+inline constexpr double kTwoPiA = 4.0 * kPio2A;
+inline constexpr double kTwoPiB = 4.0 * kPio2B;
+inline constexpr double kTwoPiC = 4.0 * kPio2C;
+
+// Cephes sin/cos minimax coefficients on [-pi/4, pi/4] (Horner order,
+// highest degree first; sin(r) = r + r*z*P(z), cos(r) = 1 - z/2 +
+// z^2*Q(z) with z = r^2).
+inline constexpr double kSinC[6] = {
+    1.58962301576546568060e-10, -2.50507477628578072866e-8,
+    2.75573136213857245213e-6,  -1.98412698295895385996e-4,
+    8.33333333332211858878e-3,  -1.66666666666666307295e-1,
+};
+inline constexpr double kCosC[6] = {
+    -1.13585365213876817300e-11, 2.08757008419747316778e-9,
+    -2.75573141792967388112e-7,  2.48015872888517179954e-5,
+    -1.38888888888730564116e-3,  4.16666666666665929218e-2,
+};
+
+/// sin and cos of every lane. Only correctly-rounded ops, fixed order.
+template <class O>
+inline void sincosLanes(typename O::V x, typename O::V& sinOut,
+                        typename O::V& cosOut) {
+  using V = typename O::V;
+  const V n = O::roundEven(O::mul(x, O::broadcast(kTwoOverPi)));
+  V r = O::fmadd(n, O::broadcast(-kPio2A), x);
+  r = O::fmadd(n, O::broadcast(-kPio2B), r);
+  r = O::fmadd(n, O::broadcast(-kPio2C), r);
+  const V z = O::mul(r, r);
+
+  V ps = O::broadcast(kSinC[0]);
+  ps = O::fmadd(ps, z, O::broadcast(kSinC[1]));
+  ps = O::fmadd(ps, z, O::broadcast(kSinC[2]));
+  ps = O::fmadd(ps, z, O::broadcast(kSinC[3]));
+  ps = O::fmadd(ps, z, O::broadcast(kSinC[4]));
+  ps = O::fmadd(ps, z, O::broadcast(kSinC[5]));
+  const V sinR = O::fmadd(O::mul(ps, z), r, r);
+
+  V pc = O::broadcast(kCosC[0]);
+  pc = O::fmadd(pc, z, O::broadcast(kCosC[1]));
+  pc = O::fmadd(pc, z, O::broadcast(kCosC[2]));
+  pc = O::fmadd(pc, z, O::broadcast(kCosC[3]));
+  pc = O::fmadd(pc, z, O::broadcast(kCosC[4]));
+  pc = O::fmadd(pc, z, O::broadcast(kCosC[5]));
+  const V cosR = O::fmadd(O::mul(z, z), pc,
+                          O::fmadd(z, O::broadcast(-0.5), O::broadcast(1.0)));
+
+  // Quadrant unswizzle by n mod 4:
+  //   q=0: ( sinR,  cosR)   q=1: ( cosR, -sinR)
+  //   q=2: (-sinR, -cosR)   q=3: (-cosR,  sinR)
+  V m1, m2, m3;
+  O::quadrantMasks(n, m1, m2, m3);
+  const V swap = O::orV(m1, m3);
+  V sv = O::blend(swap, cosR, sinR);
+  V cv = O::blend(swap, sinR, cosR);
+  const V signBit = O::broadcast(-0.0);
+  sv = O::xorV(sv, O::andV(O::orV(m2, m3), signBit));
+  cv = O::xorV(cv, O::andV(O::orV(m1, m2), signBit));
+  sinOut = sv;
+  cosOut = cv;
+}
+
+/// x reduced into ~[-pi, pi] by the nearest multiple of 2*pi. Not IEEE
+/// remainder (the multiple is chosen from the rounded quotient), but
+/// within ~1 ULP of it; both sweep uses tolerate either branch at the
+/// half-way points (the warm guess is only a guess, and the revolution
+/// offset is added back before the final trig).
+template <class O>
+inline typename O::V remainderTwoPi(typename O::V x) {
+  using V = typename O::V;
+  const V n = O::roundEven(O::mul(x, O::broadcast(kInvTwoPi)));
+  V r = O::fmadd(n, O::broadcast(-kTwoPiA), x);
+  r = O::fmadd(n, O::broadcast(-kTwoPiB), r);
+  r = O::fmadd(n, O::broadcast(-kTwoPiC), r);
+  return r;
+}
+
+/// Load lanes [i, i+k) of `p`, padding lanes >= k with `fill`.
+template <class O>
+inline typename O::V loadLanes(const double* p, std::size_t i, std::size_t k,
+                               double fill) {
+  if (k == 4) return O::load(p + i);
+  double tmp[4] = {fill, fill, fill, fill};
+  for (std::size_t j = 0; j < k; ++j) tmp[j] = p[i + j];
+  return O::load(tmp);
+}
+
+/// Rotate perifocal coordinates into ECI (and optionally ECEF) and
+/// scatter-store lanes [i, i+k) — the shared tail of every group.
+template <class O>
+inline void emitPositions(const FleetSoA& f, std::size_t i, std::size_t k,
+                          typename O::V xP, typename O::V yP, Vec3* outEci,
+                          Vec3* outEcef, double cosEarthRotation,
+                          double sinEarthRotation) {
+  using V = typename O::V;
+  const V p1 = loadLanes<O>(f.p1, i, k, 0.0);
+  const V p2 = loadLanes<O>(f.p2, i, k, 0.0);
+  const V p3 = loadLanes<O>(f.p3, i, k, 0.0);
+  const V q1 = loadLanes<O>(f.q1, i, k, 0.0);
+  const V q2 = loadLanes<O>(f.q2, i, k, 0.0);
+  const V q3 = loadLanes<O>(f.q3, i, k, 0.0);
+  const V x = O::add(O::mul(p1, xP), O::mul(q1, yP));
+  const V y = O::add(O::mul(p2, xP), O::mul(q2, yP));
+  const V z = O::add(O::mul(p3, xP), O::mul(q3, yP));
+
+  double xTmp[4], yTmp[4], zTmp[4];
+  O::store(xTmp, x);
+  O::store(yTmp, y);
+  O::store(zTmp, z);
+  for (std::size_t j = 0; j < k; ++j) {
+    outEci[i + j] = {xTmp[j], yTmp[j], zTmp[j]};
+  }
+  if (outEcef != nullptr) {
+    const V c = O::broadcast(cosEarthRotation);
+    const V s = O::broadcast(sinEarthRotation);
+    const V ex = O::sub(O::mul(c, x), O::mul(s, y));
+    const V ey = O::add(O::mul(s, x), O::mul(c, y));
+    double exTmp[4], eyTmp[4];
+    O::store(exTmp, ex);
+    O::store(eyTmp, ey);
+    for (std::size_t j = 0; j < k; ++j) {
+      outEcef[i + j] = {exTmp[j], eyTmp[j], zTmp[j]};
+    }
+  }
+}
+
+/// One group of 4 satellite lanes starting at index i (k <= 4 valid).
+template <class O>
+inline void sweepGroup(const FleetSoA& f, std::size_t i, std::size_t k,
+                       double tSeconds, bool primed, double* prevMeanRad,
+                       double* prevEccentricRad, Vec3* outEci, Vec3* outEcef,
+                       double cosEarthRotation, double sinEarthRotation) {
+  using V = typename O::V;
+  const V zero = O::broadcast(0.0);
+  const V one = O::broadcast(1.0);
+  const V t = O::broadcast(tSeconds);
+
+  // Padding lanes are harmless circular orbits frozen at the origin of
+  // phase: e = 0 short-circuits their whole solve path.
+  const V a = loadLanes<O>(f.semiMajorAxisM, i, k, 1.0);
+  const V ecc = loadLanes<O>(f.eccentricity, i, k, 0.0);
+  const V nMot = loadLanes<O>(f.meanMotionRadPerS, i, k, 0.0);
+  const V m0 = loadLanes<O>(f.meanAnomalyAtEpochRad, i, k, 0.0);
+  const V b = loadLanes<O>(f.semiMinorAxisM, i, k, 1.0);
+
+  // Mean anomaly advance — mul then add, mirroring the scalar spec
+  // (m = m0 + n*t), not fused.
+  const V mFull = O::add(m0, O::mul(nMot, t));
+  const V eccZero = O::cmpEq(ecc, zero);
+
+  // All-circular groups (the Walker common case) skip the solver
+  // entirely: e == 0 lanes take E = m verbatim and leave the warm state
+  // untouched, exactly as the mixed path blends below — same bits,
+  // fewer operations.
+  if (O::movemask(eccZero) == 0xF) {
+    V cosE0, sinE0;
+    sincosLanes<O>(mFull, sinE0, cosE0);
+    const V xP0 = O::mul(a, cosE0);
+    const V yP0 = O::mul(b, sinE0);
+    emitPositions<O>(f, i, k, xP0, yP0, outEci, outEcef, cosEarthRotation,
+                     sinEarthRotation);
+    return;
+  }
+
+  const V reduced = remainderTwoPi<O>(mFull);
+  V guess = zero;
+  // done: lanes that need no (further) Newton work. e == 0 lanes never
+  // enter the solver (their anomaly is blended to mFull below).
+  V done = eccZero;
+  if (primed) {
+    // Warm start: previous eccentric anomaly advanced by the mean delta
+    // (guess = prevE + rem2pi(reduced - prevM), mirroring the spec).
+    const V prevM = loadLanes<O>(prevMeanRad, i, k, 0.0);
+    const V prevE = loadLanes<O>(prevEccentricRad, i, k, 0.0);
+    guess = O::add(prevE, remainderTwoPi<O>(O::sub(reduced, prevM)));
+    const V tol = O::broadcast(1e-14);
+    for (int it = 0; it < 20 && O::movemask(done) != 0xF; ++it) {
+      V sg, cg;
+      sincosLanes<O>(guess, sg, cg);
+      // f(E) = E - e sin E - m ; f'(E) = 1 - e cos E — op order as the
+      // scalar newtonKepler (no fma: only the trig source differs).
+      const V fv = O::sub(O::sub(guess, O::mul(ecc, sg)), reduced);
+      const V fp = O::sub(one, O::mul(ecc, cg));
+      const V step = O::div(fv, fp);
+      guess = O::blend(done, guess, O::sub(guess, step));
+      done = O::orV(done, O::cmpLt(O::abs(step), tol));
+    }
+  }
+  // Unprimed lanes and warm starts that missed the tolerance fall back to
+  // the scalar spec's bisection-safeguarded cold solve, per lane. Both
+  // instantiations reach here with identical lane values, so the calls
+  // (and results) are identical.
+  if (O::movemask(done) != 0xF) {
+    double gTmp[4], rTmp[4], eTmp[4];
+    O::store(gTmp, guess);
+    O::store(rTmp, reduced);
+    O::store(eTmp, ecc);
+    const int mask = O::movemask(done);
+    for (std::size_t j = 0; j < 4; ++j) {
+      if ((mask & (1 << j)) == 0 && eTmp[j] != 0.0) {
+        gTmp[j] = solveKeplerReduced(rTmp[j], eTmp[j]);
+      }
+    }
+    guess = O::load(gTmp);
+  }
+
+  // Full eccentric anomaly: revolution offset restored as in the spec
+  // (guess + (m - reduced)); e == 0 lanes take the mean anomaly directly.
+  V eAnom = O::add(guess, O::sub(mFull, reduced));
+  eAnom = O::blend(eccZero, mFull, eAnom);
+
+  V cosE, sinE;
+  sincosLanes<O>(eAnom, sinE, cosE);
+  // Perifocal coordinates and rotation — op order as the spec.
+  const V xP = O::mul(a, O::sub(cosE, ecc));
+  const V yP = O::mul(b, sinE);
+  emitPositions<O>(f, i, k, xP, yP, outEci, outEcef, cosEarthRotation,
+                   sinEarthRotation);
+
+  // Warm state update — skipped for e == 0 satellites, as in the spec.
+  double rTmp[4], gTmp[4];
+  O::store(rTmp, reduced);
+  O::store(gTmp, guess);
+  for (std::size_t j = 0; j < k; ++j) {
+    if (f.eccentricity[i + j] != 0.0) {
+      prevMeanRad[i + j] = rTmp[j];
+      prevEccentricRad[i + j] = gTmp[j];
+    }
+  }
+}
+
+template <class O>
+inline void sweepRangeLanes(const FleetSoA& f, double tSeconds, bool primed,
+                            double* prevMeanRad, double* prevEccentricRad,
+                            Vec3* outEci, Vec3* outEcef,
+                            double cosEarthRotation, double sinEarthRotation,
+                            std::size_t begin, std::size_t end) {
+  std::size_t i = begin;
+  for (; i + 4 <= end; i += 4) {
+    sweepGroup<O>(f, i, 4, tSeconds, primed, prevMeanRad, prevEccentricRad,
+                  outEci, outEcef, cosEarthRotation, sinEarthRotation);
+  }
+  if (i < end) {
+    sweepGroup<O>(f, i, end - i, tSeconds, primed, prevMeanRad,
+                  prevEccentricRad, outEci, outEcef, cosEarthRotation,
+                  sinEarthRotation);
+  }
+}
+
+}  // namespace openspace::simd

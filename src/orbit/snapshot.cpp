@@ -147,9 +147,6 @@ std::shared_ptr<const IslTopology> ConstellationSnapshot::islTopology(
   // Fleets of <= kIslAllPairsMaxSats (snapshot.hpp) take the all-pairs
   // scan; the output is identical to the grid's (same edge predicate,
   // neighbors in index order either way — pinned by the boundary tests).
-  // The scan is also the fallback when the grid coordinates would overflow
-  // cellKey's per-axis budget (tiny maxRangeM relative to the position
-  // magnitudes).
   const auto bruteForce = [&] {
     parallelFor(n, kAdjacencyChunk, [&](std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) {
@@ -164,14 +161,29 @@ std::shared_ptr<const IslTopology> ConstellationSnapshot::islTopology(
       }
     });
   };
-  // Sorted-bucket spatial pruning for larger fleets: hash satellites into
-  // grid cells of side maxRangeM; any in-range pair lies in the same or an
-  // adjacent cell, so each satellite scans at most 27 buckets instead of
-  // all n.
+  // Sorted-bucket spatial pruning for larger fleets: bin satellites into
+  // grid cells of side >= maxRangeM; any in-range pair lies in the same
+  // or an adjacent cell, so each satellite scans at most 27 buckets
+  // instead of all n. The cell side starts at maxRangeM and is clamped
+  // *up* until every coordinate fits cellKey's 21-bit per-axis budget —
+  // a larger cell only widens the candidate sets (correctness needs just
+  // side >= maxRangeM), so the all-pairs fallback below is unreachable
+  // for any finite position set; it survives only as a defensive guard
+  // against non-finite positions (pinned at scale by tests/test_snapshot
+  // .cpp's tiny-range grid test).
   bool gridFits = n > kIslAllPairsMaxSats;
   std::vector<std::array<std::int64_t, 3>> coords;
   if (gridFits) {
-    const double cell = maxRangeM;
+    double maxAbsM = 0.0;
+    for (const Vec3& p : eci_) {
+      maxAbsM = std::max({maxAbsM, std::abs(p.x), std::abs(p.y),
+                          std::abs(p.z)});
+    }
+    constexpr double kMaxCoord = static_cast<double>((1 << 20) - 3);
+    double cell = maxRangeM;
+    if (std::isfinite(maxAbsM) && maxAbsM / cell > kMaxCoord) {
+      cell = maxAbsM / kMaxCoord;
+    }
     coords.resize(n);
     for (std::size_t i = 0; i < n && gridFits; ++i) {
       coords[i] = {static_cast<std::int64_t>(std::floor(eci_[i].x / cell)),
@@ -184,20 +196,45 @@ std::shared_ptr<const IslTopology> ConstellationSnapshot::islTopology(
   if (n > 1 && !gridFits) {
     bruteForce();
   } else if (n > 1) {
-    std::unordered_map<std::int64_t, std::vector<std::size_t>> buckets;
+    // Flat CSR buckets instead of a node-based hash map: one (key, index)
+    // sort builds the whole structure with zero per-bucket allocations,
+    // and neighbor lookups are binary searches over a contiguous sorted
+    // key array — at 66k satellites this is the difference between the
+    // topology stage scaling and the map's allocator dominating it.
+    std::vector<std::pair<std::int64_t, std::uint32_t>> order(n);
     for (std::size_t i = 0; i < n; ++i) {
-      buckets[cellKey(coords[i][0], coords[i][1], coords[i][2])].push_back(i);
+      order[i] = {cellKey(coords[i][0], coords[i][1], coords[i][2]),
+                  static_cast<std::uint32_t>(i)};
     }
+    std::sort(order.begin(), order.end());
+    std::vector<std::int64_t> bucketKeys;
+    std::vector<std::uint32_t> bucketStart;
+    for (std::size_t e = 0; e < n; ++e) {
+      if (e == 0 || order[e].first != order[e - 1].first) {
+        bucketKeys.push_back(order[e].first);
+        bucketStart.push_back(static_cast<std::uint32_t>(e));
+      }
+    }
+    bucketStart.push_back(static_cast<std::uint32_t>(n));
+    const auto bucketOf = [&](std::int64_t key)
+        -> std::pair<std::uint32_t, std::uint32_t> {
+      const auto it =
+          std::lower_bound(bucketKeys.begin(), bucketKeys.end(), key);
+      if (it == bucketKeys.end() || *it != key) return {0, 0};
+      const std::size_t b =
+          static_cast<std::size_t>(it - bucketKeys.begin());
+      return {bucketStart[b], bucketStart[b + 1]};
+    };
     parallelFor(n, kAdjacencyChunk, [&](std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) {
         auto& adj = topo->adjacency[i];
         for (std::int64_t dx = -1; dx <= 1; ++dx) {
           for (std::int64_t dy = -1; dy <= 1; ++dy) {
             for (std::int64_t dz = -1; dz <= 1; ++dz) {
-              const auto it = buckets.find(cellKey(
+              const auto [lo, hi] = bucketOf(cellKey(
                   coords[i][0] + dx, coords[i][1] + dy, coords[i][2] + dz));
-              if (it == buckets.end()) continue;
-              for (const std::size_t j : it->second) {
+              for (std::uint32_t e = lo; e < hi; ++e) {
+                const std::size_t j = order[e].second;
                 OPENSPACE_ASSERT(j < n, "bucket entries index the fleet");
                 if (j == i) continue;
                 const double d = eci_[i].distanceTo(eci_[j]);
@@ -296,8 +333,9 @@ int FootprintIndex::countCovering(const Vec3& unitPoint,
   return seen;
 }
 
-SnapshotCache::SnapshotCache(std::size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+SnapshotCache::SnapshotCache(std::size_t capacity, std::size_t byteBudget)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      byteBudget_(byteBudget == 0 ? 1 : byteBudget) {}
 
 std::size_t SnapshotCache::KeyHash::operator()(const Key& k) const noexcept {
   std::uint64_t h = k.hash;
@@ -333,7 +371,7 @@ std::shared_ptr<const ConstellationSnapshot> SnapshotCache::probe(
   if (it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
     ++hits_;
-    return lru_.front().second;
+    return lru_.front().snapshot;
   }
   ++misses_;
   return nullptr;
@@ -350,20 +388,32 @@ std::shared_ptr<const ConstellationSnapshot> SnapshotCache::insert(
   const auto it = index_.find(key);
   if (it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
-    return lru_.front().second;
+    return lru_.front().snapshot;
   }
-  lru_.emplace_front(key, std::move(snapshot));
+  const std::size_t entryBytes = snapshot->approxBytes();
+  lru_.emplace_front(Entry{key, std::move(snapshot), entryBytes});
   index_.emplace(key, lru_.begin());
-  while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
+  bytes_ += entryBytes;
+  // Evict from the LRU tail while over either limit; the entry just
+  // inserted is exempt so an oversized snapshot still caches (the budget
+  // then holds exactly one entry).
+  while (lru_.size() > 1 &&
+         (lru_.size() > capacity_ || bytes_ > byteBudget_)) {
+    bytes_ -= lru_.back().bytes;
+    index_.erase(lru_.back().key);
     lru_.pop_back();
   }
-  return lru_.front().second;
+  return lru_.front().snapshot;
 }
 
 std::size_t SnapshotCache::size() const {
   MutexLock lock(mutex_);
   return lru_.size();
+}
+
+std::size_t SnapshotCache::approxBytes() const {
+  MutexLock lock(mutex_);
+  return bytes_;
 }
 
 std::size_t SnapshotCache::hits() const {
@@ -380,6 +430,7 @@ void SnapshotCache::clear() {
   MutexLock lock(mutex_);
   lru_.clear();
   index_.clear();
+  bytes_ = 0;
   hits_ = 0;
   misses_ = 0;
 }

@@ -38,6 +38,7 @@ std::uint64_t CompactGraph::contentChecksum() const noexcept {
   if (!sparseLinkEdges_.empty()) {
     std::vector<LinkId> ids;
     ids.reserve(sparseLinkEdges_.size());
+    // det-waiver: keys collected then sorted before any use — order cannot leak
     for (const auto& [lid, r] : sparseLinkEdges_) ids.push_back(lid);
     std::sort(ids.begin(), ids.end(),
               [](LinkId a, LinkId b) { return a.value() < b.value(); });

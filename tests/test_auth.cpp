@@ -2,6 +2,8 @@
 // authentication, and the user association state machine.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include <openspace/auth/association.hpp>
 #include <openspace/geo/error.hpp>
 #include <openspace/geo/units.hpp>
@@ -168,6 +170,60 @@ TEST_F(AssociationTest, SelectsClosestVisibleSatellite) {
     if (sid == *chosen) chosenRange = range;
   }
   EXPECT_DOUBLE_EQ(chosenRange, bestRange);
+}
+
+TEST_F(AssociationTest, SelectIndexBoundaryIsInvisible) {
+  // The indexed mega-constellation path of selectSatellite engages at
+  // kSelectIndexMinBeacons. The crossover must be pure performance: on
+  // either side of the boundary the winner equals the brute first-wins
+  // ascending scan, for users that see many satellites and users that see
+  // none.
+  WalkerConfig cfg;
+  cfg.totalSatellites = static_cast<int>(kSelectIndexMinBeacons) + 1;
+  cfg.planes = 27;  // 513 = 27 * 19
+  cfg.phasing = 5;
+  cfg.altitudeM = km(550.0);
+  cfg.inclinationRad = deg2rad(53.0);
+  const auto fleet = makeWalkerDelta(cfg);
+
+  std::vector<BeaconMessage> all;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    BeaconMessage b;
+    b.satellite = SatelliteId{static_cast<std::uint32_t>(i) + 1000u};
+    b.provider = ProviderId{1};
+    b.elements = fleet[i];
+    all.push_back(std::move(b));
+  }
+
+  const double t = 30.0, mask = deg2rad(25.0);
+  const std::vector<Geodetic> sites = {
+      Geodetic::fromDegrees(40.44, -79.99),
+      Geodetic::fromDegrees(-33.9, 18.4),
+      Geodetic::fromDegrees(89.0, 0.0),  // above the 53-degree shell: no view
+  };
+  for (const Geodetic& site : sites) {
+    AssociationAgent agent(1, ProviderId{1}, 0xABC, site);
+    const Vec3 userEcef = geodeticToEcef(site);
+    for (const std::size_t n :
+         {kSelectIndexMinBeacons - 1, kSelectIndexMinBeacons,
+          kSelectIndexMinBeacons + 1}) {
+      const std::vector<BeaconMessage> beacons(all.begin(),
+                                               all.begin() + static_cast<std::ptrdiff_t>(n));
+      // Brute replica of the small-list scan.
+      std::optional<SatelliteId> expect;
+      double bestRange = std::numeric_limits<double>::infinity();
+      for (const BeaconMessage& b : beacons) {
+        const Vec3 satEcef = eciToEcef(positionEci(b.elements, t), t);
+        if (elevationAngleRad(userEcef, satEcef) < mask) continue;
+        const double range = userEcef.distanceTo(satEcef);
+        if (range < bestRange) {
+          bestRange = range;
+          expect = b.satellite;
+        }
+      }
+      EXPECT_EQ(agent.selectSatellite(beacons, t, mask), expect) << n;
+    }
+  }
 }
 
 TEST_F(AssociationTest, FullAssociationIssuesRoamingCertificate) {

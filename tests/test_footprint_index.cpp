@@ -223,6 +223,32 @@ TEST(SphericalCapIndex, NearFullWindowRegistersWholeBand) {
   }
 }
 
+TEST(SphericalCapIndex, CapIndexScaling) {
+  // Pins the two-regime cell sizing (spherical_index.cpp) at
+  // mega-constellation scale: build cost stays ~O(N) — the entry count,
+  // which drives both the counting-sort build and the index's memory, is
+  // bounded by a constant per cap — and per-cell candidate lists stay
+  // within a small multiple of the fleet's intrinsic per-point cover
+  // count kappa = N * capAreaFraction (the floor no cell sizing can beat:
+  // every cap covering a point registers in that point's cell).
+  Rng rng(99);
+  const double lam = 0.25;  // LEO-like footprint half-angle, radians
+  for (const int n : {1000, 8000, 66000}) {
+    const auto caps = randomCaps(n, rng, lam - 0.05, lam + 0.05);
+    const SphericalCapIndex index(caps);
+    const auto nd = static_cast<double>(n);
+    // O(N) build: measured ~68 entries/cap, independent of N.
+    EXPECT_GE(index.entryCount(), static_cast<std::size_t>(n));
+    EXPECT_LE(index.entryCount(), static_cast<std::size_t>(90 * n)) << n;
+    // Bounded candidate lists: within 2x of the kappa floor (plus a
+    // small-N slack term for the per-cap minimum of one cell).
+    const double kappa = nd * (1.0 - std::cos(lam)) / 2.0;
+    const double perCell = static_cast<double>(index.entryCount()) /
+                           static_cast<double>(index.cellCount());
+    EXPECT_LE(perCell, 2.0 * (kappa + 64.0)) << n;
+  }
+}
+
 TEST(CapLonHalfWidth, KnownValues) {
   // Pole-wrapping cap: every longitude qualifies.
   EXPECT_DOUBLE_EQ(
@@ -374,6 +400,27 @@ TEST(FootprintIndex2, CompiledCacheReturnsSharedInstance) {
   EXPECT_EQ(a.get(), b.get());
   const auto c = FootprintIndex2::compiled(snap, deg2rad(15.0));
   EXPECT_NE(a.get(), c.get());
+}
+
+TEST(FootprintIndex2, CompiledCacheByteBudgetEvictsLru) {
+  Rng rng(206);
+  const auto sats = makeRandomConstellation(12, km(780.0), rng);
+  const auto snapA = SnapshotCache::global().at(sats, 80.0);
+  const auto snapB = SnapshotCache::global().at(sats, 81.0);
+  const double mask = deg2rad(10.0);
+  // Budget for exactly one compiled index of snapA: compiling a second
+  // index must evict the first from the LRU tail.
+  const std::size_t one = FootprintIndex2(snapA, mask).approxBytes();
+  const std::size_t previous =
+      FootprintIndex2::setCompiledCacheByteBudget(one);
+  const auto a = FootprintIndex2::compiled(snapA, mask);
+  EXPECT_EQ(FootprintIndex2::compiled(snapA, mask).get(), a.get());
+  EXPECT_EQ(FootprintIndex2::compiledCacheApproxBytes(), one);
+  const auto b = FootprintIndex2::compiled(snapB, mask);  // evicts A
+  EXPECT_EQ(FootprintIndex2::compiled(snapB, mask).get(), b.get());
+  // A was evicted, so asking for it again rebuilds.
+  EXPECT_NE(FootprintIndex2::compiled(snapA, mask).get(), a.get());
+  FootprintIndex2::setCompiledCacheByteBudget(previous);
 }
 
 // ---------------------------------------------------------------------------

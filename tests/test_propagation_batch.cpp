@@ -200,6 +200,27 @@ TEST(FleetEphemeris, CompiledCacheReturnsSharedInstance) {
   EXPECT_EQ(a->size(), fleet.size());
 }
 
+TEST(FleetEphemeris, CompiledCacheByteBudgetEvictsLru) {
+  const auto fleetA = randomFleet(24, 501);
+  const auto fleetB = randomFleet(24, 502);
+  const std::uint64_t hashA = constellationHash(fleetA);
+  const std::uint64_t hashB = constellationHash(fleetB);
+  // Budget for exactly one 24-satellite fleet: compiling a second
+  // equal-size fleet must evict the first in plain LRU order.
+  const std::size_t one = FleetEphemeris(fleetA).approxBytes();
+  const std::size_t previous = FleetEphemeris::setCompiledCacheByteBudget(one);
+  const auto a = FleetEphemeris::compiled(fleetA, hashA);
+  EXPECT_EQ(FleetEphemeris::compiled(fleetA, hashA).get(), a.get());
+  EXPECT_EQ(FleetEphemeris::compiledCacheApproxBytes(), one);
+  const auto b = FleetEphemeris::compiled(fleetB, hashB);  // evicts A
+  EXPECT_EQ(FleetEphemeris::compiledCacheApproxBytes(), one);
+  EXPECT_EQ(FleetEphemeris::compiled(fleetB, hashB).get(), b.get());
+  // A was evicted, so asking for it again rebuilds (and evicts B in turn).
+  EXPECT_NE(FleetEphemeris::compiled(fleetA, hashA).get(), a.get());
+  EXPECT_NE(FleetEphemeris::compiled(fleetB, hashB).get(), b.get());
+  FleetEphemeris::setCompiledCacheByteBudget(previous);
+}
+
 // --- warm start == cold start ---------------------------------------------
 
 TEST(TimeSweep, WarmStartAgreesWithColdStartWithinUlps) {

@@ -1,0 +1,216 @@
+// Multi-shell fleet composition: index bookkeeping, hash identity, and
+// +grid / cross-shell ISL wiring edge cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/orbit/shells.hpp>
+#include <openspace/orbit/snapshot.hpp>
+
+namespace openspace {
+namespace {
+
+ShellSpec star(int total, int planes, double altitudeM, double inclDeg,
+               int phasing = 0) {
+  ShellSpec s;
+  s.kind = ShellKind::Star;
+  s.walker.totalSatellites = total;
+  s.walker.planes = planes;
+  s.walker.phasing = phasing;
+  s.walker.altitudeM = altitudeM;
+  s.walker.inclinationRad = deg2rad(inclDeg);
+  return s;
+}
+
+ShellSpec delta(int total, int planes, double altitudeM, double inclDeg,
+                int phasing = 0) {
+  ShellSpec s = star(total, planes, altitudeM, inclDeg, phasing);
+  s.kind = ShellKind::Delta;
+  return s;
+}
+
+TEST(MultiShellFleet, ComposesShellsWithContiguousIndexRanges) {
+  MultiShellConfig cfg;
+  cfg.shells = {star(66, 6, km(780.0), 86.4, 2), delta(72, 6, km(550.0), 53.0, 1)};
+  const MultiShellFleet fleet(cfg);
+
+  EXPECT_EQ(fleet.shellCount(), 2u);
+  EXPECT_EQ(fleet.size(), 138u);
+  EXPECT_EQ(fleet.shellRange(0), (std::pair<std::size_t, std::size_t>{0, 66}));
+  EXPECT_EQ(fleet.shellRange(1), (std::pair<std::size_t, std::size_t>{66, 138}));
+  EXPECT_EQ(fleet.shellBegin(2), fleet.size());
+
+  // The composed list is exactly the per-shell generators concatenated.
+  const auto shell0 = makeWalkerStar(cfg.shells[0].walker);
+  const auto shell1 = makeWalkerDelta(cfg.shells[1].walker);
+  for (std::size_t i = 0; i < shell0.size(); ++i) {
+    EXPECT_EQ(fleet.elements()[i].semiMajorAxisM, shell0[i].semiMajorAxisM);
+    EXPECT_EQ(fleet.elements()[i].raanRad, shell0[i].raanRad);
+  }
+  for (std::size_t i = 0; i < shell1.size(); ++i) {
+    EXPECT_EQ(fleet.elements()[66 + i].inclinationRad, shell1[i].inclinationRad);
+  }
+  // Plane grids are per shell.
+  EXPECT_EQ(fleet.grid(0).planeCount(), 6u);
+  EXPECT_EQ(fleet.grid(0).satsPerPlane(), 11u);
+  EXPECT_EQ(fleet.grid(1).satsPerPlane(), 12u);
+}
+
+TEST(MultiShellFleet, ShellOfIsUniqueAndConsistent) {
+  MultiShellConfig cfg;
+  cfg.shells = {star(12, 3, km(780.0), 86.4), delta(1, 1, km(550.0), 53.0),
+                delta(8, 2, km(1200.0), 70.0)};
+  const MultiShellFleet fleet(cfg);
+  ASSERT_EQ(fleet.size(), 21u);
+  // Every global index belongs to exactly one shell, and the per-shell
+  // ranges partition [0, size) — cross-shell ID uniqueness.
+  std::vector<std::size_t> seen(fleet.size(), 0);
+  for (std::size_t s = 0; s < fleet.shellCount(); ++s) {
+    const auto [begin, end] = fleet.shellRange(s);
+    for (std::size_t i = begin; i < end; ++i) {
+      EXPECT_EQ(fleet.shellOf(i), s);
+      ++seen[i];
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](std::size_t c) { return c == 1; }));
+  EXPECT_THROW((void)fleet.shellOf(fleet.size()), InvalidArgumentError);
+}
+
+TEST(MultiShellFleet, DuplicateAltitudeShellsKeepDistinctIdentity) {
+  // Two shells at the same altitude are still distinct shells: disjoint
+  // index ranges, and the composed hash differs from one merged shell of
+  // the same satellite count.
+  MultiShellConfig two;
+  two.shells = {star(33, 3, km(780.0), 86.4), star(33, 3, km(780.0), 70.0)};
+  const MultiShellFleet fleet(two);
+  EXPECT_EQ(fleet.shellCount(), 2u);
+  EXPECT_EQ(fleet.shellOf(0), 0u);
+  EXPECT_EQ(fleet.shellOf(33), 1u);
+
+  MultiShellConfig one;
+  one.shells = {star(66, 6, km(780.0), 86.4)};
+  EXPECT_NE(fleet.elementsHash(), MultiShellFleet(one).elementsHash());
+}
+
+TEST(MultiShellFleet, HashMatchesConstellationHashAndIsOrderSensitive) {
+  MultiShellConfig ab;
+  ab.shells = {star(66, 6, km(780.0), 86.4, 2), delta(72, 6, km(550.0), 53.0)};
+  MultiShellConfig ba;
+  ba.shells = {ab.shells[1], ab.shells[0]};
+
+  const MultiShellFleet fab(ab);
+  const MultiShellFleet fba(ba);
+  // The fleet hash is exactly constellationHash of the composed list, so
+  // every snapshot/ephemeris cache keys multi-shell fleets correctly.
+  EXPECT_EQ(fab.elementsHash(), constellationHash(fab.elements()));
+  // Shell order changes satellite numbering, so it must change identity.
+  EXPECT_NE(fab.elementsHash(), fba.elementsHash());
+  // Same elements, different order only: the multisets agree.
+  auto key = [](const OrbitalElements& e) {
+    return std::make_tuple(e.semiMajorAxisM, e.inclinationRad, e.raanRad,
+                           e.meanAnomalyAtEpochRad);
+  };
+  std::multiset<std::tuple<double, double, double, double>> sab, sba;
+  for (const auto& e : fab.elements()) sab.insert(key(e));
+  for (const auto& e : fba.elements()) sba.insert(key(e));
+  EXPECT_EQ(sab, sba);
+}
+
+TEST(MultiShellFleet, SingleSatelliteShellHasNoSelfLinks) {
+  MultiShellConfig cfg;
+  cfg.shells = {delta(1, 1, km(550.0), 53.0)};
+  const MultiShellFleet fleet(cfg);
+  EXPECT_EQ(fleet.size(), 1u);
+  const ConstellationSnapshot snap(fleet.elements(), 0.0);
+  const auto links = fleet.islLinks(snap);
+  EXPECT_TRUE(links.empty());  // ring neighbor wraps onto itself: skipped
+}
+
+TEST(MultiShellFleet, PlusGridLinksAreSortedUniqueAndWithinPredicate) {
+  MultiShellConfig cfg;
+  cfg.shells = {star(66, 6, km(780.0), 86.4, 2), delta(72, 6, km(550.0), 53.0, 1)};
+  const MultiShellFleet fleet(cfg);
+  const ConstellationSnapshot snap(fleet.elements(), 120.0);
+  const auto links = fleet.islLinks(snap);
+  ASSERT_FALSE(links.empty());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    EXPECT_LT(links[i].a, links[i].b);
+    EXPECT_FALSE(links[i].crossShell);  // policy None: intra-shell only
+    EXPECT_LE(links[i].distanceM, cfg.maxIslRangeM);
+    // Both endpoints in the same shell under policy None.
+    EXPECT_EQ(fleet.shellOf(links[i].a), fleet.shellOf(links[i].b));
+    if (i > 0) {
+      EXPECT_TRUE(links[i - 1].a < links[i].a ||
+                  (links[i - 1].a == links[i].a && links[i - 1].b < links[i].b));
+    }
+  }
+  // Deterministic: a second evaluation produces the identical list.
+  const auto again = fleet.islLinks(snap);
+  ASSERT_EQ(links.size(), again.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    EXPECT_EQ(links[i].a, again[i].a);
+    EXPECT_EQ(links[i].b, again[i].b);
+    EXPECT_EQ(links[i].distanceM, again[i].distanceM);
+  }
+}
+
+TEST(MultiShellFleet, CrossShellNearestVisibleLinksShells) {
+  MultiShellConfig cfg;
+  cfg.shells = {star(66, 6, km(780.0), 86.4, 2), delta(72, 6, km(550.0), 53.0, 1)};
+  cfg.crossShell = CrossShellLinkPolicy::NearestVisible;
+  cfg.crossShellK = 1;
+  const MultiShellFleet fleet(cfg);
+  const ConstellationSnapshot snap(fleet.elements(), 0.0);
+  const auto links = fleet.islLinks(snap);
+
+  std::size_t cross = 0;
+  for (const auto& l : links) {
+    if (l.crossShell) {
+      ++cross;
+      EXPECT_NE(fleet.shellOf(l.a), fleet.shellOf(l.b));
+      EXPECT_LE(l.distanceM, cfg.crossShellMaxRangeM);
+    }
+  }
+  // 230 km of altitude separation: every satellite finds a partner.
+  EXPECT_GE(cross, fleet.size() / 2);
+  // No duplicate undirected edges survive the merge.
+  std::set<std::pair<std::size_t, std::size_t>> edges;
+  for (const auto& l : links) EXPECT_TRUE(edges.insert({l.a, l.b}).second);
+}
+
+TEST(MultiShellFleet, RejectsInvalidConfigs) {
+  EXPECT_THROW(MultiShellFleet{MultiShellConfig{}}, InvalidArgumentError);
+
+  MultiShellConfig badWalker;
+  badWalker.shells = {star(10, 3, km(780.0), 86.4)};  // 3 does not divide 10
+  EXPECT_THROW(MultiShellFleet{badWalker}, InvalidArgumentError);
+
+  MultiShellConfig badK;
+  badK.shells = {star(6, 3, km(780.0), 86.4), delta(4, 2, km(550.0), 53.0)};
+  badK.crossShell = CrossShellLinkPolicy::NearestVisible;
+  badK.crossShellK = 0;
+  EXPECT_THROW(MultiShellFleet{badK}, InvalidArgumentError);
+
+  MultiShellConfig badRange;
+  badRange.shells = {star(6, 3, km(780.0), 86.4)};
+  badRange.maxIslRangeM = 0.0;
+  EXPECT_THROW(MultiShellFleet{badRange}, InvalidArgumentError);
+}
+
+TEST(MultiShellFleet, IslLinksRejectsForeignSnapshot) {
+  MultiShellConfig cfg;
+  cfg.shells = {star(6, 3, km(780.0), 86.4)};
+  const MultiShellFleet fleet(cfg);
+  const ConstellationSnapshot other(makeWalkerStar(iridiumConfig()), 0.0);
+  EXPECT_THROW((void)fleet.islLinks(other), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace openspace

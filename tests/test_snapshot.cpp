@@ -232,6 +232,37 @@ TEST(Snapshot, GridPrunedAdjacencyMatchesAllPairs) {
   EXPECT_EQ(isl->linkCount, expectLinks / 2);
 }
 
+TEST(Snapshot, TinyRangeGridClampMatchesAllPairs) {
+  // A maxRangeM of a few meters against LEO-magnitude positions used to
+  // overflow the packed cell keys' 21-bit per-axis budget and silently
+  // fall back to the all-pairs scan. The grid now clamps its cell side up
+  // until the coordinates fit (side >= maxRangeM keeps the +-1-neighbor
+  // property, so only candidate-set size changes) — the pruned path must
+  // agree with the all-pairs definition for any range, however extreme.
+  const auto sats = testConstellation(300, 7);
+  const ConstellationSnapshot snap(sats, 3.0);
+  for (const double maxRange : {5.0, 2'000.0, 500'000.0}) {
+    const auto isl = snap.islTopology(maxRange);
+    ASSERT_EQ(isl->adjacency.size(), sats.size());
+    std::size_t expectLinks = 0;
+    for (std::size_t i = 0; i < sats.size(); ++i) {
+      std::vector<std::pair<std::size_t, double>> expect;
+      for (std::size_t j = 0; j < sats.size(); ++j) {
+        if (j == i) continue;
+        const double d = snap.eci(i).distanceTo(snap.eci(j));
+        if (d <= maxRange &&
+            lineOfSightClear(snap.eci(i), snap.eci(j), km(80.0))) {
+          expect.emplace_back(j, d);
+        }
+      }
+      expectLinks += expect.size();
+      ASSERT_EQ(isl->adjacency[i], expect)
+          << "range " << maxRange << " sat " << i;
+    }
+    EXPECT_EQ(isl->linkCount, expectLinks / 2) << "range " << maxRange;
+  }
+}
+
 TEST(Snapshot, IslPathSelectionBoundaryIsInvisible) {
   // islTopology() switches from the all-pairs scan to the spatial grid
   // strictly above kIslAllPairsMaxSats. The crossover is a perf decision
@@ -345,6 +376,40 @@ TEST(SnapshotCacheTest, LruEviction) {
 
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SnapshotCacheTest, ByteBudgetEvictsInLruOrder) {
+  const auto sats = testConstellation(6);
+  // Every snapshot of the same fleet has the same approxBytes, so a budget
+  // sized for exactly two of them must reproduce the capacity-2 LRU
+  // eviction sequence of the test above, entry for entry.
+  const std::size_t one = ConstellationSnapshot(sats, 1.0).approxBytes();
+  SnapshotCache cache(/*capacity=*/8, /*byteBudget=*/2 * one);
+  EXPECT_EQ(cache.byteBudget(), 2 * one);
+
+  const auto a = cache.at(sats, 1.0);
+  EXPECT_EQ(cache.approxBytes(), one);
+  cache.at(sats, 2.0);
+  EXPECT_EQ(cache.approxBytes(), 2 * one);
+  // Touch t=1 so t=2 is the least recently used...
+  EXPECT_EQ(cache.at(sats, 1.0).get(), a.get());
+  // ...then insert a third entry: over budget, t=2 is evicted.
+  cache.at(sats, 3.0);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.approxBytes(), 2 * one);
+  EXPECT_EQ(cache.at(sats, 1.0).get(), a.get());  // still cached
+  const std::size_t missesBefore = cache.misses();
+  cache.at(sats, 2.0);  // evicted: must rebuild
+  EXPECT_EQ(cache.misses(), missesBefore + 1);
+
+  // A budget smaller than any entry still caches the newest entry (the
+  // just-inserted entry is exempt from eviction).
+  SnapshotCache tiny(/*capacity=*/8, /*byteBudget=*/1);
+  tiny.at(sats, 1.0);
+  EXPECT_EQ(tiny.size(), 1u);
+  const auto newest = tiny.at(sats, 2.0);
+  EXPECT_EQ(tiny.size(), 1u);
+  EXPECT_EQ(tiny.at(sats, 2.0).get(), newest.get());
 }
 
 TEST(SnapshotCacheTest, EphemerisAndElementListShareEntries) {
