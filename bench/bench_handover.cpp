@@ -6,26 +6,69 @@
 // on the order of minutes). OpenSpace's predictive scheme should cut
 // per-handover outage by orders of magnitude versus re-running association
 // + RADIUS authentication every time.
+//
+// Besides the human-readable tables the bench writes a machine-readable
+// JSON record to BENCH_handover.json (or argv[1]); argv[2] is an optional
+// workload scale applied to the service window (0.2 for the perf-smoke
+// lane). The timelines are deterministic seeded computations, so
+// tools/bench_compare.py re-asserts the cadence numbers exactly against
+// the committed baseline — any drift is a semantic change, not noise.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <vector>
 
 #include <openspace/geo/units.hpp>
 #include <openspace/handover/handover.hpp>
 #include <openspace/orbit/walker.hpp>
 
-int main() {
+namespace {
+
+double nowS() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ModeStats {
+  int handovers = 0;
+  double meanIntervalS = 0.0;
+  double meanLatencyS = 0.0;
+  double outageS = 0.0;
+  double availabilityPct = 0.0;
+};
+
+struct CadenceRow {
+  int sats = 0;
+  int handovers = 0;
+  double intervalS = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace openspace;
+
+  const char* jsonPath = argc > 1 ? argv[1] : "BENCH_handover.json";
+  const double scale =
+      argc > 2 ? std::clamp(std::atof(argv[2]), 1e-3, 10.0) : 1.0;
+  const double wallStartS = nowS();
 
   EphemerisService eph;
   for (const auto& el : makeWalkerStar(iridiumConfig())) eph.publish(ProviderId{1}, el);
 
   const HandoverPlanner planner(eph, deg2rad(10.0));
   const Geodetic user = Geodetic::fromDegrees(40.4406, -79.9959);  // Pittsburgh
-  const double horizon = 2.0 * 3600.0;  // two hours of service
+  // Two hours of service at scale 1.0; never below ten minutes (a shorter
+  // window has too few handovers to say anything).
+  const double horizon = std::max(600.0, 2.0 * 3600.0 * scale);
 
   std::printf("# Handover study: Iridium-like 66-sat Walker Star, "
               "user at Pittsburgh, 10 deg mask, %.0f min window\n\n",
               horizon / 60.0);
 
+  ModeStats predictive, reassociate;
   for (const HandoverMode mode :
        {HandoverMode::Predictive, HandoverMode::ReAssociate}) {
     const auto tl = simulateHandovers(planner, user, 0.0, horizon, mode);
@@ -36,6 +79,13 @@ int main() {
     if (!tl.events.empty()) {
       meanLatency /= static_cast<double>(tl.events.size());
     }
+    ModeStats& out =
+        (mode == HandoverMode::Predictive) ? predictive : reassociate;
+    out.handovers = tl.handovers();
+    out.meanIntervalS = tl.meanIntervalS;
+    out.meanLatencyS = meanLatency;
+    out.outageS = tl.outageS;
+    out.availabilityPct = 100.0 * (1.0 - tl.outageS / horizon);
     std::printf("%-13s handovers=%-4d mean_interval=%6.1f s  "
                 "mean_handover_latency=%8.3f ms  total_outage=%8.3f s  "
                 "availability=%.4f%%\n",
@@ -49,6 +99,7 @@ int main() {
   // to the best satellite often).
   std::printf("\n# cadence vs density (predictive):\n");
   std::printf("%-8s %-12s %-14s\n", "sats", "handovers", "interval_s");
+  std::vector<CadenceRow> cadence;
   for (const int n : {11, 22, 44, 66, 132, 264}) {
     EphemerisService e2;
     WalkerConfig wc = iridiumConfig();
@@ -60,7 +111,49 @@ int main() {
     const HandoverPlanner p2(e2, deg2rad(10.0));
     const auto tl = simulateHandovers(p2, user, 0.0, horizon,
                                       HandoverMode::Predictive);
+    cadence.push_back({n, tl.handovers(), tl.meanIntervalS});
     std::printf("%-8d %-12d %-14.1f\n", n, tl.handovers(), tl.meanIntervalS);
+  }
+
+  const double outageRatio =
+      predictive.outageS > 0.0 ? reassociate.outageS / predictive.outageS
+                               : 0.0;
+  const double wallS = nowS() - wallStartS;
+  if (std::FILE* f = std::fopen(jsonPath, "w")) {
+    std::fprintf(
+        f,
+        "{\n  \"bench\": \"handover\",\n"
+        "  \"wall_seconds\": %.6f,\n"
+        "  \"scale\": %.4f,\n"
+        "  \"horizon_s\": %.3f,\n"
+        "  \"predictive_handovers\": %d,\n"
+        "  \"predictive_mean_interval_s\": %.6f,\n"
+        "  \"predictive_mean_latency_ms\": %.6f,\n"
+        "  \"predictive_outage_s\": %.6f,\n"
+        "  \"predictive_availability_pct\": %.6f,\n"
+        "  \"reassociate_handovers\": %d,\n"
+        "  \"reassociate_mean_interval_s\": %.6f,\n"
+        "  \"reassociate_mean_latency_ms\": %.6f,\n"
+        "  \"reassociate_outage_s\": %.6f,\n"
+        "  \"reassociate_availability_pct\": %.6f,\n"
+        "  \"outage_ratio\": %.3f,\n"
+        "  \"cadence\": [",
+        wallS, scale, horizon, predictive.handovers,
+        predictive.meanIntervalS, 1e3 * predictive.meanLatencyS,
+        predictive.outageS, predictive.availabilityPct,
+        reassociate.handovers, reassociate.meanIntervalS,
+        1e3 * reassociate.meanLatencyS, reassociate.outageS,
+        reassociate.availabilityPct, outageRatio);
+    for (std::size_t i = 0; i < cadence.size(); ++i) {
+      std::fprintf(f,
+                   "%s\n    {\"sats\": %d, \"handovers\": %d, "
+                   "\"interval_s\": %.6f}",
+                   i ? "," : "", cadence[i].sats, cadence[i].handovers,
+                   cadence[i].intervalS);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("\n# json: %s\n", jsonPath);
   }
   return 0;
 }

@@ -192,4 +192,18 @@ void AssociationAgent::adoptSuccessor(SatelliteId successor) {
   serving_ = successor;
 }
 
+bool AssociationAgent::adoptSuccessor(SatelliteId successor, double nowS) {
+  if (state_ != AssociationState::Associated) {
+    throw StateError("adoptSuccessor: user is not associated");
+  }
+  if (!cert_ || cert_->expired(nowS)) {
+    state_ = AssociationState::Disassociated;
+    serving_.reset();
+    cert_.reset();
+    return false;
+  }
+  serving_ = successor;
+  return true;
+}
+
 }  // namespace openspace

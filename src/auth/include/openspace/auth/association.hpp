@@ -121,6 +121,14 @@ class AssociationAgent {
   /// Throws StateError unless currently associated.
   void adoptSuccessor(SatelliteId successor);
 
+  /// Time-aware adoption: an expired roaming certificate cannot ride a
+  /// predictive handover, so if the certificate is expired at `nowS` the
+  /// agent drops to Disassociated (certificate cleared) and returns false
+  /// instead of switching — the session must re-associate through RADIUS.
+  /// Returns true (and adopts) when the certificate is still valid. Same
+  /// StateError as the untimed overload unless currently associated.
+  bool adoptSuccessor(SatelliteId successor, double nowS);
+
  private:
   UserId user_;
   ProviderId home_;

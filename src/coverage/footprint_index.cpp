@@ -74,9 +74,15 @@ constexpr double kCertCosPad = 1e-6;
 
 FootprintIndex2::FootprintIndex2(
     std::shared_ptr<const ConstellationSnapshot> snapshot,
-    double minElevationRad)
-    : snapshot_(std::move(snapshot)), minElevationRad_(minElevationRad) {
+    double minElevationRad, double motionMarginRad)
+    : snapshot_(std::move(snapshot)),
+      minElevationRad_(minElevationRad),
+      motionMarginRad_(motionMarginRad) {
   OPENSPACE_ASSERT(snapshot_ != nullptr, "footprint index needs a snapshot");
+  if (!(motionMarginRad >= 0.0) || std::isinf(motionMarginRad)) {
+    throw InvalidArgumentError(
+        "FootprintIndex2: motion margin must be finite and >= 0");
+  }
   const ConstellationSnapshot& snap = *snapshot_;
   const std::size_t n = snap.size();
   // ECEF ground queries rotate into the ECI frame of the cap centers: z is
@@ -102,11 +108,22 @@ FootprintIndex2::FootprintIndex2(
     maxHalfAngleRad_ = std::max(maxHalfAngleRad_, halfAngle_[i]);
     // Registered (pruning) radius: wide enough for both exact predicates —
     // the cap test on unit surface points and the elevation test from any
-    // supported observer radius.
+    // supported observer radius. With a motion margin the ground radius is
+    // evaluated at the orbit's apogee (lambda grows with the satellite
+    // radius, so the apogee bound holds at every point of the pass) and
+    // widened by the margin itself, covering the angular drift of both the
+    // satellite and the observer over the margin's time window.
+    double satRadiusM = snap.eci(i).norm();
+    if (motionMarginRad > 0.0) {
+      const OrbitalElements& el = snap.elements()[i];
+      satRadiusM = std::max(
+          satRadiusM, el.semiMajorAxisM * (1.0 + el.eccentricity));
+    }
     caps[i].unitCenter = direction_[i];
-    caps[i].halfAngleRad = std::max(
-        halfAngle_[i] + kCapPadRad,
-        groundVisibilityHalfAngleRad(snap.eci(i).norm(), minElevationRad));
+    caps[i].halfAngleRad =
+        std::max(halfAngle_[i] + kCapPadRad,
+                 groundVisibilityHalfAngleRad(satRadiusM, minElevationRad)) +
+        motionMarginRad;
   }
   capIndex_ = SphericalCapIndex(caps);
 
@@ -255,12 +272,14 @@ class FootprintIndexCache {
  public:
   std::shared_ptr<const FootprintIndex2> at(
       std::shared_ptr<const ConstellationSnapshot> snapshot,
-      double minElevationRad) OPENSPACE_EXCLUDES(mutex_) {
+      double minElevationRad, double motionMarginRad)
+      OPENSPACE_EXCLUDES(mutex_) {
     Key key{};
     key.hash = snapshot->elementsHash();
     key.count = snapshot->size();
     key.tMicros = std::llround(snapshot->timeSeconds() * 1e6);
     std::memcpy(&key.maskBits, &minElevationRad, sizeof(key.maskBits));
+    std::memcpy(&key.marginBits, &motionMarginRad, sizeof(key.marginBits));
     {
       MutexLock lock(mutex_);
       const auto it = index_.find(key);
@@ -269,8 +288,8 @@ class FootprintIndexCache {
         return lru_.front().built;
       }
     }
-    auto built = std::make_shared<const FootprintIndex2>(std::move(snapshot),
-                                                         minElevationRad);
+    auto built = std::make_shared<const FootprintIndex2>(
+        std::move(snapshot), minElevationRad, motionMarginRad);
     MutexLock lock(mutex_);
     const auto it = index_.find(key);
     if (it != index_.end()) {
@@ -319,6 +338,7 @@ class FootprintIndexCache {
     std::uint64_t count;
     std::int64_t tMicros;
     std::uint64_t maskBits;
+    std::uint64_t marginBits;
     bool operator==(const Key&) const noexcept = default;
   };
   struct KeyHash {
@@ -327,6 +347,7 @@ class FootprintIndexCache {
       h ^= k.count * 0x9E3779B97F4A7C15ull;
       h ^= static_cast<std::uint64_t>(k.tMicros) * 0xD1B54A32D192ED03ull;
       h ^= k.maskBits * 0x2545F4914F6CDD1Dull;
+      h ^= k.marginBits * 0x94D049BB133111EBull;
       h ^= h >> 32;
       return static_cast<std::size_t>(h);
     }
@@ -353,9 +374,15 @@ class FootprintIndexCache {
 std::shared_ptr<const FootprintIndex2> FootprintIndex2::compiled(
     std::shared_ptr<const ConstellationSnapshot> snapshot,
     double minElevationRad) {
+  return compiled(std::move(snapshot), minElevationRad, 0.0);
+}
+
+std::shared_ptr<const FootprintIndex2> FootprintIndex2::compiled(
+    std::shared_ptr<const ConstellationSnapshot> snapshot,
+    double minElevationRad, double motionMarginRad) {
   OPENSPACE_ASSERT(snapshot != nullptr, "compiled() needs a snapshot");
   return FootprintIndexCache::global().at(std::move(snapshot),
-                                          minElevationRad);
+                                          minElevationRad, motionMarginRad);
 }
 
 std::size_t FootprintIndex2::setCompiledCacheByteBudget(std::size_t bytes) {

@@ -57,11 +57,23 @@ class FootprintIndex2 {
   /// Compile the footprint index of `snapshot` at `minElevationRad`.
   /// Throws InvalidArgumentError for a mask outside [0, pi/2] (the
   /// footprintHalfAngleRad domain — same throw as the brute path).
+  ///
+  /// `motionMarginRad` widens only the *registered pruning radii* (never
+  /// the exact cap predicate): with a margin of m, a ground-candidate
+  /// query answered from this snapshot remains a superset of the exactly
+  /// visible set at any time t' with angular drift <= m — i.e. for
+  /// |t' - timeSeconds()| <= m / (max per-satellite angular rate + Earth
+  /// rotation rate). The ground-visibility radii are additionally bounded
+  /// at each orbit's apogee, so radial motion over the window is covered
+  /// too. The session-plane epoch sweep compiles one margined index per
+  /// epoch and serves every event time inside it from that single compile.
+  /// Throws InvalidArgumentError for a negative or non-finite margin.
   FootprintIndex2(std::shared_ptr<const ConstellationSnapshot> snapshot,
-                  double minElevationRad);
+                  double minElevationRad, double motionMarginRad = 0.0);
 
   std::size_t size() const noexcept { return direction_.size(); }
   double minElevationRad() const noexcept { return minElevationRad_; }
+  double motionMarginRad() const noexcept { return motionMarginRad_; }
 
   /// Approximate resident size in bytes: the per-satellite cap arrays, the
   /// band index, and the certificate table (excludes the shared snapshot,
@@ -167,6 +179,13 @@ class FootprintIndex2 {
       std::shared_ptr<const ConstellationSnapshot> snapshot,
       double minElevationRad);
 
+  /// compiled() with a motion margin on the pruning radii (see the
+  /// constructor); the LRU key includes the margin bits, so margined and
+  /// exact indexes of the same snapshot coexist in the cache.
+  static std::shared_ptr<const FootprintIndex2> compiled(
+      std::shared_ptr<const ConstellationSnapshot> snapshot,
+      double minElevationRad, double motionMarginRad);
+
   /// Byte budget of the compiled() cache (see
   /// FleetEphemeris::setCompiledCacheByteBudget for the shared eviction
   /// contract: LRU-tail eviction while over the count cap or this budget,
@@ -179,6 +198,7 @@ class FootprintIndex2 {
  private:
   std::shared_ptr<const ConstellationSnapshot> snapshot_;
   double minElevationRad_ = 0.0;
+  double motionMarginRad_ = 0.0;
   // ECEF->ECI rotation about +Z at the snapshot time (lon_eci = lon_ecef +
   // omega * t), stored as the rotation's cosine/sine.
   double cosLonOffset_ = 1.0;  // units: dimensionless rotation cosine

@@ -46,6 +46,17 @@ HandoverPlanner::HandoverPlanner(const EphemerisService& ephemeris,
 
 double HandoverPlanner::visibilityEndS(SatelliteId sat, const Geodetic& user,
                                        double fromS, double horizonS) const {
+  // Warm-started single-satellite sweep: the coarse scan and the bisection
+  // evaluate the same orbit dozens of times in sequence. A fresh sweep per
+  // call and a reset() one are bit-identical, so this is exactly
+  // visibilityEndWith on a reused object.
+  SatelliteSweep sweep(ephemeris_.record(sat).elements);
+  return visibilityEndWith(sweep, user, fromS, horizonS);
+}
+
+double HandoverPlanner::visibilityEndWith(SatelliteSweep& sweep,
+                                          const Geodetic& user, double fromS,
+                                          double horizonS) const {
   // The horizon is an explicit, finite search bound: a satellite that never
   // drops below the mask (e.g. a mask of 0 over a pole-adjacent user, or a
   // horizon shorter than the pass) yields fromS + horizonS rather than an
@@ -54,9 +65,6 @@ double HandoverPlanner::visibilityEndS(SatelliteId sat, const Geodetic& user,
     throw InvalidArgumentError(
         "visibilityEndS: horizon must be finite and >= 0");
   }
-  // Warm-started single-satellite sweep: the coarse scan and the bisection
-  // below evaluate the same orbit dozens of times in sequence.
-  SatelliteSweep sweep(ephemeris_.record(sat).elements);
   const auto visible = [&](double t) {
     return elevationFrom(sweep.positionEciAt(t), user, t) >= minElevationRad_;
   };
@@ -96,13 +104,18 @@ std::optional<SatelliteId> HandoverPlanner::bestSatelliteAt(
   const auto& sats = ephemeris_.satellites();
   // Index-pruned, ascending candidates; the predicate and the strict
   // `until > bestUntil` first-wins rule are the brute scan's, so skipping
-  // the never-visible satellites cannot change the winner.
+  // the never-visible satellites cannot change the winner. One sweep
+  // object serves every candidate's visibility search: reset() re-seeds
+  // it bit-identically to the fresh per-call sweep visibilityEndS builds,
+  // pinned against the per-candidate path in tests/test_handover.cpp.
+  SatelliteSweep sweep;
   for (const std::uint32_t i : visibleCandidates(snap, user, minElevationRad_)) {
     const SatelliteId sid = sats[i];
     if (sid == exclude) continue;
     const Vec3& pos = snap->eci(i);
     if (elevationFrom(pos, user, tSeconds) < minElevationRad_) continue;
-    const double until = visibilityEndS(sid, user, tSeconds);
+    sweep.reset(ephemeris_.record(sid).elements);
+    const double until = visibilityEndWith(sweep, user, tSeconds);
     if (until > bestUntil) {
       bestUntil = until;
       best = sid;

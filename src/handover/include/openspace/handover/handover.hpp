@@ -17,6 +17,7 @@
 
 #include <openspace/geo/geodetic.hpp>
 #include <openspace/orbit/ephemeris.hpp>
+#include <openspace/orbit/propagation_batch.hpp>
 
 namespace openspace {
 
@@ -41,6 +42,15 @@ class HandoverPlanner {
   /// InvalidArgumentError unless it is finite and >= 0.
   double visibilityEndS(SatelliteId sat, const Geodetic& user, double fromS,
                         double horizonS = 3'600.0) const;
+
+  /// The visibilityEndS search running on a caller-provided sweep already
+  /// reset() to the satellite's elements: same coarse scan + bisection,
+  /// same result bit-for-bit (visibilityEndS delegates here after seeding
+  /// a fresh sweep). Candidate loops — bestSatelliteAt, the session-plane
+  /// epoch sweep — reuse one SatelliteSweep object across satellites
+  /// instead of constructing one per visibility query.
+  double visibilityEndWith(SatelliteSweep& sweep, const Geodetic& user,
+                           double fromS, double horizonS = 3'600.0) const;
 
   /// Best serving satellite at time t: visible and longest remaining
   /// service (maximizes time-to-next-handover), excluding `exclude`.

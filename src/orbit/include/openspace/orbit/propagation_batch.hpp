@@ -183,20 +183,33 @@ class TimeSweep {
 /// carries the last solve as the next warm start.
 class SatelliteSweep {
  public:
+  /// An empty sweep; reset() must run before positionEciAt.
+  SatelliteSweep() = default;
+
   /// Throws InvalidArgumentError if eccentricity is outside [0, 1).
   explicit SatelliteSweep(const OrbitalElements& elements);
+
+  /// Re-seed the sweep with a new orbit, dropping the warm-start state —
+  /// after reset() the object is indistinguishable from a freshly
+  /// constructed SatelliteSweep(elements), so every positionEciAt sequence
+  /// is bit-for-bit the fresh object's (pinned in
+  /// tests/test_propagation_batch.cpp). Lets candidate loops (the handover
+  /// planner, the session sweep) reuse one sweep object across satellites
+  /// instead of constructing per candidate. Throws InvalidArgumentError if
+  /// eccentricity is outside [0, 1).
+  void reset(const OrbitalElements& elements);
 
   /// ECI position at t; successive calls warm-start from each other.
   Vec3 positionEciAt(double tSeconds);
 
  private:
-  double semiMajorAxisM_;
-  double eccentricity_;
-  double meanMotionRadPerS_;
-  double meanAnomalyAtEpochRad_;
-  double semiMinorAxisM_;
-  double p1_, p2_, p3_;  // units: rotation-matrix entries
-  double q1_, q2_, q3_;  // units: rotation-matrix entries
+  double semiMajorAxisM_ = 0.0;
+  double eccentricity_ = 0.0;
+  double meanMotionRadPerS_ = 0.0;
+  double meanAnomalyAtEpochRad_ = 0.0;
+  double semiMinorAxisM_ = 0.0;
+  double p1_ = 0.0, p2_ = 0.0, p3_ = 0.0;  // units: rotation-matrix entries
+  double q1_ = 0.0, q2_ = 0.0, q3_ = 0.0;  // units: rotation-matrix entries
   double prevMeanRad_ = 0.0;
   double prevEccentricRad_ = 0.0;
   bool primed_ = false;

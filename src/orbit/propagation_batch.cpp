@@ -384,6 +384,10 @@ void TimeSweep::advanceImpl(double tSeconds, std::vector<Vec3>& outEci,
 }
 
 SatelliteSweep::SatelliteSweep(const OrbitalElements& elements) {
+  reset(elements);
+}
+
+void SatelliteSweep::reset(const OrbitalElements& elements) {
   const double ecc = elements.eccentricity;
   if (ecc < 0.0 || ecc >= 1.0) {
     throw InvalidArgumentError("SatelliteSweep: eccentricity must be in [0, 1)");
@@ -405,6 +409,11 @@ SatelliteSweep::SatelliteSweep(const OrbitalElements& elements) {
   q2_ = -sO * sW + cO * cW * cI;
   p3_ = sW * sI;
   q3_ = cW * sI;
+  // Drop the warm start: the next positionEciAt runs the cold Kepler
+  // solve, exactly like a freshly constructed sweep.
+  prevMeanRad_ = 0.0;
+  prevEccentricRad_ = 0.0;
+  primed_ = false;
 }
 
 Vec3 SatelliteSweep::positionEciAt(double tSeconds) {

@@ -1,0 +1,430 @@
+#include <openspace/session/handover_sweep.hpp>
+
+#include <algorithm>
+#include <cmath>
+
+#include <openspace/concurrency/parallel.hpp>
+#include <openspace/core/hash.hpp>
+#include <openspace/coverage/footprint_index.hpp>
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/geo/wgs84.hpp>
+#include <openspace/orbit/propagation_batch.hpp>
+#include <openspace/orbit/snapshot.hpp>
+#include <openspace/orbit/visibility.hpp>
+
+namespace openspace {
+
+namespace {
+
+/// Seeds per parallelFor chunk in the seeding pre-pass. Fixed boundaries +
+/// per-seed output slots keep serial and parallel seeding bit-identical.
+constexpr std::size_t kSeedChunk = 512;
+
+/// The legacy re-acquisition probe grid (simulateHandovers' 10 s scan).
+constexpr double kScanStepS = 10.0;
+
+/// Extra slack on the epoch index's motion margin beyond the rigorous
+/// drift bound — absorbs rounding in the bound's own evaluation.
+constexpr double kMarginSlackRad = 1e-6;
+
+/// Signaling latency of one predictive handover — the expression of the
+/// legacy simulateHandovers path, with the fleet positions coming from the
+/// compiled ephemeris (bit-identical to the scalar positionEci the legacy
+/// path calls).
+double predictiveLatencyS(const FleetEphemeris& fleet, const Vec3& userEcef,
+                          std::uint32_t from, std::uint32_t to,
+                          double tSeconds) {
+  const double downS =
+      userEcef.distanceTo(eciToEcef(fleet.positionAt(from, tSeconds),
+                                    tSeconds)) /
+      kSpeedOfLightMps;
+  const double upS =
+      userEcef.distanceTo(eciToEcef(fleet.positionAt(to, tSeconds),
+                                    tSeconds)) /
+      kSpeedOfLightMps;
+  return downS + 2.0 * upS;
+}
+
+}  // namespace
+
+/// Per-shard epoch accumulator; folded in shard order after the parallel
+/// phase so every total and the event checksum are thread-count-invariant.
+struct HandoverSweep::ShardStats {
+  std::size_t touched = 0;
+  std::size_t handovers = 0;
+  std::size_t holes = 0;
+  std::size_t reacquisitions = 0;
+  std::size_t certExpiries = 0;
+  std::size_t certHits = 0;
+  std::size_t certMisses = 0;
+  double outageS = 0.0;
+  std::uint64_t checksum = kFnvOffsetBasis;
+  std::vector<SessionEvent> events;
+};
+
+HandoverSweep::HandoverSweep(const EphemerisService& ephemeris, SweepConfig cfg)
+    : ephemeris_(ephemeris),
+      cfg_(cfg),
+      planner_(ephemeris, cfg.minElevationRad) {
+  const auto& sats = ephemeris.satellites();
+  if (sats.empty()) {
+    throw InvalidArgumentError("HandoverSweep: empty fleet");
+  }
+  elements_.reserve(sats.size());
+  for (const SatelliteId sid : sats) {
+    elements_.push_back(ephemeris.record(sid).elements);
+  }
+  elementsHash_ = constellationHash(elements_);
+  // Fleet-wide angular-rate bound: the orbital rate peaks at perigee at
+  // n * sqrt(1+e) / (1-e)^{3/2}; the observer's ECI direction adds the
+  // Earth rotation rate. Scales the epoch index's candidate motion margin.
+  double maxOrbital = 0.0;
+  for (const OrbitalElements& el : elements_) {
+    const double n = el.meanMotionRadPerS();
+    const double rate = n * std::sqrt(1.0 + el.eccentricity) /
+                        std::pow(1.0 - el.eccentricity, 1.5);
+    maxOrbital = std::max(maxOrbital, rate);
+  }
+  maxAngularRateRadPerS_ = maxOrbital + wgs84::kEarthRotationRadPerS;
+}
+
+std::uint32_t HandoverSweep::bestAt(const FootprintIndex2& index,
+                                    const FleetEphemeris& fleet,
+                                    const Vec3& siteEcef, const Geodetic& site,
+                                    double tSeconds, std::uint32_t excludeSat,
+                                    SatelliteSweep& sweep,
+                                    std::vector<std::uint32_t>& scratch) const {
+  double bestUntil = -1.0;
+  return bestAtWithUntil(index, fleet, siteEcef, site, tSeconds, excludeSat,
+                         sweep, scratch, bestUntil);
+}
+
+std::uint32_t HandoverSweep::bestAtWithUntil(
+    const FootprintIndex2& index, const FleetEphemeris& fleet,
+    const Vec3& siteEcef, const Geodetic& site, double tSeconds,
+    std::uint32_t excludeSat, SatelliteSweep& sweep,
+    std::vector<std::uint32_t>& scratch, double& bestUntil) const {
+  // The planner's bestSatelliteAt, fed from the epoch index: the index's
+  // candidate set is a (margined) superset of the per-call index the
+  // planner compiles, and both re-test with the exact elevation predicate
+  // in ascending order with strict first-wins — so the winner and its
+  // visibility end are bit-identical (pinned in tests/test_session.cpp).
+  scratch.clear();
+  index.forEachGroundCandidate(
+      siteEcef, [&](std::uint32_t i) { scratch.push_back(i); });
+  std::sort(scratch.begin(), scratch.end());
+  std::uint32_t best = kNoSatellite;
+  bestUntil = -1.0;
+  for (const std::uint32_t i : scratch) {
+    if (i == excludeSat) continue;
+    if (elevationFrom(fleet.positionAt(i, tSeconds), site, tSeconds) <
+        cfg_.minElevationRad) {
+      continue;
+    }
+    sweep.reset(elements_[i]);
+    const double until =
+        planner_.visibilityEndWith(sweep, site, tSeconds, cfg_.horizonS);
+    if (until > bestUntil) {
+      bestUntil = until;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void HandoverSweep::seed(SessionTable& table,
+                         const std::vector<SessionSeed>& seeds, double t0S,
+                         SeedMode mode) const {
+  if (table.fleetSize() != elements_.size()) {
+    throw InvalidArgumentError("seed: table fleet size != sweep fleet size");
+  }
+  if (table.seeded_ && t0S != table.clockS_) {
+    throw InvalidArgumentError("seed: t0S must match the table clock");
+  }
+  // Pre-pass: the serving pick and its predicted visibility end, per seed,
+  // in fixed chunks — one snapshot + exact (margin-0) index at t0, exactly
+  // what the legacy initial acquisition compiles.
+  const auto snap = SnapshotCache::global().at(elements_, t0S);
+  const auto index = FootprintIndex2::compiled(snap, cfg_.minElevationRad);
+  const auto fleet = FleetEphemeris::compiled(elements_, elementsHash_);
+  std::vector<std::uint32_t> serving(seeds.size(), kNoSatellite);
+  std::vector<double> untilS(seeds.size(), 0.0);
+  parallelFor(seeds.size(), kSeedChunk,
+              [&](std::size_t begin, std::size_t end) {
+                SatelliteSweep sweep;
+                std::vector<std::uint32_t> scratch;
+                for (std::size_t u = begin; u < end; ++u) {
+                  const Vec3 siteEcef = geodeticToEcef(seeds[u].location);
+                  if (mode == SeedMode::Planner) {
+                    serving[u] = bestAtWithUntil(
+                        *index, *fleet, siteEcef, seeds[u].location, t0S,
+                        kNoSatellite, sweep, scratch, untilS[u]);
+                  } else {
+                    const auto closest = index->closestVisible(siteEcef);
+                    if (closest) {
+                      serving[u] = static_cast<std::uint32_t>(*closest);
+                      sweep.reset(elements_[serving[u]]);
+                      untilS[u] = planner_.visibilityEndWith(
+                          sweep, seeds[u].location, t0S, cfg_.horizonS);
+                    }
+                  }
+                }
+              });
+  // Bucket seeds per shard in seed order, then insert shard-parallel: the
+  // per-shard insertion order (and so slot numbering, heap tie-breaking
+  // and event order) is a pure function of the seed list.
+  std::vector<std::vector<std::uint32_t>> byShard(table.shardCount());
+  for (std::size_t u = 0; u < seeds.size(); ++u) {
+    byShard[table.shardOf(seeds[u].user)].push_back(
+        static_cast<std::uint32_t>(u));
+  }
+  parallelFor(table.shardCount(), 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      SessionTable::Shard& shard = *table.shards_[s];
+      MutexLock lock(shard.mu);
+      SessionTable::State& st = shard.st;
+      for (const std::uint32_t u : byShard[s]) {
+        const SessionSeed& seed = seeds[u];
+        std::uint32_t slot;
+        const auto it = st.slotOf.find(seed.user);
+        if (it != st.slotOf.end()) {
+          slot = it->second;
+          if (st.state[slot] != SessionState::Disassociated) {
+            throw InvalidArgumentError("seed: user already has a session");
+          }
+          st.site[slot] = seed.location;
+          st.siteEcef[slot] = geodeticToEcef(seed.location);
+        } else {
+          slot = static_cast<std::uint32_t>(st.user.size());
+          st.user.push_back(seed.user);
+          st.site.push_back(seed.location);
+          st.siteEcef.push_back(geodeticToEcef(seed.location));
+          st.servingSat.push_back(kNoSatellite);
+          st.nextEventS.push_back(0.0);
+          st.outageFromS.push_back(0.0);
+          st.certExpiresAtS.push_back(0.0);
+          st.certTag.push_back(0);
+          st.state.push_back(SessionState::Disassociated);
+          st.slotOf.emplace(seed.user, slot);
+        }
+        st.certExpiresAtS[slot] = seed.certExpiresAtS;
+        st.certTag[slot] = seed.certTag;
+        if (serving[u] != kNoSatellite) {
+          st.state[slot] = SessionState::Serving;
+          st.servingSat[slot] = serving[u];
+          st.nextEventS[slot] = untilS[u];
+          st.outageFromS[slot] = 0.0;
+          ++st.satOccupancy[serving[u]];
+          SessionTable::heapPush(st.heap,
+                                 SessionTable::HeapEntry{untilS[u], slot});
+        } else {
+          // Legacy initial acquisition: the t0 probe failed, the next one
+          // runs a step later on the 10 s grid.
+          st.state[slot] = SessionState::Scanning;
+          st.servingSat[slot] = kNoSatellite;
+          st.nextEventS[slot] = t0S + kScanStepS;
+          st.outageFromS[slot] = t0S;
+          st.scanning.push_back(slot);
+        }
+      }
+    }
+  });
+  if (!table.seeded_) {
+    table.clockS_ = t0S;
+    table.seeded_ = true;
+  }
+}
+
+EpochStats HandoverSweep::runEpoch(SessionTable& table, double t1S,
+                                   std::vector<SessionEvent>* eventsOut) const {
+  if (table.fleetSize() != elements_.size()) {
+    throw InvalidArgumentError(
+        "runEpoch: table fleet size != sweep fleet size");
+  }
+  const double t0S = table.clockS_;
+  if (!(t1S > t0S)) {
+    throw InvalidArgumentError("runEpoch: t1S must be > table clock");
+  }
+  // One snapshot + one margined footprint index serve every event in the
+  // epoch: the index is compiled at the epoch midpoint, with the pruning
+  // caps widened by the worst-case angular drift to either epoch edge —
+  // candidate sets stay conservative supersets at every event time.
+  const double midS = t0S + 0.5 * (t1S - t0S);
+  const double marginRad =
+      maxAngularRateRadPerS_ * (0.5 * (t1S - t0S) + 1e-3) + kMarginSlackRad;
+  const auto snap = SnapshotCache::global().at(elements_, midS);
+  const auto index =
+      FootprintIndex2::compiled(snap, cfg_.minElevationRad, marginRad);
+  const auto fleet = FleetEphemeris::compiled(elements_, elementsHash_);
+
+  std::vector<ShardStats> stats(table.shardCount());
+  parallelFor(table.shardCount(), 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      SessionTable::Shard& shard = *table.shards_[s];
+      MutexLock lock(shard.mu);
+      SessionTable::State& st = shard.st;
+      ShardStats& out = stats[s];
+      const bool record = eventsOut != nullptr;
+      SatelliteSweep sweep;
+      std::vector<std::uint32_t> scratch;
+      std::vector<std::uint32_t> stillScanning;
+
+      // One session's whole epoch: run its leg chain until it parks —
+      // expiry beyond the epoch (back on the heap), an unresolved
+      // coverage-hole scan (carried to the next epoch), or a dropped
+      // session. The bodies mirror the legacy simulateHandovers loop
+      // clause for clause.
+      const auto processSession = [&](std::uint32_t slot) {
+        ++out.touched;
+        for (;;) {
+          if (st.state[slot] == SessionState::Scanning) {
+            double gridS = st.nextEventS[slot];
+            std::uint32_t found = kNoSatellite;
+            double foundUntil = 0.0;
+            while (gridS < t1S) {
+              found = bestAtWithUntil(*index, *fleet, st.siteEcef[slot],
+                                      st.site[slot], gridS, kNoSatellite,
+                                      sweep, scratch, foundUntil);
+              if (found != kNoSatellite) break;
+              gridS += kScanStepS;
+            }
+            if (found == kNoSatellite) {
+              // Park: outage accrues to the epoch edge, the probe grid
+              // position survives to the next epoch.
+              out.outageS += t1S - st.outageFromS[slot];
+              st.outageFromS[slot] = t1S;
+              st.nextEventS[slot] = gridS;
+              // det-waiver: declared inside this shard's chunk body, local
+              stillScanning.push_back(slot);
+              return;
+            }
+            out.outageS += gridS - st.outageFromS[slot];
+            ++out.reacquisitions;
+            st.state[slot] = SessionState::Serving;
+            st.servingSat[slot] = found;
+            st.nextEventS[slot] = foundUntil;
+            ++st.satOccupancy[found];
+            continue;
+          }
+          const double endS = st.nextEventS[slot];
+          if (endS >= t1S) {
+            SessionTable::heapPush(st.heap,
+                                   SessionTable::HeapEntry{endS, slot});
+            return;
+          }
+          // Handover due at endS: successor picked just before the mask
+          // crossing, serving satellite excluded — the legacy rule.
+          const std::uint32_t from = st.servingSat[slot];
+          double succUntil = 0.0;
+          const std::uint32_t succ = bestAtWithUntil(
+              *index, *fleet, st.siteEcef[slot], st.site[slot], endS - 1e-3,
+              from, sweep, scratch, succUntil);
+          if (succ == kNoSatellite) {
+            // Coverage hole: re-acquire on the 10 s grid from the mask
+            // crossing (the first probe runs at endS itself).
+            ++out.holes;
+            --st.satOccupancy[from];
+            st.state[slot] = SessionState::Scanning;
+            st.servingSat[slot] = kNoSatellite;
+            st.nextEventS[slot] = endS;
+            st.outageFromS[slot] = endS;
+            continue;
+          }
+          if (cfg_.dropOnCertExpiry &&
+              endS >= st.certExpiresAtS[slot]) {
+            // The adoptSuccessor expiry rule: an expired roaming
+            // certificate cannot ride a predictive handover — the session
+            // drops and must re-associate through RADIUS.
+            ++out.certExpiries;
+            --st.satOccupancy[from];
+            st.state[slot] = SessionState::Disassociated;
+            st.servingSat[slot] = kNoSatellite;
+            st.certCache.invalidate(st.user[slot]);
+            return;
+          }
+          const double latencyS =
+              cfg_.mode == HandoverMode::Predictive
+                  ? predictiveLatencyS(*fleet, st.siteEcef[slot], from, succ,
+                                       endS)
+                  : cfg_.reassocCost.beaconPeriodS / 2.0 +
+                        cfg_.reassocCost.authRttS;
+          // Certificate check at the successor: a cache hit means the
+          // visited provider already verified this user's roaming
+          // certificate — nothing to recompute, the handover is local.
+          if (st.certCache.hit(st.user[slot], st.certTag[slot])) {
+            ++out.certHits;
+          } else {
+            ++out.certMisses;
+            st.certCache.insert(st.user[slot], st.certTag[slot]);
+          }
+          ++out.handovers;
+          out.outageS += latencyS;
+          out.checksum = fnv1a(out.checksum, st.user[slot]);
+          out.checksum = fnv1a(out.checksum, bitsOf(endS));
+          out.checksum = fnv1a(out.checksum, from);
+          out.checksum = fnv1a(out.checksum, succ);
+          out.checksum = fnv1a(out.checksum, bitsOf(latencyS));
+          if (record) {
+            out.events.push_back(
+                SessionEvent{st.user[slot], endS, from, succ, latencyS});
+          }
+          --st.satOccupancy[from];
+          ++st.satOccupancy[succ];
+          st.servingSat[slot] = succ;
+          // Next leg starts once the switch signaling completes.
+          const double legStartS = endS + latencyS;
+          sweep.reset(elements_[succ]);
+          st.nextEventS[slot] = planner_.visibilityEndWith(
+              sweep, st.site[slot], legStartS, cfg_.horizonS);
+        }
+      };
+
+      // Scanning sessions first (list order), then the expiry heap in
+      // (time, slot) order — both deterministic, and sessions are
+      // independent, so the split is a presentation order, not a
+      // semantics choice.
+      std::vector<std::uint32_t> toScan;
+      toScan.swap(st.scanning);
+      for (const std::uint32_t slot : toScan) {
+        if (st.state[slot] != SessionState::Scanning) continue;
+        processSession(slot);
+      }
+      while (!st.heap.empty() && st.heap.front().atS < t1S) {
+        const SessionTable::HeapEntry e = SessionTable::heapPop(st.heap);
+        // Lazy deletion: superseded or dead entries fall through.
+        if (st.state[e.slot] != SessionState::Serving ||
+            st.nextEventS[e.slot] != e.atS) {
+          continue;
+        }
+        processSession(e.slot);
+      }
+      st.scanning.swap(stillScanning);
+    }
+  });
+
+  EpochStats total;
+  total.t0S = t0S;
+  total.t1S = t1S;
+  std::uint64_t h = kFnvOffsetBasis;
+  for (std::size_t s = 0; s < stats.size(); ++s) {
+    const ShardStats& sh = stats[s];
+    total.sessionsTouched += sh.touched;
+    total.handovers += sh.handovers;
+    total.coverageHoles += sh.holes;
+    total.reacquisitions += sh.reacquisitions;
+    total.certExpiries += sh.certExpiries;
+    total.certCacheHits += sh.certHits;
+    total.certCacheMisses += sh.certMisses;
+    total.outageS += sh.outageS;
+    h = fnv1a(h, sh.checksum);
+    if (eventsOut != nullptr) {
+      eventsOut->insert(eventsOut->end(), sh.events.begin(), sh.events.end());
+    }
+  }
+  total.eventChecksum = h;
+  table.clockS_ = t1S;
+  return total;
+}
+
+}  // namespace openspace

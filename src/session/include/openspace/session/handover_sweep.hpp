@@ -1,0 +1,155 @@
+// Batched predictive handover sweeps over a SessionTable.
+//
+// The per-user path (HandoverPlanner + simulateHandovers) re-derives
+// everything from scratch each epoch: a snapshot + footprint compile per
+// decision time, a cold visibility scan per candidate, and a full
+// re-acquisition per user per epoch — O(users x candidates x horizon
+// steps) even when nothing changes. HandoverSweep replaces that with an
+// epoch kernel over persistent session state:
+//
+//  * one ConstellationSnapshot + FootprintIndex2 compile per epoch (the
+//    index carries a motion margin sized so its candidate sets stay
+//    conservative supersets at every event time inside the epoch);
+//  * the per-shard expiry heaps select exactly the sessions whose
+//    predicted handover falls inside the epoch — no full-table scan;
+//  * visibility searches run on one warm-startable SatelliteSweep per
+//    shard through HandoverPlanner::visibilityEndWith, the planner's own
+//    search core;
+//  * certificate verification results are cached per shard, so a
+//    steady-state handover is a purely local operation (no tag
+//    recomputation, never a home-ISP round trip — paper §2.2).
+//
+// Equivalence contract: with SeedMode::Planner and non-expiring
+// certificates, the concatenated per-user event streams are *bit-for-bit*
+// the HandoverTimeline events simulateHandovers(planner, user, t0, T,
+// mode) produces, for any partition of [t0, T] into epochs — the legacy
+// path stays in place verbatim as the executable spec, and
+// tests/test_session.cpp pins the equivalence property. Shards are fanned
+// over parallelFor in fixed one-shard chunks; all sweep state is
+// shard-local, so serial and parallel runs are bit-identical
+// (hard-gated in bench/bench_session.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include <openspace/handover/handover.hpp>
+#include <openspace/session/session_table.hpp>
+
+namespace openspace {
+
+class FleetEphemeris;
+class FootprintIndex2;
+
+/// Epoch-kernel configuration. The defaults reproduce the legacy
+/// simulateHandovers semantics (3600 s visibility horizon, predictive
+/// make-before-break).
+struct SweepConfig {
+  double minElevationRad = 0.1745;  ///< ~10 deg.
+  HandoverMode mode = HandoverMode::Predictive;
+  ReAssociationCost reassocCost{};
+  /// Visibility search bound per leg; must stay at the planner default
+  /// for event streams to match the legacy path.
+  double horizonS = 3'600.0;
+  /// Disassociate a session whose certificate is expired at the moment a
+  /// successor would be adopted (the AssociationAgent::adoptSuccessor
+  /// expiry rule). Disable for legacy-equivalence runs with finite
+  /// certificate lifetimes.
+  bool dropOnCertExpiry = true;
+};
+
+/// Per-epoch sweep outcome. Scalar totals are summed over shards in shard
+/// order; the checksum folds per-shard event streams in shard order —
+/// both bit-identical at any thread count.
+struct EpochStats {
+  double t0S = 0.0;
+  double t1S = 0.0;
+  std::size_t sessionsTouched = 0;  ///< Sessions whose chain ran this epoch.
+  std::size_t handovers = 0;
+  std::size_t coverageHoles = 0;    ///< Sessions that entered Scanning.
+  std::size_t reacquisitions = 0;   ///< Scanning sessions that re-acquired.
+  std::size_t certExpiries = 0;     ///< Sessions dropped on expired certs.
+  std::size_t certCacheHits = 0;
+  std::size_t certCacheMisses = 0;
+  double outageS = 0.0;             ///< Handover signaling + hole time.
+  std::uint64_t eventChecksum = 0;  ///< FNV over events in (shard, pop) order.
+};
+
+/// How HandoverSweep::seed picks each user's first serving satellite.
+enum class SeedMode {
+  /// bestSatelliteAt(user, t0): longest-remaining-visibility — exactly the
+  /// initial acquisition of simulateHandovers (the equivalence mode).
+  Planner,
+  /// closestVisible(user): the §2.2 association rule — exactly the
+  /// satellite associateUsers picks (the production mode).
+  ClosestAssociation,
+};
+
+class HandoverSweep {
+ public:
+  /// Captures the ephemeris fleet (publication order) at construction.
+  /// Throws InvalidArgumentError for an elevation mask outside [0, pi/2)
+  /// or an empty fleet.
+  HandoverSweep(const EphemerisService& ephemeris, SweepConfig cfg);
+
+  /// Seed sessions into the table at `t0S`: pick each user's serving
+  /// satellite (per `mode`), predict its visibility end, and insert the
+  /// session — associateUsers' batched selection feeding per-user state.
+  /// Users with no visible satellite enter Scanning on the legacy 10 s
+  /// re-acquisition grid. A seed whose user already has a Disassociated
+  /// session re-associates in place (new certificate handle); an active
+  /// duplicate throws InvalidArgumentError. The first seed sets the table
+  /// clock; later seeds must arrive at the current clock (epoch
+  /// boundaries). Deterministic at any thread count.
+  void seed(SessionTable& table, const std::vector<SessionSeed>& seeds,
+            double t0S, SeedMode mode) const;
+
+  /// Advance every session from table.clockS() to `t1S`, executing every
+  /// predicted handover, coverage-hole scan and certificate check that
+  /// falls inside the epoch. Events append to `eventsOut` (if non-null) in
+  /// (shard, pop) order — the checksum's order. Throws
+  /// InvalidArgumentError unless t1S > table.clockS().
+  EpochStats runEpoch(SessionTable& table, double t1S,
+                      std::vector<SessionEvent>* eventsOut = nullptr) const;
+
+  const SweepConfig& config() const noexcept { return cfg_; }
+  const std::vector<OrbitalElements>& fleet() const noexcept {
+    return elements_;
+  }
+  /// Upper bound on any satellite's angular rate as seen from the Earth
+  /// frame (orbital rate at perigee + Earth rotation), rad/s — sizes the
+  /// epoch index's motion margin.
+  double maxAngularRateRadPerS() const noexcept { return maxAngularRateRadPerS_; }
+
+ private:
+  struct ShardStats;
+
+  /// Index of the best satellite at `tSeconds` for the site — candidates
+  /// from the margined epoch index, the exact planner predicate and
+  /// first-wins tie order, visibility ends through `sweep`. Bit-identical
+  /// to HandoverPlanner::bestSatelliteAt. kNoSatellite when none visible.
+  std::uint32_t bestAt(const FootprintIndex2& index,
+                       const FleetEphemeris& fleet, const Vec3& siteEcef,
+                       const Geodetic& site, double tSeconds,
+                       std::uint32_t excludeSat, SatelliteSweep& sweep,
+                       std::vector<std::uint32_t>& scratch) const;
+
+  /// bestAt, additionally returning the winner's visibility end through
+  /// `bestUntil` (the new leg's predicted expiry — saves re-searching it).
+  std::uint32_t bestAtWithUntil(const FootprintIndex2& index,
+                                const FleetEphemeris& fleet,
+                                const Vec3& siteEcef, const Geodetic& site,
+                                double tSeconds, std::uint32_t excludeSat,
+                                SatelliteSweep& sweep,
+                                std::vector<std::uint32_t>& scratch,
+                                double& bestUntil) const;
+
+  const EphemerisService& ephemeris_;
+  SweepConfig cfg_;
+  HandoverPlanner planner_;
+  std::vector<OrbitalElements> elements_;
+  std::uint64_t elementsHash_ = 0;
+  double maxAngularRateRadPerS_ = 0.0;
+};
+
+}  // namespace openspace

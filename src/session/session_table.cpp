@@ -1,0 +1,262 @@
+#include <openspace/session/session_table.hpp>
+
+#include <algorithm>
+
+#include <openspace/concurrency/parallel.hpp>
+#include <openspace/core/hash.hpp>
+#include <openspace/geo/error.hpp>
+
+namespace openspace {
+
+namespace {
+
+/// Splitmix64-style finalizer spreading user ids over shards. Any stable
+/// mix works — it only has to be a pure function of the id so a session's
+/// shard never changes.
+std::uint64_t mixUser(std::uint64_t v) noexcept {
+  v += 0x9E3779B97F4A7C15ull;
+  v = (v ^ (v >> 30)) * 0xBF58476D1CE4E5B9ull;
+  v = (v ^ (v >> 27)) * 0x94D049BB133111EBull;
+  return v ^ (v >> 31);
+}
+
+}  // namespace
+
+std::string_view sessionStateName(SessionState s) noexcept {
+  switch (s) {
+    case SessionState::Serving: return "serving";
+    case SessionState::Scanning: return "scanning";
+    case SessionState::Disassociated: return "disassociated";
+  }
+  return "?";
+}
+
+bool SessionTable::CertificateCache::hit(UserId user, std::uint64_t tag) {
+  const auto it = index_.find(user);
+  if (it == index_.end() || it->second->tag != tag) return false;
+  order_.splice(order_.begin(), order_, it->second);
+  return true;
+}
+
+void SessionTable::CertificateCache::insert(UserId user, std::uint64_t tag) {
+  const auto it = index_.find(user);
+  if (it != index_.end()) {
+    it->second->tag = tag;
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  order_.push_front(Entry{user, tag});
+  index_.emplace(user, order_.begin());
+  bytes_ += kEntryBytes;
+  // The just-inserted entry is exempt, so a tiny budget still caches one.
+  while (order_.size() > 1 && bytes_ > byteBudget_) {
+    index_.erase(order_.back().user);
+    order_.pop_back();
+    bytes_ -= kEntryBytes;
+  }
+}
+
+void SessionTable::CertificateCache::invalidate(UserId user) {
+  const auto it = index_.find(user);
+  if (it == index_.end()) return;
+  order_.erase(it->second);
+  index_.erase(it);
+  bytes_ -= kEntryBytes;
+}
+
+std::size_t SessionTable::CertificateCache::setByteBudget(std::size_t bytes) {
+  const std::size_t previous = byteBudget_;
+  byteBudget_ = bytes == 0 ? 1 : bytes;
+  while (order_.size() > 1 && bytes_ > byteBudget_) {
+    index_.erase(order_.back().user);
+    order_.pop_back();
+    bytes_ -= kEntryBytes;
+  }
+  return previous;
+}
+
+SessionTable::SessionTable(std::size_t fleetSize, std::size_t shardCount)
+    : fleetSize_(fleetSize) {
+  if (fleetSize == 0) {
+    throw InvalidArgumentError("SessionTable: fleetSize must be > 0");
+  }
+  shardCount = std::max<std::size_t>(shardCount, 1);
+  shards_.reserve(shardCount);
+  for (std::size_t s = 0; s < shardCount; ++s) {
+    auto shard = std::make_unique<Shard>();
+    {
+      MutexLock lock(shard->mu);
+      shard->st.satOccupancy.assign(fleetSize, 0);
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+SessionTable::~SessionTable() = default;
+
+std::uint32_t SessionTable::shardOf(UserId user) const noexcept {
+  return static_cast<std::uint32_t>(mixUser(user) % shards_.size());
+}
+
+void SessionTable::heapPush(std::vector<HeapEntry>& heap, HeapEntry e) {
+  const auto later = [](const HeapEntry& a, const HeapEntry& b) {
+    return a.atS > b.atS || (a.atS == b.atS && a.slot > b.slot);
+  };
+  heap.push_back(e);
+  std::push_heap(heap.begin(), heap.end(), later);
+}
+
+SessionTable::HeapEntry SessionTable::heapPop(std::vector<HeapEntry>& heap) {
+  const auto later = [](const HeapEntry& a, const HeapEntry& b) {
+    return a.atS > b.atS || (a.atS == b.atS && a.slot > b.slot);
+  };
+  std::pop_heap(heap.begin(), heap.end(), later);
+  const HeapEntry e = heap.back();
+  heap.pop_back();
+  return e;
+}
+
+std::size_t SessionTable::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    n += shard->st.user.size();
+  }
+  return n;
+}
+
+std::size_t SessionTable::activeCount() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    for (const SessionState s : shard->st.state) {
+      n += s != SessionState::Disassociated ? 1 : 0;
+    }
+  }
+  return n;
+}
+
+std::vector<std::uint64_t> SessionTable::perSatelliteOccupancy() const {
+  std::vector<std::uint64_t> out(fleetSize_, 0);
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    for (std::size_t i = 0; i < fleetSize_; ++i) {
+      out[i] += shard->st.satOccupancy[i];
+    }
+  }
+  return out;
+}
+
+std::optional<SessionTable::SessionView> SessionTable::find(UserId user) const {
+  const Shard& shard = *shards_[shardOf(user)];
+  MutexLock lock(shard.mu);
+  const auto it = shard.st.slotOf.find(user);
+  if (it == shard.st.slotOf.end()) return std::nullopt;
+  const std::uint32_t slot = it->second;
+  SessionView v;
+  v.state = shard.st.state[slot];
+  v.servingSat = shard.st.servingSat[slot];
+  v.nextEventS = shard.st.nextEventS[slot];
+  v.certExpiresAtS = shard.st.certExpiresAtS[slot];
+  v.certTag = shard.st.certTag[slot];
+  return v;
+}
+
+std::uint64_t SessionTable::stateChecksum() const {
+  std::uint64_t h = kFnvOffsetBasis;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    const State& st = shard->st;
+    for (std::size_t i = 0; i < st.user.size(); ++i) {
+      h = fnv1a(h, st.user[i]);
+      h = fnv1a(h, static_cast<std::uint64_t>(st.state[i]));
+      h = fnv1a(h, st.servingSat[i]);
+      h = fnv1a(h, bitsOf(st.nextEventS[i]));
+      h = fnv1a(h, bitsOf(st.outageFromS[i]));
+      h = fnv1a(h, bitsOf(st.certExpiresAtS[i]));
+      h = fnv1a(h, st.certTag[i]);
+    }
+  }
+  return h;
+}
+
+std::size_t SessionTable::approxBytes() const {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    const State& st = shard->st;
+    bytes += sizeof(Shard);
+    bytes += st.user.capacity() * sizeof(UserId);
+    bytes += st.site.capacity() * sizeof(Geodetic);
+    bytes += st.siteEcef.capacity() * sizeof(Vec3);
+    bytes += st.servingSat.capacity() * sizeof(std::uint32_t);
+    bytes += st.nextEventS.capacity() * sizeof(double);
+    bytes += st.outageFromS.capacity() * sizeof(double);
+    bytes += st.certExpiresAtS.capacity() * sizeof(double);
+    bytes += st.certTag.capacity() * sizeof(std::uint64_t);
+    bytes += st.state.capacity() * sizeof(SessionState);
+    bytes += st.heap.capacity() * sizeof(HeapEntry);
+    bytes += st.scanning.capacity() * sizeof(std::uint32_t);
+    bytes += st.satOccupancy.capacity() * sizeof(std::uint64_t);
+    bytes += st.slotOf.size() *
+             (sizeof(UserId) + sizeof(std::uint32_t) + 2 * sizeof(void*));
+    bytes += st.certCache.approxBytes();
+  }
+  return bytes;
+}
+
+std::size_t SessionTable::setCertificateCacheByteBudget(std::size_t bytes) {
+  const std::size_t perShard = bytes / shards_.size();
+  std::size_t previousTotal = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    previousTotal += shard->st.certCache.setByteBudget(perShard);
+  }
+  return previousTotal;
+}
+
+std::size_t SessionTable::certificateCacheApproxBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    bytes += shard->st.certCache.approxBytes();
+  }
+  return bytes;
+}
+
+std::size_t SessionTable::disassociateRegion(const Geodetic& center,
+                                             double radiusM) {
+  if (!(radiusM >= 0.0)) {
+    throw InvalidArgumentError("disassociateRegion: radius must be >= 0");
+  }
+  const Vec3 centerEcef = geodeticToEcef(center);
+  std::vector<std::size_t> dropped(shards_.size(), 0);
+  parallelFor(shards_.size(), 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      Shard& shard = *shards_[s];
+      MutexLock lock(shard.mu);
+      State& st = shard.st;
+      for (std::size_t i = 0; i < st.user.size(); ++i) {
+        if (st.state[i] == SessionState::Disassociated) continue;
+        if (st.siteEcef[i].distanceTo(centerEcef) > radiusM) continue;
+        if (st.state[i] == SessionState::Serving &&
+            st.servingSat[i] != kNoSatellite) {
+          --st.satOccupancy[st.servingSat[i]];
+        }
+        st.state[i] = SessionState::Disassociated;
+        st.servingSat[i] = kNoSatellite;
+        st.certCache.invalidate(st.user[i]);
+        ++dropped[s];
+      }
+      // Scanning slots just dropped must not be probed next epoch.
+      std::erase_if(st.scanning, [&](std::uint32_t slot) {
+        return st.state[slot] == SessionState::Disassociated;
+      });
+    }
+  });
+  std::size_t total = 0;
+  for (const std::size_t d : dropped) total += d;
+  return total;
+}
+
+}  // namespace openspace

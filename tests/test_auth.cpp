@@ -307,6 +307,45 @@ TEST_F(AssociationTest, AdoptWithoutAssociationThrows) {
   EXPECT_THROW(agent.adoptSuccessor(SatelliteId{5}), StateError);
 }
 
+TEST_F(AssociationTest, TimedAdoptionKeepsCertificateWhileValid) {
+  AssociationAgent agent(1, ProviderId{1}, 0xABC, user_);
+  const NetworkGraph g = builder_->snapshot(0.0, opt_);
+  const auto res = agent.associate(beaconsAt(0.0), g, *builder_, server_,
+                                   gateway_, 0.0, deg2rad(10.0), schedule_);
+  ASSERT_TRUE(res.success);
+  const Certificate before = *agent.certificate();
+  const SatelliteId succ{res.servingSatellite.value() + 1};
+  // Associated -> Associated: the predictive handover sticks, certificate
+  // untouched (no re-authentication).
+  EXPECT_TRUE(agent.adoptSuccessor(succ, before.expiresAtS - 1.0));
+  EXPECT_EQ(agent.state(), AssociationState::Associated);
+  EXPECT_EQ(agent.servingSatellite(), succ);
+  EXPECT_EQ(agent.certificate()->tag, before.tag);
+}
+
+TEST_F(AssociationTest, TimedAdoptionOnExpiredCertificateDisassociates) {
+  AssociationAgent agent(1, ProviderId{1}, 0xABC, user_);
+  const NetworkGraph g = builder_->snapshot(0.0, opt_);
+  const auto res = agent.associate(beaconsAt(0.0), g, *builder_, server_,
+                                   gateway_, 0.0, deg2rad(10.0), schedule_);
+  ASSERT_TRUE(res.success);
+  const double expiry = agent.certificate()->expiresAtS;
+  const SatelliteId succ{res.servingSatellite.value() + 1};
+  // Associated -> Disassociated: an expired roaming certificate cannot
+  // ride a predictive handover (expiry is inclusive: nowS == expiresAtS).
+  EXPECT_FALSE(agent.adoptSuccessor(succ, expiry));
+  EXPECT_EQ(agent.state(), AssociationState::Disassociated);
+  EXPECT_FALSE(agent.certificate().has_value());
+  EXPECT_FALSE(agent.servingSatellite().has_value());
+  // And a further adoption now throws, like any non-associated agent.
+  EXPECT_THROW(agent.adoptSuccessor(succ, expiry + 1.0), StateError);
+}
+
+TEST_F(AssociationTest, TimedAdoptionWithoutAssociationThrows) {
+  AssociationAgent agent(1, ProviderId{1}, 0xABC, user_);
+  EXPECT_THROW(agent.adoptSuccessor(SatelliteId{5}, 0.0), StateError);
+}
+
 TEST(AssociationStateNames, AllNamed) {
   for (const auto s : {AssociationState::Scanning, AssociationState::Authenticating,
                        AssociationState::Associated,

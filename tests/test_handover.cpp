@@ -65,6 +65,36 @@ TEST_F(HandoverTest, BestSatelliteMaximizesRemainingService) {
   }
 }
 
+TEST_F(HandoverTest, BestSatelliteAtMatchesPerCandidateColdScan) {
+  // bestSatelliteAt reuses one warm SatelliteSweep across candidates; the
+  // reference below constructs a fresh sweep per candidate through the
+  // public visibilityEndS. Winners must be identical, not merely close —
+  // reset() is pinned bit-for-bit to fresh construction.
+  for (const double t : {0.0, 137.0, 605.5, 1'234.25}) {
+    SatelliteId exclude{};
+    for (int pass = 0; pass < 2; ++pass) {
+      std::optional<SatelliteId> expect;
+      double bestUntil = -1.0;
+      for (const SatelliteId sid : eph_.satellites()) {
+        if (sid == exclude) continue;
+        if (elevationFrom(eph_.positionEci(sid, t), user_, t) < deg2rad(10.0)) {
+          continue;
+        }
+        const double until = planner_->visibilityEndS(sid, user_, t);
+        if (until > bestUntil) {
+          bestUntil = until;
+          expect = sid;
+        }
+      }
+      const auto got = planner_->bestSatelliteAt(user_, t, exclude);
+      EXPECT_EQ(got, expect) << "t " << t << " pass " << pass;
+      if (!expect) break;
+      // Second pass: exclude the winner, as the successor search does.
+      exclude = *expect;
+    }
+  }
+}
+
 TEST_F(HandoverTest, ClosestSatelliteIsVisible) {
   const auto closest = planner_->closestSatelliteAt(user_, 0.0);
   ASSERT_TRUE(closest.has_value());

@@ -277,6 +277,57 @@ TEST(SatelliteSweep, AgreesWithScalarAcrossScanAndBisectionPattern) {
   }
 }
 
+TEST(SatelliteSweep, ResetMatchesFreshConstructionBitForBit) {
+  // The candidate loops (HandoverPlanner::bestSatelliteAt, the session
+  // sweep) reuse one SatelliteSweep across satellites via reset(); that is
+  // only sound if a reset() sweep is indistinguishable from a freshly
+  // constructed one on every subsequent query, bit for bit.
+  Rng rng(99);
+  for (int trial = 0; trial < 8; ++trial) {
+    const OrbitalElements a = randomElements(rng);
+    const OrbitalElements b = randomElements(rng);
+    SatelliteSweep reused(a);
+    // Warm the reused sweep well into a's orbit before switching.
+    for (double t = 0.0; t < 600.0; t += 10.0) (void)reused.positionEciAt(t);
+    reused.reset(b);
+    SatelliteSweep fresh(b);
+    // The handover search pattern: forward grid scan, then bisection.
+    std::vector<double> probes;
+    for (double t = 0.0; t <= 900.0; t += 10.0) probes.push_back(t);
+    double lo = 500.0, hi = 900.0;
+    for (int i = 0; i < 40; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      probes.push_back(mid);
+      (i % 2 == 0 ? lo : hi) = mid;
+    }
+    for (const double t : probes) {
+      const Vec3 got = reused.positionEciAt(t);
+      const Vec3 want = fresh.positionEciAt(t);
+      EXPECT_EQ(maxUlp(got, want), 0u) << "trial " << trial << " t " << t;
+    }
+  }
+}
+
+TEST(SatelliteSweep, DefaultConstructedThenResetMatchesFresh) {
+  Rng rng(101);
+  const OrbitalElements el = randomElements(rng);
+  SatelliteSweep sweep;
+  sweep.reset(el);
+  SatelliteSweep fresh(el);
+  for (const double t : {0.0, 10.0, 25.0, 24.5, 3'000.0}) {
+    EXPECT_EQ(maxUlp(sweep.positionEciAt(t), fresh.positionEciAt(t)), 0u) << t;
+  }
+}
+
+TEST(SatelliteSweep, ResetValidatesLikeTheConstructor) {
+  OrbitalElements bad =
+      OrbitalElements::circular(km(780.0), deg2rad(86.4), 0.0, 0.0);
+  bad.eccentricity = 1.0;
+  SatelliteSweep sweep;
+  EXPECT_THROW(sweep.reset(bad), InvalidArgumentError);
+  EXPECT_THROW(SatelliteSweep{bad}, InvalidArgumentError);
+}
+
 // --- determinism: serial == parallel, bit for bit -------------------------
 
 TEST(TimeSweep, SweepIsBitIdenticalAtAnyThreadCount) {

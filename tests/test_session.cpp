@@ -1,0 +1,470 @@
+// Session-plane tests: the sharded SessionTable, the batched HandoverSweep
+// epoch kernel, and the sim scenarios built on them.
+//
+// The central property: with SeedMode::Planner and non-expiring
+// certificates, the sweep's per-user event streams are *bit-for-bit* the
+// HandoverTimeline events the legacy per-user simulateHandovers produces,
+// for any partition of the window into epochs — the legacy path is the
+// executable spec. Everything else (determinism at any thread count,
+// occupancy accounting, certificate caching, regional outage) is layered
+// on top of that pinned equivalence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include <openspace/auth/association.hpp>
+#include <openspace/auth/certificate.hpp>
+#include <openspace/concurrency/parallel.hpp>
+#include <openspace/core/hash.hpp>
+#include <openspace/geo/error.hpp>
+#include <openspace/geo/units.hpp>
+#include <openspace/handover/handover.hpp>
+#include <openspace/orbit/walker.hpp>
+#include <openspace/session/handover_sweep.hpp>
+#include <openspace/session/session_table.hpp>
+#include <openspace/sim/session_scenarios.hpp>
+
+namespace openspace {
+namespace {
+
+/// Restores the ambient worker count when a test overrides it.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(parallelThreadCount()) {}
+  ~ThreadCountGuard() { setParallelThreadCount(saved_); }
+
+ private:
+  int saved_;
+};
+
+/// A certificate expiry far beyond any test window: equivalence runs must
+/// never trip the expiry rule.
+constexpr double kNeverExpiresS = 4.0e9;
+
+class SessionSweepTest : public ::testing::Test {
+ protected:
+  SessionSweepTest() {
+    for (const auto& el : makeWalkerStar(iridiumConfig())) {
+      eph_.publish(ProviderId{1}, el);
+    }
+    planner_ = std::make_unique<HandoverPlanner>(eph_, mask_);
+    cfg_.minElevationRad = mask_;
+    cfg_.dropOnCertExpiry = false;
+    const auto& sats = eph_.satellites();
+    for (std::size_t i = 0; i < sats.size(); ++i) {
+      indexOf_[sats[i].value()] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  std::vector<SessionSeed> seedsFor(const std::vector<Geodetic>& sites,
+                                    double certExpiresAtS = kNeverExpiresS) const {
+    std::vector<SessionSeed> seeds;
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      seeds.push_back(SessionSeed{static_cast<UserId>(i + 1), sites[i],
+                                  certExpiresAtS, 0x1000 + i});
+    }
+    return seeds;
+  }
+
+  /// Run the sweep over `sites` across the given epoch boundaries and
+  /// return (events, per-epoch stats, final state checksum).
+  struct SweepRun {
+    std::vector<SessionEvent> events;
+    std::vector<EpochStats> stats;
+    std::uint64_t finalChecksum = 0;
+  };
+  SweepRun runSweep(const std::vector<Geodetic>& sites,
+                    const std::vector<double>& boundaries,
+                    double certExpiresAtS = kNeverExpiresS) const {
+    SessionTable table(eph_.satellites().size());
+    const HandoverSweep sweep(eph_, cfg_);
+    sweep.seed(table, seedsFor(sites, certExpiresAtS), 0.0, SeedMode::Planner);
+    SweepRun run;
+    for (const double t1 : boundaries) {
+      run.stats.push_back(sweep.runEpoch(table, t1, &run.events));
+    }
+    run.finalChecksum = table.stateChecksum();
+    return run;
+  }
+
+  /// The sweep's events for one user, in time order.
+  static std::vector<SessionEvent> eventsOf(const std::vector<SessionEvent>& all,
+                                            UserId user) {
+    std::vector<SessionEvent> out;
+    for (const SessionEvent& e : all) {
+      if (e.user == user) out.push_back(e);
+    }
+    return out;
+  }
+
+  /// Expect the sweep stream to be bit-for-bit the legacy timeline.
+  void expectMatchesLegacy(const std::vector<SessionEvent>& mine,
+                           const HandoverTimeline& legacy) const {
+    ASSERT_EQ(mine.size(), legacy.events.size());
+    for (std::size_t j = 0; j < mine.size(); ++j) {
+      EXPECT_EQ(bitsOf(mine[j].atS), bitsOf(legacy.events[j].atS)) << j;
+      EXPECT_EQ(mine[j].fromSat, indexOf_.at(legacy.events[j].from.value())) << j;
+      EXPECT_EQ(mine[j].toSat, indexOf_.at(legacy.events[j].to.value())) << j;
+      EXPECT_EQ(bitsOf(mine[j].latencyS), bitsOf(legacy.events[j].latencyS)) << j;
+    }
+  }
+
+  const double mask_ = deg2rad(10.0);
+  EphemerisService eph_;
+  std::unique_ptr<HandoverPlanner> planner_;
+  SweepConfig cfg_;
+  std::unordered_map<std::uint32_t, std::uint32_t> indexOf_;
+  const std::vector<Geodetic> sites_ = {
+      Geodetic::fromDegrees(40.44, -79.99),   // Pittsburgh
+      Geodetic::fromDegrees(-33.87, 151.21),  // Sydney
+      Geodetic::fromDegrees(51.5, -0.13),     // London
+      Geodetic::fromDegrees(-1.29, 36.82),    // Nairobi
+      Geodetic::fromDegrees(78.22, 15.63),    // Svalbard (polar convergence)
+      Geodetic::fromDegrees(0.0, -160.0),     // mid-Pacific
+  };
+};
+
+// --- sweep == legacy, the executable-spec property ------------------------
+
+TEST_F(SessionSweepTest, EventsMatchLegacySimulationForAnyEpochPartition) {
+  const double T = 1'800.0;
+  const std::vector<std::vector<double>> partitions = {
+      {T},
+      {600.0, 1'200.0, T},
+      {137.0, 450.0, 1'000.0, 1'337.5, T},
+  };
+  std::vector<HandoverTimeline> legacy;
+  for (const Geodetic& site : sites_) {
+    legacy.push_back(
+        simulateHandovers(*planner_, site, 0.0, T, HandoverMode::Predictive));
+  }
+  for (const auto& partition : partitions) {
+    const SweepRun run = runSweep(sites_, partition);
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+      SCOPED_TRACE("site " + std::to_string(i) + " partition size " +
+                   std::to_string(partition.size()));
+      expectMatchesLegacy(eventsOf(run.events, i + 1), legacy[i]);
+    }
+  }
+}
+
+TEST_F(SessionSweepTest, FineEpochPartitionStillMatchesLegacy) {
+  const double T = 1'800.0;
+  std::vector<double> fine;
+  for (double t = 60.0; t <= T; t += 60.0) fine.push_back(t);
+  const SweepRun run = runSweep(sites_, fine);
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    SCOPED_TRACE("site " + std::to_string(i));
+    expectMatchesLegacy(
+        eventsOf(run.events, i + 1),
+        simulateHandovers(*planner_, sites_[i], 0.0, T, HandoverMode::Predictive));
+  }
+}
+
+TEST_F(SessionSweepTest, ReAssociateModeMatchesLegacyToo) {
+  cfg_.mode = HandoverMode::ReAssociate;
+  const double T = 1'200.0;
+  const SweepRun run = runSweep(sites_, {400.0, 800.0, T});
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    SCOPED_TRACE("site " + std::to_string(i));
+    expectMatchesLegacy(eventsOf(run.events, i + 1),
+                        simulateHandovers(*planner_, sites_[i], 0.0, T,
+                                          HandoverMode::ReAssociate));
+  }
+}
+
+TEST_F(SessionSweepTest, FinalTableStateIsPartitionInvariant) {
+  const double T = 1'800.0;
+  const SweepRun one = runSweep(sites_, {T});
+  const SweepRun uneven = runSweep(sites_, {250.0, 251.0, 900.0, T});
+  std::vector<double> fine;
+  for (double t = 60.0; t <= T; t += 60.0) fine.push_back(t);
+  const SweepRun many = runSweep(sites_, fine);
+  EXPECT_EQ(one.finalChecksum, uneven.finalChecksum);
+  EXPECT_EQ(one.finalChecksum, many.finalChecksum);
+}
+
+// --- determinism ----------------------------------------------------------
+
+TEST_F(SessionSweepTest, SerialAndParallelSweepsAreBitIdentical) {
+  ThreadCountGuard guard;
+  const std::vector<double> boundaries = {300.0, 900.0, 1'800.0};
+  setParallelThreadCount(1);
+  const SweepRun serial = runSweep(sites_, boundaries);
+  for (const int threads : {2, 4, 16}) {
+    setParallelThreadCount(threads);
+    const SweepRun parallel = runSweep(sites_, boundaries);
+    EXPECT_EQ(parallel.finalChecksum, serial.finalChecksum) << threads;
+    ASSERT_EQ(parallel.stats.size(), serial.stats.size());
+    for (std::size_t e = 0; e < serial.stats.size(); ++e) {
+      EXPECT_EQ(parallel.stats[e].eventChecksum, serial.stats[e].eventChecksum)
+          << threads << " epoch " << e;
+      EXPECT_EQ(parallel.stats[e].handovers, serial.stats[e].handovers);
+      EXPECT_EQ(bitsOf(parallel.stats[e].outageS), bitsOf(serial.stats[e].outageS));
+    }
+    ASSERT_EQ(parallel.events.size(), serial.events.size());
+    for (std::size_t j = 0; j < serial.events.size(); ++j) {
+      EXPECT_EQ(parallel.events[j].user, serial.events[j].user);
+      EXPECT_EQ(bitsOf(parallel.events[j].atS), bitsOf(serial.events[j].atS));
+    }
+  }
+}
+
+// --- seeding --------------------------------------------------------------
+
+TEST_F(SessionSweepTest, ClosestAssociationSeedingMatchesAssociateUsers) {
+  std::vector<OrbitalElements> fleet;
+  for (const SatelliteId sid : eph_.satellites()) {
+    fleet.push_back(eph_.record(sid).elements);
+  }
+  const auto assoc = associateUsers(fleet, 0.0, sites_, mask_);
+  SessionTable table(fleet.size());
+  const HandoverSweep sweep(eph_, cfg_);
+  sweep.seed(table, seedsFor(sites_), 0.0, SeedMode::ClosestAssociation);
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    const auto view = table.find(i + 1);
+    ASSERT_TRUE(view.has_value()) << i;
+    if (assoc[i].covered) {
+      EXPECT_EQ(view->state, SessionState::Serving) << i;
+      EXPECT_EQ(view->servingSat, assoc[i].satelliteIndex) << i;
+    } else {
+      EXPECT_EQ(view->state, SessionState::Scanning) << i;
+    }
+  }
+}
+
+TEST_F(SessionSweepTest, SeedValidatesClockAndDuplicates) {
+  SessionTable table(eph_.satellites().size());
+  const HandoverSweep sweep(eph_, cfg_);
+  const auto seeds = seedsFor(sites_);
+  sweep.seed(table, seeds, 0.0, SeedMode::Planner);
+  // Active duplicates are a caller bug.
+  EXPECT_THROW(sweep.seed(table, seeds, 0.0, SeedMode::Planner),
+               InvalidArgumentError);
+  // Later seeds must arrive at the table clock (an epoch boundary).
+  std::vector<SessionSeed> late = {
+      SessionSeed{99, Geodetic::fromDegrees(10.0, 10.0), kNeverExpiresS, 7}};
+  EXPECT_THROW(sweep.seed(table, late, 123.0, SeedMode::Planner),
+               InvalidArgumentError);
+  sweep.seed(table, late, 0.0, SeedMode::Planner);
+  EXPECT_EQ(table.size(), sites_.size() + 1);
+}
+
+TEST_F(SessionSweepTest, RunEpochRequiresForwardTime) {
+  SessionTable table(eph_.satellites().size());
+  const HandoverSweep sweep(eph_, cfg_);
+  sweep.seed(table, seedsFor(sites_), 0.0, SeedMode::Planner);
+  EXPECT_THROW(sweep.runEpoch(table, 0.0), InvalidArgumentError);
+  EXPECT_THROW(sweep.runEpoch(table, -5.0), InvalidArgumentError);
+  sweep.runEpoch(table, 60.0);
+  EXPECT_DOUBLE_EQ(table.clockS(), 60.0);
+  EXPECT_THROW(sweep.runEpoch(table, 59.0), InvalidArgumentError);
+}
+
+// --- table accounting -----------------------------------------------------
+
+TEST_F(SessionSweepTest, OccupancyTracksServingSessions) {
+  SessionTable table(eph_.satellites().size());
+  const HandoverSweep sweep(eph_, cfg_);
+  sweep.seed(table, seedsFor(sites_), 0.0, SeedMode::Planner);
+  const auto countServing = [&] {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+      const auto v = table.find(i + 1);
+      n += (v && v->state == SessionState::Serving) ? 1 : 0;
+    }
+    return n;
+  };
+  const auto occupancySum = [&] {
+    std::uint64_t n = 0;
+    for (const std::uint64_t c : table.perSatelliteOccupancy()) n += c;
+    return n;
+  };
+  EXPECT_EQ(occupancySum(), countServing());
+  sweep.runEpoch(table, 900.0);
+  EXPECT_EQ(occupancySum(), countServing());
+  sweep.runEpoch(table, 1'800.0);
+  EXPECT_EQ(occupancySum(), countServing());
+}
+
+TEST_F(SessionSweepTest, CertificateCacheCoversEveryHandover) {
+  SessionTable table(eph_.satellites().size());
+  const HandoverSweep sweep(eph_, cfg_);
+  sweep.seed(table, seedsFor(sites_), 0.0, SeedMode::Planner);
+  std::size_t handovers = 0, hits = 0, misses = 0;
+  for (const double t1 : {600.0, 1'200.0, 1'800.0, 2'400.0}) {
+    const EpochStats s = sweep.runEpoch(table, t1);
+    handovers += s.handovers;
+    hits += s.certCacheHits;
+    misses += s.certCacheMisses;
+  }
+  ASSERT_GT(handovers, 0u);
+  // Every executed handover runs exactly one certificate check.
+  EXPECT_EQ(hits + misses, handovers);
+  // Steady state: each user misses once (first handover), then hits.
+  EXPECT_GT(hits, 0u);
+  EXPECT_LE(misses, sites_.size());
+  EXPECT_GT(table.certificateCacheApproxBytes(), 0u);
+}
+
+TEST_F(SessionSweepTest, TinyCertificateCacheBudgetStillWorks) {
+  SessionTable table(eph_.satellites().size());
+  const std::size_t previous = table.setCertificateCacheByteBudget(0);
+  EXPECT_GT(previous, 0u);
+  const HandoverSweep sweep(eph_, cfg_);
+  sweep.seed(table, seedsFor(sites_), 0.0, SeedMode::Planner);
+  std::size_t handovers = 0, hits = 0, misses = 0;
+  for (const double t1 : {600.0, 1'200.0, 1'800.0}) {
+    const EpochStats s = sweep.runEpoch(table, t1);
+    handovers += s.handovers;
+    hits += s.certCacheHits;
+    misses += s.certCacheMisses;
+  }
+  // Accounting still exact, and the cache never exceeds one entry per
+  // shard worth of bytes by much (newest-entry exemption).
+  EXPECT_EQ(hits + misses, handovers);
+}
+
+TEST_F(SessionSweepTest, DisassociateRegionDropsAndReseedRestores) {
+  SessionTable table(eph_.satellites().size());
+  const HandoverSweep sweep(eph_, cfg_);
+  sweep.seed(table, seedsFor(sites_), 0.0, SeedMode::Planner);
+  sweep.runEpoch(table, 600.0);
+  const std::size_t activeBefore = table.activeCount();
+  // Drop everything within 500 km of London — exactly one test site.
+  const std::size_t dropped =
+      table.disassociateRegion(Geodetic::fromDegrees(51.5, -0.13), 500.0e3);
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(table.activeCount(), activeBefore - 1);
+  const auto view = table.find(3);  // London is sites_[2] -> user 3
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->state, SessionState::Disassociated);
+  EXPECT_EQ(view->servingSat, kNoSatellite);
+  // The dropped user re-associates in place at the current clock.
+  std::vector<SessionSeed> reseed = {
+      SessionSeed{3, sites_[2], kNeverExpiresS, 0xBEEF}};
+  sweep.seed(table, reseed, table.clockS(), SeedMode::ClosestAssociation);
+  EXPECT_EQ(table.activeCount(), activeBefore);
+  EXPECT_EQ(table.size(), sites_.size());  // in place, not a new slot
+  const auto after = table.find(3);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_NE(after->state, SessionState::Disassociated);
+  EXPECT_EQ(after->certTag, 0xBEEFu);
+  sweep.runEpoch(table, 1'200.0);  // and the run continues fine
+}
+
+TEST_F(SessionSweepTest, ExpiredCertificatesDropSessionsAtHandover) {
+  cfg_.dropOnCertExpiry = true;
+  SessionTable table(eph_.satellites().size());
+  const HandoverSweep sweep(eph_, cfg_);
+  // Certificates die at t=300: the first post-expiry handover drops each
+  // session instead of adopting a successor.
+  sweep.seed(table, seedsFor(sites_, 300.0), 0.0, SeedMode::Planner);
+  std::size_t expiries = 0;
+  for (const double t1 : {900.0, 1'800.0, 2'700.0, 3'600.0}) {
+    expiries += sweep.runEpoch(table, t1).certExpiries;
+  }
+  EXPECT_GT(expiries, 0u);
+  EXPECT_LT(table.activeCount(), sites_.size());
+  bool sawDropped = false;
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    const auto v = table.find(i + 1);
+    ASSERT_TRUE(v.has_value());
+    if (v->state == SessionState::Disassociated) sawDropped = true;
+  }
+  EXPECT_TRUE(sawDropped);
+}
+
+TEST_F(SessionSweepTest, TableValidatesConstruction) {
+  EXPECT_THROW(SessionTable(0), InvalidArgumentError);
+  SessionTable table(66, 0);  // shard count clamps to >= 1
+  EXPECT_EQ(table.shardCount(), 1u);
+  EXPECT_EQ(table.fleetSize(), 66u);
+  EXPECT_FALSE(table.find(1).has_value());
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_GT(table.approxBytes(), 0u);
+}
+
+TEST_F(SessionSweepTest, SweepValidatesConstruction) {
+  EphemerisService empty;
+  EXPECT_THROW(HandoverSweep(empty, cfg_), InvalidArgumentError);
+  SweepConfig bad = cfg_;
+  bad.minElevationRad = -0.1;
+  EXPECT_THROW(HandoverSweep(eph_, bad), InvalidArgumentError);
+  const HandoverSweep sweep(eph_, cfg_);
+  EXPECT_EQ(sweep.fleet().size(), eph_.satellites().size());
+  EXPECT_GT(sweep.maxAngularRateRadPerS(), 0.0);
+}
+
+TEST(SessionStateNames, AllNamed) {
+  for (const auto s : {SessionState::Serving, SessionState::Scanning,
+                       SessionState::Disassociated}) {
+    EXPECT_NE(sessionStateName(s), "?");
+  }
+}
+
+// --- sim scenarios --------------------------------------------------------
+
+class SessionScenarioTest : public ::testing::Test {
+ protected:
+  SessionScenarioTest() {
+    for (const auto& el : makeWalkerStar(iridiumConfig())) {
+      eph_.publish(ProviderId{1}, el);
+    }
+    cfg_.baseUsers = 400;
+    cfg_.epochS = 60.0;
+    cfg_.epochCount = 4;
+  }
+  EphemerisService eph_;
+  SessionScenarioConfig cfg_;
+};
+
+TEST_F(SessionScenarioTest, FlashCrowdIsDeterministicAndAdmitsTheCrowd) {
+  const Geodetic center = Geodetic::fromDegrees(51.5, -0.13);
+  const auto a = runFlashCrowdScenario(eph_, cfg_, center, 50.0e3, 120);
+  const auto b = runFlashCrowdScenario(eph_, cfg_, center, 50.0e3, 120);
+  EXPECT_EQ(a.finalStateChecksum, b.finalStateChecksum);
+  EXPECT_EQ(a.seededUsers, cfg_.baseUsers + 120);
+  EXPECT_EQ(a.epochs.size(), cfg_.epochCount);
+  EXPECT_GT(a.finalActive, 0u);
+}
+
+TEST_F(SessionScenarioTest, RegionalOutageDropsAndRecovers) {
+  // A generous radius around New York catches base-population users.
+  const Geodetic center = Geodetic::fromDegrees(40.7, -74.0);
+  const auto res = runRegionalOutageScenario(eph_, cfg_, center, 1'500.0e3);
+  EXPECT_GT(res.droppedSessions, 0u);
+  // Every dropped user re-associated one epoch later.
+  EXPECT_EQ(res.seededUsers, cfg_.baseUsers + res.droppedSessions);
+  const auto res2 = runRegionalOutageScenario(eph_, cfg_, center, 1'500.0e3);
+  EXPECT_EQ(res.finalStateChecksum, res2.finalStateChecksum);
+}
+
+TEST_F(SessionScenarioTest, DiurnalLoadShiftAdmitsArrivalsDeterministically) {
+  const auto a = runDiurnalLoadShiftScenario(eph_, cfg_, 80);
+  const auto b = runDiurnalLoadShiftScenario(eph_, cfg_, 80);
+  EXPECT_EQ(a.finalStateChecksum, b.finalStateChecksum);
+  EXPECT_GE(a.seededUsers, cfg_.baseUsers);
+  // The diurnal factor is in [0.3, 1.0]: some arrivals must be admitted.
+  EXPECT_GT(a.seededUsers, cfg_.baseUsers);
+}
+
+TEST_F(SessionScenarioTest, ScenariosAreThreadCountInvariant) {
+  ThreadCountGuard guard;
+  const Geodetic center = Geodetic::fromDegrees(40.7, -74.0);
+  setParallelThreadCount(1);
+  const auto serial = runRegionalOutageScenario(eph_, cfg_, center, 1'000.0e3);
+  setParallelThreadCount(8);
+  const auto parallel = runRegionalOutageScenario(eph_, cfg_, center, 1'000.0e3);
+  EXPECT_EQ(serial.finalStateChecksum, parallel.finalStateChecksum);
+  EXPECT_EQ(serial.droppedSessions, parallel.droppedSessions);
+  ASSERT_EQ(serial.epochs.size(), parallel.epochs.size());
+  for (std::size_t e = 0; e < serial.epochs.size(); ++e) {
+    EXPECT_EQ(serial.epochs[e].eventChecksum, parallel.epochs[e].eventChecksum);
+  }
+}
+
+}  // namespace
+}  // namespace openspace

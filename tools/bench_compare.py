@@ -30,7 +30,17 @@ reference numbers in bench/baseline/. Two formats are understood:
   gates are re-asserted, the graph/route speedups are checked against
   their 4x floors (headline target is 5x; the floor leaves noise margin),
   and route repair is checked to be actually repairing rather than
-  falling back to fresh trees.
+  falling back to fresh trees;
+* the custom handover record ("bench": "handover") — the timelines are
+  deterministic seeded computations, so cadence counts and outage numbers
+  are re-asserted exactly against the baseline at equal scale, and the
+  predictive scheme's outage reduction over re-association is checked
+  against its 25x floor;
+* the custom session record ("bench": "session") — the sweep==legacy and
+  serial==parallel checksum gates are re-asserted, the cache-consults-
+  every-handover invariant is re-checked, sweep wall times are compared,
+  and the epoch sweep's speedup over the per-user planner scan is checked
+  against its 10x floor (at meaningful scale).
 
 CI hardware varies run to run, so this is a smoke alarm, not a gate: every
 regression beyond the threshold prints a GitHub ::warning:: annotation and
@@ -300,6 +310,111 @@ def compare_temporal_delta(current, baseline, threshold: float) -> int:
     return warned
 
 
+def compare_handover(current, baseline, threshold: float) -> int:
+    warned = 0
+    cur_t = current.get("wall_seconds")
+    base_t = baseline.get("wall_seconds")
+    if cur_t is not None and base_t is not None and base_t > 0:
+        ratio = cur_t / base_t
+        marker = " REGRESSION?" if ratio > threshold else ""
+        print(f"  wall_seconds: {cur_t:.3f}s vs baseline {base_t:.3f}s "
+              f"({ratio:.2f}x){marker}")
+        if ratio > threshold:
+            warn(f"handover wall_seconds: {cur_t:.3f}s vs baseline "
+                 f"{base_t:.3f}s ({ratio:.2f}x > {threshold:.2f}x)")
+            warned += 1
+    # The predictive scheme's reason to exist: per-handover outage drops
+    # from beacon wait + RADIUS RTT (~1.1 s) to signaling latency (~20 ms).
+    # The ratio is per-handover, so it holds at any window scale.
+    ratio = current.get("outage_ratio")
+    if ratio is not None:
+        print(f"  outage_ratio: {ratio:.1f}x (floor 25.0x)")
+        if ratio < 25.0:
+            warn(f"handover outage_ratio: predictive only {ratio:.1f}x "
+                 f"less outage than re-association (floor 25x)")
+            warned += 1
+    if current.get("scale") != baseline.get("scale"):
+        # A different window length changes every cadence count; only the
+        # per-handover ratio above is comparable then.
+        print(f"  (scale {current.get('scale')} vs baseline "
+              f"{baseline.get('scale')}: skipping cadence comparison)")
+        return warned
+    # The timelines are fixed-seed deterministic computations: any drift
+    # from the committed baseline is a semantic change, not noise.
+    for key in ("predictive_handovers", "reassociate_handovers",
+                "predictive_outage_s", "reassociate_outage_s"):
+        a, b = current.get(key), baseline.get(key)
+        if a is None or b is None:
+            continue
+        drifted = abs(a - b) > 1e-9 if isinstance(a, float) else a != b
+        print(f"  {key}: {a} vs baseline {b}")
+        if drifted:
+            warn(f"handover {key}: {a} vs baseline {b} — the timeline is "
+                 f"deterministic, so this is a semantic change, not noise")
+            warned += 1
+    cur_rows = current.get("cadence", [])
+    base_rows = baseline.get("cadence", [])
+    if [(r.get("sats"), r.get("handovers")) for r in cur_rows] != \
+       [(r.get("sats"), r.get("handovers")) for r in base_rows]:
+        warn("handover: cadence-vs-density table drifted from the baseline")
+        warned += 1
+    else:
+        print(f"  cadence: {len(cur_rows)} density points match")
+    return warned
+
+
+def compare_session(current, baseline, threshold: float) -> int:
+    warned = 0
+    if not current.get("checksums_match", False):
+        warn("session: sweep/legacy timeline or serial/parallel checksums "
+             "diverged")
+        warned += 1
+    # Every handover consults the per-shard certificate cache exactly once
+    # (hit or miss); a gap means the cache was silently bypassed.
+    handovers = current.get("handovers")
+    hits = current.get("cert_cache_hits")
+    misses = current.get("cert_cache_misses")
+    if None not in (handovers, hits, misses) and hits + misses != handovers:
+        warn(f"session: cert cache consulted {hits + misses} times for "
+             f"{handovers} handovers — the cache is being bypassed")
+        warned += 1
+    if current.get("scale") != baseline.get("scale"):
+        # CI runs the bench at a reduced user count; absolute times are
+        # incomparable then, but the speedup floor below still applies.
+        print(f"  (scale {current.get('scale')} vs baseline "
+              f"{baseline.get('scale')}: skipping wall-time comparison)")
+    else:
+        for key in ("seed_s", "sweep_serial_s", "sweep_parallel_s",
+                    "baseline_probe_s"):
+            cur_t = current.get(key)
+            base_t = baseline.get(key)
+            if cur_t is None or base_t is None or base_t <= 0:
+                continue
+            ratio = cur_t / base_t
+            marker = " REGRESSION?" if ratio > threshold else ""
+            print(f"  {key}: {cur_t:.4f}s vs baseline {base_t:.4f}s "
+                  f"({ratio:.2f}x){marker}")
+            if ratio > threshold:
+                warn(f"session {key}: {cur_t:.4f}s vs baseline "
+                     f"{base_t:.4f}s ({ratio:.2f}x > {threshold:.2f}x)")
+                warned += 1
+    # The sweep's reason to exist: the >= 10x headline over the per-user
+    # planner scan. The floor only holds once per-epoch fixed costs (index
+    # compile, heap walk) amortize over enough users, so skip it on heavily
+    # reduced lanes.
+    speedup = current.get("speedup_vs_planner")
+    if speedup is not None:
+        floor = 10.0 if current.get("scale", 1.0) >= 0.2 else None
+        floor_txt = f" (floor {floor:.1f}x)" if floor \
+            else " (no floor at this scale)"
+        print(f"  speedup_vs_planner: {speedup:.2f}x{floor_txt}")
+        if floor is not None and speedup < floor:
+            warn(f"session speedup_vs_planner: {speedup:.2f}x below the "
+                 f"{floor:.1f}x floor")
+            warned += 1
+    return warned
+
+
 def compare_scale(current, baseline, threshold: float) -> int:
     warned = 0
     if not current.get("checksums_match", False):
@@ -444,6 +559,10 @@ def main() -> int:
         elif current.get("bench") == "temporal_delta":
             warned += compare_temporal_delta(current, baseline,
                                              args.threshold)
+        elif current.get("bench") == "handover":
+            warned += compare_handover(current, baseline, args.threshold)
+        elif current.get("bench") == "session":
+            warned += compare_session(current, baseline, args.threshold)
         elif current.get("bench") == "scale":
             warned += compare_scale(current, baseline, args.threshold)
         elif current.get("bench") == "fig2c_coverage":
